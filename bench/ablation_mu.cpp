@@ -1,0 +1,70 @@
+// Experiment E4: ablation of the allotment cap mu of Phase 2. The paper
+// chooses mu-hat* = (113 m - sqrt(6469 m^2 - 6300 m))/100 (eq. 20); this
+// sweep shows both the theoretical bound r(m, mu, 0.26) and the measured
+// ratio as mu ranges over 1..floor((m+1)/2).
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/minmax.hpp"
+#include "core/allotment_lp.hpp"
+#include "core/list_scheduler.hpp"
+#include "core/rounding.hpp"
+#include "model/instance.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace malsched;
+  using support::TextTable;
+
+  for (const int m : {8, 16}) {
+    const double rho = analysis::kPaperRho;
+    const int paper_mu = analysis::paper_parameters(m).mu;
+
+    std::cout << "=== E4: mu ablation, m = " << m << ", rho = 0.26 (paper picks mu = "
+              << paper_mu << ", continuous mu* = "
+              << TextTable::num(analysis::mu_star(m, rho), 3) << ") ===\n\n";
+
+    struct Prepared {
+      model::Instance instance;
+      core::FractionalAllotment fractional;
+      core::Allotment alpha;
+    };
+    std::vector<Prepared> suite;
+    support::Rng seeder(0xE4 + static_cast<std::uint64_t>(m));
+    for (const auto family : {model::DagFamily::kLayered, model::DagFamily::kFft,
+                              model::DagFamily::kCholesky}) {
+      for (int s = 0; s < 2; ++s) {
+        support::Rng rng = seeder.split();
+        Prepared prepared{model::make_family_instance(family, model::TaskFamily::kMixed,
+                                                      20, m, rng),
+                          {},
+                          {}};
+        prepared.fractional = core::solve_allotment_lp(prepared.instance);
+        prepared.alpha =
+            core::round_fractional(prepared.instance, prepared.fractional.x, rho);
+        suite.push_back(std::move(prepared));
+      }
+    }
+
+    TextTable table({"mu", "mean-ratio", "max-ratio", "theory r(m,mu,0.26)"});
+    for (int mu = 1; mu <= (m + 1) / 2; ++mu) {
+      double sum = 0.0, worst = 0.0;
+      for (const auto& prepared : suite) {
+        const auto schedule = core::list_schedule(prepared.instance, prepared.alpha, mu);
+        const double ratio =
+            schedule.makespan(prepared.instance) / prepared.fractional.lower_bound;
+        sum += ratio;
+        worst = std::max(worst, ratio);
+      }
+      std::string mu_label = TextTable::num(mu);
+      if (mu == paper_mu) mu_label += " <- paper";
+      table.add_row({mu_label, TextTable::num(sum / suite.size(), 3),
+                     TextTable::num(worst, 3),
+                     TextTable::num(analysis::ratio_bound(m, mu, rho), 4)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Experiment E3: ablation of the rounding parameter rho — the paper's
+// central tuning knob (Section 4.2 fixes rho-hat = 0.26; Section 4.3 shows
+// the asymptotic optimum is 0.261917; LTW corresponds to rho = 1/2).
+//
+// Phase 1 is solved once per instance; each rho then re-rounds the same
+// fractional solution and re-runs LIST, isolating the rounding effect.
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/minmax.hpp"
+#include "core/allotment_lp.hpp"
+#include "core/list_scheduler.hpp"
+#include "core/rounding.hpp"
+#include "core/schedule.hpp"
+#include "model/instance.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace malsched;
+  using support::TextTable;
+
+  const int m = 8;
+  const double rhos[] = {0.0, 0.13, 0.26, 0.262, 0.4, 0.5, 0.75, 1.0};
+
+  std::cout << "=== E3: rho ablation (m = " << m << ", mu fixed to the paper's "
+            << analysis::paper_parameters(m).mu << ") ===\n"
+            << "mean empirical ratio makespan / C* over 4 DAG families x 3 seeds,\n"
+            << "and the theoretical bound r(m, mu, rho) per rho.\n\n";
+
+  const auto families = {model::DagFamily::kLayered, model::DagFamily::kSeriesParallel,
+                         model::DagFamily::kCholesky, model::DagFamily::kRandom};
+  const int mu = analysis::paper_parameters(m).mu;
+
+  // Pre-solve Phase 1 for the whole instance suite.
+  struct Prepared {
+    model::Instance instance;
+    core::FractionalAllotment fractional;
+  };
+  std::vector<Prepared> suite;
+  support::Rng seeder(0xE3);
+  for (const auto family : families) {
+    for (int s = 0; s < 3; ++s) {
+      support::Rng rng = seeder.split();
+      Prepared prepared{model::make_family_instance(family, model::TaskFamily::kMixed,
+                                                    22, m, rng),
+                        {}};
+      prepared.fractional = core::solve_allotment_lp(prepared.instance);
+      suite.push_back(std::move(prepared));
+    }
+  }
+
+  TextTable table({"rho", "mean-ratio", "max-ratio", "theory r(m,mu,rho)"});
+  for (const double rho : rhos) {
+    double sum = 0.0, worst = 0.0;
+    for (const auto& prepared : suite) {
+      const auto alpha = core::round_fractional(prepared.instance,
+                                                prepared.fractional.x, rho);
+      const auto schedule = core::list_schedule(prepared.instance, alpha, mu);
+      const double ratio =
+          schedule.makespan(prepared.instance) / prepared.fractional.lower_bound;
+      sum += ratio;
+      worst = std::max(worst, ratio);
+    }
+    table.add_row({TextTable::num(rho, 3), TextTable::num(sum / suite.size(), 3),
+                   TextTable::num(worst, 3),
+                   TextTable::num(analysis::ratio_bound(m, mu, rho), 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(the theory column is minimized near rho = 0.26, matching "
+               "Section 4.2;\n empirical ratios are flat-ish: the worst case "
+               "needs adversarial instances)\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Regenerates Section 4.3: the degree-6 optimality polynomial, its root
+// rho* = 0.261917, the limiting mu*/m = 0.325907 and ratio 3.291913, the
+// convergence of the finite-m optimality root, and the r(m) trend of
+// Theorem 4.1 toward the Corollary 4.1 bound.
+#include <iostream>
+
+#include "analysis/asymptotic.hpp"
+#include "analysis/minmax.hpp"
+#include "analysis/polynomial.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace malsched::analysis;
+  using malsched::support::TextTable;
+
+  std::cout << "=== Section 4.3: asymptotic behaviour of the approximation ratio ===\n\n";
+
+  const Polynomial limit = limiting_rho_polynomial();
+  std::cout << "limiting polynomial: rho^6 + 6rho^5 + 3rho^4 + 14rho^3 + 21rho^2 "
+               "+ 24rho - 8\n"
+            << "roots reported by the paper: -5.8353, -0.949632 +/- 0.89448i, "
+               "0.261917, 0.72544 +/- 1.60027i\n";
+  std::cout << "our complex roots:";
+  for (const auto& root : limit.complex_roots()) {
+    std::cout << "  (" << TextTable::num(root.real(), 6) << ", "
+              << TextTable::num(root.imag(), 5) << "i)";
+  }
+  std::cout << "\n\n";
+
+  std::cout << "rho*            = " << TextTable::num(asymptotic_rho_star(), 6)
+            << "   (paper: 0.261917)\n"
+            << "mu*/m           = " << TextTable::num(asymptotic_mu_fraction(), 6)
+            << "   (paper: 0.325907)\n"
+            << "r(rho*)         = " << TextTable::num(asymptotic_ratio(), 6)
+            << "   (paper: 3.291913)\n"
+            << "r(rho-hat=0.26) = " << TextTable::num(limiting_ratio_for_rho(0.26), 6)
+            << "   (paper: 3.291919, the algorithm's bound)\n\n";
+
+  std::cout << "finite-m optimality root of eq. (21) vs rho*:\n";
+  TextTable root_table({"m", "rho_opt(m)", "rho* - rho_opt(m)"});
+  for (int m : {10, 30, 100, 300, 1000, 10000}) {
+    const auto roots = Polynomial(eq21_coefficients(m)).real_roots_in(0.0, 1.0);
+    const double r0 = roots.empty() ? -1.0 : roots.front();
+    root_table.add_row({TextTable::num(m), TextTable::num(r0, 6),
+                        TextTable::num(asymptotic_rho_star() - r0, 6)});
+  }
+  root_table.print(std::cout);
+
+  std::cout << "\nTheorem 4.1 ratio trend toward the Corollary 4.1 bound "
+            << TextTable::num(corollary_ratio(), 6) << ":\n";
+  TextTable trend({"m", "r(m)", "corollary - r(m)"});
+  for (int m : {6, 10, 33, 100, 1000, 100000}) {
+    trend.add_row({TextTable::num(m), TextTable::num(theorem41_ratio(m), 6),
+                   TextTable::num(corollary_ratio() - theorem41_ratio(m), 6)});
+  }
+  trend.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Regenerates the data behind Fig. 1 of the paper: the concave speedup
+// diagram s_j(l) and the convex work-vs-processing-time diagram w_j(p_j(l))
+// for a canonical power-law task, plus numeric verification of both shape
+// properties (Theorems 2.1 and 2.2).
+#include <iostream>
+
+#include "model/assumptions.hpp"
+#include "model/speedup.hpp"
+#include "model/work_function.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace malsched::model;
+  using malsched::support::TextTable;
+
+  const int m = 32;
+  const double p1 = 100.0, d = 0.6;
+  const MalleableTask task = make_power_law_task(p1, d, m, "fig1");
+
+  std::cout << "=== Fig. 1 data: speedup s(l) and work w(p(l)) for p(l) = " << p1
+            << " * l^-" << d << ", m = " << m << " ===\n\n";
+
+  TextTable table({"l", "p(l)", "s(l)", "ds(l)", "W(l)=l*p(l)", "w-chord-slack"});
+  const WorkFunction wf(task);
+  double prev_s = 0.0;
+  for (int l = 1; l <= m; ++l) {
+    const double s = task.speedup(l);
+    // Concavity: increments ds must be non-increasing (Assumption 2).
+    const double ds = s - prev_s;
+    prev_s = s;
+    // Convexity in time: the breakpoint must sit below the chord of its
+    // neighbours; report the slack (>= 0 means convex at this point).
+    double chord_slack = 0.0;
+    if (l >= 2 && l <= m - 1) {
+      const double x0 = task.processing_time(l + 1), y0 = task.work(l + 1);
+      const double x1 = task.processing_time(l), y1 = task.work(l);
+      const double x2 = task.processing_time(l - 1), y2 = task.work(l - 1);
+      chord_slack = y0 + (y2 - y0) * (x1 - x0) / (x2 - x0) - y1;
+    }
+    table.add_row({TextTable::num(l), TextTable::num(task.processing_time(l), 3),
+                   TextTable::num(s, 4), TextTable::num(ds, 4),
+                   TextTable::num(task.work(l), 2), TextTable::num(chord_slack, 4)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nvalidators: Assumption 1 " << (check_assumption1(task).ok ? "OK" : "FAIL")
+            << ", Assumption 2 " << (check_assumption2(task).ok ? "OK" : "FAIL")
+            << ", work monotone (Thm 2.1) "
+            << (check_assumption2prime(task).ok ? "OK" : "FAIL")
+            << ", work convex in time (Thm 2.2) "
+            << (check_work_convex_in_time(task).ok ? "OK" : "FAIL") << "\n";
+
+  // Counterexample from Section 2: convex speedup that still has monotone
+  // work — Assumption 2' does NOT imply Assumption 2.
+  const MalleableTask counter = make_convex_speedup_task(100.0, 1.0 / 1026.0, m);
+  std::cout << "Section 2 counterexample p(l) = p1/(1-delta+delta*l^2): A1 "
+            << (check_assumption1(counter).ok ? "OK" : "FAIL") << ", A2' "
+            << (check_assumption2prime(counter).ok ? "OK" : "FAIL")
+            << ", A2 " << (check_assumption2(counter).ok ? "OK (unexpected!)" : "violated (as the paper shows)")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Experiment E6: performance of the pipeline stages (google-benchmark).
+// Covers LP construction, LP solve (the dominant cost, scaling with n and
+// m through the row count |E| + n(m+1)), rounding, LIST scheduling, and the
+// end-to-end driver, plus the piece_stride LP relaxation knob.
+#include <benchmark/benchmark.h>
+
+#include "core/allotment_lp.hpp"
+#include "core/list_scheduler.hpp"
+#include "core/rounding.hpp"
+#include "core/scheduler.hpp"
+#include "model/instance.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace malsched;
+
+model::Instance make_bench_instance(int n, int m) {
+  support::Rng rng(0xBE7C + static_cast<std::uint64_t>(n) * 31 + m);
+  return model::make_family_instance(model::DagFamily::kLayered,
+                                     model::TaskFamily::kPowerLaw, n, m, rng);
+}
+
+void BM_BuildAllotmentLp(benchmark::State& state) {
+  const auto instance =
+      make_bench_instance(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_allotment_lp(instance));
+  }
+  state.SetLabel("n=" + std::to_string(instance.num_tasks()) +
+                 " m=" + std::to_string(instance.m));
+}
+BENCHMARK(BM_BuildAllotmentLp)->Args({20, 8})->Args({40, 8})->Args({40, 16});
+
+void BM_SolveAllotmentLp(benchmark::State& state) {
+  const auto instance =
+      make_bench_instance(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_allotment_lp(instance));
+  }
+  state.SetLabel("n=" + std::to_string(instance.num_tasks()) +
+                 " m=" + std::to_string(instance.m));
+}
+BENCHMARK(BM_SolveAllotmentLp)
+    ->Args({10, 4})
+    ->Args({20, 8})
+    ->Args({40, 8})
+    ->Args({20, 16})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SolveAllotmentLpCoarsePieces(benchmark::State& state) {
+  const auto instance = make_bench_instance(20, 16);
+  core::AllotmentLpOptions options;
+  options.piece_stride = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_allotment_lp(instance, options));
+  }
+  state.SetLabel("piece_stride=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_SolveAllotmentLpCoarsePieces)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Rounding(benchmark::State& state) {
+  const auto instance = make_bench_instance(60, 8);
+  const auto fractional = core::solve_allotment_lp(instance);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::round_fractional(instance, fractional.x, 0.26));
+  }
+}
+BENCHMARK(BM_Rounding);
+
+void BM_ListScheduler(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto instance = make_bench_instance(n, 8);
+  support::Rng rng(7);
+  core::Allotment alpha(static_cast<std::size_t>(instance.num_tasks()));
+  for (auto& l : alpha) l = rng.uniform_int(1, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::list_schedule(instance, alpha, 3));
+  }
+  state.SetLabel("n=" + std::to_string(instance.num_tasks()));
+}
+BENCHMARK(BM_ListScheduler)->Arg(30)->Arg(100)->Arg(300);
+
+void BM_EndToEnd(benchmark::State& state) {
+  const auto instance =
+      make_bench_instance(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::schedule_malleable_dag(instance));
+  }
+  state.SetLabel("n=" + std::to_string(instance.num_tasks()) +
+                 " m=" + std::to_string(instance.m));
+}
+BENCHMARK(BM_EndToEnd)->Args({20, 8})->Args({40, 8})->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,31 @@
+// Regenerates Table 2 of the paper: per-m parameters (mu, rho) and the
+// approximation-ratio bound r(m) of our algorithm for m = 2..33, plus the
+// Theorem 4.1 closed forms and the Corollary 4.1 uniform bound.
+#include <iostream>
+
+#include "analysis/minmax.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using malsched::analysis::corollary_ratio;
+  using malsched::analysis::paper_parameters;
+  using malsched::analysis::theorem41_ratio;
+  using malsched::support::TextTable;
+
+  std::cout << "=== Table 2: bounds on approximation ratios for our algorithm ===\n"
+            << "(paper: Jansen & Zhang, JCSS 78 (2012), Table 2; rho* = 0.26,\n"
+            << " mu* from eq. (20) rounded to the better neighbour)\n\n";
+
+  TextTable table({"m", "mu(m)", "rho(m)", "r(m)", "Thm4.1 r(m)"});
+  for (int m = 2; m <= 33; ++m) {
+    const auto params = paper_parameters(m);
+    table.add_row({TextTable::num(m), TextTable::num(params.mu),
+                   TextTable::num(params.rho, 3), TextTable::num(params.ratio, 4),
+                   TextTable::num(theorem41_ratio(m), 4)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nCorollary 4.1 uniform bound: " << TextTable::num(corollary_ratio(), 6)
+            << " (paper: 3.291919)\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Shared helpers for the example applications: ASCII Gantt rendering and a
+// compact schedule summary. Header-only on purpose — examples should stay
+// single-file and copy-paste friendly.
+#pragma once
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/scheduler.hpp"
+#include "model/instance.hpp"
+
+namespace malsched::examples {
+
+/// Renders the schedule as one row per task: name, allotment, and a bar over
+/// a `width`-column time axis.
+inline void print_gantt(std::ostream& os, const model::Instance& instance,
+                        const core::Schedule& schedule, int width = 64) {
+  const double makespan = schedule.makespan(instance);
+  if (makespan <= 0.0) return;
+  std::size_t name_width = 4;
+  for (int j = 0; j < instance.num_tasks(); ++j) {
+    name_width = std::max(name_width, instance.task(j).name().size());
+  }
+  os << std::string(name_width, ' ') << "       0" << std::string(width - 8, ' ')
+     << std::fixed << std::setprecision(1) << makespan << "\n";
+  for (int j = 0; j < instance.num_tasks(); ++j) {
+    const auto ju = static_cast<std::size_t>(j);
+    const double start = schedule.start[ju];
+    const double finish = schedule.completion(instance, j);
+    const int from = static_cast<int>(start / makespan * width);
+    const int to = std::max(from + 1, static_cast<int>(finish / makespan * width));
+    std::string bar(static_cast<std::size_t>(width), '.');
+    for (int c = from; c < std::min(to, width); ++c) {
+      bar[static_cast<std::size_t>(c)] = '#';
+    }
+    std::string name = instance.task(j).name();
+    if (name.empty()) name = "J" + std::to_string(j);
+    os << std::left << std::setw(static_cast<int>(name_width)) << name << " x"
+       << std::setw(2) << schedule.allotment[ju] << "  |" << bar << "|\n";
+  }
+}
+
+/// Prints the quality certificate of a scheduler result.
+inline void print_certificate(std::ostream& os, const core::SchedulerResult& result) {
+  os << std::fixed << std::setprecision(3) << "makespan " << result.makespan
+     << ", LP lower bound " << result.fractional.lower_bound << ", measured ratio "
+     << result.ratio_vs_lower_bound << " (guaranteed <= " << result.guaranteed_ratio
+     << ")\n";
+}
+
+}  // namespace malsched::examples

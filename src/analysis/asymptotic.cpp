@@ -1,0 +1,73 @@
+#include "analysis/asymptotic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace malsched::analysis {
+
+Polynomial limiting_rho_polynomial() {
+  return Polynomial({-8.0, 24.0, 21.0, 14.0, 3.0, 6.0, 1.0});
+}
+
+std::vector<double> eq21_coefficients(int m) {
+  const double md = m;
+  return {
+      -8.0 * (md - 1.0) * (md - 1.0) * (md - 2.0),
+      8.0 * (md - 1.0) * (md - 2.0) * (3.0 * md - 2.0),
+      21.0 * md * md * md - 59.0 * md * md + 16.0 * md + 24.0,
+      2.0 * (md + 1.0) * (7.0 * md * md - 7.0 * md - 4.0),
+      3.0 * md * md * md - 7.0 * md * md + 15.0 * md + 1.0,
+      2.0 * md * (3.0 * md * md - 4.0 * md - 1.0),
+      md * md * (md + 1.0),
+  };
+}
+
+Polynomial eq21_a1(int m) {
+  const double md = m;
+  return Polynomial({md - 4.0, 6.0 * md + 4.0, -3.0 * md - 1.0, md});
+}
+
+Polynomial eq21_a2(int m) {
+  const double md = m;
+  return Polynomial({-2.0 * md + 2.0, 2.0 * md + 8.0, -3.0 * md - 2.0, md + 1.0, -md})
+      .scaled(md);
+}
+
+Polynomial eq21_a3(int m) {
+  const double md = m;
+  return Polynomial({-2.0 * md * md + 6.0 * md - 4.0, -5.0 * md * md + 7.0 * md,
+                     -3.0 * md * md - 3.0 * md + 3.0, md * md - 3.0 * md - 1.0,
+                     md * md + md})
+      .scaled(md);
+}
+
+Polynomial eq21_delta(int m) {
+  const double md = m;
+  return Polynomial({2.0 * md * md - 2.0 * md, 2.0 * md * md - 2.0 * md, md * md});
+}
+
+double asymptotic_rho_star() {
+  const auto roots = limiting_rho_polynomial().real_roots_in(0.0, 1.0);
+  MALSCHED_ASSERT_MSG(roots.size() == 1,
+                      "expected a unique root of the limiting polynomial in (0,1)");
+  return roots.front();
+}
+
+double asymptotic_mu_fraction() {
+  const double rho = asymptotic_rho_star();
+  return ((2.0 + rho) - std::sqrt(rho * rho + 2.0 * rho + 2.0)) / 2.0;
+}
+
+double limiting_ratio_for_rho(double rho) {
+  MALSCHED_ASSERT(rho >= 0.0 && rho <= 1.0);
+  const double beta = ((2.0 + rho) - std::sqrt(rho * rho + 2.0 * rho + 2.0)) / 2.0;
+  const double b = std::min(beta, (1.0 + rho) / 2.0);
+  const double inner = std::max((1.0 - beta) * 2.0 / (1.0 + rho), (1.0 - 2.0 * beta) / b);
+  return (2.0 / (2.0 - rho) + std::max(inner, 0.0)) / (1.0 - beta);
+}
+
+double asymptotic_ratio() { return limiting_ratio_for_rho(asymptotic_rho_star()); }
+
+}  // namespace malsched::analysis

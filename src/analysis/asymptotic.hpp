@@ -1,0 +1,50 @@
+// Section 4.3: asymptotic behaviour of the approximation ratio.
+//
+// Setting the rho-derivative of the bound to zero leads (after clearing the
+// square root) to equation (21):
+//
+//   m^2 (1+m) (1+rho)^2 * sum_{i=0}^{6} c_i rho^i = 0
+//
+// with m-dependent coefficients c_i. As m -> infinity the degree-6 factor
+// tends to rho^6 + 6rho^5 + 3rho^4 + 14rho^3 + 21rho^2 + 24rho - 8, whose
+// unique root in (0,1) is rho* ~= 0.261917; then mu*/m -> 0.325907 and the
+// ratio tends to 3.291913. The paper fixes rho-hat = 0.26 as a close
+// rational approximation, giving the headline 3.291919.
+#pragma once
+
+#include "analysis/polynomial.hpp"
+
+namespace malsched::analysis {
+
+/// The limiting degree-6 polynomial of eq. (21) (coefficients of rho^0..6:
+/// -8, 24, 21, 14, 3, 6, 1).
+Polynomial limiting_rho_polynomial();
+
+/// The finite-m coefficients c_0..c_6 of eq. (21).
+std::vector<double> eq21_coefficients(int m);
+
+/// A_1, A_2, A_3 of the pre-squared optimality equation
+/// A_1 Delta + A_2 sqrt(Delta) + A_3 = 0 (polynomials in rho for fixed m),
+/// and Delta(rho) = (rho^2+2rho+2) m^2 - 2(1+rho) m. Exposed so tests can
+/// verify the algebraic identity (A_1 Delta + A_3)^2 - A_2^2 Delta =
+/// m^2 (1+m) (1+rho)^2 sum c_i rho^i claimed by the paper.
+Polynomial eq21_a1(int m);
+Polynomial eq21_a2(int m);
+Polynomial eq21_a3(int m);
+Polynomial eq21_delta(int m);
+
+/// rho* ~= 0.261917: the unique root of the limiting polynomial in (0, 1).
+double asymptotic_rho_star();
+
+/// mu*/m in the limit: ((2+rho*) - sqrt(rho*^2 + 2 rho* + 2)) / 2
+/// ~= 0.325907.
+double asymptotic_mu_fraction();
+
+/// The asymptotic best ratio 3.291913 obtained from rho*.
+double asymptotic_ratio();
+
+/// The m -> infinity ratio for an arbitrary fixed rho and the continuous
+/// mu = beta m minimizer; used to compare 0.26 vs rho*.
+double limiting_ratio_for_rho(double rho);
+
+}  // namespace malsched::analysis

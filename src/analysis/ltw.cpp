@@ -1,0 +1,29 @@
+#include "analysis/ltw.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace malsched::analysis {
+
+double ltw_ratio_bound(int m, int mu) {
+  MALSCHED_ASSERT(m >= 1 && mu >= 1 && mu <= m);
+  const double md = m;
+  const double inner = std::max(
+      {0.0, 2.0 * (md - mu), 2.0 * md * (md - 2.0 * mu + 1.0) / mu});
+  return (2.0 * md + inner) / (md - mu + 1.0);
+}
+
+ParamChoice ltw_parameters(int m) {
+  ParamChoice best{1, 0.5, ltw_ratio_bound(m, 1)};
+  for (int mu = 2; mu <= m; ++mu) {
+    const double r = ltw_ratio_bound(m, mu);
+    if (r < best.ratio - 1e-15) best = ParamChoice{mu, 0.5, r};
+  }
+  return best;
+}
+
+double ltw_asymptotic_ratio() { return 3.0 + std::sqrt(5.0); }
+
+}  // namespace malsched::analysis

@@ -1,0 +1,29 @@
+// Theoretical ratio bound of the Lepere-Trystram-Woeginger algorithm [18]
+// under Assumptions 1 + 2' (the comparison baseline of the paper's Table 3).
+//
+// Their two-phase algorithm rounds the fractional allotment so that both the
+// critical path and the total work at most double (rho = 1/2 in the
+// time-cost-tradeoff rounding), then runs the same mu-capped list scheduler.
+// The resulting min-max bound specializes the paper's (17) with duration
+// stretch 2 and work stretch 2:
+//
+//   r(m, mu) = [2m + max{2(m - mu), 2m(m - 2mu + 1)/mu, 0}] / (m - mu + 1),
+//
+// minimized over mu. This closed form reproduces all 32 rows of Table 3
+// (min over m of 4.0 at m = 2..4, 3 + sqrt(5) ~= 5.236 asymptotically).
+#pragma once
+
+#include "analysis/minmax.hpp"
+
+namespace malsched::analysis {
+
+/// LTW bound for a fixed cap mu (1 <= mu <= m).
+double ltw_ratio_bound(int m, int mu);
+
+/// Best mu and value (Table 3 row).
+ParamChoice ltw_parameters(int m);
+
+/// The LTW asymptotic ratio 3 + sqrt(5).
+double ltw_asymptotic_ratio();
+
+}  // namespace malsched::analysis

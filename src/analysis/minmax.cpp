@@ -1,0 +1,154 @@
+#include "analysis/minmax.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace malsched::analysis {
+
+double ratio_bound(int m, int mu, double rho) {
+  MALSCHED_ASSERT(m >= 1);
+  MALSCHED_ASSERT(mu >= 1 && 2 * mu <= m + 1);
+  MALSCHED_ASSERT(rho >= 0.0 && rho <= 1.0);
+  // Vertices of {(x1,x2) >= 0 : a x1 + b x2 <= 1} are (0,0), (1/a,0), (0,1/b).
+  const double a = (1.0 + rho) / 2.0;
+  const double b = std::min(static_cast<double>(mu) / m, (1.0 + rho) / 2.0);
+  const double coeff_x1 = static_cast<double>(m - mu);
+  const double coeff_x2 = static_cast<double>(m - 2 * mu + 1);
+  const double inner =
+      std::max({0.0, coeff_x1 / a, coeff_x2 / b});
+  return (2.0 * m / (2.0 - rho) + inner) / (m - mu + 1);
+}
+
+double mu_star(int m, double rho) {
+  const double md = m;
+  const double disc = (rho * rho + 2.0 * rho + 2.0) * md * md - 2.0 * (1.0 + rho) * md;
+  MALSCHED_ASSERT(disc >= 0.0);
+  return ((2.0 + rho) * md - std::sqrt(disc)) / 2.0;
+}
+
+namespace {
+
+int max_mu(int m) { return (m + 1) / 2; }
+
+/// Better of floor/ceil of the continuous minimizer, clamped to range.
+ParamChoice round_mu_choice(int m, double rho) {
+  const double target = mu_star(m, rho);
+  const int lo = std::clamp(static_cast<int>(std::floor(target)), 1, max_mu(m));
+  const int hi = std::clamp(static_cast<int>(std::ceil(target)), 1, max_mu(m));
+  ParamChoice best{lo, rho, ratio_bound(m, lo, rho)};
+  if (hi != lo) {
+    const double r = ratio_bound(m, hi, rho);
+    if (r < best.ratio) best = ParamChoice{hi, rho, r};
+  }
+  return best;
+}
+
+}  // namespace
+
+ParamChoice paper_parameters(int m) {
+  MALSCHED_ASSERT(m >= 1);
+  switch (m) {
+    case 1:
+      // Degenerate single-processor case: every allotment is 1.
+      return ParamChoice{1, 0.0, 1.0};
+    case 2:
+      return ParamChoice{1, 0.0, ratio_bound(2, 1, 0.0)};
+    case 3: {
+      // Optimal rho for m = 3 (case rho <= 2 mu/m - 1): minimizes
+      // 3/(2-rho) + 1/(1+rho), giving rho = (2 - sqrt(3))/(1 + sqrt(3)).
+      const double rho = (2.0 - std::sqrt(3.0)) / (1.0 + std::sqrt(3.0));
+      return ParamChoice{2, rho, ratio_bound(3, 2, rho)};
+    }
+    case 4:
+      return ParamChoice{2, 0.0, ratio_bound(4, 2, 0.0)};
+    default: {
+      // m >= 5: rho-hat = 0.26 and mu-hat per eq. (20), rounded to the
+      // better neighbour (the paper keeps rho = 0.26 for m = 5 too, see the
+      // note below Corollary 4.1).
+      return round_mu_choice(m, kPaperRho);
+    }
+  }
+}
+
+ParamChoice grid_search(int m, double delta_rho) {
+  MALSCHED_ASSERT(delta_rho > 0.0);
+  ParamChoice best{1, 0.0, ratio_bound(m, 1, 0.0)};
+  const int steps = static_cast<int>(std::round(1.0 / delta_rho));
+  for (int mu = 1; mu <= max_mu(m); ++mu) {
+    for (int s = 0; s <= steps; ++s) {
+      const double rho = std::min(1.0, s * delta_rho);
+      const double r = ratio_bound(m, mu, rho);
+      if (r < best.ratio - 1e-15) best = ParamChoice{mu, rho, r};
+    }
+  }
+  return best;
+}
+
+ParamChoice grid_search_parallel(int m, double delta_rho,
+                                 support::ThreadPool& pool) {
+  const int steps = static_cast<int>(std::round(1.0 / delta_rho));
+  const int mus = max_mu(m);
+  std::vector<ParamChoice> per_mu(static_cast<std::size_t>(mus));
+  pool.parallel_for(0, static_cast<std::size_t>(mus), [&](std::size_t idx) {
+    const int mu = static_cast<int>(idx) + 1;
+    ParamChoice best{mu, 0.0, ratio_bound(m, mu, 0.0)};
+    for (int s = 1; s <= steps; ++s) {
+      const double rho = std::min(1.0, s * delta_rho);
+      const double r = ratio_bound(m, mu, rho);
+      if (r < best.ratio - 1e-15) best = ParamChoice{mu, rho, r};
+    }
+    per_mu[idx] = best;
+  });
+  ParamChoice best = per_mu.front();
+  for (const auto& candidate : per_mu) {
+    if (candidate.ratio < best.ratio - 1e-15) best = candidate;
+  }
+  return best;
+}
+
+double lemma47_ratio(int m) {
+  MALSCHED_ASSERT(m >= 2);
+  if (m == 3) return 2.0 * (2.0 + std::sqrt(3.0)) / 3.0;
+  if (m == 5) return 2.0 * (7.0 + 2.0 * std::sqrt(10.0)) / 9.0;
+  if (m >= 7 && m % 2 == 1) {
+    const double md = m;
+    return 2.0 * md * (4.0 * md * md - md + 1.0) /
+           ((md + 1.0) * (md + 1.0) * (2.0 * md - 1.0));
+  }
+  return 4.0 * static_cast<double>(m) / (m + 2);
+}
+
+double lemma49_ratio(int m) {
+  MALSCHED_ASSERT(m >= 2);
+  const double md = m;
+  return 100.0 / 63.0 +
+         (100.0 / 345303.0) * (63.0 * md - 87.0) *
+             (std::sqrt(6469.0 * md * md - 6300.0 * md) + 13.0 * md) /
+             (md * md - md);
+}
+
+double theorem41_ratio(int m) {
+  MALSCHED_ASSERT(m >= 2);
+  switch (m) {
+    case 2:
+      return 2.0;
+    case 3:
+      return 2.0 * (2.0 + std::sqrt(3.0)) / 3.0;
+    case 4:
+      return 8.0 / 3.0;
+    case 5:
+      return 2.0 * (7.0 + 2.0 * std::sqrt(10.0)) / 9.0;
+    default:
+      return lemma49_ratio(m);
+  }
+}
+
+double corollary_ratio() {
+  return 100.0 / 63.0 + 100.0 * (std::sqrt(6469.0) + 13.0) / 5481.0;
+}
+
+}  // namespace malsched::analysis

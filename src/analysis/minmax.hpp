@@ -1,0 +1,63 @@
+// The min-max nonlinear program (17)/(18) of Section 4 and the paper's
+// parameter choices.
+//
+// Lemma 4.5 bounds the approximation ratio of the two-phase algorithm by
+//
+//   min_{mu, rho}  max_{x1, x2 >= 0}  [2m/(2-rho) + (m-mu) x1
+//                                      + (m-2mu+1) x2] / (m-mu+1)
+//   s.t.  (1+rho)/2 * x1 + min{mu/m, (1+rho)/2} * x2 <= 1,
+//
+// where x_i = |T_i|/C*_max are the normalized lengths of the time-slot
+// classes of the final schedule. For fixed (m, mu, rho) the inner max is a
+// 2-variable LP attained at a vertex, giving the closed-form evaluator
+// ratio_bound(). Minimizing it reproduces Table 4 (grid search) and the
+// paper's fixed choice rho = 0.26 with mu from eq. (20) reproduces Table 2.
+#pragma once
+
+#include "support/thread_pool.hpp"
+
+namespace malsched::analysis {
+
+/// Inner max of (17) for fixed parameters; requires 1 <= mu <= (m+1)/2.
+double ratio_bound(int m, int mu, double rho);
+
+/// Lemma 4.8: continuous minimizer mu*(rho) of the case rho > 2 mu/m - 1:
+/// mu* = [(2+rho) m - sqrt((rho^2+2rho+2) m^2 - 2(1+rho) m)] / 2.
+double mu_star(int m, double rho);
+
+/// The paper's fixed rounding parameter (eq. 19).
+inline constexpr double kPaperRho = 0.26;
+
+struct ParamChoice {
+  int mu = 1;
+  double rho = 0.0;
+  double ratio = 0.0;
+};
+
+/// The algorithm's published parameters (Section 4.2): special cases
+/// m = 2, 3, 4; rho = 0.26 and mu = better of floor/ceil of eq. (20)
+/// otherwise. Reproduces every row of Table 2.
+ParamChoice paper_parameters(int m);
+
+/// Numerical optimum of (17) on a rho grid of step `delta_rho` over all
+/// integer mu (Section 4.3). Reproduces Table 4 with delta_rho = 1e-4.
+ParamChoice grid_search(int m, double delta_rho = 1e-4);
+
+/// Same, with the rho grid split across a thread pool.
+ParamChoice grid_search_parallel(int m, double delta_rho,
+                                 support::ThreadPool& pool);
+
+/// Lemma 4.7: optimal value of (17) restricted to rho <= 2 mu/m - 1.
+double lemma47_ratio(int m);
+
+/// Lemma 4.9 closed-form bound for rho = 0.26 (general-m expression).
+double lemma49_ratio(int m);
+
+/// Theorem 4.1: the paper's final per-m ratio guarantee.
+double theorem41_ratio(int m);
+
+/// Corollary 4.1: the uniform bound 100/63 + 100(sqrt(6469)+13)/5481
+/// ~= 3.291919.
+double corollary_ratio();
+
+}  // namespace malsched::analysis

@@ -1,0 +1,146 @@
+#include "analysis/polynomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace malsched::analysis {
+
+Polynomial::Polynomial(std::vector<double> coeffs) : coeffs_(std::move(coeffs)) {
+  while (coeffs_.size() > 1 && coeffs_.back() == 0.0) coeffs_.pop_back();
+  if (coeffs_.empty()) coeffs_.push_back(0.0);
+}
+
+double Polynomial::coefficient(int power) const {
+  if (power < 0 || power >= static_cast<int>(coeffs_.size())) return 0.0;
+  return coeffs_[static_cast<std::size_t>(power)];
+}
+
+double Polynomial::evaluate(double x) const {
+  double acc = 0.0;
+  for (std::size_t i = coeffs_.size(); i-- > 0;) acc = acc * x + coeffs_[i];
+  return acc;
+}
+
+std::complex<double> Polynomial::evaluate(std::complex<double> x) const {
+  std::complex<double> acc = 0.0;
+  for (std::size_t i = coeffs_.size(); i-- > 0;) acc = acc * x + coeffs_[i];
+  return acc;
+}
+
+Polynomial Polynomial::derivative() const {
+  if (coeffs_.size() <= 1) return Polynomial({0.0});
+  std::vector<double> d(coeffs_.size() - 1);
+  for (std::size_t i = 1; i < coeffs_.size(); ++i) {
+    d[i - 1] = coeffs_[i] * static_cast<double>(i);
+  }
+  return Polynomial(std::move(d));
+}
+
+Polynomial Polynomial::operator+(const Polynomial& other) const {
+  std::vector<double> out(std::max(coeffs_.size(), other.coeffs_.size()), 0.0);
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) out[i] += coeffs_[i];
+  for (std::size_t i = 0; i < other.coeffs_.size(); ++i) out[i] += other.coeffs_[i];
+  return Polynomial(std::move(out));
+}
+
+Polynomial Polynomial::operator-(const Polynomial& other) const {
+  return *this + other.scaled(-1.0);
+}
+
+Polynomial Polynomial::operator*(const Polynomial& other) const {
+  std::vector<double> out(coeffs_.size() + other.coeffs_.size() - 1, 0.0);
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    if (coeffs_[i] == 0.0) continue;
+    for (std::size_t j = 0; j < other.coeffs_.size(); ++j) {
+      out[i + j] += coeffs_[i] * other.coeffs_[j];
+    }
+  }
+  return Polynomial(std::move(out));
+}
+
+Polynomial Polynomial::scaled(double factor) const {
+  std::vector<double> out = coeffs_;
+  for (double& c : out) c *= factor;
+  return Polynomial(std::move(out));
+}
+
+std::vector<std::complex<double>> Polynomial::complex_roots(int max_iterations,
+                                                            double tolerance) const {
+  const int n = degree();
+  MALSCHED_ASSERT_MSG(n >= 1, "constant polynomial has no roots");
+  const double lead = coeffs_.back();
+  MALSCHED_ASSERT(lead != 0.0);
+
+  // Monic copy for stable iteration.
+  std::vector<std::complex<double>> monic(coeffs_.size());
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) monic[i] = coeffs_[i] / lead;
+  auto eval_monic = [&](std::complex<double> x) {
+    std::complex<double> acc = 0.0;
+    for (std::size_t i = monic.size(); i-- > 0;) acc = acc * x + monic[i];
+    return acc;
+  };
+
+  // Initial guesses on a circle of radius derived from the Cauchy bound,
+  // with an irrational angle offset to avoid symmetric stalls.
+  double radius = 0.0;
+  for (int i = 0; i < n; ++i) radius = std::max(radius, std::abs(monic[static_cast<std::size_t>(i)]));
+  radius = 1.0 + radius;
+  std::vector<std::complex<double>> roots(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    const double angle = 2.0 * M_PI * (k + 0.25) / n + 0.4;
+    roots[static_cast<std::size_t>(k)] = std::polar(radius * 0.7, angle);
+  }
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    double worst_update = 0.0;
+    for (int k = 0; k < n; ++k) {
+      std::complex<double> denom = 1.0;
+      for (int j = 0; j < n; ++j) {
+        if (j != k) denom *= roots[static_cast<std::size_t>(k)] - roots[static_cast<std::size_t>(j)];
+      }
+      if (std::abs(denom) < 1e-300) continue;
+      const std::complex<double> delta =
+          eval_monic(roots[static_cast<std::size_t>(k)]) / denom;
+      roots[static_cast<std::size_t>(k)] -= delta;
+      worst_update = std::max(worst_update, std::abs(delta));
+    }
+    if (worst_update < tolerance) break;
+  }
+  return roots;
+}
+
+std::vector<double> Polynomial::real_roots_in(double lo, double hi,
+                                              double tolerance) const {
+  MALSCHED_ASSERT(lo <= hi);
+  std::vector<double> found;
+  const Polynomial deriv = derivative();
+  for (const auto& root : complex_roots()) {
+    if (std::abs(root.imag()) > 1e-7) continue;
+    double x = root.real();
+    // Newton polish on the real axis.
+    for (int it = 0; it < 60; ++it) {
+      const double f = evaluate(x);
+      const double df = deriv.evaluate(x);
+      if (std::abs(df) < 1e-300) break;
+      const double step = f / df;
+      x -= step;
+      if (std::abs(step) < tolerance) break;
+    }
+    if (x < lo - 1e-9 || x > hi + 1e-9) continue;
+    x = std::clamp(x, lo, hi);
+    bool duplicate = false;
+    for (double existing : found) {
+      if (std::abs(existing - x) < 1e-8) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) found.push_back(x);
+  }
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+}  // namespace malsched::analysis

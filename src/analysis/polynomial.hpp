@@ -1,0 +1,47 @@
+// Dense univariate polynomial arithmetic and root finding.
+//
+// Built for Section 4.3 of the paper: the optimal rounding parameter rho*
+// is a root of a degree-6 polynomial with no analytic solution, so the
+// asymptotic analysis needs a numerical root finder. Durand-Kerner iterates
+// on all complex roots simultaneously; real roots in an interval are then
+// extracted and polished with bisection+Newton.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace malsched::analysis {
+
+class Polynomial {
+ public:
+  Polynomial() = default;
+
+  /// coeffs[i] is the coefficient of x^i; trailing zeros are trimmed.
+  explicit Polynomial(std::vector<double> coeffs);
+
+  int degree() const { return static_cast<int>(coeffs_.size()) - 1; }
+  const std::vector<double>& coefficients() const { return coeffs_; }
+  double coefficient(int power) const;
+
+  double evaluate(double x) const;
+  std::complex<double> evaluate(std::complex<double> x) const;
+
+  Polynomial derivative() const;
+  Polynomial operator+(const Polynomial& other) const;
+  Polynomial operator-(const Polynomial& other) const;
+  Polynomial operator*(const Polynomial& other) const;
+  Polynomial scaled(double factor) const;
+
+  /// All complex roots via Durand-Kerner; requires degree >= 1.
+  std::vector<std::complex<double>> complex_roots(int max_iterations = 500,
+                                                  double tolerance = 1e-13) const;
+
+  /// Real roots inside [lo, hi], deduplicated and Newton-polished.
+  std::vector<double> real_roots_in(double lo, double hi,
+                                    double tolerance = 1e-12) const;
+
+ private:
+  std::vector<double> coeffs_;  // coeffs_[i] * x^i
+};
+
+}  // namespace malsched::analysis

@@ -1,0 +1,78 @@
+#include "baselines/baselines.hpp"
+
+#include <algorithm>
+
+#include "analysis/ltw.hpp"
+#include "analysis/minmax.hpp"
+#include "support/assert.hpp"
+
+namespace malsched::baselines {
+
+namespace {
+
+BaselineResult finish(std::string name, const model::Instance& instance,
+                      core::Schedule schedule) {
+  BaselineResult result;
+  result.name = std::move(name);
+  result.makespan = schedule.makespan(instance);
+  result.schedule = std::move(schedule);
+  return result;
+}
+
+}  // namespace
+
+BaselineResult one_processor_baseline(const model::Instance& instance) {
+  const core::Allotment ones(static_cast<std::size_t>(instance.num_tasks()), 1);
+  return finish("one-processor", instance,
+                core::list_schedule(instance, ones, /*mu=*/1));
+}
+
+BaselineResult all_processors_baseline(const model::Instance& instance) {
+  const core::Allotment all(static_cast<std::size_t>(instance.num_tasks()), instance.m);
+  return finish("all-processors", instance,
+                core::list_schedule(instance, all, /*mu=*/instance.m));
+}
+
+BaselineResult greedy_efficiency_baseline(const model::Instance& instance,
+                                          double efficiency_threshold) {
+  MALSCHED_ASSERT(efficiency_threshold > 0.0 && efficiency_threshold <= 1.0);
+  core::Allotment allotment(static_cast<std::size_t>(instance.num_tasks()), 1);
+  for (int j = 0; j < instance.num_tasks(); ++j) {
+    const model::MalleableTask& task = instance.task(j);
+    int chosen = 1;
+    for (int l = 2; l <= instance.m; ++l) {
+      if (task.speedup(l) / l >= efficiency_threshold) chosen = l;
+    }
+    allotment[static_cast<std::size_t>(j)] = chosen;
+  }
+  return finish("greedy-efficiency", instance,
+                core::list_schedule(instance, allotment, /*mu=*/instance.m));
+}
+
+BaselineResult ltw_style_baseline(const model::Instance& instance) {
+  core::SchedulerOptions options;
+  options.rho = 0.5;  // the [18] rounding midpoint
+  const analysis::ParamChoice ltw = analysis::ltw_parameters(instance.m);
+  options.mu = std::min(ltw.mu, (instance.m + 1) / 2);
+  const core::SchedulerResult run = core::schedule_malleable_dag(instance, options);
+  return finish("ltw-style", instance, run.schedule);
+}
+
+BaselineResult jz2006_style_baseline(const model::Instance& instance) {
+  core::SchedulerOptions options;
+  options.rho = 0.43;  // the [13] refinement's rounding parameter scale
+  const core::SchedulerResult run = core::schedule_malleable_dag(instance, options);
+  return finish("jz2006-style", instance, run.schedule);
+}
+
+std::vector<BaselineResult> run_all_baselines(const model::Instance& instance) {
+  std::vector<BaselineResult> results;
+  results.push_back(one_processor_baseline(instance));
+  results.push_back(all_processors_baseline(instance));
+  results.push_back(greedy_efficiency_baseline(instance));
+  results.push_back(ltw_style_baseline(instance));
+  results.push_back(jz2006_style_baseline(instance));
+  return results;
+}
+
+}  // namespace malsched::baselines

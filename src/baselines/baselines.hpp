@@ -1,0 +1,40 @@
+// Runnable comparison algorithms for the empirical evaluation (E2).
+//
+// All baselines produce feasible schedules through the same LIST machinery
+// so that measured differences come from allotment policy, not scheduling
+// mechanics:
+//   - OneProcessor:   l_j = 1 everywhere (classic Graham on sequential jobs);
+//   - AllProcessors:  l_j = m everywhere (serializes the DAG);
+//   - GreedyEfficiency: largest l whose parallel efficiency s(l)/l stays
+//                     above a threshold — a common practitioner heuristic;
+//   - LtwStyle:       two-phase with the rounding midpoint rho = 1/2 and the
+//                     mu minimizing the LTW bound (the [18] algorithm
+//                     transplanted onto our LP phase 1);
+//   - Jz2006Style:    two-phase with rho = 0.43, mu from the same bound
+//                     family (the [13] refinement's parameter shape).
+#pragma once
+
+#include <string>
+
+#include "core/scheduler.hpp"
+#include "model/instance.hpp"
+
+namespace malsched::baselines {
+
+struct BaselineResult {
+  std::string name;
+  core::Schedule schedule;
+  double makespan = 0.0;
+};
+
+BaselineResult one_processor_baseline(const model::Instance& instance);
+BaselineResult all_processors_baseline(const model::Instance& instance);
+BaselineResult greedy_efficiency_baseline(const model::Instance& instance,
+                                          double efficiency_threshold = 0.5);
+BaselineResult ltw_style_baseline(const model::Instance& instance);
+BaselineResult jz2006_style_baseline(const model::Instance& instance);
+
+/// All of the above, in a fixed order (for comparison tables).
+std::vector<BaselineResult> run_all_baselines(const model::Instance& instance);
+
+}  // namespace malsched::baselines

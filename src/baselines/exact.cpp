@@ -1,0 +1,146 @@
+#include "baselines/exact.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/timeline.hpp"
+#include "graph/algorithms.hpp"
+#include "support/assert.hpp"
+
+namespace malsched::baselines {
+
+namespace {
+
+class ExactSearch {
+ public:
+  ExactSearch(const model::Instance& instance, const ExactOptions& options)
+      : instance_(instance), opt_(options), n_(instance.num_tasks()) {
+    // Longest tail (inclusive) from each task at full parallelism: a lower
+    // bound on the time from the task's start to the end of the schedule.
+    std::vector<double> pm(static_cast<std::size_t>(n_));
+    for (int j = 0; j < n_; ++j) {
+      pm[static_cast<std::size_t>(j)] = instance.task(j).processing_time(instance.m);
+    }
+    tail_.assign(static_cast<std::size_t>(n_), 0.0);
+    const auto order = graph::topological_order(instance.dag);
+    MALSCHED_ASSERT(order.has_value());
+    for (auto it = order->rbegin(); it != order->rend(); ++it) {
+      const int v = *it;
+      const auto vu = static_cast<std::size_t>(v);
+      double best_succ = 0.0;
+      for (graph::NodeId s : instance.dag.successors(v)) {
+        best_succ = std::max(best_succ, tail_[static_cast<std::size_t>(s)]);
+      }
+      tail_[vu] = pm[vu] + best_succ;
+    }
+  }
+
+  ExactResult run() {
+    best_makespan_ = std::numeric_limits<double>::infinity();
+    std::vector<int> pending(static_cast<std::size_t>(n_));
+    for (int j = 0; j < n_; ++j) {
+      pending[static_cast<std::size_t>(j)] =
+          static_cast<int>(instance_.dag.predecessors(j).size());
+    }
+    core::Schedule partial;
+    partial.start.assign(static_cast<std::size_t>(n_), 0.0);
+    partial.allotment.assign(static_cast<std::size_t>(n_), 1);
+    std::vector<bool> done(static_cast<std::size_t>(n_), false);
+    core::ResourceTimeline timeline(instance_.m);
+    branch(0, 0.0, pending, done, partial, timeline);
+
+    ExactResult result;
+    result.optimal_makespan = best_makespan_;
+    result.schedule = best_schedule_;
+    result.nodes_explored = nodes_;
+    result.proven_optimal = nodes_ < opt_.node_limit;
+    return result;
+  }
+
+ private:
+  void branch(int placed, double partial_makespan, std::vector<int>& pending,
+              std::vector<bool>& done, core::Schedule& partial,
+              const core::ResourceTimeline& timeline) {
+    if (nodes_ >= opt_.node_limit) return;
+    ++nodes_;
+    if (placed == n_) {
+      if (partial_makespan < best_makespan_) {
+        best_makespan_ = partial_makespan;
+        best_schedule_ = partial;
+      }
+      return;
+    }
+    // Bound: every unscheduled task still needs its full-parallelism tail
+    // after its known-predecessor completions.
+    double bound = partial_makespan;
+    for (int j = 0; j < n_; ++j) {
+      const auto ju = static_cast<std::size_t>(j);
+      if (done[ju]) continue;
+      double ready = 0.0;
+      for (graph::NodeId p : instance_.dag.predecessors(j)) {
+        if (done[static_cast<std::size_t>(p)]) {
+          ready = std::max(ready, partial.completion(instance_, p));
+        }
+      }
+      bound = std::max(bound, ready + tail_[ju]);
+    }
+    if (bound >= best_makespan_ - 1e-12) return;
+
+    for (int j = 0; j < n_; ++j) {
+      const auto ju = static_cast<std::size_t>(j);
+      if (done[ju] || pending[ju] != 0) continue;
+      double ready = 0.0;
+      for (graph::NodeId p : instance_.dag.predecessors(j)) {
+        ready = std::max(ready, partial.completion(instance_, p));
+      }
+      for (int l = 1; l <= instance_.m; ++l) {
+        const double duration = instance_.task(j).processing_time(l);
+        // Skip dominated allotments: same duration as l-1 but more
+        // processors can never help a regular objective.
+        if (l > 1 && duration >= instance_.task(j).processing_time(l - 1) - 1e-12) {
+          continue;
+        }
+        core::ResourceTimeline next_timeline = timeline;
+        const double start = next_timeline.earliest_fit(ready, duration, l);
+        next_timeline.place(start, duration, l);
+        partial.start[ju] = start;
+        partial.allotment[ju] = l;
+        done[ju] = true;
+        for (graph::NodeId s : instance_.dag.successors(j)) {
+          --pending[static_cast<std::size_t>(s)];
+        }
+        branch(placed + 1, std::max(partial_makespan, start + duration), pending, done,
+               partial, next_timeline);
+        for (graph::NodeId s : instance_.dag.successors(j)) {
+          ++pending[static_cast<std::size_t>(s)];
+        }
+        done[ju] = false;
+      }
+    }
+  }
+
+  const model::Instance& instance_;
+  ExactOptions opt_;
+  int n_;
+  std::vector<double> tail_;
+  double best_makespan_ = 0.0;
+  core::Schedule best_schedule_;
+  long nodes_ = 0;
+};
+
+}  // namespace
+
+std::optional<ExactResult> exact_optimal_schedule(const model::Instance& instance,
+                                                  const ExactOptions& options) {
+  model::validate_instance(instance);
+  if (instance.num_tasks() > options.max_tasks) return std::nullopt;
+  if (instance.num_tasks() == 0) {
+    ExactResult empty;
+    return empty;
+  }
+  ExactSearch search(instance, options);
+  return search.run();
+}
+
+}  // namespace malsched::baselines

@@ -1,0 +1,38 @@
+// Exact optimal makespan for tiny instances via branch-and-bound.
+//
+// The problem is strongly NP-hard already for m = 3 (Du & Leung), so this is
+// only for ground-truthing: experiments E7 and the end-to-end tests compare
+// the approximation algorithm against true OPT on instances with <= 8 tasks.
+//
+// Search space: serial schedule-generation scheme — repeatedly pick a ready
+// task AND an allotment l in {1..m}, place the task at its earliest feasible
+// start. For a fixed allotment vector this enumerates all active schedules,
+// which are known to contain an optimum for regular objectives; branching
+// over l additionally covers every allotment. Pruning: longest remaining
+// path at full parallelism plus the partial makespan.
+#pragma once
+
+#include <optional>
+
+#include "core/schedule.hpp"
+#include "model/instance.hpp"
+
+namespace malsched::baselines {
+
+struct ExactOptions {
+  int max_tasks = 9;             ///< refuse larger instances
+  long node_limit = 20'000'000;  ///< search-tree safety valve
+};
+
+struct ExactResult {
+  double optimal_makespan = 0.0;
+  core::Schedule schedule;
+  long nodes_explored = 0;
+  bool proven_optimal = true;  ///< false if the node limit was hit
+};
+
+/// std::nullopt when the instance exceeds options.max_tasks.
+std::optional<ExactResult> exact_optimal_schedule(const model::Instance& instance,
+                                                  const ExactOptions& options = {});
+
+}  // namespace malsched::baselines

@@ -1,0 +1,34 @@
+// Allotments: the per-task processor counts decided in Phase 1 / Phase 2.
+#pragma once
+
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "model/instance.hpp"
+
+namespace malsched::core {
+
+/// allotment[j] = number of processors given to task j (1..m).
+using Allotment = std::vector<int>;
+
+/// Total work W = sum_j allotment[j] * p_j(allotment[j]).
+inline double total_work(const model::Instance& instance, const Allotment& allotment) {
+  double work = 0.0;
+  for (int j = 0; j < instance.num_tasks(); ++j) {
+    work += instance.task(j).work(allotment[static_cast<std::size_t>(j)]);
+  }
+  return work;
+}
+
+/// Critical path length L under the allotment's processing times.
+inline double critical_path(const model::Instance& instance,
+                            const Allotment& allotment) {
+  std::vector<double> weights(static_cast<std::size_t>(instance.num_tasks()));
+  for (int j = 0; j < instance.num_tasks(); ++j) {
+    weights[static_cast<std::size_t>(j)] =
+        instance.task(j).processing_time(allotment[static_cast<std::size_t>(j)]);
+  }
+  return graph::longest_path(instance.dag, weights);
+}
+
+}  // namespace malsched::core

@@ -1,0 +1,228 @@
+#include "core/allotment_lp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/work_function.hpp"
+#include "support/assert.hpp"
+
+namespace malsched::core {
+
+namespace {
+
+/// Indices of the LP (9) variable layout.
+struct VarLayout {
+  int x(int j) const { return 3 * j; }
+  int completion(int j) const { return 3 * j + 1; }
+  int work(int j) const { return 3 * j + 2; }
+  int length(int n) const { return 3 * n; }     // L
+  int makespan(int n) const { return 3 * n + 1; }  // C
+};
+
+/// Subsampled work pieces: always keeps the outermost pieces so the envelope
+/// stays anchored at both ends of [p(m), p(1)].
+std::vector<model::WorkPiece> select_pieces(const model::WorkFunction& wf,
+                                            int stride) {
+  const auto& all = wf.pieces();
+  if (stride <= 1 || all.size() <= 2) return all;
+  std::vector<model::WorkPiece> kept;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (i == 0 || i + 1 == all.size() || i % static_cast<std::size_t>(stride) == 0) {
+      kept.push_back(all[i]);
+    }
+  }
+  return kept;
+}
+
+}  // namespace
+
+lp::Model build_allotment_lp(const model::Instance& instance, int piece_stride) {
+  MALSCHED_ASSERT(piece_stride >= 1);
+  const int n = instance.num_tasks();
+  const int m = instance.m;
+  lp::Model model;
+  VarLayout vars;
+
+  for (int j = 0; j < n; ++j) {
+    const model::MalleableTask& task = instance.task(j);
+    const int xj = model.add_variable(task.processing_time(m), task.processing_time(1),
+                                      0.0, "x" + std::to_string(j));
+    const int cj = model.add_variable(0.0, lp::kInfinity, 0.0, "C" + std::to_string(j));
+    // Work is at least W(1) = p(1) (the minimum over the whole domain by
+    // Theorem 2.1); the affine pieces sharpen this except when m = 1.
+    const int wj =
+        model.add_variable(task.work(1), lp::kInfinity, 0.0, "w" + std::to_string(j));
+    MALSCHED_ASSERT(xj == vars.x(j) && cj == vars.completion(j) && wj == vars.work(j));
+  }
+  const int length_var = model.add_variable(0.0, lp::kInfinity, 0.0, "L");
+  const int makespan_var = model.add_variable(0.0, lp::kInfinity, 1.0, "C");
+  MALSCHED_ASSERT(length_var == vars.length(n) && makespan_var == vars.makespan(n));
+
+  for (int j = 0; j < n; ++j) {
+    // Precedence: C_i + x_j <= C_j; sources get x_j <= C_j.
+    if (instance.dag.predecessors(j).empty()) {
+      model.add_constraint({{vars.x(j), 1.0}, {vars.completion(j), -1.0}},
+                           lp::Sense::kLessEqual, 0.0);
+    } else {
+      for (graph::NodeId i : instance.dag.predecessors(j)) {
+        model.add_constraint({{vars.completion(i), 1.0},
+                              {vars.x(j), 1.0},
+                              {vars.completion(j), -1.0}},
+                             lp::Sense::kLessEqual, 0.0);
+      }
+    }
+    // C_j <= L; only sinks need the row — for any other task it is implied
+    // through its successors since processing times are positive.
+    if (instance.dag.successors(j).empty()) {
+      model.add_constraint({{vars.completion(j), 1.0}, {length_var, -1.0}},
+                           lp::Sense::kLessEqual, 0.0);
+    }
+    // Work envelope pieces (eq. 8): slope * x_j + intercept <= w_j.
+    const model::WorkFunction wf(instance.task(j));
+    for (const model::WorkPiece& piece : select_pieces(wf, piece_stride)) {
+      model.add_constraint({{vars.x(j), piece.slope}, {vars.work(j), -1.0}},
+                           lp::Sense::kLessEqual, -piece.intercept);
+    }
+  }
+  // L <= C.
+  model.add_constraint({{length_var, 1.0}, {makespan_var, -1.0}},
+                       lp::Sense::kLessEqual, 0.0);
+  // sum_j w_j <= m C.
+  std::vector<lp::Term> load;
+  load.reserve(static_cast<std::size_t>(n) + 1);
+  for (int j = 0; j < n; ++j) load.emplace_back(vars.work(j), 1.0);
+  load.emplace_back(makespan_var, -static_cast<double>(m));
+  model.add_constraint(std::move(load), lp::Sense::kLessEqual, 0.0);
+  return model;
+}
+
+namespace {
+
+FractionalAllotment extract_solution(const model::Instance& instance,
+                                     const lp::Solution& solution, double lower_bound) {
+  const int n = instance.num_tasks();
+  VarLayout vars;
+  FractionalAllotment out;
+  out.x.resize(static_cast<std::size_t>(n));
+  out.completion.resize(static_cast<std::size_t>(n));
+  out.total_work = 0.0;
+  for (int j = 0; j < n; ++j) {
+    const model::MalleableTask& task = instance.task(j);
+    const double xj = std::clamp(solution.x[static_cast<std::size_t>(vars.x(j))],
+                                 task.processing_time(instance.m),
+                                 task.processing_time(1));
+    out.x[static_cast<std::size_t>(j)] = xj;
+    out.completion[static_cast<std::size_t>(j)] =
+        solution.x[static_cast<std::size_t>(vars.completion(j))];
+    // Recompute the work from the true envelope rather than trusting the
+    // LP's w-bar (which may sit above it when the load constraint is slack).
+    out.total_work += model::WorkFunction(task).value(xj);
+  }
+  out.critical_path = solution.x[static_cast<std::size_t>(vars.length(n))];
+  out.lower_bound = lower_bound;
+  out.lp_iterations = solution.iterations;
+  return out;
+}
+
+/// Deadline-probe LP for the binary-search mode: minimize total work subject
+/// to the critical path meeting the deadline T. Same per-task variable
+/// layout as LP (9) but no L / C variables.
+lp::Model build_probe_lp(const model::Instance& instance, double deadline) {
+  const int n = instance.num_tasks();
+  lp::Model model;
+  VarLayout vars;
+  for (int j = 0; j < n; ++j) {
+    const model::MalleableTask& task = instance.task(j);
+    model.add_variable(task.processing_time(instance.m), task.processing_time(1), 0.0);
+    model.add_variable(0.0, deadline, 0.0);
+    model.add_variable(task.work(1), lp::kInfinity, 1.0);  // objective: total work
+  }
+  for (int j = 0; j < n; ++j) {
+    if (instance.dag.predecessors(j).empty()) {
+      model.add_constraint({{vars.x(j), 1.0}, {vars.completion(j), -1.0}},
+                           lp::Sense::kLessEqual, 0.0);
+    } else {
+      for (graph::NodeId i : instance.dag.predecessors(j)) {
+        model.add_constraint({{vars.completion(i), 1.0},
+                              {vars.x(j), 1.0},
+                              {vars.completion(j), -1.0}},
+                             lp::Sense::kLessEqual, 0.0);
+      }
+    }
+    const model::WorkFunction wf(instance.task(j));
+    for (const model::WorkPiece& piece : wf.pieces()) {
+      model.add_constraint({{vars.x(j), piece.slope}, {vars.work(j), -1.0}},
+                           lp::Sense::kLessEqual, -piece.intercept);
+    }
+  }
+  return model;
+}
+
+FractionalAllotment solve_by_bisection(const model::Instance& instance,
+                                       const AllotmentLpOptions& options) {
+  const int n = instance.num_tasks();
+  const int m = instance.m;
+  // Feasible upper deadline: all tasks sequentialized at one processor.
+  std::vector<double> p1(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) p1[static_cast<std::size_t>(j)] = instance.task(j).processing_time(1);
+  const double path_p1 = graph::longest_path(instance.dag, p1);
+  double hi = std::max(path_p1, instance.min_total_work() / m);
+  double lo = instance.trivial_lower_bound();
+  MALSCHED_ASSERT(lo <= hi + 1e-9);
+
+  lp::Solution best_solution;
+  int solves = 0;
+  long iterations = 0;
+  // Ensure hi is actually feasible before bisecting (it is by construction,
+  // but the LP probe also has to succeed numerically).
+  auto probe = [&](double deadline, lp::Solution& out) {
+    const lp::Model model = build_probe_lp(instance, deadline);
+    out = lp::solve_simplex(model, options.simplex);
+    ++solves;
+    iterations += out.iterations;
+    return out.status == lp::SolveStatus::kOptimal &&
+           out.objective <= m * deadline * (1.0 + 1e-9);
+  };
+  MALSCHED_ASSERT_MSG(probe(hi, best_solution), "upper deadline probe failed");
+  double best_deadline = hi;
+
+  while (hi - lo > options.bisection_tolerance * std::max(1.0, hi)) {
+    const double mid = 0.5 * (lo + hi);
+    lp::Solution probe_solution;
+    if (probe(mid, probe_solution)) {
+      hi = mid;
+      best_solution = std::move(probe_solution);
+      best_deadline = mid;
+    } else {
+      lo = mid;
+    }
+  }
+
+  FractionalAllotment out = extract_solution(instance, best_solution, best_deadline);
+  out.lp_solves = solves;
+  out.lp_iterations = iterations;
+  // The probe minimizes work, not L; recompute L* from the completion times.
+  double length = 0.0;
+  for (double c : out.completion) length = std::max(length, c);
+  out.critical_path = length;
+  return out;
+}
+
+}  // namespace
+
+FractionalAllotment solve_allotment_lp(const model::Instance& instance,
+                                       const AllotmentLpOptions& options) {
+  model::validate_instance(instance);
+  if (options.mode == LpMode::kBinarySearch) {
+    return solve_by_bisection(instance, options);
+  }
+  const lp::Model model = build_allotment_lp(instance, options.piece_stride);
+  const lp::Solution solution = lp::solve_simplex(model, options.simplex);
+  MALSCHED_ASSERT_MSG(solution.status == lp::SolveStatus::kOptimal,
+                      "allotment LP must be feasible and bounded");
+  FractionalAllotment out = extract_solution(instance, solution, solution.objective);
+  out.lp_solves = 1;
+  return out;
+}
+
+}  // namespace malsched::core

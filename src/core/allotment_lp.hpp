@@ -1,0 +1,63 @@
+// Phase 1 of the algorithm: the allotment linear program, LP (9).
+//
+// Variables (per task j): fractional processing time x_j in [p_j(m), p_j(1)],
+// completion time C_j, and work envelope w-bar_j; globals: critical path
+// length L and makespan proxy C. Constraints:
+//   C_i + x_j <= C_j            for every arc (i, j)      (precedence)
+//   x_j <= C_j                  for source tasks          (implied start >= 0)
+//   C_j <= L                    for every task
+//   piece_l(x_j) <= w-bar_j     for l = 1..m-1            (eq. 8, convexity)
+//   L <= C
+//   sum_j w-bar_j <= m C                                  (average load)
+// minimizing C. By (11), the optimum C* satisfies
+// max{L*, W*/m} <= C* <= OPT, so C* is the lower bound every ratio in the
+// paper is measured against.
+//
+// The paper's Remark in Section 3.1 highlights that embedding L and C in a
+// single LP avoids the binary search of [18]; kBinarySearch reproduces that
+// older design (minimize total work for a fixed deadline T, bisect on T)
+// for the E5 ablation.
+#pragma once
+
+#include "core/allotment.hpp"
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+#include "model/instance.hpp"
+
+namespace malsched::core {
+
+enum class LpMode {
+  kDirect,        ///< single LP with embedded L and C (the paper's design)
+  kBinarySearch,  ///< bisection on the deadline, one LP per probe ([18] style)
+};
+
+struct FractionalAllotment {
+  std::vector<double> x;           ///< optimal fractional processing times
+  std::vector<double> completion;  ///< fractional completion times C_j
+  double critical_path = 0.0;      ///< L*
+  double total_work = 0.0;         ///< W* = sum_j w_j(x*_j)
+  double lower_bound = 0.0;        ///< C* >= max{L*, W*/m}; C* <= OPT
+  long lp_iterations = 0;
+  int lp_solves = 1;
+};
+
+struct AllotmentLpOptions {
+  LpMode mode = LpMode::kDirect;
+  /// Keep every piece_stride-th work piece (1 = exact envelope; larger
+  /// values relax the LP for speed; the bound stays valid).
+  int piece_stride = 1;
+  /// Relative termination width of the kBinarySearch bisection.
+  double bisection_tolerance = 1e-6;
+  lp::SimplexOptions simplex;
+};
+
+/// Builds LP (9) for the instance (exposed for tests; `solve_allotment_lp`
+/// is the normal entry point). Variable layout: x_j at 3j, C_j at 3j+1,
+/// w-bar_j at 3j+2, then L, then C.
+lp::Model build_allotment_lp(const model::Instance& instance, int piece_stride = 1);
+
+/// Solves Phase 1 and returns the fractional allotment data.
+FractionalAllotment solve_allotment_lp(const model::Instance& instance,
+                                       const AllotmentLpOptions& options = {});
+
+}  // namespace malsched::core

@@ -1,0 +1,73 @@
+#include "core/export.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace malsched::core {
+
+void write_schedule_csv(std::ostream& os, const model::Instance& instance,
+                        const Schedule& schedule) {
+  os << "task,name,processors,start,finish,duration\n";
+  for (int j = 0; j < instance.num_tasks(); ++j) {
+    const auto ju = static_cast<std::size_t>(j);
+    const double start = schedule.start[ju];
+    const double finish = schedule.completion(instance, j);
+    os << j << ',' << instance.task(j).name() << ','
+       << schedule.allotment[ju] << ',' << start << ',' << finish << ','
+       << finish - start << '\n';
+  }
+}
+
+void write_schedule_trace_json(std::ostream& os, const model::Instance& instance,
+                               const Schedule& schedule) {
+  // Greedy lane assignment: processors are anonymous in the model, so we
+  // pack each task's l_j lanes into the lowest-indexed processors free over
+  // its execution interval. Feasible schedules always fit within m lanes.
+  const int n = instance.num_tasks();
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) order[static_cast<std::size_t>(j)] = j;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return schedule.start[static_cast<std::size_t>(a)] <
+           schedule.start[static_cast<std::size_t>(b)];
+  });
+  std::vector<double> lane_free(static_cast<std::size_t>(instance.m), 0.0);
+  std::vector<std::vector<int>> lanes(static_cast<std::size_t>(n));
+
+  for (int j : order) {
+    const auto ju = static_cast<std::size_t>(j);
+    const double start = schedule.start[ju];
+    const double finish = schedule.completion(instance, j);
+    int needed = schedule.allotment[ju];
+    for (int lane = 0; lane < instance.m && needed > 0; ++lane) {
+      if (lane_free[static_cast<std::size_t>(lane)] <= start + 1e-9) {
+        lane_free[static_cast<std::size_t>(lane)] = finish;
+        lanes[ju].push_back(lane);
+        --needed;
+      }
+    }
+    MALSCHED_ASSERT_MSG(needed == 0, "lane packing failed on a feasible schedule");
+  }
+
+  os << "[";
+  bool first = true;
+  for (int j = 0; j < n; ++j) {
+    const auto ju = static_cast<std::size_t>(j);
+    const double start_us = schedule.start[ju] * 1e6;
+    const double dur_us =
+        instance.task(j).processing_time(schedule.allotment[ju]) * 1e6;
+    std::string name = instance.task(j).name();
+    if (name.empty()) name = "J" + std::to_string(j);
+    for (int lane : lanes[ju]) {
+      if (!first) os << ",";
+      first = false;
+      os << "\n  {\"name\": \"" << name << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+         << lane << ", \"ts\": " << start_us << ", \"dur\": " << dur_us << "}";
+    }
+  }
+  os << "\n]\n";
+}
+
+}  // namespace malsched::core

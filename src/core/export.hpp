@@ -1,0 +1,23 @@
+// Schedule exporters: CSV for spreadsheets/scripts and Chrome tracing JSON
+// (load in chrome://tracing or Perfetto) for visual inspection of the
+// processor-time layout.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/schedule.hpp"
+#include "model/instance.hpp"
+
+namespace malsched::core {
+
+/// One row per task: id,name,processors,start,finish,duration.
+void write_schedule_csv(std::ostream& os, const model::Instance& instance,
+                        const Schedule& schedule);
+
+/// Chrome tracing "X" (complete) events, one lane per processor slot the
+/// task occupies (tid = lowest processor index assigned by a greedy lane
+/// packing; purely cosmetic — the model has anonymous processors).
+void write_schedule_trace_json(std::ostream& os, const model::Instance& instance,
+                               const Schedule& schedule);
+
+}  // namespace malsched::core

@@ -1,0 +1,95 @@
+#include "core/heavy_path.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace malsched::core {
+
+namespace {
+
+/// T1/T2 intervals (at most m - mu busy), oldest first.
+std::vector<UsageInterval> light_slots(const model::Instance& instance,
+                                       const Schedule& schedule, int mu) {
+  std::vector<UsageInterval> slots;
+  for (const UsageInterval& interval : usage_profile(instance, schedule)) {
+    if (interval.busy <= instance.m - mu) slots.push_back(interval);
+  }
+  return slots;
+}
+
+}  // namespace
+
+std::vector<int> heavy_path(const model::Instance& instance, const Schedule& schedule,
+                            int mu) {
+  const int n = instance.num_tasks();
+  if (n == 0) return {};
+  const auto slots = light_slots(instance, schedule, mu);
+
+  // Last path task: any task completing at the makespan.
+  int current = 0;
+  double cmax = schedule.completion(instance, 0);
+  for (int j = 1; j < n; ++j) {
+    const double c = schedule.completion(instance, j);
+    if (c > cmax) {
+      cmax = c;
+      current = j;
+    }
+  }
+
+  std::vector<int> path{current};
+  for (;;) {
+    const double tau = schedule.start[static_cast<std::size_t>(current)];
+    // Latest light slot strictly before tau.
+    const UsageInterval* slot = nullptr;
+    for (const UsageInterval& candidate : slots) {
+      if (candidate.begin < tau - 1e-12) slot = &candidate;
+    }
+    if (slot == nullptr) break;  // current starts before every light slot
+    // Sample instant inside the part of the slot before tau.
+    const double hi = std::min(slot->end, tau);
+    const double sample = slot->begin + 0.5 * (hi - slot->begin);
+    int next = -1;
+    int fallback = -1;
+    double latest_completion = -1.0;
+    for (graph::NodeId p : instance.dag.predecessors(current)) {
+      const auto pu = static_cast<std::size_t>(p);
+      const double s = schedule.start[pu];
+      const double c = schedule.completion(instance, p);
+      if (s <= sample + 1e-12 && sample < c - 1e-12) {
+        next = p;  // predecessor running during the slot (Lemma 4.3 case)
+        break;
+      }
+      if (c > latest_completion) {
+        latest_completion = c;
+        fallback = p;
+      }
+    }
+    if (next == -1) next = fallback;  // defensive: non-LIST schedules
+    if (next == -1) break;            // no predecessors: current is a source
+    path.push_back(next);
+    current = next;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+bool heavy_path_covers_light_slots(const model::Instance& instance,
+                                   const Schedule& schedule, int mu,
+                                   const std::vector<int>& path) {
+  for (const UsageInterval& slot : light_slots(instance, schedule, mu)) {
+    bool covered = false;
+    for (int j : path) {
+      const auto ju = static_cast<std::size_t>(j);
+      if (schedule.start[ju] <= slot.begin + 1e-9 &&
+          schedule.completion(instance, j) >= slot.end - 1e-9) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+}  // namespace malsched::core

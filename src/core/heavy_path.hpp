@@ -1,0 +1,34 @@
+// The "heavy path" construction from the proof of Lemma 4.3 (Fig. 2).
+//
+// Starting from a task that completes at the makespan, the construction
+// walks backwards: for the latest T1-or-T2 time slot before the current
+// task's start, some predecessor must be running during that slot (otherwise
+// the current task would have been started earlier by LIST — fewer than
+// m - mu + 1 processors are busy and the task needs at most mu). That
+// predecessor is appended and the walk repeats. The resulting directed path
+// covers every T1/T2 slot of the schedule, which is what turns slot lengths
+// into critical-path length in the ratio proof.
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "model/instance.hpp"
+
+namespace malsched::core {
+
+/// Tasks of the heavy path in execution order. Requires a feasible schedule
+/// produced by LIST with cap mu (for other schedules the predecessor-running
+/// invariant may fail; the walk then falls back to the latest-completing
+/// predecessor and still returns a directed path).
+std::vector<int> heavy_path(const model::Instance& instance, const Schedule& schedule,
+                            int mu);
+
+/// True iff every T1/T2 usage interval of the schedule is contained in the
+/// execution interval of some path task (the covering property of
+/// Lemma 4.3).
+bool heavy_path_covers_light_slots(const model::Instance& instance,
+                                   const Schedule& schedule, int mu,
+                                   const std::vector<int>& path);
+
+}  // namespace malsched::core

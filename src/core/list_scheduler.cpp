@@ -1,0 +1,104 @@
+#include "core/list_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/timeline.hpp"
+#include "support/assert.hpp"
+
+namespace malsched::core {
+
+Schedule list_schedule(const model::Instance& instance, const Allotment& alpha_prime,
+                       int mu, ListPriority priority) {
+  const int n = instance.num_tasks();
+  MALSCHED_ASSERT(static_cast<int>(alpha_prime.size()) == n);
+  MALSCHED_ASSERT(mu >= 1 && mu <= instance.m);
+
+  // The second-phase allotment alpha: l_j = min(l'_j, mu).
+  Allotment allotment(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    const int lp = alpha_prime[static_cast<std::size_t>(j)];
+    MALSCHED_ASSERT(lp >= 1 && lp <= instance.m);
+    allotment[static_cast<std::size_t>(j)] = std::min(lp, mu);
+  }
+
+  // Bottom levels (longest tail through successors, inclusive) under the
+  // capped allotment, for the kCriticalPathFirst rule.
+  std::vector<double> bottom_level(static_cast<std::size_t>(n), 0.0);
+  if (priority == ListPriority::kCriticalPathFirst) {
+    const auto order = graph::topological_order(instance.dag);
+    MALSCHED_ASSERT(order.has_value());
+    for (auto it = order->rbegin(); it != order->rend(); ++it) {
+      const int v = *it;
+      const auto vu = static_cast<std::size_t>(v);
+      double best_succ = 0.0;
+      for (graph::NodeId s : instance.dag.successors(v)) {
+        best_succ = std::max(best_succ, bottom_level[static_cast<std::size_t>(s)]);
+      }
+      bottom_level[vu] = instance.task(v).processing_time(allotment[vu]) + best_succ;
+    }
+  }
+
+  Schedule schedule;
+  schedule.allotment = allotment;
+  schedule.start.assign(static_cast<std::size_t>(n), 0.0);
+
+  std::vector<int> unscheduled_preds(static_cast<std::size_t>(n), 0);
+  std::vector<double> ready_time(static_cast<std::size_t>(n), 0.0);
+  std::vector<bool> scheduled(static_cast<std::size_t>(n), false);
+  std::vector<int> ready;
+  for (int j = 0; j < n; ++j) {
+    unscheduled_preds[static_cast<std::size_t>(j)] =
+        static_cast<int>(instance.dag.predecessors(j).size());
+    if (unscheduled_preds[static_cast<std::size_t>(j)] == 0) ready.push_back(j);
+  }
+
+  ResourceTimeline timeline(instance.m);
+  for (int placed = 0; placed < n; ++placed) {
+    MALSCHED_ASSERT_MSG(!ready.empty(), "cycle in precedence graph");
+    // Earliest feasible start for each ready task under the current partial
+    // schedule; pick the smallest (ties: smallest task id, matching the
+    // deterministic variant of Graham's rule).
+    int best = -1;
+    double best_start = std::numeric_limits<double>::infinity();
+    for (int candidate : ready) {
+      const auto cu = static_cast<std::size_t>(candidate);
+      const double duration =
+          instance.task(candidate).processing_time(allotment[cu]);
+      const double est =
+          timeline.earliest_fit(ready_time[cu], duration, allotment[cu]);
+      bool better = est < best_start - 1e-12;
+      if (!better && est < best_start + 1e-12 && best >= 0) {
+        if (priority == ListPriority::kCriticalPathFirst) {
+          const double cand_level = bottom_level[cu];
+          const double best_level = bottom_level[static_cast<std::size_t>(best)];
+          better = cand_level > best_level + 1e-12 ||
+                   (cand_level > best_level - 1e-12 && candidate < best);
+        } else {
+          better = candidate < best;
+        }
+      }
+      if (better) {
+        best = candidate;
+        best_start = est;
+      }
+    }
+    MALSCHED_ASSERT(best >= 0);
+    const auto bu = static_cast<std::size_t>(best);
+    const double duration = instance.task(best).processing_time(allotment[bu]);
+    timeline.place(best_start, duration, allotment[bu]);
+    schedule.start[bu] = best_start;
+    scheduled[bu] = true;
+    ready.erase(std::find(ready.begin(), ready.end(), best));
+
+    const double completion = best_start + duration;
+    for (graph::NodeId succ : instance.dag.successors(best)) {
+      const auto su = static_cast<std::size_t>(succ);
+      ready_time[su] = std::max(ready_time[su], completion);
+      if (--unscheduled_preds[su] == 0) ready.push_back(succ);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace malsched::core

@@ -1,0 +1,54 @@
+#include "core/rounding.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/assumptions.hpp"
+#include "model/work_function.hpp"
+#include "support/assert.hpp"
+
+namespace malsched::core {
+
+Allotment round_fractional(const model::Instance& instance,
+                           const std::vector<double>& fractional_times, double rho) {
+  MALSCHED_ASSERT(rho >= 0.0 && rho <= 1.0);
+  const int n = instance.num_tasks();
+  MALSCHED_ASSERT(static_cast<int>(fractional_times.size()) == n);
+
+  Allotment allotment(static_cast<std::size_t>(n), 1);
+  for (int j = 0; j < n; ++j) {
+    const model::MalleableTask& task = instance.task(j);
+    const int m = task.max_processors();
+    const double x =
+        std::clamp(fractional_times[static_cast<std::size_t>(j)],
+                   task.processing_time(m), task.processing_time(1));
+    // Smallest l achieving x: if p(l) == x this is an exact breakpoint (and
+    // the minimum-work allotment on a plateau); otherwise x lies strictly
+    // inside (p(l), p(l-1)).
+    const int la = task.smallest_allotment_within(x);
+    const double rel = 1e-9 * (1.0 + task.processing_time(1));
+    int chosen;
+    if (task.processing_time(la) >= x - rel) {
+      chosen = la;  // exact hit
+    } else {
+      MALSCHED_ASSERT(la >= 2);
+      const int l = la - 1;  // bracket [p(l+1), p(l)] with l+1 = la
+      const double critical_time =
+          rho * task.processing_time(l) + (1.0 - rho) * task.processing_time(l + 1);
+      chosen = (x >= critical_time - rel) ? l : l + 1;
+      // Lemma 4.1: the fractional processor count l* = w(x)/x lies in
+      // [l, l+1]. This is a theorem of the (generalized) model — a convex
+      // work envelope — so it is only checked for tasks inside the model;
+      // rounding itself is model-agnostic and stays well-defined outside.
+      if (model::satisfies_generalized_model(task)) {
+        const model::WorkFunction wf(task);
+        const double l_star = wf.fractional_processors(x);
+        MALSCHED_ASSERT(l_star >= l - 1e-6 && l_star <= l + 1 + 1e-6);
+      }
+    }
+    allotment[static_cast<std::size_t>(j)] = chosen;
+  }
+  return allotment;
+}
+
+}  // namespace malsched::core

@@ -1,0 +1,20 @@
+// The rounding step of Phase 1 (Section 3.1).
+//
+// Given the fractional processing times x*_j and the parameter rho in [0,1],
+// each x*_j inside a bracket (p_j(l+1), p_j(l)) is compared to the critical
+// time p_j(l_c) = rho p_j(l) + (1-rho) p_j(l+1): at or above it the task is
+// rounded UP to processing time p_j(l) (fewer processors), below it DOWN to
+// p_j(l+1) (more processors). Lemma 4.2 bounds the damage: durations stretch
+// by at most 2/(1+rho) and works by at most 2/(2-rho).
+#pragma once
+
+#include "core/allotment.hpp"
+#include "model/instance.hpp"
+
+namespace malsched::core {
+
+/// Rounds the fractional solution to the integral allotment alpha'.
+Allotment round_fractional(const model::Instance& instance,
+                           const std::vector<double>& fractional_times, double rho);
+
+}  // namespace malsched::core

@@ -1,0 +1,113 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace malsched::core {
+
+double Schedule::makespan(const model::Instance& instance) const {
+  double cmax = 0.0;
+  for (int j = 0; j < instance.num_tasks(); ++j) cmax = std::max(cmax, completion(instance, j));
+  return cmax;
+}
+
+FeasibilityReport check_schedule(const model::Instance& instance,
+                                 const Schedule& schedule, double tol) {
+  const int n = instance.num_tasks();
+  MALSCHED_ASSERT(static_cast<int>(schedule.start.size()) == n);
+  MALSCHED_ASSERT(static_cast<int>(schedule.allotment.size()) == n);
+
+  for (int j = 0; j < n; ++j) {
+    const int l = schedule.allotment[static_cast<std::size_t>(j)];
+    if (l < 1 || l > instance.m) {
+      std::ostringstream os;
+      os << "task " << j << " allotted " << l << " processors (m = " << instance.m << ")";
+      return {false, os.str()};
+    }
+    if (schedule.start[static_cast<std::size_t>(j)] < -tol) {
+      std::ostringstream os;
+      os << "task " << j << " starts at negative time";
+      return {false, os.str()};
+    }
+  }
+
+  // Precedence.
+  for (int j = 0; j < n; ++j) {
+    for (graph::NodeId p : instance.dag.predecessors(j)) {
+      if (schedule.completion(instance, p) > schedule.start[static_cast<std::size_t>(j)] + tol) {
+        std::ostringstream os;
+        os << "precedence violated: task " << p << " completes at "
+           << schedule.completion(instance, p) << " but task " << j << " starts at "
+           << schedule.start[static_cast<std::size_t>(j)];
+        return {false, os.str()};
+      }
+    }
+  }
+
+  // Capacity: sweep the usage profile.
+  for (const UsageInterval& interval : usage_profile(instance, schedule)) {
+    if (interval.busy > instance.m) {
+      std::ostringstream os;
+      os << interval.busy << " processors busy in [" << interval.begin << ", "
+         << interval.end << ") with m = " << instance.m;
+      return {false, os.str()};
+    }
+  }
+  return {};
+}
+
+std::vector<UsageInterval> usage_profile(const model::Instance& instance,
+                                         const Schedule& schedule) {
+  const int n = instance.num_tasks();
+  std::vector<std::pair<double, int>> events;  // (time, +/- processors)
+  events.reserve(static_cast<std::size_t>(2 * n));
+  for (int j = 0; j < n; ++j) {
+    const auto ju = static_cast<std::size_t>(j);
+    const int l = schedule.allotment[ju];
+    events.emplace_back(schedule.start[ju], l);
+    events.emplace_back(schedule.completion(instance, j), -l);
+  }
+  std::sort(events.begin(), events.end());
+
+  std::vector<UsageInterval> profile;
+  int busy = 0;
+  double prev = 0.0;
+  std::size_t i = 0;
+  while (i < events.size()) {
+    const double t = events[i].first;
+    if (t > prev && (busy > 0 || !profile.empty())) {
+      profile.push_back(UsageInterval{prev, t, busy});
+    }
+    // Merge all events at (numerically) the same instant.
+    int delta = 0;
+    while (i < events.size() && events[i].first <= t + 1e-12) {
+      delta += events[i].second;
+      ++i;
+    }
+    busy += delta;
+    prev = t;
+  }
+  MALSCHED_ASSERT_MSG(busy == 0, "usage profile did not return to zero");
+  return profile;
+}
+
+SlotClasses classify_slots(const model::Instance& instance, const Schedule& schedule,
+                           int mu) {
+  MALSCHED_ASSERT(mu >= 1 && 2 * mu <= instance.m + 1);
+  SlotClasses classes;
+  for (const UsageInterval& interval : usage_profile(instance, schedule)) {
+    if (interval.busy <= mu - 1) {
+      classes.t1 += interval.length();
+    } else if (interval.busy <= instance.m - mu) {
+      classes.t2 += interval.length();
+    } else {
+      classes.t3 += interval.length();
+    }
+  }
+  return classes;
+}
+
+}  // namespace malsched::core

@@ -1,0 +1,61 @@
+// Schedules, feasibility checking, and the T1/T2/T3 time-slot taxonomy of
+// the paper's analysis (Section 4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/allotment.hpp"
+#include "model/instance.hpp"
+
+namespace malsched::core {
+
+/// A complete schedule: start time and processor count per task. A task j
+/// occupies allotment[j] processors during [start[j], start[j] + p_j(l_j)).
+struct Schedule {
+  std::vector<double> start;
+  Allotment allotment;
+
+  double completion(const model::Instance& instance, int j) const {
+    return start[static_cast<std::size_t>(j)] +
+           instance.task(j).processing_time(allotment[static_cast<std::size_t>(j)]);
+  }
+
+  double makespan(const model::Instance& instance) const;
+};
+
+struct FeasibilityReport {
+  bool feasible = true;
+  std::string detail;
+};
+
+/// Checks precedence (C_i <= tau_j for all arcs (i,j)) and capacity (at most
+/// m processors busy at every instant).
+FeasibilityReport check_schedule(const model::Instance& instance,
+                                 const Schedule& schedule, double tol = 1e-7);
+
+/// One maximal interval of constant processor usage.
+struct UsageInterval {
+  double begin = 0.0;
+  double end = 0.0;
+  int busy = 0;
+
+  double length() const { return end - begin; }
+};
+
+/// Piecewise-constant usage profile over [0, makespan), including idle gaps.
+std::vector<UsageInterval> usage_profile(const model::Instance& instance,
+                                         const Schedule& schedule);
+
+/// Aggregate lengths of the three slot classes of Section 4 for a cap mu:
+/// T1: <= mu-1 busy; T2: mu..m-mu busy; T3: >= m-mu+1 busy.
+struct SlotClasses {
+  double t1 = 0.0;
+  double t2 = 0.0;
+  double t3 = 0.0;
+};
+
+SlotClasses classify_slots(const model::Instance& instance, const Schedule& schedule,
+                           int mu);
+
+}  // namespace malsched::core

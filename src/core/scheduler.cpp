@@ -1,0 +1,37 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+
+#include "analysis/minmax.hpp"
+#include "support/assert.hpp"
+
+namespace malsched::core {
+
+SchedulerResult schedule_malleable_dag(const model::Instance& instance,
+                                       const SchedulerOptions& options) {
+  model::validate_instance(instance);
+
+  const analysis::ParamChoice defaults = analysis::paper_parameters(instance.m);
+  SchedulerResult result;
+  result.rho = options.rho.value_or(defaults.rho);
+  result.mu = options.mu.value_or(defaults.mu);
+  MALSCHED_ASSERT(result.rho >= 0.0 && result.rho <= 1.0);
+  MALSCHED_ASSERT(result.mu >= 1 && 2 * result.mu <= instance.m + 1);
+
+  // Phase 1: fractional allotment + rounding.
+  result.fractional = solve_allotment_lp(instance, options.lp);
+  result.alpha_prime = round_fractional(instance, result.fractional.x, result.rho);
+
+  // Phase 2: mu-capped list scheduling.
+  result.schedule =
+      list_schedule(instance, result.alpha_prime, result.mu, options.priority);
+  result.makespan = result.schedule.makespan(instance);
+
+  MALSCHED_ASSERT(result.fractional.lower_bound > 0.0);
+  result.ratio_vs_lower_bound = result.makespan / result.fractional.lower_bound;
+  result.guaranteed_ratio =
+      analysis::ratio_bound(instance.m, result.mu, result.rho);
+  return result;
+}
+
+}  // namespace malsched::core

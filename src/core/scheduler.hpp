@@ -1,0 +1,54 @@
+// Top-level driver: the complete two-phase Jansen-Zhang approximation
+// algorithm for scheduling malleable tasks with precedence constraints.
+//
+// Pipeline (Section 3):
+//   0. pick (rho, mu) from m — analysis::paper_parameters, or overrides;
+//   1. solve LP (9) -> fractional times x*, lower bound C*;
+//      round with rho -> allotment alpha';
+//   2. cap at mu and LIST-schedule -> final feasible schedule.
+//
+// The result carries the LP lower bound C* (<= OPT by (11)), so
+// makespan / C* is an instance-wise certificate of the approximation
+// quality; Theorem 4.1 guarantees it never exceeds ratio_bound(m, mu, rho)
+// <= 3.291919 when the instance satisfies Assumptions 1 and 2.
+#pragma once
+
+#include <optional>
+
+#include "core/allotment_lp.hpp"
+#include "core/list_scheduler.hpp"
+#include "core/rounding.hpp"
+#include "core/schedule.hpp"
+#include "model/instance.hpp"
+
+namespace malsched::core {
+
+struct SchedulerOptions {
+  /// Rounding parameter; defaults to the paper's rho(m) (0.26 for m >= 5).
+  std::optional<double> rho;
+  /// Allotment cap; defaults to the paper's mu(m) from eq. (20).
+  std::optional<int> mu;
+  /// READY-task selection rule of Phase 2 (guarantee-preserving).
+  ListPriority priority = ListPriority::kEarliestStart;
+  AllotmentLpOptions lp;
+};
+
+struct SchedulerResult {
+  Schedule schedule;
+  Allotment alpha_prime;          ///< Phase-1 allotment (before the mu cap)
+  FractionalAllotment fractional; ///< LP solution and lower bound
+  double rho = 0.0;
+  int mu = 1;
+  double makespan = 0.0;
+  /// makespan / C*: the measured approximation factor against the LP bound.
+  double ratio_vs_lower_bound = 0.0;
+  /// ratio_bound(m, mu, rho): the proven worst-case factor for these
+  /// parameters.
+  double guaranteed_ratio = 0.0;
+};
+
+/// Runs the full two-phase algorithm.
+SchedulerResult schedule_malleable_dag(const model::Instance& instance,
+                                       const SchedulerOptions& options = {});
+
+}  // namespace malsched::core

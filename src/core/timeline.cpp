@@ -1,0 +1,83 @@
+#include "core/timeline.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace malsched::core {
+
+namespace {
+constexpr double kTimeEps = 1e-12;
+}
+
+ResourceTimeline::ResourceTimeline(int capacity) : capacity_(capacity) {
+  MALSCHED_ASSERT(capacity >= 1);
+  times_.push_back(0.0);
+  usage_.push_back(0);
+}
+
+std::size_t ResourceTimeline::segment_of(double t) const {
+  // Largest k with times_[k] <= t.
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t + kTimeEps);
+  MALSCHED_ASSERT(it != times_.begin());
+  return static_cast<std::size_t>(it - times_.begin()) - 1;
+}
+
+double ResourceTimeline::earliest_fit(double ready, double duration, int procs) const {
+  MALSCHED_ASSERT(duration > 0.0);
+  MALSCHED_ASSERT(procs >= 1 && procs <= capacity_);
+  MALSCHED_ASSERT(ready >= 0.0);
+
+  double candidate = ready;
+  for (;;) {
+    // Scan segments from `candidate` until the window is covered or blocked.
+    std::size_t k = segment_of(candidate);
+    const double window_end = candidate + duration;
+    bool blocked = false;
+    while (true) {
+      if (usage_[k] + procs > capacity_) {
+        blocked = true;
+        break;
+      }
+      // Segment k spans [times_[k], next); does it reach the window end?
+      const double seg_end =
+          (k + 1 < times_.size()) ? times_[k + 1] : window_end;
+      if (seg_end >= window_end - kTimeEps) break;
+      ++k;
+    }
+    if (!blocked) return candidate;
+    // Retry at the end of the blocking segment.
+    MALSCHED_ASSERT_MSG(k + 1 < times_.size(),
+                        "tail of the timeline must have zero usage");
+    candidate = times_[k + 1];
+  }
+}
+
+void ResourceTimeline::place(double start, double duration, int procs) {
+  MALSCHED_ASSERT(duration > 0.0);
+  const double end = start + duration;
+
+  auto ensure_breakpoint = [this](double t) {
+    const auto it = std::lower_bound(times_.begin(), times_.end(), t - kTimeEps);
+    if (it != times_.end() && std::abs(*it - t) <= kTimeEps) {
+      return static_cast<std::size_t>(it - times_.begin());
+    }
+    const std::size_t pos = static_cast<std::size_t>(it - times_.begin());
+    MALSCHED_ASSERT(pos > 0);
+    times_.insert(times_.begin() + static_cast<std::ptrdiff_t>(pos), t);
+    usage_.insert(usage_.begin() + static_cast<std::ptrdiff_t>(pos),
+                  usage_[pos - 1]);
+    return pos;
+  };
+
+  const std::size_t first = ensure_breakpoint(start);
+  const std::size_t last = ensure_breakpoint(end);
+  for (std::size_t k = first; k < last; ++k) {
+    usage_[k] += procs;
+    MALSCHED_ASSERT_MSG(usage_[k] <= capacity_, "timeline capacity exceeded");
+  }
+}
+
+int ResourceTimeline::usage_at(double t) const { return usage_[segment_of(t)]; }
+
+}  // namespace malsched::core

@@ -1,0 +1,37 @@
+// Resource timeline: piecewise-constant processor usage supporting the LIST
+// scheduler's "earliest feasible start" queries.
+#pragma once
+
+#include <vector>
+
+namespace malsched::core {
+
+/// Tracks how many processors are busy over time while a schedule is being
+/// built. Maintains sorted breakpoints; usage is constant between
+/// consecutive breakpoints and zero after the last.
+class ResourceTimeline {
+ public:
+  explicit ResourceTimeline(int capacity);
+
+  int capacity() const { return capacity_; }
+
+  /// Earliest t >= ready such that `procs` processors are free during the
+  /// whole window [t, t + duration). duration > 0, 1 <= procs <= capacity.
+  double earliest_fit(double ready, double duration, int procs) const;
+
+  /// Reserves `procs` processors during [start, start + duration); asserts
+  /// the window indeed fits.
+  void place(double start, double duration, int procs);
+
+  /// Current usage at time t (for tests).
+  int usage_at(double t) const;
+
+ private:
+  std::size_t segment_of(double t) const;
+
+  int capacity_;
+  std::vector<double> times_;  // breakpoints; times_[0] = 0
+  std::vector<int> usage_;     // usage_[k] on [times_[k], times_[k+1]); last = tail
+};
+
+}  // namespace malsched::core

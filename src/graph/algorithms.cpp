@@ -1,0 +1,134 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/assert.hpp"
+
+namespace malsched::graph {
+
+std::optional<std::vector<NodeId>> topological_order(const Dag& dag) {
+  const int n = dag.num_nodes();
+  std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+  for (NodeId v = 0; v < n; ++v) {
+    indegree[static_cast<std::size_t>(v)] =
+        static_cast<int>(dag.predecessors(v).size());
+  }
+  std::queue<NodeId> ready;
+  for (NodeId v = 0; v < n; ++v) {
+    if (indegree[static_cast<std::size_t>(v)] == 0) ready.push(v);
+  }
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  while (!ready.empty()) {
+    const NodeId v = ready.front();
+    ready.pop();
+    order.push_back(v);
+    for (NodeId w : dag.successors(v)) {
+      if (--indegree[static_cast<std::size_t>(w)] == 0) ready.push(w);
+    }
+  }
+  if (static_cast<int>(order.size()) != n) return std::nullopt;
+  return order;
+}
+
+bool is_acyclic(const Dag& dag) { return topological_order(dag).has_value(); }
+
+std::vector<double> longest_path_to(const Dag& dag,
+                                    const std::vector<double>& node_weights) {
+  MALSCHED_ASSERT(node_weights.size() == static_cast<std::size_t>(dag.num_nodes()));
+  const auto order = topological_order(dag);
+  MALSCHED_ASSERT_MSG(order.has_value(), "longest path requires a DAG");
+  std::vector<double> dist(node_weights.size(), 0.0);
+  for (NodeId v : *order) {
+    const auto vu = static_cast<std::size_t>(v);
+    double best = 0.0;
+    for (NodeId p : dag.predecessors(v)) {
+      best = std::max(best, dist[static_cast<std::size_t>(p)]);
+    }
+    dist[vu] = best + node_weights[vu];
+  }
+  return dist;
+}
+
+double longest_path(const Dag& dag, const std::vector<double>& node_weights) {
+  const auto dist = longest_path_to(dag, node_weights);
+  double best = 0.0;
+  for (double d : dist) best = std::max(best, d);
+  return best;
+}
+
+std::vector<NodeId> critical_path_nodes(const Dag& dag,
+                                        const std::vector<double>& node_weights) {
+  const auto dist = longest_path_to(dag, node_weights);
+  if (dist.empty()) return {};
+  NodeId tail = 0;
+  for (NodeId v = 1; v < dag.num_nodes(); ++v) {
+    if (dist[static_cast<std::size_t>(v)] > dist[static_cast<std::size_t>(tail)]) tail = v;
+  }
+  std::vector<NodeId> path{tail};
+  NodeId current = tail;
+  // Walk backwards, always via the predecessor with the largest ending
+  // distance; by the DP recurrence that predecessor lies on a longest path.
+  while (!dag.predecessors(current).empty()) {
+    NodeId chosen = dag.predecessors(current).front();
+    for (NodeId p : dag.predecessors(current)) {
+      if (dist[static_cast<std::size_t>(p)] > dist[static_cast<std::size_t>(chosen)]) {
+        chosen = p;
+      }
+    }
+    path.push_back(chosen);
+    current = chosen;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<std::vector<bool>> transitive_closure(const Dag& dag) {
+  const int n = dag.num_nodes();
+  std::vector<std::vector<bool>> reach(
+      static_cast<std::size_t>(n), std::vector<bool>(static_cast<std::size_t>(n), false));
+  const auto order = topological_order(dag);
+  MALSCHED_ASSERT(order.has_value());
+  // Process in reverse topological order: reach[v] = union of successors.
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const NodeId v = *it;
+    auto& row = reach[static_cast<std::size_t>(v)];
+    for (NodeId w : dag.successors(v)) {
+      row[static_cast<std::size_t>(w)] = true;
+      const auto& wrow = reach[static_cast<std::size_t>(w)];
+      for (int k = 0; k < n; ++k) {
+        if (wrow[static_cast<std::size_t>(k)]) row[static_cast<std::size_t>(k)] = true;
+      }
+    }
+  }
+  return reach;
+}
+
+Dag transitive_reduction(const Dag& dag) {
+  const int n = dag.num_nodes();
+  const auto reach = transitive_closure(dag);
+  Dag reduced(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId w : dag.successors(v)) {
+      // Edge v->w is redundant iff some other successor u of v reaches w.
+      bool redundant = false;
+      for (NodeId u : dag.successors(v)) {
+        if (u != w && reach[static_cast<std::size_t>(u)][static_cast<std::size_t>(w)]) {
+          redundant = true;
+          break;
+        }
+      }
+      if (!redundant) reduced.add_edge(v, w);
+    }
+  }
+  return reduced;
+}
+
+int height(const Dag& dag) {
+  if (dag.num_nodes() == 0) return 0;
+  const std::vector<double> unit(static_cast<std::size_t>(dag.num_nodes()), 1.0);
+  return static_cast<int>(longest_path(dag, unit) + 0.5);
+}
+
+}  // namespace malsched::graph

@@ -1,0 +1,40 @@
+// Classic DAG algorithms used throughout the scheduler.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/dag.hpp"
+
+namespace malsched::graph {
+
+/// Kahn topological order; std::nullopt when the graph has a cycle.
+std::optional<std::vector<NodeId>> topological_order(const Dag& dag);
+
+bool is_acyclic(const Dag& dag);
+
+/// Longest path (sum of node weights along a directed path, endpoints
+/// included). This is the critical path length L of the paper when weights
+/// are the tasks' processing times. Requires an acyclic graph.
+double longest_path(const Dag& dag, const std::vector<double>& node_weights);
+
+/// Per-node longest path ending at v (inclusive); useful for earliest start
+/// lower bounds.
+std::vector<double> longest_path_to(const Dag& dag,
+                                    const std::vector<double>& node_weights);
+
+/// The actual node sequence of one critical path.
+std::vector<NodeId> critical_path_nodes(const Dag& dag,
+                                        const std::vector<double>& node_weights);
+
+/// Boolean reachability matrix (n^2 bits; for tests and transitive
+/// reduction on moderate graphs).
+std::vector<std::vector<bool>> transitive_closure(const Dag& dag);
+
+/// Copy of `dag` with every edge implied by transitivity removed.
+Dag transitive_reduction(const Dag& dag);
+
+/// Number of nodes on the longest chain (unit weights).
+int height(const Dag& dag);
+
+}  // namespace malsched::graph

@@ -1,0 +1,52 @@
+#include "graph/dag.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace malsched::graph {
+
+Dag::Dag(int num_nodes) {
+  MALSCHED_ASSERT(num_nodes >= 0);
+  successors_.resize(static_cast<std::size_t>(num_nodes));
+  predecessors_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+NodeId Dag::add_node() {
+  successors_.emplace_back();
+  predecessors_.emplace_back();
+  return num_nodes() - 1;
+}
+
+void Dag::add_edge(NodeId from, NodeId to) {
+  MALSCHED_ASSERT(from >= 0 && from < num_nodes());
+  MALSCHED_ASSERT(to >= 0 && to < num_nodes());
+  MALSCHED_ASSERT_MSG(from != to, "self-loop in precedence graph");
+  if (has_edge(from, to)) return;
+  successors_[static_cast<std::size_t>(from)].push_back(to);
+  predecessors_[static_cast<std::size_t>(to)].push_back(from);
+  ++num_edges_;
+}
+
+bool Dag::has_edge(NodeId from, NodeId to) const {
+  const auto& succ = successors_[static_cast<std::size_t>(from)];
+  return std::find(succ.begin(), succ.end(), to) != succ.end();
+}
+
+std::vector<NodeId> Dag::sources() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (predecessors(v).empty()) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<NodeId> Dag::sinks() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (successors(v).empty()) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace malsched::graph

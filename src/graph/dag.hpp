@@ -1,0 +1,50 @@
+// Directed acyclic graph of precedence constraints.
+//
+// Nodes are the tasks J_1..J_n of the paper (0-indexed here); an edge (i, j)
+// means J_j cannot start before J_i completes. The structure is append-only:
+// nodes and edges are added during construction and the graph is immutable
+// during scheduling.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace malsched::graph {
+
+using NodeId = int;
+
+class Dag {
+ public:
+  Dag() = default;
+  explicit Dag(int num_nodes);
+
+  /// Appends an isolated node, returning its id.
+  NodeId add_node();
+
+  /// Adds edge from -> to. Self-loops are rejected; duplicate edges are
+  /// ignored. Acyclicity is NOT checked here (see algorithms::is_acyclic).
+  void add_edge(NodeId from, NodeId to);
+
+  int num_nodes() const { return static_cast<int>(successors_.size()); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  const std::vector<NodeId>& successors(NodeId v) const {
+    return successors_[static_cast<std::size_t>(v)];
+  }
+  const std::vector<NodeId>& predecessors(NodeId v) const {
+    return predecessors_[static_cast<std::size_t>(v)];
+  }
+
+  bool has_edge(NodeId from, NodeId to) const;
+
+  /// Nodes with no predecessors / successors.
+  std::vector<NodeId> sources() const;
+  std::vector<NodeId> sinks() const;
+
+ private:
+  std::vector<std::vector<NodeId>> successors_;
+  std::vector<std::vector<NodeId>> predecessors_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace malsched::graph

@@ -1,0 +1,27 @@
+#include "graph/dot.hpp"
+
+#include <ostream>
+
+#include "support/assert.hpp"
+
+namespace malsched::graph {
+
+void write_dot(std::ostream& os, const Dag& dag,
+               const std::vector<std::string>& labels) {
+  MALSCHED_ASSERT(labels.empty() ||
+                  labels.size() == static_cast<std::size_t>(dag.num_nodes()));
+  os << "digraph precedence {\n  rankdir=TB;\n  node [shape=box];\n";
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    os << "  n" << v;
+    if (!labels.empty()) os << " [label=\"" << labels[static_cast<std::size_t>(v)] << "\"]";
+    os << ";\n";
+  }
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    for (NodeId w : dag.successors(v)) {
+      os << "  n" << v << " -> n" << w << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+}  // namespace malsched::graph

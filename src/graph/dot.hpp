@@ -1,0 +1,17 @@
+// GraphViz DOT export for precedence graphs and schedules.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/dag.hpp"
+
+namespace malsched::graph {
+
+/// Writes `dag` in DOT format. `labels` may be empty (node ids are used) or
+/// contain one label per node.
+void write_dot(std::ostream& os, const Dag& dag,
+               const std::vector<std::string>& labels = {});
+
+}  // namespace malsched::graph

@@ -1,0 +1,264 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "support/assert.hpp"
+
+namespace malsched::graph {
+
+Dag make_chain(int n) {
+  Dag dag(n);
+  for (NodeId v = 0; v + 1 < n; ++v) dag.add_edge(v, v + 1);
+  return dag;
+}
+
+Dag make_independent(int n) { return Dag(n); }
+
+Dag make_fork_join(int n_parallel) {
+  MALSCHED_ASSERT(n_parallel >= 1);
+  Dag dag(n_parallel + 2);
+  const NodeId source = 0;
+  const NodeId sink = n_parallel + 1;
+  for (int i = 1; i <= n_parallel; ++i) {
+    dag.add_edge(source, i);
+    dag.add_edge(i, sink);
+  }
+  return dag;
+}
+
+Dag make_layered(int layers, int width, int max_fan_in, support::Rng& rng) {
+  MALSCHED_ASSERT(layers >= 1 && width >= 1 && max_fan_in >= 1);
+  Dag dag(layers * width);
+  auto node = [width](int layer, int idx) { return layer * width + idx; };
+  for (int layer = 1; layer < layers; ++layer) {
+    for (int idx = 0; idx < width; ++idx) {
+      const int fan = rng.uniform_int(1, std::min(max_fan_in, width));
+      for (int k = 0; k < fan; ++k) {
+        dag.add_edge(node(layer - 1, rng.uniform_int(0, width - 1)), node(layer, idx));
+      }
+    }
+  }
+  return dag;
+}
+
+Dag make_random_dag(int n, double edge_probability, support::Rng& rng) {
+  Dag dag(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(edge_probability)) dag.add_edge(i, j);
+    }
+  }
+  return dag;
+}
+
+namespace {
+
+// Recursive series-parallel builder returning (entry, exit) of a component
+// carved out of fresh nodes in `dag`.
+std::pair<NodeId, NodeId> build_sp(Dag& dag, int budget, support::Rng& rng) {
+  if (budget <= 1) {
+    const NodeId v = dag.add_node();
+    return {v, v};
+  }
+  if (budget == 2) {
+    const NodeId a = dag.add_node();
+    const NodeId b = dag.add_node();
+    dag.add_edge(a, b);
+    return {a, b};
+  }
+  const int left_budget = rng.uniform_int(1, budget - 1);
+  const int right_budget = budget - left_budget;
+  const auto [l_in, l_out] = build_sp(dag, left_budget, rng);
+  const auto [r_in, r_out] = build_sp(dag, right_budget, rng);
+  if (rng.bernoulli(0.5)) {
+    // Series composition.
+    dag.add_edge(l_out, r_in);
+    return {l_in, r_out};
+  }
+  // Parallel composition with explicit join/fork nodes to stay a 2-terminal
+  // series-parallel graph.
+  const NodeId fork = dag.add_node();
+  const NodeId join = dag.add_node();
+  dag.add_edge(fork, l_in);
+  dag.add_edge(fork, r_in);
+  dag.add_edge(l_out, join);
+  dag.add_edge(r_out, join);
+  return {fork, join};
+}
+
+}  // namespace
+
+Dag make_series_parallel(int n, support::Rng& rng) {
+  MALSCHED_ASSERT(n >= 1);
+  Dag dag;
+  build_sp(dag, n, rng);
+  return dag;
+}
+
+Dag make_intree(int levels) {
+  MALSCHED_ASSERT(levels >= 1);
+  const int n = (1 << levels) - 1;
+  Dag dag(n);
+  // Heap layout: node v has children 2v+1, 2v+2; edges point child -> parent
+  // (computation flows from the leaves to the root).
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId left = 2 * v + 1;
+    const NodeId right = 2 * v + 2;
+    if (left < n) dag.add_edge(left, v);
+    if (right < n) dag.add_edge(right, v);
+  }
+  return dag;
+}
+
+Dag make_outtree(int levels) {
+  MALSCHED_ASSERT(levels >= 1);
+  const int n = (1 << levels) - 1;
+  Dag dag(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId left = 2 * v + 1;
+    const NodeId right = 2 * v + 2;
+    if (left < n) dag.add_edge(v, left);
+    if (right < n) dag.add_edge(v, right);
+  }
+  return dag;
+}
+
+namespace {
+
+// Shared helper assigning dense ids to kernel instances keyed by
+// (kind, i, j, k).
+class KernelIds {
+ public:
+  explicit KernelIds(Dag& dag) : dag_(dag) {}
+
+  NodeId get(int kind, int i, int j, int k) {
+    const auto key = std::make_tuple(kind, i, j, k);
+    auto it = ids_.find(key);
+    if (it != ids_.end()) return it->second;
+    const NodeId v = dag_.add_node();
+    ids_.emplace(key, v);
+    return v;
+  }
+
+ private:
+  Dag& dag_;
+  std::map<std::tuple<int, int, int, int>, NodeId> ids_;
+};
+
+enum CholKind { kPotrf = 0, kTrsm = 1, kSyrk = 2, kGemm = 3 };
+enum LuKind { kGetrf = 0, kTrsmRow = 1, kTrsmCol = 2, kLuGemm = 3 };
+
+}  // namespace
+
+Dag make_tiled_cholesky(int t) {
+  MALSCHED_ASSERT(t >= 1);
+  Dag dag;
+  KernelIds ids(dag);
+  // Right-looking tiled Cholesky (see e.g. the PLASMA/StarPU literature):
+  // for k in 0..t-1:
+  //   POTRF(k)                        after SYRK(k,k-1 updates)
+  //   for i in k+1..t-1: TRSM(i,k)    needs POTRF(k) and GEMM updates
+  //   for i in k+1..t-1:
+  //     SYRK(i,k) updates A(i,i)      needs TRSM(i,k)
+  //     for j in k+1..i-1: GEMM(i,j,k) needs TRSM(i,k), TRSM(j,k)
+  for (int k = 0; k < t; ++k) {
+    const NodeId potrf = ids.get(kPotrf, k, 0, 0);
+    if (k > 0) dag.add_edge(ids.get(kSyrk, k, k - 1, 0), potrf);
+    for (int i = k + 1; i < t; ++i) {
+      const NodeId trsm = ids.get(kTrsm, i, k, 0);
+      dag.add_edge(potrf, trsm);
+      if (k > 0) dag.add_edge(ids.get(kGemm, i, k, k - 1), trsm);
+      const NodeId syrk = ids.get(kSyrk, i, k, 0);
+      dag.add_edge(trsm, syrk);
+      if (k > 0) dag.add_edge(ids.get(kSyrk, i, k - 1, 0), syrk);
+      for (int j = k + 1; j < i; ++j) {
+        const NodeId gemm = ids.get(kGemm, i, j, k);
+        dag.add_edge(trsm, gemm);
+        dag.add_edge(ids.get(kTrsm, j, k, 0), gemm);
+        if (k > 0) dag.add_edge(ids.get(kGemm, i, j, k - 1), gemm);
+      }
+    }
+  }
+  return dag;
+}
+
+int tiled_cholesky_size(int t) {
+  // POTRF: t, TRSM: t(t-1)/2, SYRK: t(t-1)/2, GEMM: sum_k sum_i (i-k-1).
+  int gemm = 0;
+  for (int k = 0; k < t; ++k) {
+    for (int i = k + 1; i < t; ++i) gemm += std::max(0, i - k - 1);
+  }
+  return t + t * (t - 1) + gemm;
+}
+
+Dag make_tiled_lu(int t) {
+  MALSCHED_ASSERT(t >= 1);
+  Dag dag;
+  KernelIds ids(dag);
+  // Tiled LU without pivoting:
+  // for k: GETRF(k,k); row/col TRSMs in panel k; trailing GEMM updates.
+  for (int k = 0; k < t; ++k) {
+    const NodeId getrf = ids.get(kGetrf, k, 0, 0);
+    if (k > 0) dag.add_edge(ids.get(kLuGemm, k, k, k - 1), getrf);
+    for (int j = k + 1; j < t; ++j) {
+      const NodeId trsm_row = ids.get(kTrsmRow, k, j, 0);
+      dag.add_edge(getrf, trsm_row);
+      if (k > 0) dag.add_edge(ids.get(kLuGemm, k, j, k - 1), trsm_row);
+    }
+    for (int i = k + 1; i < t; ++i) {
+      const NodeId trsm_col = ids.get(kTrsmCol, i, k, 0);
+      dag.add_edge(getrf, trsm_col);
+      if (k > 0) dag.add_edge(ids.get(kLuGemm, i, k, k - 1), trsm_col);
+    }
+    for (int i = k + 1; i < t; ++i) {
+      for (int j = k + 1; j < t; ++j) {
+        const NodeId gemm = ids.get(kLuGemm, i, j, k);
+        dag.add_edge(ids.get(kTrsmCol, i, k, 0), gemm);
+        dag.add_edge(ids.get(kTrsmRow, k, j, 0), gemm);
+        if (k > 0) dag.add_edge(ids.get(kLuGemm, i, j, k - 1), gemm);
+      }
+    }
+  }
+  return dag;
+}
+
+int tiled_lu_size(int t) {
+  int n = 0;
+  for (int k = 0; k < t; ++k) {
+    const int r = t - k - 1;
+    n += 1 + 2 * r + r * r;
+  }
+  return n;
+}
+
+Dag make_fft(int stages) {
+  MALSCHED_ASSERT(stages >= 0);
+  const int width = 1 << stages;
+  Dag dag((stages + 1) * width);
+  auto node = [width](int rank, int idx) { return rank * width + idx; };
+  for (int rank = 1; rank <= stages; ++rank) {
+    const int stride = 1 << (rank - 1);
+    for (int idx = 0; idx < width; ++idx) {
+      dag.add_edge(node(rank - 1, idx), node(rank, idx));
+      dag.add_edge(node(rank - 1, idx ^ stride), node(rank, idx));
+    }
+  }
+  return dag;
+}
+
+Dag make_diamond(int rows, int cols) {
+  MALSCHED_ASSERT(rows >= 1 && cols >= 1);
+  Dag dag(rows * cols);
+  auto node = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (r + 1 < rows) dag.add_edge(node(r, c), node(r + 1, c));
+      if (c + 1 < cols) dag.add_edge(node(r, c), node(r, c + 1));
+    }
+  }
+  return dag;
+}
+
+}  // namespace malsched::graph

@@ -1,0 +1,67 @@
+// Synthetic precedence-graph families.
+//
+// The paper's evaluation is analytic, so the empirical suite needs workload
+// DAGs; these families cover the shapes the malleable-task literature uses:
+// chains and independent sets (extremes of the L vs W/m tradeoff), fork-join
+// and layered graphs (data-parallel phases, e.g. the ocean-circulation
+// application of Blayo et al. that motivated Assumption 2'), series-parallel
+// graphs and trees (the [17]/[18] special cases), and dense numerical
+// kernels (tiled Cholesky, tiled LU, FFT butterfly) whose task graphs are
+// standard in runtime-system papers.
+#pragma once
+
+#include "graph/dag.hpp"
+#include "support/rng.hpp"
+
+namespace malsched::graph {
+
+/// 0 -> 1 -> ... -> n-1.
+Dag make_chain(int n);
+
+/// n isolated nodes.
+Dag make_independent(int n);
+
+/// source -> {n_parallel middle nodes} -> sink.
+Dag make_fork_join(int n_parallel);
+
+/// `layers` layers of `width` nodes; each node gets 1..max_fan_in random
+/// predecessors from the previous layer.
+Dag make_layered(int layers, int width, int max_fan_in, support::Rng& rng);
+
+/// Random DAG: edge (i, j), i < j, present with probability p.
+Dag make_random_dag(int n, double edge_probability, support::Rng& rng);
+
+/// Random series-parallel graph with ~n nodes built by recursive series /
+/// parallel composition.
+Dag make_series_parallel(int n, support::Rng& rng);
+
+/// Complete binary in-tree (leaves feed upward to a single root sink) with
+/// `levels` levels, 2^levels - 1 nodes.
+Dag make_intree(int levels);
+
+/// Complete binary out-tree (root source fans out) with `levels` levels.
+Dag make_outtree(int levels);
+
+/// Task graph of a tiled (right-looking) Cholesky factorization on a
+/// t x t lower-triangular tile grid: POTRF/TRSM/SYRK/GEMM dependency
+/// structure; n = t(t+1)(t+2)/6 + ... tasks.
+Dag make_tiled_cholesky(int tiles);
+
+/// Task graph of a tiled LU factorization without pivoting on a t x t grid:
+/// GETRF/TRSM(row)/TRSM(col)/GEMM structure.
+Dag make_tiled_lu(int tiles);
+
+/// FFT butterfly DAG over 2^stages points: stages+1 ranks of 2^stages nodes.
+Dag make_fft(int stages);
+
+/// Diamond / 2D wavefront DAG on a rows x cols grid: (i,j) -> (i+1,j) and
+/// (i,j) -> (i,j+1).
+Dag make_diamond(int rows, int cols);
+
+/// Node count of make_tiled_cholesky(tiles) (for sizing experiments).
+int tiled_cholesky_size(int tiles);
+
+/// Node count of make_tiled_lu(tiles).
+int tiled_lu_size(int tiles);
+
+}  // namespace malsched::graph

@@ -1,0 +1,121 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace malsched::linalg {
+
+std::optional<LuFactorization> LuFactorization::factor(const Matrix& a,
+                                                       double pivot_tol) {
+  MALSCHED_ASSERT(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  LuFactorization f;
+  f.lu_ = a;
+  f.perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) f.perm_[i] = i;
+
+  Matrix& lu = f.lu_;
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest magnitude entry in column k.
+    std::size_t pivot_row = k;
+    double pivot_val = std::abs(lu(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::abs(lu(r, k));
+      if (v > pivot_val) {
+        pivot_val = v;
+        pivot_row = r;
+      }
+    }
+    if (pivot_val < pivot_tol) return std::nullopt;
+    if (pivot_row != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu(k, c), lu(pivot_row, c));
+      std::swap(f.perm_[k], f.perm_[pivot_row]);
+      f.sign_ = -f.sign_;
+    }
+    const double inv_pivot = 1.0 / lu(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor_rk = lu(r, k) * inv_pivot;
+      lu(r, k) = factor_rk;
+      if (factor_rk == 0.0) continue;
+      const double* urow = lu.row(k);
+      double* rrow = lu.row(r);
+      for (std::size_t c = k + 1; c < n; ++c) rrow[c] -= factor_rk * urow[c];
+    }
+  }
+  return f;
+}
+
+Vector LuFactorization::solve(const Vector& b) const {
+  const std::size_t n = size();
+  MALSCHED_ASSERT(b.size() == n);
+  Vector x(n);
+  // Forward substitution with permuted b: L y = P b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[perm_[i]];
+    const double* lrow = lu_.row(i);
+    for (std::size_t j = 0; j < i; ++j) sum -= lrow[j] * x[j];
+    x[i] = sum;
+  }
+  // Back substitution: U x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    const double* urow = lu_.row(ii);
+    double sum = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) sum -= urow[j] * x[j];
+    x[ii] = sum / urow[ii];
+  }
+  return x;
+}
+
+Vector LuFactorization::solve_transposed(const Vector& b) const {
+  const std::size_t n = size();
+  MALSCHED_ASSERT(b.size() == n);
+  // A^T x = b  <=>  U^T L^T P x = b; solve U^T y = b, then L^T z = y, x = P^T z.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t j = 0; j < i; ++j) sum -= lu_(j, i) * y[j];
+    y[i] = sum / lu_(i, i);
+  }
+  Vector z(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) sum -= lu_(j, ii) * z[j];
+    z[ii] = sum;
+  }
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[perm_[i]] = z[i];
+  return x;
+}
+
+Matrix LuFactorization::inverse() const {
+  const std::size_t n = size();
+  Matrix inv(n, n);
+  Vector e(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    e[c] = 1.0;
+    const Vector col = solve(e);
+    for (std::size_t r = 0; r < n; ++r) inv(r, c) = col[r];
+    e[c] = 0.0;
+  }
+  return inv;
+}
+
+double LuFactorization::determinant() const {
+  double det = static_cast<double>(sign_);
+  for (std::size_t i = 0; i < size(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+double LuFactorization::rcond_estimate() const {
+  double lo = std::abs(lu_(0, 0));
+  double hi = lo;
+  for (std::size_t i = 1; i < size(); ++i) {
+    const double v = std::abs(lu_(i, i));
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return hi > 0.0 ? lo / hi : 0.0;
+}
+
+}  // namespace malsched::linalg

@@ -1,0 +1,46 @@
+// LU factorization with partial pivoting (Doolittle form, PA = LU).
+//
+// Backbone of the simplex basis refactorization: the revised simplex keeps a
+// product-form inverse and periodically rebuilds it from a fresh LU of the
+// basis matrix to contain numerical drift.
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace malsched::linalg {
+
+class LuFactorization {
+ public:
+  /// Factor a square matrix. Returns std::nullopt when the matrix is
+  /// numerically singular (pivot below `pivot_tol`).
+  static std::optional<LuFactorization> factor(const Matrix& a,
+                                               double pivot_tol = 1e-12);
+
+  std::size_t size() const { return lu_.rows(); }
+
+  /// Solve A x = b.
+  Vector solve(const Vector& b) const;
+
+  /// Solve A^T x = b.
+  Vector solve_transposed(const Vector& b) const;
+
+  /// Explicit inverse (used for the simplex dense B^-1 rebuild).
+  Matrix inverse() const;
+
+  /// Determinant (for diagnostics; sign includes the permutation parity).
+  double determinant() const;
+
+  /// Crude reciprocal condition estimate: min|u_ii| / max|u_ii|.
+  double rcond_estimate() const;
+
+ private:
+  LuFactorization() = default;
+
+  Matrix lu_;                    // packed L (unit lower) and U
+  std::vector<std::size_t> perm_;  // row permutation: row i of PA is row perm_[i] of A
+  int sign_ = 1;
+};
+
+}  // namespace malsched::linalg

@@ -1,0 +1,67 @@
+// Dense row-major matrix and free-function vector helpers.
+//
+// Sized for the simplex basis (a few thousand rows at most); no attempt at
+// blocking or SIMD beyond what the compiler auto-vectorizes from contiguous
+// loops.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace malsched::linalg {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Pointer to the start of row r (contiguous cols_ doubles).
+  double* row(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  /// y = A x.
+  Vector multiply(const Vector& x) const;
+
+  /// y = A^T x.
+  Vector multiply_transposed(const Vector& x) const;
+
+  Matrix transposed() const;
+
+  /// C = A * B.
+  Matrix multiply(const Matrix& other) const;
+
+  /// max_i sum_j |a_ij| (infinity norm).
+  double norm_inf() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Euclidean norm.
+double norm2(const Vector& v);
+
+/// Infinity norm.
+double norm_inf(const Vector& v);
+
+/// Dot product; vectors must have equal length.
+double dot(const Vector& a, const Vector& b);
+
+/// r = a - b.
+Vector subtract(const Vector& a, const Vector& b);
+
+/// a += s * b.
+void axpy(double s, const Vector& b, Vector& a);
+
+}  // namespace malsched::linalg

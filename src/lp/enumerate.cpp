@@ -1,0 +1,86 @@
+#include "lp/enumerate.hpp"
+
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "support/assert.hpp"
+
+namespace malsched::lp {
+namespace {
+
+struct Hyperplane {
+  std::vector<double> normal;  // dense row
+  double rhs;
+};
+
+void collect_hyperplanes(const Model& model, std::vector<Hyperplane>& planes) {
+  const auto n = static_cast<std::size_t>(model.num_variables());
+  for (const auto& con : model.constraints()) {
+    Hyperplane h{std::vector<double>(n, 0.0), con.rhs};
+    for (const auto& [var, coeff] : con.terms) h.normal[static_cast<std::size_t>(var)] = coeff;
+    planes.push_back(std::move(h));
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    const Variable& v = model.variable(static_cast<int>(j));
+    if (std::isfinite(v.lower)) {
+      Hyperplane h{std::vector<double>(n, 0.0), v.lower};
+      h.normal[j] = 1.0;
+      planes.push_back(std::move(h));
+    }
+    if (std::isfinite(v.upper) && v.upper != v.lower) {
+      Hyperplane h{std::vector<double>(n, 0.0), v.upper};
+      h.normal[j] = 1.0;
+      planes.push_back(std::move(h));
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<EnumerationResult> solve_by_enumeration(const Model& model,
+                                                      double tolerance) {
+  const auto n = static_cast<std::size_t>(model.num_variables());
+  MALSCHED_ASSERT_MSG(n <= 10, "vertex enumeration is for tiny LPs only");
+  std::vector<Hyperplane> planes;
+  collect_hyperplanes(model, planes);
+  const std::size_t p = planes.size();
+  if (p < n) return std::nullopt;
+
+  std::optional<EnumerationResult> best;
+
+  // Iterate over all n-subsets of planes via a manual odometer.
+  std::vector<std::size_t> pick(n);
+  for (std::size_t i = 0; i < n; ++i) pick[i] = i;
+  for (;;) {
+    // Solve the active system.
+    linalg::Matrix a(n, n);
+    linalg::Vector b(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      const Hyperplane& h = planes[pick[r]];
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = h.normal[c];
+      b[r] = h.rhs;
+    }
+    if (auto lu = linalg::LuFactorization::factor(a, 1e-9)) {
+      const linalg::Vector x = lu->solve(b);
+      if (model.max_violation(x) <= tolerance) {
+        const double obj = model.objective_value(x);
+        if (!best || obj < best->objective) best = EnumerationResult{obj, x};
+      }
+    }
+    // Advance the odometer.
+    std::size_t i = n;
+    while (i > 0) {
+      --i;
+      if (pick[i] != i + p - n) {
+        ++pick[i];
+        for (std::size_t k = i + 1; k < n; ++k) pick[k] = pick[k - 1] + 1;
+        break;
+      }
+      if (i == 0) return best;
+    }
+    if (n == 0) return best;
+  }
+}
+
+}  // namespace malsched::lp

@@ -1,0 +1,28 @@
+// Brute-force LP solving by vertex enumeration.
+//
+// Only for cross-checking the simplex in tests: enumerates every choice of
+// `num_variables` active constraints (constraint rows treated as equalities
+// plus variable bounds), solves the square system, keeps feasible points and
+// returns the best objective. Exponential — callers must keep instances tiny
+// (roughly <= 10 variables and <= 12 rows).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace malsched::lp {
+
+struct EnumerationResult {
+  double objective;
+  std::vector<double> x;
+};
+
+/// Returns the optimal vertex of a bounded, feasible LP, or std::nullopt if
+/// no feasible vertex exists (infeasible — or unbounded, which callers must
+/// exclude by construction).
+std::optional<EnumerationResult> solve_by_enumeration(const Model& model,
+                                                      double tolerance = 1e-7);
+
+}  // namespace malsched::lp

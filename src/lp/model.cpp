@@ -1,0 +1,83 @@
+#include "lp/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "support/assert.hpp"
+
+namespace malsched::lp {
+
+int Model::add_variable(double lower, double upper, double objective,
+                        std::string name) {
+  MALSCHED_ASSERT_MSG(lower <= upper, "variable with empty domain");
+  MALSCHED_ASSERT(!std::isnan(lower) && !std::isnan(upper) && !std::isnan(objective));
+  variables_.push_back(Variable{lower, upper, objective, std::move(name)});
+  return static_cast<int>(variables_.size()) - 1;
+}
+
+int Model::add_constraint(std::vector<Term> terms, Sense sense, double rhs,
+                          std::string name) {
+  // Merge duplicates and drop exact zeros so the simplex sees clean columns.
+  std::map<int, double> merged;
+  for (const auto& [var, coeff] : terms) {
+    MALSCHED_ASSERT(var >= 0 && var < num_variables());
+    MALSCHED_ASSERT(!std::isnan(coeff));
+    merged[var] += coeff;
+  }
+  std::vector<Term> clean;
+  clean.reserve(merged.size());
+  for (const auto& [var, coeff] : merged) {
+    if (coeff != 0.0) clean.emplace_back(var, coeff);
+  }
+  constraints_.push_back(Constraint{std::move(clean), sense, rhs, std::move(name)});
+  return static_cast<int>(constraints_.size()) - 1;
+}
+
+double Model::objective_value(const std::vector<double>& x) const {
+  MALSCHED_ASSERT(x.size() == variables_.size());
+  double obj = 0.0;
+  for (std::size_t j = 0; j < variables_.size(); ++j) obj += variables_[j].objective * x[j];
+  return obj;
+}
+
+double Model::max_violation(const std::vector<double>& x) const {
+  MALSCHED_ASSERT(x.size() == variables_.size());
+  double worst = 0.0;
+  for (std::size_t j = 0; j < variables_.size(); ++j) {
+    worst = std::max(worst, variables_[j].lower - x[j]);
+    worst = std::max(worst, x[j] - variables_[j].upper);
+  }
+  for (const auto& con : constraints_) {
+    double lhs = 0.0;
+    for (const auto& [var, coeff] : con.terms) lhs += coeff * x[static_cast<std::size_t>(var)];
+    switch (con.sense) {
+      case Sense::kLessEqual:
+        worst = std::max(worst, lhs - con.rhs);
+        break;
+      case Sense::kGreaterEqual:
+        worst = std::max(worst, con.rhs - lhs);
+        break;
+      case Sense::kEqual:
+        worst = std::max(worst, std::abs(lhs - con.rhs));
+        break;
+    }
+  }
+  return worst;
+}
+
+const char* to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal:
+      return "optimal";
+    case SolveStatus::kInfeasible:
+      return "infeasible";
+    case SolveStatus::kUnbounded:
+      return "unbounded";
+    case SolveStatus::kIterationLimit:
+      return "iteration-limit";
+  }
+  return "unknown";
+}
+
+}  // namespace malsched::lp

@@ -1,0 +1,87 @@
+// Linear program model builder.
+//
+// The paper's Phase 1 solves LP (9): minimize C subject to precedence,
+// work-envelope and load constraints. No LP solver is available offline, so
+// lp/ implements the full stack: this builder, a bounded-variable revised
+// primal simplex (simplex.hpp) and a brute-force vertex enumerator used to
+// cross-check the simplex on small instances (enumerate.hpp).
+//
+// Conventions: minimization; constraints are sparse rows with sense
+// <=, >=, or =; variable bounds may be infinite in either direction.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace malsched::lp {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class Sense { kLessEqual, kGreaterEqual, kEqual };
+
+/// One sparse term: (variable index, coefficient).
+using Term = std::pair<int, double>;
+
+struct Variable {
+  double lower = 0.0;
+  double upper = kInfinity;
+  double objective = 0.0;
+  std::string name;
+};
+
+struct Constraint {
+  std::vector<Term> terms;
+  Sense sense = Sense::kLessEqual;
+  double rhs = 0.0;
+  std::string name;
+};
+
+class Model {
+ public:
+  /// Adds a variable, returning its index.
+  int add_variable(double lower, double upper, double objective,
+                   std::string name = {});
+
+  /// Adds a constraint, returning its index. Duplicate variable indices in
+  /// `terms` are merged.
+  int add_constraint(std::vector<Term> terms, Sense sense, double rhs,
+                     std::string name = {});
+
+  int num_variables() const { return static_cast<int>(variables_.size()); }
+  int num_constraints() const { return static_cast<int>(constraints_.size()); }
+
+  const Variable& variable(int j) const { return variables_[static_cast<std::size_t>(j)]; }
+  const Constraint& constraint(int i) const {
+    return constraints_[static_cast<std::size_t>(i)];
+  }
+
+  const std::vector<Variable>& variables() const { return variables_; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+  /// Objective value of a point (no feasibility check).
+  double objective_value(const std::vector<double>& x) const;
+
+  /// Maximum constraint/bound violation of a point.
+  double max_violation(const std::vector<double>& x) const;
+
+ private:
+  std::vector<Variable> variables_;
+  std::vector<Constraint> constraints_;
+};
+
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+const char* to_string(SolveStatus status);
+
+struct Solution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;      ///< primal values, one per variable
+  std::vector<double> duals;  ///< dual values, one per constraint
+  long iterations = 0;
+  long refactorizations = 0;
+};
+
+}  // namespace malsched::lp

@@ -1,0 +1,517 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "support/assert.hpp"
+
+namespace malsched::lp {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+enum class VarStatus : unsigned char {
+  kBasic,
+  kAtLower,
+  kAtUpper,
+  kFree,   // nonbasic free variable parked at 0
+  kFixed,  // lower == upper; never eligible to enter
+};
+
+struct Column {
+  std::vector<std::pair<int, double>> entries;  // (row, coefficient)
+};
+
+class SimplexCore {
+ public:
+  SimplexCore(const Model& model, const SimplexOptions& options)
+      : model_(model), opt_(options) {
+    build_columns();
+    initialize_basis();
+  }
+
+  Solution run() {
+    Solution result;
+    // ---- Phase I: minimize the sum of artificial variables. ----
+    if (num_artificials_ > 0) {
+      set_phase1_costs();
+      const SolveStatus phase1 = iterate(result);
+      if (phase1 != SolveStatus::kOptimal) {
+        result.status = phase1 == SolveStatus::kUnbounded ? SolveStatus::kInfeasible
+                                                          : phase1;
+        extract(result);
+        return result;
+      }
+      if (phase1_objective() > 1e-6) {
+        result.status = SolveStatus::kInfeasible;
+        extract(result);
+        return result;
+      }
+      freeze_artificials();
+    }
+    // ---- Phase II: minimize the real objective. ----
+    set_phase2_costs();
+    result.status = iterate(result);
+    extract(result);
+    return result;
+  }
+
+ private:
+  // --- setup -------------------------------------------------------------
+
+  void build_columns() {
+    const int n = model_.num_variables();
+    const int m = model_.num_constraints();
+    num_structural_ = n;
+    num_rows_ = m;
+    cols_.resize(static_cast<std::size_t>(n + m));
+    lower_.resize(static_cast<std::size_t>(n + m));
+    upper_.resize(static_cast<std::size_t>(n + m));
+    rhs_.resize(static_cast<std::size_t>(m));
+
+    for (int j = 0; j < n; ++j) {
+      lower_[static_cast<std::size_t>(j)] = model_.variable(j).lower;
+      upper_[static_cast<std::size_t>(j)] = model_.variable(j).upper;
+    }
+    for (int i = 0; i < m; ++i) {
+      const Constraint& con = model_.constraint(i);
+      rhs_[static_cast<std::size_t>(i)] = con.rhs;
+      for (const auto& [var, coeff] : con.terms) {
+        cols_[static_cast<std::size_t>(var)].entries.emplace_back(i, coeff);
+      }
+      const int slack = n + i;
+      cols_[static_cast<std::size_t>(slack)].entries.emplace_back(i, 1.0);
+      switch (con.sense) {
+        case Sense::kLessEqual:
+          lower_[static_cast<std::size_t>(slack)] = 0.0;
+          upper_[static_cast<std::size_t>(slack)] = kInfinity;
+          break;
+        case Sense::kGreaterEqual:
+          lower_[static_cast<std::size_t>(slack)] = -kInfinity;
+          upper_[static_cast<std::size_t>(slack)] = 0.0;
+          break;
+        case Sense::kEqual:
+          lower_[static_cast<std::size_t>(slack)] = 0.0;
+          upper_[static_cast<std::size_t>(slack)] = 0.0;
+          break;
+      }
+    }
+  }
+
+  /// Nonbasic value implied by a status.
+  double nonbasic_value(int j, VarStatus s) const {
+    const auto ju = static_cast<std::size_t>(j);
+    switch (s) {
+      case VarStatus::kAtLower:
+      case VarStatus::kFixed:
+        return lower_[ju];
+      case VarStatus::kAtUpper:
+        return upper_[ju];
+      case VarStatus::kFree:
+        return 0.0;
+      case VarStatus::kBasic:
+        break;
+    }
+    MALSCHED_ASSERT_MSG(false, "basic variable has no nonbasic value");
+    return 0.0;
+  }
+
+  VarStatus initial_status(int j) const {
+    const auto ju = static_cast<std::size_t>(j);
+    if (lower_[ju] == upper_[ju]) return VarStatus::kFixed;
+    if (std::isfinite(lower_[ju])) return VarStatus::kAtLower;
+    if (std::isfinite(upper_[ju])) return VarStatus::kAtUpper;
+    return VarStatus::kFree;
+  }
+
+  void initialize_basis() {
+    const int n = num_structural_;
+    const int m = num_rows_;
+    status_.assign(static_cast<std::size_t>(n + m), VarStatus::kAtLower);
+    for (int j = 0; j < n + m; ++j) status_[static_cast<std::size_t>(j)] = initial_status(j);
+
+    // Residual with all structural variables at their nonbasic values.
+    Vector residual = rhs_;
+    for (int j = 0; j < n; ++j) {
+      const double v = nonbasic_value(j, status_[static_cast<std::size_t>(j)]);
+      if (v == 0.0) continue;
+      for (const auto& [row, coeff] : cols_[static_cast<std::size_t>(j)].entries) {
+        residual[static_cast<std::size_t>(row)] -= coeff * v;
+      }
+    }
+
+    basic_.resize(static_cast<std::size_t>(m));
+    xb_.assign(static_cast<std::size_t>(m), 0.0);
+    binv_ = Matrix::identity(static_cast<std::size_t>(m));
+
+    // Slack j = n+i starts basic at the row residual when that is feasible;
+    // otherwise it parks at the nearest bound and an artificial carries the
+    // violation so Phase I starts from a basic feasible point.
+    for (int i = 0; i < m; ++i) {
+      const int slack = n + i;
+      const auto su = static_cast<std::size_t>(slack);
+      const double r = residual[static_cast<std::size_t>(i)];
+      if (r >= lower_[su] - opt_.primal_tolerance &&
+          r <= upper_[su] + opt_.primal_tolerance) {
+        basic_[static_cast<std::size_t>(i)] = slack;
+        status_[su] = VarStatus::kBasic;
+        xb_[static_cast<std::size_t>(i)] = std::clamp(r, lower_[su], upper_[su]);
+      } else {
+        const double parked = (r < lower_[su]) ? lower_[su] : upper_[su];
+        status_[su] = (r < lower_[su]) ? VarStatus::kAtLower : VarStatus::kAtUpper;
+        const double violation = r - parked;  // signed
+        const double art_coeff = violation > 0.0 ? 1.0 : -1.0;
+        const int art = n + m + num_artificials_;
+        ++num_artificials_;
+        cols_.push_back(Column{{{i, art_coeff}}});
+        lower_.push_back(0.0);
+        upper_.push_back(kInfinity);
+        status_.push_back(VarStatus::kBasic);
+        basic_[static_cast<std::size_t>(i)] = art;
+        xb_[static_cast<std::size_t>(i)] = std::abs(violation);
+        // The basis is diagonal but not the identity on artificial rows:
+        // B(i,i) = art_coeff, hence B^-1(i,i) = 1/art_coeff = art_coeff.
+        binv_(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) = art_coeff;
+      }
+    }
+  }
+
+  void set_phase1_costs() {
+    cost_.assign(cols_.size(), 0.0);
+    for (std::size_t j = static_cast<std::size_t>(num_structural_ + num_rows_);
+         j < cols_.size(); ++j) {
+      cost_[j] = 1.0;
+    }
+  }
+
+  void set_phase2_costs() {
+    cost_.assign(cols_.size(), 0.0);
+    for (int j = 0; j < num_structural_; ++j) {
+      cost_[static_cast<std::size_t>(j)] = model_.variable(j).objective;
+    }
+  }
+
+  double phase1_objective() const {
+    double obj = 0.0;
+    for (int i = 0; i < num_rows_; ++i) {
+      const int j = basic_[static_cast<std::size_t>(i)];
+      if (j >= num_structural_ + num_rows_) obj += xb_[static_cast<std::size_t>(i)];
+    }
+    return obj;
+  }
+
+  /// After Phase I, artificials must never re-enter or grow: pin them to 0.
+  void freeze_artificials() {
+    for (std::size_t j = static_cast<std::size_t>(num_structural_ + num_rows_);
+         j < cols_.size(); ++j) {
+      upper_[j] = 0.0;
+      if (status_[j] != VarStatus::kBasic) status_[j] = VarStatus::kFixed;
+    }
+    // Try to pivot basic artificials (all at value ~0) out of the basis so
+    // Phase II works on real columns; rows where no replacement column has a
+    // nonzero tableau entry are linearly dependent and keep the artificial.
+    for (int i = 0; i < num_rows_; ++i) {
+      const int bj = basic_[static_cast<std::size_t>(i)];
+      if (bj < num_structural_ + num_rows_) continue;
+      for (int j = 0; j < num_structural_ + num_rows_; ++j) {
+        const auto ju = static_cast<std::size_t>(j);
+        if (status_[ju] == VarStatus::kBasic || status_[ju] == VarStatus::kFixed) continue;
+        const Vector w = ftran(j);
+        if (std::abs(w[static_cast<std::size_t>(i)]) > 1e-7) {
+          // Degenerate replacement pivot: values do not move.
+          apply_pivot(j, i, w, nonbasic_value(j, status_[ju]),
+                      VarStatus::kFixed);
+          break;
+        }
+      }
+    }
+  }
+
+  // --- core machinery ------------------------------------------------------
+
+  /// w = B^-1 * A_j  (column j through the basis inverse).
+  Vector ftran(int j) const {
+    const auto mu = static_cast<std::size_t>(num_rows_);
+    Vector w(mu, 0.0);
+    for (const auto& [row, coeff] : cols_[static_cast<std::size_t>(j)].entries) {
+      const auto ru = static_cast<std::size_t>(row);
+      for (std::size_t i = 0; i < mu; ++i) w[i] += binv_(i, ru) * coeff;
+    }
+    return w;
+  }
+
+  /// y = (B^-1)^T c_B  (simplex multipliers).
+  Vector btran_costs() const {
+    const auto mu = static_cast<std::size_t>(num_rows_);
+    Vector y(mu, 0.0);
+    for (std::size_t i = 0; i < mu; ++i) {
+      const double ci = cost_[static_cast<std::size_t>(basic_[i])];
+      if (ci == 0.0) continue;
+      for (std::size_t k = 0; k < mu; ++k) y[k] += ci * binv_(i, k);
+    }
+    return y;
+  }
+
+  double reduced_cost(int j, const Vector& y) const {
+    double d = cost_[static_cast<std::size_t>(j)];
+    for (const auto& [row, coeff] : cols_[static_cast<std::size_t>(j)].entries) {
+      d -= y[static_cast<std::size_t>(row)] * coeff;
+    }
+    return d;
+  }
+
+  void refactorize() {
+    const auto mu = static_cast<std::size_t>(num_rows_);
+    Matrix basis(mu, mu, 0.0);
+    for (std::size_t i = 0; i < mu; ++i) {
+      for (const auto& [row, coeff] : cols_[static_cast<std::size_t>(basic_[i])].entries) {
+        basis(static_cast<std::size_t>(row), i) = coeff;
+      }
+    }
+    auto lu = linalg::LuFactorization::factor(basis, 1e-13);
+    MALSCHED_ASSERT_MSG(lu.has_value(), "singular simplex basis at refactorization");
+    binv_ = lu->inverse();
+    recompute_basic_values();
+  }
+
+  void recompute_basic_values() {
+    const auto mu = static_cast<std::size_t>(num_rows_);
+    Vector rhs_adj = rhs_;
+    for (std::size_t j = 0; j < cols_.size(); ++j) {
+      if (status_[j] == VarStatus::kBasic) continue;
+      const double v = nonbasic_value(static_cast<int>(j), status_[j]);
+      if (v == 0.0) continue;
+      for (const auto& [row, coeff] : cols_[j].entries) {
+        rhs_adj[static_cast<std::size_t>(row)] -= coeff * v;
+      }
+    }
+    for (std::size_t i = 0; i < mu; ++i) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < mu; ++k) sum += binv_(i, k) * rhs_adj[k];
+      xb_[i] = sum;
+    }
+  }
+
+  /// Elementary pivot: entering j takes over basis row r with direction w.
+  void apply_pivot(int j, int r, const Vector& w, double entering_value,
+                   VarStatus leaving_status) {
+    const auto mu = static_cast<std::size_t>(num_rows_);
+    const auto ru = static_cast<std::size_t>(r);
+    const double pivot = w[ru];
+    MALSCHED_ASSERT(std::abs(pivot) > opt_.pivot_tolerance);
+
+    const int leaving = basic_[ru];
+    status_[static_cast<std::size_t>(leaving)] = leaving_status;
+    basic_[ru] = j;
+    status_[static_cast<std::size_t>(j)] = VarStatus::kBasic;
+    xb_[ru] = entering_value;
+
+    // Product-form update of B^-1.
+    double* prow = binv_.row(ru);
+    const double inv_pivot = 1.0 / pivot;
+    for (std::size_t k = 0; k < mu; ++k) prow[k] *= inv_pivot;
+    for (std::size_t i = 0; i < mu; ++i) {
+      if (i == ru) continue;
+      const double wi = w[i];
+      if (wi == 0.0) continue;
+      double* irow = binv_.row(i);
+      for (std::size_t k = 0; k < mu; ++k) irow[k] -= wi * prow[k];
+    }
+  }
+
+  SolveStatus iterate(Solution& result) {
+    const auto total_cols = static_cast<int>(cols_.size());
+    int degenerate_streak = 0;
+    int pivots_since_refactor = 0;
+
+    for (;;) {
+      if (result.iterations >= opt_.max_iterations) return SolveStatus::kIterationLimit;
+      ++result.iterations;
+
+      const bool use_bland = degenerate_streak >= opt_.bland_trigger;
+      const Vector y = btran_costs();
+
+      // --- pricing ---
+      int entering = -1;
+      double best_score = opt_.dual_tolerance;
+      double entering_d = 0.0;
+      for (int j = 0; j < total_cols; ++j) {
+        const VarStatus s = status_[static_cast<std::size_t>(j)];
+        if (s == VarStatus::kBasic || s == VarStatus::kFixed) continue;
+        const double d = reduced_cost(j, y);
+        bool eligible = false;
+        if (s == VarStatus::kAtLower && d < -opt_.dual_tolerance) eligible = true;
+        if (s == VarStatus::kAtUpper && d > opt_.dual_tolerance) eligible = true;
+        if (s == VarStatus::kFree && std::abs(d) > opt_.dual_tolerance) eligible = true;
+        if (!eligible) continue;
+        if (use_bland) {
+          entering = j;
+          entering_d = d;
+          break;
+        }
+        if (std::abs(d) > best_score) {
+          best_score = std::abs(d);
+          entering = j;
+          entering_d = d;
+        }
+      }
+      if (entering == -1) return SolveStatus::kOptimal;
+
+      const auto eu = static_cast<std::size_t>(entering);
+      const VarStatus estat = status_[eu];
+      // Direction of travel of the entering variable.
+      const double sigma =
+          (estat == VarStatus::kAtUpper || (estat == VarStatus::kFree && entering_d > 0.0))
+              ? -1.0
+              : 1.0;
+
+      const Vector w = ftran(entering);
+
+      // --- ratio test (bounded variables) ---
+      double t_limit = kInfinity;
+      int leaving_row = -1;
+      bool leaving_to_upper = false;
+      // Bound-flip limit for the entering variable itself.
+      if (std::isfinite(lower_[eu]) && std::isfinite(upper_[eu])) {
+        t_limit = upper_[eu] - lower_[eu];
+      }
+      const auto mu = static_cast<std::size_t>(num_rows_);
+      for (std::size_t i = 0; i < mu; ++i) {
+        const double rate = -sigma * w[i];  // d(xB_i)/dt
+        const auto bu = static_cast<std::size_t>(basic_[i]);
+        double limit = kInfinity;
+        bool to_upper = false;
+        if (rate < -opt_.pivot_tolerance) {
+          if (std::isfinite(lower_[bu])) limit = (lower_[bu] - xb_[i]) / rate;
+        } else if (rate > opt_.pivot_tolerance) {
+          if (std::isfinite(upper_[bu])) {
+            limit = (upper_[bu] - xb_[i]) / rate;
+            to_upper = true;
+          }
+        }
+        if (limit < -opt_.primal_tolerance) limit = 0.0;  // tiny infeasibility: block
+        limit = std::max(limit, 0.0);
+        // Prefer strictly smaller ratios; on near-ties take the larger |pivot|
+        // for numerical stability (or smaller index under Bland).
+        if (limit < t_limit - 1e-12 ||
+            (limit < t_limit + 1e-12 && leaving_row >= 0 &&
+             (use_bland
+                  ? basic_[i] < basic_[static_cast<std::size_t>(leaving_row)]
+                  : std::abs(w[i]) >
+                        std::abs(w[static_cast<std::size_t>(leaving_row)])))) {
+          if (limit < t_limit + 1e-12) {
+            t_limit = std::min(t_limit, limit);
+            leaving_row = static_cast<int>(i);
+            leaving_to_upper = to_upper;
+          }
+        }
+      }
+
+      if (!std::isfinite(t_limit)) return SolveStatus::kUnbounded;
+      if (t_limit < 1e-11) {
+        ++degenerate_streak;
+      } else {
+        degenerate_streak = 0;
+      }
+
+      // Apply the step to the basic values.
+      for (std::size_t i = 0; i < mu; ++i) xb_[i] += (-sigma * w[i]) * t_limit;
+
+      if (leaving_row == -1) {
+        // Pure bound flip of the entering variable.
+        status_[eu] = (estat == VarStatus::kAtLower) ? VarStatus::kAtUpper
+                                                     : VarStatus::kAtLower;
+      } else {
+        const double start =
+            estat == VarStatus::kFree ? 0.0 : nonbasic_value(entering, estat);
+        const VarStatus leave_status =
+            leaving_to_upper ? VarStatus::kAtUpper : VarStatus::kAtLower;
+        apply_pivot(entering, leaving_row, w, start + sigma * t_limit, leave_status);
+        ++pivots_since_refactor;
+        if (pivots_since_refactor >= opt_.refactor_interval) {
+          refactorize();
+          ++result.refactorizations;
+          pivots_since_refactor = 0;
+        }
+      }
+    }
+  }
+
+  void extract(Solution& result) const {
+    result.x.assign(static_cast<std::size_t>(num_structural_), 0.0);
+    for (int j = 0; j < num_structural_; ++j) {
+      const auto ju = static_cast<std::size_t>(j);
+      if (status_[ju] != VarStatus::kBasic) {
+        result.x[ju] = nonbasic_value(j, status_[ju]);
+      }
+    }
+    for (int i = 0; i < num_rows_; ++i) {
+      const int j = basic_[static_cast<std::size_t>(i)];
+      if (j < num_structural_) {
+        result.x[static_cast<std::size_t>(j)] = xb_[static_cast<std::size_t>(i)];
+      }
+    }
+    result.objective = model_.objective_value(result.x);
+    // Simplex multipliers of the final basis as duals.
+    result.duals.assign(static_cast<std::size_t>(num_rows_), 0.0);
+    const Vector y = btran_costs();
+    for (int i = 0; i < num_rows_; ++i) {
+      result.duals[static_cast<std::size_t>(i)] = y[static_cast<std::size_t>(i)];
+    }
+  }
+
+  const Model& model_;
+  SimplexOptions opt_;
+
+  int num_structural_ = 0;
+  int num_rows_ = 0;
+  int num_artificials_ = 0;
+
+  std::vector<Column> cols_;
+  Vector lower_, upper_, cost_, rhs_;
+  std::vector<VarStatus> status_;
+  std::vector<int> basic_;
+  Vector xb_;
+  Matrix binv_;
+};
+
+/// Degenerate case: no constraints at all; each variable sits at whichever
+/// bound its cost prefers.
+Solution solve_unconstrained(const Model& model) {
+  Solution result;
+  result.status = SolveStatus::kOptimal;
+  result.x.resize(static_cast<std::size_t>(model.num_variables()));
+  for (int j = 0; j < model.num_variables(); ++j) {
+    const Variable& v = model.variable(j);
+    double value;
+    if (v.objective > 0.0) {
+      value = v.lower;
+    } else if (v.objective < 0.0) {
+      value = v.upper;
+    } else {
+      value = std::isfinite(v.lower) ? v.lower : (std::isfinite(v.upper) ? v.upper : 0.0);
+    }
+    if (!std::isfinite(value)) {
+      result.status = SolveStatus::kUnbounded;
+      value = 0.0;
+    }
+    result.x[static_cast<std::size_t>(j)] = value;
+  }
+  result.objective = model.objective_value(result.x);
+  return result;
+}
+
+}  // namespace
+
+Solution solve_simplex(const Model& model, const SimplexOptions& options) {
+  if (model.num_constraints() == 0) return solve_unconstrained(model);
+  SimplexCore core(model, options);
+  return core.run();
+}
+
+}  // namespace malsched::lp

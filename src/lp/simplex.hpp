@@ -1,0 +1,38 @@
+// Bounded-variable revised primal simplex.
+//
+// Implements the textbook two-phase method on the computational form
+//     A x + s = b,   l <= x <= u,  slack bounds by constraint sense,
+// with a dense explicit basis inverse maintained by product-form pivots and
+// periodically rebuilt from an LU factorization of the basis (linalg/lu.hpp)
+// to contain numerical drift. Infeasible starting rows receive artificial
+// variables; Phase I minimizes their sum. Pricing is Dantzig's rule with an
+// automatic switch to Bland's rule after a run of degenerate steps, which
+// guarantees termination.
+//
+// The solver is sized for the paper's LP (9): roughly 3n+2 structural
+// variables and |E| + n(m+1) + 2 rows, i.e. a few thousand rows for the
+// bench instances.
+#pragma once
+
+#include "lp/model.hpp"
+
+namespace malsched::lp {
+
+struct SimplexOptions {
+  long max_iterations = 200000;   ///< hard pivot budget across both phases
+  /// Rebuild B^-1 from a fresh LU every this many pivots. The rebuild is
+  /// O(rows^3), so it is deliberately infrequent; product-form updates in
+  /// double precision stay accurate over thousands of pivots for the
+  /// well-scaled LPs this library generates.
+  int refactor_interval = 1024;
+  double dual_tolerance = 1e-9;   ///< reduced-cost optimality tolerance
+  double primal_tolerance = 1e-9; ///< bound feasibility tolerance
+  double pivot_tolerance = 1e-10; ///< minimum acceptable |pivot element|
+  int bland_trigger = 64;         ///< degenerate-pivot streak enabling Bland
+};
+
+/// Solves `model` (minimization). Always returns a Solution; `x` is filled
+/// for optimal results and best-effort otherwise.
+Solution solve_simplex(const Model& model, const SimplexOptions& options = {});
+
+}  // namespace malsched::lp

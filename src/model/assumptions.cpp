@@ -1,0 +1,83 @@
+#include "model/assumptions.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace malsched::model {
+
+ValidationReport check_assumption1(const MalleableTask& task, double tol) {
+  const int m = task.max_processors();
+  for (int l = 1; l < m; ++l) {
+    if (task.processing_time(l + 1) > task.processing_time(l) * (1.0 + tol)) {
+      std::ostringstream os;
+      os << "p(" << l + 1 << ") = " << task.processing_time(l + 1) << " > p(" << l
+         << ") = " << task.processing_time(l);
+      return {false, os.str()};
+    }
+  }
+  return {};
+}
+
+ValidationReport check_assumption2(const MalleableTask& task, double tol) {
+  const int m = task.max_processors();
+  // Concavity over consecutive integer triples (with s(0) = 0) implies the
+  // general chord inequality (2) for all 0 <= l'' <= l <= l' <= m.
+  double prev_increment = task.speedup(1) - 0.0;  // s(1) - s(0) = 1
+  for (int l = 1; l < m; ++l) {
+    const double increment = task.speedup(l + 1) - task.speedup(l);
+    if (increment > prev_increment + tol) {
+      std::ostringstream os;
+      os << "speedup increment s(" << l + 1 << ")-s(" << l << ") = " << increment
+         << " exceeds s(" << l << ")-s(" << l - 1 << ") = " << prev_increment;
+      return {false, os.str()};
+    }
+    prev_increment = increment;
+  }
+  return {};
+}
+
+ValidationReport check_assumption2prime(const MalleableTask& task, double tol) {
+  const int m = task.max_processors();
+  for (int l = 1; l < m; ++l) {
+    if (task.work(l + 1) < task.work(l) * (1.0 - tol)) {
+      std::ostringstream os;
+      os << "W(" << l + 1 << ") = " << task.work(l + 1) << " < W(" << l
+         << ") = " << task.work(l);
+      return {false, os.str()};
+    }
+  }
+  return {};
+}
+
+ValidationReport check_work_convex_in_time(const MalleableTask& task, double tol) {
+  const int m = task.max_processors();
+  // Breakpoints ordered by increasing processing time: l = m, m-1, ..., 1.
+  // Convexity: for consecutive triples (p(l+1), W(l+1)), (p(l), W(l)),
+  // (p(l-1), W(l-1)) the middle point lies on or below the chord. Plateaus
+  // (equal processing times) are skipped — the function is not strictly a
+  // graph over time there, and the LP construction skips those pieces too.
+  for (int l = 2; l < m; ++l) {
+    const double x0 = task.processing_time(l + 1), y0 = task.work(l + 1);
+    const double x1 = task.processing_time(l), y1 = task.work(l);
+    const double x2 = task.processing_time(l - 1), y2 = task.work(l - 1);
+    if (x2 - x0 < tol) continue;
+    const double chord = y0 + (y2 - y0) * (x1 - x0) / (x2 - x0);
+    if (y1 > chord + tol * (1.0 + std::abs(chord))) {
+      std::ostringstream os;
+      os << "work at p(" << l << ") = " << y1 << " above chord " << chord;
+      return {false, os.str()};
+    }
+  }
+  return {};
+}
+
+bool satisfies_paper_model(const MalleableTask& task, double tol) {
+  return check_assumption1(task, tol).ok && check_assumption2(task, tol).ok;
+}
+
+bool satisfies_generalized_model(const MalleableTask& task, double tol) {
+  return check_assumption1(task, tol).ok && check_assumption2prime(task, tol).ok &&
+         check_work_convex_in_time(task, tol).ok;
+}
+
+}  // namespace malsched::model

@@ -1,0 +1,47 @@
+// Validators for the paper's model assumptions.
+//
+// Assumption 1 (eq. 1):  p(l) >= p(l') for l <= l'.
+// Assumption 2 (eq. 2):  speedup s(l) = p(1)/p(l) concave on {0, 1, ..., m}
+//                        with the convention p(0) = infinity, s(0) = 0.
+// Assumption 2' (eq. 3): work W(l) = l p(l) non-decreasing (the weaker
+//                        assumption of Lepere-Trystram-Woeginger / JZ2006;
+//                        Theorem 2.1 shows A2 implies A2').
+#pragma once
+
+#include <string>
+
+#include "model/task.hpp"
+
+namespace malsched::model {
+
+struct ValidationReport {
+  bool ok = true;
+  std::string detail;  ///< first violated inequality, human readable
+};
+
+ValidationReport check_assumption1(const MalleableTask& task, double tol = 1e-9);
+
+/// Discrete concavity of the speedup including the s(0) = 0 endpoint:
+/// s(l+1) - s(l) <= s(l) - s(l-1) for l = 1..m-1 (with s(0) = 0). For
+/// integer arguments this is equivalent to the chord condition (2).
+ValidationReport check_assumption2(const MalleableTask& task, double tol = 1e-9);
+
+ValidationReport check_assumption2prime(const MalleableTask& task, double tol = 1e-9);
+
+/// Convexity of the work function in the processing time (the Theorem 2.2
+/// consequence): for the breakpoints (p(l), W(l)), every middle point lies
+/// on or below the chord of its neighbours.
+ValidationReport check_work_convex_in_time(const MalleableTask& task, double tol = 1e-9);
+
+/// True iff both Assumption 1 and Assumption 2 hold.
+bool satisfies_paper_model(const MalleableTask& task, double tol = 1e-9);
+
+/// The generalized model of the paper's conclusion: the algorithm and its
+/// analysis remain valid whenever Assumption 1 holds and the work function
+/// is convex in the processing time — concavity of the speedup (A2) is a
+/// sufficient but not necessary condition (Theorems 2.1/2.2). The analysis
+/// additionally uses monotone work (A2') when the mu-cap lowers allotments,
+/// so the generalized validator checks A1 + A2' + convexity.
+bool satisfies_generalized_model(const MalleableTask& task, double tol = 1e-9);
+
+}  // namespace malsched::model

@@ -1,0 +1,172 @@
+#include "model/instance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "model/speedup.hpp"
+#include "support/assert.hpp"
+
+namespace malsched::model {
+
+double Instance::min_total_work() const {
+  double total = 0.0;
+  for (const auto& task : tasks) total += task.work(1);
+  return total;
+}
+
+double Instance::min_critical_path() const {
+  std::vector<double> weights(tasks.size());
+  for (std::size_t j = 0; j < tasks.size(); ++j) {
+    weights[j] = tasks[j].processing_time(m);
+  }
+  return graph::longest_path(dag, weights);
+}
+
+double Instance::trivial_lower_bound() const {
+  return std::max(min_critical_path(), min_total_work() / m);
+}
+
+Instance make_instance(graph::Dag dag, int m,
+                       const std::function<MalleableTask(int, int)>& factory) {
+  Instance instance;
+  instance.m = m;
+  const int n = dag.num_nodes();
+  instance.dag = std::move(dag);
+  instance.tasks.reserve(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) instance.tasks.push_back(factory(j, m));
+  validate_instance(instance);
+  return instance;
+}
+
+void validate_instance(const Instance& instance) {
+  MALSCHED_ASSERT(instance.m >= 1);
+  MALSCHED_ASSERT(static_cast<int>(instance.tasks.size()) == instance.dag.num_nodes());
+  MALSCHED_ASSERT_MSG(graph::is_acyclic(instance.dag), "precedence graph has a cycle");
+  for (const auto& task : instance.tasks) {
+    MALSCHED_ASSERT(task.max_processors() == instance.m);
+  }
+}
+
+const char* to_string(DagFamily family) {
+  switch (family) {
+    case DagFamily::kChain: return "chain";
+    case DagFamily::kIndependent: return "independent";
+    case DagFamily::kForkJoin: return "fork-join";
+    case DagFamily::kLayered: return "layered";
+    case DagFamily::kRandom: return "random-dag";
+    case DagFamily::kSeriesParallel: return "series-parallel";
+    case DagFamily::kIntree: return "in-tree";
+    case DagFamily::kOuttree: return "out-tree";
+    case DagFamily::kCholesky: return "tiled-cholesky";
+    case DagFamily::kLu: return "tiled-lu";
+    case DagFamily::kFft: return "fft";
+    case DagFamily::kDiamond: return "diamond";
+  }
+  return "unknown";
+}
+
+const char* to_string(TaskFamily family) {
+  switch (family) {
+    case TaskFamily::kPowerLaw: return "power-law";
+    case TaskFamily::kAmdahl: return "amdahl";
+    case TaskFamily::kRandomConcave: return "random-concave";
+    case TaskFamily::kMixed: return "mixed";
+  }
+  return "unknown";
+}
+
+std::vector<DagFamily> all_dag_families() {
+  return {DagFamily::kChain,         DagFamily::kIndependent,
+          DagFamily::kForkJoin,      DagFamily::kLayered,
+          DagFamily::kRandom,        DagFamily::kSeriesParallel,
+          DagFamily::kIntree,        DagFamily::kOuttree,
+          DagFamily::kCholesky,      DagFamily::kLu,
+          DagFamily::kFft,           DagFamily::kDiamond};
+}
+
+graph::Dag make_family_dag(DagFamily family, int size_hint, support::Rng& rng) {
+  const int n = std::max(1, size_hint);
+  switch (family) {
+    case DagFamily::kChain:
+      return graph::make_chain(n);
+    case DagFamily::kIndependent:
+      return graph::make_independent(n);
+    case DagFamily::kForkJoin:
+      return graph::make_fork_join(std::max(1, n - 2));
+    case DagFamily::kLayered: {
+      const int width = std::max(2, static_cast<int>(std::sqrt(n)));
+      const int layers = std::max(2, (n + width - 1) / width);
+      return graph::make_layered(layers, width, 3, rng);
+    }
+    case DagFamily::kRandom:
+      return graph::make_random_dag(n, std::min(0.5, 4.0 / n), rng);
+    case DagFamily::kSeriesParallel:
+      return graph::make_series_parallel(n, rng);
+    case DagFamily::kIntree: {
+      int levels = 1;
+      while ((1 << (levels + 1)) - 1 <= n) ++levels;
+      return graph::make_intree(levels);
+    }
+    case DagFamily::kOuttree: {
+      int levels = 1;
+      while ((1 << (levels + 1)) - 1 <= n) ++levels;
+      return graph::make_outtree(levels);
+    }
+    case DagFamily::kCholesky: {
+      int t = 1;
+      while (graph::tiled_cholesky_size(t + 1) <= n) ++t;
+      return graph::make_tiled_cholesky(t);
+    }
+    case DagFamily::kLu: {
+      int t = 1;
+      while (graph::tiled_lu_size(t + 1) <= n) ++t;
+      return graph::make_tiled_lu(t);
+    }
+    case DagFamily::kFft: {
+      int stages = 0;
+      while ((stages + 2) * (1 << (stages + 1)) <= n) ++stages;
+      return graph::make_fft(stages);
+    }
+    case DagFamily::kDiamond: {
+      const int side = std::max(1, static_cast<int>(std::sqrt(n)));
+      return graph::make_diamond(side, side);
+    }
+  }
+  MALSCHED_ASSERT(false);
+  return graph::Dag(0);
+}
+
+namespace {
+
+MalleableTask make_family_task(TaskFamily family, int m, support::Rng& rng) {
+  switch (family) {
+    case TaskFamily::kPowerLaw:
+      return make_random_power_law_task(rng, 0.3, 1.0, m);
+    case TaskFamily::kAmdahl:
+      return make_amdahl_task(rng.lognormal(2.0, 0.75), rng.uniform(0.5, 0.98), m);
+    case TaskFamily::kRandomConcave:
+      return make_random_concave_task(rng, 1.0, 50.0, m);
+    case TaskFamily::kMixed: {
+      const int pick = rng.uniform_int(0, 2);
+      if (pick == 0) return make_family_task(TaskFamily::kPowerLaw, m, rng);
+      if (pick == 1) return make_family_task(TaskFamily::kAmdahl, m, rng);
+      return make_family_task(TaskFamily::kRandomConcave, m, rng);
+    }
+  }
+  MALSCHED_ASSERT(false);
+  return make_sequential_task(1.0, m);
+}
+
+}  // namespace
+
+Instance make_family_instance(DagFamily dag_family, TaskFamily task_family,
+                              int size_hint, int m, support::Rng& rng) {
+  graph::Dag dag = make_family_dag(dag_family, size_hint, rng);
+  return make_instance(std::move(dag), m, [&](int, int procs) {
+    return make_family_task(task_family, procs, rng);
+  });
+}
+
+}  // namespace malsched::model

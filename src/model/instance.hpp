@@ -1,0 +1,81 @@
+// A full problem instance: precedence DAG + one malleable task per node +
+// processor count m, plus the instance factories used by tests and benches.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "model/task.hpp"
+#include "support/rng.hpp"
+
+namespace malsched::model {
+
+struct Instance {
+  graph::Dag dag;
+  std::vector<MalleableTask> tasks;
+  int m = 1;  ///< number of identical processors
+
+  int num_tasks() const { return static_cast<int>(tasks.size()); }
+  const MalleableTask& task(int j) const { return tasks[static_cast<std::size_t>(j)]; }
+
+  /// Total work when every task runs on one processor (the minimum possible
+  /// total work under Assumption 2'): sum_j p_j(1).
+  double min_total_work() const;
+
+  /// Critical path length when every task runs on m processors (the minimum
+  /// possible path length): longest path under weights p_j(m).
+  double min_critical_path() const;
+
+  /// max{min_critical_path, min_total_work / m} — a crude combinatorial
+  /// lower bound on OPT, weaker than the LP bound but solver-free.
+  double trivial_lower_bound() const;
+};
+
+/// Builds an instance from a DAG, calling `factory(node, m)` per node.
+Instance make_instance(graph::Dag dag, int m,
+                       const std::function<MalleableTask(int, int)>& factory);
+
+/// Asserts structural sanity: acyclic, one task per node, each task table
+/// sized m, positive times.
+void validate_instance(const Instance& instance);
+
+// ---- Named instance suite for experiments --------------------------------
+
+enum class DagFamily {
+  kChain,
+  kIndependent,
+  kForkJoin,
+  kLayered,
+  kRandom,
+  kSeriesParallel,
+  kIntree,
+  kOuttree,
+  kCholesky,
+  kLu,
+  kFft,
+  kDiamond,
+};
+
+enum class TaskFamily {
+  kPowerLaw,       // d ~ U(0.3, 1.0)
+  kAmdahl,         // parallel fraction ~ U(0.5, 0.98)
+  kRandomConcave,  // arbitrary concave speedups
+  kMixed,          // uniform mixture of the above three
+};
+
+const char* to_string(DagFamily family);
+const char* to_string(TaskFamily family);
+
+std::vector<DagFamily> all_dag_families();
+
+/// Builds a DAG of the given family with roughly `size_hint` nodes (exact
+/// count depends on the family's combinatorics).
+graph::Dag make_family_dag(DagFamily family, int size_hint, support::Rng& rng);
+
+/// Full random instance: family DAG + random tasks of the given family.
+Instance make_family_instance(DagFamily dag_family, TaskFamily task_family,
+                              int size_hint, int m, support::Rng& rng);
+
+}  // namespace malsched::model

@@ -1,0 +1,153 @@
+#include "model/serialization.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "support/assert.hpp"
+
+namespace malsched::model {
+
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+/// Next non-empty, non-comment line.
+bool next_line(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void write_instance(std::ostream& os, const Instance& instance) {
+  os << "malsched-instance v1\n";
+  os << "m " << instance.m << "\n";
+  os << "tasks " << instance.num_tasks() << "\n";
+  os << std::setprecision(17);
+  for (int j = 0; j < instance.num_tasks(); ++j) {
+    const MalleableTask& task = instance.task(j);
+    os << "task " << j << ' ' << (task.name().empty() ? "-" : task.name());
+    for (int l = 1; l <= instance.m; ++l) os << ' ' << task.processing_time(l);
+    os << "\n";
+  }
+  os << "edges " << instance.dag.num_edges() << "\n";
+  for (int v = 0; v < instance.dag.num_nodes(); ++v) {
+    for (graph::NodeId w : instance.dag.successors(v)) {
+      os << "edge " << v << ' ' << w << "\n";
+    }
+  }
+}
+
+std::optional<Instance> read_instance(std::istream& is, std::string* error) {
+  std::string line;
+  if (!next_line(is, line) || line.rfind("malsched-instance", 0) != 0) {
+    fail(error, "missing 'malsched-instance' header");
+    return std::nullopt;
+  }
+
+  int m = 0, n = 0;
+  {
+    if (!next_line(is, line)) {
+      fail(error, "missing 'm' line");
+      return std::nullopt;
+    }
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword >> m) || keyword != "m" || m < 1) {
+      fail(error, "bad 'm' line: " + line);
+      return std::nullopt;
+    }
+    if (!next_line(is, line)) {
+      fail(error, "missing 'tasks' line");
+      return std::nullopt;
+    }
+    std::istringstream ts(line);
+    if (!(ts >> keyword >> n) || keyword != "tasks" || n < 0) {
+      fail(error, "bad 'tasks' line: " + line);
+      return std::nullopt;
+    }
+  }
+
+  Instance instance;
+  instance.m = m;
+  instance.dag = graph::Dag(n);
+  instance.tasks.reserve(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    if (!next_line(is, line)) {
+      fail(error, "missing task line " + std::to_string(j));
+      return std::nullopt;
+    }
+    std::istringstream ls(line);
+    std::string keyword, name;
+    int id = -1;
+    if (!(ls >> keyword >> id >> name) || keyword != "task" || id != j) {
+      fail(error, "bad task line: " + line);
+      return std::nullopt;
+    }
+    std::vector<double> times;
+    double t = 0.0;
+    while (ls >> t) times.push_back(t);
+    if (static_cast<int>(times.size()) != m) {
+      fail(error, "task " + std::to_string(j) + " has " +
+                      std::to_string(times.size()) + " times, expected " +
+                      std::to_string(m));
+      return std::nullopt;
+    }
+    for (double x : times) {
+      if (!(x > 0.0)) {
+        fail(error, "task " + std::to_string(j) + " has a non-positive time");
+        return std::nullopt;
+      }
+    }
+    instance.tasks.emplace_back(std::move(times), name == "-" ? "" : name);
+  }
+
+  int k = 0;
+  if (!next_line(is, line)) {
+    fail(error, "missing 'edges' line");
+    return std::nullopt;
+  }
+  {
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword >> k) || keyword != "edges" || k < 0) {
+      fail(error, "bad 'edges' line: " + line);
+      return std::nullopt;
+    }
+  }
+  for (int e = 0; e < k; ++e) {
+    if (!next_line(is, line)) {
+      fail(error, "missing edge line " + std::to_string(e));
+      return std::nullopt;
+    }
+    std::istringstream ls(line);
+    std::string keyword;
+    int from = -1, to = -1;
+    if (!(ls >> keyword >> from >> to) || keyword != "edge" || from < 0 ||
+        from >= n || to < 0 || to >= n || from == to) {
+      fail(error, "bad edge line: " + line);
+      return std::nullopt;
+    }
+    instance.dag.add_edge(from, to);
+  }
+
+  if (!graph::is_acyclic(instance.dag)) {
+    fail(error, "precedence graph has a cycle");
+    return std::nullopt;
+  }
+  return instance;
+}
+
+}  // namespace malsched::model

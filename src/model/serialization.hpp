@@ -1,0 +1,29 @@
+// Plain-text instance serialization.
+//
+// Format (line oriented, '#' comments allowed):
+//   malsched-instance v1
+//   m <processors>
+//   tasks <n>
+//   task <id> <name-or-dash> <p(1)> <p(2)> ... <p(m)>     (n lines)
+//   edges <k>
+//   edge <from> <to>                                       (k lines)
+//
+// Round-trips exactly (times printed with max precision); used to pin down
+// regression workloads and to exchange instances with external tools.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "model/instance.hpp"
+
+namespace malsched::model {
+
+void write_instance(std::ostream& os, const Instance& instance);
+
+/// Returns std::nullopt (with `error` filled when non-null) on malformed
+/// input; otherwise the parsed, validated instance.
+std::optional<Instance> read_instance(std::istream& is, std::string* error = nullptr);
+
+}  // namespace malsched::model

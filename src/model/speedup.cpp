@@ -1,0 +1,106 @@
+#include "model/speedup.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "support/assert.hpp"
+
+namespace malsched::model {
+
+namespace {
+
+MalleableTask from_speedup(double p1, int m, const std::vector<double>& s,
+                           std::string name) {
+  std::vector<double> times(static_cast<std::size_t>(m));
+  for (int l = 1; l <= m; ++l) {
+    const double sl = s[static_cast<std::size_t>(l - 1)];
+    MALSCHED_ASSERT(sl > 0.0);
+    times[static_cast<std::size_t>(l - 1)] = p1 / sl;
+  }
+  return MalleableTask(std::move(times), std::move(name));
+}
+
+}  // namespace
+
+MalleableTask make_power_law_task(double p1, double d, int m, std::string name) {
+  MALSCHED_ASSERT(p1 > 0.0 && d > 0.0 && d <= 1.0 && m >= 1);
+  std::vector<double> s(static_cast<std::size_t>(m));
+  for (int l = 1; l <= m; ++l) s[static_cast<std::size_t>(l - 1)] = std::pow(l, d);
+  return from_speedup(p1, m, s, std::move(name));
+}
+
+MalleableTask make_amdahl_task(double p1, double parallel_fraction, int m,
+                               std::string name) {
+  MALSCHED_ASSERT(p1 > 0.0 && parallel_fraction >= 0.0 && parallel_fraction <= 1.0);
+  std::vector<double> s(static_cast<std::size_t>(m));
+  for (int l = 1; l <= m; ++l) {
+    s[static_cast<std::size_t>(l - 1)] =
+        1.0 / ((1.0 - parallel_fraction) + parallel_fraction / l);
+  }
+  return from_speedup(p1, m, s, std::move(name));
+}
+
+MalleableTask make_logarithmic_task(double p1, double c, int m, std::string name) {
+  MALSCHED_ASSERT(p1 > 0.0 && c >= 0.0);
+  std::vector<double> s(static_cast<std::size_t>(m));
+  for (int l = 1; l <= m; ++l) {
+    s[static_cast<std::size_t>(l - 1)] = 1.0 + c * std::log(static_cast<double>(l));
+  }
+  return from_speedup(p1, m, s, std::move(name));
+}
+
+MalleableTask make_capped_linear_task(double p1, int cap, int m, std::string name) {
+  MALSCHED_ASSERT(p1 > 0.0 && cap >= 1);
+  std::vector<double> s(static_cast<std::size_t>(m));
+  for (int l = 1; l <= m; ++l) {
+    s[static_cast<std::size_t>(l - 1)] = static_cast<double>(std::min(l, cap));
+  }
+  return from_speedup(p1, m, s, std::move(name));
+}
+
+MalleableTask make_sequential_task(double p1, int m, std::string name) {
+  MALSCHED_ASSERT(p1 > 0.0);
+  return MalleableTask(std::vector<double>(static_cast<std::size_t>(m), p1),
+                       std::move(name));
+}
+
+MalleableTask make_convex_speedup_task(double p1, double delta, int m,
+                                       std::string name) {
+  MALSCHED_ASSERT(delta > 0.0 && delta < 1.0 / (static_cast<double>(m) * m + 1.0));
+  std::vector<double> s(static_cast<std::size_t>(m));
+  for (int l = 1; l <= m; ++l) {
+    s[static_cast<std::size_t>(l - 1)] =
+        1.0 - delta + delta * static_cast<double>(l) * l;
+  }
+  return from_speedup(p1, m, s, std::move(name));
+}
+
+MalleableTask make_random_concave_task(support::Rng& rng, double p1_lo, double p1_hi,
+                                       int m, std::string name) {
+  MALSCHED_ASSERT(0.0 < p1_lo && p1_lo <= p1_hi);
+  // Discrete concavity of s on {0,1,...,m} with s(0) = 0, s(1) = 1 is
+  // equivalent to increments delta_l = s(l) - s(l-1) being non-increasing
+  // with delta_1 = 1: draw 1 >= delta_2 >= ... >= delta_m >= 0 by sorting
+  // uniform draws in decreasing order.
+  std::vector<double> inc(static_cast<std::size_t>(std::max(0, m - 1)));
+  for (auto& d : inc) d = rng.uniform();
+  std::sort(inc.begin(), inc.end(), std::greater<>());
+  std::vector<double> s(static_cast<std::size_t>(m));
+  s[0] = 1.0;
+  for (int l = 2; l <= m; ++l) {
+    s[static_cast<std::size_t>(l - 1)] =
+        s[static_cast<std::size_t>(l - 2)] + inc[static_cast<std::size_t>(l - 2)];
+  }
+  return from_speedup(rng.uniform(p1_lo, p1_hi), m, s, std::move(name));
+}
+
+MalleableTask make_random_power_law_task(support::Rng& rng, double d_lo, double d_hi,
+                                         int m, std::string name) {
+  MALSCHED_ASSERT(0.0 < d_lo && d_lo <= d_hi && d_hi <= 1.0);
+  const double d = rng.uniform(d_lo, d_hi);
+  const double p1 = rng.lognormal(2.0, 0.75);
+  return make_power_law_task(p1, d, m, std::move(name));
+}
+
+}  // namespace malsched::model

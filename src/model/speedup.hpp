@@ -1,0 +1,52 @@
+// Speedup-curve families for building malleable tasks.
+//
+// Each factory returns a processing-time table p(1..m) = p1 / s(l) for a
+// family of speedup functions s with s(1) = 1. The first four families are
+// concave and non-decreasing, hence satisfy Assumptions 1 and 2; the last
+// one is the paper's own Section 2 counterexample that satisfies
+// Assumptions 1 and 2' but NOT Assumption 2 (convex speedup) — used to test
+// the validators and to probe robustness of the algorithm outside its model.
+#pragma once
+
+#include <vector>
+
+#include "model/task.hpp"
+#include "support/rng.hpp"
+
+namespace malsched::model {
+
+/// Power law p(l) = p1 * l^{-d}, 0 < d <= 1 — the canonical example of the
+/// paper (and of Prasanna-Musicus). d = 1 is perfect linear speedup.
+MalleableTask make_power_law_task(double p1, double d, int m, std::string name = {});
+
+/// Amdahl's law: s(l) = 1 / ((1 - f) + f / l), serial fraction 1-f.
+MalleableTask make_amdahl_task(double p1, double parallel_fraction, int m,
+                               std::string name = {});
+
+/// Logarithmic: s(l) = 1 + c * ln(l); concave, slow saturation.
+MalleableTask make_logarithmic_task(double p1, double c, int m, std::string name = {});
+
+/// Linear speedup up to a cap: s(l) = min(l, cap) (then flat).
+MalleableTask make_capped_linear_task(double p1, int cap, int m, std::string name = {});
+
+/// Fully sequential task: p(l) = p1 for all l.
+MalleableTask make_sequential_task(double p1, int m, std::string name = {});
+
+/// The Section 2 counterexample p(l) = p1 / (1 - delta + delta * l^2) with
+/// delta in (0, 1/(m^2+1)): work non-decreasing (Assumption 2') but speedup
+/// convex (violates Assumption 2).
+MalleableTask make_convex_speedup_task(double p1, double delta, int m,
+                                       std::string name = {});
+
+/// Random task satisfying Assumptions 1+2: draws a concave non-decreasing
+/// speedup by accumulating positive, non-increasing increments with
+/// s(1) - s(0) = 1 >= s(2)-s(1) >= ... >= 0 (the discrete concavity chain
+/// including the s(0) = 0 endpoint).
+MalleableTask make_random_concave_task(support::Rng& rng, double p1_lo, double p1_hi,
+                                       int m, std::string name = {});
+
+/// Random power-law task with d ~ U(d_lo, d_hi), p1 ~ lognormal.
+MalleableTask make_random_power_law_task(support::Rng& rng, double d_lo, double d_hi,
+                                         int m, std::string name = {});
+
+}  // namespace malsched::model

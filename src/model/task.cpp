@@ -1,0 +1,49 @@
+#include "model/task.hpp"
+
+#include "support/assert.hpp"
+
+namespace malsched::model {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+MalleableTask::MalleableTask(std::vector<double> times, std::string name)
+    : times_(std::move(times)), name_(std::move(name)) {
+  MALSCHED_ASSERT_MSG(!times_.empty(), "task needs at least one allotment");
+  for (double t : times_) MALSCHED_ASSERT_MSG(t > 0.0, "processing times must be positive");
+}
+
+double MalleableTask::processing_time(int l) const {
+  MALSCHED_ASSERT(l >= 1 && l <= max_processors());
+  return times_[static_cast<std::size_t>(l - 1)];
+}
+
+double MalleableTask::work(int l) const { return l * processing_time(l); }
+
+double MalleableTask::speedup(int l) const {
+  if (l == 0) return 0.0;
+  return processing_time(1) / processing_time(l);
+}
+
+int MalleableTask::smallest_allotment_within(double x) const {
+  const int m = max_processors();
+  MALSCHED_ASSERT_MSG(x >= processing_time(m) - kEps, "time budget below p(m)");
+  for (int l = 1; l <= m; ++l) {
+    if (processing_time(l) <= x + kEps) return l;
+  }
+  return m;
+}
+
+int MalleableTask::bracket_lower_processors(double x) const {
+  const int m = max_processors();
+  MALSCHED_ASSERT(x >= processing_time(m) - kEps);
+  MALSCHED_ASSERT(x <= processing_time(1) + kEps);
+  int best = 1;
+  for (int l = 1; l <= m; ++l) {
+    if (processing_time(l) >= x - kEps) best = l;
+  }
+  return best;
+}
+
+}  // namespace malsched::model

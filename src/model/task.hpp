@@ -1,0 +1,54 @@
+// Malleable task: discrete processing-time table p(1..m).
+//
+// A malleable task J_j can run on any integer number l in {1..m} of
+// identical processors with processing time p_j(l) (communication and
+// synchronization overhead folded in, following Turek et al. and
+// Prasanna-Musicus). The paper's model further requires:
+//   Assumption 1: p_j(l) non-increasing in l,
+//   Assumption 2: speedup s_j(l) = p_j(1)/p_j(l) concave in l (p_j(0) = inf,
+//                 so s_j(0) = 0 participates in the concavity inequality).
+// Validation lives in assumptions.hpp; this type only stores the table and
+// derived quantities.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace malsched::model {
+
+class MalleableTask {
+ public:
+  MalleableTask() = default;
+
+  /// `times[l-1]` is p(l); all entries must be positive.
+  explicit MalleableTask(std::vector<double> times, std::string name = {});
+
+  int max_processors() const { return static_cast<int>(times_.size()); }
+
+  /// p(l) for l in [1, m].
+  double processing_time(int l) const;
+
+  /// W(l) = l * p(l).
+  double work(int l) const;
+
+  /// s(l) = p(1)/p(l); s(0) = 0 by convention.
+  double speedup(int l) const;
+
+  /// Smallest l with p(l) <= x (canonical allotment for a time budget x).
+  /// Requires x >= p(m), i.e. the budget must be achievable.
+  int smallest_allotment_within(double x) const;
+
+  /// Largest l with p(l) >= x, i.e. the l for which x lies in the rounding
+  /// interval [p(l+1), p(l)] (l = m when x = p(m)). Requires
+  /// p(m) <= x <= p(1) up to a small tolerance.
+  int bracket_lower_processors(double x) const;
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& table() const { return times_; }
+
+ private:
+  std::vector<double> times_;  // times_[l-1] = p(l)
+  std::string name_;
+};
+
+}  // namespace malsched::model

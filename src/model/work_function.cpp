@@ -1,0 +1,48 @@
+#include "model/work_function.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace malsched::model {
+
+WorkFunction::WorkFunction(const MalleableTask& task) {
+  const int m = task.max_processors();
+  min_time_ = task.processing_time(m);
+  max_time_ = task.processing_time(1);
+  min_work_ = task.work(1);
+
+  // Relative width below which an interval [p(l+1), p(l)] is treated as a
+  // plateau: the affine piece would be numerically vertical, and the
+  // breakpoints on either side determine the envelope there anyway.
+  const double width_tol = 1e-9 * max_time_;
+  for (int l = 1; l < m; ++l) {
+    const double hi = task.processing_time(l);
+    const double lo = task.processing_time(l + 1);
+    const double width = lo - hi;  // note: lo = p(l+1) <= p(l) = hi, so <= 0
+    if (hi - lo < width_tol) continue;
+    // Eq. (8): slope and intercept of the chord through
+    // (p(l), W(l)) and (p(l+1), W(l+1)).
+    const double slope = (task.work(l + 1) - task.work(l)) / width;
+    const double intercept = -task.processing_time(l) * task.processing_time(l + 1) / width;
+    pieces_.push_back(WorkPiece{slope, intercept, l});
+  }
+}
+
+double WorkFunction::value(double x) const {
+  const double xc = std::clamp(x, min_time_, max_time_);
+  if (pieces_.empty()) return min_work_;
+  double best = -1e300;
+  for (const WorkPiece& piece : pieces_) {
+    best = std::max(best, piece.slope * xc + piece.intercept);
+  }
+  return best;
+}
+
+double WorkFunction::fractional_processors(double x) const {
+  MALSCHED_ASSERT(x > 0.0);
+  const double xc = std::clamp(x, min_time_, max_time_);
+  return value(xc) / xc;
+}
+
+}  // namespace malsched::model

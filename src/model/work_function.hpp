@@ -1,0 +1,50 @@
+// The continuous piecewise-linear work function w_j(x) of Section 3.1.
+//
+// For a task with table p(1..m) the paper interpolates the discrete works
+// W(l) = l p(l) linearly between consecutive breakpoints (eq. 6); by
+// Theorem 2.2 the result is convex in x, so it equals the max of its affine
+// pieces (eq. 8), which is what LP (9) encodes. This class precomputes the
+// pieces and provides evaluation plus the fractional processor count
+// l*(x) = w(x)/x of eq. (12).
+#pragma once
+
+#include <vector>
+
+#include "model/task.hpp"
+
+namespace malsched::model {
+
+/// One affine piece w(x) = slope * x + intercept, valid on
+/// [p(l+1), p(l)] for the recorded l.
+struct WorkPiece {
+  double slope = 0.0;
+  double intercept = 0.0;
+  int lower_l = 0;  ///< the l of the interval [p(l+1), p(l)]
+};
+
+class WorkFunction {
+ public:
+  explicit WorkFunction(const MalleableTask& task);
+
+  /// w(x) per eq. (6)/(8) for x in [p(m), p(1)] (clamped slightly outside).
+  double value(double x) const;
+
+  /// l*(x) = w(x)/x per eq. (12); Lemma 4.1 guarantees l <= l*(x) <= l+1 on
+  /// the bracket [p(l+1), p(l)].
+  double fractional_processors(double x) const;
+
+  /// Affine pieces (eq. 8); empty when m == 1 or all breakpoints coincide.
+  const std::vector<WorkPiece>& pieces() const { return pieces_; }
+
+  double min_time() const { return min_time_; }  ///< p(m)
+  double max_time() const { return max_time_; }  ///< p(1)
+  double min_work() const { return min_work_; }  ///< W at the lower envelope start
+
+ private:
+  std::vector<WorkPiece> pieces_;
+  double min_time_ = 0.0;
+  double max_time_ = 0.0;
+  double min_work_ = 0.0;
+};
+
+}  // namespace malsched::model

@@ -1,0 +1,31 @@
+// Lightweight always-on assertion macro.
+//
+// Unlike <cassert>, MALSCHED_ASSERT stays active in release builds: the
+// scheduler's correctness arguments (feasibility of the LIST schedule,
+// Lemma 4.1 bracketing of the fractional allotment, ...) are cheap to check
+// and a silent violation would invalidate every downstream measurement.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace malsched {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "malsched assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace malsched
+
+#define MALSCHED_ASSERT(expr)                                            \
+  do {                                                                   \
+    if (!(expr)) ::malsched::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define MALSCHED_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                     \
+    if (!(expr)) ::malsched::assert_fail(#expr, __FILE__, __LINE__, msg);  \
+  } while (false)

@@ -1,0 +1,110 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace malsched::support {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  MALSCHED_ASSERT(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  MALSCHED_ASSERT(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ULL - (~0ULL % span);
+  std::uint64_t v = next_u64();
+  while (v > limit) v = next_u64();
+  return lo + static_cast<int>(v % span);
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(mu + sigma * normal());
+}
+
+double Rng::exponential(double lambda) {
+  MALSCHED_ASSERT(lambda > 0.0);
+  return -std::log(1.0 - uniform()) / lambda;
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  MALSCHED_ASSERT(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    MALSCHED_ASSERT(w >= 0.0);
+    total += w;
+  }
+  MALSCHED_ASSERT(total > 0.0);
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::split() {
+  // Derive a decorrelated child seed from two raw draws.
+  const std::uint64_t a = next_u64();
+  const std::uint64_t b = next_u64();
+  return Rng(a ^ rotl(b, 29) ^ 0xd1b54a32d192ed03ULL);
+}
+
+}  // namespace malsched::support

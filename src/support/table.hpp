@@ -1,0 +1,35 @@
+// Plain-text table formatting for the benchmark harness.
+//
+// Every bench binary regenerating a table of the paper prints through
+// TextTable so the output lines up with the published rows and is easy to
+// diff against EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace malsched::support {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double value, int precision = 4);
+  static std::string num(int value);
+
+  /// Render with column alignment; writes a header rule.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace malsched::support

@@ -1,0 +1,168 @@
+// Tests for Phase 1: LP (9) construction, solution quality, and the
+// binary-search ablation mode.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/exact.hpp"
+#include "core/allotment_lp.hpp"
+#include "graph/generators.hpp"
+#include "model/instance.hpp"
+#include "model/speedup.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace malsched;
+using core::AllotmentLpOptions;
+using core::FractionalAllotment;
+using core::LpMode;
+
+model::Instance power_law_instance(graph::Dag dag, int m, double d = 0.7) {
+  return model::make_instance(std::move(dag), m, [d](int j, int procs) {
+    return model::make_power_law_task(10.0 + 3.0 * j, d, procs);
+  });
+}
+
+TEST(AllotmentLp, StructureCounts) {
+  const model::Instance instance = power_law_instance(graph::make_chain(3), 4);
+  const lp::Model lpm = core::build_allotment_lp(instance);
+  // 3 tasks * (x, C, w) + L + C.
+  EXPECT_EQ(lpm.num_variables(), 11);
+  // 2 edges + 1 source + 1 sink (C<=L) + 3*(m-1)=9 pieces + L<=C + load.
+  EXPECT_EQ(lpm.num_constraints(), 15);
+}
+
+TEST(AllotmentLp, SingleTaskOptimum) {
+  // One task, m=4, perfect scaling d=1: p(l) = 12/l, work 12 at every l.
+  // LP can run it at x = p(4) = 3 with W/m = 3: C* = 3.
+  model::Instance instance;
+  instance.dag = graph::Dag(1);
+  instance.m = 4;
+  instance.tasks = {model::make_power_law_task(12.0, 1.0, 4)};
+  const FractionalAllotment frac = core::solve_allotment_lp(instance);
+  EXPECT_NEAR(frac.lower_bound, 3.0, 1e-6);
+  EXPECT_NEAR(frac.x[0], 3.0, 1e-6);
+}
+
+TEST(AllotmentLp, IndependentTasksPerfectScaling) {
+  // n identical perfectly-scaling tasks: total work n*p1 regardless of x;
+  // the LP floor is W/m when long enough, i.e. C* = n*p1/m once n >= m.
+  const int n = 8, m = 4;
+  model::Instance instance = model::make_instance(
+      graph::make_independent(n), m,
+      [](int, int procs) { return model::make_power_law_task(4.0, 1.0, procs); });
+  const FractionalAllotment frac = core::solve_allotment_lp(instance);
+  EXPECT_NEAR(frac.lower_bound, 8.0 * 4.0 / 4.0, 1e-6);
+}
+
+TEST(AllotmentLp, ChainIsPathBound) {
+  // A chain has no parallelism across tasks: C* = sum of x_j, optimized by
+  // running every task fully parallel as long as total work stays under mC.
+  const int m = 4;
+  model::Instance instance = power_law_instance(graph::make_chain(3), m, 1.0);
+  // d=1: works equal p_j(1), path = sum p_j(4) = (10+13+16)/4 = 9.75;
+  // W/m = 39/4 = 9.75 as well: C* = 9.75.
+  const FractionalAllotment frac = core::solve_allotment_lp(instance);
+  EXPECT_NEAR(frac.lower_bound, 9.75, 1e-6);
+  EXPECT_NEAR(frac.critical_path, 9.75, 1e-5);
+}
+
+TEST(AllotmentLp, LowerBoundDominatesTrivialBound) {
+  support::Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    const model::Instance instance = model::make_family_instance(
+        model::DagFamily::kLayered, model::TaskFamily::kMixed, 15, 6, rng);
+    const FractionalAllotment frac = core::solve_allotment_lp(instance);
+    EXPECT_GE(frac.lower_bound + 1e-6, instance.trivial_lower_bound());
+    EXPECT_GE(frac.lower_bound + 1e-6, frac.critical_path);
+    EXPECT_GE(frac.lower_bound * instance.m + 1e-6, frac.total_work);
+  }
+}
+
+TEST(AllotmentLp, FractionalTimesWithinTableRange) {
+  support::Rng rng(78);
+  const model::Instance instance = model::make_family_instance(
+      model::DagFamily::kSeriesParallel, model::TaskFamily::kPowerLaw, 12, 5, rng);
+  const FractionalAllotment frac = core::solve_allotment_lp(instance);
+  for (int j = 0; j < instance.num_tasks(); ++j) {
+    const auto& task = instance.task(j);
+    EXPECT_GE(frac.x[static_cast<std::size_t>(j)],
+              task.processing_time(instance.m) - 1e-9);
+    EXPECT_LE(frac.x[static_cast<std::size_t>(j)], task.processing_time(1) + 1e-9);
+  }
+}
+
+TEST(AllotmentLp, CompletionsRespectPrecedence) {
+  support::Rng rng(79);
+  const model::Instance instance = model::make_family_instance(
+      model::DagFamily::kRandom, model::TaskFamily::kAmdahl, 12, 4, rng);
+  const FractionalAllotment frac = core::solve_allotment_lp(instance);
+  for (int j = 0; j < instance.num_tasks(); ++j) {
+    for (graph::NodeId i : instance.dag.predecessors(j)) {
+      EXPECT_GE(frac.completion[static_cast<std::size_t>(j)] + 1e-7,
+                frac.completion[static_cast<std::size_t>(i)] +
+                    frac.x[static_cast<std::size_t>(j)]);
+    }
+  }
+}
+
+TEST(AllotmentLp, LowerBoundNeverExceedsExactOpt) {
+  // (11): C* <= OPT, checked against brute-force optima on tiny instances.
+  support::Rng rng(80);
+  for (int trial = 0; trial < 8; ++trial) {
+    const model::Instance instance = model::make_family_instance(
+        model::DagFamily::kRandom, model::TaskFamily::kMixed, 5, 3, rng);
+    const FractionalAllotment frac = core::solve_allotment_lp(instance);
+    const auto exact = baselines::exact_optimal_schedule(instance);
+    ASSERT_TRUE(exact.has_value());
+    ASSERT_TRUE(exact->proven_optimal);
+    EXPECT_LE(frac.lower_bound, exact->optimal_makespan + 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(AllotmentLp, BinarySearchMatchesDirectMode) {
+  support::Rng rng(81);
+  for (int trial = 0; trial < 5; ++trial) {
+    const model::Instance instance = model::make_family_instance(
+        model::DagFamily::kLayered, model::TaskFamily::kPowerLaw, 10, 4, rng);
+    const FractionalAllotment direct = core::solve_allotment_lp(instance);
+    AllotmentLpOptions options;
+    options.mode = LpMode::kBinarySearch;
+    const FractionalAllotment bisect = core::solve_allotment_lp(instance, options);
+    // Bisection converges to C* from above within its tolerance.
+    EXPECT_GE(bisect.lower_bound + 1e-9, direct.lower_bound - 1e-6);
+    EXPECT_NEAR(bisect.lower_bound, direct.lower_bound,
+                2e-5 * std::max(1.0, direct.lower_bound));
+    EXPECT_GT(bisect.lp_solves, 1);
+    EXPECT_EQ(direct.lp_solves, 1);
+  }
+}
+
+TEST(AllotmentLp, PieceStrideRelaxesTheBound) {
+  support::Rng rng(82);
+  const model::Instance instance = model::make_family_instance(
+      model::DagFamily::kLayered, model::TaskFamily::kPowerLaw, 12, 16, rng);
+  const FractionalAllotment exact = core::solve_allotment_lp(instance);
+  AllotmentLpOptions coarse;
+  coarse.piece_stride = 4;
+  const FractionalAllotment relaxed = core::solve_allotment_lp(instance, coarse);
+  // Fewer envelope pieces => weaker (smaller or equal) lower bound.
+  EXPECT_LE(relaxed.lower_bound, exact.lower_bound + 1e-6);
+  // But it must stay a genuine bound (above the trivial one is not
+  // guaranteed in general, but above the m-processor critical path is).
+  EXPECT_GE(relaxed.lower_bound + 1e-6, instance.min_critical_path());
+}
+
+TEST(AllotmentLp, SingleProcessorDegenerateCase) {
+  model::Instance instance;
+  instance.dag = graph::make_chain(3);
+  instance.m = 1;
+  instance.tasks = {model::make_sequential_task(2.0, 1),
+                    model::make_sequential_task(3.0, 1),
+                    model::make_sequential_task(4.0, 1)};
+  const FractionalAllotment frac = core::solve_allotment_lp(instance);
+  EXPECT_NEAR(frac.lower_bound, 9.0, 1e-6);
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+// Tests for the baseline schedulers and the exact branch-and-bound solver.
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.hpp"
+#include "baselines/exact.hpp"
+#include "core/scheduler.hpp"
+#include "graph/generators.hpp"
+#include "model/instance.hpp"
+#include "model/speedup.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace malsched;
+
+model::Instance random_instance(std::uint64_t seed, int size, int m) {
+  support::Rng rng(seed);
+  return model::make_family_instance(model::DagFamily::kLayered,
+                                     model::TaskFamily::kMixed, size, m, rng);
+}
+
+TEST(Baselines, AllProduceFeasibleSchedules) {
+  const auto instance = random_instance(21, 14, 6);
+  for (const auto& result : baselines::run_all_baselines(instance)) {
+    const auto report = core::check_schedule(instance, result.schedule);
+    EXPECT_TRUE(report.feasible) << result.name << ": " << report.detail;
+    EXPECT_GT(result.makespan, 0.0) << result.name;
+    EXPECT_FALSE(result.name.empty());
+  }
+}
+
+TEST(Baselines, OneProcessorUsesSingleProcessors) {
+  const auto instance = random_instance(22, 10, 4);
+  const auto result = baselines::one_processor_baseline(instance);
+  for (int l : result.schedule.allotment) EXPECT_EQ(l, 1);
+}
+
+TEST(Baselines, AllProcessorsSerializes) {
+  const auto instance = random_instance(23, 8, 4);
+  const auto result = baselines::all_processors_baseline(instance);
+  // Every task on m processors: no two tasks can overlap, so the makespan is
+  // the sum of the m-processor durations.
+  double total = 0.0;
+  for (int j = 0; j < instance.num_tasks(); ++j) {
+    total += instance.task(j).processing_time(instance.m);
+  }
+  EXPECT_NEAR(result.makespan, total, 1e-9);
+}
+
+TEST(Baselines, GreedyEfficiencyRespectsThreshold) {
+  model::Instance instance;
+  instance.dag = graph::make_independent(1);
+  instance.m = 8;
+  instance.tasks = {model::make_power_law_task(16.0, 0.5, 8)};
+  // Power law d=0.5: efficiency s(l)/l = l^-0.5; threshold 0.5 -> l <= 4.
+  const auto result = baselines::greedy_efficiency_baseline(instance, 0.5);
+  EXPECT_EQ(result.schedule.allotment[0], 4);
+}
+
+TEST(Baselines, TwoPhaseBaselinesBeatSerializationOnParallelWork) {
+  // On a wide independent set of scalable tasks, the LP-driven baselines
+  // should comfortably beat full serialization.
+  support::Rng rng(24);
+  const model::Instance instance = model::make_family_instance(
+      model::DagFamily::kIndependent, model::TaskFamily::kPowerLaw, 16, 8, rng);
+  const double serial = baselines::all_processors_baseline(instance).makespan;
+  EXPECT_LT(baselines::ltw_style_baseline(instance).makespan, serial);
+  EXPECT_LT(baselines::jz2006_style_baseline(instance).makespan, serial);
+}
+
+TEST(Baselines, OurAlgorithmCompetitiveWithBaselines) {
+  // Not a theorem (baselines can win on easy instances), but ours must stay
+  // within its proven factor of the best baseline, since the best baseline
+  // is an upper bound on OPT.
+  const auto instance = random_instance(25, 16, 8);
+  const auto ours = core::schedule_malleable_dag(instance);
+  double best_baseline = 1e300;
+  for (const auto& result : baselines::run_all_baselines(instance)) {
+    best_baseline = std::min(best_baseline, result.makespan);
+  }
+  EXPECT_LE(ours.makespan, ours.guaranteed_ratio * best_baseline + 1e-6);
+}
+
+// ---- Exact branch-and-bound ------------------------------------------------
+
+TEST(Exact, ChainOptimumIsFullParallel) {
+  // Chain of scalable tasks: OPT runs each on all m processors.
+  model::Instance instance;
+  instance.dag = graph::make_chain(3);
+  instance.m = 3;
+  instance.tasks.assign(3, model::make_power_law_task(6.0, 1.0, 3));
+  const auto exact = baselines::exact_optimal_schedule(instance);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_TRUE(exact->proven_optimal);
+  EXPECT_NEAR(exact->optimal_makespan, 3.0 * 2.0, 1e-9);
+}
+
+TEST(Exact, IndependentSequentialTasksBalance) {
+  // Four unit sequential tasks, m = 2: OPT = 2.
+  model::Instance instance;
+  instance.dag = graph::make_independent(4);
+  instance.m = 2;
+  instance.tasks.assign(4, model::make_sequential_task(1.0, 2));
+  const auto exact = baselines::exact_optimal_schedule(instance);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_NEAR(exact->optimal_makespan, 2.0, 1e-9);
+}
+
+TEST(Exact, PrefersParallelOnlyWhenWorthIt) {
+  // One Amdahl task with a heavy serial fraction plus a sequential one:
+  // OPT overlaps them rather than giving everything to task 0.
+  model::Instance instance;
+  instance.dag = graph::make_independent(2);
+  instance.m = 2;
+  instance.tasks = {model::make_amdahl_task(10.0, 0.3, 2),
+                    model::make_sequential_task(8.5, 2)};
+  const auto exact = baselines::exact_optimal_schedule(instance);
+  ASSERT_TRUE(exact.has_value());
+  // Overlap on one processor each: max(10, 8.5) = 10 beats
+  // 10/ (1/(0.7+0.15)) .. any 2-proc plan (8.5 + something).
+  EXPECT_NEAR(exact->optimal_makespan, 10.0, 1e-9);
+}
+
+TEST(Exact, RefusesOversizedInstances) {
+  const auto instance = random_instance(26, 30, 3);
+  EXPECT_FALSE(baselines::exact_optimal_schedule(instance).has_value());
+}
+
+TEST(Exact, ScheduleItselfIsFeasibleAndMatchesReportedMakespan) {
+  support::Rng rng(27);
+  for (int trial = 0; trial < 6; ++trial) {
+    const model::Instance instance = model::make_family_instance(
+        model::DagFamily::kRandom, model::TaskFamily::kMixed, 5, 3, rng);
+    const auto exact = baselines::exact_optimal_schedule(instance);
+    ASSERT_TRUE(exact.has_value());
+    const auto report = core::check_schedule(instance, exact->schedule);
+    EXPECT_TRUE(report.feasible) << report.detail;
+    EXPECT_NEAR(exact->schedule.makespan(instance), exact->optimal_makespan, 1e-9);
+    EXPECT_GE(exact->optimal_makespan + 1e-9, instance.trivial_lower_bound());
+  }
+}
+
+TEST(Exact, NeverWorseThanAnyBaseline) {
+  support::Rng rng(28);
+  for (int trial = 0; trial < 4; ++trial) {
+    const model::Instance instance = model::make_family_instance(
+        model::DagFamily::kSeriesParallel, model::TaskFamily::kPowerLaw, 6, 3, rng);
+    if (instance.num_tasks() > 7) continue;
+    const auto exact = baselines::exact_optimal_schedule(instance);
+    ASSERT_TRUE(exact.has_value());
+    ASSERT_TRUE(exact->proven_optimal);
+    for (const auto& result : baselines::run_all_baselines(instance)) {
+      EXPECT_LE(exact->optimal_makespan, result.makespan + 1e-6) << result.name;
+    }
+  }
+}
+
+}  // namespace

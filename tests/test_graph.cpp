@@ -1,0 +1,218 @@
+// Tests for the DAG substrate: structure, algorithms, and generators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/algorithms.hpp"
+#include "graph/dag.hpp"
+#include "graph/dot.hpp"
+#include "graph/generators.hpp"
+#include "model/instance.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace malsched::graph;
+
+TEST(Dag, AddNodesAndEdges) {
+  Dag dag(3);
+  dag.add_edge(0, 1);
+  dag.add_edge(1, 2);
+  EXPECT_EQ(dag.num_nodes(), 3);
+  EXPECT_EQ(dag.num_edges(), 2u);
+  EXPECT_TRUE(dag.has_edge(0, 1));
+  EXPECT_FALSE(dag.has_edge(1, 0));
+  EXPECT_EQ(dag.add_node(), 3);
+}
+
+TEST(Dag, DuplicateEdgesIgnored) {
+  Dag dag(2);
+  dag.add_edge(0, 1);
+  dag.add_edge(0, 1);
+  EXPECT_EQ(dag.num_edges(), 1u);
+}
+
+TEST(Dag, SourcesAndSinks) {
+  Dag dag(4);
+  dag.add_edge(0, 2);
+  dag.add_edge(1, 2);
+  dag.add_edge(2, 3);
+  EXPECT_EQ(dag.sources(), (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(dag.sinks(), (std::vector<NodeId>{3}));
+}
+
+TEST(Algorithms, TopologicalOrderRespectsEdges) {
+  Dag dag(5);
+  dag.add_edge(0, 2);
+  dag.add_edge(1, 2);
+  dag.add_edge(2, 3);
+  dag.add_edge(2, 4);
+  const auto order = topological_order(dag);
+  ASSERT_TRUE(order.has_value());
+  std::vector<int> position(5);
+  for (int i = 0; i < 5; ++i) position[static_cast<std::size_t>((*order)[i])] = i;
+  for (NodeId v = 0; v < 5; ++v) {
+    for (NodeId w : dag.successors(v)) {
+      EXPECT_LT(position[static_cast<std::size_t>(v)], position[static_cast<std::size_t>(w)]);
+    }
+  }
+}
+
+TEST(Algorithms, DetectsCycle) {
+  Dag dag(3);
+  dag.add_edge(0, 1);
+  dag.add_edge(1, 2);
+  dag.add_edge(2, 0);
+  EXPECT_FALSE(topological_order(dag).has_value());
+  EXPECT_FALSE(is_acyclic(dag));
+}
+
+TEST(Algorithms, LongestPathOnChain) {
+  const Dag dag = make_chain(4);
+  EXPECT_DOUBLE_EQ(longest_path(dag, {1.0, 2.0, 3.0, 4.0}), 10.0);
+}
+
+TEST(Algorithms, LongestPathPicksHeavierBranch) {
+  Dag dag(4);
+  dag.add_edge(0, 1);
+  dag.add_edge(0, 2);
+  dag.add_edge(1, 3);
+  dag.add_edge(2, 3);
+  // branch via 1 weighs 1+5+1, via 2 weighs 1+2+1.
+  EXPECT_DOUBLE_EQ(longest_path(dag, {1.0, 5.0, 2.0, 1.0}), 7.0);
+}
+
+TEST(Algorithms, CriticalPathNodesFormHeaviestPath) {
+  Dag dag(4);
+  dag.add_edge(0, 1);
+  dag.add_edge(0, 2);
+  dag.add_edge(1, 3);
+  dag.add_edge(2, 3);
+  const std::vector<double> w{1.0, 5.0, 2.0, 1.0};
+  const auto path = critical_path_nodes(dag, w);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], 0);
+  EXPECT_EQ(path[1], 1);
+  EXPECT_EQ(path[2], 3);
+  // Consecutive nodes must be joined by edges.
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(dag.has_edge(path[i], path[i + 1]));
+  }
+}
+
+TEST(Algorithms, TransitiveClosureAndReduction) {
+  Dag dag(3);
+  dag.add_edge(0, 1);
+  dag.add_edge(1, 2);
+  dag.add_edge(0, 2);  // implied by 0->1->2
+  const auto reach = transitive_closure(dag);
+  EXPECT_TRUE(reach[0][2]);
+  EXPECT_FALSE(reach[2][0]);
+  const Dag reduced = transitive_reduction(dag);
+  EXPECT_EQ(reduced.num_edges(), 2u);
+  EXPECT_FALSE(reduced.has_edge(0, 2));
+  // Reduction preserves reachability.
+  const auto reach2 = transitive_closure(reduced);
+  EXPECT_EQ(reach, reach2);
+}
+
+TEST(Algorithms, HeightCountsNodesOnLongestChain) {
+  EXPECT_EQ(height(make_chain(6)), 6);
+  EXPECT_EQ(height(make_independent(5)), 1);
+  EXPECT_EQ(height(make_fork_join(4)), 3);
+  EXPECT_EQ(height(Dag(0)), 0);
+}
+
+TEST(Generators, ChainIndependentForkJoin) {
+  EXPECT_EQ(make_chain(5).num_edges(), 4u);
+  EXPECT_EQ(make_independent(5).num_edges(), 0u);
+  const Dag fj = make_fork_join(3);
+  EXPECT_EQ(fj.num_nodes(), 5);
+  EXPECT_EQ(fj.num_edges(), 6u);
+  EXPECT_EQ(fj.sources().size(), 1u);
+  EXPECT_EQ(fj.sinks().size(), 1u);
+}
+
+TEST(Generators, IntreeOuttreeShapes) {
+  const Dag in = make_intree(3);
+  EXPECT_EQ(in.num_nodes(), 7);
+  EXPECT_EQ(in.sinks(), (std::vector<NodeId>{0}));  // root collects
+  EXPECT_EQ(in.sources().size(), 4u);               // leaves
+  const Dag out = make_outtree(3);
+  EXPECT_EQ(out.sources(), (std::vector<NodeId>{0}));
+  EXPECT_EQ(out.sinks().size(), 4u);
+}
+
+TEST(Generators, CholeskySizesMatchFormula) {
+  for (int t = 1; t <= 6; ++t) {
+    EXPECT_EQ(make_tiled_cholesky(t).num_nodes(), tiled_cholesky_size(t)) << "t=" << t;
+  }
+  // t=1: just POTRF. t=2: POTRF(0), TRSM(1,0), SYRK(1,0), POTRF(1) = 4.
+  EXPECT_EQ(tiled_cholesky_size(1), 1);
+  EXPECT_EQ(tiled_cholesky_size(2), 4);
+}
+
+TEST(Generators, LuSizesMatchFormula) {
+  for (int t = 1; t <= 5; ++t) {
+    EXPECT_EQ(make_tiled_lu(t).num_nodes(), tiled_lu_size(t)) << "t=" << t;
+  }
+  EXPECT_EQ(tiled_lu_size(1), 1);
+  EXPECT_EQ(tiled_lu_size(2), 5);  // GETRF + 2 TRSM + 1 GEMM + GETRF
+}
+
+TEST(Generators, FftShape) {
+  const Dag fft = make_fft(3);
+  EXPECT_EQ(fft.num_nodes(), 4 * 8);
+  // Every non-input node has exactly two predecessors.
+  for (NodeId v = 8; v < fft.num_nodes(); ++v) {
+    EXPECT_EQ(fft.predecessors(v).size(), 2u);
+  }
+  EXPECT_EQ(height(fft), 4);
+}
+
+TEST(Generators, DiamondShape) {
+  const Dag d = make_diamond(3, 4);
+  EXPECT_EQ(d.num_nodes(), 12);
+  EXPECT_EQ(d.sources().size(), 1u);
+  EXPECT_EQ(d.sinks().size(), 1u);
+  EXPECT_EQ(height(d), 3 + 4 - 1);
+}
+
+TEST(Dot, WritesValidDigraph) {
+  std::ostringstream os;
+  write_dot(os, make_chain(3), {"a", "b", "c"});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("digraph"), std::string::npos);
+  EXPECT_NE(out.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(out.find("label=\"b\""), std::string::npos);
+}
+
+// ---- Property sweep: every family generator yields a DAG -----------------
+
+class GeneratorFamilies
+    : public ::testing::TestWithParam<std::tuple<malsched::model::DagFamily, int>> {};
+
+TEST_P(GeneratorFamilies, ProducesAcyclicGraphOfReasonableSize) {
+  const auto [family, size_hint] = GetParam();
+  malsched::support::Rng rng(0xABCD ^ static_cast<std::uint64_t>(size_hint));
+  const Dag dag = malsched::model::make_family_dag(family, size_hint, rng);
+  EXPECT_TRUE(is_acyclic(dag));
+  EXPECT_GE(dag.num_nodes(), 1);
+  // Size hint is approximate, but should be within a generous factor.
+  EXPECT_LE(dag.num_nodes(), 4 * size_hint + 8);
+  // Predecessor/successor lists must mirror each other.
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    for (NodeId w : dag.successors(v)) {
+      const auto& preds = dag.predecessors(w);
+      EXPECT_NE(std::find(preds.begin(), preds.end(), v), preds.end());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, GeneratorFamilies,
+    ::testing::Combine(::testing::ValuesIn(malsched::model::all_dag_families()),
+                       ::testing::Values(5, 20, 60)));
+
+}  // namespace

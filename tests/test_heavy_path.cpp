@@ -1,0 +1,79 @@
+// Tests for the Lemma 4.3 heavy-path construction.
+#include <gtest/gtest.h>
+
+#include "core/heavy_path.hpp"
+#include "core/list_scheduler.hpp"
+#include "core/rounding.hpp"
+#include "core/scheduler.hpp"
+#include "graph/generators.hpp"
+#include "model/instance.hpp"
+#include "model/speedup.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace malsched;
+
+TEST(HeavyPath, SingleTask) {
+  model::Instance instance;
+  instance.dag = graph::Dag(1);
+  instance.m = 4;
+  instance.tasks = {model::make_power_law_task(8.0, 0.8, 4)};
+  const auto schedule = core::list_schedule(instance, {2}, 2);
+  const auto path = core::heavy_path(instance, schedule, 2);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 0);
+}
+
+TEST(HeavyPath, ChainIsWholePath) {
+  // On a chain every slot is light (one task at a time) and the heavy path
+  // must walk all the way back to the first task.
+  model::Instance instance;
+  instance.dag = graph::make_chain(4);
+  instance.m = 4;
+  instance.tasks.assign(4, model::make_sequential_task(2.0, 4));
+  const auto schedule = core::list_schedule(instance, {1, 1, 1, 1}, 2);
+  const auto path = core::heavy_path(instance, schedule, 2);
+  ASSERT_EQ(path.size(), 4u);
+  for (int j = 0; j < 4; ++j) EXPECT_EQ(path[static_cast<std::size_t>(j)], j);
+}
+
+TEST(HeavyPath, EndsAtMakespanTask) {
+  support::Rng rng(0xBEEF);
+  const model::Instance instance = model::make_family_instance(
+      model::DagFamily::kLayered, model::TaskFamily::kMixed, 14, 6, rng);
+  const auto result = core::schedule_malleable_dag(instance);
+  const auto path = core::heavy_path(instance, result.schedule, result.mu);
+  ASSERT_FALSE(path.empty());
+  EXPECT_NEAR(result.schedule.completion(instance, path.back()), result.makespan,
+              1e-9);
+}
+
+class HeavyPathSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeavyPathSweep, IsDirectedPathAndCoversLightSlots) {
+  support::Rng rng(0x4E0 + static_cast<std::uint64_t>(GetParam()) * 23);
+  const auto families = model::all_dag_families();
+  const auto family = families[static_cast<std::size_t>(GetParam()) % families.size()];
+  const int m = rng.uniform_int(2, 10);
+  const model::Instance instance =
+      model::make_family_instance(family, model::TaskFamily::kMixed, 16, m, rng);
+
+  const auto result = core::schedule_malleable_dag(instance);
+  const auto path = core::heavy_path(instance, result.schedule, result.mu);
+  ASSERT_FALSE(path.empty());
+
+  // Consecutive path tasks are joined by precedence arcs.
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(instance.dag.has_edge(path[i], path[i + 1]))
+        << "segment " << path[i] << " -> " << path[i + 1];
+  }
+
+  // The covering property that powers Lemma 4.3.
+  EXPECT_TRUE(core::heavy_path_covers_light_slots(instance, result.schedule,
+                                                  result.mu, path));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HeavyPathSweep, ::testing::Range(0, 24));
+
+}  // namespace

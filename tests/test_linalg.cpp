@@ -1,0 +1,150 @@
+// Tests for the dense linear algebra substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using malsched::linalg::LuFactorization;
+using malsched::linalg::Matrix;
+using malsched::linalg::Vector;
+
+TEST(Matrix, IdentityAndMultiply) {
+  const Matrix id = Matrix::identity(3);
+  const Vector x{1.0, -2.0, 3.0};
+  EXPECT_EQ(id.multiply(x), x);
+}
+
+TEST(Matrix, MultiplyKnown) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  const Vector ones{1.0, 1.0, 1.0};
+  const Vector y = a.multiply(ones);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(Matrix, MultiplyTransposedMatchesExplicitTranspose) {
+  malsched::support::Rng rng(5);
+  Matrix a(4, 6);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 6; ++c) a(r, c) = rng.uniform(-2.0, 2.0);
+  }
+  Vector x(4);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  const Vector via_method = a.multiply_transposed(x);
+  const Vector via_transpose = a.transposed().multiply(x);
+  ASSERT_EQ(via_method.size(), via_transpose.size());
+  for (std::size_t i = 0; i < via_method.size(); ++i) {
+    EXPECT_NEAR(via_method[i], via_transpose[i], 1e-12);
+  }
+}
+
+TEST(Matrix, MatrixProduct) {
+  Matrix a(2, 2), b(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, NormInf) {
+  Matrix a(2, 2);
+  a(0, 0) = -3; a(0, 1) = 1; a(1, 0) = 2; a(1, 1) = 2;
+  EXPECT_DOUBLE_EQ(a.norm_inf(), 4.0);
+}
+
+TEST(VectorOps, DotNormAxpy) {
+  Vector a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(malsched::linalg::norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(malsched::linalg::norm_inf(a), 4.0);
+  EXPECT_DOUBLE_EQ(malsched::linalg::dot(a, {1.0, 2.0}), 11.0);
+  Vector b{1.0, 1.0};
+  malsched::linalg::axpy(2.0, a, b);
+  EXPECT_DOUBLE_EQ(b[0], 7.0);
+  EXPECT_DOUBLE_EQ(b[1], 9.0);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 3;
+  const auto lu = LuFactorization::factor(a);
+  ASSERT_TRUE(lu.has_value());
+  const Vector x = lu->solve({5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, DetectsSingular) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 4;
+  EXPECT_FALSE(LuFactorization::factor(a).has_value());
+}
+
+TEST(Lu, Determinant) {
+  Matrix a(2, 2);
+  a(0, 0) = 3; a(0, 1) = 1; a(1, 0) = 2; a(1, 1) = 2;
+  const auto lu = LuFactorization::factor(a);
+  ASSERT_TRUE(lu.has_value());
+  EXPECT_NEAR(lu->determinant(), 4.0, 1e-12);
+}
+
+TEST(Lu, PermutationRequiresPivoting) {
+  // Leading zero forces a row swap.
+  Matrix a(2, 2);
+  a(0, 0) = 0; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 0;
+  const auto lu = LuFactorization::factor(a);
+  ASSERT_TRUE(lu.has_value());
+  const Vector x = lu->solve({2.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  EXPECT_NEAR(lu->determinant(), -1.0, 1e-12);
+}
+
+class LuRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuRandom, SolveAndInverseRoundTrip) {
+  malsched::support::Rng rng(100 + static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 12));
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-3.0, 3.0);
+    a(r, r) += 4.0;  // diagonally dominant: comfortably nonsingular
+  }
+  const auto lu = LuFactorization::factor(a);
+  ASSERT_TRUE(lu.has_value());
+
+  Vector b(n);
+  for (auto& v : b) v = rng.uniform(-5.0, 5.0);
+
+  // A * solve(b) == b.
+  const Vector x = lu->solve(b);
+  const Vector ax = a.multiply(x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-9);
+
+  // Transposed solve: A^T * solve_T(b) == b.
+  const Vector xt = lu->solve_transposed(b);
+  const Vector atxt = a.transposed().multiply(xt);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(atxt[i], b[i], 1e-9);
+
+  // inverse() * A == I.
+  const Matrix prod = lu->inverse().multiply(a);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      EXPECT_NEAR(prod(r, c), r == c ? 1.0 : 0.0, 1e-8);
+    }
+  }
+  EXPECT_GT(lu->rcond_estimate(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMatrices, LuRandom, ::testing::Range(0, 25));
+
+}  // namespace

@@ -1,0 +1,87 @@
+// Tests for the Phase-2 priority-rule variants (E9): both rules must be
+// greedy (guarantee-preserving) and feasible; the critical-path rule must
+// actually re-order ties.
+#include <gtest/gtest.h>
+
+#include "core/allotment_lp.hpp"
+#include "core/list_scheduler.hpp"
+#include "core/rounding.hpp"
+#include "core/scheduler.hpp"
+#include "graph/dag.hpp"
+#include "model/instance.hpp"
+#include "model/speedup.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace malsched;
+using core::ListPriority;
+
+TEST(ListPriorityRule, CriticalPathFirstPrefersLongTail) {
+  // Two ready chains from a common source; the longer chain's head should
+  // start first under kCriticalPathFirst when only one processor is free...
+  // Construct: tasks 0 (source), chain A: 1 -> 2 -> 3, chain B: 4.
+  // All unit time on 1 processor, m = 1, so tasks run one at a time.
+  model::Instance instance;
+  instance.dag = graph::Dag(5);
+  instance.dag.add_edge(0, 1);
+  instance.dag.add_edge(0, 4);
+  instance.dag.add_edge(1, 2);
+  instance.dag.add_edge(2, 3);
+  instance.m = 1;
+  instance.tasks.assign(5, model::make_sequential_task(1.0, 1));
+
+  const core::Allotment ones(5, 1);
+  const auto cp = core::list_schedule(instance, ones, 1,
+                                      ListPriority::kCriticalPathFirst);
+  // After the source, both 1 and 4 are ready with equal earliest start;
+  // bottom level of 1 is 3, of 4 is 1 -> task 1 first.
+  EXPECT_LT(cp.start[1], cp.start[4]);
+
+  const auto es = core::list_schedule(instance, ones, 1,
+                                      ListPriority::kEarliestStart);
+  // The paper's rule breaks the tie by id: also task 1 first here, but the
+  // makespans agree regardless (m = 1 serializes everything).
+  EXPECT_DOUBLE_EQ(cp.makespan(instance), es.makespan(instance));
+}
+
+TEST(ListPriorityRule, TieBreakChangesOrderNotFeasibility) {
+  // Wide independent set with mixed tails via a second layer.
+  support::Rng rng(0x99);
+  const model::Instance instance = model::make_family_instance(
+      model::DagFamily::kLayered, model::TaskFamily::kMixed, 20, 6, rng);
+  core::Allotment alpha(static_cast<std::size_t>(instance.num_tasks()));
+  for (auto& l : alpha) l = rng.uniform_int(1, 6);
+
+  for (const auto priority :
+       {ListPriority::kEarliestStart, ListPriority::kCriticalPathFirst}) {
+    const auto schedule = core::list_schedule(instance, alpha, 3, priority);
+    const auto report = core::check_schedule(instance, schedule);
+    EXPECT_TRUE(report.feasible) << report.detail;
+  }
+}
+
+class PriorityGuarantee : public ::testing::TestWithParam<int> {};
+
+TEST_P(PriorityGuarantee, BothRulesStayWithinTheoremBound) {
+  support::Rng rng(0xE9E9 + static_cast<std::uint64_t>(GetParam()) * 17);
+  const auto families = model::all_dag_families();
+  const auto family = families[static_cast<std::size_t>(GetParam()) % families.size()];
+  const int m = rng.uniform_int(2, 8);
+  const model::Instance instance =
+      model::make_family_instance(family, model::TaskFamily::kMixed, 14, m, rng);
+
+  for (const auto priority :
+       {ListPriority::kEarliestStart, ListPriority::kCriticalPathFirst}) {
+    core::SchedulerOptions options;
+    options.priority = priority;
+    const auto result = core::schedule_malleable_dag(instance, options);
+    EXPECT_TRUE(core::check_schedule(instance, result.schedule).feasible);
+    EXPECT_LE(result.ratio_vs_lower_bound, result.guaranteed_ratio + 1e-6)
+        << "priority=" << static_cast<int>(priority);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PriorityGuarantee, ::testing::Range(0, 18));
+
+}  // namespace

@@ -1,0 +1,176 @@
+// Unit and property tests for the bounded-variable revised simplex.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/enumerate.hpp"
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using malsched::lp::kInfinity;
+using malsched::lp::Model;
+using malsched::lp::Sense;
+using malsched::lp::Solution;
+using malsched::lp::SolveStatus;
+using malsched::lp::solve_by_enumeration;
+using malsched::lp::solve_simplex;
+
+TEST(Simplex, SolvesTextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (Hillier-Lieberman);
+  // optimum at (2, 6) with value 36 -> minimize the negation.
+  Model model;
+  const int x = model.add_variable(0.0, kInfinity, -3.0, "x");
+  const int y = model.add_variable(0.0, kInfinity, -5.0, "y");
+  model.add_constraint({{x, 1.0}}, Sense::kLessEqual, 4.0);
+  model.add_constraint({{y, 2.0}}, Sense::kLessEqual, 12.0);
+  model.add_constraint({{x, 3.0}, {y, 2.0}}, Sense::kLessEqual, 18.0);
+  const Solution solution = solve_simplex(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, -36.0, 1e-9);
+  EXPECT_NEAR(solution.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(solution.x[1], 6.0, 1e-9);
+}
+
+TEST(Simplex, HandlesGreaterEqualAndEquality) {
+  // min x + 2y s.t. x + y >= 3, x - y = 1, x,y >= 0 -> (2,1), value 4.
+  Model model;
+  const int x = model.add_variable(0.0, kInfinity, 1.0);
+  const int y = model.add_variable(0.0, kInfinity, 2.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kGreaterEqual, 3.0);
+  model.add_constraint({{x, 1.0}, {y, -1.0}}, Sense::kEqual, 1.0);
+  const Solution solution = solve_simplex(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 4.0, 1e-8);
+  EXPECT_NEAR(solution.x[0], 2.0, 1e-8);
+  EXPECT_NEAR(solution.x[1], 1.0, 1e-8);
+}
+
+TEST(Simplex, RespectsVariableBounds) {
+  // min -x - y with 1 <= x <= 2, 0 <= y <= 3, x + y <= 4 -> x=2? then y<=2:
+  // optimum (2, 2), objective -4... but (1,3) also gives -4; both optimal.
+  Model model;
+  const int x = model.add_variable(1.0, 2.0, -1.0);
+  const int y = model.add_variable(0.0, 3.0, -1.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kLessEqual, 4.0);
+  const Solution solution = solve_simplex(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, -4.0, 1e-9);
+  EXPECT_LE(model.max_violation(solution.x), 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  Model model;
+  const int x = model.add_variable(0.0, 1.0, 1.0);
+  model.add_constraint({{x, 1.0}}, Sense::kGreaterEqual, 2.0);
+  EXPECT_EQ(solve_simplex(model).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsConflictingEqualities) {
+  Model model;
+  const int x = model.add_variable(-kInfinity, kInfinity, 0.0);
+  const int y = model.add_variable(-kInfinity, kInfinity, 1.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kEqual, 1.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kEqual, 2.0);
+  EXPECT_EQ(solve_simplex(model).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  Model model;
+  const int x = model.add_variable(0.0, kInfinity, -1.0);
+  const int y = model.add_variable(0.0, kInfinity, 0.0);
+  model.add_constraint({{x, 1.0}, {y, -1.0}}, Sense::kLessEqual, 1.0);
+  EXPECT_EQ(solve_simplex(model).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, FreeVariables) {
+  // min x with x free, x >= -5 via constraint -x <= 5.
+  Model model;
+  const int x = model.add_variable(-kInfinity, kInfinity, 1.0);
+  model.add_constraint({{x, -1.0}}, Sense::kLessEqual, 5.0);
+  const Solution solution = solve_simplex(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.x[0], -5.0, 1e-9);
+}
+
+TEST(Simplex, FixedVariables) {
+  Model model;
+  const int x = model.add_variable(3.0, 3.0, 1.0);
+  const int y = model.add_variable(0.0, kInfinity, 1.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kGreaterEqual, 5.0);
+  const Solution solution = solve_simplex(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.x[0], 3.0, 1e-9);
+  EXPECT_NEAR(solution.x[1], 2.0, 1e-9);
+}
+
+TEST(Simplex, SurvivesBealeCyclingExample) {
+  // Beale's classic degenerate LP that cycles under naive Dantzig pricing.
+  Model model;
+  const int x1 = model.add_variable(0.0, kInfinity, -0.75);
+  const int x2 = model.add_variable(0.0, kInfinity, 150.0);
+  const int x3 = model.add_variable(0.0, kInfinity, -0.02);
+  const int x4 = model.add_variable(0.0, kInfinity, 6.0);
+  model.add_constraint({{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+                       Sense::kLessEqual, 0.0);
+  model.add_constraint({{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+                       Sense::kLessEqual, 0.0);
+  model.add_constraint({{x3, 1.0}}, Sense::kLessEqual, 1.0);
+  const Solution solution = solve_simplex(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, -0.05, 1e-9);
+}
+
+TEST(Simplex, UnconstrainedModel) {
+  Model model;
+  model.add_variable(-1.0, 2.0, 1.0);
+  model.add_variable(-1.0, 2.0, -1.0);
+  const Solution solution = solve_simplex(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, -3.0, 1e-12);
+}
+
+// ---- Property sweep: random LPs vs brute-force vertex enumeration --------
+
+class SimplexRandomLp : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomLp, MatchesVertexEnumeration) {
+  malsched::support::Rng rng(0xC0FFEE ^ static_cast<std::uint64_t>(GetParam()) * 0x9E37ULL);
+  const int nvars = rng.uniform_int(2, 5);
+  const int nrows = rng.uniform_int(1, 6);
+  Model model;
+  for (int j = 0; j < nvars; ++j) {
+    const double lo = rng.uniform(-3.0, 0.0);
+    const double hi = lo + rng.uniform(0.5, 4.0);
+    model.add_variable(lo, hi, rng.uniform(-2.0, 2.0));
+  }
+  for (int i = 0; i < nrows; ++i) {
+    std::vector<malsched::lp::Term> terms;
+    for (int j = 0; j < nvars; ++j) {
+      if (rng.bernoulli(0.7)) terms.emplace_back(j, rng.uniform(-2.0, 2.0));
+    }
+    if (terms.empty()) terms.emplace_back(0, 1.0);
+    // Generous rhs keeps most instances feasible; infeasible ones still
+    // cross-check (enumeration finds no vertex).
+    model.add_constraint(std::move(terms), Sense::kLessEqual, rng.uniform(-1.0, 5.0));
+  }
+
+  const Solution simplex = solve_simplex(model);
+  const auto enumerated = solve_by_enumeration(model);
+  if (simplex.status == SolveStatus::kOptimal) {
+    ASSERT_TRUE(enumerated.has_value())
+        << "simplex found an optimum but enumeration found no feasible vertex";
+    EXPECT_NEAR(simplex.objective, enumerated->objective, 1e-6);
+    EXPECT_LE(model.max_violation(simplex.x), 1e-6);
+  } else {
+    // Bounded variables: unboundedness impossible; must be infeasible.
+    EXPECT_EQ(simplex.status, SolveStatus::kInfeasible);
+    EXPECT_FALSE(enumerated.has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLps, SimplexRandomLp, ::testing::Range(0, 60));
+
+}  // namespace

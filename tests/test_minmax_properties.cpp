@@ -1,0 +1,121 @@
+// Property tests for the min-max NLP evaluator: the closed-form vertex
+// solution of the inner 2-variable LP is checked against brute-force grid
+// maximization, and structural properties of the bound are pinned down.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/minmax.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace malsched::analysis;
+
+/// Brute-force inner max of (17) over a fine (x1, x2) grid on the feasible
+/// region (1+rho)/2 x1 + min{mu/m,(1+rho)/2} x2 <= 1.
+double brute_force_inner_max(int m, int mu, double rho) {
+  const double a = (1.0 + rho) / 2.0;
+  const double b = std::min(static_cast<double>(mu) / m, (1.0 + rho) / 2.0);
+  double best = 0.0;
+  const int steps = 400;
+  for (int i = 0; i <= steps; ++i) {
+    const double x1 = (1.0 / a) * i / steps;
+    const double budget = 1.0 - a * x1;
+    if (budget < 0.0) continue;
+    const double x2 = budget / b;  // objective linear in x2: extreme is best
+    const double value_hi =
+        (2.0 * m / (2.0 - rho) + (m - mu) * x1 + (m - 2 * mu + 1) * x2) /
+        (m - mu + 1);
+    const double value_lo =
+        (2.0 * m / (2.0 - rho) + (m - mu) * x1) / (m - mu + 1);
+    best = std::max({best, value_hi, value_lo});
+  }
+  return best;
+}
+
+class InnerMaxAgainstBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(InnerMaxAgainstBruteForce, VertexFormulaMatchesGrid) {
+  malsched::support::Rng rng(0x1717 + static_cast<std::uint64_t>(GetParam()) * 3);
+  const int m = rng.uniform_int(2, 40);
+  const int mu = rng.uniform_int(1, (m + 1) / 2);
+  const double rho = rng.uniform(0.0, 1.0);
+  const double closed_form = ratio_bound(m, mu, rho);
+  const double brute = brute_force_inner_max(m, mu, rho);
+  // The grid only underestimates (inner points), up to discretization.
+  EXPECT_LE(brute, closed_form + 1e-9);
+  EXPECT_NEAR(brute, closed_form, 0.02 * closed_form);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomParams, InnerMaxAgainstBruteForce,
+                         ::testing::Range(0, 40));
+
+TEST(RatioBoundShape, UnimodalInMuAtPaperRho) {
+  // Along integer mu the bound decreases then increases around the eq. (20)
+  // optimum — the property that makes the floor/ceil rounding safe.
+  for (int m : {8, 16, 24, 33}) {
+    const int best_mu = paper_parameters(m).mu;
+    for (int mu = 1; mu < best_mu; ++mu) {
+      EXPECT_GE(ratio_bound(m, mu, kPaperRho) + 1e-12,
+                ratio_bound(m, mu + 1, kPaperRho))
+          << "m=" << m << " mu=" << mu;
+    }
+    for (int mu = best_mu; mu < (m + 1) / 2; ++mu) {
+      EXPECT_LE(ratio_bound(m, mu, kPaperRho),
+                ratio_bound(m, mu + 1, kPaperRho) + 1e-12)
+          << "m=" << m << " mu=" << mu;
+    }
+  }
+}
+
+TEST(RatioBoundShape, ContinuousMuStarNeverWorseThanNeighbours) {
+  // Evaluating at the floor/ceil of mu*(rho) brackets the integer optimum.
+  malsched::support::Rng rng(0x1718);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int m = rng.uniform_int(4, 64);
+    const double rho = rng.uniform(0.0, 1.0);
+    const double target = mu_star(m, rho);
+    EXPECT_GE(target, 0.0);
+    EXPECT_LE(target, m);
+    const int lo = std::clamp(static_cast<int>(std::floor(target)), 1, (m + 1) / 2);
+    const int hi = std::clamp(static_cast<int>(std::ceil(target)), 1, (m + 1) / 2);
+    const double best_neighbour =
+        std::min(ratio_bound(m, lo, rho), ratio_bound(m, hi, rho));
+    // No integer mu further away beats both bracket neighbours.
+    for (int mu = 1; mu <= (m + 1) / 2; ++mu) {
+      if (mu == lo || mu == hi) continue;
+      EXPECT_GE(ratio_bound(m, mu, rho) + 1e-9, best_neighbour)
+          << "m=" << m << " rho=" << rho << " mu=" << mu;
+    }
+  }
+}
+
+TEST(RatioBoundShape, DecreasesWhenConstraintTightens) {
+  // Larger rho shrinks the feasible (x1, x2) region (both coefficients grow
+  // until mu/m binds) but raises the 2m/(2-rho) work term: the two effects
+  // cross, which is why an interior rho* exists. Pin both monotone pieces.
+  const int m = 16, mu = 6;
+  // Near rho = 0 the x1 shrinkage dominates: bound decreases.
+  EXPECT_GT(ratio_bound(m, mu, 0.0), ratio_bound(m, mu, 0.1));
+  // Near rho = 1 the work term dominates: bound increases.
+  EXPECT_LT(ratio_bound(m, mu, 0.9), ratio_bound(m, mu, 1.0));
+}
+
+TEST(RatioBoundShape, MuOneMatchesClosedForm) {
+  // mu = 1: no capping effect on T2 (b = 1/m), inner max =
+  // max{(m-1)*2/(1+rho), (m-1)*m/m}: closed form sanity for small m.
+  for (int m : {2, 3, 5, 9}) {
+    for (double rho : {0.0, 0.26, 1.0}) {
+      const double b = std::min(1.0 / m, (1.0 + rho) / 2.0);
+      const double expected =
+          (2.0 * m / (2.0 - rho) +
+           std::max((m - 1) * 2.0 / (1.0 + rho), (m - 1) / b)) /
+          m;
+      EXPECT_NEAR(ratio_bound(m, 1, rho), expected, 1e-12);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,225 @@
+// Tests for the malleable-task model: tables, speedup families, the
+// Section 2 theorems (work monotone / convex), and the assumption
+// validators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/assumptions.hpp"
+#include "model/instance.hpp"
+#include "model/speedup.hpp"
+#include "model/task.hpp"
+#include "model/work_function.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace malsched::model;
+
+TEST(Task, AccessorsAndWork) {
+  const MalleableTask task({10.0, 6.0, 5.0}, "t");
+  EXPECT_EQ(task.max_processors(), 3);
+  EXPECT_DOUBLE_EQ(task.processing_time(1), 10.0);
+  EXPECT_DOUBLE_EQ(task.work(2), 12.0);
+  EXPECT_DOUBLE_EQ(task.speedup(2), 10.0 / 6.0);
+  EXPECT_DOUBLE_EQ(task.speedup(0), 0.0);
+  EXPECT_EQ(task.name(), "t");
+}
+
+TEST(Task, SmallestAllotmentWithin) {
+  const MalleableTask task({10.0, 6.0, 5.0});
+  EXPECT_EQ(task.smallest_allotment_within(10.0), 1);
+  EXPECT_EQ(task.smallest_allotment_within(7.0), 2);
+  EXPECT_EQ(task.smallest_allotment_within(6.0), 2);
+  EXPECT_EQ(task.smallest_allotment_within(5.0), 3);
+}
+
+TEST(Task, SmallestAllotmentOnPlateauPicksFewestProcessors) {
+  const MalleableTask task({8.0, 8.0, 8.0, 4.0});
+  EXPECT_EQ(task.smallest_allotment_within(8.0), 1);
+  EXPECT_EQ(task.smallest_allotment_within(4.5), 4);
+}
+
+TEST(Task, BracketLowerProcessors) {
+  const MalleableTask task({10.0, 6.0, 5.0});
+  EXPECT_EQ(task.bracket_lower_processors(10.0), 1);
+  EXPECT_EQ(task.bracket_lower_processors(8.0), 1);   // in [p(2), p(1)]
+  EXPECT_EQ(task.bracket_lower_processors(5.5), 2);   // in [p(3), p(2)]
+  EXPECT_EQ(task.bracket_lower_processors(5.0), 3);
+}
+
+TEST(SpeedupFamilies, PowerLawMatchesFormula) {
+  const MalleableTask task = make_power_law_task(16.0, 0.5, 4);
+  EXPECT_DOUBLE_EQ(task.processing_time(1), 16.0);
+  EXPECT_NEAR(task.processing_time(4), 16.0 / 2.0, 1e-12);
+}
+
+TEST(SpeedupFamilies, AmdahlLimits) {
+  // 80% parallel work: speedup at m -> 1/(0.2 + 0.8/m).
+  const MalleableTask task = make_amdahl_task(10.0, 0.8, 8);
+  EXPECT_NEAR(task.speedup(8), 1.0 / (0.2 + 0.1), 1e-12);
+}
+
+TEST(SpeedupFamilies, SequentialIsFlat) {
+  const MalleableTask task = make_sequential_task(7.0, 5);
+  for (int l = 1; l <= 5; ++l) EXPECT_DOUBLE_EQ(task.processing_time(l), 7.0);
+}
+
+TEST(SpeedupFamilies, CappedLinearSaturates) {
+  const MalleableTask task = make_capped_linear_task(12.0, 3, 6);
+  EXPECT_DOUBLE_EQ(task.processing_time(3), 4.0);
+  EXPECT_DOUBLE_EQ(task.processing_time(6), 4.0);
+}
+
+// ---- Assumption validators ------------------------------------------------
+
+TEST(Assumptions, ConcaveFamiliesSatisfyPaperModel) {
+  const int m = 16;
+  EXPECT_TRUE(satisfies_paper_model(make_power_law_task(10.0, 0.6, m)));
+  EXPECT_TRUE(satisfies_paper_model(make_power_law_task(10.0, 1.0, m)));
+  EXPECT_TRUE(satisfies_paper_model(make_amdahl_task(10.0, 0.9, m)));
+  EXPECT_TRUE(satisfies_paper_model(make_logarithmic_task(10.0, 0.8, m)));
+  EXPECT_TRUE(satisfies_paper_model(make_capped_linear_task(10.0, 5, m)));
+  EXPECT_TRUE(satisfies_paper_model(make_sequential_task(10.0, m)));
+}
+
+TEST(Assumptions, Section2CounterexampleViolatesOnlyAssumption2) {
+  // p(l) = p1/(1 - delta + delta l^2) with delta < 1/(m^2+1): the paper's
+  // own example of a task with monotone work (A2') but convex speedup.
+  const int m = 6;
+  const MalleableTask task = make_convex_speedup_task(10.0, 1.0 / 64.0, m);
+  EXPECT_TRUE(check_assumption1(task).ok);
+  EXPECT_TRUE(check_assumption2prime(task).ok);
+  EXPECT_FALSE(check_assumption2(task).ok);
+}
+
+TEST(Assumptions, DetectsNonMonotoneTime) {
+  const MalleableTask bad({5.0, 6.0, 4.0});
+  EXPECT_FALSE(check_assumption1(bad).ok);
+  EXPECT_FALSE(check_assumption1(bad).detail.empty());
+}
+
+TEST(Assumptions, DetectsDecreasingWork) {
+  // W(2) = 8 < W(1) = 10: super-linear speedup, violates A2' (and A2).
+  const MalleableTask bad({10.0, 4.0});
+  EXPECT_FALSE(check_assumption2prime(bad).ok);
+  EXPECT_FALSE(check_assumption2(bad).ok);
+}
+
+// ---- Theorems 2.1 and 2.2 as properties over random concave tasks --------
+
+class Section2Theorems : public ::testing::TestWithParam<int> {};
+
+TEST_P(Section2Theorems, WorkMonotoneAndConvexUnderAssumptions) {
+  malsched::support::Rng rng(0x5EC2 + static_cast<std::uint64_t>(GetParam()) * 77);
+  const int m = rng.uniform_int(2, 24);
+  const MalleableTask task = make_random_concave_task(rng, 1.0, 100.0, m);
+
+  // The generator must actually produce model-conforming tasks.
+  ASSERT_TRUE(check_assumption1(task).ok) << check_assumption1(task).detail;
+  ASSERT_TRUE(check_assumption2(task).ok) << check_assumption2(task).detail;
+
+  // Theorem 2.1: W(l) non-decreasing (Assumption 2').
+  EXPECT_TRUE(check_assumption2prime(task).ok) << check_assumption2prime(task).detail;
+
+  // Theorem 2.2: w(p(l)) convex in the processing time.
+  EXPECT_TRUE(check_work_convex_in_time(task).ok)
+      << check_work_convex_in_time(task).detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConcave, Section2Theorems, ::testing::Range(0, 60));
+
+// ---- Work function --------------------------------------------------------
+
+TEST(WorkFunction, BreakpointValues) {
+  const MalleableTask task({10.0, 6.0, 5.0});
+  const WorkFunction wf(task);
+  EXPECT_NEAR(wf.value(10.0), 10.0, 1e-12);  // W(1)
+  EXPECT_NEAR(wf.value(6.0), 12.0, 1e-12);   // W(2)
+  EXPECT_NEAR(wf.value(5.0), 15.0, 1e-12);   // W(3)
+  EXPECT_EQ(wf.pieces().size(), 2u);
+}
+
+TEST(WorkFunction, LinearInterpolationBetweenBreakpoints) {
+  const MalleableTask task({10.0, 6.0});
+  const WorkFunction wf(task);
+  // Midpoint of [6, 10]: chord of (6,12)-(10,10) at 8 -> 11.
+  EXPECT_NEAR(wf.value(8.0), 11.0, 1e-12);
+}
+
+TEST(WorkFunction, ClampsOutsideDomain) {
+  const MalleableTask task({10.0, 6.0});
+  const WorkFunction wf(task);
+  EXPECT_NEAR(wf.value(100.0), 10.0, 1e-12);
+  EXPECT_NEAR(wf.value(1.0), 12.0, 1e-12);
+}
+
+TEST(WorkFunction, SingleProcessorDegenerate) {
+  const MalleableTask task({4.0});
+  const WorkFunction wf(task);
+  EXPECT_TRUE(wf.pieces().empty());
+  EXPECT_NEAR(wf.value(4.0), 4.0, 1e-12);
+}
+
+TEST(WorkFunction, PlateauPiecesSkipped) {
+  const MalleableTask task({8.0, 8.0, 4.0});
+  const WorkFunction wf(task);
+  EXPECT_EQ(wf.pieces().size(), 1u);  // only [p(3), p(2)]
+  EXPECT_NEAR(wf.value(8.0), 16.0, 1e-12);  // envelope at the plateau: W(2)
+}
+
+class WorkFunctionProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkFunctionProperties, EnvelopeMatchesInterpolationAndLemma41) {
+  malsched::support::Rng rng(0xF00D + static_cast<std::uint64_t>(GetParam()) * 131);
+  const int m = rng.uniform_int(2, 20);
+  const MalleableTask task = make_random_concave_task(rng, 1.0, 50.0, m);
+  const WorkFunction wf(task);
+
+  // At breakpoints the envelope equals the discrete work.
+  for (int l = 1; l <= m; ++l) {
+    EXPECT_NEAR(wf.value(task.processing_time(l)), task.work(l),
+                1e-9 * (1.0 + task.work(l)))
+        << "l=" << l;
+  }
+
+  // At random interior points: equals the chord of its bracket (eq. 6) and
+  // the fractional processor count sits in [l, l+1] (Lemma 4.1).
+  for (int trial = 0; trial < 20; ++trial) {
+    const double x = rng.uniform(task.processing_time(m), task.processing_time(1));
+    const int l = task.bracket_lower_processors(x);
+    if (l >= m) continue;
+    const double hi = task.processing_time(l), lo = task.processing_time(l + 1);
+    if (hi - lo < 1e-9) continue;
+    const double chord =
+        task.work(l) + (task.work(l + 1) - task.work(l)) * (x - hi) / (lo - hi);
+    EXPECT_NEAR(wf.value(x), chord, 1e-7 * (1.0 + chord));
+    const double l_star = wf.fractional_processors(x);
+    EXPECT_GE(l_star, l - 1e-7);
+    EXPECT_LE(l_star, l + 1 + 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTasks, WorkFunctionProperties, ::testing::Range(0, 40));
+
+// ---- Instance helpers ------------------------------------------------------
+
+TEST(Instance, LowerBoundsAndValidation) {
+  malsched::support::Rng rng(3);
+  Instance instance = make_family_instance(DagFamily::kChain, TaskFamily::kPowerLaw, 5,
+                                           4, rng);
+  EXPECT_EQ(instance.num_tasks(), 5);
+  EXPECT_GT(instance.min_total_work(), 0.0);
+  EXPECT_GT(instance.min_critical_path(), 0.0);
+  EXPECT_GE(instance.trivial_lower_bound(),
+            instance.min_total_work() / instance.m - 1e-12);
+  validate_instance(instance);  // must not abort
+}
+
+TEST(Instance, FamilyNamesAreDistinct) {
+  std::set<std::string> names;
+  for (const auto family : all_dag_families()) names.insert(to_string(family));
+  EXPECT_EQ(names.size(), all_dag_families().size());
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+// Tests for the polynomial toolkit and the Section 4.3 asymptotics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/asymptotic.hpp"
+#include "analysis/minmax.hpp"
+#include "analysis/polynomial.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace malsched::analysis;
+
+TEST(Polynomial, EvaluateHorner) {
+  const Polynomial p({1.0, -2.0, 3.0});  // 3x^2 - 2x + 1
+  EXPECT_DOUBLE_EQ(p.evaluate(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.evaluate(2.0), 9.0);
+  EXPECT_EQ(p.degree(), 2);
+}
+
+TEST(Polynomial, TrimsTrailingZeros) {
+  const Polynomial p({1.0, 2.0, 0.0, 0.0});
+  EXPECT_EQ(p.degree(), 1);
+}
+
+TEST(Polynomial, Derivative) {
+  const Polynomial p({5.0, 1.0, -4.0, 2.0});  // 2x^3 - 4x^2 + x + 5
+  const Polynomial d = p.derivative();        // 6x^2 - 8x + 1
+  EXPECT_DOUBLE_EQ(d.coefficient(0), 1.0);
+  EXPECT_DOUBLE_EQ(d.coefficient(1), -8.0);
+  EXPECT_DOUBLE_EQ(d.coefficient(2), 6.0);
+}
+
+TEST(Polynomial, Arithmetic) {
+  const Polynomial a({1.0, 1.0});   // x + 1
+  const Polynomial b({-1.0, 1.0});  // x - 1
+  const Polynomial prod = a * b;    // x^2 - 1
+  EXPECT_DOUBLE_EQ(prod.coefficient(0), -1.0);
+  EXPECT_DOUBLE_EQ(prod.coefficient(1), 0.0);
+  EXPECT_DOUBLE_EQ(prod.coefficient(2), 1.0);
+  const Polynomial sum = a + b;  // 2x
+  EXPECT_DOUBLE_EQ(sum.coefficient(0), 0.0);
+  EXPECT_DOUBLE_EQ(sum.coefficient(1), 2.0);
+  const Polynomial diff = a - b;  // 2
+  EXPECT_EQ(diff.degree(), 0);
+  EXPECT_DOUBLE_EQ(diff.coefficient(0), 2.0);
+}
+
+TEST(Polynomial, QuadraticRoots) {
+  const Polynomial p({-6.0, 1.0, 1.0});  // (x+3)(x-2)
+  const auto roots = p.real_roots_in(-10.0, 10.0);
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_NEAR(roots[0], -3.0, 1e-9);
+  EXPECT_NEAR(roots[1], 2.0, 1e-9);
+}
+
+TEST(Polynomial, ComplexRootsOfUnity) {
+  // x^4 - 1: roots 1, -1, i, -i.
+  const Polynomial p({-1.0, 0.0, 0.0, 0.0, 1.0});
+  const auto roots = p.complex_roots();
+  ASSERT_EQ(roots.size(), 4u);
+  for (const auto& r : roots) EXPECT_NEAR(std::abs(r), 1.0, 1e-8);
+  const auto reals = p.real_roots_in(-2.0, 2.0);
+  ASSERT_EQ(reals.size(), 2u);
+  EXPECT_NEAR(reals[0], -1.0, 1e-9);
+  EXPECT_NEAR(reals[1], 1.0, 1e-9);
+}
+
+TEST(Polynomial, RealRootsIntervalFilter) {
+  const Polynomial p({0.0, -1.0, 0.0, 1.0});  // x(x-1)(x+1)
+  EXPECT_EQ(p.real_roots_in(0.5, 2.0).size(), 1u);
+  EXPECT_EQ(p.real_roots_in(-2.0, 2.0).size(), 3u);
+}
+
+class RandomPolynomial : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPolynomial, DurandKernerRecoversPlantedRoots) {
+  malsched::support::Rng rng(0x9001 + static_cast<std::uint64_t>(GetParam()));
+  const int degree = rng.uniform_int(2, 7);
+  // Plant well-separated real roots and expand the product.
+  std::vector<double> roots;
+  double next = rng.uniform(-4.0, -3.0);
+  for (int i = 0; i < degree; ++i) {
+    roots.push_back(next);
+    next += rng.uniform(0.8, 2.0);
+  }
+  Polynomial p({1.0});
+  for (double r : roots) p = p * Polynomial({-r, 1.0});
+  const auto found = p.real_roots_in(-10.0, 20.0, 1e-11);
+  ASSERT_EQ(found.size(), roots.size());
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    EXPECT_NEAR(found[i], roots[i], 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Planted, RandomPolynomial, ::testing::Range(0, 30));
+
+// ---- Section 4.3 ----------------------------------------------------------
+
+TEST(Asymptotic, LimitingPolynomialMatchesPaper) {
+  // rho^6 + 6rho^5 + 3rho^4 + 14rho^3 + 21rho^2 + 24rho - 8.
+  const Polynomial p = limiting_rho_polynomial();
+  EXPECT_EQ(p.degree(), 6);
+  EXPECT_DOUBLE_EQ(p.coefficient(6), 1.0);
+  EXPECT_DOUBLE_EQ(p.coefficient(0), -8.0);
+  EXPECT_NEAR(p.evaluate(0.261917), 0.0, 1e-4);
+}
+
+TEST(Asymptotic, RhoStarMatchesPaper) {
+  EXPECT_NEAR(asymptotic_rho_star(), 0.261917, 1e-6);
+}
+
+TEST(Asymptotic, MuFractionMatchesPaper) {
+  EXPECT_NEAR(asymptotic_mu_fraction(), 0.325907, 1e-6);
+}
+
+TEST(Asymptotic, RatioMatchesPaper) {
+  EXPECT_NEAR(asymptotic_ratio(), 3.291913, 1e-6);
+  // The fixed rho-hat = 0.26 of the algorithm gives the headline 3.291919.
+  EXPECT_NEAR(limiting_ratio_for_rho(0.26), 3.291919, 1e-6);
+  // rho* is optimal in the limit: nearby rho are no better.
+  const double at_star = asymptotic_ratio();
+  for (double d : {-0.05, -0.01, 0.01, 0.05}) {
+    EXPECT_GE(limiting_ratio_for_rho(asymptotic_rho_star() + d), at_star - 1e-12);
+  }
+}
+
+TEST(Asymptotic, PaperParametersApproachAsymptote) {
+  // Theorem 4.1 values converge to 3.291919 from below as m grows.
+  EXPECT_NEAR(theorem41_ratio(100000), corollary_ratio(), 1e-4);
+}
+
+class Eq21Identity : public ::testing::TestWithParam<int> {};
+
+TEST_P(Eq21Identity, AlgebraicIdentityHolds) {
+  // (A1 Delta + A3)^2 - A2^2 Delta == m^2 (1+m) (1+rho)^2 sum_i c_i rho^i —
+  // the squared form of the optimality condition, eq. (21). Verified as an
+  // exact polynomial identity at sampled rho.
+  const int m = GetParam();
+  const Polynomial a1 = eq21_a1(m), a2 = eq21_a2(m), a3 = eq21_a3(m);
+  const Polynomial delta = eq21_delta(m);
+  const Polynomial lhs = (a1 * delta + a3) * (a1 * delta + a3) - a2 * a2 * delta;
+  const Polynomial rhs = Polynomial(eq21_coefficients(m)) *
+                         Polynomial({1.0, 2.0, 1.0}).scaled(
+                             static_cast<double>(m) * m * (1.0 + m));
+  for (double rho = 0.0; rho <= 1.0; rho += 0.0625) {
+    const double l = lhs.evaluate(rho);
+    const double r = rhs.evaluate(rho);
+    EXPECT_NEAR(l, r, 1e-9 * (1.0 + std::abs(l))) << "m=" << m << " rho=" << rho;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VariousM, Eq21Identity,
+                         ::testing::Values(2, 3, 5, 8, 13, 21, 34, 55));
+
+TEST(Eq21, FiniteMRootApproachesRhoStar) {
+  // The finite-m optimality root drifts toward rho* = 0.261917 as m grows.
+  const auto roots_small = Polynomial(eq21_coefficients(20)).real_roots_in(0.0, 1.0);
+  const auto roots_large = Polynomial(eq21_coefficients(2000)).real_roots_in(0.0, 1.0);
+  ASSERT_FALSE(roots_small.empty());
+  ASSERT_FALSE(roots_large.empty());
+  EXPECT_GT(std::abs(roots_small.front() - asymptotic_rho_star()),
+            std::abs(roots_large.front() - asymptotic_rho_star()));
+  EXPECT_NEAR(roots_large.front(), asymptotic_rho_star(), 1e-3);
+}
+
+}  // namespace

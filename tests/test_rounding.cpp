@@ -1,0 +1,136 @@
+// Tests for the Phase-1 rounding step, including Lemma 4.1 and Lemma 4.2 as
+// checked properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rounding.hpp"
+#include "graph/generators.hpp"
+#include "model/instance.hpp"
+#include "model/speedup.hpp"
+#include "model/work_function.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace malsched;
+
+model::Instance single_task_instance(model::MalleableTask task) {
+  model::Instance instance;
+  instance.dag = graph::Dag(1);
+  instance.m = task.max_processors();
+  instance.tasks = {std::move(task)};
+  return instance;
+}
+
+TEST(Rounding, ExactBreakpointsAreKept) {
+  const auto instance = single_task_instance(model::make_power_law_task(12.0, 0.7, 6));
+  for (int l = 1; l <= 6; ++l) {
+    const auto allotment = core::round_fractional(
+        instance, {instance.task(0).processing_time(l)}, 0.26);
+    EXPECT_EQ(allotment[0], l) << "breakpoint l=" << l;
+  }
+}
+
+TEST(Rounding, CriticalPointSplitsInterval) {
+  // Task with p(1)=10, p(2)=6: critical time for rho is
+  // rho*10 + (1-rho)*6 = 6 + 4 rho.
+  const auto instance = single_task_instance(model::MalleableTask({10.0, 6.0}));
+  const double rho = 0.25;  // critical time = 7
+  EXPECT_EQ(core::round_fractional(instance, {7.5}, rho)[0], 1);  // above: round up
+  EXPECT_EQ(core::round_fractional(instance, {7.0}, rho)[0], 1);  // at: round up
+  EXPECT_EQ(core::round_fractional(instance, {6.5}, rho)[0], 2);  // below: down
+}
+
+TEST(Rounding, RhoZeroAlwaysRoundsUpInsideInterval) {
+  // rho = 0: critical time = p(l+1), so any interior x rounds up to l.
+  const auto instance = single_task_instance(model::MalleableTask({10.0, 6.0, 5.0}));
+  EXPECT_EQ(core::round_fractional(instance, {6.0001}, 0.0)[0], 1);
+  EXPECT_EQ(core::round_fractional(instance, {5.0001}, 0.0)[0], 2);
+}
+
+TEST(Rounding, RhoOneAlwaysRoundsDownInsideInterval) {
+  // rho = 1: critical time = p(l), so any interior x rounds down to l+1.
+  const auto instance = single_task_instance(model::MalleableTask({10.0, 6.0, 5.0}));
+  EXPECT_EQ(core::round_fractional(instance, {9.9999}, 1.0)[0], 2);
+  EXPECT_EQ(core::round_fractional(instance, {5.9999}, 1.0)[0], 3);
+}
+
+TEST(Rounding, PlateauTablesPickFewestProcessors) {
+  const auto instance = single_task_instance(model::MalleableTask({8.0, 8.0, 8.0, 4.0}));
+  // x = 8 sits on the plateau: the cheapest allotment achieving it is l=1.
+  EXPECT_EQ(core::round_fractional(instance, {8.0}, 0.26)[0], 1);
+}
+
+TEST(Rounding, SequentialTaskAlwaysOneProcessor) {
+  const auto instance = single_task_instance(model::make_sequential_task(5.0, 8));
+  EXPECT_EQ(core::round_fractional(instance, {5.0}, 0.26)[0], 1);
+}
+
+TEST(Rounding, ClampsOutOfRangeFractionalValues) {
+  const auto instance = single_task_instance(model::MalleableTask({10.0, 6.0}));
+  EXPECT_EQ(core::round_fractional(instance, {100.0}, 0.5)[0], 1);
+  EXPECT_EQ(core::round_fractional(instance, {0.01}, 0.5)[0], 2);
+}
+
+// ---- Lemma 4.2 as a property sweep ----------------------------------------
+
+struct Lemma42Case {
+  std::uint64_t seed;
+  double rho;
+};
+
+class Lemma42 : public ::testing::TestWithParam<Lemma42Case> {};
+
+TEST_P(Lemma42, RoundingStretchBounds) {
+  const auto [seed, rho] = GetParam();
+  support::Rng rng(seed);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int m = rng.uniform_int(2, 16);
+    const model::MalleableTask task = model::make_random_concave_task(rng, 1.0, 40.0, m);
+    const auto instance = single_task_instance(task);
+    const model::WorkFunction wf(task);
+    const double x =
+        rng.uniform(task.processing_time(m), task.processing_time(1));
+
+    const auto allotment = core::round_fractional(instance, {x}, rho);
+    const int l = allotment[0];
+    ASSERT_GE(l, 1);
+    ASSERT_LE(l, m);
+
+    // Lemma 4.2: p(l') <= 2 x / (1 + rho) and W(l') <= 2 w(x) / (2 - rho).
+    EXPECT_LE(task.processing_time(l), 2.0 * x / (1.0 + rho) + 1e-7)
+        << "m=" << m << " x=" << x << " rho=" << rho;
+    EXPECT_LE(task.work(l), 2.0 * wf.value(x) / (2.0 - rho) + 1e-7)
+        << "m=" << m << " x=" << x << " rho=" << rho;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Lemma42,
+    ::testing::Values(Lemma42Case{101, 0.0}, Lemma42Case{102, 0.26},
+                      Lemma42Case{103, 0.5}, Lemma42Case{104, 0.75},
+                      Lemma42Case{105, 1.0}, Lemma42Case{106, 0.098},
+                      Lemma42Case{107, 0.43}, Lemma42Case{108, 0.9}));
+
+// Lemma 4.1 is asserted inside round_fractional (debug assertion); this
+// sweep simply exercises it broadly across families.
+class Lemma41Sweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma41Sweep, FractionalProcessorsBracketHolds) {
+  support::Rng rng(0x41 + static_cast<std::uint64_t>(GetParam()) * 1337);
+  const int m = rng.uniform_int(2, 24);
+  const model::MalleableTask task = model::make_random_power_law_task(rng, 0.3, 1.0, m);
+  const model::WorkFunction wf(task);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double x = rng.uniform(task.processing_time(m), task.processing_time(1));
+    const int l = task.bracket_lower_processors(x);
+    const double l_star = wf.fractional_processors(x);
+    EXPECT_GE(l_star, l - 1e-7);
+    EXPECT_LE(l_star, std::min(l + 1, m) + 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Lemma41Sweep, ::testing::Range(0, 20));
+
+}  // namespace

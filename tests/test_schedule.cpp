@@ -1,0 +1,132 @@
+// Tests for schedules, the feasibility checker, usage profiles, and the
+// T1/T2/T3 slot taxonomy.
+#include <gtest/gtest.h>
+
+#include "core/schedule.hpp"
+#include "graph/generators.hpp"
+#include "model/instance.hpp"
+#include "model/speedup.hpp"
+
+namespace {
+
+using namespace malsched;
+using core::Schedule;
+
+model::Instance two_task_chain(int m) {
+  model::Instance instance;
+  instance.dag = graph::make_chain(2);
+  instance.m = m;
+  instance.tasks = {model::make_sequential_task(4.0, m),
+                    model::make_sequential_task(6.0, m)};
+  return instance;
+}
+
+TEST(Schedule, MakespanAndCompletion) {
+  const auto instance = two_task_chain(2);
+  Schedule schedule{{0.0, 4.0}, {1, 1}};
+  EXPECT_DOUBLE_EQ(schedule.completion(instance, 0), 4.0);
+  EXPECT_DOUBLE_EQ(schedule.completion(instance, 1), 10.0);
+  EXPECT_DOUBLE_EQ(schedule.makespan(instance), 10.0);
+}
+
+TEST(Checker, AcceptsFeasible) {
+  const auto instance = two_task_chain(2);
+  const Schedule schedule{{0.0, 4.0}, {1, 1}};
+  EXPECT_TRUE(core::check_schedule(instance, schedule).feasible);
+}
+
+TEST(Checker, RejectsPrecedenceViolation) {
+  const auto instance = two_task_chain(2);
+  const Schedule schedule{{0.0, 3.0}, {1, 1}};  // task 1 starts before 0 ends
+  const auto report = core::check_schedule(instance, schedule);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_NE(report.detail.find("precedence"), std::string::npos);
+}
+
+TEST(Checker, RejectsCapacityViolation) {
+  model::Instance instance;
+  instance.dag = graph::make_independent(2);
+  instance.m = 2;
+  instance.tasks = {model::make_sequential_task(5.0, 2),
+                    model::make_sequential_task(5.0, 2)};
+  // Both tasks on 2 processors at once: 4 > m = 2.
+  const Schedule schedule{{0.0, 0.0}, {2, 2}};
+  const auto report = core::check_schedule(instance, schedule);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_NE(report.detail.find("busy"), std::string::npos);
+}
+
+TEST(Checker, RejectsBadAllotment) {
+  const auto instance = two_task_chain(2);
+  const Schedule schedule{{0.0, 4.0}, {3, 1}};  // 3 > m
+  EXPECT_FALSE(core::check_schedule(instance, schedule).feasible);
+}
+
+TEST(Checker, RejectsNegativeStart) {
+  const auto instance = two_task_chain(2);
+  const Schedule schedule{{-1.0, 4.0}, {1, 1}};
+  EXPECT_FALSE(core::check_schedule(instance, schedule).feasible);
+}
+
+TEST(UsageProfile, TracksOverlaps) {
+  model::Instance instance;
+  instance.dag = graph::make_independent(2);
+  instance.m = 4;
+  instance.tasks = {model::make_sequential_task(4.0, 4),
+                    model::make_sequential_task(4.0, 4)};
+  const Schedule schedule{{0.0, 2.0}, {1, 2}};
+  const auto profile = core::usage_profile(instance, schedule);
+  // [0,2): 1 busy; [2,4): 3 busy; [4,6): 2 busy.
+  ASSERT_EQ(profile.size(), 3u);
+  EXPECT_EQ(profile[0].busy, 1);
+  EXPECT_EQ(profile[1].busy, 3);
+  EXPECT_EQ(profile[2].busy, 2);
+  EXPECT_DOUBLE_EQ(profile[1].begin, 2.0);
+  EXPECT_DOUBLE_EQ(profile[2].end, 6.0);
+}
+
+TEST(UsageProfile, RecordsInteriorIdleGaps) {
+  model::Instance instance;
+  instance.dag = graph::make_independent(2);
+  instance.m = 2;
+  instance.tasks = {model::make_sequential_task(2.0, 2),
+                    model::make_sequential_task(2.0, 2)};
+  const Schedule schedule{{0.0, 5.0}, {1, 1}};
+  const auto profile = core::usage_profile(instance, schedule);
+  ASSERT_EQ(profile.size(), 3u);
+  EXPECT_EQ(profile[1].busy, 0);
+  EXPECT_DOUBLE_EQ(profile[1].begin, 2.0);
+  EXPECT_DOUBLE_EQ(profile[1].end, 5.0);
+}
+
+TEST(SlotClasses, PartitionCoversMakespan) {
+  model::Instance instance;
+  instance.dag = graph::make_independent(3);
+  instance.m = 5;
+  instance.tasks = {model::make_sequential_task(2.0, 5),
+                    model::make_sequential_task(3.0, 5),
+                    model::make_sequential_task(4.0, 5)};
+  const Schedule schedule{{0.0, 0.0, 0.0}, {1, 2, 2}};
+  // Usage: [0,2): 5, [2,3): 4, [3,4): 2.
+  const int mu = 2;  // T1: <=1 busy, T2: 2..3 busy, T3: >=4 busy
+  const auto classes = core::classify_slots(instance, schedule, mu);
+  EXPECT_DOUBLE_EQ(classes.t1, 0.0);
+  EXPECT_DOUBLE_EQ(classes.t2, 1.0);
+  EXPECT_DOUBLE_EQ(classes.t3, 3.0);
+  EXPECT_DOUBLE_EQ(classes.t1 + classes.t2 + classes.t3,
+                   schedule.makespan(instance));
+}
+
+TEST(SlotClasses, MuHalfOddMakesT2Empty) {
+  // mu = (m+1)/2 with m odd: T2 = [mu, m-mu] is empty by definition.
+  model::Instance instance;
+  instance.dag = graph::make_independent(2);
+  instance.m = 5;
+  instance.tasks = {model::make_sequential_task(2.0, 5),
+                    model::make_sequential_task(2.0, 5)};
+  const Schedule schedule{{0.0, 0.0}, {3, 2}};
+  const auto classes = core::classify_slots(instance, schedule, 3);
+  EXPECT_DOUBLE_EQ(classes.t2, 0.0);
+}
+
+}  // namespace

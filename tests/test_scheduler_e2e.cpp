@@ -1,0 +1,149 @@
+// End-to-end properties of the full two-phase algorithm: feasibility, the
+// approximation guarantee against the LP lower bound (Lemma 4.5 + Theorem
+// 4.1), and optimality comparisons on tiny instances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/minmax.hpp"
+#include "baselines/exact.hpp"
+#include "core/heavy_path.hpp"
+#include "core/scheduler.hpp"
+#include "model/assumptions.hpp"
+#include "model/instance.hpp"
+#include "model/speedup.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace malsched;
+
+struct E2eCase {
+  model::DagFamily dag_family;
+  model::TaskFamily task_family;
+  int size;
+  int m;
+  std::uint64_t seed;
+};
+
+class EndToEnd : public ::testing::TestWithParam<E2eCase> {};
+
+TEST_P(EndToEnd, FeasibleAndWithinGuarantee) {
+  const E2eCase param = GetParam();
+  support::Rng rng(param.seed);
+  const model::Instance instance = model::make_family_instance(
+      param.dag_family, param.task_family, param.size, param.m, rng);
+
+  const core::SchedulerResult result = core::schedule_malleable_dag(instance);
+
+  // Feasibility is unconditional.
+  const auto report = core::check_schedule(instance, result.schedule);
+  ASSERT_TRUE(report.feasible) << report.detail;
+
+  // The LP bound is positive and at most the achieved makespan.
+  EXPECT_GT(result.fractional.lower_bound, 0.0);
+  EXPECT_GE(result.makespan + 1e-9, result.fractional.lower_bound);
+
+  // Lemma 4.5 / Theorem 4.1: makespan <= r(m, mu, rho) * C*. The proof
+  // compares against C*, so this is exactly the certified inequality.
+  EXPECT_LE(result.ratio_vs_lower_bound, result.guaranteed_ratio + 1e-6)
+      << "family=" << model::to_string(param.dag_family)
+      << " tasks=" << model::to_string(param.task_family) << " m=" << param.m;
+
+  // And the guarantee itself never exceeds the corollary bound.
+  EXPECT_LE(result.guaranteed_ratio, analysis::corollary_ratio() + 1e-9);
+}
+
+std::vector<E2eCase> e2e_cases() {
+  std::vector<E2eCase> cases;
+  std::uint64_t seed = 5000;
+  for (const auto dag_family : model::all_dag_families()) {
+    for (const auto task_family :
+         {model::TaskFamily::kPowerLaw, model::TaskFamily::kMixed}) {
+      for (int m : {2, 3, 5, 8}) {
+        cases.push_back(E2eCase{dag_family, task_family, 14, m, seed++});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, EndToEnd, ::testing::ValuesIn(e2e_cases()));
+
+TEST(EndToEndSpecial, LargerMachineCounts) {
+  support::Rng rng(42424);
+  for (int m : {16, 24, 32}) {
+    const model::Instance instance = model::make_family_instance(
+        model::DagFamily::kLayered, model::TaskFamily::kPowerLaw, 12, m, rng);
+    const auto result = core::schedule_malleable_dag(instance);
+    EXPECT_TRUE(core::check_schedule(instance, result.schedule).feasible);
+    EXPECT_LE(result.ratio_vs_lower_bound, result.guaranteed_ratio + 1e-6) << m;
+  }
+}
+
+TEST(EndToEndSpecial, SingleProcessor) {
+  support::Rng rng(11);
+  const model::Instance instance = model::make_family_instance(
+      model::DagFamily::kRandom, model::TaskFamily::kMixed, 10, 1, rng);
+  const auto result = core::schedule_malleable_dag(instance);
+  EXPECT_TRUE(core::check_schedule(instance, result.schedule).feasible);
+  // m = 1: list scheduling of a DAG on one processor is exact (no idling):
+  // makespan equals total work equals the LP bound.
+  EXPECT_NEAR(result.makespan, instance.min_total_work(), 1e-6);
+  EXPECT_NEAR(result.ratio_vs_lower_bound, 1.0, 1e-6);
+}
+
+TEST(EndToEndSpecial, ParameterOverridesRespected) {
+  support::Rng rng(12);
+  const model::Instance instance = model::make_family_instance(
+      model::DagFamily::kForkJoin, model::TaskFamily::kPowerLaw, 10, 8, rng);
+  core::SchedulerOptions options;
+  options.rho = 0.5;
+  options.mu = 2;
+  const auto result = core::schedule_malleable_dag(instance, options);
+  EXPECT_DOUBLE_EQ(result.rho, 0.5);
+  EXPECT_EQ(result.mu, 2);
+  for (int j = 0; j < instance.num_tasks(); ++j) {
+    EXPECT_LE(result.schedule.allotment[static_cast<std::size_t>(j)], 2);
+  }
+}
+
+TEST(EndToEndSpecial, BinarySearchModeEndToEnd) {
+  support::Rng rng(13);
+  const model::Instance instance = model::make_family_instance(
+      model::DagFamily::kSeriesParallel, model::TaskFamily::kMixed, 12, 6, rng);
+  core::SchedulerOptions options;
+  options.lp.mode = core::LpMode::kBinarySearch;
+  const auto result = core::schedule_malleable_dag(instance, options);
+  EXPECT_TRUE(core::check_schedule(instance, result.schedule).feasible);
+  EXPECT_LE(result.ratio_vs_lower_bound, result.guaranteed_ratio + 1e-4);
+}
+
+// ---- Against true OPT on tiny instances ------------------------------------
+
+class VersusExact : public ::testing::TestWithParam<int> {};
+
+TEST_P(VersusExact, WithinTheoremBoundOfOptimum) {
+  support::Rng rng(0xE9AC7 + static_cast<std::uint64_t>(GetParam()) * 7);
+  const auto families = model::all_dag_families();
+  const auto family = families[static_cast<std::size_t>(GetParam()) % families.size()];
+  const int m = rng.uniform_int(2, 3);
+  const model::Instance instance =
+      model::make_family_instance(family, model::TaskFamily::kMixed, 6, m, rng);
+  if (instance.num_tasks() > 7) GTEST_SKIP() << "family expands beyond B&B size";
+
+  const auto exact = baselines::exact_optimal_schedule(instance);
+  ASSERT_TRUE(exact.has_value());
+  ASSERT_TRUE(exact->proven_optimal);
+  const auto result = core::schedule_malleable_dag(instance);
+
+  // Sandwich: C* <= OPT <= ours <= r * C* (and in particular ours <= r*OPT).
+  EXPECT_LE(result.fractional.lower_bound, exact->optimal_makespan + 1e-6);
+  EXPECT_GE(result.makespan + 1e-9, exact->optimal_makespan - 1e-6);
+  EXPECT_LE(result.makespan,
+            analysis::theorem41_ratio(std::max(2, m)) * exact->optimal_makespan + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tiny, VersusExact, ::testing::Range(0, 24));
+
+}  // namespace

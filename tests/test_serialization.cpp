@@ -1,0 +1,122 @@
+// Tests for the instance text format and its failure modes.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/scheduler.hpp"
+#include "model/instance.hpp"
+#include "model/serialization.hpp"
+#include "model/speedup.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace malsched;
+
+TEST(Serialization, RoundTripPreservesEverything) {
+  support::Rng rng(91);
+  const model::Instance original = model::make_family_instance(
+      model::DagFamily::kLayered, model::TaskFamily::kMixed, 12, 5, rng);
+
+  std::stringstream buffer;
+  model::write_instance(buffer, original);
+  std::string error;
+  const auto parsed = model::read_instance(buffer, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+
+  ASSERT_EQ(parsed->m, original.m);
+  ASSERT_EQ(parsed->num_tasks(), original.num_tasks());
+  EXPECT_EQ(parsed->dag.num_edges(), original.dag.num_edges());
+  for (int j = 0; j < original.num_tasks(); ++j) {
+    EXPECT_EQ(parsed->task(j).name(), original.task(j).name());
+    for (int l = 1; l <= original.m; ++l) {
+      // max-precision output: exact round trip.
+      EXPECT_EQ(parsed->task(j).processing_time(l), original.task(j).processing_time(l))
+          << "task " << j << " l " << l;
+    }
+    EXPECT_EQ(parsed->dag.successors(j), original.dag.successors(j));
+  }
+}
+
+TEST(Serialization, RoundTripScheduleEquivalence) {
+  // A round-tripped instance must produce the identical schedule.
+  support::Rng rng(92);
+  const model::Instance original = model::make_family_instance(
+      model::DagFamily::kSeriesParallel, model::TaskFamily::kPowerLaw, 10, 4, rng);
+  std::stringstream buffer;
+  model::write_instance(buffer, original);
+  const auto parsed = model::read_instance(buffer);
+  ASSERT_TRUE(parsed.has_value());
+  const auto a = core::schedule_malleable_dag(original);
+  const auto b = core::schedule_malleable_dag(*parsed);
+  EXPECT_EQ(a.schedule.start, b.schedule.start);
+  EXPECT_EQ(a.schedule.allotment, b.schedule.allotment);
+}
+
+TEST(Serialization, CommentsAndBlankLinesIgnored) {
+  std::istringstream is(
+      "# a comment\n"
+      "malsched-instance v1\n"
+      "\n"
+      "m 2\n"
+      "# tasks follow\n"
+      "tasks 2\n"
+      "task 0 alpha 4.0 2.5\n"
+      "task 1 - 3.0 2.0\n"
+      "edges 1\n"
+      "edge 0 1\n");
+  std::string error;
+  const auto parsed = model::read_instance(is, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->task(0).name(), "alpha");
+  EXPECT_EQ(parsed->task(1).name(), "");
+  EXPECT_TRUE(parsed->dag.has_edge(0, 1));
+}
+
+TEST(Serialization, RejectsMissingHeader) {
+  std::istringstream is("m 2\ntasks 0\nedges 0\n");
+  std::string error;
+  EXPECT_FALSE(model::read_instance(is, &error).has_value());
+  EXPECT_NE(error.find("header"), std::string::npos);
+}
+
+TEST(Serialization, RejectsWrongTimeArity) {
+  std::istringstream is(
+      "malsched-instance v1\nm 3\ntasks 1\ntask 0 - 4.0 2.5\nedges 0\n");
+  std::string error;
+  EXPECT_FALSE(model::read_instance(is, &error).has_value());
+  EXPECT_NE(error.find("expected 3"), std::string::npos);
+}
+
+TEST(Serialization, RejectsNonPositiveTimes) {
+  std::istringstream is(
+      "malsched-instance v1\nm 2\ntasks 1\ntask 0 - 4.0 0.0\nedges 0\n");
+  EXPECT_FALSE(model::read_instance(is).has_value());
+}
+
+TEST(Serialization, RejectsBadEdgeEndpoints) {
+  std::istringstream is(
+      "malsched-instance v1\nm 1\ntasks 2\ntask 0 - 1.0\ntask 1 - 1.0\n"
+      "edges 1\nedge 0 5\n");
+  std::string error;
+  EXPECT_FALSE(model::read_instance(is, &error).has_value());
+  EXPECT_NE(error.find("edge"), std::string::npos);
+}
+
+TEST(Serialization, RejectsCycles) {
+  std::istringstream is(
+      "malsched-instance v1\nm 1\ntasks 2\ntask 0 - 1.0\ntask 1 - 1.0\n"
+      "edges 2\nedge 0 1\nedge 1 0\n");
+  std::string error;
+  EXPECT_FALSE(model::read_instance(is, &error).has_value());
+  EXPECT_NE(error.find("cycle"), std::string::npos);
+}
+
+TEST(Serialization, EmptyInstance) {
+  std::istringstream is("malsched-instance v1\nm 4\ntasks 0\nedges 0\n");
+  const auto parsed = model::read_instance(is);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->num_tasks(), 0);
+}
+
+}  // namespace

@@ -1,0 +1,164 @@
+// Tests for support utilities: RNG, thread pool, text tables.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using malsched::support::Rng;
+using malsched::support::TextTable;
+using malsched::support::ThreadPool;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.uniform_int(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / trials, 1.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / trials, 0.5, 0.02);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(19);
+  std::vector<double> weights{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(21);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(33);
+  Rng child = a.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next_u64() == child.next_u64());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndex) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(500);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(TextTable, AlignsAndCounts) {
+  TextTable table({"a", "long-header"});
+  table.add_row({"1", "2"});
+  table.add_row({"333", "4"});
+  EXPECT_EQ(table.rows(), 2u);
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(42), "42");
+  EXPECT_EQ(TextTable::num(2.0, 4), "2.0000");
+}
+
+TEST(Stopwatch, MeasuresNonNegativeTime) {
+  malsched::support::Stopwatch sw;
+  EXPECT_GE(sw.seconds(), 0.0);
+  sw.reset();
+  EXPECT_GE(sw.milliseconds(), 0.0);
+}
+
+}  // namespace

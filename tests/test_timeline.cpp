@@ -1,0 +1,90 @@
+// Tests for the resource timeline used by the LIST scheduler.
+#include <gtest/gtest.h>
+
+#include "core/timeline.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using malsched::core::ResourceTimeline;
+
+TEST(Timeline, EmptyTimelineFitsImmediately) {
+  ResourceTimeline timeline(4);
+  EXPECT_DOUBLE_EQ(timeline.earliest_fit(0.0, 5.0, 4), 0.0);
+  EXPECT_DOUBLE_EQ(timeline.earliest_fit(2.5, 1.0, 1), 2.5);
+}
+
+TEST(Timeline, PlacementRaisesUsage) {
+  ResourceTimeline timeline(4);
+  timeline.place(0.0, 10.0, 3);
+  EXPECT_EQ(timeline.usage_at(0.0), 3);
+  EXPECT_EQ(timeline.usage_at(9.999), 3);
+  EXPECT_EQ(timeline.usage_at(10.0), 0);
+}
+
+TEST(Timeline, FitWaitsForCapacity) {
+  ResourceTimeline timeline(4);
+  timeline.place(0.0, 10.0, 3);
+  // 2 processors only free from t=10.
+  EXPECT_DOUBLE_EQ(timeline.earliest_fit(0.0, 1.0, 2), 10.0);
+  // 1 processor fits right away.
+  EXPECT_DOUBLE_EQ(timeline.earliest_fit(0.0, 1.0, 1), 0.0);
+}
+
+TEST(Timeline, FitRequiresWholeWindow) {
+  ResourceTimeline timeline(2);
+  timeline.place(5.0, 5.0, 2);  // busy [5, 10)
+  // A 6-long window needing 1 proc cannot start at 0 (blocked at 5);
+  // earliest is 10.
+  EXPECT_DOUBLE_EQ(timeline.earliest_fit(0.0, 6.0, 1), 10.0);
+  // A 5-long window fits exactly in [0, 5).
+  EXPECT_DOUBLE_EQ(timeline.earliest_fit(0.0, 5.0, 1), 0.0);
+}
+
+TEST(Timeline, FitSkipsThroughMultipleBusyRegions) {
+  ResourceTimeline timeline(2);
+  timeline.place(0.0, 2.0, 2);
+  timeline.place(3.0, 2.0, 2);
+  timeline.place(6.0, 2.0, 1);
+  // Needs 2 procs for 1.5: [2,3) too short, [5,6) too short, 8 works.
+  EXPECT_DOUBLE_EQ(timeline.earliest_fit(0.0, 1.5, 2), 8.0);
+  // Needs 1 proc for 1.5: [6,8) has one free.
+  EXPECT_DOUBLE_EQ(timeline.earliest_fit(5.0, 1.5, 1), 5.0);
+}
+
+TEST(Timeline, ReadyTimeInsideSegment) {
+  ResourceTimeline timeline(3);
+  timeline.place(0.0, 10.0, 1);
+  EXPECT_DOUBLE_EQ(timeline.earliest_fit(4.5, 2.0, 2), 4.5);
+}
+
+TEST(Timeline, StackedPlacements) {
+  ResourceTimeline timeline(3);
+  timeline.place(0.0, 4.0, 1);
+  timeline.place(1.0, 2.0, 1);
+  timeline.place(2.0, 3.0, 1);
+  EXPECT_EQ(timeline.usage_at(2.5), 3);
+  EXPECT_EQ(timeline.usage_at(0.5), 1);
+  EXPECT_EQ(timeline.usage_at(3.5), 2);
+  EXPECT_EQ(timeline.usage_at(5.5), 0);
+}
+
+TEST(Timeline, RandomizedInvariants) {
+  malsched::support::Rng rng(0x7135);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int capacity = rng.uniform_int(1, 8);
+    ResourceTimeline timeline(capacity);
+    for (int k = 0; k < 40; ++k) {
+      const int procs = rng.uniform_int(1, capacity);
+      const double ready = rng.uniform(0.0, 30.0);
+      const double duration = rng.uniform(0.1, 5.0);
+      const double start = timeline.earliest_fit(ready, duration, procs);
+      ASSERT_GE(start, ready);
+      // The returned window must truly fit: place() itself asserts that
+      // capacity is never exceeded.
+      timeline.place(start, duration, procs);
+    }
+  }
+}
+
+}  // namespace
