@@ -172,13 +172,20 @@ FractionalAllotment solve_by_bisection(const model::Instance& instance,
 
   lp::Solution best_solution;
   int solves = 0;
+  int warm_hits = 0;
   long iterations = 0;
+  // Consecutive probes differ only in the deadline (variable bounds), so the
+  // final basis of one probe is a near-optimal start for the next: carry it
+  // across solves instead of rebuilding feasibility from scratch each time.
+  lp::SimplexBasis basis;
   // Ensure hi is actually feasible before bisecting (it is by construction,
   // but the LP probe also has to succeed numerically).
   auto probe = [&](double deadline, lp::Solution& out) {
     const lp::Model model = build_probe_lp(instance, deadline);
-    out = lp::solve_simplex(model, options.simplex);
+    out = lp::solve_simplex(model, options.simplex,
+                            options.warm_start ? &basis : nullptr);
     ++solves;
+    warm_hits += out.warm_started ? 1 : 0;
     iterations += out.iterations;
     return out.status == lp::SolveStatus::kOptimal &&
            out.objective <= m * deadline * (1.0 + 1e-9);
@@ -200,6 +207,7 @@ FractionalAllotment solve_by_bisection(const model::Instance& instance,
 
   FractionalAllotment out = extract_solution(instance, best_solution, best_deadline);
   out.lp_solves = solves;
+  out.lp_warm_starts = warm_hits;
   out.lp_iterations = iterations;
   // The probe minimizes work, not L; recompute L* from the completion times.
   double length = 0.0;

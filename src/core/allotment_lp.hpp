@@ -39,6 +39,7 @@ struct FractionalAllotment {
   double lower_bound = 0.0;        ///< C* >= max{L*, W*/m}; C* <= OPT
   long lp_iterations = 0;
   int lp_solves = 1;
+  int lp_warm_starts = 0;  ///< probes that reused the previous probe's basis
 };
 
 struct AllotmentLpOptions {
@@ -48,6 +49,10 @@ struct AllotmentLpOptions {
   int piece_stride = 1;
   /// Relative termination width of the kBinarySearch bisection.
   double bisection_tolerance = 1e-6;
+  /// Carry the simplex basis between consecutive bisection probes (the
+  /// probes differ only in the deadline bounds, so the previous optimal
+  /// basis resolves in a handful of pivots instead of a cold solve).
+  bool warm_start = true;
   lp::SimplexOptions simplex;
 };
 

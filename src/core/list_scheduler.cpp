@@ -1,12 +1,27 @@
 #include "core/list_scheduler.hpp"
 
-#include <algorithm>
-#include <limits>
+#include <cstdint>
+#include <queue>
+#include <vector>
 
 #include "core/timeline.hpp"
 #include "support/assert.hpp"
 
 namespace malsched::core {
+
+namespace {
+
+/// Ready-queue entry: a task plus its earliest feasible start, computed at
+/// timeline revision `revision`. Usage only ever grows, so a cached start is
+/// a valid lower bound at any later revision — stale entries are re-priced
+/// lazily when they reach the top of the queue.
+struct ReadyEntry {
+  double est = 0.0;
+  std::uint64_t revision = 0;
+  int task = -1;
+};
+
+}  // namespace
 
 Schedule list_schedule(const model::Instance& instance, const Allotment& alpha_prime,
                        int mu, ListPriority priority) {
@@ -45,57 +60,67 @@ Schedule list_schedule(const model::Instance& instance, const Allotment& alpha_p
 
   std::vector<int> unscheduled_preds(static_cast<std::size_t>(n), 0);
   std::vector<double> ready_time(static_cast<std::size_t>(n), 0.0);
-  std::vector<bool> scheduled(static_cast<std::size_t>(n), false);
-  std::vector<int> ready;
+
+  // Min-queue keyed (earliest start, bottom level desc, id) — the smallest
+  // earliest feasible start wins, ties resolved per the selection rule.
+  // Ties are exact (a heap needs a strict weak order): starts equal as
+  // doubles tie-break by rule, sub-epsilon differences order by start.
+  const auto later = [&](const ReadyEntry& a, const ReadyEntry& b) {
+    if (a.est != b.est) return a.est > b.est;
+    if (priority == ListPriority::kCriticalPathFirst) {
+      const double level_a = bottom_level[static_cast<std::size_t>(a.task)];
+      const double level_b = bottom_level[static_cast<std::size_t>(b.task)];
+      if (level_a != level_b) return level_a < level_b;
+    }
+    return a.task > b.task;
+  };
+  std::priority_queue<ReadyEntry, std::vector<ReadyEntry>, decltype(later)> ready(later);
+
+  ResourceTimeline timeline(instance.m);
+  const auto push_ready = [&](int task) {
+    const auto tu = static_cast<std::size_t>(task);
+    const double duration = instance.task(task).processing_time(allotment[tu]);
+    ready.push(ReadyEntry{
+        timeline.earliest_fit(ready_time[tu], duration, allotment[tu]),
+        timeline.revision(), task});
+  };
+
   for (int j = 0; j < n; ++j) {
     unscheduled_preds[static_cast<std::size_t>(j)] =
         static_cast<int>(instance.dag.predecessors(j).size());
-    if (unscheduled_preds[static_cast<std::size_t>(j)] == 0) ready.push_back(j);
+    if (unscheduled_preds[static_cast<std::size_t>(j)] == 0) push_ready(j);
   }
 
-  ResourceTimeline timeline(instance.m);
   for (int placed = 0; placed < n; ++placed) {
     MALSCHED_ASSERT_MSG(!ready.empty(), "cycle in precedence graph");
-    // Earliest feasible start for each ready task under the current partial
-    // schedule; pick the smallest (ties: smallest task id, matching the
-    // deterministic variant of Graham's rule).
-    int best = -1;
-    double best_start = std::numeric_limits<double>::infinity();
-    for (int candidate : ready) {
-      const auto cu = static_cast<std::size_t>(candidate);
-      const double duration =
-          instance.task(candidate).processing_time(allotment[cu]);
-      const double est =
-          timeline.earliest_fit(ready_time[cu], duration, allotment[cu]);
-      bool better = est < best_start - 1e-12;
-      if (!better && est < best_start + 1e-12 && best >= 0) {
-        if (priority == ListPriority::kCriticalPathFirst) {
-          const double cand_level = bottom_level[cu];
-          const double best_level = bottom_level[static_cast<std::size_t>(best)];
-          better = cand_level > best_level + 1e-12 ||
-                   (cand_level > best_level - 1e-12 && candidate < best);
-        } else {
-          better = candidate < best;
-        }
-      }
-      if (better) {
-        best = candidate;
-        best_start = est;
-      }
+    // Pop until the top entry's start is current. A stale entry is a lower
+    // bound: re-pricing it can only push it later in the order, so the first
+    // fresh top is the true minimum.
+    ReadyEntry best = ready.top();
+    ready.pop();
+    while (best.revision != timeline.revision()) {
+      const auto bu = static_cast<std::size_t>(best.task);
+      const double duration = instance.task(best.task).processing_time(allotment[bu]);
+      // Resume the scan from the cached start instead of the ready time:
+      // no feasible start existed before it, and added usage cannot create
+      // one, so the result is identical and the walk skips the busy prefix.
+      best.est = timeline.earliest_fit(best.est, duration, allotment[bu]);
+      best.revision = timeline.revision();
+      ready.push(best);
+      best = ready.top();
+      ready.pop();
     }
-    MALSCHED_ASSERT(best >= 0);
-    const auto bu = static_cast<std::size_t>(best);
-    const double duration = instance.task(best).processing_time(allotment[bu]);
-    timeline.place(best_start, duration, allotment[bu]);
-    schedule.start[bu] = best_start;
-    scheduled[bu] = true;
-    ready.erase(std::find(ready.begin(), ready.end(), best));
 
-    const double completion = best_start + duration;
-    for (graph::NodeId succ : instance.dag.successors(best)) {
+    const auto bu = static_cast<std::size_t>(best.task);
+    const double duration = instance.task(best.task).processing_time(allotment[bu]);
+    timeline.place(best.est, duration, allotment[bu]);
+    schedule.start[bu] = best.est;
+
+    const double completion = best.est + duration;
+    for (graph::NodeId succ : instance.dag.successors(best.task)) {
       const auto su = static_cast<std::size_t>(succ);
       ready_time[su] = std::max(ready_time[su], completion);
-      if (--unscheduled_preds[su] == 0) ready.push_back(succ);
+      if (--unscheduled_preds[su] == 0) push_ready(succ);
     }
   }
   return schedule;

@@ -8,19 +8,68 @@ namespace malsched::core {
 
 namespace {
 constexpr double kTimeEps = 1e-12;
-}
+// Chunks split once they reach twice this size, so steady state is chunks of
+// roughly kChunkTarget breakpoints: insertions shift at most 2*kChunkTarget
+// entries and locate() binary-searches a short chunk directory.
+constexpr std::size_t kChunkTarget = 64;
+}  // namespace
 
 ResourceTimeline::ResourceTimeline(int capacity) : capacity_(capacity) {
   MALSCHED_ASSERT(capacity >= 1);
-  times_.push_back(0.0);
-  usage_.push_back(0);
+  Chunk first;
+  first.times.push_back(0.0);
+  first.usage.push_back(0);
+  chunks_.push_back(std::move(first));
 }
 
-std::size_t ResourceTimeline::segment_of(double t) const {
-  // Largest k with times_[k] <= t.
-  const auto it = std::upper_bound(times_.begin(), times_.end(), t + kTimeEps);
-  MALSCHED_ASSERT(it != times_.begin());
-  return static_cast<std::size_t>(it - times_.begin()) - 1;
+std::size_t ResourceTimeline::segment_count() const {
+  std::size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.times.size();
+  return total;
+}
+
+ResourceTimeline::Pos ResourceTimeline::locate(double t) const {
+  const double key = t + kTimeEps;
+  // Cursor fast path: the chunk we touched last still covers t.
+  std::size_t c = hint_chunk_;
+  if (c >= chunks_.size()) c = chunks_.size() - 1;
+  if (chunks_[c].times.front() > key ||
+      (c + 1 < chunks_.size() && chunks_[c + 1].times.front() <= key)) {
+    // Binary search the chunk directory: last chunk with front <= key.
+    std::size_t lo = 0, hi = chunks_.size() - 1;
+    if (chunks_.back().times.front() <= key) {
+      lo = chunks_.size() - 1;
+    } else {
+      while (lo + 1 < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (chunks_[mid].times.front() <= key) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+    }
+    c = lo;
+  }
+  hint_chunk_ = c;
+  const auto& times = chunks_[c].times;
+  // Largest k with times[k] <= t + eps.
+  const auto it = std::upper_bound(times.begin(), times.end(), key);
+  MALSCHED_ASSERT(it != times.begin());
+  return Pos{c, static_cast<std::size_t>(it - times.begin()) - 1};
+}
+
+bool ResourceTimeline::next(Pos& p) const {
+  if (p.offset + 1 < chunks_[p.chunk].times.size()) {
+    ++p.offset;
+    return true;
+  }
+  if (p.chunk + 1 < chunks_.size()) {
+    ++p.chunk;
+    p.offset = 0;
+    return true;
+  }
+  return false;
 }
 
 double ResourceTimeline::earliest_fit(double ready, double duration, int procs) const {
@@ -31,53 +80,80 @@ double ResourceTimeline::earliest_fit(double ready, double duration, int procs) 
   double candidate = ready;
   for (;;) {
     // Scan segments from `candidate` until the window is covered or blocked.
-    std::size_t k = segment_of(candidate);
+    Pos p = locate(candidate);
     const double window_end = candidate + duration;
-    bool blocked = false;
     while (true) {
-      if (usage_[k] + procs > capacity_) {
-        blocked = true;
-        break;
-      }
-      // Segment k spans [times_[k], next); does it reach the window end?
-      const double seg_end =
-          (k + 1 < times_.size()) ? times_[k + 1] : window_end;
-      if (seg_end >= window_end - kTimeEps) break;
-      ++k;
+      if (usage_at_pos(p) + procs > capacity_) break;  // blocked at p
+      // Segment p spans [time_at(p), next); does it reach the window end?
+      Pos q = p;
+      const double seg_end = next(q) ? time_at(q) : window_end;
+      if (seg_end >= window_end - kTimeEps) return candidate;
+      p = q;
     }
-    if (!blocked) return candidate;
     // Retry at the end of the blocking segment.
-    MALSCHED_ASSERT_MSG(k + 1 < times_.size(),
-                        "tail of the timeline must have zero usage");
-    candidate = times_[k + 1];
+    Pos q = p;
+    const bool has_next = next(q);
+    MALSCHED_ASSERT_MSG(has_next, "tail of the timeline must have zero usage");
+    candidate = time_at(q);
   }
+}
+
+void ResourceTimeline::split_chunk(std::size_t c) {
+  Chunk& full = chunks_[c];
+  if (full.times.size() < 2 * kChunkTarget) return;
+  const std::size_t half = full.times.size() / 2;
+  Chunk upper;
+  upper.times.assign(full.times.begin() + static_cast<std::ptrdiff_t>(half),
+                     full.times.end());
+  upper.usage.assign(full.usage.begin() + static_cast<std::ptrdiff_t>(half),
+                     full.usage.end());
+  full.times.resize(half);
+  full.usage.resize(half);
+  chunks_.insert(chunks_.begin() + static_cast<std::ptrdiff_t>(c) + 1,
+                 std::move(upper));
+}
+
+ResourceTimeline::Pos ResourceTimeline::ensure_breakpoint(double t) {
+  Pos p = locate(t);
+  const double at = time_at(p);
+  if (std::abs(at - t) <= kTimeEps) return p;
+  MALSCHED_ASSERT(at < t);
+  // Insert after p, inheriting the segment's usage.
+  Chunk& chunk = chunks_[p.chunk];
+  const auto ins = static_cast<std::ptrdiff_t>(p.offset) + 1;
+  chunk.times.insert(chunk.times.begin() + ins, t);
+  chunk.usage.insert(chunk.usage.begin() + ins,
+                     chunk.usage[p.offset]);
+  Pos inserted{p.chunk, p.offset + 1};
+  if (chunk.times.size() >= 2 * kChunkTarget) {
+    const std::size_t half = chunk.times.size() / 2;
+    split_chunk(p.chunk);
+    if (inserted.offset >= half) {
+      inserted.chunk += 1;
+      inserted.offset -= half;
+    }
+  }
+  return inserted;
 }
 
 void ResourceTimeline::place(double start, double duration, int procs) {
   MALSCHED_ASSERT(duration > 0.0);
   const double end = start + duration;
 
-  auto ensure_breakpoint = [this](double t) {
-    const auto it = std::lower_bound(times_.begin(), times_.end(), t - kTimeEps);
-    if (it != times_.end() && std::abs(*it - t) <= kTimeEps) {
-      return static_cast<std::size_t>(it - times_.begin());
-    }
-    const std::size_t pos = static_cast<std::size_t>(it - times_.begin());
-    MALSCHED_ASSERT(pos > 0);
-    times_.insert(times_.begin() + static_cast<std::ptrdiff_t>(pos), t);
-    usage_.insert(usage_.begin() + static_cast<std::ptrdiff_t>(pos),
-                  usage_[pos - 1]);
-    return pos;
-  };
-
-  const std::size_t first = ensure_breakpoint(start);
-  const std::size_t last = ensure_breakpoint(end);
-  for (std::size_t k = first; k < last; ++k) {
-    usage_[k] += procs;
-    MALSCHED_ASSERT_MSG(usage_[k] <= capacity_, "timeline capacity exceeded");
+  // End first: inserting it cannot disturb the start position we walk from.
+  ensure_breakpoint(end);
+  Pos p = ensure_breakpoint(start);
+  // Raise usage on every segment of [start, end).
+  while (time_at(p) < end - kTimeEps) {
+    chunks_[p.chunk].usage[p.offset] += procs;
+    MALSCHED_ASSERT_MSG(chunks_[p.chunk].usage[p.offset] <= capacity_,
+                        "timeline capacity exceeded");
+    const bool has_next = next(p);
+    MALSCHED_ASSERT(has_next);
   }
+  ++revision_;
 }
 
-int ResourceTimeline::usage_at(double t) const { return usage_[segment_of(t)]; }
+int ResourceTimeline::usage_at(double t) const { return usage_at_pos(locate(t)); }
 
 }  // namespace malsched::core

@@ -2,13 +2,22 @@
 // scheduler's "earliest feasible start" queries.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace malsched::core {
 
 /// Tracks how many processors are busy over time while a schedule is being
-/// built. Maintains sorted breakpoints; usage is constant between
-/// consecutive breakpoints and zero after the last.
+/// built. Usage is constant between consecutive breakpoints and zero after
+/// the last.
+///
+/// Breakpoints are kept in time-ordered chunks of bounded size, so inserting
+/// a new breakpoint shifts at most one chunk (O(chunk) instead of the
+/// O(total segments) memmove of a flat vector) and a full chunk splits in
+/// two. Lookups remember the last chunk touched — list scheduling probes
+/// mostly march forward in time, so the common case is a hit on the cursor
+/// instead of a fresh binary search.
 class ResourceTimeline {
  public:
   explicit ResourceTimeline(int capacity);
@@ -26,12 +35,42 @@ class ResourceTimeline {
   /// Current usage at time t (for tests).
   int usage_at(double t) const;
 
+  /// Monotonic revision counter, bumped by every place(). Because usage only
+  /// ever grows, an earliest_fit result cached at revision r is a valid
+  /// lower bound at any later revision — the LIST scheduler's lazy priority
+  /// queue relies on this.
+  std::uint64_t revision() const { return revision_; }
+
+  /// Total number of breakpoints (for tests / diagnostics).
+  std::size_t segment_count() const;
+
  private:
-  std::size_t segment_of(double t) const;
+  struct Chunk {
+    std::vector<double> times;
+    std::vector<int> usage;
+  };
+  /// Position of a breakpoint: chunk index + offset within the chunk.
+  struct Pos {
+    std::size_t chunk;
+    std::size_t offset;
+  };
+
+  /// Largest breakpoint <= t (+ epsilon slop); t must be >= times front.
+  Pos locate(double t) const;
+  /// Advances to the next breakpoint; false at the end of the timeline.
+  bool next(Pos& p) const;
+  double time_at(Pos p) const { return chunks_[p.chunk].times[p.offset]; }
+  int usage_at_pos(Pos p) const { return chunks_[p.chunk].usage[p.offset]; }
+
+  /// Returns the position of a breakpoint exactly at t, inserting one
+  /// (copying the enclosing segment's usage) if none exists.
+  Pos ensure_breakpoint(double t);
+  void split_chunk(std::size_t c);
 
   int capacity_;
-  std::vector<double> times_;  // breakpoints; times_[0] = 0
-  std::vector<int> usage_;     // usage_[k] on [times_[k], times_[k+1]); last = tail
+  std::uint64_t revision_ = 0;
+  std::vector<Chunk> chunks_;
+  mutable std::size_t hint_chunk_ = 0;  // amortized cursor for locate()
 };
 
 }  // namespace malsched::core

@@ -1,0 +1,231 @@
+#include "linalg/sparse_lu.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace malsched::linalg {
+
+namespace {
+
+/// Iterative depth-first search over the partial L: discovers the nonzero
+/// pattern of L^-1 a. `start` is an original row index; children of a row
+/// are the (original-row) entries of the L column that pivoted on it.
+/// Pattern rows are pushed onto `pattern` from position `top` downward so
+/// that [top, n) reads in topological order for the numeric solve.
+std::size_t pattern_dfs(int start, const std::vector<int>& pinv,
+                        const std::vector<std::vector<std::pair<int, double>>>& l_cols,
+                        std::vector<int>& mark, int generation,
+                        std::vector<int>& pattern, std::size_t top,
+                        std::vector<int>& node_stack,
+                        std::vector<std::size_t>& child_stack) {
+  if (mark[static_cast<std::size_t>(start)] == generation) return top;
+  node_stack.clear();
+  child_stack.clear();
+  node_stack.push_back(start);
+  child_stack.push_back(0);
+  mark[static_cast<std::size_t>(start)] = generation;
+  while (!node_stack.empty()) {
+    const int row = node_stack.back();
+    const int col = pinv[static_cast<std::size_t>(row)];
+    bool descended = false;
+    if (col >= 0) {
+      const auto& entries = l_cols[static_cast<std::size_t>(col)];
+      std::size_t p = child_stack.back();
+      while (p < entries.size()) {
+        const int child = entries[p].first;
+        ++p;
+        if (mark[static_cast<std::size_t>(child)] != generation) {
+          mark[static_cast<std::size_t>(child)] = generation;
+          child_stack.back() = p;  // resume here after the child is done
+          node_stack.push_back(child);
+          child_stack.push_back(0);
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) child_stack.back() = p;
+    }
+    if (!descended) {
+      node_stack.pop_back();
+      child_stack.pop_back();
+      pattern[--top] = row;
+    }
+  }
+  return top;
+}
+
+}  // namespace
+
+bool SparseLu::factor(const std::vector<const SparseColumn*>& cols,
+                      double pivot_tol) {
+  const std::size_t n = cols.size();
+  n_ = n;
+  valid_ = false;
+  pinv_.assign(n, -1);
+  u_diag_.assign(n, 0.0);
+  work_.assign(n, 0.0);
+
+  // Per-column scratch representation of L and U during factorization;
+  // L row indices stay in ORIGINAL numbering until the permutation is
+  // complete, U row indices are pivot positions (their rows are pivoted).
+  std::vector<std::vector<std::pair<int, double>>> l_cols(n), u_cols(n);
+
+  Vector x(n, 0.0);
+  std::vector<int> mark(n, -1);
+  std::vector<int> pattern(n, 0);
+  std::vector<int> node_stack;
+  std::vector<std::size_t> child_stack;
+  node_stack.reserve(64);
+  child_stack.reserve(64);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    MALSCHED_ASSERT(cols[k] != nullptr);
+    const SparseColumn& a = *cols[k];
+
+    // --- symbolic: pattern of L^-1 a ------------------------------------
+    std::size_t top = n;
+    for (const auto& [row, value] : a) {
+      (void)value;
+      MALSCHED_ASSERT(row >= 0 && static_cast<std::size_t>(row) < n);
+      top = pattern_dfs(row, pinv_, l_cols, mark, static_cast<int>(k), pattern,
+                        top, node_stack, child_stack);
+    }
+    for (std::size_t p = top; p < n; ++p) x[static_cast<std::size_t>(pattern[p])] = 0.0;
+    for (const auto& [row, value] : a) x[static_cast<std::size_t>(row)] += value;
+
+    // --- numeric: sparse lower triangular solve -------------------------
+    for (std::size_t p = top; p < n; ++p) {
+      const int row = pattern[p];
+      const int col = pinv_[static_cast<std::size_t>(row)];
+      if (col < 0) continue;  // not pivoted yet: belongs to L's part of x
+      const double xj = x[static_cast<std::size_t>(row)];
+      if (xj == 0.0) continue;
+      for (const auto& [i, v] : l_cols[static_cast<std::size_t>(col)]) {
+        x[static_cast<std::size_t>(i)] -= v * xj;
+      }
+    }
+
+    // --- pivot selection: largest magnitude among unpivoted rows --------
+    int pivot_row = -1;
+    double pivot_mag = 0.0;
+    for (std::size_t p = top; p < n; ++p) {
+      const int row = pattern[p];
+      if (pinv_[static_cast<std::size_t>(row)] >= 0) continue;
+      const double mag = std::abs(x[static_cast<std::size_t>(row)]);
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = row;
+      }
+    }
+    if (pivot_row < 0 || pivot_mag < pivot_tol) return false;
+    const double pivot = x[static_cast<std::size_t>(pivot_row)];
+    pinv_[static_cast<std::size_t>(pivot_row)] = static_cast<int>(k);
+    u_diag_[k] = pivot;
+
+    // --- scatter the solved column into L and U -------------------------
+    auto& lk = l_cols[k];
+    auto& uk = u_cols[k];
+    for (std::size_t p = top; p < n; ++p) {
+      const int row = pattern[p];
+      const double v = x[static_cast<std::size_t>(row)];
+      if (row == pivot_row || v == 0.0) continue;
+      const int pos = pinv_[static_cast<std::size_t>(row)];
+      if (pos >= 0 && pos < static_cast<int>(k)) {
+        uk.emplace_back(pos, v);          // pivoted row: U part
+      } else if (pos < 0) {
+        lk.emplace_back(row, v / pivot);  // unpivoted: L part, original row
+      }
+    }
+  }
+
+  // Compress into CSC, renumbering L rows through the final permutation.
+  l_ptr_.assign(n + 1, 0);
+  u_ptr_.assign(n + 1, 0);
+  std::size_t l_nnz = 0, u_nnz = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    l_nnz += l_cols[k].size();
+    u_nnz += u_cols[k].size();
+  }
+  l_rows_.resize(l_nnz);
+  l_vals_.resize(l_nnz);
+  u_rows_.resize(u_nnz);
+  u_vals_.resize(u_nnz);
+  std::size_t lp = 0, up = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    l_ptr_[k] = static_cast<int>(lp);
+    for (const auto& [row, v] : l_cols[k]) {
+      l_rows_[lp] = pinv_[static_cast<std::size_t>(row)];
+      l_vals_[lp] = v;
+      ++lp;
+    }
+    u_ptr_[k] = static_cast<int>(up);
+    for (const auto& [pos, v] : u_cols[k]) {
+      u_rows_[up] = pos;
+      u_vals_[up] = v;
+      ++up;
+    }
+  }
+  l_ptr_[n] = static_cast<int>(lp);
+  u_ptr_[n] = static_cast<int>(up);
+  valid_ = true;
+  return true;
+}
+
+std::size_t SparseLu::nonzeros() const {
+  return l_rows_.size() + u_rows_.size() + 2 * n_;  // + both diagonals
+}
+
+void SparseLu::solve(Vector& x) const {
+  MALSCHED_ASSERT(valid_ && x.size() == n_);
+  Vector& w = work_;
+  // w = P b.
+  for (std::size_t r = 0; r < n_; ++r) w[static_cast<std::size_t>(pinv_[r])] = x[r];
+  // L w = w (unit diagonal, forward).
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double xk = w[k];
+    if (xk == 0.0) continue;
+    for (int p = l_ptr_[k]; p < l_ptr_[k + 1]; ++p) {
+      w[static_cast<std::size_t>(l_rows_[static_cast<std::size_t>(p)])] -=
+          l_vals_[static_cast<std::size_t>(p)] * xk;
+    }
+  }
+  // U x = w (backward).
+  for (std::size_t kk = n_; kk-- > 0;) {
+    const double xk = w[kk] / u_diag_[kk];
+    w[kk] = xk;
+    if (xk == 0.0) continue;
+    for (int p = u_ptr_[kk]; p < u_ptr_[kk + 1]; ++p) {
+      w[static_cast<std::size_t>(u_rows_[static_cast<std::size_t>(p)])] -=
+          u_vals_[static_cast<std::size_t>(p)] * xk;
+    }
+  }
+  x.swap(w);
+}
+
+void SparseLu::solve_transposed(Vector& y) const {
+  MALSCHED_ASSERT(valid_ && y.size() == n_);
+  Vector& w = work_;
+  // U^T z = c (forward; U columns give dot products against earlier z).
+  for (std::size_t k = 0; k < n_; ++k) {
+    double sum = y[k];
+    for (int p = u_ptr_[k]; p < u_ptr_[k + 1]; ++p) {
+      sum -= u_vals_[static_cast<std::size_t>(p)] *
+             w[static_cast<std::size_t>(u_rows_[static_cast<std::size_t>(p)])];
+    }
+    w[k] = sum / u_diag_[k];
+  }
+  // L^T t = z (backward; unit diagonal).
+  for (std::size_t kk = n_; kk-- > 0;) {
+    double sum = w[kk];
+    for (int p = l_ptr_[kk]; p < l_ptr_[kk + 1]; ++p) {
+      sum -= l_vals_[static_cast<std::size_t>(p)] *
+             w[static_cast<std::size_t>(l_rows_[static_cast<std::size_t>(p)])];
+    }
+    w[kk] = sum;
+  }
+  // y = P^T t.
+  for (std::size_t r = 0; r < n_; ++r) y[r] = w[static_cast<std::size_t>(pinv_[r])];
+}
+
+}  // namespace malsched::linalg

@@ -82,6 +82,7 @@ struct Solution {
   std::vector<double> duals;  ///< dual values, one per constraint
   long iterations = 0;
   long refactorizations = 0;
+  bool warm_started = false;  ///< true when the solve reused a prior basis
 };
 
 }  // namespace malsched::lp

@@ -3,16 +3,20 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "linalg/lu.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/sparse_lu.hpp"
 #include "support/assert.hpp"
 
 namespace malsched::lp {
 namespace {
 
 using linalg::Matrix;
+using linalg::SparseColumn;
+using linalg::SparseLu;
 using linalg::Vector;
 
 enum class VarStatus : unsigned char {
@@ -27,38 +31,241 @@ struct Column {
   std::vector<std::pair<int, double>> entries;  // (row, coefficient)
 };
 
+// --- basis engines ---------------------------------------------------------
+//
+// A BasisEngine owns the representation of B^-1. The simplex core only asks
+// for ftran (B^-1 a), btran (B^-T c) and a rank-one column replacement; how
+// those are computed — dense explicit inverse vs sparse LU + eta file — is
+// the engine's business.
+
+class BasisEngine {
+ public:
+  virtual ~BasisEngine() = default;
+
+  /// Rebuild the representation from the current basis columns. Returns
+  /// false when the basis is numerically singular.
+  virtual bool refactorize(const std::vector<Column>& cols,
+                           const std::vector<int>& basic) = 0;
+
+  /// out := B^-1 * (sparse column a); `out` is resized and overwritten.
+  virtual void ftran_column(const Column& a, Vector& out) = 0;
+
+  /// x := B^-1 x (dense right-hand side, in place).
+  virtual void ftran_dense(Vector& x) = 0;
+
+  /// y := B^-T y (dense, in place; input indexed by basis position, output
+  /// by constraint row).
+  virtual void btran_dense(Vector& y) = 0;
+
+  /// Basis column at position r is replaced; w = B^-1 a_entering.
+  virtual void update(int r, const Vector& w) = 0;
+
+  /// True when the engine wants a refactorization after `pivots` updates.
+  virtual bool wants_refactor(int pivots) const = 0;
+};
+
+/// Historical baseline: dense explicit inverse + product-form row updates.
+class DenseInverseEngine final : public BasisEngine {
+ public:
+  explicit DenseInverseEngine(int rows, const SimplexOptions& opt)
+      : m_(static_cast<std::size_t>(rows)), opt_(opt) {}
+
+  bool refactorize(const std::vector<Column>& cols,
+                   const std::vector<int>& basic) override {
+    Matrix basis(m_, m_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      for (const auto& [row, coeff] : cols[static_cast<std::size_t>(basic[i])].entries) {
+        basis(static_cast<std::size_t>(row), i) = coeff;
+      }
+    }
+    auto lu = linalg::LuFactorization::factor(basis, 1e-13);
+    if (!lu.has_value()) return false;
+    binv_ = lu->inverse();
+    return true;
+  }
+
+  void ftran_column(const Column& a, Vector& out) override {
+    out.assign(m_, 0.0);
+    for (const auto& [row, coeff] : a.entries) {
+      const auto ru = static_cast<std::size_t>(row);
+      for (std::size_t i = 0; i < m_; ++i) out[i] += binv_(i, ru) * coeff;
+    }
+  }
+
+  void ftran_dense(Vector& x) override {
+    Vector out(m_, 0.0);
+    for (std::size_t k = 0; k < m_; ++k) {
+      const double xk = x[k];
+      if (xk == 0.0) continue;
+      for (std::size_t i = 0; i < m_; ++i) out[i] += binv_(i, k) * xk;
+    }
+    x.swap(out);
+  }
+
+  void btran_dense(Vector& y) override {
+    Vector out(m_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double ci = y[i];
+      if (ci == 0.0) continue;
+      const double* row = binv_.row(i);
+      for (std::size_t k = 0; k < m_; ++k) out[k] += ci * row[k];
+    }
+    y.swap(out);
+  }
+
+  void update(int r, const Vector& w) override {
+    const auto ru = static_cast<std::size_t>(r);
+    const double pivot = w[ru];
+    double* prow = binv_.row(ru);
+    const double inv_pivot = 1.0 / pivot;
+    for (std::size_t k = 0; k < m_; ++k) prow[k] *= inv_pivot;
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (i == ru) continue;
+      const double wi = w[i];
+      if (wi == 0.0) continue;
+      double* irow = binv_.row(i);
+      for (std::size_t k = 0; k < m_; ++k) irow[k] -= wi * prow[k];
+    }
+  }
+
+  bool wants_refactor(int pivots) const override {
+    return pivots >= opt_.refactor_interval;
+  }
+
+ private:
+  std::size_t m_;
+  const SimplexOptions& opt_;
+  Matrix binv_;
+};
+
+/// Default engine: sparse LU of the basis plus a product-form eta file.
+/// B_k = B_0 E_1 ... E_k, so ftran applies the LU solve then the etas in
+/// creation order, btran applies the transposed etas in reverse then the
+/// transposed LU solve. Each eta stores the pivotal ftran result sparsely.
+class SparseLuEngine final : public BasisEngine {
+ public:
+  explicit SparseLuEngine(int rows, const SimplexOptions& opt)
+      : m_(static_cast<std::size_t>(rows)), opt_(opt) {}
+
+  bool refactorize(const std::vector<Column>& cols,
+                   const std::vector<int>& basic) override {
+    col_ptrs_.resize(m_);
+    for (std::size_t i = 0; i < m_; ++i) {
+      col_ptrs_[i] = &cols[static_cast<std::size_t>(basic[i])].entries;
+    }
+    etas_.clear();
+    return lu_.factor(col_ptrs_, 1e-11);
+  }
+
+  void ftran_column(const Column& a, Vector& out) override {
+    out.assign(m_, 0.0);
+    for (const auto& [row, coeff] : a.entries) {
+      out[static_cast<std::size_t>(row)] += coeff;
+    }
+    ftran_dense(out);
+  }
+
+  void ftran_dense(Vector& x) override {
+    lu_.solve(x);
+    for (const Eta& eta : etas_) {
+      const double xr = x[static_cast<std::size_t>(eta.r)] / eta.pivot;
+      x[static_cast<std::size_t>(eta.r)] = xr;
+      if (xr == 0.0) continue;
+      for (const auto& [i, wi] : eta.entries) {
+        x[static_cast<std::size_t>(i)] -= wi * xr;
+      }
+    }
+  }
+
+  void btran_dense(Vector& y) override {
+    for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+      double sum = y[static_cast<std::size_t>(it->r)];
+      for (const auto& [i, wi] : it->entries) {
+        sum -= wi * y[static_cast<std::size_t>(i)];
+      }
+      y[static_cast<std::size_t>(it->r)] = sum / it->pivot;
+    }
+    lu_.solve_transposed(y);
+  }
+
+  void update(int r, const Vector& w) override {
+    Eta eta;
+    eta.r = r;
+    eta.pivot = w[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (static_cast<int>(i) == r || w[i] == 0.0) continue;
+      eta.entries.emplace_back(static_cast<int>(i), w[i]);
+    }
+    etas_.push_back(std::move(eta));
+  }
+
+  bool wants_refactor(int pivots) const override {
+    (void)pivots;
+    return static_cast<int>(etas_.size()) >= opt_.sparse_eta_limit;
+  }
+
+ private:
+  struct Eta {
+    int r = 0;
+    double pivot = 1.0;
+    std::vector<std::pair<int, double>> entries;  // w entries excluding row r
+  };
+
+  std::size_t m_;
+  const SimplexOptions& opt_;
+  SparseLu lu_;
+  std::vector<const SparseColumn*> col_ptrs_;
+  std::vector<Eta> etas_;
+};
+
+// --- simplex core -----------------------------------------------------------
+
 class SimplexCore {
  public:
-  SimplexCore(const Model& model, const SimplexOptions& options)
+  SimplexCore(const Model& model, const SimplexOptions& options,
+              const SimplexBasis* warm)
       : model_(model), opt_(options) {
     build_columns();
-    initialize_basis();
+    if (opt_.basis == BasisKind::kDenseInverse) {
+      engine_ = std::make_unique<DenseInverseEngine>(num_rows_, opt_);
+    } else {
+      engine_ = std::make_unique<SparseLuEngine>(num_rows_, opt_);
+    }
+    initialize_basis(warm);
   }
 
   Solution run() {
     Solution result;
-    // ---- Phase I: minimize the sum of artificial variables. ----
-    if (num_artificials_ > 0) {
-      set_phase1_costs();
-      const SolveStatus phase1 = iterate(result);
-      if (phase1 != SolveStatus::kOptimal) {
-        result.status = phase1 == SolveStatus::kUnbounded ? SolveStatus::kInfeasible
-                                                          : phase1;
-        extract(result);
-        return result;
-      }
-      if (phase1_objective() > 1e-6) {
-        result.status = SolveStatus::kInfeasible;
-        extract(result);
-        return result;
-      }
-      freeze_artificials();
+    result.warm_started = warm_started_;
+    // ---- Phase I (composite): repair bound violations of the basis. ----
+    cost_.assign(cols_.size(), 0.0);
+    SolveStatus phase1 = SolveStatus::kOptimal;
+    if (max_primal_infeasibility() > opt_.primal_tolerance) {
+      phase1 = iterate(result, /*phase1=*/true);
+    }
+    if (phase1 != SolveStatus::kOptimal) {
+      result.status =
+          phase1 == SolveStatus::kUnbounded ? SolveStatus::kInfeasible : phase1;
+      extract(result);
+      return result;
+    }
+    if (max_primal_infeasibility() > 1e-7) {
+      result.status = SolveStatus::kInfeasible;
+      extract(result);
+      return result;
     }
     // ---- Phase II: minimize the real objective. ----
     set_phase2_costs();
-    result.status = iterate(result);
+    result.status = iterate(result, /*phase1=*/false);
     extract(result);
     return result;
+  }
+
+  void snapshot(SimplexBasis& basis) const {
+    basis.status.resize(status_.size());
+    for (std::size_t j = 0; j < status_.size(); ++j) {
+      basis.status[j] = static_cast<unsigned char>(status_[j]);
+    }
   }
 
  private:
@@ -129,64 +336,73 @@ class SimplexCore {
     return VarStatus::kFree;
   }
 
-  void initialize_basis() {
+  /// A warm status is usable only if it is consistent with the (possibly
+  /// changed) bounds of this model.
+  VarStatus sanitize_warm_status(int j, VarStatus s) const {
+    const auto ju = static_cast<std::size_t>(j);
+    switch (s) {
+      case VarStatus::kBasic:
+        return s;
+      case VarStatus::kAtLower:
+        if (!std::isfinite(lower_[ju])) return initial_status(j);
+        break;
+      case VarStatus::kAtUpper:
+        if (!std::isfinite(upper_[ju])) return initial_status(j);
+        break;
+      case VarStatus::kFree:
+        if (std::isfinite(lower_[ju]) || std::isfinite(upper_[ju])) {
+          return initial_status(j);
+        }
+        break;
+      case VarStatus::kFixed:
+        break;
+    }
+    if (lower_[ju] == upper_[ju]) return VarStatus::kFixed;
+    if (s == VarStatus::kFixed) return initial_status(j);
+    return s;
+  }
+
+  void cold_start() {
     const int n = num_structural_;
     const int m = num_rows_;
     status_.assign(static_cast<std::size_t>(n + m), VarStatus::kAtLower);
-    for (int j = 0; j < n + m; ++j) status_[static_cast<std::size_t>(j)] = initial_status(j);
-
-    // Residual with all structural variables at their nonbasic values.
-    Vector residual = rhs_;
-    for (int j = 0; j < n; ++j) {
-      const double v = nonbasic_value(j, status_[static_cast<std::size_t>(j)]);
-      if (v == 0.0) continue;
-      for (const auto& [row, coeff] : cols_[static_cast<std::size_t>(j)].entries) {
-        residual[static_cast<std::size_t>(row)] -= coeff * v;
-      }
-    }
-
+    for (int j = 0; j < n; ++j) status_[static_cast<std::size_t>(j)] = initial_status(j);
     basic_.resize(static_cast<std::size_t>(m));
-    xb_.assign(static_cast<std::size_t>(m), 0.0);
-    binv_ = Matrix::identity(static_cast<std::size_t>(m));
-
-    // Slack j = n+i starts basic at the row residual when that is feasible;
-    // otherwise it parks at the nearest bound and an artificial carries the
-    // violation so Phase I starts from a basic feasible point.
     for (int i = 0; i < m; ++i) {
-      const int slack = n + i;
-      const auto su = static_cast<std::size_t>(slack);
-      const double r = residual[static_cast<std::size_t>(i)];
-      if (r >= lower_[su] - opt_.primal_tolerance &&
-          r <= upper_[su] + opt_.primal_tolerance) {
-        basic_[static_cast<std::size_t>(i)] = slack;
-        status_[su] = VarStatus::kBasic;
-        xb_[static_cast<std::size_t>(i)] = std::clamp(r, lower_[su], upper_[su]);
-      } else {
-        const double parked = (r < lower_[su]) ? lower_[su] : upper_[su];
-        status_[su] = (r < lower_[su]) ? VarStatus::kAtLower : VarStatus::kAtUpper;
-        const double violation = r - parked;  // signed
-        const double art_coeff = violation > 0.0 ? 1.0 : -1.0;
-        const int art = n + m + num_artificials_;
-        ++num_artificials_;
-        cols_.push_back(Column{{{i, art_coeff}}});
-        lower_.push_back(0.0);
-        upper_.push_back(kInfinity);
-        status_.push_back(VarStatus::kBasic);
-        basic_[static_cast<std::size_t>(i)] = art;
-        xb_[static_cast<std::size_t>(i)] = std::abs(violation);
-        // The basis is diagonal but not the identity on artificial rows:
-        // B(i,i) = art_coeff, hence B^-1(i,i) = 1/art_coeff = art_coeff.
-        binv_(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) = art_coeff;
-      }
+      basic_[static_cast<std::size_t>(i)] = n + i;
+      status_[static_cast<std::size_t>(n + i)] = VarStatus::kBasic;
     }
+    const bool ok = engine_->refactorize(cols_, basic_);
+    MALSCHED_ASSERT_MSG(ok, "all-slack basis cannot be singular");
+    warm_started_ = false;
   }
 
-  void set_phase1_costs() {
-    cost_.assign(cols_.size(), 0.0);
-    for (std::size_t j = static_cast<std::size_t>(num_structural_ + num_rows_);
-         j < cols_.size(); ++j) {
-      cost_[j] = 1.0;
+  void initialize_basis(const SimplexBasis* warm) {
+    const int n = num_structural_;
+    const int m = num_rows_;
+    xb_.assign(static_cast<std::size_t>(m), 0.0);
+
+    if (warm != nullptr &&
+        warm->status.size() == static_cast<std::size_t>(n + m)) {
+      status_.resize(static_cast<std::size_t>(n + m));
+      basic_.clear();
+      basic_.reserve(static_cast<std::size_t>(m));
+      for (int j = 0; j < n + m; ++j) {
+        const auto ju = static_cast<std::size_t>(j);
+        VarStatus s = sanitize_warm_status(
+            j, static_cast<VarStatus>(warm->status[ju]));
+        status_[ju] = s;
+        if (s == VarStatus::kBasic) basic_.push_back(j);
+      }
+      if (static_cast<int>(basic_.size()) == m &&
+          engine_->refactorize(cols_, basic_)) {
+        warm_started_ = true;
+        recompute_basic_values();
+        return;
+      }
     }
+    cold_start();
+    recompute_basic_values();
   }
 
   void set_phase2_costs() {
@@ -196,66 +412,26 @@ class SimplexCore {
     }
   }
 
-  double phase1_objective() const {
-    double obj = 0.0;
-    for (int i = 0; i < num_rows_; ++i) {
-      const int j = basic_[static_cast<std::size_t>(i)];
-      if (j >= num_structural_ + num_rows_) obj += xb_[static_cast<std::size_t>(i)];
-    }
-    return obj;
+  /// Sign of the bound violation of basis position i under the feasibility
+  /// tolerance: +1 above upper, -1 below lower, 0 in bounds.
+  int infeasibility_sign(std::size_t i) const {
+    const auto bu = static_cast<std::size_t>(basic_[i]);
+    if (xb_[i] > upper_[bu] + opt_.primal_tolerance) return 1;
+    if (xb_[i] < lower_[bu] - opt_.primal_tolerance) return -1;
+    return 0;
   }
 
-  /// After Phase I, artificials must never re-enter or grow: pin them to 0.
-  void freeze_artificials() {
-    for (std::size_t j = static_cast<std::size_t>(num_structural_ + num_rows_);
-         j < cols_.size(); ++j) {
-      upper_[j] = 0.0;
-      if (status_[j] != VarStatus::kBasic) status_[j] = VarStatus::kFixed;
+  double max_primal_infeasibility() const {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < xb_.size(); ++i) {
+      const auto bu = static_cast<std::size_t>(basic_[i]);
+      worst = std::max(worst, xb_[i] - upper_[bu]);
+      worst = std::max(worst, lower_[bu] - xb_[i]);
     }
-    // Try to pivot basic artificials (all at value ~0) out of the basis so
-    // Phase II works on real columns; rows where no replacement column has a
-    // nonzero tableau entry are linearly dependent and keep the artificial.
-    for (int i = 0; i < num_rows_; ++i) {
-      const int bj = basic_[static_cast<std::size_t>(i)];
-      if (bj < num_structural_ + num_rows_) continue;
-      for (int j = 0; j < num_structural_ + num_rows_; ++j) {
-        const auto ju = static_cast<std::size_t>(j);
-        if (status_[ju] == VarStatus::kBasic || status_[ju] == VarStatus::kFixed) continue;
-        const Vector w = ftran(j);
-        if (std::abs(w[static_cast<std::size_t>(i)]) > 1e-7) {
-          // Degenerate replacement pivot: values do not move.
-          apply_pivot(j, i, w, nonbasic_value(j, status_[ju]),
-                      VarStatus::kFixed);
-          break;
-        }
-      }
-    }
+    return worst;
   }
 
   // --- core machinery ------------------------------------------------------
-
-  /// w = B^-1 * A_j  (column j through the basis inverse).
-  Vector ftran(int j) const {
-    const auto mu = static_cast<std::size_t>(num_rows_);
-    Vector w(mu, 0.0);
-    for (const auto& [row, coeff] : cols_[static_cast<std::size_t>(j)].entries) {
-      const auto ru = static_cast<std::size_t>(row);
-      for (std::size_t i = 0; i < mu; ++i) w[i] += binv_(i, ru) * coeff;
-    }
-    return w;
-  }
-
-  /// y = (B^-1)^T c_B  (simplex multipliers).
-  Vector btran_costs() const {
-    const auto mu = static_cast<std::size_t>(num_rows_);
-    Vector y(mu, 0.0);
-    for (std::size_t i = 0; i < mu; ++i) {
-      const double ci = cost_[static_cast<std::size_t>(basic_[i])];
-      if (ci == 0.0) continue;
-      for (std::size_t k = 0; k < mu; ++k) y[k] += ci * binv_(i, k);
-    }
-    return y;
-  }
 
   double reduced_cost(int j, const Vector& y) const {
     double d = cost_[static_cast<std::size_t>(j)];
@@ -265,22 +441,14 @@ class SimplexCore {
     return d;
   }
 
-  void refactorize() {
-    const auto mu = static_cast<std::size_t>(num_rows_);
-    Matrix basis(mu, mu, 0.0);
-    for (std::size_t i = 0; i < mu; ++i) {
-      for (const auto& [row, coeff] : cols_[static_cast<std::size_t>(basic_[i])].entries) {
-        basis(static_cast<std::size_t>(row), i) = coeff;
-      }
-    }
-    auto lu = linalg::LuFactorization::factor(basis, 1e-13);
-    MALSCHED_ASSERT_MSG(lu.has_value(), "singular simplex basis at refactorization");
-    binv_ = lu->inverse();
+  void refactorize(Solution& result) {
+    const bool ok = engine_->refactorize(cols_, basic_);
+    MALSCHED_ASSERT_MSG(ok, "singular simplex basis at refactorization");
+    ++result.refactorizations;
     recompute_basic_values();
   }
 
   void recompute_basic_values() {
-    const auto mu = static_cast<std::size_t>(num_rows_);
     Vector rhs_adj = rhs_;
     for (std::size_t j = 0; j < cols_.size(); ++j) {
       if (status_[j] == VarStatus::kBasic) continue;
@@ -290,76 +458,144 @@ class SimplexCore {
         rhs_adj[static_cast<std::size_t>(row)] -= coeff * v;
       }
     }
+    engine_->ftran_dense(rhs_adj);
+    xb_.swap(rhs_adj);
+  }
+
+  /// Simplex multipliers for the current phase: y = B^-T c_B. In Phase I
+  /// the basic costs are the bound-violation signs (the gradient of the sum
+  /// of infeasibilities); nonbasic costs are zero.
+  void compute_duals(bool phase1, Vector& y) const {
+    const auto mu = static_cast<std::size_t>(num_rows_);
+    y.assign(mu, 0.0);
     for (std::size_t i = 0; i < mu; ++i) {
-      double sum = 0.0;
-      for (std::size_t k = 0; k < mu; ++k) sum += binv_(i, k) * rhs_adj[k];
-      xb_[i] = sum;
+      y[i] = phase1 ? static_cast<double>(infeas_[i])
+                    : cost_[static_cast<std::size_t>(basic_[i])];
     }
+    engine_->btran_dense(y);
+  }
+
+  bool eligible(int j, double d) const {
+    const VarStatus s = status_[static_cast<std::size_t>(j)];
+    if (s == VarStatus::kAtLower) return d < -opt_.dual_tolerance;
+    if (s == VarStatus::kAtUpper) return d > opt_.dual_tolerance;
+    if (s == VarStatus::kFree) return std::abs(d) > opt_.dual_tolerance;
+    return false;
+  }
+
+  /// Entering-variable choice. Bland: first eligible index (anti-cycling).
+  /// Dantzig: best |d| over all columns. Partial: re-price the candidate
+  /// list; when it runs dry, sweep from a rotating cursor collecting fresh
+  /// candidates, stopping early once the list is replenished — a full
+  /// wrap-around sweep that finds nothing certifies optimality.
+  int price(const Vector& y, bool use_bland, double& d_out) {
+    const int total = static_cast<int>(cols_.size());
+    if (use_bland) {
+      for (int j = 0; j < total; ++j) {
+        const VarStatus s = status_[static_cast<std::size_t>(j)];
+        if (s == VarStatus::kBasic || s == VarStatus::kFixed) continue;
+        const double d = reduced_cost(j, y);
+        if (eligible(j, d)) {
+          d_out = d;
+          return j;
+        }
+      }
+      return -1;
+    }
+
+    int best = -1;
+    double best_score = opt_.dual_tolerance;
+    double best_d = 0.0;
+    auto consider = [&](int j) {
+      const double d = reduced_cost(j, y);
+      if (!eligible(j, d)) return false;
+      if (std::abs(d) > best_score) {
+        best_score = std::abs(d);
+        best = j;
+        best_d = d;
+      }
+      return true;
+    };
+
+    if (opt_.pricing == PricingRule::kDantzig) {
+      for (int j = 0; j < total; ++j) {
+        const VarStatus s = status_[static_cast<std::size_t>(j)];
+        if (s == VarStatus::kBasic || s == VarStatus::kFixed) continue;
+        consider(j);
+      }
+      d_out = best_d;
+      return best;
+    }
+
+    // Partial pricing: keep candidates that are still eligible under the
+    // fresh duals.
+    std::size_t kept = 0;
+    for (const int j : candidates_) {
+      const VarStatus s = status_[static_cast<std::size_t>(j)];
+      if (s == VarStatus::kBasic || s == VarStatus::kFixed) continue;
+      if (consider(j)) candidates_[kept++] = j;
+    }
+    candidates_.resize(kept);
+
+    if (best == -1) {
+      const int want = opt_.candidate_list_size > 0
+                           ? opt_.candidate_list_size
+                           : std::clamp(total / 32, 8, 64);
+      candidates_.clear();
+      for (int step = 0; step < total; ++step) {
+        const int j = scan_cursor_;
+        scan_cursor_ = (scan_cursor_ + 1 == total) ? 0 : scan_cursor_ + 1;
+        const VarStatus s = status_[static_cast<std::size_t>(j)];
+        if (s == VarStatus::kBasic || s == VarStatus::kFixed) continue;
+        if (consider(j)) {
+          candidates_.push_back(j);
+          if (static_cast<int>(candidates_.size()) >= want) break;
+        }
+      }
+    }
+    d_out = best_d;
+    return best;
   }
 
   /// Elementary pivot: entering j takes over basis row r with direction w.
   void apply_pivot(int j, int r, const Vector& w, double entering_value,
                    VarStatus leaving_status) {
-    const auto mu = static_cast<std::size_t>(num_rows_);
     const auto ru = static_cast<std::size_t>(r);
-    const double pivot = w[ru];
-    MALSCHED_ASSERT(std::abs(pivot) > opt_.pivot_tolerance);
+    MALSCHED_ASSERT(std::abs(w[ru]) > opt_.pivot_tolerance);
 
     const int leaving = basic_[ru];
-    status_[static_cast<std::size_t>(leaving)] = leaving_status;
+    const auto lu = static_cast<std::size_t>(leaving);
+    status_[lu] = lower_[lu] == upper_[lu] ? VarStatus::kFixed : leaving_status;
     basic_[ru] = j;
     status_[static_cast<std::size_t>(j)] = VarStatus::kBasic;
     xb_[ru] = entering_value;
-
-    // Product-form update of B^-1.
-    double* prow = binv_.row(ru);
-    const double inv_pivot = 1.0 / pivot;
-    for (std::size_t k = 0; k < mu; ++k) prow[k] *= inv_pivot;
-    for (std::size_t i = 0; i < mu; ++i) {
-      if (i == ru) continue;
-      const double wi = w[i];
-      if (wi == 0.0) continue;
-      double* irow = binv_.row(i);
-      for (std::size_t k = 0; k < mu; ++k) irow[k] -= wi * prow[k];
-    }
+    engine_->update(r, w);
   }
 
-  SolveStatus iterate(Solution& result) {
-    const auto total_cols = static_cast<int>(cols_.size());
+  SolveStatus iterate(Solution& result, bool phase1) {
+    const auto mu = static_cast<std::size_t>(num_rows_);
     int degenerate_streak = 0;
     int pivots_since_refactor = 0;
+    infeas_.assign(mu, 0);
 
     for (;;) {
       if (result.iterations >= opt_.max_iterations) return SolveStatus::kIterationLimit;
       ++result.iterations;
 
-      const bool use_bland = degenerate_streak >= opt_.bland_trigger;
-      const Vector y = btran_costs();
-
-      // --- pricing ---
-      int entering = -1;
-      double best_score = opt_.dual_tolerance;
-      double entering_d = 0.0;
-      for (int j = 0; j < total_cols; ++j) {
-        const VarStatus s = status_[static_cast<std::size_t>(j)];
-        if (s == VarStatus::kBasic || s == VarStatus::kFixed) continue;
-        const double d = reduced_cost(j, y);
-        bool eligible = false;
-        if (s == VarStatus::kAtLower && d < -opt_.dual_tolerance) eligible = true;
-        if (s == VarStatus::kAtUpper && d > opt_.dual_tolerance) eligible = true;
-        if (s == VarStatus::kFree && std::abs(d) > opt_.dual_tolerance) eligible = true;
-        if (!eligible) continue;
-        if (use_bland) {
-          entering = j;
-          entering_d = d;
-          break;
+      if (phase1) {
+        bool any = false;
+        for (std::size_t i = 0; i < mu; ++i) {
+          infeas_[i] = static_cast<signed char>(infeasibility_sign(i));
+          any = any || infeas_[i] != 0;
         }
-        if (std::abs(d) > best_score) {
-          best_score = std::abs(d);
-          entering = j;
-          entering_d = d;
-        }
+        if (!any) return SolveStatus::kOptimal;  // basis is primal feasible
       }
+
+      const bool use_bland = degenerate_streak >= opt_.bland_trigger;
+      compute_duals(phase1, y_);
+
+      double entering_d = 0.0;
+      const int entering = price(y_, use_bland, entering_d);
       if (entering == -1) return SolveStatus::kOptimal;
 
       const auto eu = static_cast<std::size_t>(entering);
@@ -370,45 +606,73 @@ class SimplexCore {
               ? -1.0
               : 1.0;
 
-      const Vector w = ftran(entering);
+      engine_->ftran_column(cols_[eu], w_);
 
-      // --- ratio test (bounded variables) ---
+      // --- ratio test (bounded variables, Phase-I aware) ---
       double t_limit = kInfinity;
       int leaving_row = -1;
       bool leaving_to_upper = false;
+      double leaving_pivot_mag = 0.0;
       // Bound-flip limit for the entering variable itself.
       if (std::isfinite(lower_[eu]) && std::isfinite(upper_[eu])) {
         t_limit = upper_[eu] - lower_[eu];
       }
-      const auto mu = static_cast<std::size_t>(num_rows_);
+      constexpr double kTieEps = 1e-12;
       for (std::size_t i = 0; i < mu; ++i) {
-        const double rate = -sigma * w[i];  // d(xB_i)/dt
+        const double rate = -sigma * w_[i];  // d(xB_i)/dt
         const auto bu = static_cast<std::size_t>(basic_[i]);
-        double limit = kInfinity;
-        bool to_upper = false;
-        if (rate < -opt_.pivot_tolerance) {
-          if (std::isfinite(lower_[bu])) limit = (lower_[bu] - xb_[i]) / rate;
-        } else if (rate > opt_.pivot_tolerance) {
-          if (std::isfinite(upper_[bu])) {
+        double limit;
+        bool to_upper;
+        if (phase1 && infeas_[i] != 0) {
+          // Infeasible basic: blocked only when moving toward the violated
+          // bound — it leaves the basis there and becomes feasible. Moving
+          // away is unblocked (the entering choice still shrinks the total
+          // infeasibility).
+          if (infeas_[i] > 0) {  // above upper
+            if (rate >= -opt_.pivot_tolerance) continue;
             limit = (upper_[bu] - xb_[i]) / rate;
             to_upper = true;
+          } else {  // below lower
+            if (rate <= opt_.pivot_tolerance) continue;
+            limit = (lower_[bu] - xb_[i]) / rate;
+            to_upper = false;
+          }
+        } else {
+          if (rate < -opt_.pivot_tolerance) {
+            if (!std::isfinite(lower_[bu])) continue;
+            limit = (lower_[bu] - xb_[i]) / rate;
+            to_upper = false;
+          } else if (rate > opt_.pivot_tolerance) {
+            if (!std::isfinite(upper_[bu])) continue;
+            limit = (upper_[bu] - xb_[i]) / rate;
+            to_upper = true;
+          } else {
+            continue;
+          }
+          // Tiny accumulated infeasibility: block rather than step backward.
+          limit = std::max(limit, 0.0);
+        }
+        // Prefer strictly smaller ratios; on near-ties take the larger
+        // |pivot| for numerical stability (or the smallest variable index
+        // under Bland). A row beats the entering variable's bound flip only
+        // on a strictly smaller ratio.
+        bool take = false;
+        if (limit < t_limit - kTieEps) {
+          take = true;
+        } else if (limit < t_limit + kTieEps) {
+          if (leaving_row == -1) {
+            take = limit < t_limit;
+          } else if (use_bland) {
+            take = basic_[i] < basic_[static_cast<std::size_t>(leaving_row)];
+          } else {
+            take = std::abs(w_[i]) > leaving_pivot_mag;
           }
         }
-        if (limit < -opt_.primal_tolerance) limit = 0.0;  // tiny infeasibility: block
-        limit = std::max(limit, 0.0);
-        // Prefer strictly smaller ratios; on near-ties take the larger |pivot|
-        // for numerical stability (or smaller index under Bland).
-        if (limit < t_limit - 1e-12 ||
-            (limit < t_limit + 1e-12 && leaving_row >= 0 &&
-             (use_bland
-                  ? basic_[i] < basic_[static_cast<std::size_t>(leaving_row)]
-                  : std::abs(w[i]) >
-                        std::abs(w[static_cast<std::size_t>(leaving_row)])))) {
-          if (limit < t_limit + 1e-12) {
-            t_limit = std::min(t_limit, limit);
-            leaving_row = static_cast<int>(i);
-            leaving_to_upper = to_upper;
-          }
+        if (take) {
+          t_limit = std::min(t_limit, limit);
+          leaving_row = static_cast<int>(i);
+          leaving_to_upper = to_upper;
+          leaving_pivot_mag = std::abs(w_[i]);
         }
       }
 
@@ -420,7 +684,9 @@ class SimplexCore {
       }
 
       // Apply the step to the basic values.
-      for (std::size_t i = 0; i < mu; ++i) xb_[i] += (-sigma * w[i]) * t_limit;
+      for (std::size_t i = 0; i < mu; ++i) {
+        if (w_[i] != 0.0) xb_[i] += (-sigma * w_[i]) * t_limit;
+      }
 
       if (leaving_row == -1) {
         // Pure bound flip of the entering variable.
@@ -431,11 +697,10 @@ class SimplexCore {
             estat == VarStatus::kFree ? 0.0 : nonbasic_value(entering, estat);
         const VarStatus leave_status =
             leaving_to_upper ? VarStatus::kAtUpper : VarStatus::kAtLower;
-        apply_pivot(entering, leaving_row, w, start + sigma * t_limit, leave_status);
+        apply_pivot(entering, leaving_row, w_, start + sigma * t_limit, leave_status);
         ++pivots_since_refactor;
-        if (pivots_since_refactor >= opt_.refactor_interval) {
-          refactorize();
-          ++result.refactorizations;
+        if (engine_->wants_refactor(pivots_since_refactor)) {
+          refactorize(result);
           pivots_since_refactor = 0;
         }
       }
@@ -458,11 +723,13 @@ class SimplexCore {
     }
     result.objective = model_.objective_value(result.x);
     // Simplex multipliers of the final basis as duals.
-    result.duals.assign(static_cast<std::size_t>(num_rows_), 0.0);
-    const Vector y = btran_costs();
+    Vector y(static_cast<std::size_t>(num_rows_), 0.0);
     for (int i = 0; i < num_rows_; ++i) {
-      result.duals[static_cast<std::size_t>(i)] = y[static_cast<std::size_t>(i)];
+      y[static_cast<std::size_t>(i)] =
+          cost_[static_cast<std::size_t>(basic_[static_cast<std::size_t>(i)])];
     }
+    engine_->btran_dense(y);
+    result.duals = std::move(y);
   }
 
   const Model& model_;
@@ -470,14 +737,20 @@ class SimplexCore {
 
   int num_structural_ = 0;
   int num_rows_ = 0;
-  int num_artificials_ = 0;
+  bool warm_started_ = false;
 
   std::vector<Column> cols_;
   Vector lower_, upper_, cost_, rhs_;
   std::vector<VarStatus> status_;
   std::vector<int> basic_;
   Vector xb_;
-  Matrix binv_;
+  std::vector<signed char> infeas_;  // Phase-I violation signs per basis row
+  std::unique_ptr<BasisEngine> engine_;
+
+  // Pricing state and per-iteration scratch.
+  std::vector<int> candidates_;
+  int scan_cursor_ = 0;
+  Vector y_, w_;
 };
 
 /// Degenerate case: no constraints at all; each variable sits at whichever
@@ -509,9 +782,16 @@ Solution solve_unconstrained(const Model& model) {
 }  // namespace
 
 Solution solve_simplex(const Model& model, const SimplexOptions& options) {
+  return solve_simplex(model, options, nullptr);
+}
+
+Solution solve_simplex(const Model& model, const SimplexOptions& options,
+                       SimplexBasis* basis) {
   if (model.num_constraints() == 0) return solve_unconstrained(model);
-  SimplexCore core(model, options);
-  return core.run();
+  SimplexCore core(model, options, basis);
+  Solution solution = core.run();
+  if (basis != nullptr) core.snapshot(*basis);
+  return solution;
 }
 
 }  // namespace malsched::lp

@@ -1,38 +1,91 @@
 // Bounded-variable revised primal simplex.
 //
-// Implements the textbook two-phase method on the computational form
-//     A x + s = b,   l <= x <= u,  slack bounds by constraint sense,
-// with a dense explicit basis inverse maintained by product-form pivots and
-// periodically rebuilt from an LU factorization of the basis (linalg/lu.hpp)
-// to contain numerical drift. Infeasible starting rows receive artificial
-// variables; Phase I minimizes their sum. Pricing is Dantzig's rule with an
-// automatic switch to Bland's rule after a run of degenerate steps, which
-// guarantees termination.
+// Implements the two-phase method on the computational form
+//     A x + s = b,   l <= x <= u,  slack bounds by constraint sense.
+// Phase I is the composite ("big-M free") variant: the all-slack basis is
+// always nonsingular, basic variables may start outside their bounds, and
+// Phase I minimizes the total bound violation of the basic variables until
+// the basis is primal feasible — no artificial columns are ever created.
+// Phase II then minimizes the real objective.
 //
-// The solver is sized for the paper's LP (9): roughly 3n+2 structural
-// variables and |E| + n(m+1) + 2 rows, i.e. a few thousand rows for the
-// bench instances.
+// The basis is represented by a pluggable engine:
+//   * kSparseLu (default): sparse LU factorization (linalg/sparse_lu.hpp)
+//     solved by forward/back substitution, updated by a product-form eta
+//     file, refactorized when the eta file grows past `sparse_eta_limit`.
+//     Every ftran/btran costs O(nnz + fill) instead of O(rows^2).
+//   * kDenseInverse: the historical dense explicit B^-1 maintained by
+//     product-form pivots, kept as the A/B baseline for perf benches.
+//
+// Pricing is a candidate-list partial scheme by default: each iteration
+// re-prices a short list of promising columns and only sweeps the full
+// column range (from a rotating cursor) when the list runs dry, so an
+// iteration touches a shard of the columns instead of all of them.
+// Dantzig full pricing remains available; both switch to Bland's rule after
+// a run of degenerate steps, which guarantees termination.
+//
+// Warm starting: a SimplexBasis snapshot carries the variable-status vector
+// of a finished solve into the next one. This is built for the bisection
+// deadline probes of core/allotment_lp.cpp, where consecutive LPs differ
+// only in variable bounds: the previous optimal basis is refactorized, the
+// handful of bound violations is repaired by composite Phase I, and Phase
+// II usually finishes in a few pivots instead of a cold two-phase solve.
 #pragma once
 
 #include "lp/model.hpp"
 
 namespace malsched::lp {
 
+/// Basis representation of the revised simplex.
+enum class BasisKind {
+  kSparseLu,      ///< sparse LU + eta file (default)
+  kDenseInverse,  ///< dense explicit B^-1 (baseline for benches)
+};
+
+/// Entering-variable pricing rule.
+enum class PricingRule {
+  kPartialCandidateList,  ///< candidate list + rotating partial sweep (default)
+  kDantzig,               ///< full most-negative-reduced-cost sweep
+};
+
 struct SimplexOptions {
   long max_iterations = 200000;   ///< hard pivot budget across both phases
-  /// Rebuild B^-1 from a fresh LU every this many pivots. The rebuild is
-  /// O(rows^3), so it is deliberately infrequent; product-form updates in
-  /// double precision stay accurate over thousands of pivots for the
-  /// well-scaled LPs this library generates.
+  BasisKind basis = BasisKind::kSparseLu;
+  PricingRule pricing = PricingRule::kPartialCandidateList;
+  /// Dense engine: rebuild B^-1 from a fresh LU every this many pivots. The
+  /// rebuild is O(rows^3), so it is deliberately infrequent.
   int refactor_interval = 1024;
+  /// Sparse engine: refactorize once the eta file holds this many pivots.
+  /// Sparse refactorization is O(nnz + fill), so keeping the file short is
+  /// cheaper than dragging a long one through every ftran/btran.
+  int sparse_eta_limit = 64;
+  /// Partial pricing: columns kept on the candidate list per refill
+  /// (0 = auto-size from the column count).
+  int candidate_list_size = 0;
   double dual_tolerance = 1e-9;   ///< reduced-cost optimality tolerance
   double primal_tolerance = 1e-9; ///< bound feasibility tolerance
   double pivot_tolerance = 1e-10; ///< minimum acceptable |pivot element|
   int bland_trigger = 64;         ///< degenerate-pivot streak enabling Bland
 };
 
+/// Reusable basis snapshot for warm starts. Opaque: holds one status byte
+/// per structural + slack variable of the model it was produced from; only
+/// meaningful across models with identical constraint structure (bounds and
+/// costs may differ, e.g. the bisection deadline probes).
+struct SimplexBasis {
+  std::vector<unsigned char> status;
+
+  bool empty() const { return status.empty(); }
+  void clear() { status.clear(); }
+};
+
 /// Solves `model` (minimization). Always returns a Solution; `x` is filled
 /// for optimal results and best-effort otherwise.
 Solution solve_simplex(const Model& model, const SimplexOptions& options = {});
+
+/// As above with a warm-start basis. If `basis` is non-null and compatible,
+/// the solve starts from it (falling back to a cold start when the snapshot
+/// is stale or singular); on return it holds the final basis of this solve.
+Solution solve_simplex(const Model& model, const SimplexOptions& options,
+                       SimplexBasis* basis);
 
 }  // namespace malsched::lp

@@ -139,6 +139,39 @@ TEST(AllotmentLp, BinarySearchMatchesDirectMode) {
   }
 }
 
+TEST(AllotmentLp, WarmStartedBisectionMatchesColdWithFewerIterations) {
+  // Fixed seed instance: warm-started probes must land on the same optimum
+  // as cold probes while spending strictly fewer simplex iterations in
+  // total (the warm basis resolves each deadline change in a few pivots).
+  support::Rng rng(0x77A3);
+  const model::Instance instance = model::make_family_instance(
+      model::DagFamily::kLayered, model::TaskFamily::kPowerLaw, 40, 8, rng);
+
+  AllotmentLpOptions cold_opts;
+  cold_opts.mode = LpMode::kBinarySearch;
+  cold_opts.warm_start = false;
+  const FractionalAllotment cold = core::solve_allotment_lp(instance, cold_opts);
+
+  AllotmentLpOptions warm_opts;
+  warm_opts.mode = LpMode::kBinarySearch;
+  warm_opts.warm_start = true;
+  const FractionalAllotment warm = core::solve_allotment_lp(instance, warm_opts);
+
+  EXPECT_EQ(cold.lp_warm_starts, 0);
+  EXPECT_EQ(warm.lp_solves, cold.lp_solves);
+  // Every probe after the first reuses the previous basis.
+  EXPECT_EQ(warm.lp_warm_starts, warm.lp_solves - 1);
+  EXPECT_NEAR(warm.lower_bound, cold.lower_bound,
+              1e-9 * std::max(1.0, cold.lower_bound));
+  EXPECT_NEAR(warm.total_work, cold.total_work,
+              1e-6 * std::max(1.0, cold.total_work));
+  EXPECT_LT(warm.lp_iterations, cold.lp_iterations);
+  ASSERT_EQ(warm.x.size(), cold.x.size());
+  for (std::size_t j = 0; j < warm.x.size(); ++j) {
+    EXPECT_NEAR(warm.x[j], cold.x[j], 1e-5) << "task " << j;
+  }
+}
+
 TEST(AllotmentLp, PieceStrideRelaxesTheBound) {
   support::Rng rng(82);
   const model::Instance instance = model::make_family_instance(

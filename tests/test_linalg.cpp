@@ -1,16 +1,19 @@
-// Tests for the dense linear algebra substrate.
+// Tests for the dense and sparse linear algebra substrate.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "linalg/lu.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/sparse_lu.hpp"
 #include "support/rng.hpp"
 
 namespace {
 
 using malsched::linalg::LuFactorization;
 using malsched::linalg::Matrix;
+using malsched::linalg::SparseColumn;
+using malsched::linalg::SparseLu;
 using malsched::linalg::Vector;
 
 TEST(Matrix, IdentityAndMultiply) {
@@ -146,5 +149,100 @@ TEST_P(LuRandom, SolveAndInverseRoundTrip) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomMatrices, LuRandom, ::testing::Range(0, 25));
+
+// ---- SparseLu ------------------------------------------------------------
+
+TEST(SparseLu, SolvesKnownSystem) {
+  // [[2, 1], [1, 3]] x = [5, 10] -> x = (1, 3).
+  const SparseColumn c0{{0, 2.0}, {1, 1.0}};
+  const SparseColumn c1{{0, 1.0}, {1, 3.0}};
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor({&c0, &c1}));
+  Vector x{5.0, 10.0};
+  lu.solve(x);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SparseLu, PermutationRequiresPivoting) {
+  // Antidiagonal matrix: pivoting must permute rows.
+  const SparseColumn c0{{1, 1.0}};
+  const SparseColumn c1{{0, 1.0}};
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor({&c0, &c1}));
+  Vector x{2.0, 7.0};
+  lu.solve(x);
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SparseLu, DetectsSingular) {
+  const SparseColumn c0{{0, 1.0}, {1, 2.0}};
+  const SparseColumn c1{{0, 2.0}, {1, 4.0}};
+  SparseLu lu;
+  EXPECT_FALSE(lu.factor({&c0, &c1}));
+  EXPECT_FALSE(lu.valid());
+}
+
+TEST(SparseLu, EmptyColumnIsSingular) {
+  const SparseColumn c0{{0, 1.0}};
+  const SparseColumn c1{};
+  SparseLu lu;
+  EXPECT_FALSE(lu.factor({&c0, &c1}));
+}
+
+class SparseLuRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseLuRandom, MatchesDenseLu) {
+  malsched::support::Rng rng(7000 + static_cast<std::uint64_t>(GetParam()) * 131);
+  const int n = rng.uniform_int(1, 40);
+  // Simplex-basis-like columns: a unit "slack" diagonal entry keeps the
+  // matrix nonsingular, plus up to three random off-diagonal nonzeros.
+  std::vector<SparseColumn> cols(static_cast<std::size_t>(n));
+  Matrix dense(static_cast<std::size_t>(n), static_cast<std::size_t>(n), 0.0);
+  for (int k = 0; k < n; ++k) {
+    auto& col = cols[static_cast<std::size_t>(k)];
+    col.emplace_back(k, rng.uniform(1.0, 3.0) * (rng.bernoulli(0.5) ? 1.0 : -1.0));
+    const int extras = rng.uniform_int(0, 3);
+    for (int e = 0; e < extras; ++e) {
+      const int row = rng.uniform_int(0, n - 1);
+      if (row == k) continue;
+      col.emplace_back(row, rng.uniform(-2.0, 2.0));
+    }
+    for (const auto& [row, v] : col) {
+      dense(static_cast<std::size_t>(row), static_cast<std::size_t>(k)) += v;
+    }
+  }
+  std::vector<const SparseColumn*> ptrs;
+  for (const auto& c : cols) ptrs.push_back(&c);
+
+  SparseLu sparse;
+  const auto dense_lu = LuFactorization::factor(dense, 1e-11);
+  const bool ok = sparse.factor(ptrs, 1e-11);
+  if (!dense_lu.has_value()) return;  // randomly singular: nothing to compare
+  ASSERT_TRUE(ok);
+
+  Vector b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.uniform(-5.0, 5.0);
+
+  Vector x = b;
+  sparse.solve(x);
+  const Vector expected = dense_lu->solve(b);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)],
+                expected[static_cast<std::size_t>(i)], 1e-8);
+  }
+
+  Vector y = b;
+  sparse.solve_transposed(y);
+  const Vector expected_t = dense_lu->solve_transposed(b);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)],
+                expected_t[static_cast<std::size_t>(i)], 1e-8);
+  }
+  EXPECT_GE(sparse.nonzeros(), static_cast<std::size_t>(2 * n));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSparseBases, SparseLuRandom, ::testing::Range(0, 40));
 
 }  // namespace

@@ -132,6 +132,92 @@ TEST(Simplex, UnconstrainedModel) {
   EXPECT_NEAR(solution.objective, -3.0, 1e-12);
 }
 
+TEST(Simplex, RatioTestTieBreakPrefersStablePivot) {
+  // Two rows block the entering variable at exactly the same ratio, but the
+  // first-scanned row has a pivot nine orders of magnitude smaller. The
+  // ratio test must prefer the large pivot on the tie — the historical
+  // nested-condition bug could latch the unstable row instead.
+  Model model;
+  const int x = model.add_variable(0.0, 10.0, -1.0);
+  const int y = model.add_variable(0.0, 10.0, 0.0);
+  model.add_constraint({{x, 1e-9}, {y, 1e-9}}, Sense::kLessEqual, 5e-9);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kLessEqual, 5.0);
+  const Solution solution = solve_simplex(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, -5.0, 1e-9);
+  EXPECT_LE(model.max_violation(solution.x), 1e-9);
+}
+
+TEST(Simplex, RatioTestBoundFlipWinsExactTie) {
+  // The entering variable's own bound flip ties with a basic row limit; the
+  // flip must win (a row may only take over on a strictly smaller ratio).
+  Model model;
+  const int x = model.add_variable(0.0, 1.0, -1.0);
+  model.add_constraint({{x, 1.0}}, Sense::kLessEqual, 1.0);
+  const Solution solution = solve_simplex(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, -1.0, 1e-12);
+  EXPECT_NEAR(solution.x[0], 1.0, 1e-12);
+}
+
+TEST(Simplex, WarmStartAfterBoundChange) {
+  // Solve, tighten a bound, re-solve from the final basis: the warm solve
+  // must report warm_started, agree with a cold solve, and take fewer
+  // iterations than the cold solve of the modified model.
+  auto build = [](double cap) {
+    Model model;
+    const int x = model.add_variable(0.0, cap, -3.0);
+    const int y = model.add_variable(0.0, cap, -5.0);
+    model.add_constraint({{x, 1.0}}, Sense::kLessEqual, 4.0);
+    model.add_constraint({{y, 2.0}}, Sense::kLessEqual, 12.0);
+    model.add_constraint({{x, 3.0}, {y, 2.0}}, Sense::kLessEqual, 18.0);
+    return model;
+  };
+  malsched::lp::SimplexBasis basis;
+  const Solution first = solve_simplex(build(100.0), {}, &basis);
+  ASSERT_EQ(first.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(first.warm_started);
+  ASSERT_FALSE(basis.empty());
+
+  const Solution warm = solve_simplex(build(5.0), {}, &basis);
+  const Solution cold = solve_simplex(build(5.0));
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+  EXPECT_LE(warm.iterations, cold.iterations);
+}
+
+TEST(Simplex, DenseEngineAndDantzigMatchDefaults) {
+  // The dense-inverse baseline engine and full Dantzig pricing must agree
+  // with the sparse-LU + partial-pricing default on random instances.
+  for (int trial = 0; trial < 15; ++trial) {
+    malsched::support::Rng rng(0xD15C ^ static_cast<std::uint64_t>(trial) * 77ULL);
+    const int nvars = rng.uniform_int(2, 6);
+    Model model;
+    for (int j = 0; j < nvars; ++j) {
+      model.add_variable(0.0, rng.uniform(0.5, 4.0), rng.uniform(-2.0, 2.0));
+    }
+    for (int i = 0; i < rng.uniform_int(1, 6); ++i) {
+      std::vector<malsched::lp::Term> terms;
+      for (int j = 0; j < nvars; ++j) {
+        if (rng.bernoulli(0.6)) terms.emplace_back(j, rng.uniform(-2.0, 2.0));
+      }
+      if (terms.empty()) terms.emplace_back(0, 1.0);
+      model.add_constraint(std::move(terms), Sense::kLessEqual, rng.uniform(0.0, 5.0));
+    }
+    malsched::lp::SimplexOptions dense;
+    dense.basis = malsched::lp::BasisKind::kDenseInverse;
+    dense.pricing = malsched::lp::PricingRule::kDantzig;
+    const Solution a = solve_simplex(model);
+    const Solution b = solve_simplex(model, dense);
+    ASSERT_EQ(a.status, b.status) << "trial " << trial;
+    if (a.status == SolveStatus::kOptimal) {
+      EXPECT_NEAR(a.objective, b.objective, 1e-7) << "trial " << trial;
+    }
+  }
+}
+
 // ---- Property sweep: random LPs vs brute-force vertex enumeration --------
 
 class SimplexRandomLp : public ::testing::TestWithParam<int> {};

@@ -69,6 +69,87 @@ TEST(Timeline, StackedPlacements) {
   EXPECT_EQ(timeline.usage_at(5.5), 0);
 }
 
+TEST(Timeline, AbuttingPlacementsWithinEps) {
+  // Breakpoints closer than kTimeEps (1e-12) must merge, not stack: a task
+  // ending at 1.0 and one starting at 1.0 + 5e-13 share the breakpoint.
+  ResourceTimeline timeline(2);
+  timeline.place(0.0, 1.0, 2);
+  timeline.place(1.0 + 5e-13, 1.0, 2);
+  EXPECT_EQ(timeline.usage_at(0.5), 2);
+  EXPECT_EQ(timeline.usage_at(1.5), 2);
+  EXPECT_EQ(timeline.usage_at(2.5), 0);
+  // The merged boundary leaves no sliver of free capacity inside [0, 2):
+  // the earliest fit is the end of the second placement.
+  EXPECT_NEAR(timeline.earliest_fit(0.0, 0.5, 1), 2.0, 1e-11);
+}
+
+TEST(Timeline, CapacitySaturatedWindow) {
+  ResourceTimeline timeline(4);
+  timeline.place(2.0, 3.0, 4);  // fully saturated [2, 5)
+  EXPECT_EQ(timeline.usage_at(3.0), 4);
+  // Nothing fits inside the saturated window, not even one processor.
+  EXPECT_DOUBLE_EQ(timeline.earliest_fit(2.0, 1.0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(timeline.earliest_fit(3.9, 0.5, 1), 5.0);
+  // A window that would overlap the saturated region is pushed past it.
+  EXPECT_DOUBLE_EQ(timeline.earliest_fit(0.0, 3.0, 1), 5.0);
+  // But a window ending exactly at the saturation start still fits.
+  EXPECT_DOUBLE_EQ(timeline.earliest_fit(0.0, 2.0, 4), 0.0);
+}
+
+TEST(Timeline, FitRestartsPastManyBlockedSegments) {
+  // A comb of blocked segments with gaps too short for the window: the
+  // search must hop from blocking segment to blocking segment and land
+  // after the last tooth.
+  ResourceTimeline timeline(2);
+  for (int k = 0; k < 20; ++k) {
+    timeline.place(2.0 * k, 1.5, 2);  // busy [2k, 2k + 1.5), gap 0.5
+  }
+  EXPECT_DOUBLE_EQ(timeline.earliest_fit(0.0, 1.0, 1), 39.5);
+  // The 0.5-wide gaps do fit a 0.5 window.
+  EXPECT_DOUBLE_EQ(timeline.earliest_fit(0.0, 0.5, 2), 1.5);
+}
+
+TEST(Timeline, RevisionBumpsOnPlaceOnly) {
+  ResourceTimeline timeline(2);
+  const auto r0 = timeline.revision();
+  (void)timeline.earliest_fit(0.0, 1.0, 1);
+  EXPECT_EQ(timeline.revision(), r0);
+  timeline.place(0.0, 1.0, 1);
+  EXPECT_EQ(timeline.revision(), r0 + 1);
+  timeline.place(5.0, 1.0, 1);
+  EXPECT_EQ(timeline.revision(), r0 + 2);
+}
+
+TEST(Timeline, ChunkSplitsPreserveSemantics) {
+  // Enough breakpoints to force several chunk splits, inserted in an
+  // interleaved order so splits happen both at the tail and mid-structure.
+  // A flat reference model checks every query.
+  malsched::support::Rng rng(0xC41F);
+  ResourceTimeline timeline(3);
+  struct Slot { double start, end; int procs; };
+  std::vector<Slot> placed;
+  auto reference_usage = [&](double t) {
+    int u = 0;
+    for (const Slot& s : placed) {
+      if (t >= s.start && t < s.end) u += s.procs;
+    }
+    return u;
+  };
+  for (int k = 0; k < 400; ++k) {
+    const int procs = rng.uniform_int(1, 3);
+    const double ready = rng.uniform(0.0, 200.0);
+    const double duration = rng.uniform(0.05, 1.5);
+    const double start = timeline.earliest_fit(ready, duration, procs);
+    timeline.place(start, duration, procs);
+    placed.push_back({start, start + duration, procs});
+  }
+  EXPECT_GT(timeline.segment_count(), 128u);  // multiple chunks in play
+  for (int probe = 0; probe < 200; ++probe) {
+    const double t = rng.uniform(0.0, 220.0);
+    ASSERT_EQ(timeline.usage_at(t), reference_usage(t)) << "t=" << t;
+  }
+}
+
 TEST(Timeline, RandomizedInvariants) {
   malsched::support::Rng rng(0x7135);
   for (int trial = 0; trial < 25; ++trial) {
