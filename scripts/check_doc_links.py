@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Fails when a markdown file contains a broken relative link.
+
+Usage: check_doc_links.py FILE [FILE...]
+
+Checks inline links/images `[text](target)` whose target is not an absolute
+URL or a pure fragment. Targets are resolved relative to the file's
+directory; a `#anchor` suffix is stripped (anchors themselves are not
+verified). Exits 1 when any link is broken (every one is printed).
+"""
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def check(path: Path) -> list[str]:
+    broken = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            broken.append(f"{path}:{line}: broken link -> {target}")
+    return broken
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    broken = []
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            broken.append(f"{name}: file not found")
+            continue
+        broken.extend(check(path))
+    for entry in broken:
+        print(entry, file=sys.stderr)
+    if not broken:
+        print(f"OK: {len(argv)} file(s), no broken relative links")
+    # Not len(broken): an exit status wraps modulo 256, and 256 broken links
+    # must not read as success.
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "graph/algorithms.hpp"
 #include "model/work_function.hpp"
 #include "support/assert.hpp"
 
@@ -19,22 +20,110 @@ struct VarLayout {
   int makespan(int n) const { return 3 * n + 1; }  // C
 };
 
-/// Subsampled work pieces: always keeps the outermost pieces so the envelope
-/// stays anchored at both ends of [p(m), p(1)].
-std::vector<model::WorkPiece> select_pieces(const model::WorkFunction& wf,
-                                            int stride) {
-  const auto& all = wf.pieces();
-  if (stride <= 1 || all.size() <= 2) return all;
-  std::vector<model::WorkPiece> kept;
-  for (std::size_t i = 0; i < all.size(); ++i) {
-    if (i == 0 || i + 1 == all.size() || i % static_cast<std::size_t>(stride) == 0) {
-      kept.push_back(all[i]);
+/// Indices of the pieces a given stride keeps: always the outermost pieces
+/// (so the envelope stays anchored at both ends of [p(m), p(1)]) plus every
+/// stride-th one in between.
+std::vector<std::size_t> select_piece_indices(std::size_t count, int stride) {
+  std::vector<std::size_t> kept;
+  kept.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (stride <= 1 || count <= 2 || i == 0 || i + 1 == count ||
+        i % static_cast<std::size_t>(stride) == 0) {
+      kept.push_back(i);
     }
   }
   return kept;
 }
 
+/// Subsampled work pieces per select_piece_indices.
+std::vector<model::WorkPiece> select_pieces(const model::WorkFunction& wf,
+                                            int stride) {
+  const auto& all = wf.pieces();
+  if (stride <= 1 || all.size() <= 2) return all;
+  std::vector<model::WorkPiece> kept;
+  for (const std::size_t i : select_piece_indices(all.size(), stride)) {
+    kept.push_back(all[i]);
+  }
+  return kept;
+}
+
 }  // namespace
+
+double BisectionBracket::relative_width() const {
+  // Normalized by hi itself (not max(1, hi)): the routing decision must not
+  // depend on the time units of the instance.
+  return hi > 0.0 ? (hi - lo) / hi : 0.0;
+}
+
+BisectionBracket compute_bisection_bracket(const model::Instance& instance) {
+  const int n = instance.num_tasks();
+  // Feasible upper deadline: all tasks sequentialized at one processor.
+  std::vector<double> p1(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    p1[static_cast<std::size_t>(j)] = instance.task(j).processing_time(1);
+  }
+  BisectionBracket bracket;
+  bracket.hi = std::max(graph::longest_path(instance.dag, p1),
+                        instance.min_total_work() / instance.m);
+  bracket.lo = instance.trivial_lower_bound();
+  return bracket;
+}
+
+std::uint64_t WarmStartCache::fingerprint(const model::Instance& instance,
+                                          LpMode resolved_mode, int piece_stride) {
+  MALSCHED_ASSERT_MSG(resolved_mode != LpMode::kAuto,
+                      "fingerprint needs the resolved builder, not kAuto");
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= kPrime;
+  };
+  // The deadline-probe LP ignores the stride and has no sink/L/C rows, so
+  // probes of the same instance share one key regardless of stride options.
+  const bool probe = resolved_mode == LpMode::kBinarySearch;
+  mix(probe ? 2u : 1u);
+  mix(static_cast<std::uint64_t>(instance.m));
+  mix(static_cast<std::uint64_t>(instance.num_tasks()));
+  mix(static_cast<std::uint64_t>(probe ? 1 : std::max(1, piece_stride)));
+  for (int j = 0; j < instance.num_tasks(); ++j) {
+    mix(0xFEEDull);
+    for (graph::NodeId i : instance.dag.predecessors(j)) {
+      mix(static_cast<std::uint64_t>(i) + 1);
+    }
+    const std::size_t pieces = model::WorkFunction(instance.task(j)).pieces().size();
+    mix(probe ? pieces : select_piece_indices(pieces, piece_stride).size());
+    if (!probe) mix(instance.dag.successors(j).empty() ? 1u : 0u);
+  }
+  return h;
+}
+
+lp::SimplexBasis WarmStartCache::take(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.lookups;
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return {};
+  ++stats_.hits;
+  return it->second;
+}
+
+void WarmStartCache::put(std::uint64_t key, lp::SimplexBasis basis) {
+  if (basis.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.stores;
+  entries_[key] = std::move(basis);
+}
+
+WarmStartCache::Stats WarmStartCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void WarmStartCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  stats_ = {};
+}
 
 lp::Model build_allotment_lp(const model::Instance& instance, int piece_stride) {
   MALSCHED_ASSERT(piece_stride >= 1);
@@ -58,6 +147,11 @@ lp::Model build_allotment_lp(const model::Instance& instance, int piece_stride) 
   const int makespan_var = model.add_variable(0.0, lp::kInfinity, 1.0, "C");
   MALSCHED_ASSERT(length_var == vars.length(n) && makespan_var == vars.makespan(n));
 
+  // NOTE: map_direct_rows() below mirrors this exact row-emission order
+  // (per task: max(1, preds) precedence rows, sink row if any, kept piece
+  // rows; then L <= C and the load row). Any reordering or pruning here
+  // must be reflected there, or cross-stride basis remapping silently
+  // degrades.
   for (int j = 0; j < n; ++j) {
     // Precedence: C_i + x_j <= C_j; sources get x_j <= C_j.
     if (instance.dag.predecessors(j).empty()) {
@@ -98,6 +192,38 @@ lp::Model build_allotment_lp(const model::Instance& instance, int piece_stride) 
 
 namespace {
 
+/// Row map from the stride-`coarse` layout of build_allotment_lp to the
+/// stride-`fine` layout (same instance): shared precedence/sink/global rows
+/// map in order; a coarse piece row maps to the fine row of the same piece,
+/// or -1 when the fine stride drops it (only possible when `fine` does not
+/// divide `coarse`).
+std::vector<int> map_direct_rows(const model::Instance& instance, int coarse,
+                                 int fine) {
+  std::vector<int> map;
+  int fine_row = 0;
+  for (int j = 0; j < instance.num_tasks(); ++j) {
+    const std::size_t preds = instance.dag.predecessors(j).size();
+    const std::size_t shared = std::max<std::size_t>(1, preds) +
+                               (instance.dag.successors(j).empty() ? 1 : 0);
+    for (std::size_t k = 0; k < shared; ++k) map.push_back(fine_row++);
+    const std::size_t pieces =
+        model::WorkFunction(instance.task(j)).pieces().size();
+    const std::vector<std::size_t> coarse_kept = select_piece_indices(pieces, coarse);
+    const std::vector<std::size_t> fine_kept = select_piece_indices(pieces, fine);
+    std::size_t f = 0;
+    for (const std::size_t piece : coarse_kept) {
+      while (f < fine_kept.size() && fine_kept[f] < piece) ++f;
+      map.push_back(f < fine_kept.size() && fine_kept[f] == piece
+                        ? fine_row + static_cast<int>(f)
+                        : -1);
+    }
+    fine_row += static_cast<int>(fine_kept.size());
+  }
+  map.push_back(fine_row++);  // L <= C
+  map.push_back(fine_row++);  // load
+  return map;
+}
+
 FractionalAllotment extract_solution(const model::Instance& instance,
                                      const lp::Solution& solution, double lower_bound) {
   const int n = instance.num_tasks();
@@ -118,7 +244,11 @@ FractionalAllotment extract_solution(const model::Instance& instance,
     // LP's w-bar (which may sit above it when the load constraint is slack).
     out.total_work += model::WorkFunction(task).value(xj);
   }
-  out.critical_path = solution.x[static_cast<std::size_t>(vars.length(n))];
+  // The deadline-probe LP has no L variable (3n variables total); its
+  // caller recomputes critical_path from the completion times instead.
+  const auto length_var = static_cast<std::size_t>(vars.length(n));
+  out.critical_path =
+      length_var < solution.x.size() ? solution.x[length_var] : 0.0;
   out.lower_bound = lower_bound;
   out.lp_iterations = solution.iterations;
   return out;
@@ -159,15 +289,11 @@ lp::Model build_probe_lp(const model::Instance& instance, double deadline) {
 }
 
 FractionalAllotment solve_by_bisection(const model::Instance& instance,
-                                       const AllotmentLpOptions& options) {
-  const int n = instance.num_tasks();
+                                       const AllotmentLpOptions& options,
+                                       const BisectionBracket& bracket) {
   const int m = instance.m;
-  // Feasible upper deadline: all tasks sequentialized at one processor.
-  std::vector<double> p1(static_cast<std::size_t>(n));
-  for (int j = 0; j < n; ++j) p1[static_cast<std::size_t>(j)] = instance.task(j).processing_time(1);
-  const double path_p1 = graph::longest_path(instance.dag, p1);
-  double hi = std::max(path_p1, instance.min_total_work() / m);
-  double lo = instance.trivial_lower_bound();
+  double hi = bracket.hi;
+  double lo = bracket.lo;
   MALSCHED_ASSERT(lo <= hi + 1e-9);
 
   lp::Solution best_solution;
@@ -177,7 +303,14 @@ FractionalAllotment solve_by_bisection(const model::Instance& instance,
   // Consecutive probes differ only in the deadline (variable bounds), so the
   // final basis of one probe is a near-optimal start for the next: carry it
   // across solves instead of rebuilding feasibility from scratch each time.
+  // A WarmStartCache additionally seeds the *first* probe from an earlier
+  // run on the same LP structure and keeps the final basis for the next run.
   lp::SimplexBasis basis;
+  std::uint64_t cache_key = 0;
+  if (options.warm_cache != nullptr && options.warm_start) {
+    cache_key = WarmStartCache::fingerprint(instance, LpMode::kBinarySearch, 1);
+    basis = options.warm_cache->take(cache_key);
+  }
   // Ensure hi is actually feasible before bisecting (it is by construction,
   // but the LP probe also has to succeed numerically).
   auto probe = [&](double deadline, lp::Solution& out) {
@@ -190,7 +323,14 @@ FractionalAllotment solve_by_bisection(const model::Instance& instance,
     return out.status == lp::SolveStatus::kOptimal &&
            out.objective <= m * deadline * (1.0 + 1e-9);
   };
-  MALSCHED_ASSERT_MSG(probe(hi, best_solution), "upper deadline probe failed");
+  bool hi_feasible = probe(hi, best_solution);
+  if (!hi_feasible && !basis.empty()) {
+    // A stale cache-seeded basis must not fail the (feasible by
+    // construction) upper probe: retry it cold.
+    basis.clear();
+    hi_feasible = probe(hi, best_solution);
+  }
+  MALSCHED_ASSERT_MSG(hi_feasible, "upper deadline probe failed");
   double best_deadline = hi;
 
   while (hi - lo > options.bisection_tolerance * std::max(1.0, hi)) {
@@ -204,15 +344,103 @@ FractionalAllotment solve_by_bisection(const model::Instance& instance,
       lo = mid;
     }
   }
+  if (options.warm_cache != nullptr && options.warm_start) {
+    options.warm_cache->put(cache_key, basis);
+  }
 
   FractionalAllotment out = extract_solution(instance, best_solution, best_deadline);
   out.lp_solves = solves;
   out.lp_warm_starts = warm_hits;
   out.lp_iterations = iterations;
+  out.resolved_mode = LpMode::kBinarySearch;
   // The probe minimizes work, not L; recompute L* from the completion times.
   double length = 0.0;
   for (double c : out.completion) length = std::max(length, c);
   out.critical_path = length;
+  return out;
+}
+
+FractionalAllotment solve_direct(const model::Instance& instance,
+                                 const AllotmentLpOptions& options) {
+  int solves = 0;
+  int warm_starts = 0;
+  long iterations = 0;
+  lp::SimplexBasis basis;
+  // warm_start is the kill switch for every basis-reuse path: with it off
+  // the solve is a single cold LP (the A/B baseline), regardless of
+  // refine_stride or an attached cache.
+  const bool refine = options.warm_start &&
+                      options.refine_stride > std::max(1, options.piece_stride);
+  WarmStartCache* cache = options.warm_start ? options.warm_cache : nullptr;
+  const lp::Model model = build_allotment_lp(instance, options.piece_stride);
+  if (refine) {
+    // Cross-stride refinement: solve the coarse relaxation first and remap
+    // its basis onto the full LP, which then resolves in a few pivots. Any
+    // cross-run cache reuse is applied to the *coarse* LP: a foreign basis
+    // (same structure, different numerics) can start far from the new
+    // optimum, and repairing it is cheap on the small LP where every pivot
+    // is cheap — the fine solve always starts from the current instance's
+    // own coarse optimum, never from another instance's basis.
+    std::uint64_t coarse_key = 0;
+    if (cache != nullptr) {
+      coarse_key = WarmStartCache::fingerprint(instance, LpMode::kDirect,
+                                               options.refine_stride);
+      basis = cache->take(coarse_key);
+    }
+    const lp::Model coarse = build_allotment_lp(instance, options.refine_stride);
+    lp::Solution coarse_solution = lp::solve_simplex(coarse, options.simplex, &basis);
+    ++solves;
+    iterations += coarse_solution.iterations;
+    warm_starts += coarse_solution.warm_started ? 1 : 0;
+    if (coarse_solution.status != lp::SolveStatus::kOptimal &&
+        coarse_solution.warm_started) {
+      // A pathological cached basis must not poison this structure forever:
+      // retry cold, and let the put below overwrite the bad entry.
+      basis.clear();
+      coarse_solution = lp::solve_simplex(coarse, options.simplex, &basis);
+      ++solves;
+      iterations += coarse_solution.iterations;
+    }
+    if (coarse_solution.status == lp::SolveStatus::kOptimal) {
+      if (cache != nullptr) cache->put(coarse_key, basis);
+      basis = lp::remap_basis(
+          basis, coarse.num_variables(),
+          map_direct_rows(instance, options.refine_stride, options.piece_stride),
+          model.num_constraints());
+    } else {
+      // A failed relaxation only costs its pivots; its basis is neither
+      // cached (it would evict a good snapshot) nor remapped.
+      basis.clear();
+    }
+  }
+  std::uint64_t fine_key = 0;
+  if (!refine && cache != nullptr) {
+    fine_key =
+        WarmStartCache::fingerprint(instance, LpMode::kDirect, options.piece_stride);
+    basis = cache->take(fine_key);
+  }
+  lp::Solution solution = lp::solve_simplex(model, options.simplex, &basis);
+  ++solves;
+  iterations += solution.iterations;
+  warm_starts += solution.warm_started ? 1 : 0;
+  if (solution.status != lp::SolveStatus::kOptimal && solution.warm_started) {
+    // A pathological reused basis (e.g. a numerically distant cache entry)
+    // must not take down a solve that would succeed cold: retry once.
+    basis.clear();
+    solution = lp::solve_simplex(model, options.simplex, &basis);
+    ++solves;
+    iterations += solution.iterations;
+  }
+  MALSCHED_ASSERT_MSG(solution.status == lp::SolveStatus::kOptimal,
+                      "allotment LP must be feasible and bounded");
+  if (!refine && cache != nullptr) {
+    cache->put(fine_key, std::move(basis));
+  }
+  FractionalAllotment out = extract_solution(instance, solution, solution.objective);
+  out.lp_solves = solves;
+  out.lp_iterations = iterations;
+  out.lp_warm_starts = warm_starts;
+  out.resolved_mode = LpMode::kDirect;
   return out;
 }
 
@@ -221,16 +449,35 @@ FractionalAllotment solve_by_bisection(const model::Instance& instance,
 FractionalAllotment solve_allotment_lp(const model::Instance& instance,
                                        const AllotmentLpOptions& options) {
   model::validate_instance(instance);
-  if (options.mode == LpMode::kBinarySearch) {
-    return solve_by_bisection(instance, options);
+  LpMode mode = options.mode;
+  BisectionBracket bracket;
+  bool have_bracket = false;
+  if (mode == LpMode::kAuto) {
+    // Degenerate bracket (wide flat DAGs: W/m dominates both ends) means
+    // bisection would spend probes to recover a bound the direct LP gets
+    // exactly in one solve; a wide bracket (deep narrow DAGs) is where the
+    // warm-started deadline probes earn their keep. An attached (and
+    // enabled) WarmStartCache overrides the bracket rule toward the direct
+    // LP: the cache signals a stream of related solves, and one
+    // warm-started direct solve beats re-running a whole probe chain per
+    // instance (measured in BENCH_batch.json), while its exact bound also
+    // beats the bisection's tolerance-limited one.
+    const bool cache_bias = options.warm_start && options.warm_cache != nullptr;
+    if (cache_bias) {
+      mode = LpMode::kDirect;
+    } else {
+      bracket = compute_bisection_bracket(instance);
+      have_bracket = true;
+      mode = bracket.relative_width() <= options.auto_bracket_threshold
+                 ? LpMode::kDirect
+                 : LpMode::kBinarySearch;
+    }
   }
-  const lp::Model model = build_allotment_lp(instance, options.piece_stride);
-  const lp::Solution solution = lp::solve_simplex(model, options.simplex);
-  MALSCHED_ASSERT_MSG(solution.status == lp::SolveStatus::kOptimal,
-                      "allotment LP must be feasible and bounded");
-  FractionalAllotment out = extract_solution(instance, solution, solution.objective);
-  out.lp_solves = 1;
-  return out;
+  if (mode == LpMode::kBinarySearch) {
+    if (!have_bracket) bracket = compute_bisection_bracket(instance);
+    return solve_by_bisection(instance, options, bracket);
+  }
+  return solve_direct(instance, options);
 }
 
 }  // namespace malsched::core

@@ -16,8 +16,20 @@
 // The paper's Remark in Section 3.1 highlights that embedding L and C in a
 // single LP avoids the binary search of [18]; kBinarySearch reproduces that
 // older design (minimize total work for a fixed deadline T, bisect on T)
-// for the E5 ablation.
+// for the E5 ablation. kAuto self-tunes: it computes the bisection bracket
+// [max(L_lb, W/m), hi] from combinatorial bounds and picks the direct LP
+// when the bracket is degenerate (wide flat DAGs, where W/m dominates both
+// ends and bisection would burn probes for a weaker bound) and bisection
+// when the bracket is wide (deep narrow DAGs, where warm-started probes on
+// the smaller deadline LP pay off). When a WarmStartCache is attached the
+// rule tilts to the direct LP regardless of bracket: across a stream of
+// related solves one warm-started direct LP per instance is cheaper than a
+// probe chain per instance.
 #pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
 
 #include "core/allotment.hpp"
 #include "lp/model.hpp"
@@ -29,6 +41,7 @@ namespace malsched::core {
 enum class LpMode {
   kDirect,        ///< single LP with embedded L and C (the paper's design)
   kBinarySearch,  ///< bisection on the deadline, one LP per probe ([18] style)
+  kAuto,          ///< pick kDirect vs kBinarySearch from the bracket width
 };
 
 struct FractionalAllotment {
@@ -39,7 +52,68 @@ struct FractionalAllotment {
   double lower_bound = 0.0;        ///< C* >= max{L*, W*/m}; C* <= OPT
   long lp_iterations = 0;
   int lp_solves = 1;
-  int lp_warm_starts = 0;  ///< probes that reused the previous probe's basis
+  /// Solves that started from a reused basis instead of an all-slack cold
+  /// start. Three reuse paths count here: bisection probes after the first
+  /// (within one run), the cross-stride refinement (the coarse LP's basis
+  /// remapped onto the fine LP), and WarmStartCache hits carried in from a
+  /// *previous* run — so with a warm cache even lp_solves == 1 results can
+  /// report lp_warm_starts == 1.
+  int lp_warm_starts = 0;
+  /// The mode the solve actually ran: equals the requested mode except under
+  /// kAuto, where it records the bracket-width decision.
+  LpMode resolved_mode = LpMode::kDirect;
+};
+
+/// Combinatorial bisection bracket for deadline search: lo is the trivial
+/// lower bound max{L_lb, W_min/m}, hi the sequentialized feasible deadline.
+/// kAuto reads the relative width (hi - lo) / hi as its self-tuning signal.
+struct BisectionBracket {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  double relative_width() const;
+};
+
+BisectionBracket compute_bisection_bracket(const model::Instance& instance);
+
+/// Thread-safe store of final simplex bases keyed by the structural
+/// fingerprint of the LP they solved. Two solves with equal fingerprints
+/// build LPs with identical row/column structure, so the finishing basis of
+/// one is a legal (and usually excellent) warm start for the other. This
+/// extends warm-start scope beyond a single bisection run: rho/mu grid
+/// sweeps re-solving the same instance hit exactly, and batch workloads over
+/// structurally identical instances (same DAG and m, perturbed task times)
+/// reuse each other's bases — composite Phase I repairs whatever bound
+/// violations the numeric differences introduce, and a stale or singular
+/// snapshot just falls back to a cold start.
+class WarmStartCache {
+ public:
+  struct Stats {
+    long lookups = 0;
+    long hits = 0;
+    long stores = 0;
+  };
+
+  /// Structural fingerprint of the LP that `solve_allotment_lp` would build:
+  /// hashes m, the DAG arcs, per-task work-piece counts, the resolved
+  /// builder (direct LP (9) vs deadline-probe LP) and the piece stride.
+  static std::uint64_t fingerprint(const model::Instance& instance,
+                                   LpMode resolved_mode, int piece_stride);
+
+  /// Returns the cached basis for `key` (empty on miss) and counts the
+  /// lookup.
+  lp::SimplexBasis take(std::uint64_t key);
+
+  /// Stores `basis` as the latest snapshot for `key` (no-op when empty).
+  void put(std::uint64_t key, lp::SimplexBasis basis);
+
+  Stats stats() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, lp::SimplexBasis> entries_;
+  Stats stats_;
 };
 
 struct AllotmentLpOptions {
@@ -47,12 +121,33 @@ struct AllotmentLpOptions {
   /// Keep every piece_stride-th work piece (1 = exact envelope; larger
   /// values relax the LP for speed; the bound stays valid).
   int piece_stride = 1;
-  /// Relative termination width of the kBinarySearch bisection.
-  double bisection_tolerance = 1e-6;
-  /// Carry the simplex basis between consecutive bisection probes (the
-  /// probes differ only in the deadline bounds, so the previous optimal
-  /// basis resolves in a handful of pivots instead of a cold solve).
+  /// Cross-stride refinement for direct solves: when > piece_stride, first
+  /// solve the coarser stride-`refine_stride` relaxation, then remap its
+  /// optimal basis onto the full LP (lp::remap_basis), which typically
+  /// resolves in a few pivots. Exact: the final bound is the piece_stride
+  /// LP's optimum. Use a multiple of piece_stride so every coarse row maps.
+  int refine_stride = 0;
+  /// Relative termination width of the kBinarySearch bisection. 1e-4 is the
+  /// project-wide default (ROADMAP baselines and bench/perf_lp_scaling use
+  /// it); tighten toward 1e-6 for high-precision ablations at ~2 extra
+  /// probes per factor of 10.
+  double bisection_tolerance = 1e-4;
+  /// Master switch for every basis-reuse path: consecutive bisection
+  /// probes, cross-stride refinement and WarmStartCache traffic. false =
+  /// every LP solves cold (the A/B baseline configuration), regardless of
+  /// refine_stride or an attached warm_cache.
   bool warm_start = true;
+  /// kAuto picks kDirect when the combinatorial bracket's relative width
+  /// (hi - lo) / hi is at most this threshold, else kBinarySearch (the
+  /// ratio is unit-free by construction). An attached warm_cache overrides
+  /// the rule toward kDirect: a cache signals a stream of related solves,
+  /// where one warm-started direct LP per instance beats re-running a
+  /// probe chain each time.
+  double auto_bracket_threshold = 0.25;
+  /// Optional cross-run basis cache (not owned; may be shared across
+  /// threads). When set, the solve seeds its first LP from the cache entry
+  /// with matching fingerprint and stores its final basis back.
+  WarmStartCache* warm_cache = nullptr;
   lp::SimplexOptions simplex;
 };
 

@@ -1,0 +1,97 @@
+#include "core/batch_scheduler.hpp"
+
+#include <algorithm>
+#include <future>
+#include <unordered_map>
+#include <utility>
+
+#include "support/stopwatch.hpp"
+
+namespace malsched::core {
+
+BatchOptions::BatchOptions() {
+  scheduler.lp.mode = LpMode::kAuto;
+  scheduler.lp.refine_stride = 4;
+}
+
+BatchScheduler::BatchScheduler(BatchOptions options)
+    : options_(std::move(options)),
+      pool_(options_.num_threads),
+      caches_(pool_.size()) {}
+
+BatchResult BatchScheduler::schedule_all(
+    const std::vector<model::Instance>& instances) {
+  BatchResult batch;
+  batch.stats.workers = pool_.size();
+  batch.results.resize(instances.size());
+  batch.seconds.assign(instances.size(), 0.0);
+  if (instances.empty()) return batch;
+
+  // Group by LP structure (in first-appearance order, for determinism of the
+  // dispatch) so one worker solves structurally identical LPs back to back
+  // and its cache entry stays hot. The group key ignores the resolved mode:
+  // direct and probe bases live under different fingerprints inside the
+  // cache, so mixed kAuto routing within a group is still correct.
+  std::unordered_map<std::uint64_t, std::size_t> group_of;
+  std::vector<std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const std::uint64_t key = WarmStartCache::fingerprint(
+        instances[i], LpMode::kDirect,
+        std::max(1, options_.scheduler.lp.piece_stride));
+    const auto [it, inserted] = group_of.emplace(key, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(i);
+  }
+  batch.stats.groups = groups.size();
+
+  support::Stopwatch wall;
+  std::vector<std::future<void>> futures;
+  futures.reserve(groups.size());
+  for (const std::vector<std::size_t>& group : groups) {
+    futures.push_back(pool_.submit([this, &group, &instances, &batch] {
+      const int worker = support::ThreadPool::worker_index();
+      SchedulerOptions item_options = options_.scheduler;
+      if (options_.reuse_solver_state) {
+        item_options.lp.warm_cache = &caches_[worker < 0 ? 0 : worker];
+      }
+      for (const std::size_t i : group) {
+        support::Stopwatch sw;
+        batch.results[i] = schedule_malleable_dag(instances[i], item_options);
+        batch.seconds[i] = sw.seconds();
+      }
+    }));
+  }
+  // Drain every future before letting an exception unwind: the worker
+  // lambdas write into this function's locals, so rethrowing mid-loop while
+  // other groups still run would be a use-after-scope.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  batch.stats.wall_seconds = wall.seconds();
+
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const FractionalAllotment& frac = batch.results[i].fractional;
+    batch.stats.sum_item_seconds += batch.seconds[i];
+    batch.stats.lp_pivots += frac.lp_iterations;
+    batch.stats.lp_solves += frac.lp_solves;
+    batch.stats.lp_warm_starts += frac.lp_warm_starts;
+    if (frac.resolved_mode == LpMode::kBinarySearch) {
+      ++batch.stats.bisection_solves;
+    } else {
+      ++batch.stats.direct_solves;
+    }
+  }
+  if (batch.stats.lp_solves > 0) {
+    batch.stats.warm_start_hit_rate =
+        static_cast<double>(batch.stats.lp_warm_starts) / batch.stats.lp_solves;
+  }
+  return batch;
+}
+
+}  // namespace malsched::core

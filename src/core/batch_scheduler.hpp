@@ -1,0 +1,91 @@
+// Batched scheduling pipeline: run the two-phase algorithm over many
+// independent instances with shared solver state.
+//
+// A scheduling service rarely sees one DAG in isolation — it sees streams of
+// related instances (the same workflow shape resubmitted with fresh task-time
+// estimates, parameter sweeps over one instance, nightly batches of a few
+// recurring pipelines). BatchScheduler exploits that: instances are grouped
+// by the structural fingerprint of their Phase-1 LP (WarmStartCache) and each
+// group is dispatched to the thread pool as one unit, so a worker solves
+// structurally identical LPs back to back, each warm-started from the
+// previous one's final basis. Combined with LpMode::kAuto (per-instance
+// direct-vs-bisection routing) and cross-stride refinement, the batch path
+// beats the one-at-a-time cold pipeline even on a single core; on multicore
+// hosts the groups additionally run in parallel.
+//
+// bench/perf_pipeline.cpp --batch measures the pipeline against the
+// sequential cold baseline and emits BENCH_batch.json.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "model/instance.hpp"
+#include "support/thread_pool.hpp"
+
+namespace malsched::core {
+
+struct BatchOptions {
+  /// Batch defaults differ from the single-instance defaults in two places:
+  /// LpMode::kAuto (self-tuning direct-vs-bisection routing) and
+  /// refine_stride = 4 (coarse-to-fine LP refinement); both are exact.
+  BatchOptions();
+
+  /// Per-instance pipeline options (rho/mu/priority/LP knobs).
+  SchedulerOptions scheduler;
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  std::size_t num_threads = 0;
+  /// Give every worker a persistent WarmStartCache so instances of the same
+  /// LP structure warm-start each other (overrides scheduler.lp.warm_cache).
+  /// Caches live as long as the BatchScheduler, so later batches MAY reuse
+  /// bases from earlier ones: groups are not pinned to workers, so with
+  /// several workers a group can land on a worker whose cache has not seen
+  /// its structure (reuse is deterministic only with num_threads = 1).
+  bool reuse_solver_state = true;
+};
+
+/// Aggregate solver statistics of one schedule_all call.
+struct BatchStats {
+  double wall_seconds = 0.0;        ///< end-to-end time of schedule_all
+  double sum_item_seconds = 0.0;    ///< sum of per-instance pipeline times
+  std::size_t workers = 1;
+  std::size_t groups = 0;           ///< distinct LP-structure groups
+  long lp_pivots = 0;
+  int lp_solves = 0;
+  int lp_warm_starts = 0;
+  /// lp_warm_starts / lp_solves: the fraction of LP solves that started
+  /// from a reused basis (probe chains, refinements, cache hits).
+  double warm_start_hit_rate = 0.0;
+  int direct_solves = 0;     ///< instances resolved to the direct LP (9)
+  int bisection_solves = 0;  ///< instances resolved to deadline bisection
+};
+
+struct BatchResult {
+  std::vector<SchedulerResult> results;  ///< index-aligned with the input
+  std::vector<double> seconds;           ///< per-instance pipeline time
+  BatchStats stats;
+};
+
+class BatchScheduler {
+ public:
+  explicit BatchScheduler(BatchOptions options = {});
+
+  /// Schedules every instance and returns per-instance results plus
+  /// aggregate stats. With reuse_solver_state off the results are
+  /// bit-identical to per-instance schedule_malleable_dag calls; with it on,
+  /// LP objectives (the C* bounds) still agree to solver tolerance, but a
+  /// warm start may land on a different vertex of a degenerate optimal face,
+  /// so schedules can differ within the same quality certificate. Dispatch
+  /// is by structure group, so same-shaped instances share a worker's cache.
+  BatchResult schedule_all(const std::vector<model::Instance>& instances);
+
+  std::size_t num_workers() const { return pool_.size(); }
+
+ private:
+  BatchOptions options_;
+  support::ThreadPool pool_;
+  std::vector<WarmStartCache> caches_;  ///< one per worker, persistent
+};
+
+}  // namespace malsched::core

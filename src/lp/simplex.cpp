@@ -794,4 +794,27 @@ Solution solve_simplex(const Model& model, const SimplexOptions& options,
   return solution;
 }
 
+SimplexBasis remap_basis(const SimplexBasis& source, int num_structural,
+                         const std::vector<int>& row_map, int target_rows) {
+  SimplexBasis out;
+  if (num_structural < 0 || target_rows < 0 ||
+      source.status.size() !=
+          static_cast<std::size_t>(num_structural) + row_map.size()) {
+    return out;
+  }
+  const auto n = static_cast<std::size_t>(num_structural);
+  // Fresh target rows default to a basic slack: each is a unit column, so
+  // appending them to the (mapped) source basis keeps it nonsingular.
+  out.status.assign(n + static_cast<std::size_t>(target_rows),
+                    static_cast<unsigned char>(VarStatus::kBasic));
+  for (std::size_t j = 0; j < n; ++j) out.status[j] = source.status[j];
+  for (std::size_t i = 0; i < row_map.size(); ++i) {
+    const int t = row_map[i];
+    if (t < 0) continue;
+    if (t >= target_rows) return SimplexBasis{};
+    out.status[n + static_cast<std::size_t>(t)] = source.status[n + i];
+  }
+  return out;
+}
+
 }  // namespace malsched::lp

@@ -88,4 +88,16 @@ Solution solve_simplex(const Model& model, const SimplexOptions& options = {});
 Solution solve_simplex(const Model& model, const SimplexOptions& options,
                        SimplexBasis* basis);
 
+/// Translates a basis snapshot between two models that share their structural
+/// variables but differ in their constraint rows (e.g. the coarse and fine
+/// piece_stride variants of LP (9)). `row_map[i]` is the target-model row
+/// index of source row i, or -1 when the row has no counterpart (its slack
+/// status is dropped, which usually forces a cold fallback on load). Target
+/// rows that are nobody's image receive a basic slack; slack columns are unit
+/// columns, so the remapped basis is nonsingular whenever the source basis
+/// was. Returns an empty snapshot (= cold start) when `source` does not match
+/// `num_structural` + `row_map.size()`.
+SimplexBasis remap_basis(const SimplexBasis& source, int num_structural,
+                         const std::vector<int>& row_map, int target_rows);
+
 }  // namespace malsched::lp

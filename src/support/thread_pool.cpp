@@ -5,13 +5,19 @@
 
 namespace malsched::support {
 
+namespace {
+thread_local int tls_worker_index = -1;
+}  // namespace
+
+int ThreadPool::worker_index() { return tls_worker_index; }
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -55,7 +61,8 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   for (auto& f : futures) f.get();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
+  tls_worker_index = static_cast<int>(index);
   for (;;) {
     std::packaged_task<void()> task;
     {

@@ -28,6 +28,12 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Index of the calling thread within its owning pool: 0..size()-1 when
+  /// called from a worker (of whichever pool spawned the thread), -1 from
+  /// any other thread. Lets submitted tasks pick per-worker state (e.g. the
+  /// batch scheduler's per-worker warm-start caches) without locking.
+  static int worker_index();
+
   /// Enqueue an arbitrary task; the returned future reports completion and
   /// propagates exceptions.
   std::future<void> submit(std::function<void()> task);
@@ -39,7 +45,7 @@ class ThreadPool {
                     const std::function<void(std::size_t)>& body);
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   std::vector<std::thread> workers_;
   std::queue<std::packaged_task<void()>> tasks_;

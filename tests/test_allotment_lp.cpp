@@ -130,10 +130,11 @@ TEST(AllotmentLp, BinarySearchMatchesDirectMode) {
     AllotmentLpOptions options;
     options.mode = LpMode::kBinarySearch;
     const FractionalAllotment bisect = core::solve_allotment_lp(instance, options);
-    // Bisection converges to C* from above within its tolerance.
+    // Bisection converges to C* from above within its tolerance (the
+    // project-wide default of 1e-4 relative).
     EXPECT_GE(bisect.lower_bound + 1e-9, direct.lower_bound - 1e-6);
     EXPECT_NEAR(bisect.lower_bound, direct.lower_bound,
-                2e-5 * std::max(1.0, direct.lower_bound));
+                2e-4 * std::max(1.0, direct.lower_bound));
     EXPECT_GT(bisect.lp_solves, 1);
     EXPECT_EQ(direct.lp_solves, 1);
   }
@@ -185,6 +186,105 @@ TEST(AllotmentLp, PieceStrideRelaxesTheBound) {
   // But it must stay a genuine bound (above the trivial one is not
   // guaranteed in general, but above the m-processor critical path is).
   EXPECT_GE(relaxed.lower_bound + 1e-6, instance.min_critical_path());
+}
+
+TEST(AllotmentLp, AutoPicksDirectOnWideFlatDag) {
+  // Width >> m makes W/m dominate both ends of the bisection bracket, so
+  // bisection would burn a probe for a weaker bound; kAuto must route to
+  // the direct LP and reproduce its result bit-for-bit.
+  const int m = 4;
+  support::Rng rng(0xA0701);
+  graph::Dag dag = graph::make_layered(2, 8 * m, 2, rng);
+  const model::Instance instance =
+      model::make_instance(std::move(dag), m, [&](int, int procs) {
+        return model::make_random_power_law_task(rng, 0.3, 0.9, procs);
+      });
+  const FractionalAllotment direct = core::solve_allotment_lp(instance);
+  AllotmentLpOptions options;
+  options.mode = LpMode::kAuto;
+  const FractionalAllotment picked = core::solve_allotment_lp(instance, options);
+  EXPECT_EQ(picked.resolved_mode, LpMode::kDirect);
+  EXPECT_EQ(picked.lp_solves, 1);
+  EXPECT_EQ(picked.lower_bound, direct.lower_bound);
+  EXPECT_EQ(picked.lp_iterations, direct.lp_iterations);
+  EXPECT_EQ(picked.x, direct.x);
+}
+
+TEST(AllotmentLp, AutoPicksBisectionOnDeepNarrowDag) {
+  // A deep narrow DAG keeps the serial critical path far above the trivial
+  // lower bound: the bracket is wide and kAuto must run the deadline search.
+  const int m = 4;
+  support::Rng rng(0xA0702);
+  graph::Dag dag = graph::make_layered(40, 2, 2, rng);
+  const model::Instance instance =
+      model::make_instance(std::move(dag), m, [&](int, int procs) {
+        return model::make_random_power_law_task(rng, 0.3, 0.6, procs);
+      });
+  const core::BisectionBracket bracket = core::compute_bisection_bracket(instance);
+  ASSERT_GT(bracket.relative_width(), 0.25);
+  AllotmentLpOptions options;
+  options.mode = LpMode::kAuto;
+  const FractionalAllotment picked = core::solve_allotment_lp(instance, options);
+  EXPECT_EQ(picked.resolved_mode, LpMode::kBinarySearch);
+  EXPECT_GT(picked.lp_solves, 1);
+  const FractionalAllotment direct = core::solve_allotment_lp(instance);
+  EXPECT_NEAR(picked.lower_bound, direct.lower_bound,
+              2e-4 * std::max(1.0, direct.lower_bound));
+}
+
+TEST(AllotmentLp, CrossStrideRefinementMatchesColdWithFewerPivots) {
+  // m = 16 gives 15 envelope pieces per task; the stride-4 relaxation drops
+  // ~2/3 of the piece rows. Remapping its optimal basis onto the full LP
+  // (lp::remap_basis gives fresh rows basic slacks) must reach the same
+  // optimum while spending fewer total pivots than the cold full solve.
+  support::Rng rng(0xC0A5);
+  const model::Instance instance = model::make_family_instance(
+      model::DagFamily::kLayered, model::TaskFamily::kPowerLaw, 40, 16, rng);
+  const FractionalAllotment cold = core::solve_allotment_lp(instance);
+  AllotmentLpOptions options;
+  options.refine_stride = 4;
+  const FractionalAllotment refined = core::solve_allotment_lp(instance, options);
+  EXPECT_EQ(refined.lp_solves, 2);
+  EXPECT_EQ(refined.lp_warm_starts, 1);  // the fine solve started warm
+  EXPECT_NEAR(refined.lower_bound, cold.lower_bound,
+              1e-8 * std::max(1.0, cold.lower_bound));
+  EXPECT_LT(refined.lp_iterations, cold.lp_iterations);
+}
+
+TEST(AllotmentLp, WarmStartCacheReusesBasesAcrossRuns) {
+  // The cache extends warm starts beyond one solve_allotment_lp call: a
+  // rho/mu sweep re-solving the same instance hits exactly, and a second
+  // instance with the same DAG but perturbed task times (same LP structure)
+  // also starts from the stored basis.
+  support::Rng rng(0xCAC4E);
+  const model::Instance instance = model::make_family_instance(
+      model::DagFamily::kLayered, model::TaskFamily::kPowerLaw, 30, 8, rng);
+  core::WarmStartCache cache;
+  AllotmentLpOptions options;
+  options.warm_cache = &cache;
+  const FractionalAllotment first = core::solve_allotment_lp(instance, options);
+  EXPECT_EQ(first.lp_warm_starts, 0);
+  const FractionalAllotment second = core::solve_allotment_lp(instance, options);
+  EXPECT_EQ(second.lp_warm_starts, 1);
+  EXPECT_NEAR(second.lower_bound, first.lower_bound,
+              1e-9 * std::max(1.0, first.lower_bound));
+  EXPECT_LT(second.lp_iterations, first.lp_iterations);
+
+  model::Instance perturbed = instance;
+  support::Rng task_rng(0xBEEF);
+  perturbed.tasks.clear();
+  for (int j = 0; j < instance.num_tasks(); ++j) {
+    perturbed.tasks.push_back(
+        model::make_random_power_law_task(task_rng, 0.3, 1.0, instance.m));
+  }
+  const FractionalAllotment third = core::solve_allotment_lp(perturbed, options);
+  EXPECT_EQ(third.lp_warm_starts, 1);
+  EXPECT_GE(third.lower_bound + 1e-6, perturbed.trivial_lower_bound());
+
+  const core::WarmStartCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.lookups, 3);
+  EXPECT_EQ(stats.hits, 2);
+  EXPECT_EQ(stats.stores, 3);
 }
 
 TEST(AllotmentLp, SingleProcessorDegenerateCase) {

@@ -1,0 +1,141 @@
+// Tests for the batched scheduling pipeline: per-instance results must match
+// the single-instance driver, solver-state reuse must be visible in the
+// aggregate stats, and every schedule must stay feasible.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/batch_scheduler.hpp"
+#include "core/schedule.hpp"
+#include "graph/generators.hpp"
+#include "model/instance.hpp"
+#include "model/speedup.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace malsched;
+
+/// A service-style batch: `revisions` resubmissions of two workflow shapes
+/// with drifting task-time estimates (same DAGs, perturbed tables).
+std::vector<model::Instance> make_service_batch(int revisions, int m) {
+  support::Rng dag_rng(0xB47C);
+  const graph::Dag wide = graph::make_layered(2, 4 * m, 2, dag_rng);
+  const graph::Dag deep = graph::make_layered(20, 2, 2, dag_rng);
+  std::vector<model::Instance> batch;
+  for (int rev = 0; rev < revisions; ++rev) {
+    support::Rng rng(0x9000 + static_cast<std::uint64_t>(rev));
+    batch.push_back(model::make_instance(wide, m, [&](int, int procs) {
+      return model::make_random_power_law_task(rng, 0.4, 0.8, procs);
+    }));
+    batch.push_back(model::make_instance(deep, m, [&](int, int procs) {
+      return model::make_random_power_law_task(rng, 0.4, 0.8, procs);
+    }));
+  }
+  return batch;
+}
+
+TEST(BatchScheduler, MatchesSequentialDriverBitForBit) {
+  // With solver-state reuse off and a fixed LP mode, the batch is just the
+  // single-instance driver run n times: results must be identical.
+  const std::vector<model::Instance> batch = make_service_batch(2, 6);
+  core::BatchOptions options;
+  options.scheduler.lp.mode = core::LpMode::kDirect;
+  options.scheduler.lp.refine_stride = 0;
+  options.reuse_solver_state = false;
+  options.num_threads = 2;
+  core::BatchScheduler scheduler(options);
+  const core::BatchResult result = scheduler.schedule_all(batch);
+  ASSERT_EQ(result.results.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const core::SchedulerResult single =
+        core::schedule_malleable_dag(batch[i], options.scheduler);
+    EXPECT_EQ(result.results[i].makespan, single.makespan) << "instance " << i;
+    EXPECT_EQ(result.results[i].fractional.lower_bound,
+              single.fractional.lower_bound);
+    EXPECT_EQ(result.results[i].schedule.allotment, single.schedule.allotment);
+    EXPECT_EQ(result.results[i].schedule.start, single.schedule.start);
+  }
+}
+
+TEST(BatchScheduler, DefaultPipelineCertifiesSameBoundsWithReuse) {
+  // The full batch pipeline (kAuto + refinement + per-worker caches) must
+  // certify the same C* bounds as the cold default pipeline (to bisection
+  // tolerance), produce feasible schedules, and actually reuse bases.
+  const std::vector<model::Instance> batch = make_service_batch(3, 8);
+  core::BatchScheduler scheduler;
+  const core::BatchResult result = scheduler.schedule_all(batch);
+  ASSERT_EQ(result.results.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const core::SchedulerResult cold = core::schedule_malleable_dag(batch[i]);
+    EXPECT_NEAR(result.results[i].fractional.lower_bound,
+                cold.fractional.lower_bound,
+                2e-4 * std::max(1.0, cold.fractional.lower_bound))
+        << "instance " << i;
+    const auto feasibility =
+        core::check_schedule(batch[i], result.results[i].schedule);
+    EXPECT_TRUE(feasibility.feasible) << "instance " << i;
+    EXPECT_GT(result.seconds[i], 0.0);
+  }
+  const core::BatchStats& stats = result.stats;
+  EXPECT_EQ(stats.groups, 2u);  // two DAG shapes
+  // With per-worker caches attached, kAuto routes everything to the direct
+  // LP: one warm-started solve per instance beats a probe chain each.
+  EXPECT_EQ(stats.direct_solves, static_cast<int>(batch.size()));
+  EXPECT_EQ(stats.bisection_solves, 0);
+  EXPECT_GT(stats.lp_warm_starts, 0);
+  EXPECT_GT(stats.warm_start_hit_rate, 0.0);
+  EXPECT_GE(stats.lp_solves, static_cast<int>(batch.size()));
+  EXPECT_GT(stats.lp_pivots, 0);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  EXPECT_GE(stats.workers, 1u);
+}
+
+TEST(BatchScheduler, AutoRoutesByBracketWithoutCache) {
+  // Without solver-state reuse kAuto falls back to the bracket-width rule:
+  // the wide flat shape goes to the direct LP, the deep one to bisection.
+  const std::vector<model::Instance> batch = make_service_batch(2, 8);
+  core::BatchOptions options;
+  options.reuse_solver_state = false;
+  core::BatchScheduler scheduler(options);
+  const core::BatchResult result = scheduler.schedule_all(batch);
+  EXPECT_EQ(result.stats.direct_solves, 2);
+  EXPECT_EQ(result.stats.bisection_solves, 2);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(result.results[i].fractional.resolved_mode,
+              i % 2 == 0 ? core::LpMode::kDirect : core::LpMode::kBinarySearch)
+        << "instance " << i;
+  }
+}
+
+TEST(BatchScheduler, CachesPersistAcrossBatches) {
+  // A second schedule_all over the same instances starts from the bases the
+  // first one stored: every solve reports a warm start and the pivot total
+  // drops.
+  const std::vector<model::Instance> batch = make_service_batch(1, 6);
+  core::BatchOptions options;
+  options.num_threads = 1;  // one worker = one cache, deterministic hits
+  core::BatchScheduler scheduler(options);
+  const core::BatchResult first = scheduler.schedule_all(batch);
+  const core::BatchResult second = scheduler.schedule_all(batch);
+  // Every instance warm-starts on the second pass (>= rather than == on the
+  // solve count: the cold-retry fallback may legally add cold solves).
+  EXPECT_GE(second.stats.lp_warm_starts, static_cast<int>(batch.size()));
+  EXPECT_LT(second.stats.lp_pivots, first.stats.lp_pivots);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_NEAR(second.results[i].fractional.lower_bound,
+                first.results[i].fractional.lower_bound,
+                2e-4 * std::max(1.0, first.results[i].fractional.lower_bound));
+  }
+}
+
+TEST(BatchScheduler, EmptyBatch) {
+  core::BatchScheduler scheduler;
+  const core::BatchResult result = scheduler.schedule_all({});
+  EXPECT_TRUE(result.results.empty());
+  EXPECT_EQ(result.stats.lp_solves, 0);
+  EXPECT_EQ(result.stats.groups, 0u);
+}
+
+}  // namespace

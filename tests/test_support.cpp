@@ -136,6 +136,26 @@ TEST(ThreadPool, PropagatesExceptions) {
   EXPECT_THROW(future.get(), std::runtime_error);
 }
 
+TEST(ThreadPool, WorkerIndexIdentifiesPoolThreads) {
+  // Off-pool threads report -1; every worker reports a stable index in
+  // [0, size()) usable to pick per-worker state without locking.
+  EXPECT_EQ(ThreadPool::worker_index(), -1);
+  ThreadPool pool(3);
+  std::mutex mutex;
+  std::set<int> seen;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([&] {
+      const int w = ThreadPool::worker_index();
+      std::lock_guard<std::mutex> lock(mutex);
+      seen.insert(w);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_GE(*seen.begin(), 0);
+  EXPECT_LT(*seen.rbegin(), static_cast<int>(pool.size()));
+}
+
 TEST(TextTable, AlignsAndCounts) {
   TextTable table({"a", "long-header"});
   table.add_row({"1", "2"});
