@@ -11,11 +11,20 @@
 // resubmitted 4 times with fresh task-time estimates (same DAG, perturbed
 // processing-time tables). The baseline schedules each instance with the
 // single-instance defaults (direct LP, cold start); the batch pipeline runs
-// core::BatchScheduler (LpMode::kAuto + cross-stride refinement + per-worker
+// core::BatchScheduler (LpMode::kAuto + cross-stride refinement + shared
 // WarmStartCache + thread pool). Emits BENCH_batch.json (--out <path>).
 // On a single core every speedup in that file comes from solver-state
 // reuse; multicore hosts multiply it by the thread-level parallelism.
+//
+// --stream mode: the same 16-instance service mix submitted one at a time
+// to core::SchedulerService with Poisson-style (exponential-gap) arrivals,
+// against BatchScheduler::schedule_all's vector barrier on the identical
+// mix. Streaming admission overlaps arrival latency with solving, keeps the
+// group-affine warm-start reuse of the batch path (shared bounded cache,
+// deterministic at any worker count), and adds sub-slice stealing for
+// oversized groups. Emits BENCH_stream.json (--out <path>).
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -28,6 +37,7 @@
 #include "core/list_scheduler.hpp"
 #include "core/rounding.hpp"
 #include "core/scheduler.hpp"
+#include "core/scheduler_service.hpp"
 #include "graph/generators.hpp"
 #include "model/instance.hpp"
 #include "model/speedup.hpp"
@@ -153,7 +163,7 @@ int run_batch_bench(const std::string& out_path) {
                seq_total, seq_pivots);
   std::fprintf(f,
                "  \"batch\": {\"config\": \"BatchScheduler: kAuto + "
-               "refine_stride 4 + per-worker WarmStartCache\", "
+               "refine_stride 4 + shared LRU WarmStartCache\", "
                "\"wall_seconds\": %.6f, \"sum_item_seconds\": %.6f, "
                "\"workers\": %zu, \"groups\": %zu, \"pivots\": %ld, "
                "\"lp_solves\": %d, \"warm_starts\": %d, "
@@ -203,6 +213,177 @@ int run_batch_bench(const std::string& out_path) {
                "warm hit rate %.0f%%)\nwrote %s\n",
                seq_total, batch.stats.wall_seconds, ratio, batch.stats.workers,
                100.0 * batch.stats.warm_start_hit_rate, out_path.c_str());
+  return 0;
+}
+
+// --- streaming service bench -------------------------------------------------
+
+/// Aggregate LP counters over a set of SchedulerResults (the same numbers
+/// BatchStats carries, recomputed here for the streaming run).
+struct StreamAggregate {
+  long pivots = 0;
+  int solves = 0;
+  int warm_starts = 0;
+  double hit_rate = 0.0;
+};
+
+StreamAggregate aggregate_lp(const std::vector<core::SchedulerResult>& results) {
+  StreamAggregate agg;
+  for (const core::SchedulerResult& r : results) {
+    agg.pivots += r.fractional.lp_iterations;
+    agg.solves += r.fractional.lp_solves;
+    agg.warm_starts += r.fractional.lp_warm_starts;
+  }
+  if (agg.solves > 0) {
+    agg.hit_rate = static_cast<double>(agg.warm_starts) / agg.solves;
+  }
+  return agg;
+}
+
+int run_stream_bench(const std::string& out_path) {
+  const std::vector<Shape> shapes = make_batch_shapes();
+  std::vector<model::Instance> instances;
+  std::vector<const char*> instance_shape;
+  for (int v = 0; v < kShapeVariants; ++v) {
+    for (std::size_t s = 0; s < shapes.size(); ++s) {
+      instances.push_back(make_variant(shapes[s], s, v));
+      instance_shape.push_back(shapes[s].name);
+    }
+  }
+
+  // Barrier baseline: the same mix through BatchScheduler::schedule_all,
+  // one worker, fresh caches — the committed BENCH_batch.json configuration.
+  std::fprintf(stderr, "[stream] batch barrier baseline, %zu instances...\n",
+               instances.size());
+  core::BatchOptions batch_options;
+  batch_options.num_threads = 1;
+  core::BatchScheduler batch_scheduler(batch_options);
+  const core::BatchResult batch = batch_scheduler.schedule_all(instances);
+
+  // Streaming run: Poisson-style arrivals (exponential inter-arrival gaps,
+  // fixed seed) into a fresh service, one worker. The wall clock starts at
+  // the first arrival and stops when the last result is in, so it contains
+  // the arrival span — which streaming admission overlaps with solving
+  // while the batch barrier would still be collecting its input vector.
+  const double mean_gap_ms = 2.0;
+  support::Rng arrival_rng(0xA881BA1);
+  std::vector<double> gaps_ms;
+  double arrival_span_ms = 0.0;
+  for (std::size_t i = 0; i + 1 < instances.size(); ++i) {
+    gaps_ms.push_back(arrival_rng.exponential(1.0 / mean_gap_ms));
+    arrival_span_ms += gaps_ms.back();
+  }
+
+  std::fprintf(stderr, "[stream] streaming service (mean gap %.1f ms), 1 worker...\n",
+               mean_gap_ms);
+  core::ServiceOptions service_options;
+  service_options.num_threads = 1;
+  core::SchedulerService service(service_options);
+  std::vector<core::SchedulerService::Ticket> tickets;
+  tickets.reserve(instances.size());
+  support::Stopwatch stream_wall;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    tickets.push_back(service.submit(instances[i]));
+    if (i + 1 < instances.size()) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(gaps_ms[i]));
+    }
+  }
+  service.drain();
+  const double stream_seconds = stream_wall.seconds();
+
+  std::vector<core::SchedulerResult> stream_results(instances.size());
+  std::vector<double> stream_item_seconds(instances.size(), 0.0);
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    auto item = service.try_get(tickets[i]);
+    if (!item.has_value() || !item->status.ok()) {
+      std::fprintf(stderr, "stream instance %zu failed: %s\n", i,
+                   item.has_value() ? item->status.to_string().c_str() : "missing");
+      return 2;
+    }
+    stream_results[i] = std::move(item->result);
+    stream_item_seconds[i] = item->seconds;
+  }
+  const core::ServiceStats service_stats = service.stats();
+
+  // Both paths must certify the same bounds (to bisection tolerance).
+  double max_rel_diff = 0.0;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const double a = batch.results[i].fractional.lower_bound;
+    const double b = stream_results[i].fractional.lower_bound;
+    max_rel_diff = std::max(max_rel_diff, std::abs(a - b) / std::max(1.0, a));
+  }
+  if (max_rel_diff > 2e-4) {
+    std::fprintf(stderr, "LOWER BOUND MISMATCH: max rel diff %.3e\n", max_rel_diff);
+    return 2;
+  }
+
+  const StreamAggregate stream_agg = aggregate_lp(stream_results);
+  const double ratio = batch.stats.wall_seconds / std::max(1e-9, stream_seconds);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"perf_pipeline_stream\",\n");
+  std::fprintf(f, "  \"batch_size\": %zu,\n  \"m\": %d,\n", instances.size(),
+               kBatchProcessors);
+  std::fprintf(f,
+               "  \"workload\": \"4 workflow shapes x %d task-time revisions, "
+               "Poisson-style arrivals (exp gaps, mean %.1f ms, span %.1f ms)\",\n",
+               kShapeVariants, mean_gap_ms, arrival_span_ms);
+  std::fprintf(f,
+               "  \"batch\": {\"config\": \"BatchScheduler::schedule_all barrier, "
+               "1 worker\", \"wall_seconds\": %.6f, \"pivots\": %ld, "
+               "\"lp_solves\": %d, \"warm_starts\": %d, \"warm_hit_rate\": %.4f},\n",
+               batch.stats.wall_seconds, batch.stats.lp_pivots,
+               batch.stats.lp_solves, batch.stats.lp_warm_starts,
+               batch.stats.warm_start_hit_rate);
+  std::fprintf(f,
+               "  \"stream\": {\"config\": \"SchedulerService submit-as-you-go, "
+               "1 worker, shared LRU cache\", \"wall_seconds\": %.6f, "
+               "\"sum_item_seconds\": %.6f, \"pivots\": %ld, \"lp_solves\": %d, "
+               "\"warm_starts\": %d, \"warm_hit_rate\": %.4f, \"groups\": %zu, "
+               "\"steals\": %zu, \"cache_entries\": %zu, \"cache_evictions\": %ld},\n",
+               stream_seconds,
+               [&] {
+                 double s = 0.0;
+                 for (double v : stream_item_seconds) s += v;
+                 return s;
+               }(),
+               stream_agg.pivots, stream_agg.solves, stream_agg.warm_starts,
+               stream_agg.hit_rate, service_stats.groups_seen,
+               service_stats.steals, service_stats.cache_entries,
+               service_stats.cache.evictions);
+  std::fprintf(f, "  \"batch_over_stream_wall_ratio\": %.3f,\n", ratio);
+  std::fprintf(f, "  \"max_bound_rel_diff\": %.3e,\n", max_rel_diff);
+  std::fprintf(f, "  \"instances\": [\n");
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"shape\": \"%s\", \"n\": %d, \"mode\": \"%s\", "
+                 "\"stream_seconds\": %.6f, \"batch_seconds\": %.6f, "
+                 "\"lower_bound\": %.6f, \"ratio_vs_bound\": %.4f}%s\n",
+                 instance_shape[i], instances[i].num_tasks(),
+                 stream_results[i].fractional.resolved_mode ==
+                         core::LpMode::kBinarySearch
+                     ? "bisection"
+                     : "direct",
+                 stream_item_seconds[i], batch.seconds[i],
+                 stream_results[i].fractional.lower_bound,
+                 stream_results[i].ratio_vs_lower_bound,
+                 i + 1 == instances.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr,
+               "[stream] batch barrier %.3fs vs streaming %.3fs "
+               "(batch/stream %.2fx, warm hit rate %.0f%% vs %.0f%%, "
+               "%zu steals, %zu cache entries)\nwrote %s\n",
+               batch.stats.wall_seconds, stream_seconds, ratio,
+               100.0 * batch.stats.warm_start_hit_rate,
+               100.0 * stream_agg.hit_rate, service_stats.steals,
+               service_stats.cache_entries, out_path.c_str());
   return 0;
 }
 
@@ -292,12 +473,15 @@ BENCHMARK(BM_EndToEnd)->Args({20, 8})->Args({40, 8})->Unit(benchmark::kMilliseco
 
 int main(int argc, char** argv) {
   bool batch = false;
-  std::string out_path = "BENCH_batch.json";
+  bool stream = false;
+  std::string out_path;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--batch") == 0) batch = true;
+    if (std::strcmp(argv[a], "--stream") == 0) stream = true;
     if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) out_path = argv[++a];
   }
-  if (batch) return run_batch_bench(out_path);
+  if (batch) return run_batch_bench(out_path.empty() ? "BENCH_batch.json" : out_path);
+  if (stream) return run_stream_bench(out_path.empty() ? "BENCH_stream.json" : out_path);
 #ifdef MALSCHED_HAVE_GBENCH
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
@@ -307,7 +491,7 @@ int main(int argc, char** argv) {
   (void)make_bench_instance;
   std::fprintf(stderr,
                "google-benchmark is not available in this build; only "
-               "--batch [--out <path>] is supported\n");
+               "--batch / --stream [--out <path>] are supported\n");
   return 1;
 #endif
 }

@@ -3,29 +3,34 @@
 
 Usage: check_doc_links.py FILE [FILE...]
 
-Checks inline links/images `[text](target)` whose target is not an absolute
-URL or a pure fragment. Targets are resolved relative to the file's
-directory; a `#anchor` suffix is stripped (anchors themselves are not
-verified). Exits 1 when any link is broken (every one is printed).
+Checks inline links/images `[text](target)` and reference-style definitions
+`[label]: target` whose target is not an absolute URL or a pure fragment.
+Targets are resolved relative to the file's directory; a `#anchor` suffix is
+stripped (anchors themselves are not verified). Exits 1 when any link is
+broken (every one is printed).
 """
 import re
 import sys
 from pathlib import Path
 
 LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+# Reference-style definition at line start: `[label]: target` (optionally
+# followed by a title we ignore).
+REF_DEF = re.compile(r"^\s{0,3}\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
 SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
 
 
 def check(path: Path) -> list[str]:
     broken = []
     text = path.read_text(encoding="utf-8")
-    for match in LINK.finditer(text):
-        target = match.group(1)
+    targets = [(m.start(), m.group(1)) for m in LINK.finditer(text)]
+    targets += [(m.start(1), m.group(1)) for m in REF_DEF.finditer(text)]
+    for start, target in targets:
         if target.startswith(SKIP_PREFIXES):
             continue
         resolved = (path.parent / target.split("#", 1)[0]).resolve()
         if not resolved.exists():
-            line = text.count("\n", 0, match.start()) + 1
+            line = text.count("\n", 0, start) + 1
             broken.append(f"{path}:{line}: broken link -> {target}")
     return broken
 

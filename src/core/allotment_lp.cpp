@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/status.hpp"
 #include "graph/algorithms.hpp"
 #include "model/work_function.hpp"
 #include "support/assert.hpp"
@@ -30,6 +31,20 @@ std::vector<std::size_t> select_piece_indices(std::size_t count, int stride) {
     if (stride <= 1 || count <= 2 || i == 0 || i + 1 == count ||
         i % static_cast<std::size_t>(stride) == 0) {
       kept.push_back(i);
+    }
+  }
+  return kept;
+}
+
+/// select_piece_indices(count, stride).size() without the allocation (the
+/// same predicate, counted instead of collected) — fingerprinting calls this
+/// once per task per admission.
+std::size_t count_kept_pieces(std::size_t count, int stride) {
+  if (stride <= 1 || count <= 2) return count;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i == 0 || i + 1 == count || i % static_cast<std::size_t>(stride) == 0) {
+      ++kept;
     }
   }
   return kept;
@@ -86,13 +101,16 @@ std::uint64_t WarmStartCache::fingerprint(const model::Instance& instance,
   mix(static_cast<std::uint64_t>(instance.m));
   mix(static_cast<std::uint64_t>(instance.num_tasks()));
   mix(static_cast<std::uint64_t>(probe ? 1 : std::max(1, piece_stride)));
+  // Memoized piece counts: fingerprinting runs on every admission/solve and
+  // only needs the counts, not the pieces themselves.
+  const auto counts = instance.piece_counts();
   for (int j = 0; j < instance.num_tasks(); ++j) {
     mix(0xFEEDull);
     for (graph::NodeId i : instance.dag.predecessors(j)) {
       mix(static_cast<std::uint64_t>(i) + 1);
     }
-    const std::size_t pieces = model::WorkFunction(instance.task(j)).pieces().size();
-    mix(probe ? pieces : select_piece_indices(pieces, piece_stride).size());
+    const auto pieces = static_cast<std::size_t>((*counts)[static_cast<std::size_t>(j)]);
+    mix(probe ? pieces : count_kept_pieces(pieces, piece_stride));
     if (!probe) mix(instance.dag.successors(j).empty() ? 1u : 0u);
   }
   return h;
@@ -104,14 +122,27 @@ lp::SimplexBasis WarmStartCache::take(std::uint64_t key) {
   const auto it = entries_.find(key);
   if (it == entries_.end()) return {};
   ++stats_.hits;
-  return it->second;
+  lru_.splice(lru_.begin(), lru_, it->second.lru);  // refresh recency
+  return it->second.basis;
 }
 
 void WarmStartCache::put(std::uint64_t key, lp::SimplexBasis basis) {
   if (basis.empty()) return;
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.stores;
-  entries_[key] = std::move(basis);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.basis = std::move(basis);
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    return;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{std::move(basis), lru_.begin()});
+  if (capacity_ > 0 && entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
 }
 
 WarmStartCache::Stats WarmStartCache::stats() const {
@@ -122,7 +153,13 @@ WarmStartCache::Stats WarmStartCache::stats() const {
 void WarmStartCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
+  lru_.clear();
   stats_ = {};
+}
+
+std::size_t WarmStartCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
 }
 
 lp::Model build_allotment_lp(const model::Instance& instance, int piece_stride) {
@@ -201,13 +238,13 @@ std::vector<int> map_direct_rows(const model::Instance& instance, int coarse,
                                  int fine) {
   std::vector<int> map;
   int fine_row = 0;
+  const auto counts = instance.piece_counts();  // memoized, no WorkFunction
   for (int j = 0; j < instance.num_tasks(); ++j) {
     const std::size_t preds = instance.dag.predecessors(j).size();
     const std::size_t shared = std::max<std::size_t>(1, preds) +
                                (instance.dag.successors(j).empty() ? 1 : 0);
     for (std::size_t k = 0; k < shared; ++k) map.push_back(fine_row++);
-    const std::size_t pieces =
-        model::WorkFunction(instance.task(j)).pieces().size();
+    const auto pieces = static_cast<std::size_t>((*counts)[static_cast<std::size_t>(j)]);
     const std::vector<std::size_t> coarse_kept = select_piece_indices(pieces, coarse);
     const std::vector<std::size_t> fine_kept = select_piece_indices(pieces, fine);
     std::size_t f = 0;
@@ -330,7 +367,9 @@ FractionalAllotment solve_by_bisection(const model::Instance& instance,
     basis.clear();
     hi_feasible = probe(hi, best_solution);
   }
-  MALSCHED_ASSERT_MSG(hi_feasible, "upper deadline probe failed");
+  if (!hi_feasible) {
+    throw SolverError("upper deadline probe failed (LP feasible by construction)");
+  }
   double best_deadline = hi;
 
   while (hi - lo > options.bisection_tolerance * std::max(1.0, hi)) {
@@ -431,8 +470,9 @@ FractionalAllotment solve_direct(const model::Instance& instance,
     ++solves;
     iterations += solution.iterations;
   }
-  MALSCHED_ASSERT_MSG(solution.status == lp::SolveStatus::kOptimal,
-                      "allotment LP must be feasible and bounded");
+  if (solution.status != lp::SolveStatus::kOptimal) {
+    throw SolverError("allotment LP did not solve to optimality");
+  }
   if (!refine && cache != nullptr) {
     cache->put(fine_key, std::move(basis));
   }

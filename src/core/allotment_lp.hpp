@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <mutex>
 #include <unordered_map>
 
@@ -92,7 +93,16 @@ class WarmStartCache {
     long lookups = 0;
     long hits = 0;
     long stores = 0;
+    long evictions = 0;  ///< entries dropped by the LRU bound
   };
+
+  /// `capacity` bounds the number of retained bases (least-recently-used
+  /// eviction on overflow; both take-hits and puts refresh recency). 0 keeps
+  /// the cache unbounded — the right default for a sweep over a fixed
+  /// instance set; a long-lived service must bound it or the cache grows
+  /// with every structure it ever sees (SchedulerOptions via ServiceOptions
+  /// sets a bound).
+  explicit WarmStartCache(std::size_t capacity = 0) : capacity_(capacity) {}
 
   /// Structural fingerprint of the LP that `solve_allotment_lp` would build:
   /// hashes m, the DAG arcs, per-task work-piece counts, the resolved
@@ -110,9 +120,19 @@ class WarmStartCache {
   Stats stats() const;
   void clear();
 
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
  private:
+  struct Entry {
+    lp::SimplexBasis basis;
+    std::list<std::uint64_t>::iterator lru;  ///< position in lru_
+  };
+
   mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, lp::SimplexBasis> entries_;
+  std::list<std::uint64_t> lru_;  ///< front = most recently used key
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::size_t capacity_ = 0;
   Stats stats_;
 };
 
@@ -156,7 +176,10 @@ struct AllotmentLpOptions {
 /// w-bar_j at 3j+2, then L, then C.
 lp::Model build_allotment_lp(const model::Instance& instance, int piece_stride = 1);
 
-/// Solves Phase 1 and returns the fractional allotment data.
+/// Solves Phase 1 and returns the fractional allotment data. Throws
+/// core::SolverError (see status.hpp) when an LP that is feasible by
+/// construction fails numerically; SchedulerService converts that into a
+/// StatusCode::kLpFailure on the affected ticket.
 FractionalAllotment solve_allotment_lp(const model::Instance& instance,
                                        const AllotmentLpOptions& options = {});
 

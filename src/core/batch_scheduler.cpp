@@ -1,13 +1,25 @@
 #include "core/batch_scheduler.hpp"
 
-#include <algorithm>
-#include <future>
-#include <unordered_map>
+#include <stdexcept>
+#include <unordered_set>
 #include <utility>
 
 #include "support/stopwatch.hpp"
 
 namespace malsched::core {
+
+namespace {
+
+ServiceOptions service_options_from(const BatchOptions& options) {
+  ServiceOptions service;
+  service.scheduler = options.scheduler;
+  service.num_threads = options.num_threads;
+  service.reuse_solver_state = options.reuse_solver_state;
+  service.cache_capacity = options.cache_capacity;
+  return service;
+}
+
+}  // namespace
 
 BatchOptions::BatchOptions() {
   scheduler.lp.mode = LpMode::kAuto;
@@ -15,65 +27,49 @@ BatchOptions::BatchOptions() {
 }
 
 BatchScheduler::BatchScheduler(BatchOptions options)
-    : options_(std::move(options)),
-      pool_(options_.num_threads),
-      caches_(pool_.size()) {}
+    : options_(std::move(options)), service_(service_options_from(options_)) {}
 
 BatchResult BatchScheduler::schedule_all(
     const std::vector<model::Instance>& instances) {
   BatchResult batch;
-  batch.stats.workers = pool_.size();
+  batch.stats.workers = service_.num_workers();
   batch.results.resize(instances.size());
   batch.seconds.assign(instances.size(), 0.0);
   if (instances.empty()) return batch;
 
-  // Group by LP structure (in first-appearance order, for determinism of the
-  // dispatch) so one worker solves structurally identical LPs back to back
-  // and its cache entry stays hot. The group key ignores the resolved mode:
-  // direct and probe bases live under different fingerprints inside the
-  // cache, so mixed kAuto routing within a group is still correct.
-  std::unordered_map<std::uint64_t, std::size_t> group_of;
-  std::vector<std::vector<std::size_t>> groups;
-  for (std::size_t i = 0; i < instances.size(); ++i) {
-    const std::uint64_t key = WarmStartCache::fingerprint(
-        instances[i], LpMode::kDirect,
-        std::max(1, options_.scheduler.lp.piece_stride));
-    const auto [it, inserted] = group_of.emplace(key, groups.size());
-    if (inserted) groups.emplace_back();
-    groups[it->second].push_back(i);
-  }
-  batch.stats.groups = groups.size();
-
   support::Stopwatch wall;
-  std::vector<std::future<void>> futures;
-  futures.reserve(groups.size());
-  for (const std::vector<std::size_t>& group : groups) {
-    futures.push_back(pool_.submit([this, &group, &instances, &batch] {
-      const int worker = support::ThreadPool::worker_index();
-      SchedulerOptions item_options = options_.scheduler;
-      if (options_.reuse_solver_state) {
-        item_options.lp.warm_cache = &caches_[worker < 0 ? 0 : worker];
-      }
-      for (const std::size_t i : group) {
-        support::Stopwatch sw;
-        batch.results[i] = schedule_malleable_dag(instances[i], item_options);
-        batch.seconds[i] = sw.seconds();
-      }
-    }));
+  // Submit-all-then-drain: the service fingerprints each instance at
+  // admission and dispatches it to its structure group, which reproduces
+  // the old vector-barrier semantics as the degenerate streaming case.
+  std::vector<SchedulerService::Ticket> tickets;
+  tickets.reserve(instances.size());
+  for (const model::Instance& instance : instances) {
+    tickets.push_back(service_.submit(instance, options_.scheduler));
   }
-  // Drain every future before letting an exception unwind: the worker
-  // lambdas write into this function's locals, so rethrowing mid-loop while
-  // other groups still run would be a use-after-scope.
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-  if (first_error) std::rethrow_exception(first_error);
+  service_.drain();
   batch.stats.wall_seconds = wall.seconds();
+
+  // Collect every result before surfacing an error so one bad instance
+  // does not leave the rest of the batch stranded inside the service.
+  std::string first_error;
+  std::unordered_set<std::uint64_t> groups;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    std::optional<ServiceResult> item = service_.try_get(tickets[i]);
+    // drain() guarantees completion, so the optional is always engaged.
+    if (!item.has_value()) continue;
+    if (!item->status.ok()) {
+      if (first_error.empty()) {
+        first_error =
+            "batch instance " + std::to_string(i) + ": " + item->status.to_string();
+      }
+      continue;
+    }
+    groups.insert(item->group);
+    batch.results[i] = std::move(item->result);
+    batch.seconds[i] = item->seconds;
+  }
+  if (!first_error.empty()) throw std::runtime_error(first_error);
+  batch.stats.groups = groups.size();
 
   for (std::size_t i = 0; i < instances.size(); ++i) {
     const FractionalAllotment& frac = batch.results[i].fractional;

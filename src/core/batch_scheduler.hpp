@@ -1,28 +1,29 @@
 // Batched scheduling pipeline: run the two-phase algorithm over many
 // independent instances with shared solver state.
 //
-// A scheduling service rarely sees one DAG in isolation — it sees streams of
-// related instances (the same workflow shape resubmitted with fresh task-time
-// estimates, parameter sweeps over one instance, nightly batches of a few
-// recurring pipelines). BatchScheduler exploits that: instances are grouped
-// by the structural fingerprint of their Phase-1 LP (WarmStartCache) and each
-// group is dispatched to the thread pool as one unit, so a worker solves
-// structurally identical LPs back to back, each warm-started from the
-// previous one's final basis. Combined with LpMode::kAuto (per-instance
-// direct-vs-bisection routing) and cross-stride refinement, the batch path
-// beats the one-at-a-time cold pipeline even on a single core; on multicore
-// hosts the groups additionally run in parallel.
+// Since the SchedulerService redesign this is a thin compatibility wrapper:
+// schedule_all submits every instance to a private core::SchedulerService
+// and drains it — one call, one barrier, same result layout as before. The
+// service supplies the machinery that used to live here (group-affine
+// dispatch by LP-structure fingerprint, warm-start reuse, the thread pool)
+// plus what the old implementation could not do: sub-slice work stealing
+// for oversized groups, and a single shared bounded WarmStartCache, which
+// makes cross-batch warm-start reuse deterministic at any worker count (the
+// old per-worker caches only guaranteed reuse with one worker). Callers
+// that want streaming admission, per-ticket results, or typed errors should
+// use SchedulerService directly (scheduler_service.hpp).
 //
 // bench/perf_pipeline.cpp --batch measures the pipeline against the
-// sequential cold baseline and emits BENCH_batch.json.
+// sequential cold baseline and emits BENCH_batch.json; --stream measures
+// streaming admission against this barrier and emits BENCH_stream.json.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
 #include "core/scheduler.hpp"
+#include "core/scheduler_service.hpp"
 #include "model/instance.hpp"
-#include "support/thread_pool.hpp"
 
 namespace malsched::core {
 
@@ -36,19 +37,28 @@ struct BatchOptions {
   SchedulerOptions scheduler;
   /// Worker threads; 0 = std::thread::hardware_concurrency().
   std::size_t num_threads = 0;
-  /// Give every worker a persistent WarmStartCache so instances of the same
-  /// LP structure warm-start each other (overrides scheduler.lp.warm_cache).
-  /// Caches live as long as the BatchScheduler, so later batches MAY reuse
-  /// bases from earlier ones: groups are not pinned to workers, so with
-  /// several workers a group can land on a worker whose cache has not seen
-  /// its structure (reuse is deterministic only with num_threads = 1).
+  /// Route every solve through the service's shared warm-start cache, so
+  /// instances of the same LP structure warm-start each other. The cache
+  /// lives as long as the BatchScheduler and is shared by all workers, so
+  /// later batches deterministically reuse bases from earlier ones at any
+  /// worker count.
   bool reuse_solver_state = true;
+  /// LRU entry bound of that cache. The batch default stays 0 = unbounded
+  /// (matching the pre-service per-worker caches: a batch run over a fixed
+  /// instance set wants every structure warm); long-lived callers that feed
+  /// many distinct structures should bound it — or use SchedulerService,
+  /// whose default is bounded.
+  std::size_t cache_capacity = 0;
 };
 
 /// Aggregate solver statistics of one schedule_all call.
 struct BatchStats {
   double wall_seconds = 0.0;        ///< end-to-end time of schedule_all
-  double sum_item_seconds = 0.0;    ///< sum of per-instance pipeline times
+  /// Sum of per-instance pipeline times. Instances run concurrently (the
+  /// draining caller helps execute, so even num_threads = 1 has two
+  /// executors), so on an oversubscribed host the timesliced per-instance
+  /// clocks can sum past wall_seconds.
+  double sum_item_seconds = 0.0;
   std::size_t workers = 1;
   std::size_t groups = 0;           ///< distinct LP-structure groups
   long lp_pivots = 0;
@@ -76,16 +86,17 @@ class BatchScheduler {
   /// bit-identical to per-instance schedule_malleable_dag calls; with it on,
   /// LP objectives (the C* bounds) still agree to solver tolerance, but a
   /// warm start may land on a different vertex of a degenerate optimal face,
-  /// so schedules can differ within the same quality certificate. Dispatch
-  /// is by structure group, so same-shaped instances share a worker's cache.
+  /// so schedules can differ within the same quality certificate.
+  /// Implemented as submit-all-then-drain on the internal service; a ticket
+  /// that completes with an error (invalid instance, LP failure) is
+  /// rethrown as std::runtime_error after the whole batch has drained.
   BatchResult schedule_all(const std::vector<model::Instance>& instances);
 
-  std::size_t num_workers() const { return pool_.size(); }
+  std::size_t num_workers() const { return service_.num_workers(); }
 
  private:
   BatchOptions options_;
-  support::ThreadPool pool_;
-  std::vector<WarmStartCache> caches_;  ///< one per worker, persistent
+  SchedulerService service_;
 };
 
 }  // namespace malsched::core

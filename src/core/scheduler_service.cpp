@@ -1,0 +1,256 @@
+#include "core/scheduler_service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "model/assumptions.hpp"
+#include "support/stopwatch.hpp"
+
+namespace malsched::core {
+
+ServiceOptions::ServiceOptions() {
+  scheduler.lp.mode = LpMode::kAuto;
+  scheduler.lp.refine_stride = 4;
+}
+
+SchedulerService::SchedulerService(ServiceOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity),
+      pool_(options_.num_threads) {}
+
+SchedulerService::~SchedulerService() { drain(); }
+
+std::size_t SchedulerService::runner_cap() const {
+  return options_.max_group_runners > 0 ? options_.max_group_runners
+                                        : pool_.size();
+}
+
+Status SchedulerService::admission_status(const model::Instance& instance) const {
+  const model::InstanceCheck check = model::check_instance(instance);
+  if (!check) {
+    return Status::error(StatusCode::kInvalidInstance,
+                         std::string(model::to_string(check.defect)) + ": " +
+                             check.detail);
+  }
+  if (options_.enforce_assumptions) {
+    for (int j = 0; j < instance.num_tasks(); ++j) {
+      const model::ValidationReport a1 = model::check_assumption1(instance.task(j));
+      const model::ValidationReport a2 = model::check_assumption2(instance.task(j));
+      if (!a1.ok || !a2.ok) {
+        return Status::error(StatusCode::kAssumptionViolation,
+                             "task " + std::to_string(j) + ": " +
+                                 (a1.ok ? a2.detail : a1.detail));
+      }
+    }
+  }
+  return Status();
+}
+
+SchedulerService::Ticket SchedulerService::submit(model::Instance instance) {
+  return submit(std::move(instance), options_.scheduler);
+}
+
+SchedulerService::Ticket SchedulerService::submit(model::Instance instance,
+                                                  const SchedulerOptions& options) {
+  const Status admission = admission_status(instance);
+  if (!admission.ok()) {
+    ServiceResult rejected;
+    rejected.status = admission;
+    std::unique_lock<std::mutex> lock(mutex_);
+    const Ticket ticket = next_ticket_++;
+    ++submitted_;
+    ++completed_;
+    ++failed_;
+    done_.emplace(ticket, std::move(rejected));
+    lock.unlock();
+    cv_.notify_all();
+    return ticket;
+  }
+
+  // Prime the piece-count memo and fingerprint before the instance is
+  // shared with a worker; the group key mirrors BatchScheduler's (resolved
+  // mode ignored — probe and direct bases live under distinct fingerprints
+  // inside the cache, so mixed kAuto routing within a group stays correct).
+  const std::uint64_t key = WarmStartCache::fingerprint(
+      instance, LpMode::kDirect, std::max(1, options.lp.piece_stride));
+
+  Job job;
+  job.instance = std::move(instance);
+  job.options = options;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Ticket ticket = next_ticket_++;
+  ++submitted_;
+  job.ticket = ticket;
+  inflight_.insert(ticket);
+  groups_seen_.insert(key);
+  Group& group = groups_[key];
+  group.pending.push_back(std::move(job));
+  maybe_dispatch(key, group);
+  return ticket;
+}
+
+std::vector<SchedulerService::Ticket> SchedulerService::submit_many(
+    std::vector<model::Instance> instances) {
+  std::vector<Ticket> tickets;
+  tickets.reserve(instances.size());
+  for (model::Instance& instance : instances) {
+    tickets.push_back(submit(std::move(instance)));
+  }
+  return tickets;
+}
+
+void SchedulerService::maybe_dispatch(std::uint64_t key, Group& group) {
+  const bool first = group.runners == 0;
+  // Beyond the first runner, only an oversized backlog justifies another:
+  // the extra runner is the steal path, and it costs group affinity (two
+  // runners interleave their warm starts through the shared cache).
+  if (!first && (group.pending.size() <= options_.steal_slice ||
+                 group.runners >= runner_cap())) {
+    return;
+  }
+  ++group.runners;
+  // The future is intentionally dropped: run_group reports per-job errors
+  // through ticket Statuses and must not throw.
+  pool_.submit([this, key] { run_group(key); });
+}
+
+void SchedulerService::run_group(std::uint64_t key) {
+  for (;;) {
+    std::vector<Job> slice;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = groups_.find(key);
+      if (it == groups_.end()) return;  // raced with the final runner
+      Group& group = it->second;
+      if (group.pending.empty()) {
+        if (--group.runners == 0) groups_.erase(it);
+        return;
+      }
+      const std::size_t take =
+          std::min(std::max<std::size_t>(1, options_.steal_slice),
+                   group.pending.size());
+      slice.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        slice.push_back(std::move(group.pending.front()));
+        group.pending.pop_front();
+      }
+      if (group.runners > 1) steals_ += 1;  // slice taken while shared
+      maybe_dispatch(key, group);
+    }
+    for (Job& job : slice) {
+      ServiceResult result = run_job(job, key);
+      complete(job.ticket, std::move(result));
+    }
+  }
+}
+
+ServiceResult SchedulerService::run_job(Job& job, std::uint64_t key) {
+  ServiceResult out;
+  out.group = key;
+  SchedulerOptions options = job.options;
+  if (options_.reuse_solver_state) {
+    options.lp.warm_cache = &cache_;
+  }
+  support::Stopwatch stopwatch;
+  try {
+    out.result = schedule_malleable_dag(job.instance, options);
+    out.status = Status();
+  } catch (const SolverError& e) {
+    out.status = Status::error(StatusCode::kLpFailure, e.what());
+  } catch (const std::exception& e) {
+    out.status = Status::error(StatusCode::kInternalError, e.what());
+  }
+  out.seconds = stopwatch.seconds();
+  return out;
+}
+
+void SchedulerService::complete(Ticket ticket, ServiceResult result) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_.erase(ticket);
+    ++completed_;
+    if (!result.status.ok()) ++failed_;
+    done_.emplace(ticket, std::move(result));
+  }
+  cv_.notify_all();
+}
+
+std::optional<ServiceResult> SchedulerService::try_get(Ticket ticket) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = done_.find(ticket);
+  if (it != done_.end()) {
+    ServiceResult result = std::move(it->second);
+    done_.erase(it);
+    return result;
+  }
+  if (inflight_.count(ticket) != 0) return std::nullopt;
+  ServiceResult unknown;
+  unknown.status = Status::error(
+      StatusCode::kUnknownTicket,
+      "ticket " + std::to_string(ticket) + " was never issued or already consumed");
+  return unknown;
+}
+
+ServiceResult SchedulerService::wait(Ticket ticket) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    const auto it = done_.find(ticket);
+    if (it != done_.end()) {
+      ServiceResult result = std::move(it->second);
+      done_.erase(it);
+      return result;
+    }
+    if (inflight_.count(ticket) == 0) {
+      ServiceResult unknown;
+      unknown.status = Status::error(StatusCode::kUnknownTicket,
+                                     "ticket " + std::to_string(ticket) +
+                                         " was never issued or already consumed");
+      return unknown;
+    }
+    lock.unlock();
+    const bool ran = pool_.try_run_pending_task();  // help instead of sleeping
+    lock.lock();
+    if (!ran && done_.count(ticket) == 0 && inflight_.count(ticket) != 0) {
+      cv_.wait(lock);
+    }
+  }
+}
+
+void SchedulerService::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Snapshot the ticket horizon: drain flushes what was submitted BEFORE
+  // the call. Waiting for inflight_ to empty instead would never return
+  // under continuous concurrent submission.
+  const Ticket upto = next_ticket_;
+  const auto still_pending = [this, upto] {
+    for (const Ticket t : inflight_) {
+      if (t < upto) return true;
+    }
+    return false;
+  };
+  while (still_pending()) {
+    lock.unlock();
+    const bool ran = pool_.try_run_pending_task();
+    lock.lock();
+    if (!ran && still_pending()) cv_.wait(lock);
+  }
+}
+
+ServiceStats SchedulerService::stats() const {
+  ServiceStats out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.submitted = submitted_;
+    out.completed = completed_;
+    out.failed = failed_;
+    out.pending = inflight_.size();
+    out.groups_seen = groups_seen_.size();
+    out.steals = steals_;
+  }
+  out.cache = cache_.stats();
+  out.cache_entries = cache_.size();
+  return out;
+}
+
+}  // namespace malsched::core

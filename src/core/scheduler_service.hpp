@@ -1,0 +1,177 @@
+// The streaming scheduling service: submit instances as they arrive.
+//
+// BatchScheduler admits work one vector per batch — a barrier that a
+// service under live traffic cannot afford. SchedulerService is the
+// long-lived façade underneath: `submit` admits a single instance and
+// returns a Ticket immediately; workers pick the job up behind the caller's
+// back; `try_get`/`wait` deliver the result (or a typed error) per ticket
+// and `drain` flushes everything outstanding.
+//
+// Dispatch is group-affine: at admission every instance is fingerprinted by
+// its Phase-1 LP structure (WarmStartCache::fingerprint) and queued under
+// that group; one runner per group processes its jobs back to back, so
+// structurally identical LPs warm-start each other. When a group's queue
+// outgrows one sub-slice (`steal_slice`) an additional runner is
+// dispatched, so idle workers steal whole sub-slices of an oversized group
+// instead of letting it serialize on one worker. All runners share ONE
+// bounded (LRU) WarmStartCache, which is what makes cross-batch reuse
+// deterministic at any worker count: a structure solved once warm-starts
+// every later solve of that structure no matter which worker it lands on
+// (the per-worker caches of the old BatchScheduler made that a scheduling
+// accident).
+//
+// Errors travel as data: an invalid instance (cyclic DAG, zero work, table
+// mismatch), an assumption violation (opt-in check) or a numeric LP failure
+// completes the ticket with a typed Status instead of taking the process
+// down (status.hpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "core/status.hpp"
+#include "model/instance.hpp"
+#include "support/thread_pool.hpp"
+
+namespace malsched::core {
+
+struct ServiceOptions {
+  /// Service defaults match the batch pipeline: LpMode::kAuto and
+  /// refine_stride = 4 (both exact; see BatchOptions).
+  ServiceOptions();
+
+  /// Per-instance pipeline defaults; a per-submit override wins.
+  SchedulerOptions scheduler;
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  std::size_t num_threads = 0;
+  /// Route every solve through the shared warm-start cache (overrides
+  /// whatever warm_cache the per-submit options carry).
+  bool reuse_solver_state = true;
+  /// LRU entry bound of the shared WarmStartCache (0 = unbounded). Each LP
+  /// structure costs at most a few entries (fine/coarse direct + probe), so
+  /// the bound is effectively "how many recent structures stay warm".
+  std::size_t cache_capacity = 128;
+  /// A runner takes its group's pending jobs in sub-slices of this size and
+  /// re-dispatches the group while more than a slice is left, so idle
+  /// workers steal the remainder of an oversized group.
+  std::size_t steal_slice = 2;
+  /// Cap on concurrent runners per group; 0 = pool size.
+  std::size_t max_group_runners = 0;
+  /// Check Assumptions 1 and 2 per task at admission and fail the ticket
+  /// with kAssumptionViolation instead of scheduling outside the guarantee.
+  bool enforce_assumptions = false;
+};
+
+/// Completion record of one ticket. `result` is meaningful iff status.ok().
+struct ServiceResult {
+  Status status;
+  SchedulerResult result;
+  double seconds = 0.0;      ///< pipeline time of this instance
+  std::uint64_t group = 0;   ///< LP-structure fingerprint it was dispatched under
+};
+
+/// Monotonic counters since construction, plus the live cache snapshot.
+struct ServiceStats {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;  ///< includes failed
+  std::size_t failed = 0;     ///< completed with !status.ok()
+  std::size_t pending = 0;    ///< submitted, result not yet produced
+  std::size_t groups_seen = 0;     ///< distinct LP structures ever admitted
+  std::size_t steals = 0;          ///< sub-slices taken while another runner held the group
+  WarmStartCache::Stats cache;     ///< lookups/hits/stores/evictions
+  std::size_t cache_entries = 0;   ///< current size of the shared cache
+};
+
+class SchedulerService {
+ public:
+  /// Opaque handle for one submitted instance. Tickets are issued in
+  /// submission order (strictly increasing) and are single-consumption:
+  /// the first try_get/wait that returns the result retires the ticket.
+  using Ticket = std::uint64_t;
+
+  explicit SchedulerService(ServiceOptions options = {});
+  /// Drains outstanding work, then joins the workers. Unclaimed results are
+  /// discarded.
+  ~SchedulerService();
+
+  SchedulerService(const SchedulerService&) = delete;
+  SchedulerService& operator=(const SchedulerService&) = delete;
+
+  /// Admits one instance (validated here — an invalid one completes its
+  /// ticket immediately with a typed error) and returns without waiting for
+  /// the solve. Thread-safe; the instance is owned by the service from here.
+  Ticket submit(model::Instance instance);
+  Ticket submit(model::Instance instance, const SchedulerOptions& options);
+
+  /// submit() per element, preserving order; tickets[i] belongs to
+  /// instances[i].
+  std::vector<Ticket> submit_many(std::vector<model::Instance> instances);
+
+  /// Non-blocking: the result if the ticket has completed (retiring it),
+  /// nullopt while it is still pending, and a kUnknownTicket error result
+  /// for a ticket never issued or already consumed.
+  std::optional<ServiceResult> try_get(Ticket ticket);
+
+  /// Blocks until the ticket completes and returns its result (retiring
+  /// it). While waiting the calling thread helps execute queued pool work
+  /// (ThreadPool::try_run_pending_task) instead of sleeping.
+  ServiceResult wait(Ticket ticket);
+
+  /// Blocks until every ticket submitted BEFORE this call has produced its
+  /// result (the results stay claimable afterwards); submissions racing in
+  /// from other threads are not waited for, so a drain under continuous
+  /// traffic still returns. Also helps execute.
+  void drain();
+
+  ServiceStats stats() const;
+  std::size_t num_workers() const { return pool_.size(); }
+
+ private:
+  struct Job {
+    Ticket ticket = 0;
+    model::Instance instance;
+    SchedulerOptions options;
+  };
+  struct Group {
+    std::deque<Job> pending;
+    std::size_t runners = 0;
+  };
+
+  std::size_t runner_cap() const;
+  /// Pre-admission validation -> typed Status (ok = admit).
+  Status admission_status(const model::Instance& instance) const;
+  /// Requires mutex_ held: dispatches one more runner for `group` when its
+  /// backlog warrants it and the cap allows.
+  void maybe_dispatch(std::uint64_t key, Group& group);
+  /// Runner body: drains `key`'s queue in sub-slices until it is empty.
+  void run_group(std::uint64_t key);
+  ServiceResult run_job(Job& job, std::uint64_t key);
+  void complete(Ticket ticket, ServiceResult result);
+
+  ServiceOptions options_;
+  WarmStartCache cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  Ticket next_ticket_ = 1;
+  std::unordered_map<std::uint64_t, Group> groups_;   ///< only groups with work
+  std::unordered_set<std::uint64_t> groups_seen_;
+  std::unordered_set<Ticket> inflight_;
+  std::unordered_map<Ticket, ServiceResult> done_;
+  std::size_t submitted_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t failed_ = 0;
+  std::size_t steals_ = 0;
+
+  /// Last member: destroyed (joined) first, while the state above is alive.
+  support::ThreadPool pool_;
+};
+
+}  // namespace malsched::core

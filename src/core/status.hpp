@@ -1,0 +1,77 @@
+// Typed error channel of the scheduling service.
+//
+// The library's deep layers keep their always-on asserts (a violated
+// invariant inside the simplex or the LIST scheduler is a bug, not an
+// input), but everything a *caller* can get wrong — submitting a cyclic or
+// zero-work instance, a task table that violates the paper's assumptions,
+// an LP that fails numerically — must come back as data, not as an abort:
+// a service admitting work from many clients cannot let one bad submission
+// take the process down. SchedulerService carries a Status in every
+// ServiceResult; StatusCode is the stable, switch-friendly part and the
+// message the human-readable detail.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace malsched::core {
+
+enum class StatusCode {
+  kOk,
+  kInvalidInstance,      ///< check_instance failed (cyclic DAG, no tasks, ...)
+  kAssumptionViolation,  ///< a task table breaks Assumption 1 or 2
+  kLpFailure,            ///< Phase-1 LP did not solve to optimality
+  kUnknownTicket,        ///< ticket never issued or its result already taken
+  kInternalError,        ///< unexpected exception inside the pipeline
+};
+
+inline const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidInstance: return "invalid-instance";
+    case StatusCode::kAssumptionViolation: return "assumption-violation";
+    case StatusCode::kLpFailure: return "lp-failure";
+    case StatusCode::kUnknownTicket: return "unknown-ticket";
+    case StatusCode::kInternalError: return "internal-error";
+  }
+  return "unknown";
+}
+
+class Status {
+ public:
+  Status() = default;  ///< ok — a default-constructed Status carries kOk
+
+  static Status error(StatusCode code, std::string message) {
+    Status s;
+    s.code_ = code;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  std::string to_string() const {
+    if (ok()) return "ok";
+    return std::string(core::to_string(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Thrown by Phase-1 solves when an LP that should be feasible by
+/// construction fails numerically (previously a process abort).
+/// SchedulerService converts it into StatusCode::kLpFailure on the ticket;
+/// direct solve_allotment_lp callers see a catchable exception instead of a
+/// dead process.
+class SolverError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace malsched::core

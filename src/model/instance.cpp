@@ -1,14 +1,43 @@
 #include "model/instance.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstring>
 
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "model/speedup.hpp"
+#include "model/work_function.hpp"
 #include "support/assert.hpp"
 
 namespace malsched::model {
+
+namespace {
+
+/// Cheap checksum of the task tables: detects in-place mutation of `tasks`
+/// (FNV-1a over sizes and double bit patterns, allocation-free).
+std::uint64_t task_table_token(const std::vector<MalleableTask>& tasks) {
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= kPrime;
+  };
+  mix(tasks.size());
+  for (const MalleableTask& task : tasks) {
+    mix(task.table().size());
+    for (const double t : task.table()) {
+      std::uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(t), "double must be 64-bit");
+      std::memcpy(&bits, &t, sizeof(bits));
+      mix(bits);
+    }
+  }
+  return h;
+}
+
+}  // namespace
 
 double Instance::min_total_work() const {
   double total = 0.0;
@@ -28,6 +57,25 @@ double Instance::trivial_lower_bound() const {
   return std::max(min_critical_path(), min_total_work() / m);
 }
 
+std::shared_ptr<const std::vector<int>> Instance::piece_counts() const {
+  const std::uint64_t token = task_table_token(tasks);
+  std::shared_ptr<const PieceCountMemo> memo = std::atomic_load(&piece_count_memo_);
+  if (memo == nullptr || memo->token != token) {
+    auto fresh = std::make_shared<PieceCountMemo>();
+    fresh->token = token;
+    fresh->counts.reserve(tasks.size());
+    for (const MalleableTask& task : tasks) {
+      fresh->counts.push_back(WorkFunction::count_pieces(task));
+    }
+    memo = fresh;
+    // Concurrent first calls may both compute; last store wins with
+    // identical content, and every caller holds its own snapshot.
+    std::atomic_store(&piece_count_memo_,
+                      std::shared_ptr<const PieceCountMemo>(memo));
+  }
+  return std::shared_ptr<const std::vector<int>>(memo, &memo->counts);
+}
+
 Instance make_instance(graph::Dag dag, int m,
                        const std::function<MalleableTask(int, int)>& factory) {
   Instance instance;
@@ -40,13 +88,53 @@ Instance make_instance(graph::Dag dag, int m,
   return instance;
 }
 
-void validate_instance(const Instance& instance) {
-  MALSCHED_ASSERT(instance.m >= 1);
-  MALSCHED_ASSERT(static_cast<int>(instance.tasks.size()) == instance.dag.num_nodes());
-  MALSCHED_ASSERT_MSG(graph::is_acyclic(instance.dag), "precedence graph has a cycle");
-  for (const auto& task : instance.tasks) {
-    MALSCHED_ASSERT(task.max_processors() == instance.m);
+const char* to_string(InstanceDefect defect) {
+  switch (defect) {
+    case InstanceDefect::kNone: return "none";
+    case InstanceDefect::kBadProcessorCount: return "bad-processor-count";
+    case InstanceDefect::kNoTasks: return "no-tasks";
+    case InstanceDefect::kTaskCountMismatch: return "task-count-mismatch";
+    case InstanceDefect::kCyclicDag: return "cyclic-dag";
+    case InstanceDefect::kTaskTableMismatch: return "task-table-mismatch";
   }
+  return "unknown";
+}
+
+InstanceCheck check_instance(const Instance& instance) {
+  const auto fail = [](InstanceDefect defect, std::string detail) {
+    return InstanceCheck{defect, std::move(detail)};
+  };
+  if (instance.m < 1) {
+    return fail(InstanceDefect::kBadProcessorCount,
+                "processor count m = " + std::to_string(instance.m) + " < 1");
+  }
+  if (instance.tasks.empty()) {
+    return fail(InstanceDefect::kNoTasks,
+                "instance has no tasks (zero work, no schedule to certify)");
+  }
+  if (static_cast<int>(instance.tasks.size()) != instance.dag.num_nodes()) {
+    return fail(InstanceDefect::kTaskCountMismatch,
+                std::to_string(instance.tasks.size()) + " tasks for " +
+                    std::to_string(instance.dag.num_nodes()) + " DAG nodes");
+  }
+  if (!graph::is_acyclic(instance.dag)) {
+    return fail(InstanceDefect::kCyclicDag, "precedence graph has a cycle");
+  }
+  for (std::size_t j = 0; j < instance.tasks.size(); ++j) {
+    if (instance.tasks[j].max_processors() != instance.m) {
+      return fail(InstanceDefect::kTaskTableMismatch,
+                  "task " + std::to_string(j) + " has a table for " +
+                      std::to_string(instance.tasks[j].max_processors()) +
+                      " processors, instance has m = " +
+                      std::to_string(instance.m));
+    }
+  }
+  return {};
+}
+
+void validate_instance(const Instance& instance) {
+  const InstanceCheck check = check_instance(instance);
+  MALSCHED_ASSERT_MSG(static_cast<bool>(check), check.detail.c_str());
 }
 
 const char* to_string(DagFamily family) {

@@ -2,7 +2,9 @@
 // processor count m, plus the instance factories used by tests and benches.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,14 +33,58 @@ struct Instance {
   /// max{min_critical_path, min_total_work / m} — a crude combinatorial
   /// lower bound on OPT, weaker than the LP bound but solver-free.
   double trivial_lower_bound() const;
+
+  /// Per-task work-envelope piece counts (WorkFunction::count_pieces),
+  /// memoized: LP fingerprinting and cross-stride row mapping only need the
+  /// counts, and rebuilding a WorkFunction per task costs O(n m) allocations
+  /// per call. The memo is keyed by a checksum of the task tables, so
+  /// mutating `tasks` in place transparently recomputes it, and it is
+  /// published through an atomic shared_ptr so concurrent readers (sweeps
+  /// re-solving one instance across threads) are safe. Result is indexed by
+  /// task id and shares ownership with the memo.
+  std::shared_ptr<const std::vector<int>> piece_counts() const;
+
+ private:
+  struct PieceCountMemo {
+    std::uint64_t token = 0;  ///< checksum of the task tables it was built from
+    std::vector<int> counts;
+  };
+  mutable std::shared_ptr<const PieceCountMemo> piece_count_memo_;
 };
+
+// ---- Validation ----------------------------------------------------------
+
+/// What check_instance found wrong (kNone = valid).
+enum class InstanceDefect {
+  kNone,
+  kBadProcessorCount,  ///< m < 1
+  kNoTasks,            ///< zero tasks: no work to schedule, C* would be 0
+  kTaskCountMismatch,  ///< tasks.size() != dag.num_nodes()
+  kCyclicDag,          ///< precedence graph has a cycle
+  kTaskTableMismatch,  ///< some task's table is not sized m
+};
+
+const char* to_string(InstanceDefect defect);
+
+struct InstanceCheck {
+  InstanceDefect defect = InstanceDefect::kNone;
+  std::string detail;  ///< human-readable description of the first defect
+
+  explicit operator bool() const { return defect == InstanceDefect::kNone; }
+};
+
+/// Non-aborting structural validation: returns the first defect found
+/// (acyclicity, task/node count, table sizes, positive m, at least one
+/// task). SchedulerService turns this into a typed Status at admission;
+/// validate_instance below is the asserting wrapper for direct library use.
+InstanceCheck check_instance(const Instance& instance);
 
 /// Builds an instance from a DAG, calling `factory(node, m)` per node.
 Instance make_instance(graph::Dag dag, int m,
                        const std::function<MalleableTask(int, int)>& factory);
 
-/// Asserts structural sanity: acyclic, one task per node, each task table
-/// sized m, positive times.
+/// Asserts check_instance passes: acyclic, one task per node, each task
+/// table sized m (task construction already guarantees positive times).
 void validate_instance(const Instance& instance);
 
 // ---- Named instance suite for experiments --------------------------------

@@ -6,21 +6,30 @@
 
 namespace malsched::model {
 
+namespace {
+
+/// Relative width below which an interval [p(l+1), p(l)] is treated as a
+/// plateau: the affine piece would be numerically vertical, and the
+/// breakpoints on either side determine the envelope there anyway. Shared
+/// by the constructor and count_pieces so the two can never disagree.
+bool is_plateau(const MalleableTask& task, int l) {
+  const double width_tol = 1e-9 * task.processing_time(1);
+  return task.processing_time(l) - task.processing_time(l + 1) < width_tol;
+}
+
+}  // namespace
+
 WorkFunction::WorkFunction(const MalleableTask& task) {
   const int m = task.max_processors();
   min_time_ = task.processing_time(m);
   max_time_ = task.processing_time(1);
   min_work_ = task.work(1);
 
-  // Relative width below which an interval [p(l+1), p(l)] is treated as a
-  // plateau: the affine piece would be numerically vertical, and the
-  // breakpoints on either side determine the envelope there anyway.
-  const double width_tol = 1e-9 * max_time_;
   for (int l = 1; l < m; ++l) {
+    if (is_plateau(task, l)) continue;
     const double hi = task.processing_time(l);
     const double lo = task.processing_time(l + 1);
     const double width = lo - hi;  // note: lo = p(l+1) <= p(l) = hi, so <= 0
-    if (hi - lo < width_tol) continue;
     // Eq. (8): slope and intercept of the chord through
     // (p(l), W(l)) and (p(l+1), W(l+1)).
     const double slope = (task.work(l + 1) - task.work(l)) / width;
@@ -43,6 +52,14 @@ double WorkFunction::fractional_processors(double x) const {
   MALSCHED_ASSERT(x > 0.0);
   const double xc = std::clamp(x, min_time_, max_time_);
   return value(xc) / xc;
+}
+
+int WorkFunction::count_pieces(const MalleableTask& task) {
+  int count = 0;
+  for (int l = 1; l < task.max_processors(); ++l) {
+    if (!is_plateau(task, l)) ++count;
+  }
+  return count;
 }
 
 }  // namespace malsched::model

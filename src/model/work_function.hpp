@@ -36,6 +36,11 @@ class WorkFunction {
   /// Affine pieces (eq. 8); empty when m == 1 or all breakpoints coincide.
   const std::vector<WorkPiece>& pieces() const { return pieces_; }
 
+  /// pieces().size() without constructing a WorkFunction (allocation-free;
+  /// same plateau rule as the constructor). Instance::piece_counts memoizes
+  /// this for LP fingerprinting and row mapping.
+  static int count_pieces(const MalleableTask& task);
+
   double min_time() const { return min_time_; }  ///< p(m)
   double max_time() const { return max_time_; }  ///< p(1)
   double min_work() const { return min_work_; }  ///< W at the lower envelope start

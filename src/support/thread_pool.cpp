@@ -41,6 +41,18 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   return future;
 }
 
+bool ThreadPool::try_run_pending_task() {
+  std::packaged_task<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop();
+  }
+  task();  // packaged_task routes exceptions into the future
+  return true;
+}
+
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& body) {
   if (begin >= end) return;

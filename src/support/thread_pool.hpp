@@ -38,6 +38,15 @@ class ThreadPool {
   /// propagates exceptions.
   std::future<void> submit(std::function<void()> task);
 
+  /// Task handoff: pops one queued task (if any) and runs it on the CALLING
+  /// thread, returning whether one ran. Lets a thread that would otherwise
+  /// block on pool work help execute it instead — SchedulerService::wait and
+  /// ::drain use it so a caller stuck behind a deep queue steals work rather
+  /// than sleeping, which also keeps a single-worker pool live-locked-free
+  /// when the waiter is the only idle thread. Exceptions propagate through
+  /// the task's future exactly as if a worker had run it.
+  bool try_run_pending_task();
+
   /// Run body(i) for i in [begin, end), partitioned into contiguous chunks.
   /// Blocks until every iteration has finished. Exceptions from the body are
   /// rethrown (the first one encountered).

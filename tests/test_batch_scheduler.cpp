@@ -60,9 +60,10 @@ TEST(BatchScheduler, MatchesSequentialDriverBitForBit) {
 }
 
 TEST(BatchScheduler, DefaultPipelineCertifiesSameBoundsWithReuse) {
-  // The full batch pipeline (kAuto + refinement + per-worker caches) must
-  // certify the same C* bounds as the cold default pipeline (to bisection
-  // tolerance), produce feasible schedules, and actually reuse bases.
+  // The full batch pipeline (kAuto + refinement + the service's shared
+  // cache) must certify the same C* bounds as the cold default pipeline (to
+  // bisection tolerance), produce feasible schedules, and actually reuse
+  // bases.
   const std::vector<model::Instance> batch = make_service_batch(3, 8);
   core::BatchScheduler scheduler;
   const core::BatchResult result = scheduler.schedule_all(batch);
@@ -80,7 +81,7 @@ TEST(BatchScheduler, DefaultPipelineCertifiesSameBoundsWithReuse) {
   }
   const core::BatchStats& stats = result.stats;
   EXPECT_EQ(stats.groups, 2u);  // two DAG shapes
-  // With per-worker caches attached, kAuto routes everything to the direct
+  // With the shared cache attached, kAuto routes everything to the direct
   // LP: one warm-started solve per instance beats a probe chain each.
   EXPECT_EQ(stats.direct_solves, static_cast<int>(batch.size()));
   EXPECT_EQ(stats.bisection_solves, 0);
@@ -109,13 +110,33 @@ TEST(BatchScheduler, AutoRoutesByBracketWithoutCache) {
   }
 }
 
+TEST(BatchScheduler, CrossBatchReuseDeterministicAtAnyWorkerCount) {
+  // The old per-worker caches only guaranteed cross-batch reuse with one
+  // worker (a group could land on a worker that had never seen its
+  // structure). The service's shared cache closes that: with SEVERAL
+  // workers, every instance of the second batch must still warm-start.
+  const std::vector<model::Instance> batch = make_service_batch(2, 6);
+  core::BatchOptions options;
+  options.num_threads = 4;
+  core::BatchScheduler scheduler(options);
+  const core::BatchResult first = scheduler.schedule_all(batch);
+  const core::BatchResult second = scheduler.schedule_all(batch);
+  EXPECT_GE(second.stats.lp_warm_starts, static_cast<int>(batch.size()));
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_GT(second.results[i].fractional.lp_warm_starts, 0) << "instance " << i;
+    EXPECT_NEAR(second.results[i].fractional.lower_bound,
+                first.results[i].fractional.lower_bound,
+                2e-4 * std::max(1.0, first.results[i].fractional.lower_bound));
+  }
+}
+
 TEST(BatchScheduler, CachesPersistAcrossBatches) {
   // A second schedule_all over the same instances starts from the bases the
   // first one stored: every solve reports a warm start and the pivot total
   // drops.
   const std::vector<model::Instance> batch = make_service_batch(1, 6);
   core::BatchOptions options;
-  options.num_threads = 1;  // one worker = one cache, deterministic hits
+  options.num_threads = 1;
   core::BatchScheduler scheduler(options);
   const core::BatchResult first = scheduler.schedule_all(batch);
   const core::BatchResult second = scheduler.schedule_all(batch);

@@ -1,0 +1,287 @@
+// Tests for the streaming SchedulerService façade: submit/try_get/wait/drain
+// semantics, typed-error admission, concurrent submission, the bounded LRU
+// warm-start cache, and deterministic cross-batch reuse.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/scheduler_service.hpp"
+#include "graph/generators.hpp"
+#include "model/instance.hpp"
+#include "model/speedup.hpp"
+#include "model/work_function.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace malsched;
+
+model::Instance make_test_instance(std::uint64_t seed, int n, int m) {
+  support::Rng rng(seed);
+  return model::make_family_instance(model::DagFamily::kLayered,
+                                     model::TaskFamily::kPowerLaw, n, m, rng);
+}
+
+model::Instance make_cyclic_instance(int m) {
+  graph::Dag dag(2);
+  dag.add_edge(0, 1);
+  dag.add_edge(1, 0);
+  model::Instance instance;
+  instance.dag = dag;
+  instance.m = m;
+  support::Rng rng(1);
+  for (int j = 0; j < 2; ++j) {
+    instance.tasks.push_back(model::make_random_power_law_task(rng, 0.4, 0.8, m));
+  }
+  return instance;
+}
+
+TEST(SchedulerService, SubmitWaitMatchesSingleInstancePipeline) {
+  // With solver-state reuse off the service is the single-instance driver
+  // behind a queue: results must be bit-identical.
+  core::ServiceOptions options;
+  options.reuse_solver_state = false;
+  options.num_threads = 2;
+  core::SchedulerService service(options);
+  const model::Instance instance = make_test_instance(0x51, 24, 6);
+  const auto ticket = service.submit(instance);
+  const core::ServiceResult r = service.wait(ticket);
+  ASSERT_TRUE(r.status.ok()) << r.status.to_string();
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_NE(r.group, 0u);
+  const core::SchedulerResult single =
+      core::schedule_malleable_dag(instance, options.scheduler);
+  EXPECT_EQ(r.result.makespan, single.makespan);
+  EXPECT_EQ(r.result.fractional.lower_bound, single.fractional.lower_bound);
+  EXPECT_EQ(r.result.schedule.allotment, single.schedule.allotment);
+  EXPECT_EQ(r.result.schedule.start, single.schedule.start);
+}
+
+TEST(SchedulerService, DrainThenTryGetInSubmissionOrder) {
+  core::ServiceOptions options;
+  options.num_threads = 3;
+  core::SchedulerService service(options);
+  std::vector<model::Instance> instances;
+  for (int i = 0; i < 6; ++i) instances.push_back(make_test_instance(0x900 + i, 16, 4));
+  const std::vector<core::SchedulerService::Ticket> tickets =
+      service.submit_many(std::move(instances));
+  ASSERT_EQ(tickets.size(), 6u);
+  // Tickets are issued in submission order, strictly increasing.
+  for (std::size_t i = 1; i < tickets.size(); ++i) {
+    EXPECT_LT(tickets[i - 1], tickets[i]);
+  }
+  service.drain();
+  // After drain every ticket is claimable (in any order; here: submission
+  // order), and a second claim of the same ticket reports kUnknownTicket.
+  for (const auto ticket : tickets) {
+    const auto result = service.try_get(ticket);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_TRUE(result->status.ok()) << result->status.to_string();
+    const auto again = service.try_get(ticket);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->status.code(), core::StatusCode::kUnknownTicket);
+  }
+  const core::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 6u);
+  EXPECT_EQ(stats.completed, 6u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.pending, 0u);
+}
+
+TEST(SchedulerService, TypedErrorsForInvalidInstances) {
+  core::SchedulerService service;
+
+  // Cyclic precedence graph.
+  const auto cyclic_ticket = service.submit(make_cyclic_instance(4));
+  const core::ServiceResult cyclic = service.wait(cyclic_ticket);
+  EXPECT_EQ(cyclic.status.code(), core::StatusCode::kInvalidInstance);
+  EXPECT_NE(cyclic.status.message().find("cycl"), std::string::npos)
+      << cyclic.status.message();
+
+  // Zero work: an instance with no tasks at all.
+  model::Instance empty;
+  empty.m = 4;
+  const auto empty_ticket = service.submit(std::move(empty));
+  const core::ServiceResult zero = service.wait(empty_ticket);
+  EXPECT_EQ(zero.status.code(), core::StatusCode::kInvalidInstance);
+  EXPECT_NE(zero.status.message().find("no-tasks"), std::string::npos)
+      << zero.status.message();
+
+  // Task table sized for the wrong m.
+  model::Instance mismatched = make_test_instance(0x7AB, 8, 4);
+  mismatched.m = 6;
+  const auto mismatch_ticket = service.submit(std::move(mismatched));
+  const core::ServiceResult mismatch = service.wait(mismatch_ticket);
+  EXPECT_EQ(mismatch.status.code(), core::StatusCode::kInvalidInstance);
+
+  // A valid instance sails through the same (still healthy) service.
+  const auto ok_ticket = service.submit(make_test_instance(0x0C, 12, 4));
+  const core::ServiceResult ok = service.wait(ok_ticket);
+  EXPECT_TRUE(ok.status.ok()) << ok.status.to_string();
+  const core::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.failed, 3u);
+  EXPECT_EQ(stats.completed, 4u);
+}
+
+TEST(SchedulerService, AssumptionViolationIsTypedWhenEnforced) {
+  // Superlinear speedup (4 -> 2 -> 1 on 1..3 processors) breaks Assumption
+  // 2's concavity; only enforce_assumptions rejects it — the default
+  // service schedules it best-effort, outside the paper's guarantee.
+  model::Instance instance;
+  instance.dag = graph::Dag(1);
+  instance.m = 3;
+  instance.tasks.push_back(model::MalleableTask({4.0, 2.0, 1.0}));
+
+  core::ServiceOptions strict;
+  strict.enforce_assumptions = true;
+  core::SchedulerService strict_service(strict);
+  const core::ServiceResult rejected =
+      strict_service.wait(strict_service.submit(instance));
+  EXPECT_EQ(rejected.status.code(), core::StatusCode::kAssumptionViolation);
+
+  core::SchedulerService lenient;
+  const core::ServiceResult accepted = lenient.wait(lenient.submit(instance));
+  EXPECT_TRUE(accepted.status.ok()) << accepted.status.to_string();
+}
+
+TEST(SchedulerService, UnknownTicketIsTyped) {
+  core::SchedulerService service;
+  const auto never_issued = service.try_get(12345);
+  ASSERT_TRUE(never_issued.has_value());
+  EXPECT_EQ(never_issued->status.code(), core::StatusCode::kUnknownTicket);
+  const core::ServiceResult waited = service.wait(777);
+  EXPECT_EQ(waited.status.code(), core::StatusCode::kUnknownTicket);
+}
+
+TEST(SchedulerService, ConcurrentSubmitFromManyThreads) {
+  // Four producer threads stream instances into one service; every ticket
+  // must complete with a feasible schedule and the right aggregate counts.
+  core::ServiceOptions options;
+  options.num_threads = 2;
+  core::SchedulerService service(options);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 3;
+  std::vector<std::vector<core::SchedulerService::Ticket>> tickets(kThreads);
+  std::vector<std::vector<model::Instance>> submitted(kThreads);
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        model::Instance instance =
+            make_test_instance(0xC0FFEE + t * 97 + i, 14, 4);
+        submitted[static_cast<std::size_t>(t)].push_back(instance);
+        tickets[static_cast<std::size_t>(t)].push_back(
+            service.submit(std::move(instance)));
+      }
+    });
+  }
+  for (std::thread& p : producers) p.join();
+  service.drain();
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      const auto result =
+          service.try_get(tickets[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)]);
+      ASSERT_TRUE(result.has_value());
+      ASSERT_TRUE(result->status.ok()) << result->status.to_string();
+      const auto feasibility = core::check_schedule(
+          submitted[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)],
+          result->result.schedule);
+      EXPECT_TRUE(feasibility.feasible) << "thread " << t << " item " << i;
+    }
+  }
+  const core::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.completed, stats.submitted);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(SchedulerService, OversizedGroupIsStolenAcrossWorkers) {
+  // One structure group much larger than steal_slice: with several workers
+  // the dispatcher must hand sub-slices to more than one runner.
+  core::ServiceOptions options;
+  options.num_threads = 4;
+  options.steal_slice = 1;
+  core::SchedulerService service(options);
+  const graph::Dag dag = make_test_instance(0xD06, 24, 4).dag;
+  std::vector<model::Instance> group;
+  for (int rev = 0; rev < 12; ++rev) {
+    support::Rng rng(0x600D + rev);
+    group.push_back(model::make_instance(dag, 4, [&](int, int procs) {
+      return model::make_random_power_law_task(rng, 0.4, 0.8, procs);
+    }));
+  }
+  const auto tickets = service.submit_many(std::move(group));
+  service.drain();
+  for (const auto ticket : tickets) {
+    const auto result = service.try_get(ticket);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_TRUE(result->status.ok()) << result->status.to_string();
+  }
+  const core::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.groups_seen, 1u);
+  EXPECT_GT(stats.steals, 0u);
+}
+
+TEST(WarmStartCacheLru, EvictionBoundRespected) {
+  core::WarmStartCache cache(2);
+  lp::SimplexBasis basis;
+  basis.status = {1, 2, 3};
+  cache.put(10, basis);
+  cache.put(20, basis);
+  EXPECT_EQ(cache.size(), 2u);
+  // Touch 10 so 20 becomes the LRU entry, then overflow.
+  EXPECT_FALSE(cache.take(10).empty());
+  cache.put(30, basis);
+  EXPECT_EQ(cache.size(), 2u);
+  const core::WarmStartCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_TRUE(cache.take(20).empty());   // evicted
+  EXPECT_FALSE(cache.take(10).empty());  // kept (recently used)
+  EXPECT_FALSE(cache.take(30).empty());  // kept (newest)
+  // Re-putting an existing key refreshes, never grows past capacity.
+  cache.put(30, basis);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SchedulerService, CacheBoundHoldsUnderManyStructures) {
+  // More LP structures than cache capacity: the shared cache must stay at
+  // its bound and report evictions instead of growing without limit.
+  core::ServiceOptions options;
+  options.num_threads = 1;
+  options.cache_capacity = 2;
+  core::SchedulerService service(options);
+  for (int s = 0; s < 5; ++s) {
+    // Different n => different LP structure => distinct group per submit.
+    service.wait(service.submit(make_test_instance(0xABC + s, 10 + 3 * s, 4)));
+  }
+  const core::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.groups_seen, 5u);
+  EXPECT_LE(stats.cache_entries, 2u);
+  EXPECT_GT(stats.cache.evictions, 0);
+}
+
+TEST(Instance, PieceCountsMemoizedAndMutationSafe) {
+  model::Instance instance = make_test_instance(0x9E6, 12, 6);
+  const auto counts = instance.piece_counts();
+  ASSERT_EQ(counts->size(), static_cast<std::size_t>(instance.num_tasks()));
+  for (int j = 0; j < instance.num_tasks(); ++j) {
+    EXPECT_EQ((*counts)[static_cast<std::size_t>(j)],
+              static_cast<int>(
+                  model::WorkFunction(instance.task(j)).pieces().size()));
+  }
+  // Repeat call returns the same memo (same underlying vector).
+  EXPECT_EQ(instance.piece_counts().get(), counts.get());
+  // In-place mutation of the task tables is detected and recomputed.
+  instance.tasks[0] = model::MalleableTask(std::vector<double>(6, 1.0));
+  const auto after = instance.piece_counts();
+  EXPECT_NE(after.get(), counts.get());
+  EXPECT_EQ((*after)[0], model::WorkFunction::count_pieces(instance.task(0)));
+  EXPECT_EQ((*after)[0], 0);  // constant table: every interval is a plateau
+}
+
+}  // namespace
