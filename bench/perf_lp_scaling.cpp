@@ -3,11 +3,16 @@
 //
 // Workloads are bisection-mode allotment solves (one deadline-probe LP per
 // bisection step) on layered, series-parallel and random DAGs at
-// n in {100, 500, 2000}, m = 4. The layered family is deliberately narrow
-// and deep (width 4) so the critical-path bound and the utilization bound
-// genuinely compete and the bisection performs a real search; the wide
-// families the paper's tables use degenerate to a single probe at this
-// scale because W/m dominates both ends of the bracket.
+// n in {100, 500, 2000} plus large-n rows at n in {10000, 20000} for the
+// layered and random families, m = 4. The layered family is deliberately
+// narrow and deep (width 4) so the critical-path bound and the utilization
+// bound genuinely compete and the bisection performs a real search; the
+// wide families the paper's tables use degenerate to a single probe at this
+// scale because W/m dominates both ends of the bracket — and since PR 4
+// that single upper probe is solved in closed form (no LP at all), so those
+// rows now measure the analytic fast path. Real bisections solve the first
+// probe dually from the closed-form upper-probe basis and every later probe
+// by dual re-optimization from its predecessor.
 //
 // Two solver configurations run on identical instances:
 //   sparse_warm: sparse-LU basis engine, candidate-list partial pricing,
@@ -19,12 +24,15 @@
 // recorded as skipped beyond that; its O(rows^2) per-iteration cost is the
 // point of the exercise.
 //
-// Output: BENCH_lp.json (or --out <path>) with wall times, pivot counts,
-// warm-start hit rates and the layered-n=500 speedup headline. --skip-dense
-// drops the baseline runs (for quick CI sweeps).
+// Output: BENCH_lp.json (or --out <path>) with wall times (instance
+// generation timed separately per row), pivot counts, warm-start hit rates
+// and the layered-n=500 speedup headline. --skip-dense drops the baseline
+// runs and --max-n <n> skips workloads larger than n (CI smoke uses
+// --skip-dense --max-n 10000).
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -100,14 +108,20 @@ void emit_config(std::FILE* f, const char* name, const RunResult& r, bool last) 
 
 int main(int argc, char** argv) {
   bool skip_dense = false;
+  int max_n = 20000;
   std::string out_path = "BENCH_lp.json";
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--skip-dense") == 0) skip_dense = true;
     if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) out_path = argv[++a];
+    if (std::strcmp(argv[a], "--max-n") == 0 && a + 1 < argc) max_n = std::atoi(argv[++a]);
   }
 
   const std::vector<std::string> families = {"layered", "series-parallel", "random"};
-  const std::vector<int> sizes = {100, 500, 2000};
+  // The large-n rows exist for layered (a real 13-probe bisection) and
+  // random (degenerate bracket: measures generation + the closed-form
+  // probe); the series-parallel generator's recursion makes node counts
+  // approximate, so it keeps the original sizes.
+  const std::vector<int> sizes = {100, 500, 2000, 10000, 20000};
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -123,10 +137,14 @@ int main(int argc, char** argv) {
   bool first_entry = true;
   for (const std::string& family : families) {
     for (const int n : sizes) {
+      if (n > max_n) continue;
+      if (family == "series-parallel" && n > 2000) continue;
       const std::uint64_t seed =
           0xBE5C11ULL ^ (static_cast<std::uint64_t>(n) * 1315423911ULL) ^
           std::hash<std::string>{}(family);
+      support::Stopwatch gen_watch;
       const model::Instance instance = make_workload(family, n, seed);
+      const double gen_seconds = gen_watch.seconds();
 
       std::fprintf(stderr, "[%s n=%d] sparse_warm...\n", family.c_str(),
                    instance.num_tasks());
@@ -157,8 +175,10 @@ int main(int argc, char** argv) {
 
       if (!first_entry) std::fprintf(f, ",\n");
       first_entry = false;
-      std::fprintf(f, "    {\"family\": \"%s\", \"n\": %d, \"configs\": [\n",
-                   family.c_str(), instance.num_tasks());
+      std::fprintf(f,
+                   "    {\"family\": \"%s\", \"n\": %d, \"gen_seconds\": %.6f, "
+                   "\"configs\": [\n",
+                   family.c_str(), instance.num_tasks(), gen_seconds);
       emit_config(f, "sparse_warm", sparse, /*last=*/!run_dense);
       if (run_dense) emit_config(f, "dense_cold", dense, /*last=*/true);
       std::fprintf(f, "    ]%s}", run_dense ? "" : ", \"dense_cold\": \"skipped\"");

@@ -102,11 +102,15 @@ std::uint64_t WarmStartCache::fingerprint(const model::Instance& instance,
   mix(static_cast<std::uint64_t>(instance.num_tasks()));
   mix(static_cast<std::uint64_t>(probe ? 1 : std::max(1, piece_stride)));
   // Memoized piece counts: fingerprinting runs on every admission/solve and
-  // only needs the counts, not the pieces themselves.
+  // only needs the counts, not the pieces themselves. Precedence rows are
+  // emitted for the transitively REDUCED arc set (see build_allotment_lp),
+  // so the fingerprint hashes the same reduced lists — a cached basis must
+  // describe the rows the builder will actually emit.
   const auto counts = instance.piece_counts();
+  const auto preds = instance.reduced_predecessors();
   for (int j = 0; j < instance.num_tasks(); ++j) {
     mix(0xFEEDull);
-    for (graph::NodeId i : instance.dag.predecessors(j)) {
+    for (graph::NodeId i : (*preds)[static_cast<std::size_t>(j)]) {
       mix(static_cast<std::uint64_t>(i) + 1);
     }
     const auto pieces = static_cast<std::size_t>((*counts)[static_cast<std::size_t>(j)]);
@@ -185,17 +189,24 @@ lp::Model build_allotment_lp(const model::Instance& instance, int piece_stride) 
   MALSCHED_ASSERT(length_var == vars.length(n) && makespan_var == vars.makespan(n));
 
   // NOTE: map_direct_rows() below mirrors this exact row-emission order
-  // (per task: max(1, preds) precedence rows, sink row if any, kept piece
-  // rows; then L <= C and the load row). Any reordering or pruning here
-  // must be reflected there, or cross-stride basis remapping silently
+  // (per task: max(1, reduced preds) precedence rows, sink row if any, kept
+  // piece rows; then L <= C and the load row). Any reordering or pruning
+  // here must be reflected there, or cross-stride basis remapping silently
   // degrades.
+  //
+  // Precedence rows use the transitively REDUCED arc set: a redundant arc
+  // (i, j) is implied through any intermediate chain (every x is bounded
+  // below by p(m) > 0), so dropping its row leaves the feasible region
+  // identical while cutting the row count substantially on dense DAGs.
+  const auto reduced_preds = instance.reduced_predecessors();
   for (int j = 0; j < n; ++j) {
     // Precedence: C_i + x_j <= C_j; sources get x_j <= C_j.
-    if (instance.dag.predecessors(j).empty()) {
+    const auto& preds = (*reduced_preds)[static_cast<std::size_t>(j)];
+    if (preds.empty()) {
       model.add_constraint({{vars.x(j), 1.0}, {vars.completion(j), -1.0}},
                            lp::Sense::kLessEqual, 0.0);
     } else {
-      for (graph::NodeId i : instance.dag.predecessors(j)) {
+      for (graph::NodeId i : preds) {
         model.add_constraint({{vars.completion(i), 1.0},
                               {vars.x(j), 1.0},
                               {vars.completion(j), -1.0}},
@@ -239,8 +250,9 @@ std::vector<int> map_direct_rows(const model::Instance& instance, int coarse,
   std::vector<int> map;
   int fine_row = 0;
   const auto counts = instance.piece_counts();  // memoized, no WorkFunction
+  const auto reduced_preds = instance.reduced_predecessors();
   for (int j = 0; j < instance.num_tasks(); ++j) {
-    const std::size_t preds = instance.dag.predecessors(j).size();
+    const std::size_t preds = (*reduced_preds)[static_cast<std::size_t>(j)].size();
     const std::size_t shared = std::max<std::size_t>(1, preds) +
                                (instance.dag.successors(j).empty() ? 1 : 0);
     for (std::size_t k = 0; k < shared; ++k) map.push_back(fine_row++);
@@ -293,7 +305,11 @@ FractionalAllotment extract_solution(const model::Instance& instance,
 
 /// Deadline-probe LP for the binary-search mode: minimize total work subject
 /// to the critical path meeting the deadline T. Same per-task variable
-/// layout as LP (9) but no L / C variables.
+/// layout as LP (9) but no L / C variables. Built ONCE per bisection — the
+/// deadline only appears in the completion-variable upper bounds, so probes
+/// update those in place (Model::set_variable_bounds) instead of rebuilding
+/// the model and its WorkFunction tables per probe. Precedence rows use the
+/// reduced arc set, mirroring build_allotment_lp.
 lp::Model build_probe_lp(const model::Instance& instance, double deadline) {
   const int n = instance.num_tasks();
   lp::Model model;
@@ -304,12 +320,14 @@ lp::Model build_probe_lp(const model::Instance& instance, double deadline) {
     model.add_variable(0.0, deadline, 0.0);
     model.add_variable(task.work(1), lp::kInfinity, 1.0);  // objective: total work
   }
+  const auto reduced_preds = instance.reduced_predecessors();
   for (int j = 0; j < n; ++j) {
-    if (instance.dag.predecessors(j).empty()) {
+    const auto& preds = (*reduced_preds)[static_cast<std::size_t>(j)];
+    if (preds.empty()) {
       model.add_constraint({{vars.x(j), 1.0}, {vars.completion(j), -1.0}},
                            lp::Sense::kLessEqual, 0.0);
     } else {
-      for (graph::NodeId i : instance.dag.predecessors(j)) {
+      for (graph::NodeId i : preds) {
         model.add_constraint({{vars.completion(i), 1.0},
                               {vars.x(j), 1.0},
                               {vars.completion(j), -1.0}},
@@ -325,57 +343,184 @@ lp::Model build_probe_lp(const model::Instance& instance, double deadline) {
   return model;
 }
 
+/// Closed form of the upper-bracket probe. At deadline hi =
+/// max(longest_path(p(1)), W_min/m) the work-minimizing point runs every
+/// task sequentially: x_j = p_j(1) puts every w_j at its absolute lower
+/// bound W_j(1), completions follow the longest-path schedule under p(1)
+/// weights (<= hi by construction of hi), and the feasibility test
+/// objective <= m * hi is exactly W_min <= m * hi, true by construction.
+/// So the probe needs no LP at all — which turns the whole bisection into
+/// O(n + edges) when the bracket is already within tolerance (wide flat
+/// DAGs, where W/m dominates both ends).
+lp::Solution analytic_hi_solution(const model::Instance& instance) {
+  const int n = instance.num_tasks();
+  VarLayout vars;
+  lp::Solution out;
+  out.status = lp::SolveStatus::kOptimal;
+  out.x.assign(static_cast<std::size_t>(3 * n), 0.0);
+  std::vector<double> p1(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    p1[static_cast<std::size_t>(j)] = instance.task(j).processing_time(1);
+  }
+  const std::vector<double> completion = graph::longest_path_to(instance.dag, p1);
+  double objective = 0.0;
+  for (int j = 0; j < n; ++j) {
+    const auto ju = static_cast<std::size_t>(j);
+    out.x[static_cast<std::size_t>(vars.x(j))] = p1[ju];
+    out.x[static_cast<std::size_t>(vars.completion(j))] = completion[ju];
+    out.x[static_cast<std::size_t>(vars.work(j))] = instance.task(j).work(1);
+    objective += instance.task(j).work(1);
+  }
+  out.objective = objective;
+  return out;
+}
+
+/// Optimal BASIS of the upper-bracket probe, matching analytic_hi_solution:
+/// x_j nonbasic at upper, w_j nonbasic at lower, C_j basic, and per task the
+/// slack of its *defining* precedence row (the critical-predecessor row of
+/// the longest-path DP, which holds with equality) nonbasic at lower; every
+/// other row keeps a basic slack. Permuting each C_j onto its defining row
+/// makes the basis matrix triangular in topological order, so it is
+/// nonsingular; all basic columns have zero cost, so it is dual feasible —
+/// exactly the start reoptimize_dual wants for the first real probe, which
+/// replaces the expensive cold Phase-I/II solve of the loose-deadline LP.
+lp::SimplexBasis analytic_hi_basis(const model::Instance& instance) {
+  const int n = instance.num_tasks();
+  VarLayout vars;
+  const auto reduced_preds = instance.reduced_predecessors();
+  const auto counts = instance.piece_counts();
+  // Longest-path DP over the REDUCED predecessor lists (same values as the
+  // full DAG: reduction preserves longest paths), tracking which predecessor
+  // attains the max — that row is tight at the analytic point.
+  const auto order = graph::topological_order(instance.dag);
+  MALSCHED_ASSERT(order.has_value());
+  std::vector<double> completion(static_cast<std::size_t>(n), 0.0);
+  std::vector<int> crit(static_cast<std::size_t>(n), -1);
+  for (const graph::NodeId v : *order) {
+    const auto vu = static_cast<std::size_t>(v);
+    const auto& preds = (*reduced_preds)[vu];
+    double best = 0.0;
+    int arg = -1;
+    for (std::size_t idx = 0; idx < preds.size(); ++idx) {
+      const double c = completion[static_cast<std::size_t>(preds[idx])];
+      if (c > best) {
+        best = c;
+        arg = static_cast<int>(idx);
+      }
+    }
+    completion[vu] = best + instance.task(v).processing_time(1);
+    crit[vu] = arg;
+  }
+
+  std::size_t num_rows = 0;
+  for (int j = 0; j < n; ++j) {
+    num_rows += std::max<std::size_t>(1, (*reduced_preds)[static_cast<std::size_t>(j)].size()) +
+                static_cast<std::size_t>((*counts)[static_cast<std::size_t>(j)]);
+  }
+  lp::SimplexBasis basis;
+  basis.assign(static_cast<std::size_t>(3 * n) + num_rows, lp::BasisStatus::kBasic);
+  std::size_t row = 0;
+  const auto slack = static_cast<std::size_t>(3 * n);
+  for (int j = 0; j < n; ++j) {
+    const auto ju = static_cast<std::size_t>(j);
+    basis.set(static_cast<std::size_t>(vars.x(j)), lp::BasisStatus::kAtUpper);
+    basis.set(static_cast<std::size_t>(vars.work(j)), lp::BasisStatus::kAtLower);
+    // completion(j) stays kBasic.
+    const std::size_t preds = (*reduced_preds)[ju].size();
+    const std::size_t defining = row + static_cast<std::size_t>(std::max(0, crit[ju]));
+    basis.set(slack + defining, lp::BasisStatus::kAtLower);
+    row += std::max<std::size_t>(1, preds);
+    row += static_cast<std::size_t>((*counts)[ju]);
+  }
+  return basis;
+}
+
 FractionalAllotment solve_by_bisection(const model::Instance& instance,
                                        const AllotmentLpOptions& options,
                                        const BisectionBracket& bracket) {
   const int m = instance.m;
+  const int n = instance.num_tasks();
   double hi = bracket.hi;
   double lo = bracket.lo;
   MALSCHED_ASSERT(lo <= hi + 1e-9);
+  VarLayout vars;
+
+  // Degenerate bracket: the loop below would not run, and the single upper
+  // probe admits a closed form (see analytic_hi_solution) — same bound
+  // (hi), same work-minimal allotment, zero LP pivots.
+  if (!(hi - lo > options.bisection_tolerance * std::max(1.0, hi))) {
+    FractionalAllotment out =
+        extract_solution(instance, analytic_hi_solution(instance), hi);
+    out.lp_solves = 1;  // one (closed-form) probe
+    out.lp_warm_starts = 0;
+    out.lp_iterations = 0;
+    out.resolved_mode = LpMode::kBinarySearch;
+    double length = 0.0;
+    for (double c : out.completion) length = std::max(length, c);
+    out.critical_path = length;
+    return out;
+  }
 
   lp::Solution best_solution;
   int solves = 0;
   int warm_hits = 0;
   long iterations = 0;
   // Consecutive probes differ only in the deadline (variable bounds), so the
-  // final basis of one probe is a near-optimal start for the next: carry it
-  // across solves instead of rebuilding feasibility from scratch each time.
-  // A WarmStartCache additionally seeds the *first* probe from an earlier
-  // run on the same LP structure and keeps the final basis for the next run.
+  // final basis of one probe is a near-optimal start for the next. The first
+  // probe solves primally (warm from an attached WarmStartCache when
+  // possible); every later probe re-optimizes DUALLY from the previous
+  // basis: bound changes keep the basis dual feasible, so the dual loop
+  // walks the violated completions back in a few pivots with no Phase-I
+  // restart. dual_reoptimize = false restores the PR-1 primal warm restarts.
   lp::SimplexBasis basis;
   std::uint64_t cache_key = 0;
   if (options.warm_cache != nullptr && options.warm_start) {
     cache_key = WarmStartCache::fingerprint(instance, LpMode::kBinarySearch, 1);
     basis = options.warm_cache->take(cache_key);
   }
-  // Ensure hi is actually feasible before bisecting (it is by construction,
-  // but the LP probe also has to succeed numerically).
-  auto probe = [&](double deadline, lp::Solution& out) {
-    const lp::Model model = build_probe_lp(instance, deadline);
-    out = lp::solve_simplex(model, options.simplex,
-                            options.warm_start ? &basis : nullptr);
+  // ONE model for the whole bisection; probes mutate the deadline bounds.
+  lp::Model model = build_probe_lp(instance, hi);
+  const auto set_deadline = [&](double deadline) {
+    for (int j = 0; j < n; ++j) {
+      model.set_variable_bounds(vars.completion(j), 0.0, deadline);
+    }
+  };
+  const auto probe = [&](double deadline, lp::Solution& out, bool allow_dual) {
+    set_deadline(deadline);
+    if (allow_dual && options.warm_start && options.dual_reoptimize &&
+        !basis.empty()) {
+      out = lp::reoptimize_dual(model, options.simplex, &basis);
+    } else {
+      out = lp::solve_simplex(model, options.simplex,
+                              options.warm_start ? &basis : nullptr);
+    }
     ++solves;
     warm_hits += out.warm_started ? 1 : 0;
     iterations += out.iterations;
     return out.status == lp::SolveStatus::kOptimal &&
            out.objective <= m * deadline * (1.0 + 1e-9);
   };
-  bool hi_feasible = probe(hi, best_solution);
-  if (!hi_feasible && !basis.empty()) {
-    // A stale cache-seeded basis must not fail the (feasible by
-    // construction) upper probe: retry it cold.
-    basis.clear();
-    hi_feasible = probe(hi, best_solution);
-  }
-  if (!hi_feasible) {
+  // The upper probe never needs an LP: its optimum is the all-sequential
+  // point (analytic_hi_solution) and its feasibility test is W_min <= m*hi,
+  // true by construction of hi. When no cache basis is available, the
+  // matching closed-form BASIS seeds the first real probe, which then
+  // re-optimizes dually instead of paying the historical cold Phase-I/II
+  // solve of the loose-deadline LP (the single biggest pivot sink of the
+  // PR-1 bisection).
+  best_solution = analytic_hi_solution(instance);
+  ++solves;
+  if (!(best_solution.objective <= m * hi * (1.0 + 1e-9))) {
     throw SolverError("upper deadline probe failed (LP feasible by construction)");
+  }
+  if (options.warm_start && basis.empty()) {
+    basis = analytic_hi_basis(instance);
   }
   double best_deadline = hi;
 
   while (hi - lo > options.bisection_tolerance * std::max(1.0, hi)) {
     const double mid = 0.5 * (lo + hi);
     lp::Solution probe_solution;
-    if (probe(mid, probe_solution)) {
+    if (probe(mid, probe_solution, /*allow_dual=*/true)) {
       hi = mid;
       best_solution = std::move(probe_solution);
       best_deadline = mid;
@@ -508,9 +653,14 @@ FractionalAllotment solve_allotment_lp(const model::Instance& instance,
     } else {
       bracket = compute_bisection_bracket(instance);
       have_bracket = true;
-      mode = bracket.relative_width() <= options.auto_bracket_threshold
-                 ? LpMode::kDirect
-                 : LpMode::kBinarySearch;
+      // Dual-reoptimized probes cost a fraction of the PR-1 primal
+      // restarts, so with dual_reoptimize on the bisection pays off on
+      // narrower brackets: halve the direct-LP threshold.
+      const double threshold = options.warm_start && options.dual_reoptimize
+                                   ? 0.5 * options.auto_bracket_threshold
+                                   : options.auto_bracket_threshold;
+      mode = bracket.relative_width() <= threshold ? LpMode::kDirect
+                                                   : LpMode::kBinarySearch;
     }
   }
   if (mode == LpMode::kBinarySearch) {

@@ -157,12 +157,23 @@ struct AllotmentLpOptions {
   /// every LP solves cold (the A/B baseline configuration), regardless of
   /// refine_stride or an attached warm_cache.
   bool warm_start = true;
+  /// Bisection probes after the first re-optimize with the DUAL simplex from
+  /// the previous optimal basis (lp::reoptimize_dual): a deadline change
+  /// only moves variable bounds, which leaves the basis dual feasible, so
+  /// the dual loop repairs the handful of bound violations directly instead
+  /// of a primal Phase-I restart. false restores the PR-1 primal warm
+  /// restarts (the A/B baseline; bounds are bit-identical either way, the
+  /// dual path just spends fewer pivots). Only meaningful with warm_start.
+  bool dual_reoptimize = true;
   /// kAuto picks kDirect when the combinatorial bracket's relative width
   /// (hi - lo) / hi is at most this threshold, else kBinarySearch (the
   /// ratio is unit-free by construction). An attached warm_cache overrides
   /// the rule toward kDirect: a cache signals a stream of related solves,
   /// where one warm-started direct LP per instance beats re-running a
-  /// probe chain each time.
+  /// probe chain each time. With dual_reoptimize on (the default) the
+  /// effective threshold is halved: dual-reoptimized probes cost a fraction
+  /// of the PR-1 primal restarts, so bisection wins on narrower brackets
+  /// than before — kAuto learns the new routing automatically.
   double auto_bracket_threshold = 0.25;
   /// Optional cross-run basis cache (not owned; may be shared across
   /// threads). When set, the solve seeds its first LP from the cache entry

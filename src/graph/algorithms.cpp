@@ -84,45 +84,96 @@ std::vector<NodeId> critical_path_nodes(const Dag& dag,
   return path;
 }
 
-std::vector<std::vector<bool>> transitive_closure(const Dag& dag) {
+ReachabilityBitset transitive_closure_bitset(const Dag& dag) {
   const int n = dag.num_nodes();
-  std::vector<std::vector<bool>> reach(
-      static_cast<std::size_t>(n), std::vector<bool>(static_cast<std::size_t>(n), false));
+  ReachabilityBitset reach(n);
   const auto order = topological_order(dag);
-  MALSCHED_ASSERT(order.has_value());
-  // Process in reverse topological order: reach[v] = union of successors.
+  MALSCHED_ASSERT_MSG(order.has_value(), "transitive closure requires a DAG");
+  // Process in reverse topological order: row(v) = union over successors w
+  // of ({w} | row(w)), each union a single word sweep.
   for (auto it = order->rbegin(); it != order->rend(); ++it) {
     const NodeId v = *it;
-    auto& row = reach[static_cast<std::size_t>(v)];
     for (NodeId w : dag.successors(v)) {
-      row[static_cast<std::size_t>(w)] = true;
-      const auto& wrow = reach[static_cast<std::size_t>(w)];
-      for (int k = 0; k < n; ++k) {
-        if (wrow[static_cast<std::size_t>(k)]) row[static_cast<std::size_t>(k)] = true;
-      }
+      reach.set(v, w);
+      reach.or_row(v, w);
     }
   }
   return reach;
 }
 
-Dag transitive_reduction(const Dag& dag) {
+std::vector<std::vector<bool>> transitive_closure(const Dag& dag) {
   const int n = dag.num_nodes();
-  const auto reach = transitive_closure(dag);
-  Dag reduced(n);
+  const ReachabilityBitset reach = transitive_closure_bitset(dag);
+  std::vector<std::vector<bool>> out(
+      static_cast<std::size_t>(n), std::vector<bool>(static_cast<std::size_t>(n), false));
   for (NodeId v = 0; v < n; ++v) {
+    auto& row = out[static_cast<std::size_t>(v)];
+    for (NodeId w = 0; w < n; ++w) {
+      if (reach.reaches(v, w)) row[static_cast<std::size_t>(w)] = true;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Per-node redundancy oracle of the transitive reduction: load(v) unions
+/// the reachability rows of v's successors; edge (v, w) is then redundant
+/// iff w's bit is set (some successor u != w reaches w; u = w contributes
+/// nothing since a DAG node never reaches itself). Shared by the copying
+/// and in-place reductions so the word-sweep logic lives once.
+class IndirectReach {
+ public:
+  IndirectReach(const Dag& dag, const ReachabilityBitset& reach)
+      : dag_(dag), reach_(reach), union_(reach.words_per_row(), 0) {}
+
+  void load(NodeId v) {
+    std::fill(union_.begin(), union_.end(), 0);
+    for (NodeId u : dag_.successors(v)) {
+      const std::uint64_t* row = reach_.row(u);
+      for (std::size_t k = 0; k < union_.size(); ++k) union_[k] |= row[k];
+    }
+  }
+
+  bool redundant(NodeId w) const {
+    return (union_[static_cast<std::size_t>(w) >> 6] >>
+            (static_cast<std::size_t>(w) & 63)) &
+           1u;
+  }
+
+ private:
+  const Dag& dag_;
+  const ReachabilityBitset& reach_;
+  std::vector<std::uint64_t> union_;
+};
+
+}  // namespace
+
+Dag transitive_reduction(const Dag& dag) {
+  const ReachabilityBitset reach = transitive_closure_bitset(dag);
+  IndirectReach indirect(dag, reach);
+  Dag reduced(dag.num_nodes());
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    if (dag.successors(v).empty()) continue;
+    indirect.load(v);
     for (NodeId w : dag.successors(v)) {
-      // Edge v->w is redundant iff some other successor u of v reaches w.
-      bool redundant = false;
-      for (NodeId u : dag.successors(v)) {
-        if (u != w && reach[static_cast<std::size_t>(u)][static_cast<std::size_t>(w)]) {
-          redundant = true;
-          break;
-        }
-      }
-      if (!redundant) reduced.add_edge(v, w);
+      if (!indirect.redundant(w)) reduced.add_edge(v, w);
     }
   }
   return reduced;
+}
+
+void transitive_reduction_inplace(Dag& dag) {
+  const ReachabilityBitset reach = transitive_closure_bitset(dag);
+  IndirectReach indirect(dag, reach);
+  NodeId last_v = -1;
+  dag.filter_edges([&](NodeId v, NodeId w) {
+    if (v != last_v) {
+      last_v = v;
+      indirect.load(v);
+    }
+    return !indirect.redundant(w);
+  });
 }
 
 int height(const Dag& dag) {

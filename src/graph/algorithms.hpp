@@ -1,6 +1,7 @@
 // Classic DAG algorithms used throughout the scheduler.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -27,12 +28,72 @@ std::vector<double> longest_path_to(const Dag& dag,
 std::vector<NodeId> critical_path_nodes(const Dag& dag,
                                         const std::vector<double>& node_weights);
 
-/// Boolean reachability matrix (n^2 bits; for tests and transitive
-/// reduction on moderate graphs).
+/// Packed reachability matrix: bit (u, v) set iff there is a non-empty
+/// directed path u -> v. Rows are contiguous blocks of 64-bit words, so a
+/// whole-row union/intersection is an O(n/64) word sweep — this is what
+/// makes transitive closure and reduction usable at n >= 10k, where the
+/// historical vector<vector<bool>> representation cost n^2 bytes and
+/// bit-at-a-time loops.
+class ReachabilityBitset {
+ public:
+  ReachabilityBitset() = default;
+  explicit ReachabilityBitset(int nodes)
+      : n_(nodes),
+        stride_((static_cast<std::size_t>(nodes) + 63) / 64),
+        words_(static_cast<std::size_t>(nodes) * stride_, 0) {}
+
+  int num_nodes() const { return n_; }
+  std::size_t words_per_row() const { return stride_; }
+
+  bool reaches(NodeId from, NodeId to) const {
+    return (row(from)[static_cast<std::size_t>(to) >> 6] >>
+            (static_cast<std::size_t>(to) & 63)) &
+           1u;
+  }
+  void set(NodeId from, NodeId to) {
+    mutable_row(from)[static_cast<std::size_t>(to) >> 6] |=
+        std::uint64_t{1} << (static_cast<std::size_t>(to) & 63);
+  }
+
+  const std::uint64_t* row(NodeId v) const {
+    return words_.data() + static_cast<std::size_t>(v) * stride_;
+  }
+  std::uint64_t* mutable_row(NodeId v) {
+    return words_.data() + static_cast<std::size_t>(v) * stride_;
+  }
+
+  /// row(dst) |= row(src) — one word-level OR sweep.
+  void or_row(NodeId dst, NodeId src) {
+    std::uint64_t* d = mutable_row(dst);
+    const std::uint64_t* s = row(src);
+    for (std::size_t k = 0; k < stride_; ++k) d[k] |= s[k];
+  }
+
+ private:
+  int n_ = 0;
+  std::size_t stride_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Transitive closure as a packed bitset: O(edges * n/64) word operations,
+/// O(n^2/64) words of memory.
+ReachabilityBitset transitive_closure_bitset(const Dag& dag);
+
+/// Boolean reachability matrix (compatibility wrapper over the bitset
+/// closure; prefer transitive_closure_bitset for anything size-sensitive).
 std::vector<std::vector<bool>> transitive_closure(const Dag& dag);
 
-/// Copy of `dag` with every edge implied by transitivity removed.
+/// Copy of `dag` with every edge implied by transitivity removed. An edge
+/// (v, w) is redundant iff w is reachable from some other successor of v;
+/// with the bitset closure that test is one word-level union of the
+/// successors' reachability rows per node instead of the historical
+/// O(deg^2) pairwise lookups.
 Dag transitive_reduction(const Dag& dag);
+
+/// As transitive_reduction, but rewrites `dag` in place (no second adjacency
+/// structure is kept alive). Node ids are preserved; only redundant edges
+/// disappear.
+void transitive_reduction_inplace(Dag& dag);
 
 /// Number of nodes on the longest chain (unit weights).
 int height(const Dag& dag);

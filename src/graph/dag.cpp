@@ -15,6 +15,7 @@ Dag::Dag(int num_nodes) {
 NodeId Dag::add_node() {
   successors_.emplace_back();
   predecessors_.emplace_back();
+  ++revision_;
   return num_nodes() - 1;
 }
 
@@ -26,6 +27,44 @@ void Dag::add_edge(NodeId from, NodeId to) {
   successors_[static_cast<std::size_t>(from)].push_back(to);
   predecessors_[static_cast<std::size_t>(to)].push_back(from);
   ++num_edges_;
+  ++revision_;
+}
+
+void Dag::add_edge_unique(NodeId from, NodeId to) {
+  MALSCHED_ASSERT(from >= 0 && from < num_nodes());
+  MALSCHED_ASSERT(to >= 0 && to < num_nodes());
+  MALSCHED_ASSERT_MSG(from != to, "self-loop in precedence graph");
+  successors_[static_cast<std::size_t>(from)].push_back(to);
+  predecessors_[static_cast<std::size_t>(to)].push_back(from);
+  ++num_edges_;
+  ++revision_;
+}
+
+void Dag::filter_edges(const std::function<bool(NodeId, NodeId)>& keep) {
+  std::vector<char> flags;
+  std::size_t total = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    auto& succ = successors_[static_cast<std::size_t>(v)];
+    flags.resize(succ.size());
+    // Query first (the predicate may read successors(v)), compact after.
+    for (std::size_t i = 0; i < succ.size(); ++i) {
+      flags[i] = keep(v, succ[i]) ? 1 : 0;
+    }
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < succ.size(); ++i) {
+      if (flags[i]) succ[kept++] = succ[i];
+    }
+    succ.resize(kept);
+    total += kept;
+  }
+  for (auto& preds : predecessors_) preds.clear();
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    for (NodeId w : successors_[static_cast<std::size_t>(v)]) {
+      predecessors_[static_cast<std::size_t>(w)].push_back(v);
+    }
+  }
+  num_edges_ = total;
+  ++revision_;
 }
 
 bool Dag::has_edge(NodeId from, NodeId to) const {

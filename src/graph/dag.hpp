@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace malsched::graph {
@@ -25,8 +27,27 @@ class Dag {
   /// ignored. Acyclicity is NOT checked here (see algorithms::is_acyclic).
   void add_edge(NodeId from, NodeId to);
 
+  /// add_edge without the linear duplicate scan, for generators that emit
+  /// each (from, to) pair at most once (e.g. the O(n^2) pair sweep of
+  /// make_random_dag). Inserting a duplicate through this path corrupts
+  /// num_edges(); callers must guarantee uniqueness.
+  void add_edge_unique(NodeId from, NodeId to);
+
+  /// Drops every edge for which `keep(from, to)` returns false, in place.
+  /// `keep` is invoked once per edge in (node, successor-order) order; while
+  /// a node's edges are being queried its successor list is still
+  /// unmodified, so the predicate may read successors(from).
+  void filter_edges(const std::function<bool(NodeId, NodeId)>& keep);
+
   int num_nodes() const { return static_cast<int>(successors_.size()); }
   std::size_t num_edges() const { return num_edges_; }
+
+  /// Monotone structure-revision counter: bumped by every mutation that
+  /// changes the graph (add_node, successful add_edge / add_edge_unique,
+  /// filter_edges). Memos keyed on it (Instance::reduced_predecessors)
+  /// stay sound even for edge-count-preserving mutation sequences like
+  /// filter-then-re-add, which (node count, edge count) pairs cannot see.
+  std::uint64_t revision() const { return revision_; }
 
   const std::vector<NodeId>& successors(NodeId v) const {
     return successors_[static_cast<std::size_t>(v)];
@@ -45,6 +66,7 @@ class Dag {
   std::vector<std::vector<NodeId>> successors_;
   std::vector<std::vector<NodeId>> predecessors_;
   std::size_t num_edges_ = 0;
+  std::uint64_t revision_ = 0;
 };
 
 }  // namespace malsched::graph

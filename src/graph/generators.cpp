@@ -10,7 +10,7 @@ namespace malsched::graph {
 
 Dag make_chain(int n) {
   Dag dag(n);
-  for (NodeId v = 0; v + 1 < n; ++v) dag.add_edge(v, v + 1);
+  for (NodeId v = 0; v + 1 < n; ++v) dag.add_edge_unique(v, v + 1);
   return dag;
 }
 
@@ -22,8 +22,8 @@ Dag make_fork_join(int n_parallel) {
   const NodeId source = 0;
   const NodeId sink = n_parallel + 1;
   for (int i = 1; i <= n_parallel; ++i) {
-    dag.add_edge(source, i);
-    dag.add_edge(i, sink);
+    dag.add_edge_unique(source, i);
+    dag.add_edge_unique(i, sink);
   }
   return dag;
 }
@@ -45,9 +45,12 @@ Dag make_layered(int layers, int width, int max_fan_in, support::Rng& rng) {
 
 Dag make_random_dag(int n, double edge_probability, support::Rng& rng) {
   Dag dag(n);
+  // Each (i, j) pair is visited exactly once, so the duplicate scan of
+  // add_edge is pure overhead — at n >= 10k the unchecked path is what keeps
+  // generation from dominating the large-n benches.
   for (NodeId i = 0; i < n; ++i) {
     for (NodeId j = i + 1; j < n; ++j) {
-      if (rng.bernoulli(edge_probability)) dag.add_edge(i, j);
+      if (rng.bernoulli(edge_probability)) dag.add_edge_unique(i, j);
     }
   }
   return dag;
@@ -106,8 +109,8 @@ Dag make_intree(int levels) {
   for (NodeId v = 0; v < n; ++v) {
     const NodeId left = 2 * v + 1;
     const NodeId right = 2 * v + 2;
-    if (left < n) dag.add_edge(left, v);
-    if (right < n) dag.add_edge(right, v);
+    if (left < n) dag.add_edge_unique(left, v);
+    if (right < n) dag.add_edge_unique(right, v);
   }
   return dag;
 }
@@ -119,8 +122,8 @@ Dag make_outtree(int levels) {
   for (NodeId v = 0; v < n; ++v) {
     const NodeId left = 2 * v + 1;
     const NodeId right = 2 * v + 2;
-    if (left < n) dag.add_edge(v, left);
-    if (right < n) dag.add_edge(v, right);
+    if (left < n) dag.add_edge_unique(v, left);
+    if (right < n) dag.add_edge_unique(v, right);
   }
   return dag;
 }
@@ -241,8 +244,8 @@ Dag make_fft(int stages) {
   for (int rank = 1; rank <= stages; ++rank) {
     const int stride = 1 << (rank - 1);
     for (int idx = 0; idx < width; ++idx) {
-      dag.add_edge(node(rank - 1, idx), node(rank, idx));
-      dag.add_edge(node(rank - 1, idx ^ stride), node(rank, idx));
+      dag.add_edge_unique(node(rank - 1, idx), node(rank, idx));
+      dag.add_edge_unique(node(rank - 1, idx ^ stride), node(rank, idx));
     }
   }
   return dag;
@@ -254,8 +257,8 @@ Dag make_diamond(int rows, int cols) {
   auto node = [cols](int r, int c) { return r * cols + c; };
   for (int r = 0; r < rows; ++r) {
     for (int c = 0; c < cols; ++c) {
-      if (r + 1 < rows) dag.add_edge(node(r, c), node(r + 1, c));
-      if (c + 1 < cols) dag.add_edge(node(r, c), node(r, c + 1));
+      if (r + 1 < rows) dag.add_edge_unique(node(r, c), node(r + 1, c));
+      if (c + 1 < cols) dag.add_edge_unique(node(r, c), node(r, c + 1));
     }
   }
   return dag;

@@ -1,5 +1,6 @@
 #include "linalg/sparse_lu.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "support/assert.hpp"
@@ -225,6 +226,33 @@ void SparseLu::solve_transposed(Vector& y) const {
     w[kk] = sum;
   }
   // y = P^T t.
+  for (std::size_t r = 0; r < n_; ++r) y[r] = w[static_cast<std::size_t>(pinv_[r])];
+}
+
+void SparseLu::solve_transposed_unit(int pos, Vector& y) const {
+  MALSCHED_ASSERT(valid_ && pos >= 0 && static_cast<std::size_t>(pos) < n_);
+  Vector& w = work_;
+  std::fill(w.begin(), w.end(), 0.0);
+  // U^T z = e_pos: z[k] = 0 for every k < pos (U^T is lower triangular in
+  // pivot order), so the forward substitution starts at pos.
+  for (std::size_t k = static_cast<std::size_t>(pos); k < n_; ++k) {
+    double sum = k == static_cast<std::size_t>(pos) ? 1.0 : 0.0;
+    for (int p = u_ptr_[k]; p < u_ptr_[k + 1]; ++p) {
+      sum -= u_vals_[static_cast<std::size_t>(p)] *
+             w[static_cast<std::size_t>(u_rows_[static_cast<std::size_t>(p)])];
+    }
+    w[k] = sum / u_diag_[k];
+  }
+  // L^T t = z (backward; unit diagonal) — same as solve_transposed.
+  for (std::size_t kk = n_; kk-- > 0;) {
+    double sum = w[kk];
+    for (int p = l_ptr_[kk]; p < l_ptr_[kk + 1]; ++p) {
+      sum -= l_vals_[static_cast<std::size_t>(p)] *
+             w[static_cast<std::size_t>(l_rows_[static_cast<std::size_t>(p)])];
+    }
+    w[kk] = sum;
+  }
+  y.resize(n_);
   for (std::size_t r = 0; r < n_; ++r) y[r] = w[static_cast<std::size_t>(pinv_[r])];
 }
 

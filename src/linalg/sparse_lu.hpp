@@ -51,6 +51,14 @@ class SparseLu {
   /// by original rows. In-place.
   void solve_transposed(Vector& y) const;
 
+  /// y := A^-T e_pos (unit right-hand side at column position `pos`),
+  /// exploiting that U^T is lower triangular in pivot order, so the forward
+  /// pass can start at `pos` instead of 0. This is the dual simplex's row
+  /// computation (rho = B^-T e_r); the basis engine routes it here whenever
+  /// the eta file is empty — i.e. right after every refactorization — and
+  /// falls back to the dense transposed solve otherwise. `y` is resized.
+  void solve_transposed_unit(int pos, Vector& y) const;
+
  private:
   std::size_t n_ = 0;
   bool valid_ = false;

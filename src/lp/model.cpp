@@ -34,6 +34,14 @@ int Model::add_constraint(std::vector<Term> terms, Sense sense, double rhs,
   return static_cast<int>(constraints_.size()) - 1;
 }
 
+void Model::set_variable_bounds(int j, double lower, double upper) {
+  MALSCHED_ASSERT(j >= 0 && j < num_variables());
+  MALSCHED_ASSERT_MSG(lower <= upper, "variable with empty domain");
+  MALSCHED_ASSERT(!std::isnan(lower) && !std::isnan(upper));
+  variables_[static_cast<std::size_t>(j)].lower = lower;
+  variables_[static_cast<std::size_t>(j)].upper = upper;
+}
+
 double Model::objective_value(const std::vector<double>& x) const {
   MALSCHED_ASSERT(x.size() == variables_.size());
   double obj = 0.0;

@@ -49,6 +49,13 @@ class Model {
   int add_constraint(std::vector<Term> terms, Sense sense, double rhs,
                      std::string name = {});
 
+  /// Replaces the bounds of variable `j` in place. The constraint structure
+  /// is untouched, so a basis snapshot from a previous solve of this model
+  /// stays structurally compatible — this is what lets the bisection
+  /// deadline probes reuse ONE model and re-optimize dually per probe
+  /// instead of rebuilding the LP from scratch each time.
+  void set_variable_bounds(int j, double lower, double upper);
+
   int num_variables() const { return static_cast<int>(variables_.size()); }
   int num_constraints() const { return static_cast<int>(constraints_.size()); }
 

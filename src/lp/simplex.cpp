@@ -19,13 +19,9 @@ using linalg::SparseColumn;
 using linalg::SparseLu;
 using linalg::Vector;
 
-enum class VarStatus : unsigned char {
-  kBasic,
-  kAtLower,
-  kAtUpper,
-  kFree,   // nonbasic free variable parked at 0
-  kFixed,  // lower == upper; never eligible to enter
-};
+// The internal status enum IS the public snapshot encoding (BasisStatus):
+// snapshots are raw status bytes, and callers may construct them directly.
+using VarStatus = BasisStatus;
 
 struct Column {
   std::vector<std::pair<int, double>> entries;  // (row, coefficient)
@@ -56,6 +52,15 @@ class BasisEngine {
   /// y := B^-T y (dense, in place; input indexed by basis position, output
   /// by constraint row).
   virtual void btran_dense(Vector& y) = 0;
+
+  /// y := B^-T e_r — the dual simplex's row computation. Default: assemble
+  /// the unit vector and btran it; engines with a cheaper unit path (sparse
+  /// LU with an empty eta file) override.
+  virtual void btran_unit(int r, Vector& y) {
+    y.assign(y.size(), 0.0);
+    y[static_cast<std::size_t>(r)] = 1.0;
+    btran_dense(y);
+  }
 
   /// Basis column at position r is replaced; w = B^-1 a_entering.
   virtual void update(int r, const Vector& w) = 0;
@@ -204,6 +209,15 @@ class SparseLuEngine final : public BasisEngine {
     return static_cast<int>(etas_.size()) >= opt_.sparse_eta_limit;
   }
 
+  void btran_unit(int r, Vector& y) override {
+    if (etas_.empty()) {
+      // Fresh factorization: the unit solve skips the U^T prefix below r.
+      lu_.solve_transposed_unit(r, y);
+      return;
+    }
+    BasisEngine::btran_unit(r, y);
+  }
+
  private:
   struct Eta {
     int r = 0;
@@ -259,6 +273,40 @@ class SimplexCore {
     result.status = iterate(result, /*phase1=*/false);
     extract(result);
     return result;
+  }
+
+  /// Dual re-optimization from a warm basis (see reoptimize_dual in the
+  /// header). Falls back to the primal two-phase `run()` whenever the dual
+  /// path cannot make its guarantees (cold start, unrepairable dual
+  /// infeasibility, iteration budget), so the result is always correct.
+  Solution run_dual() {
+    if (!warm_started_) return run();
+    Solution result;
+    result.warm_started = true;
+    set_phase2_costs();
+    compute_reduced_costs();
+    if (!repair_dual_feasibility()) {
+      // Not dual feasible and bound flips cannot fix it: the snapshot is not
+      // an optimal neighbour's basis. Primal Phase I handles it as usual.
+      return run_with_carry(result);
+    }
+    const SolveStatus dual_status = iterate_dual(result);
+    if (dual_status == SolveStatus::kOptimal) {
+      // The basis is primal feasible now; a primal Phase-II pass certifies
+      // optimality (and absorbs any reduced-cost drift from the incremental
+      // dual updates), so the objective matches the primal path exactly.
+      result.status = iterate(result, /*phase1=*/false);
+      extract(result);
+      return result;
+    }
+    if (dual_status == SolveStatus::kInfeasible) {
+      result.status = SolveStatus::kInfeasible;
+      extract(result);
+      return result;
+    }
+    // Iteration budget or numerical stall: the primal method is the safety
+    // net. Pivots spent in the dual loop stay counted.
+    return run_with_carry(result);
   }
 
   void snapshot(SimplexBasis& basis) const {
@@ -707,6 +755,261 @@ class SimplexCore {
     }
   }
 
+  // --- dual simplex --------------------------------------------------------
+
+  /// run() with the pivots already spent by a failed dual attempt carried
+  /// into the final counts.
+  Solution run_with_carry(const Solution& spent) {
+    Solution out = run();
+    out.iterations += spent.iterations;
+    out.refactorizations += spent.refactorizations;
+    out.warm_started = true;
+    return out;
+  }
+
+  /// d_[j] = c_j - y^T a_j for every nonbasic column (0 for basic ones),
+  /// from scratch. Called at dual entry and at every refactorization to kill
+  /// the drift of the incremental updates.
+  void compute_reduced_costs() {
+    compute_duals(/*phase1=*/false, y_);
+    d_.assign(cols_.size(), 0.0);
+    for (std::size_t j = 0; j < cols_.size(); ++j) {
+      if (status_[j] == VarStatus::kBasic) continue;
+      d_[j] = reduced_cost(static_cast<int>(j), y_);
+    }
+  }
+
+  /// Restores dual feasibility of the loaded basis by flipping boxed
+  /// nonbasic variables whose reduced cost has the wrong sign for their
+  /// bound. Returns false when a non-boxed variable is dual infeasible
+  /// (flipping cannot fix it — the caller falls back to primal).
+  bool repair_dual_feasibility() {
+    bool flipped = false;
+    for (std::size_t j = 0; j < cols_.size(); ++j) {
+      const double d = d_[j];
+      switch (status_[j]) {
+        case VarStatus::kAtLower:
+          if (d < -opt_.dual_tolerance) {
+            if (!std::isfinite(upper_[j])) return false;
+            status_[j] = VarStatus::kAtUpper;
+            flipped = true;
+          }
+          break;
+        case VarStatus::kAtUpper:
+          if (d > opt_.dual_tolerance) {
+            if (!std::isfinite(lower_[j])) return false;
+            status_[j] = VarStatus::kAtLower;
+            flipped = true;
+          }
+          break;
+        case VarStatus::kFree:
+          if (std::abs(d) > opt_.dual_tolerance) return false;
+          break;
+        case VarStatus::kBasic:
+        case VarStatus::kFixed:
+          break;
+      }
+    }
+    if (flipped) recompute_basic_values();
+    return true;
+  }
+
+  /// Dual pivot loop. Entered on a dual-feasible basis; drives the primal
+  /// bound violations of the basic variables to zero. Row choice is the
+  /// largest violation; the ratio test is the bound-flipping variant (boxed
+  /// candidates whose ratio is passed flip to the opposite bound and absorb
+  /// part of the violation without a pivot). After `bland_trigger`
+  /// consecutive degenerate steps both choices switch to smallest-index
+  /// (dual Bland), which guarantees termination.
+  SolveStatus iterate_dual(Solution& result) {
+    const auto mu = static_cast<std::size_t>(num_rows_);
+    const int total = static_cast<int>(cols_.size());
+    int pivots_since_refactor = 0;
+    int degenerate_streak = 0;
+    int numeric_retries = 0;
+    constexpr double kTieEps = 1e-12;
+
+    for (;;) {
+      if (result.iterations >= opt_.max_iterations) return SolveStatus::kIterationLimit;
+
+      // --- leaving row: largest primal bound violation ---
+      const bool use_bland = degenerate_streak >= opt_.bland_trigger;
+      int r = -1;
+      double worst = opt_.primal_tolerance;
+      double s = 0.0;  // +1: above upper, -1: below lower
+      for (std::size_t i = 0; i < mu; ++i) {
+        const auto bu = static_cast<std::size_t>(basic_[i]);
+        const double above = xb_[i] - upper_[bu];
+        const double below = lower_[bu] - xb_[i];
+        if (above > worst) {
+          worst = above;
+          r = static_cast<int>(i);
+          s = 1.0;
+          if (use_bland) break;
+        } else if (below > worst) {
+          worst = below;
+          r = static_cast<int>(i);
+          s = -1.0;
+          if (use_bland) break;
+        }
+      }
+      if (r == -1) return SolveStatus::kOptimal;
+      ++result.iterations;
+      const auto ru = static_cast<std::size_t>(r);
+
+      // --- alpha row: rho = B^-T e_r, alpha_j = rho . a_j ---
+      rho_.resize(mu);
+      engine_->btran_unit(r, rho_);
+      dual_candidates_.clear();
+      alpha_.assign(cols_.size(), 0.0);
+      for (int j = 0; j < total; ++j) {
+        const auto ju = static_cast<std::size_t>(j);
+        const VarStatus st = status_[ju];
+        if (st == VarStatus::kBasic || st == VarStatus::kFixed) continue;
+        double a = 0.0;
+        for (const auto& [row, coeff] : cols_[ju].entries) {
+          a += rho_[static_cast<std::size_t>(row)] * coeff;
+        }
+        if (std::abs(a) <= opt_.pivot_tolerance) continue;
+        alpha_[ju] = a;
+        const double sa = s * a;
+        // Eligible when moving j in its feasible direction pushes xB_r
+        // toward the violated bound — exactly the columns whose reduced
+        // cost blocks the dual step.
+        const bool eligible = (st == VarStatus::kAtLower && sa > 0.0) ||
+                              (st == VarStatus::kAtUpper && sa < 0.0) ||
+                              st == VarStatus::kFree;
+        if (eligible) dual_candidates_.push_back(j);
+      }
+      if (dual_candidates_.empty()) {
+        // No feasible move can reduce this row's violation: every nonbasic
+        // column is pinned on the wrong side. Primal infeasibility
+        // certificate (for probes: the deadline is too tight).
+        return SolveStatus::kInfeasible;
+      }
+
+      // --- bound-flipping dual ratio test ---
+      // Sort candidates by dual ratio; flip boxed candidates whose full
+      // range still leaves the row infeasible, pivot on the first one that
+      // would cross the bound (or the last candidate).
+      auto ratio_of = [&](int j) {
+        const auto ju = static_cast<std::size_t>(j);
+        const double q = d_[ju] / (s * alpha_[ju]);
+        return q > 0.0 ? q : 0.0;  // clamp tolerance-negative ratios
+      };
+      std::sort(dual_candidates_.begin(), dual_candidates_.end(),
+                [&](int a, int b) {
+                  const double qa = ratio_of(a), qb = ratio_of(b);
+                  if (qa != qb) return qa < qb;
+                  return a < b;
+                });
+      flips_.clear();
+      int entering = -1;
+      double remaining = worst;
+      for (std::size_t c = 0; c < dual_candidates_.size(); ++c) {
+        const int j = dual_candidates_[c];
+        const auto ju = static_cast<std::size_t>(j);
+        if (!use_bland && std::isfinite(lower_[ju]) && std::isfinite(upper_[ju])) {
+          const double absorb = (upper_[ju] - lower_[ju]) * std::abs(alpha_[ju]);
+          if (remaining - absorb > opt_.primal_tolerance) {
+            flips_.push_back(j);
+            remaining -= absorb;
+            continue;
+          }
+        }
+        // Near-tied ratios: prefer the larger |alpha| for numerical
+        // stability (smallest index under Bland — the sort already put it
+        // first).
+        entering = j;
+        if (!use_bland) {
+          const double q = ratio_of(j);
+          for (std::size_t c2 = c + 1; c2 < dual_candidates_.size(); ++c2) {
+            const int j2 = dual_candidates_[c2];
+            if (ratio_of(j2) > q + kTieEps) break;
+            if (std::abs(alpha_[static_cast<std::size_t>(j2)]) >
+                std::abs(alpha_[static_cast<std::size_t>(entering)])) {
+              entering = j2;
+            }
+          }
+        }
+        break;
+      }
+      if (entering == -1) {
+        // Every candidate was flip-absorbed yet violation remains: the
+        // residual infeasibility is unreachable. (Flips were not applied,
+        // so the state is untouched.)
+        return SolveStatus::kInfeasible;
+      }
+      const auto eu = static_cast<std::size_t>(entering);
+      const double theta_dual = ratio_of(entering);
+
+      // --- apply bound flips: one combined ftran for all flipped columns ---
+      if (!flips_.empty()) {
+        flip_rhs_.assign(mu, 0.0);
+        for (const int j : flips_) {
+          const auto ju = static_cast<std::size_t>(j);
+          const double delta = status_[ju] == VarStatus::kAtLower
+                                   ? upper_[ju] - lower_[ju]
+                                   : lower_[ju] - upper_[ju];
+          status_[ju] = status_[ju] == VarStatus::kAtLower ? VarStatus::kAtUpper
+                                                           : VarStatus::kAtLower;
+          for (const auto& [row, coeff] : cols_[ju].entries) {
+            flip_rhs_[static_cast<std::size_t>(row)] += coeff * delta;
+          }
+        }
+        engine_->ftran_dense(flip_rhs_);
+        for (std::size_t i = 0; i < mu; ++i) xb_[i] -= flip_rhs_[i];
+      }
+
+      // --- pivot ---
+      engine_->ftran_column(cols_[eu], w_);
+      const double w_r = w_[ru];
+      if (std::abs(w_r) <= opt_.pivot_tolerance ||
+          std::abs(w_r - alpha_[eu]) > 1e-6 * std::max(1.0, std::abs(alpha_[eu]))) {
+        // The ftran disagrees with the btran row: the factorization has
+        // degraded. Refactorize and retry the iteration; give up on repeat.
+        if (++numeric_retries > 3) return SolveStatus::kIterationLimit;
+        refactorize(result);
+        compute_reduced_costs();
+        continue;
+      }
+      numeric_retries = 0;
+
+      const int leaving = basic_[ru];
+      const auto lu = static_cast<std::size_t>(leaving);
+      const double bound = s > 0.0 ? upper_[lu] : lower_[lu];
+      const double residual = xb_[ru] - bound;  // flips may have shrunk it
+      const double t = residual / w_r;
+      for (std::size_t i = 0; i < mu; ++i) {
+        if (w_[i] != 0.0) xb_[i] -= t * w_[i];
+      }
+      const double entering_value = nonbasic_value(entering, status_[eu]) + t;
+      apply_pivot(entering, r, w_, entering_value,
+                  s > 0.0 ? VarStatus::kAtUpper : VarStatus::kAtLower);
+
+      // --- incremental reduced-cost update ---
+      // d'_j = d_j - theta * s * alpha_j for nonbasic j; the leaving
+      // variable picks up -s * theta (alpha of a basic column is e_r).
+      if (theta_dual != 0.0) {
+        for (int j = 0; j < total; ++j) {
+          const auto ju = static_cast<std::size_t>(j);
+          if (status_[ju] == VarStatus::kBasic || alpha_[ju] == 0.0) continue;
+          d_[ju] -= theta_dual * s * alpha_[ju];
+        }
+      }
+      d_[lu] = -s * theta_dual;
+      d_[eu] = 0.0;
+
+      degenerate_streak = theta_dual < 1e-11 ? degenerate_streak + 1 : 0;
+      ++pivots_since_refactor;
+      if (engine_->wants_refactor(pivots_since_refactor)) {
+        refactorize(result);
+        compute_reduced_costs();
+        pivots_since_refactor = 0;
+      }
+    }
+  }
+
   void extract(Solution& result) const {
     result.x.assign(static_cast<std::size_t>(num_structural_), 0.0);
     for (int j = 0; j < num_structural_; ++j) {
@@ -751,6 +1054,11 @@ class SimplexCore {
   std::vector<int> candidates_;
   int scan_cursor_ = 0;
   Vector y_, w_;
+
+  // Dual-loop state: reduced costs, the btran'd unit row, the alpha row,
+  // the combined flip rhs, and the candidate/flip index lists.
+  Vector d_, rho_, alpha_, flip_rhs_;
+  std::vector<int> dual_candidates_, flips_;
 };
 
 /// Degenerate case: no constraints at all; each variable sits at whichever
@@ -790,6 +1098,15 @@ Solution solve_simplex(const Model& model, const SimplexOptions& options,
   if (model.num_constraints() == 0) return solve_unconstrained(model);
   SimplexCore core(model, options, basis);
   Solution solution = core.run();
+  if (basis != nullptr) core.snapshot(*basis);
+  return solution;
+}
+
+Solution reoptimize_dual(const Model& model, const SimplexOptions& options,
+                         SimplexBasis* basis) {
+  if (model.num_constraints() == 0) return solve_unconstrained(model);
+  SimplexCore core(model, options, basis);
+  Solution solution = core.run_dual();
   if (basis != nullptr) core.snapshot(*basis);
   return solution;
 }

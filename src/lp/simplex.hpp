@@ -67,15 +67,35 @@ struct SimplexOptions {
   int bland_trigger = 64;         ///< degenerate-pivot streak enabling Bland
 };
 
-/// Reusable basis snapshot for warm starts. Opaque: holds one status byte
-/// per structural + slack variable of the model it was produced from; only
-/// meaningful across models with identical constraint structure (bounds and
-/// costs may differ, e.g. the bisection deadline probes).
+/// Per-variable status codes of a SimplexBasis snapshot. Exposed so callers
+/// that KNOW an optimal basis in closed form (e.g. the upper-bracket
+/// deadline probe of core/allotment_lp, whose optimum is the all-sequential
+/// point) can construct a snapshot directly instead of paying a cold solve.
+enum class BasisStatus : unsigned char {
+  kBasic = 0,
+  kAtLower = 1,
+  kAtUpper = 2,
+  kFree = 3,   ///< nonbasic free variable parked at 0
+  kFixed = 4,  ///< lower == upper; never eligible to enter
+};
+
+/// Reusable basis snapshot for warm starts. Holds one status byte per
+/// structural + slack variable of the model it was produced from (slacks
+/// after structurals, in constraint-row order); only meaningful across
+/// models with identical constraint structure (bounds and costs may differ,
+/// e.g. the bisection deadline probes).
 struct SimplexBasis {
   std::vector<unsigned char> status;
 
   bool empty() const { return status.empty(); }
   void clear() { status.clear(); }
+
+  void assign(std::size_t count, BasisStatus s) {
+    status.assign(count, static_cast<unsigned char>(s));
+  }
+  void set(std::size_t index, BasisStatus s) {
+    status[index] = static_cast<unsigned char>(s);
+  }
 };
 
 /// Solves `model` (minimization). Always returns a Solution; `x` is filled
@@ -87,6 +107,24 @@ Solution solve_simplex(const Model& model, const SimplexOptions& options = {});
 /// is stale or singular); on return it holds the final basis of this solve.
 Solution solve_simplex(const Model& model, const SimplexOptions& options,
                        SimplexBasis* basis);
+
+/// Dual re-optimization: solves `model` starting from `basis` with the DUAL
+/// simplex method — the method of choice when the basis was optimal for a
+/// neighbouring model that differs only in variable bounds / rhs (the
+/// bisection deadline probes of core/allotment_lp). Such a basis stays dual
+/// feasible (reduced costs do not depend on bounds), so the dual pivot loop
+/// drives the handful of out-of-bounds basic variables back inside in a few
+/// pivots, with no Phase-I restart. The ratio test is the bound-flipping
+/// variant: boxed nonbasic variables whose dual ratio is passed are flipped
+/// to their opposite bound (absorbing primal infeasibility without a pivot)
+/// and the step continues to the next candidate. Falls back to the primal
+/// two-phase solve when `basis` is empty/stale (cold start), when the basis
+/// is not dual feasible and cannot be repaired by bound flips, or when the
+/// dual loop hits its iteration budget — the result is always as correct as
+/// `solve_simplex`. A finishing primal pricing pass certifies optimality, so
+/// optimal objectives agree with the primal path to machine precision.
+Solution reoptimize_dual(const Model& model, const SimplexOptions& options,
+                         SimplexBasis* basis);
 
 /// Translates a basis snapshot between two models that share their structural
 /// variables but differ in their constraint rows (e.g. the coarse and fine

@@ -76,6 +76,65 @@ std::shared_ptr<const std::vector<int>> Instance::piece_counts() const {
   return std::shared_ptr<const std::vector<int>>(memo, &memo->counts);
 }
 
+std::shared_ptr<const std::vector<std::vector<graph::NodeId>>>
+Instance::reduced_predecessors() const {
+  // Dag::revision() bumps on every structural mutation, including
+  // edge-count-preserving sequences (filter_edges then re-add) that a
+  // (nodes, edges) pair would miss; nodes and edges are mixed in as a
+  // guard for wholesale dag replacement with a coincidentally equal
+  // revision.
+  const std::uint64_t token =
+      dag.revision() * 0x9E3779B97F4A7C15ULL ^
+      (static_cast<std::uint64_t>(dag.num_nodes()) << 32) ^
+      static_cast<std::uint64_t>(dag.num_edges());
+  std::shared_ptr<const ReducedPredsMemo> memo =
+      std::atomic_load(&reduced_preds_memo_);
+  if (memo == nullptr || memo->token != token) {
+    auto fresh = std::make_shared<ReducedPredsMemo>();
+    fresh->token = token;
+    const int n = dag.num_nodes();
+    fresh->preds.resize(static_cast<std::size_t>(n));
+    // Filter each ORIGINAL predecessor list through the bitset closure:
+    // edge (i, j) is redundant iff i reaches some other predecessor of j.
+    // Filtering (rather than taking the reduced graph's lists) preserves
+    // the original edge-insertion order, so DAGs without redundant arcs
+    // produce bit-for-bit the PR-1 constraint rows and pivot sequences.
+    const graph::ReachabilityBitset reach = graph::transitive_closure_bitset(dag);
+    const std::size_t stride = reach.words_per_row();
+    std::vector<std::uint64_t> mask(stride, 0);
+    for (graph::NodeId j = 0; j < n; ++j) {
+      const auto& orig = dag.predecessors(j);
+      auto& kept = fresh->preds[static_cast<std::size_t>(j)];
+      kept.reserve(orig.size());
+      for (const graph::NodeId i : orig) {
+        mask[static_cast<std::size_t>(i) >> 6] |= std::uint64_t{1}
+                                                  << (static_cast<std::size_t>(i) & 63);
+      }
+      for (const graph::NodeId i : orig) {
+        // reach(i, i) is always false in a DAG, so i's own mask bit never
+        // triggers the test.
+        const std::uint64_t* row = reach.row(i);
+        bool redundant = false;
+        for (std::size_t k = 0; k < stride; ++k) {
+          if (row[k] & mask[k]) {
+            redundant = true;
+            break;
+          }
+        }
+        if (!redundant) kept.push_back(i);
+      }
+      for (const graph::NodeId i : orig) {
+        mask[static_cast<std::size_t>(i) >> 6] = 0;
+      }
+    }
+    memo = fresh;
+    std::atomic_store(&reduced_preds_memo_,
+                      std::shared_ptr<const ReducedPredsMemo>(memo));
+  }
+  return std::shared_ptr<const std::vector<std::vector<graph::NodeId>>>(
+      memo, &memo->preds);
+}
+
 Instance make_instance(graph::Dag dag, int m,
                        const std::function<MalleableTask(int, int)>& factory) {
   Instance instance;
@@ -226,8 +285,6 @@ graph::Dag make_family_dag(DagFamily family, int size_hint, support::Rng& rng) {
   return graph::Dag(0);
 }
 
-namespace {
-
 MalleableTask make_family_task(TaskFamily family, int m, support::Rng& rng) {
   switch (family) {
     case TaskFamily::kPowerLaw:
@@ -246,8 +303,6 @@ MalleableTask make_family_task(TaskFamily family, int m, support::Rng& rng) {
   MALSCHED_ASSERT(false);
   return make_sequential_task(1.0, m);
 }
-
-}  // namespace
 
 Instance make_family_instance(DagFamily dag_family, TaskFamily task_family,
                               int size_hint, int m, support::Rng& rng) {

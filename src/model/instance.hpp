@@ -44,12 +44,29 @@ struct Instance {
   /// task id and shares ownership with the memo.
   std::shared_ptr<const std::vector<int>> piece_counts() const;
 
+  /// Transitively reduced predecessor lists, memoized. The allotment LPs
+  /// need one precedence row per arc, but a transitively redundant arc
+  /// (i, j) is implied by the chain through any intermediate task (its x is
+  /// strictly positive), so the LP builders emit rows only for the reduced
+  /// arc set — identical feasible region, far fewer rows on dense DAGs.
+  /// The memo is guarded by Dag::revision(), which every structural
+  /// mutation bumps (including edge removals via filter_edges). Published
+  /// through an atomic shared_ptr like piece_counts; indexed by task id.
+  std::shared_ptr<const std::vector<std::vector<graph::NodeId>>>
+  reduced_predecessors() const;
+
  private:
   struct PieceCountMemo {
     std::uint64_t token = 0;  ///< checksum of the task tables it was built from
     std::vector<int> counts;
   };
   mutable std::shared_ptr<const PieceCountMemo> piece_count_memo_;
+
+  struct ReducedPredsMemo {
+    std::uint64_t token = 0;  ///< Dag::revision() it was built from
+    std::vector<std::vector<graph::NodeId>> preds;
+  };
+  mutable std::shared_ptr<const ReducedPredsMemo> reduced_preds_memo_;
 };
 
 // ---- Validation ----------------------------------------------------------
@@ -119,6 +136,12 @@ std::vector<DagFamily> all_dag_families();
 /// Builds a DAG of the given family with roughly `size_hint` nodes (exact
 /// count depends on the family's combinatorics).
 graph::Dag make_family_dag(DagFamily family, int size_hint, support::Rng& rng);
+
+/// One random task of the given family, sized for m processors. Exposed so
+/// benches that hoist DAG generation out of their sweep loops can redraw
+/// just the tasks on an Instance copy (see make_family_instance, which is
+/// exactly make_family_dag + n calls of this).
+MalleableTask make_family_task(TaskFamily family, int m, support::Rng& rng);
 
 /// Full random instance: family DAG + random tasks of the given family.
 Instance make_family_instance(DagFamily dag_family, TaskFamily task_family,

@@ -9,14 +9,28 @@ constexpr double kEps = 1e-9;
 }
 
 MalleableTask::MalleableTask(std::vector<double> times, std::string name)
+    : MalleableTask(
+          std::make_shared<const std::vector<double>>(std::move(times)),
+          std::move(name)) {}
+
+MalleableTask::MalleableTask(std::shared_ptr<const std::vector<double>> times,
+                             std::string name)
     : times_(std::move(times)), name_(std::move(name)) {
-  MALSCHED_ASSERT_MSG(!times_.empty(), "task needs at least one allotment");
-  for (double t : times_) MALSCHED_ASSERT_MSG(t > 0.0, "processing times must be positive");
+  MALSCHED_ASSERT_MSG(times_ != nullptr && !times_->empty(),
+                      "task needs at least one allotment");
+  for (double t : *times_) {
+    MALSCHED_ASSERT_MSG(t > 0.0, "processing times must be positive");
+  }
+}
+
+const std::vector<double>& MalleableTask::table() const {
+  static const std::vector<double> kEmpty;
+  return times_ ? *times_ : kEmpty;
 }
 
 double MalleableTask::processing_time(int l) const {
   MALSCHED_ASSERT(l >= 1 && l <= max_processors());
-  return times_[static_cast<std::size_t>(l - 1)];
+  return (*times_)[static_cast<std::size_t>(l - 1)];
 }
 
 double MalleableTask::work(int l) const { return l * processing_time(l); }

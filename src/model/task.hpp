@@ -11,6 +11,7 @@
 // derived quantities.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,7 +24,17 @@ class MalleableTask {
   /// `times[l-1]` is p(l); all entries must be positive.
   explicit MalleableTask(std::vector<double> times, std::string name = {});
 
-  int max_processors() const { return static_cast<int>(times_.size()); }
+  /// Shares an existing immutable table (refcount bump, no deep copy).
+  /// Instance generators use this to share one table across tasks of the
+  /// same shape, and it is what makes copying an Instance (bench revision
+  /// loops, adversarial-search candidates) O(n) pointer bumps instead of n
+  /// table allocations.
+  explicit MalleableTask(std::shared_ptr<const std::vector<double>> times,
+                         std::string name = {});
+
+  int max_processors() const {
+    return times_ ? static_cast<int>(times_->size()) : 0;
+  }
 
   /// p(l) for l in [1, m].
   double processing_time(int l) const;
@@ -44,10 +55,18 @@ class MalleableTask {
   int bracket_lower_processors(double x) const;
 
   const std::string& name() const { return name_; }
-  const std::vector<double>& table() const { return times_; }
+  const std::vector<double>& table() const;
+
+  /// The underlying immutable table, for sharing across tasks (may be null
+  /// on a default-constructed task).
+  const std::shared_ptr<const std::vector<double>>& shared_table() const {
+    return times_;
+  }
 
  private:
-  std::vector<double> times_;  // times_[l-1] = p(l)
+  // Immutable and shared: tasks are value types, but their tables never
+  // change after construction, so copies alias one allocation.
+  std::shared_ptr<const std::vector<double>> times_;  // (*times_)[l-1] = p(l)
   std::string name_;
 };
 

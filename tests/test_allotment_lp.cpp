@@ -173,6 +173,90 @@ TEST(AllotmentLp, WarmStartedBisectionMatchesColdWithFewerIterations) {
   }
 }
 
+TEST(AllotmentLp, DualReoptimizedBisectionMatchesPrimalWarmOnReferenceSuite) {
+  // Satellite regression for the dual-simplex probe re-optimization: on the
+  // 24 reference instances (deep-narrow layered DAGs — the PR-1 bench
+  // shape — across m in {4, 8}, three depths, four seeds) the dual path
+  // must reproduce the primal-warm-restart bounds BIT-identically while
+  // spending strictly fewer pivots in total. Per instance it must never
+  // spend more.
+  int suite_size = 0;
+  long dual_total = 0, primal_total = 0;
+  for (const int m : {4, 8}) {
+    for (const int layers : {10, 20, 30}) {
+      for (int seed = 0; seed < 4; ++seed) {
+        support::Rng rng(0x24AEF ^ (static_cast<std::uint64_t>(m) << 16) ^
+                         (static_cast<std::uint64_t>(layers) << 8) ^
+                         static_cast<std::uint64_t>(seed));
+        graph::Dag dag = graph::make_layered(layers, 2, 2, rng);
+        const model::Instance instance =
+            model::make_instance(std::move(dag), m, [&](int, int procs) {
+              return model::make_random_power_law_task(rng, 0.3, 0.7, procs);
+            });
+        ++suite_size;
+        // Deep narrow instances keep the bracket wide enough for a real
+        // bisection; the comparison is vacuous on degenerate brackets
+        // (both paths take the closed-form shortcut).
+        const core::BisectionBracket bracket =
+            core::compute_bisection_bracket(instance);
+        ASSERT_GT(bracket.relative_width(), 1e-3)
+            << "reference instance degenerated: m=" << m << " layers=" << layers
+            << " seed=" << seed;
+
+        AllotmentLpOptions primal_opts;
+        primal_opts.mode = LpMode::kBinarySearch;
+        primal_opts.dual_reoptimize = false;
+        const FractionalAllotment primal =
+            core::solve_allotment_lp(instance, primal_opts);
+
+        AllotmentLpOptions dual_opts;
+        dual_opts.mode = LpMode::kBinarySearch;
+        dual_opts.dual_reoptimize = true;
+        const FractionalAllotment dual =
+            core::solve_allotment_lp(instance, dual_opts);
+
+        EXPECT_EQ(dual.lower_bound, primal.lower_bound)  // bit-identical
+            << "m=" << m << " layers=" << layers << " seed=" << seed;
+        EXPECT_EQ(dual.lp_solves, primal.lp_solves);
+        EXPECT_GT(dual.lp_solves, 1);
+        EXPECT_LE(dual.lp_iterations, primal.lp_iterations)
+            << "m=" << m << " layers=" << layers << " seed=" << seed;
+        dual_total += dual.lp_iterations;
+        primal_total += primal.lp_iterations;
+      }
+    }
+  }
+  EXPECT_EQ(suite_size, 24);
+  EXPECT_LT(dual_total, primal_total);  // strictly fewer pivots overall
+}
+
+TEST(AllotmentLp, DegenerateBracketBisectionIsClosedForm) {
+  // Wide flat DAG: W/m dominates both bracket ends, the bisection loop
+  // never runs, and the single upper probe is solved analytically — zero LP
+  // pivots, bound equal to the bracket's hi, allotment all-sequential.
+  const int m = 4;
+  support::Rng rng(0xC105ED);
+  graph::Dag dag = graph::make_layered(2, 16 * m, 2, rng);
+  const model::Instance instance =
+      model::make_instance(std::move(dag), m, [&](int, int procs) {
+        return model::make_random_power_law_task(rng, 0.3, 0.9, procs);
+      });
+  const core::BisectionBracket bracket = core::compute_bisection_bracket(instance);
+  AllotmentLpOptions options;
+  options.mode = LpMode::kBinarySearch;
+  const FractionalAllotment out = core::solve_allotment_lp(instance, options);
+  ASSERT_LE(bracket.relative_width(), options.bisection_tolerance);
+  EXPECT_EQ(out.lp_solves, 1);
+  EXPECT_EQ(out.lp_iterations, 0);
+  EXPECT_EQ(out.lower_bound, bracket.hi);
+  for (int j = 0; j < instance.num_tasks(); ++j) {
+    EXPECT_DOUBLE_EQ(out.x[static_cast<std::size_t>(j)],
+                     instance.task(j).processing_time(1));
+  }
+  // Still a valid lower-bound certificate.
+  EXPECT_GE(out.lower_bound + 1e-9, instance.trivial_lower_bound());
+}
+
 TEST(AllotmentLp, PieceStrideRelaxesTheBound) {
   support::Rng rng(82);
   const model::Instance instance = model::make_family_instance(
@@ -285,6 +369,33 @@ TEST(AllotmentLp, WarmStartCacheReusesBasesAcrossRuns) {
   EXPECT_EQ(stats.lookups, 3);
   EXPECT_EQ(stats.hits, 2);
   EXPECT_EQ(stats.stores, 3);
+}
+
+TEST(AllotmentLp, RedundantPrecedenceEdgesDontChangeTheLp) {
+  // A transitively redundant arc is implied by the chain through its
+  // intermediates (x > 0), so the builders emit rows for the REDUCED arc
+  // set: the chain with and without the shortcut arc builds literally the
+  // same LP and the same bound, in every mode.
+  const int m = 4;
+  auto make = [&](bool redundant) {
+    graph::Dag dag(3);
+    dag.add_edge(0, 1);
+    dag.add_edge(1, 2);
+    if (redundant) dag.add_edge(0, 2);
+    return power_law_instance(std::move(dag), m);
+  };
+  const model::Instance plain = make(false);
+  const model::Instance shortcut = make(true);
+  EXPECT_EQ(core::build_allotment_lp(shortcut).num_constraints(),
+            core::build_allotment_lp(plain).num_constraints());
+  const FractionalAllotment a = core::solve_allotment_lp(plain);
+  const FractionalAllotment b = core::solve_allotment_lp(shortcut);
+  EXPECT_EQ(a.lower_bound, b.lower_bound);
+  EXPECT_EQ(a.lp_iterations, b.lp_iterations);
+  AllotmentLpOptions bisect;
+  bisect.mode = LpMode::kBinarySearch;
+  EXPECT_EQ(core::solve_allotment_lp(plain, bisect).lower_bound,
+            core::solve_allotment_lp(shortcut, bisect).lower_bound);
 }
 
 TEST(AllotmentLp, SingleProcessorDegenerateCase) {

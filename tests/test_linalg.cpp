@@ -241,6 +241,21 @@ TEST_P(SparseLuRandom, MatchesDenseLu) {
                 expected_t[static_cast<std::size_t>(i)], 1e-8);
   }
   EXPECT_GE(sparse.nonzeros(), static_cast<std::size_t>(2 * n));
+
+  // The unit-rhs transposed solve (the dual simplex's row computation) must
+  // agree with the dense transposed solve of e_pos for every position.
+  for (int pos = 0; pos < n; ++pos) {
+    Vector unit;
+    sparse.solve_transposed_unit(pos, unit);
+    Vector e(static_cast<std::size_t>(n), 0.0);
+    e[static_cast<std::size_t>(pos)] = 1.0;
+    const Vector expected_u = dense_lu->solve_transposed(e);
+    for (int i = 0; i < n; ++i) {
+      ASSERT_NEAR(unit[static_cast<std::size_t>(i)],
+                  expected_u[static_cast<std::size_t>(i)], 1e-8)
+          << "pos " << pos;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomSparseBases, SparseLuRandom, ::testing::Range(0, 40));

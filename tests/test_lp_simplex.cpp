@@ -188,6 +188,110 @@ TEST(Simplex, WarmStartAfterBoundChange) {
   EXPECT_LE(warm.iterations, cold.iterations);
 }
 
+TEST(Simplex, DualReoptimizeAfterBoundChangeMatchesCold) {
+  // Optimal basis + tightened bounds is the textbook dual-simplex case: the
+  // basis stays dual feasible, so reoptimize_dual repairs the bound
+  // violations in a few pivots and must land on the cold optimum.
+  auto build = [](double cap) {
+    Model model;
+    const int x = model.add_variable(0.0, cap, -3.0);
+    const int y = model.add_variable(0.0, cap, -5.0);
+    model.add_constraint({{x, 1.0}}, Sense::kLessEqual, 4.0);
+    model.add_constraint({{y, 2.0}}, Sense::kLessEqual, 12.0);
+    model.add_constraint({{x, 3.0}, {y, 2.0}}, Sense::kLessEqual, 18.0);
+    return model;
+  };
+  malsched::lp::SimplexBasis basis;
+  const Solution first = solve_simplex(build(100.0), {}, &basis);
+  ASSERT_EQ(first.status, SolveStatus::kOptimal);
+
+  const Solution dual = malsched::lp::reoptimize_dual(build(1.5), {}, &basis);
+  const Solution cold = solve_simplex(build(1.5));
+  ASSERT_EQ(dual.status, SolveStatus::kOptimal);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(dual.warm_started);
+  EXPECT_NEAR(dual.objective, cold.objective, 1e-9);
+  EXPECT_LE(build(1.5).max_violation(dual.x), 1e-9);
+}
+
+TEST(Simplex, DualReoptimizeDetectsInfeasibility) {
+  // Tightening the rhs-side bound past feasibility: the dual loop hits a
+  // violated row no column can fix and certifies primal infeasibility.
+  auto build = [](double cap) {
+    Model model;
+    const int x = model.add_variable(1.0, cap, 1.0);
+    const int y = model.add_variable(1.0, cap, 1.0);
+    model.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kGreaterEqual, 5.0);
+    return model;
+  };
+  malsched::lp::SimplexBasis basis;
+  const Solution first = solve_simplex(build(10.0), {}, &basis);
+  ASSERT_EQ(first.status, SolveStatus::kOptimal);
+  const Solution dual = malsched::lp::reoptimize_dual(build(2.0), {}, &basis);
+  EXPECT_EQ(dual.status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DualReoptimizeEmptyBasisFallsBackToPrimal) {
+  Model model;
+  const int x = model.add_variable(0.0, 4.0, -1.0);
+  model.add_constraint({{x, 1.0}}, Sense::kLessEqual, 3.0);
+  malsched::lp::SimplexBasis basis;  // empty: cold
+  const Solution solution = malsched::lp::reoptimize_dual(model, {}, &basis);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(solution.warm_started);
+  EXPECT_NEAR(solution.objective, -3.0, 1e-9);
+}
+
+TEST(Simplex, DualReoptimizeRandomBoundPerturbations) {
+  // Random boxed LPs, solve, perturb bounds, dual-reoptimize vs cold: equal
+  // status and objective every time.
+  for (int trial = 0; trial < 25; ++trial) {
+    malsched::support::Rng rng(0xD0A1 ^ static_cast<std::uint64_t>(trial) * 131ULL);
+    const int nvars = rng.uniform_int(2, 6);
+    const int nrows = rng.uniform_int(1, 6);
+    std::vector<double> lo(nvars), hi(nvars), obj(nvars);
+    std::vector<std::vector<malsched::lp::Term>> rows;
+    std::vector<double> rhs;
+    for (int j = 0; j < nvars; ++j) {
+      lo[static_cast<std::size_t>(j)] = rng.uniform(-2.0, 0.0);
+      hi[static_cast<std::size_t>(j)] =
+          lo[static_cast<std::size_t>(j)] + rng.uniform(0.5, 4.0);
+      obj[static_cast<std::size_t>(j)] = rng.uniform(-2.0, 2.0);
+    }
+    for (int i = 0; i < nrows; ++i) {
+      std::vector<malsched::lp::Term> terms;
+      for (int j = 0; j < nvars; ++j) {
+        if (rng.bernoulli(0.7)) terms.emplace_back(j, rng.uniform(-2.0, 2.0));
+      }
+      if (terms.empty()) terms.emplace_back(0, 1.0);
+      rows.push_back(std::move(terms));
+      rhs.push_back(rng.uniform(0.0, 5.0));
+    }
+    auto build = [&](double shrink) {
+      Model model;
+      for (int j = 0; j < nvars; ++j) {
+        const auto ju = static_cast<std::size_t>(j);
+        model.add_variable(lo[ju], std::max(lo[ju], hi[ju] - shrink), obj[ju]);
+      }
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        model.add_constraint(rows[i], Sense::kLessEqual, rhs[i]);
+      }
+      return model;
+    };
+    malsched::lp::SimplexBasis basis;
+    const Solution first = solve_simplex(build(0.0), {}, &basis);
+    if (first.status != SolveStatus::kOptimal) continue;
+    const double shrink = rng.uniform(0.1, 1.0);
+    const Solution dual = malsched::lp::reoptimize_dual(build(shrink), {}, &basis);
+    const Solution cold = solve_simplex(build(shrink));
+    ASSERT_EQ(dual.status, cold.status) << "trial " << trial;
+    if (cold.status == SolveStatus::kOptimal) {
+      EXPECT_NEAR(dual.objective, cold.objective, 1e-7) << "trial " << trial;
+      EXPECT_LE(build(shrink).max_violation(dual.x), 1e-7) << "trial " << trial;
+    }
+  }
+}
+
 TEST(Simplex, DenseEngineAndDantzigMatchDefaults) {
   // The dense-inverse baseline engine and full Dantzig pricing must agree
   // with the sparse-LU + partial-pricing default on random instances.

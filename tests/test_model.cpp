@@ -222,4 +222,43 @@ TEST(Instance, FamilyNamesAreDistinct) {
   EXPECT_EQ(names.size(), all_dag_families().size());
 }
 
+TEST(Instance, ReducedPredecessorsDropRedundantArcsInOriginalOrder) {
+  // 0 -> 1 -> 2 with shortcut 0 -> 2 inserted FIRST: the redundant shortcut
+  // is dropped and the surviving predecessors keep their original
+  // edge-insertion order (which pins the LP row order to the PR-1 layout on
+  // reduction-free DAGs).
+  Instance instance;
+  instance.dag = malsched::graph::Dag(3);
+  instance.dag.add_edge(0, 2);  // redundant once 0->1->2 exists
+  instance.dag.add_edge(1, 2);
+  instance.dag.add_edge(0, 1);
+  instance.m = 2;
+  for (int j = 0; j < 3; ++j) instance.tasks.push_back(make_sequential_task(1.0, 2));
+  const auto preds = instance.reduced_predecessors();
+  EXPECT_TRUE((*preds)[0].empty());
+  EXPECT_EQ((*preds)[1], std::vector<malsched::graph::NodeId>{0});
+  EXPECT_EQ((*preds)[2], std::vector<malsched::graph::NodeId>{1});
+
+  // The memo tracks DAG mutation: a new edge invalidates it.
+  const auto node = instance.dag.add_node();
+  instance.tasks.push_back(make_sequential_task(1.0, 2));
+  instance.dag.add_edge(2, node);
+  const auto preds2 = instance.reduced_predecessors();
+  ASSERT_EQ(preds2->size(), 4u);
+  EXPECT_EQ((*preds2)[3], std::vector<malsched::graph::NodeId>{2});
+}
+
+TEST(Task, CopiesShareOneImmutableTable) {
+  const MalleableTask task({8.0, 5.0, 4.0}, "shared");
+  const MalleableTask copy = task;
+  EXPECT_EQ(copy.shared_table().get(), task.shared_table().get());
+  // And an instance copy is pointer bumps, not table deep-copies.
+  Instance instance;
+  instance.dag = malsched::graph::Dag(1);
+  instance.m = 3;
+  instance.tasks = {task};
+  const Instance clone = instance;
+  EXPECT_EQ(clone.task(0).shared_table().get(), task.shared_table().get());
+}
+
 }  // namespace
