@@ -22,7 +22,19 @@
 // mix. Streaming admission overlaps arrival latency with solving, keeps the
 // group-affine warm-start reuse of the batch path (shared bounded cache,
 // deterministic at any worker count), and adds sub-slice stealing for
-// oversized groups. Emits BENCH_stream.json (--out <path>).
+// oversized groups. On a multicore host a second all-core streaming pass
+// emits a "stream_parallel" row. Emits BENCH_stream.json (--out <path>).
+//
+// --overload mode (runs with --stream, appending to the same JSON): the
+// control-plane scenario. A single-worker service bounded by an
+// AdmissionPolicy (max_pending = 6) receives a burst far larger than its
+// queue while a deep blocker pins the worker: over-limit submissions must
+// complete kRejected (bounded pending depth instead of unbounded queue
+// growth), a cancelled queued ticket must come back kCancelled without
+// solving, an already-expired deadline must bounce at admission, and a
+// mid-solve cancel on a deep n=2000 bisection must stop the LP between
+// pivots. The section doubles as a smoke gate: the bench exits nonzero
+// when any of those guarantees is violated.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -240,7 +252,161 @@ StreamAggregate aggregate_lp(const std::vector<core::SchedulerResult>& results) 
   return agg;
 }
 
-int run_stream_bench(const std::string& out_path) {
+// --- overload / control-plane bench ------------------------------------------
+
+/// Deep-narrow layered workload (the perf_lp_scaling "layered" family):
+/// wide bisection bracket, real probe chain, solve time growing with n —
+/// the right shape for a blocker that pins a worker for a while.
+model::Instance make_deep_workload(int n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  graph::Dag dag = graph::make_layered(n / 4, 4, 2, rng);
+  return model::make_instance(std::move(dag), 4, [&](int, int procs) {
+    return model::make_random_power_law_task(rng, 0.3, 1.0, procs);
+  });
+}
+
+/// Writes the "overload" JSON section (see the file header) and returns
+/// false when a control-plane guarantee was violated.
+bool run_overload_section(std::FILE* f) {
+  constexpr std::size_t kMaxPending = 6;
+  constexpr int kBurst = 24;
+
+  core::ServiceOptions options;
+  options.num_threads = 1;
+  options.admission.max_pending = kMaxPending;
+  core::SchedulerService service(options);
+
+  // Bisection keeps the deep instances on their measured ~0.1 s/kilo-task
+  // budget (kAuto's cache bias would route them to the much slower cold
+  // direct LP).
+  core::SchedulerOptions bisect = options.scheduler;
+  bisect.lp.mode = core::LpMode::kBinarySearch;
+
+  std::fprintf(stderr,
+               "[overload] burst of %d into a max_pending=%zu single-worker "
+               "service...\n",
+               kBurst, kMaxPending);
+  support::Stopwatch wall;
+  core::ScheduleRequest blocker;
+  blocker.instance = make_deep_workload(1000, 0xB10C);
+  blocker.options = bisect;
+  blocker.client_tag = "blocker";
+  std::vector<core::TicketHandle> handles;
+  handles.push_back(service.submit(std::move(blocker)));
+
+  // The burst: the service mix shapes, submitted as fast as they can be
+  // generated, with cycling priorities. The worker is pinned by the
+  // blocker, so admission fills the queue to the bound and then bounces.
+  const std::vector<Shape> shapes = make_batch_shapes();
+  for (int i = 0; i < kBurst; ++i) {
+    const std::size_t s = static_cast<std::size_t>(i) % shapes.size();
+    core::ScheduleRequest request;
+    request.instance = make_variant(shapes[s], s, i / static_cast<int>(shapes.size()));
+    request.priority = i % 3;
+    request.client_tag = "burst";
+    handles.push_back(service.submit(std::move(request)));
+  }
+  // One request arrives already out of time: it must bounce at admission.
+  core::ScheduleRequest late;
+  late.instance = make_variant(shapes[0], 0, 0);
+  late.deadline_seconds = 0.0;
+  late.client_tag = "late";
+  handles.push_back(service.submit(std::move(late)));
+  // Cancel the youngest still-pending ticket (a queued burst job: the
+  // worker is deep inside the blocker).
+  std::size_t cancels_requested = 0;
+  for (auto it = handles.rbegin(); it != handles.rend(); ++it) {
+    if (it->cancel()) {
+      cancels_requested = 1;
+      break;
+    }
+  }
+  service.drain();
+
+  std::size_t completed_ok = 0;
+  std::size_t unclaimed = 0;
+  for (core::TicketHandle& handle : handles) {
+    const auto r = handle.try_get();
+    if (!r.has_value()) {
+      ++unclaimed;
+    } else if (r->status.ok()) {
+      ++completed_ok;
+    }
+  }
+  const double overload_wall = wall.seconds();
+  const core::ServiceStats stats = service.stats();
+
+  // Mid-solve cancellation row: a deep n=2000 bisection (~1 s solo on the
+  // committed BENCH_lp host) cancelled 100 ms in must come back kCancelled
+  // having spent only part of its pivots.
+  core::ScheduleRequest big;
+  big.instance = make_deep_workload(2000, 0xB16);
+  bisect.lp.bisection_tolerance = 1e-5;
+  big.options = bisect;
+  big.client_tag = "cancel-mid-solve";
+  support::Stopwatch cancel_wall;
+  core::TicketHandle mid = service.submit(std::move(big));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  mid.cancel();
+  const core::ServiceResult mid_result = mid.wait();
+  const double cancel_seconds = cancel_wall.seconds();
+
+  std::fprintf(f,
+               "  \"overload\": {\"config\": \"1 worker, AdmissionPolicy "
+               "max_pending %zu, blocker + burst of %d + expired-deadline "
+               "request\", \"submitted\": %zu, \"completed_ok\": %zu, "
+               "\"rejected\": %zu, \"cancelled\": %zu, \"expired\": %zu, "
+               "\"max_pending\": %zu, \"max_pending_seen\": %zu, "
+               "\"wall_seconds\": %.6f, \"cancel_mid_solve\": "
+               "{\"status\": \"%s\", \"wall_seconds\": %.6f, "
+               "\"lp_pivots\": %ld}},\n",
+               kMaxPending, kBurst, stats.submitted, completed_ok,
+               stats.rejected, stats.cancelled, stats.expired, kMaxPending,
+               stats.max_pending_seen, overload_wall,
+               core::to_string(mid_result.status.code()), cancel_seconds,
+               mid_result.lp_pivots);
+  std::fprintf(stderr,
+               "[overload] %zu submitted: %zu ok, %zu rejected, %zu "
+               "cancelled, %zu expired; pending peaked at %zu (bound %zu); "
+               "mid-solve cancel -> %s after %ld pivots (%.3f s)\n",
+               stats.submitted, completed_ok, stats.rejected, stats.cancelled,
+               stats.expired, stats.max_pending_seen, kMaxPending,
+               core::to_string(mid_result.status.code()), mid_result.lp_pivots,
+               cancel_seconds);
+
+  bool healthy = true;
+  if (stats.rejected == 0) {
+    std::fprintf(stderr, "OVERLOAD GATE: no submission was rejected\n");
+    healthy = false;
+  }
+  if (stats.max_pending_seen > kMaxPending) {
+    std::fprintf(stderr, "OVERLOAD GATE: pending depth %zu exceeded bound %zu\n",
+                 stats.max_pending_seen, kMaxPending);
+    healthy = false;
+  }
+  if (stats.cancelled != cancels_requested) {
+    std::fprintf(stderr, "OVERLOAD GATE: %zu cancels requested, %zu honoured\n",
+                 cancels_requested, stats.cancelled);
+    healthy = false;
+  }
+  if (stats.expired != 1) {
+    std::fprintf(stderr, "OVERLOAD GATE: expired-deadline request not expired\n");
+    healthy = false;
+  }
+  if (unclaimed != 0) {
+    std::fprintf(stderr, "OVERLOAD GATE: %zu tickets unclaimable after drain\n",
+                 unclaimed);
+    healthy = false;
+  }
+  if (mid_result.status.code() != core::StatusCode::kCancelled) {
+    std::fprintf(stderr, "OVERLOAD GATE: mid-solve cancel returned %s\n",
+                 mid_result.status.to_string().c_str());
+    healthy = false;
+  }
+  return healthy;
+}
+
+int run_stream_bench(const std::string& out_path, bool overload) {
   const std::vector<Shape> shapes = make_batch_shapes();
   std::vector<model::Instance> instances;
   std::vector<const char*> instance_shape;
@@ -356,6 +522,64 @@ int run_stream_bench(const std::string& out_path) {
                stream_agg.hit_rate, service_stats.groups_seen,
                service_stats.steals, service_stats.cache_entries,
                service_stats.cache.evictions);
+
+  // Multi-worker streaming row (the ROADMAP's missing multicore
+  // measurement; the single-core dev host skips it, the CI runner fills it
+  // in). The shared cache keeps warm-start reuse deterministic at any
+  // worker count, so the bounds must still match the batch barrier.
+  const std::size_t stream_cores =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (stream_cores > 1) {
+    std::fprintf(stderr, "[stream] streaming service, all %zu cores...\n",
+                 stream_cores);
+    core::SchedulerService parallel_service;  // default: all cores
+    std::vector<core::SchedulerService::Ticket> parallel_tickets;
+    parallel_tickets.reserve(instances.size());
+    support::Stopwatch parallel_wall;
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      parallel_tickets.push_back(parallel_service.submit(instances[i]));
+      if (i + 1 < instances.size()) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(gaps_ms[i]));
+      }
+    }
+    parallel_service.drain();
+    const double parallel_seconds = parallel_wall.seconds();
+    std::vector<core::SchedulerResult> parallel_results;
+    double parallel_max_diff = 0.0;
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      auto item = parallel_service.try_get(parallel_tickets[i]);
+      if (!item.has_value() || !item->status.ok()) {
+        std::fprintf(stderr, "stream_parallel instance %zu failed\n", i);
+        return 2;
+      }
+      const double a = batch.results[i].fractional.lower_bound;
+      parallel_max_diff = std::max(
+          parallel_max_diff,
+          std::abs(a - item->result.fractional.lower_bound) / std::max(1.0, a));
+      parallel_results.push_back(std::move(item->result));
+    }
+    if (parallel_max_diff > 2e-4) {
+      std::fprintf(stderr, "LOWER BOUND MISMATCH (parallel): %.3e\n",
+                   parallel_max_diff);
+      return 2;
+    }
+    const StreamAggregate parallel_agg = aggregate_lp(parallel_results);
+    std::fprintf(f,
+                 "  \"stream_parallel\": {\"wall_seconds\": %.6f, "
+                 "\"workers\": %zu, \"pivots\": %ld, \"warm_hit_rate\": %.4f, "
+                 "\"batch_over_stream_wall_ratio\": %.3f},\n",
+                 parallel_seconds, parallel_service.num_workers(),
+                 parallel_agg.pivots, parallel_agg.hit_rate,
+                 batch.stats.wall_seconds / std::max(1e-9, parallel_seconds));
+  } else {
+    std::fprintf(f, "  \"stream_parallel\": \"skipped (single-core host)\",\n");
+  }
+
+  if (overload && !run_overload_section(f)) {
+    std::fclose(f);
+    return 2;
+  }
   std::fprintf(f, "  \"batch_over_stream_wall_ratio\": %.3f,\n", ratio);
   std::fprintf(f, "  \"max_bound_rel_diff\": %.3e,\n", max_rel_diff);
   std::fprintf(f, "  \"instances\": [\n");
@@ -474,14 +698,19 @@ BENCHMARK(BM_EndToEnd)->Args({20, 8})->Args({40, 8})->Unit(benchmark::kMilliseco
 int main(int argc, char** argv) {
   bool batch = false;
   bool stream = false;
+  bool overload = false;
   std::string out_path;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--batch") == 0) batch = true;
     if (std::strcmp(argv[a], "--stream") == 0) stream = true;
+    if (std::strcmp(argv[a], "--overload") == 0) overload = true;
     if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) out_path = argv[++a];
   }
   if (batch) return run_batch_bench(out_path.empty() ? "BENCH_batch.json" : out_path);
-  if (stream) return run_stream_bench(out_path.empty() ? "BENCH_stream.json" : out_path);
+  if (stream || overload) {
+    return run_stream_bench(out_path.empty() ? "BENCH_stream.json" : out_path,
+                            overload);
+  }
 #ifdef MALSCHED_HAVE_GBENCH
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
@@ -491,7 +720,8 @@ int main(int argc, char** argv) {
   (void)make_bench_instance;
   std::fprintf(stderr,
                "google-benchmark is not available in this build; only "
-               "--batch / --stream [--out <path>] are supported\n");
+               "--batch / --stream [--overload] [--out <path>] are "
+               "supported\n");
   return 1;
 #endif
 }

@@ -3,12 +3,18 @@
 // Where examples/batch_pipeline.cpp collects a whole vector of instances
 // before scheduling anything, this example drives core::SchedulerService
 // the way live traffic would: instances are submitted one at a time as they
-// "arrive", each submit returns a Ticket immediately, and results are
+// "arrive", each submit returns a ticket immediately, and results are
 // claimed per ticket after a drain. Group-affine dispatch keeps recurring
 // workflow shapes warm-starting each other through the service's shared
 // bounded cache, and a deliberately broken submission (a cyclic precedence
 // graph) shows the typed error channel: the bad instance fails its own
 // ticket instead of taking the service down.
+//
+// The tail of the example exercises the request/response control plane: a
+// tagged high-priority ScheduleRequest that overtakes its group's backlog,
+// a request whose deadline has already passed (bounced at admission with
+// kDeadlineExceeded), and a TicketHandle::cancel() — every outcome arrives
+// as a typed status on its own ticket.
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -66,6 +72,44 @@ int main() {
     names.push_back("cyclic-bad");
   }
 
+  // The control plane: priorities, deadlines and cancellation.
+  {
+    support::Rng rng(2000);
+    const auto make_cholesky_revision = [&] {
+      return model::make_instance(cholesky, kProcessors, [&](int, int procs) {
+        return model::make_random_power_law_task(rng, 0.5, 0.8, procs);
+      });
+    };
+
+    // A tagged rush job: priority lifts it over its group's queued backlog
+    // (FIFO is preserved within a priority level).
+    core::ScheduleRequest urgent;
+    urgent.instance = make_cholesky_revision();
+    urgent.priority = 10;
+    urgent.client_tag = "urgent-rerun";
+    tickets.push_back(service.submit(std::move(urgent)).id());
+    names.push_back("urgent");
+
+    // Arrived too late: <= 0 means the deadline passed before admission, so
+    // the ticket completes immediately with kDeadlineExceeded.
+    core::ScheduleRequest late;
+    late.instance = make_cholesky_revision();
+    late.deadline_seconds = 0.0;
+    tickets.push_back(service.submit(std::move(late)).id());
+    names.push_back("late");
+
+    // Cancellation is cooperative: a queued job is dropped at dequeue, a
+    // running one stops between LP pivots. (If the job already finished,
+    // cancel() returns false and the ok result stays claimable.)
+    core::ScheduleRequest doomed;
+    doomed.instance = make_cholesky_revision();
+    doomed.client_tag = "superseded";
+    core::TicketHandle handle = service.submit(std::move(doomed));
+    handle.cancel();
+    tickets.push_back(handle.id());
+    names.push_back("cancelled");
+  }
+
   service.drain();
 
   std::printf("streaming Jansen-Zhang service, m = %d, %zu submissions\n\n",
@@ -88,10 +132,12 @@ int main() {
 
   const core::ServiceStats stats = service.stats();
   std::printf(
-      "\nworkers %zu, structure groups %zu, completed %zu (%zu failed), "
+      "\nworkers %zu, structure groups %zu, completed %zu (%zu failed: "
+      "%zu rejected, %zu cancelled, %zu expired), "
       "cache: %ld lookups / %ld hits / %ld stores / %ld evictions, "
       "%zu entries, %zu steals\n",
       service.num_workers(), stats.groups_seen, stats.completed, stats.failed,
+      stats.rejected, stats.cancelled, stats.expired,
       stats.cache.lookups, stats.cache.hits, stats.cache.stores,
       stats.cache.evictions, stats.cache_entries, stats.steals);
   return 0;

@@ -62,6 +62,23 @@ std::vector<model::WorkPiece> select_pieces(const model::WorkFunction& wf,
   return kept;
 }
 
+/// Converts an interrupted LP solve into the typed interruption exception,
+/// carrying the pivots spent so far. Cancellation wins over an expired
+/// deadline when both fired by throw time (both signals are monotone).
+[[noreturn]] void throw_interrupted(const AllotmentLpOptions& options,
+                                    long iterations) {
+  const lp::SolveControl* control = options.simplex.control;
+  const bool deadline =
+      control != nullptr &&
+      control->reason() == lp::SolveControl::Reason::kDeadlineExceeded;
+  if (deadline) {
+    throw SolveInterrupted(StatusCode::kDeadlineExceeded, iterations,
+                           "deadline exceeded during the allotment LP");
+  }
+  throw SolveInterrupted(StatusCode::kCancelled, iterations,
+                         "allotment LP cancelled mid-solve");
+}
+
 }  // namespace
 
 double BisectionBracket::relative_width() const {
@@ -497,6 +514,11 @@ FractionalAllotment solve_by_bisection(const model::Instance& instance,
     ++solves;
     warm_hits += out.warm_started ? 1 : 0;
     iterations += out.iterations;
+    if (out.status == lp::SolveStatus::kInterrupted) {
+      // Abort the whole bisection (the half-updated basis is discarded, not
+      // cached): every remaining probe would be interrupted the same way.
+      throw_interrupted(options, iterations);
+    }
     return out.status == lp::SolveStatus::kOptimal &&
            out.objective <= m * deadline * (1.0 + 1e-9);
   };
@@ -576,6 +598,9 @@ FractionalAllotment solve_direct(const model::Instance& instance,
     ++solves;
     iterations += coarse_solution.iterations;
     warm_starts += coarse_solution.warm_started ? 1 : 0;
+    if (coarse_solution.status == lp::SolveStatus::kInterrupted) {
+      throw_interrupted(options, iterations);
+    }
     if (coarse_solution.status != lp::SolveStatus::kOptimal &&
         coarse_solution.warm_started) {
       // A pathological cached basis must not poison this structure forever:
@@ -607,6 +632,9 @@ FractionalAllotment solve_direct(const model::Instance& instance,
   ++solves;
   iterations += solution.iterations;
   warm_starts += solution.warm_started ? 1 : 0;
+  if (solution.status == lp::SolveStatus::kInterrupted) {
+    throw_interrupted(options, iterations);
+  }
   if (solution.status != lp::SolveStatus::kOptimal && solution.warm_started) {
     // A pathological reused basis (e.g. a numerically distant cache entry)
     // must not take down a solve that would succeed cold: retry once.
@@ -614,6 +642,9 @@ FractionalAllotment solve_direct(const model::Instance& instance,
     solution = lp::solve_simplex(model, options.simplex, &basis);
     ++solves;
     iterations += solution.iterations;
+  }
+  if (solution.status == lp::SolveStatus::kInterrupted) {
+    throw_interrupted(options, iterations);
   }
   if (solution.status != lp::SolveStatus::kOptimal) {
     throw SolverError("allotment LP did not solve to optimality");

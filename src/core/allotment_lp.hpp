@@ -189,8 +189,10 @@ lp::Model build_allotment_lp(const model::Instance& instance, int piece_stride =
 
 /// Solves Phase 1 and returns the fractional allotment data. Throws
 /// core::SolverError (see status.hpp) when an LP that is feasible by
-/// construction fails numerically; SchedulerService converts that into a
-/// StatusCode::kLpFailure on the affected ticket.
+/// construction fails numerically, and core::SolveInterrupted when an
+/// attached lp::SolveControl (options.simplex.control) cancels the solve or
+/// its deadline passes mid-pivot; SchedulerService converts those into
+/// StatusCode::kLpFailure / kCancelled / kDeadlineExceeded on the ticket.
 FractionalAllotment solve_allotment_lp(const model::Instance& instance,
                                        const AllotmentLpOptions& options = {});
 

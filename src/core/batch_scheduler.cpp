@@ -38,14 +38,12 @@ BatchResult BatchScheduler::schedule_all(
   if (instances.empty()) return batch;
 
   support::Stopwatch wall;
-  // Submit-all-then-drain: the service fingerprints each instance at
-  // admission and dispatches it to its structure group, which reproduces
-  // the old vector-barrier semantics as the degenerate streaming case.
-  std::vector<SchedulerService::Ticket> tickets;
-  tickets.reserve(instances.size());
-  for (const model::Instance& instance : instances) {
-    tickets.push_back(service_.submit(instance, options_.scheduler));
-  }
+  // Submit-all-then-drain: every instance becomes a default-priority,
+  // no-deadline ScheduleRequest; the service fingerprints it at admission
+  // and dispatches it to its structure group, which reproduces the old
+  // vector-barrier semantics as the degenerate streaming case.
+  const std::vector<SchedulerService::Ticket> tickets =
+      service_.submit_many(instances, options_.scheduler);
   service_.drain();
   batch.stats.wall_seconds = wall.seconds();
 

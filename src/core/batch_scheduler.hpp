@@ -2,8 +2,10 @@
 // independent instances with shared solver state.
 //
 // Since the SchedulerService redesign this is a thin compatibility wrapper:
-// schedule_all submits every instance to a private core::SchedulerService
-// and drains it — one call, one barrier, same result layout as before. The
+// schedule_all wraps every instance in a default-priority, no-deadline
+// ScheduleRequest (via SchedulerService::submit_many), submits the lot to a
+// private core::SchedulerService and drains it — one call, one barrier,
+// same result layout as before. The
 // service supplies the machinery that used to live here (group-affine
 // dispatch by LP-structure fingerprint, warm-start reuse, the thread pool)
 // plus what the old implementation could not do: sub-slice work stealing

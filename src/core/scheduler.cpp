@@ -3,13 +3,36 @@
 #include <algorithm>
 
 #include "analysis/minmax.hpp"
+#include "core/status.hpp"
 #include "support/assert.hpp"
 
 namespace malsched::core {
 
+namespace {
+
+/// Phase boundaries honour the same cooperative token the LP pivot loops
+/// poll: a cancel/deadline that fires between phases stops the pipeline
+/// here instead of paying for rounding + LIST scheduling first.
+void throw_if_interrupted(const lp::SolveControl* control, long lp_iterations) {
+  if (control == nullptr) return;
+  switch (control->reason()) {
+    case lp::SolveControl::Reason::kNone:
+      return;
+    case lp::SolveControl::Reason::kCancelled:
+      throw SolveInterrupted(StatusCode::kCancelled, lp_iterations,
+                             "schedule cancelled between pipeline phases");
+    case lp::SolveControl::Reason::kDeadlineExceeded:
+      throw SolveInterrupted(StatusCode::kDeadlineExceeded, lp_iterations,
+                             "deadline exceeded between pipeline phases");
+  }
+}
+
+}  // namespace
+
 SchedulerResult schedule_malleable_dag(const model::Instance& instance,
                                        const SchedulerOptions& options) {
   model::validate_instance(instance);
+  throw_if_interrupted(options.lp.simplex.control, 0);
 
   const analysis::ParamChoice defaults = analysis::paper_parameters(instance.m);
   SchedulerResult result;
@@ -20,6 +43,7 @@ SchedulerResult schedule_malleable_dag(const model::Instance& instance,
 
   // Phase 1: fractional allotment + rounding.
   result.fractional = solve_allotment_lp(instance, options.lp);
+  throw_if_interrupted(options.lp.simplex.control, result.fractional.lp_iterations);
   result.alpha_prime = round_fractional(instance, result.fractional.x, result.rho);
 
   // Phase 2: mu-capped list scheduling.

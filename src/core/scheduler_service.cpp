@@ -1,6 +1,8 @@
 #include "core/scheduler_service.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <utility>
 
 #include "model/assumptions.hpp"
@@ -46,48 +48,147 @@ Status SchedulerService::admission_status(const model::Instance& instance) const
   return Status();
 }
 
-SchedulerService::Ticket SchedulerService::submit(model::Instance instance) {
-  return submit(std::move(instance), options_.scheduler);
+void SchedulerService::record_completion_locked(ServiceResult& result) {
+  ++completed_;
+  if (!result.status.ok()) {
+    ++failed_;
+    switch (result.status.code()) {
+      case StatusCode::kRejected: ++rejected_; break;
+      case StatusCode::kCancelled: ++cancelled_; break;
+      case StatusCode::kDeadlineExceeded: ++expired_; break;
+      default: break;
+    }
+  }
+  result.sequence = ++sequence_;
 }
 
-SchedulerService::Ticket SchedulerService::submit(model::Instance instance,
-                                                  const SchedulerOptions& options) {
-  const Status admission = admission_status(instance);
-  if (!admission.ok()) {
-    ServiceResult rejected;
-    rejected.status = admission;
-    std::unique_lock<std::mutex> lock(mutex_);
+TicketHandle SchedulerService::submit(ScheduleRequest request) {
+  const AdmissionPolicy& policy = options_.admission;
+  // Issues the ticket for (and publishes) a request refused before it ever
+  // became a job. Takes the lock it needs released + notified.
+  const auto refuse = [this](std::unique_lock<std::mutex>& lock, Status status,
+                             std::string tag) {
     const Ticket ticket = next_ticket_++;
     ++submitted_;
-    ++completed_;
-    ++failed_;
-    done_.emplace(ticket, std::move(rejected));
+    ServiceResult refused;
+    refused.status = std::move(status);
+    refused.client_tag = std::move(tag);
+    record_completion_locked(refused);
+    done_.emplace(ticket, std::move(refused));
     lock.unlock();
     cv_.notify_all();
-    return ticket;
+    return TicketHandle(this, ticket);
+  };
+
+  // A dead-on-arrival deadline beats every other screen (retrying a
+  // rejected request later can succeed; retrying an expired one cannot)
+  // and costs one comparison.
+  if (request.deadline_seconds.has_value() && *request.deadline_seconds <= 0.0) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return refuse(lock,
+                  Status::error(StatusCode::kDeadlineExceeded,
+                                "deadline already expired at admission"),
+                  std::move(request.client_tag));
   }
 
-  // Prime the piece-count memo and fingerprint before the instance is
-  // shared with a worker; the group key mirrors BatchScheduler's (resolved
-  // mode ignored — probe and direct bases live under distinct fingerprints
-  // inside the cache, so mixed kAuto routing within a group stays correct).
-  const std::uint64_t key = WarmStartCache::fingerprint(
-      instance, LpMode::kDirect, std::max(1, options.lp.piece_stride));
+  // Fast-path load shedding: a submit over the service-wide bound is
+  // refused before paying for validation, fingerprinting or a control
+  // token, so rejection stays ~O(1) during exactly the overload wave the
+  // policy exists to shed.
+  if (policy.max_pending > 0) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (inflight_.size() >= policy.max_pending) {
+      return refuse(lock,
+                    Status::error(StatusCode::kRejected,
+                                  "service at max_pending = " +
+                                      std::to_string(policy.max_pending)),
+                    std::move(request.client_tag));
+    }
+  }
 
+  const SchedulerOptions& options =
+      request.options.has_value() ? *request.options : options_.scheduler;
+  Status admission = admission_status(request.instance);
+
+  std::uint64_t key = 0;
   Job job;
-  job.instance = std::move(instance);
-  job.options = options;
+  if (admission.ok()) {
+    // Prime the piece-count memo and fingerprint before the instance is
+    // shared with a worker; the group key mirrors BatchScheduler's (resolved
+    // mode ignored — probe and direct bases live under distinct fingerprints
+    // inside the cache, so mixed kAuto routing within a group stays correct).
+    key = WarmStartCache::fingerprint(request.instance, LpMode::kDirect,
+                                      std::max(1, options.lp.piece_stride));
+    job.instance = std::move(request.instance);
+    job.options = options;
+    job.priority = request.priority;
+    job.control = std::make_shared<lp::SolveControl>();
+    if (request.deadline_seconds.has_value()) {
+      // NaN / infinity / beyond the clock's integer range all mean "no
+      // deadline": converting them would be UB and could wrap the deadline
+      // into the past. A century is comfortably inside steady_clock's
+      // 64-bit-nanosecond range.
+      constexpr double kMaxDeadlineSeconds = 3.2e9;  // ~100 years
+      const double seconds = *request.deadline_seconds;
+      if (std::isfinite(seconds) && seconds < kMaxDeadlineSeconds) {
+        job.control->deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(seconds));
+      }
+    }
+  }
+  job.client_tag = std::move(request.client_tag);
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (admission.ok()) {
+    // Authoritative admission control, under the same lock as the enqueue
+    // it guards (the fast path above is only advisory — admissions may
+    // have raced in while this request validated).
+    if (policy.max_pending > 0 && inflight_.size() >= policy.max_pending) {
+      admission = Status::error(
+          StatusCode::kRejected,
+          "service at max_pending = " + std::to_string(policy.max_pending));
+    } else if (policy.max_pending_per_group > 0) {
+      const auto it = groups_.find(key);
+      if (it != groups_.end() &&
+          it->second.pending >= policy.max_pending_per_group) {
+        admission = Status::error(StatusCode::kRejected,
+                                  "group at max_pending_per_group = " +
+                                      std::to_string(policy.max_pending_per_group));
+      }
+    }
+  }
+  if (!admission.ok()) {
+    return refuse(lock, std::move(admission), std::move(job.client_tag));
+  }
+
   const Ticket ticket = next_ticket_++;
   ++submitted_;
   job.ticket = ticket;
   inflight_.insert(ticket);
+  max_pending_seen_ = std::max(max_pending_seen_, inflight_.size());
+  controls_.emplace(ticket, job.control);
   groups_seen_.insert(key);
   Group& group = groups_[key];
-  group.pending.push_back(std::move(job));
+  group.buckets[job.priority].push_back(std::move(job));
+  ++group.pending;
   maybe_dispatch(key, group);
-  return ticket;
+  return TicketHandle(this, ticket);
+}
+
+SchedulerService::Ticket SchedulerService::submit(model::Instance instance) {
+  ScheduleRequest request;
+  request.instance = std::move(instance);
+  return submit(std::move(request)).id();
+}
+
+SchedulerService::Ticket SchedulerService::submit(model::Instance instance,
+                                                  const SchedulerOptions& options) {
+  ScheduleRequest request;
+  request.instance = std::move(instance);
+  request.options = options;
+  return submit(std::move(request)).id();
 }
 
 std::vector<SchedulerService::Ticket> SchedulerService::submit_many(
@@ -100,12 +201,30 @@ std::vector<SchedulerService::Ticket> SchedulerService::submit_many(
   return tickets;
 }
 
+std::vector<SchedulerService::Ticket> SchedulerService::submit_many(
+    std::vector<model::Instance> instances, const SchedulerOptions& options) {
+  std::vector<Ticket> tickets;
+  tickets.reserve(instances.size());
+  for (model::Instance& instance : instances) {
+    tickets.push_back(submit(std::move(instance), options));
+  }
+  return tickets;
+}
+
+bool SchedulerService::cancel(Ticket ticket) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = controls_.find(ticket);
+  if (it == controls_.end()) return false;  // completed, claimed or never issued
+  it->second->cancel.store(true, std::memory_order_relaxed);
+  return true;
+}
+
 void SchedulerService::maybe_dispatch(std::uint64_t key, Group& group) {
   const bool first = group.runners == 0;
   // Beyond the first runner, only an oversized backlog justifies another:
   // the extra runner is the steal path, and it costs group affinity (two
   // runners interleave their warm starts through the shared cache).
-  if (!first && (group.pending.size() <= options_.steal_slice ||
+  if (!first && (group.pending <= options_.steal_slice ||
                  group.runners >= runner_cap())) {
     return;
   }
@@ -113,6 +232,15 @@ void SchedulerService::maybe_dispatch(std::uint64_t key, Group& group) {
   // The future is intentionally dropped: run_group reports per-job errors
   // through ticket Statuses and must not throw.
   pool_.submit([this, key] { run_group(key); });
+}
+
+SchedulerService::Job SchedulerService::pop_job_locked(Group& group) {
+  const auto bucket = group.buckets.begin();  // highest priority level
+  Job job = std::move(bucket->second.front());
+  bucket->second.pop_front();
+  if (bucket->second.empty()) group.buckets.erase(bucket);
+  --group.pending;
+  return job;
 }
 
 void SchedulerService::run_group(std::uint64_t key) {
@@ -123,22 +251,36 @@ void SchedulerService::run_group(std::uint64_t key) {
       const auto it = groups_.find(key);
       if (it == groups_.end()) return;  // raced with the final runner
       Group& group = it->second;
-      if (group.pending.empty()) {
+      if (group.pending == 0) {
         if (--group.runners == 0) groups_.erase(it);
         return;
       }
       const std::size_t take =
-          std::min(std::max<std::size_t>(1, options_.steal_slice),
-                   group.pending.size());
+          std::min(std::max<std::size_t>(1, options_.steal_slice), group.pending);
       slice.reserve(take);
       for (std::size_t i = 0; i < take; ++i) {
-        slice.push_back(std::move(group.pending.front()));
-        group.pending.pop_front();
+        slice.push_back(pop_job_locked(group));
       }
       if (group.runners > 1) steals_ += 1;  // slice taken while shared
       maybe_dispatch(key, group);
     }
     for (Job& job : slice) {
+      // Cancelled or expired while queued: drop without solving. The same
+      // token keeps guarding the job once it runs, via the pivot loops.
+      const lp::SolveControl::Reason dropped = job.control->reason();
+      if (dropped != lp::SolveControl::Reason::kNone) {
+        ServiceResult result;
+        result.group = key;
+        result.client_tag = std::move(job.client_tag);
+        result.status =
+            dropped == lp::SolveControl::Reason::kCancelled
+                ? Status::error(StatusCode::kCancelled,
+                                "cancelled before dispatch")
+                : Status::error(StatusCode::kDeadlineExceeded,
+                                "deadline expired while queued");
+        complete(job.ticket, std::move(result));
+        continue;
+      }
       ServiceResult result = run_job(job, key);
       complete(job.ticket, std::move(result));
     }
@@ -148,14 +290,20 @@ void SchedulerService::run_group(std::uint64_t key) {
 ServiceResult SchedulerService::run_job(Job& job, std::uint64_t key) {
   ServiceResult out;
   out.group = key;
+  out.client_tag = std::move(job.client_tag);
   SchedulerOptions options = job.options;
   if (options_.reuse_solver_state) {
     options.lp.warm_cache = &cache_;
   }
+  options.lp.simplex.control = job.control.get();
   support::Stopwatch stopwatch;
   try {
     out.result = schedule_malleable_dag(job.instance, options);
     out.status = Status();
+    out.lp_pivots = out.result.fractional.lp_iterations;
+  } catch (const SolveInterrupted& e) {
+    out.status = Status::error(e.code(), e.what());
+    out.lp_pivots = e.lp_iterations();
   } catch (const SolverError& e) {
     out.status = Status::error(StatusCode::kLpFailure, e.what());
   } catch (const std::exception& e) {
@@ -169,11 +317,54 @@ void SchedulerService::complete(Ticket ticket, ServiceResult result) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     inflight_.erase(ticket);
-    ++completed_;
-    if (!result.status.ok()) ++failed_;
+    const auto it = controls_.find(ticket);
+    if (it != controls_.end()) {
+      // Closes the exactly-once contract of cancel(): a cancel (or a
+      // deadline) that fired after the last pivot poll — e.g. during the
+      // Phase-2 LIST schedule — is still honoured here, under the same
+      // lock cancel() takes. Either cancel() found the control and this
+      // override turns the result into kCancelled, or this erase ran first
+      // and cancel() returned false; a successful result can never leak
+      // past a cancel() that returned true. Real errors are not masked.
+      if (result.status.ok()) {
+        switch (it->second->reason()) {
+          case lp::SolveControl::Reason::kNone:
+            break;
+          case lp::SolveControl::Reason::kCancelled:
+            result.status = Status::error(StatusCode::kCancelled,
+                                          "cancelled at completion");
+            break;
+          case lp::SolveControl::Reason::kDeadlineExceeded:
+            result.status = Status::error(StatusCode::kDeadlineExceeded,
+                                          "deadline passed before completion");
+            break;
+        }
+      }
+      controls_.erase(it);
+    }
+    record_completion_locked(result);
     done_.emplace(ticket, std::move(result));
   }
   cv_.notify_all();
+}
+
+ServiceResult SchedulerService::missing_result_locked(Ticket ticket) const {
+  // Every issued ticket is inflight until completion and claimable until
+  // consumed, so a ticket that is neither was either never issued (id out
+  // of range) or already claimed — two distinct caller bugs, reported as
+  // two distinct codes.
+  ServiceResult out;
+  if (ticket == 0 || ticket >= next_ticket_) {
+    out.status = Status::error(StatusCode::kUnknownTicket,
+                               "ticket " + std::to_string(ticket) +
+                                   " was never issued by this service");
+  } else {
+    out.status = Status::error(StatusCode::kAlreadyClaimed,
+                               "ticket " + std::to_string(ticket) +
+                                   " was already consumed (tickets are "
+                                   "single-consumption)");
+  }
+  return out;
 }
 
 std::optional<ServiceResult> SchedulerService::try_get(Ticket ticket) {
@@ -185,11 +376,7 @@ std::optional<ServiceResult> SchedulerService::try_get(Ticket ticket) {
     return result;
   }
   if (inflight_.count(ticket) != 0) return std::nullopt;
-  ServiceResult unknown;
-  unknown.status = Status::error(
-      StatusCode::kUnknownTicket,
-      "ticket " + std::to_string(ticket) + " was never issued or already consumed");
-  return unknown;
+  return missing_result_locked(ticket);
 }
 
 ServiceResult SchedulerService::wait(Ticket ticket) {
@@ -202,11 +389,7 @@ ServiceResult SchedulerService::wait(Ticket ticket) {
       return result;
     }
     if (inflight_.count(ticket) == 0) {
-      ServiceResult unknown;
-      unknown.status = Status::error(StatusCode::kUnknownTicket,
-                                     "ticket " + std::to_string(ticket) +
-                                         " was never issued or already consumed");
-      return unknown;
+      return missing_result_locked(ticket);
     }
     lock.unlock();
     const bool ran = pool_.try_run_pending_task();  // help instead of sleeping
@@ -245,8 +428,15 @@ ServiceStats SchedulerService::stats() const {
     out.completed = completed_;
     out.failed = failed_;
     out.pending = inflight_.size();
+    out.rejected = rejected_;
+    out.cancelled = cancelled_;
+    out.expired = expired_;
+    out.max_pending_seen = max_pending_seen_;
     out.groups_seen = groups_seen_.size();
     out.steals = steals_;
+    for (const auto& [key, group] : groups_) {
+      out.queue_depth.emplace(key, group.pending);
+    }
   }
   out.cache = cache_.stats();
   out.cache_entries = cache_.size();

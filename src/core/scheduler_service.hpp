@@ -1,11 +1,34 @@
-// The streaming scheduling service: submit instances as they arrive.
+// The streaming scheduling service: submit requests as they arrive.
 //
 // BatchScheduler admits work one vector per batch — a barrier that a
 // service under live traffic cannot afford. SchedulerService is the
-// long-lived façade underneath: `submit` admits a single instance and
-// returns a Ticket immediately; workers pick the job up behind the caller's
-// back; `try_get`/`wait` deliver the result (or a typed error) per ticket
-// and `drain` flushes everything outstanding.
+// long-lived façade underneath: `submit` admits one ScheduleRequest and
+// returns a TicketHandle immediately; workers pick the job up behind the
+// caller's back; `try_get`/`wait` deliver the result (or a typed error) per
+// ticket and `drain` flushes everything outstanding.
+//
+// The submission contract is a full request/response control plane, not
+// just a queue:
+//
+//  * ADMISSION CONTROL — every submit is screened by the service's
+//    AdmissionPolicy (max pending jobs overall / max queued per structure
+//    group). An over-limit request completes its ticket immediately with
+//    StatusCode::kRejected, so an overload wave bounces instead of growing
+//    the queues without bound (the SpinJa lesson: bounded queues or one
+//    burst serializes everything behind it).
+//  * PRIORITIES — each group's queue is priority-ordered (higher first),
+//    stable within a level, so urgent work overtakes the backlog while
+//    default-priority traffic keeps exact FIFO order — which preserves both
+//    warm-start affinity and the PR-3 pivot-for-pivot determinism.
+//  * DEADLINES — a request may carry a relative deadline. Already expired
+//    at admission -> immediate kDeadlineExceeded; expired while queued ->
+//    dropped at dequeue without solving; expired mid-solve -> the
+//    lp::SolveControl token threaded into the pivot loops stops the LP
+//    cooperatively.
+//  * CANCELLATION — TicketHandle::cancel() (or cancel(Ticket)) flips the
+//    same token: a queued job is dropped at dequeue, a running job aborts
+//    between pivots, and the ticket completes with kCancelled carrying the
+//    pivots it spent before stopping.
 //
 // Dispatch is group-affine: at admission every instance is fingerprinted by
 // its Phase-1 LP structure (WarmStartCache::fingerprint) and queued under
@@ -15,22 +38,22 @@
 // dispatched, so idle workers steal whole sub-slices of an oversized group
 // instead of letting it serialize on one worker. All runners share ONE
 // bounded (LRU) WarmStartCache, which is what makes cross-batch reuse
-// deterministic at any worker count: a structure solved once warm-starts
-// every later solve of that structure no matter which worker it lands on
-// (the per-worker caches of the old BatchScheduler made that a scheduling
-// accident).
+// deterministic at any worker count.
 //
-// Errors travel as data: an invalid instance (cyclic DAG, zero work, table
-// mismatch), an assumption violation (opt-in check) or a numeric LP failure
-// completes the ticket with a typed Status instead of taking the process
+// Errors travel as data: an invalid instance, an assumption violation, a
+// numeric LP failure, a rejection, a cancellation or a missed deadline all
+// complete the ticket with a typed Status instead of taking the process
 // down (status.hpp).
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -42,17 +65,33 @@
 
 namespace malsched::core {
 
+class TicketHandle;
+
+/// Load-shedding limits applied at submit time. A request over any limit
+/// completes its ticket immediately with StatusCode::kRejected — the
+/// caller learns synchronously that the service is saturated, and the
+/// queues stay bounded under overload.
+struct AdmissionPolicy {
+  /// Maximum jobs admitted but not yet completed (queued + running) across
+  /// the whole service; 0 = unlimited.
+  std::size_t max_pending = 0;
+  /// Maximum QUEUED jobs per structure group (the running job of a group
+  /// does not count); 0 = unlimited. Caps how far one hot structure can
+  /// back up behind its warm-start affinity.
+  std::size_t max_pending_per_group = 0;
+};
+
 struct ServiceOptions {
   /// Service defaults match the batch pipeline: LpMode::kAuto and
   /// refine_stride = 4 (both exact; see BatchOptions).
   ServiceOptions();
 
-  /// Per-instance pipeline defaults; a per-submit override wins.
+  /// Per-instance pipeline defaults; a per-request override wins.
   SchedulerOptions scheduler;
   /// Worker threads; 0 = std::thread::hardware_concurrency().
   std::size_t num_threads = 0;
   /// Route every solve through the shared warm-start cache (overrides
-  /// whatever warm_cache the per-submit options carry).
+  /// whatever warm_cache the per-request options carry).
   bool reuse_solver_state = true;
   /// LRU entry bound of the shared WarmStartCache (0 = unbounded). Each LP
   /// structure costs at most a few entries (fine/coarse direct + probe), so
@@ -67,6 +106,30 @@ struct ServiceOptions {
   /// Check Assumptions 1 and 2 per task at admission and fail the ticket
   /// with kAssumptionViolation instead of scheduling outside the guarantee.
   bool enforce_assumptions = false;
+  /// Overload limits; the default (all zero) admits everything.
+  AdmissionPolicy admission;
+};
+
+/// One submission: the instance plus everything the service needs to
+/// admit, order and bound it. The legacy submit(Instance[, options])
+/// overloads build a default request (priority 0, no deadline, no tag).
+struct ScheduleRequest {
+  model::Instance instance;
+  /// Pipeline options for this request; nullopt = the service defaults.
+  std::optional<SchedulerOptions> options;
+  /// Dequeue priority within the structure group: higher runs first, FIFO
+  /// within a level (stable, so an all-default-priority stream reproduces
+  /// the PR-3 order — and its pivot counts — exactly).
+  int priority = 0;
+  /// Relative deadline in seconds, measured from admission. nullopt = none;
+  /// <= 0 is already expired and completes the ticket immediately with
+  /// kDeadlineExceeded — before any other screen, since retrying a
+  /// rejected request later can succeed while retrying an expired one
+  /// cannot. NaN, infinity, and values beyond the steady clock's range
+  /// (~100 years) are treated as "no deadline".
+  std::optional<double> deadline_seconds;
+  /// Opaque caller label, echoed verbatim on the ServiceResult.
+  std::string client_tag;
 };
 
 /// Completion record of one ticket. `result` is meaningful iff status.ok().
@@ -75,25 +138,46 @@ struct ServiceResult {
   SchedulerResult result;
   double seconds = 0.0;      ///< pipeline time of this instance
   std::uint64_t group = 0;   ///< LP-structure fingerprint it was dispatched under
+  std::string client_tag;    ///< echoed from the ScheduleRequest
+  /// LP pivots spent on this ticket — also filled for kCancelled /
+  /// kDeadlineExceeded tickets, where it proves the solve stopped early
+  /// (strictly below the uncancelled run's count).
+  long lp_pivots = 0;
+  /// Service-wide completion order (1-based): result A was produced before
+  /// result B iff A.sequence < B.sequence. Makes priority overtaking and
+  /// drop ordering observable without timing assumptions.
+  std::uint64_t sequence = 0;
 };
 
 /// Monotonic counters since construction, plus the live cache snapshot.
 struct ServiceStats {
   std::size_t submitted = 0;
   std::size_t completed = 0;  ///< includes failed
-  std::size_t failed = 0;     ///< completed with !status.ok()
+  std::size_t failed = 0;     ///< completed with !status.ok() (includes the
+                              ///< rejected/cancelled/expired below)
   std::size_t pending = 0;    ///< submitted, result not yet produced
+  std::size_t rejected = 0;   ///< completed kRejected by the AdmissionPolicy
+  std::size_t cancelled = 0;  ///< completed kCancelled
+  std::size_t expired = 0;    ///< completed kDeadlineExceeded
+  /// High-water mark of `pending` — under an AdmissionPolicy with
+  /// max_pending = N this never exceeds N (the bounded-queue evidence the
+  /// --overload bench records).
+  std::size_t max_pending_seen = 0;
   std::size_t groups_seen = 0;     ///< distinct LP structures ever admitted
   std::size_t steals = 0;          ///< sub-slices taken while another runner held the group
+  /// Queued (not yet running) jobs per live structure group; groups with no
+  /// queued work and no active runner are absent.
+  std::unordered_map<std::uint64_t, std::size_t> queue_depth;
   WarmStartCache::Stats cache;     ///< lookups/hits/stores/evictions
   std::size_t cache_entries = 0;   ///< current size of the shared cache
 };
 
 class SchedulerService {
  public:
-  /// Opaque handle for one submitted instance. Tickets are issued in
-  /// submission order (strictly increasing) and are single-consumption:
-  /// the first try_get/wait that returns the result retires the ticket.
+  /// Opaque id for one submitted request. Tickets are issued in submission
+  /// order (strictly increasing) and are single-consumption: the first
+  /// try_get/wait that returns the result retires the ticket (later claims
+  /// report kAlreadyClaimed; an id never issued reports kUnknownTicket).
   using Ticket = std::uint64_t;
 
   explicit SchedulerService(ServiceOptions options = {});
@@ -104,23 +188,47 @@ class SchedulerService {
   SchedulerService(const SchedulerService&) = delete;
   SchedulerService& operator=(const SchedulerService&) = delete;
 
-  /// Admits one instance (validated here — an invalid one completes its
-  /// ticket immediately with a typed error) and returns without waiting for
-  /// the solve. Thread-safe; the instance is owned by the service from here.
+  /// Admits one request and returns without waiting for the solve.
+  /// Validation, the deadline-at-admission check and the AdmissionPolicy
+  /// all run here; a request that fails any of them completes its ticket
+  /// immediately (kInvalidInstance / kAssumptionViolation /
+  /// kDeadlineExceeded / kRejected). Thread-safe; the instance is owned by
+  /// the service from here. The returned handle must not outlive the
+  /// service.
+  TicketHandle submit(ScheduleRequest request);
+
+  /// Legacy conveniences: wrap the instance in a default-priority,
+  /// no-deadline ScheduleRequest.
   Ticket submit(model::Instance instance);
   Ticket submit(model::Instance instance, const SchedulerOptions& options);
 
   /// submit() per element, preserving order; tickets[i] belongs to
-  /// instances[i].
+  /// instances[i]. Every element is wrapped in a default-priority,
+  /// no-deadline request with the given (or the service's) options.
   std::vector<Ticket> submit_many(std::vector<model::Instance> instances);
+  std::vector<Ticket> submit_many(std::vector<model::Instance> instances,
+                                  const SchedulerOptions& options);
+
+  /// Requests cooperative cancellation of a live ticket. A queued job is
+  /// dropped at dequeue; a running job aborts between LP pivots; a cancel
+  /// that lands after the last pivot poll is still honoured when the job
+  /// completes. Returns true when the ticket was still pending — in which
+  /// case its result is guaranteed NOT to be ok: normally kCancelled (or
+  /// kDeadlineExceeded if its deadline fired first), though a solver
+  /// failure that raced the cancel still reports its own error rather
+  /// than being masked. Returns false when the ticket had already
+  /// completed, been claimed, or was never issued. Completion is
+  /// asynchronous: claim the ticket as usual to observe the result.
+  bool cancel(Ticket ticket);
 
   /// Non-blocking: the result if the ticket has completed (retiring it),
-  /// nullopt while it is still pending, and a kUnknownTicket error result
-  /// for a ticket never issued or already consumed.
+  /// nullopt while it is still pending, kAlreadyClaimed for a ticket whose
+  /// result was already consumed and kUnknownTicket for one never issued.
   std::optional<ServiceResult> try_get(Ticket ticket);
 
   /// Blocks until the ticket completes and returns its result (retiring
-  /// it). While waiting the calling thread helps execute queued pool work
+  /// it); kAlreadyClaimed / kUnknownTicket return immediately. While
+  /// waiting the calling thread helps execute queued pool work
   /// (ThreadPool::try_run_pending_task) instead of sleeping.
   ServiceResult wait(Ticket ticket);
 
@@ -138,18 +246,36 @@ class SchedulerService {
     Ticket ticket = 0;
     model::Instance instance;
     SchedulerOptions options;
+    int priority = 0;
+    std::string client_tag;
+    /// Shared with controls_ so cancel()/deadline reach the job wherever it
+    /// is: queued (checked at dequeue) or running (polled by the LP pivot
+    /// loops via options.lp.simplex.control).
+    std::shared_ptr<lp::SolveControl> control;
   };
   struct Group {
-    std::deque<Job> pending;
+    /// Priority buckets, highest first; FIFO within a bucket. Default-
+    /// priority traffic lives in one bucket, i.e. plain FIFO.
+    std::map<int, std::deque<Job>, std::greater<int>> buckets;
+    std::size_t pending = 0;  ///< total queued jobs across buckets
     std::size_t runners = 0;
   };
 
   std::size_t runner_cap() const;
   /// Pre-admission validation -> typed Status (ok = admit).
   Status admission_status(const model::Instance& instance) const;
+  /// Requires mutex_ held: counters + completion sequence stamp for a
+  /// result that is about to be published.
+  void record_completion_locked(ServiceResult& result);
+  /// Requires mutex_ held: the typed error for a ticket that is neither
+  /// pending nor claimable.
+  ServiceResult missing_result_locked(Ticket ticket) const;
   /// Requires mutex_ held: dispatches one more runner for `group` when its
   /// backlog warrants it and the cap allows.
   void maybe_dispatch(std::uint64_t key, Group& group);
+  /// Requires mutex_ held: pops the front job of the highest non-empty
+  /// priority bucket.
+  Job pop_job_locked(Group& group);
   /// Runner body: drains `key`'s queue in sub-slices until it is empty.
   void run_group(std::uint64_t key);
   ServiceResult run_job(Job& job, std::uint64_t key);
@@ -164,14 +290,62 @@ class SchedulerService {
   std::unordered_map<std::uint64_t, Group> groups_;   ///< only groups with work
   std::unordered_set<std::uint64_t> groups_seen_;
   std::unordered_set<Ticket> inflight_;
+  /// Interruption tokens of pending (queued or running) tickets.
+  std::unordered_map<Ticket, std::shared_ptr<lp::SolveControl>> controls_;
   std::unordered_map<Ticket, ServiceResult> done_;
   std::size_t submitted_ = 0;
   std::size_t completed_ = 0;
   std::size_t failed_ = 0;
+  std::size_t rejected_ = 0;
+  std::size_t cancelled_ = 0;
+  std::size_t expired_ = 0;
+  std::size_t max_pending_seen_ = 0;
   std::size_t steals_ = 0;
+  std::uint64_t sequence_ = 0;
 
   /// Last member: destroyed (joined) first, while the state above is alive.
   support::ThreadPool pool_;
+};
+
+/// Value handle pairing a Ticket with the service that issued it — the
+/// response side of the request/response contract. Copyable and cheap; it
+/// does not own the service and must not outlive it. Tickets are
+/// single-consumption: the first try_get()/wait() that returns the result
+/// retires the ticket, after which further claims report kAlreadyClaimed.
+class TicketHandle {
+ public:
+  TicketHandle() = default;
+
+  SchedulerService::Ticket id() const { return ticket_; }
+  bool valid() const { return service_ != nullptr && ticket_ != 0; }
+
+  /// See SchedulerService::cancel.
+  bool cancel() { return valid() && service_->cancel(ticket_); }
+  /// See SchedulerService::try_get / wait. On a default-constructed handle
+  /// both report kUnknownTicket.
+  std::optional<ServiceResult> try_get() {
+    if (!valid()) return unbound();
+    return service_->try_get(ticket_);
+  }
+  ServiceResult wait() {
+    if (!valid()) return unbound();
+    return service_->wait(ticket_);
+  }
+
+ private:
+  friend class SchedulerService;
+  TicketHandle(SchedulerService* service, SchedulerService::Ticket ticket)
+      : service_(service), ticket_(ticket) {}
+
+  static ServiceResult unbound() {
+    ServiceResult result;
+    result.status = Status::error(StatusCode::kUnknownTicket,
+                                  "handle is not bound to a service");
+    return result;
+  }
+
+  SchedulerService* service_ = nullptr;
+  SchedulerService::Ticket ticket_ = 0;
 };
 
 }  // namespace malsched::core

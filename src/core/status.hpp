@@ -22,7 +22,12 @@ enum class StatusCode {
   kInvalidInstance,      ///< check_instance failed (cyclic DAG, no tasks, ...)
   kAssumptionViolation,  ///< a task table breaks Assumption 1 or 2
   kLpFailure,            ///< Phase-1 LP did not solve to optimality
-  kUnknownTicket,        ///< ticket never issued or its result already taken
+  kUnknownTicket,        ///< ticket was never issued by this service
+  kAlreadyClaimed,       ///< ticket's result was already consumed (tickets are
+                         ///< single-consumption; see TicketHandle)
+  kRejected,             ///< refused at admission by the AdmissionPolicy
+  kCancelled,            ///< cancelled via TicketHandle::cancel / cancel(Ticket)
+  kDeadlineExceeded,     ///< the request's deadline passed before completion
   kInternalError,        ///< unexpected exception inside the pipeline
 };
 
@@ -33,6 +38,10 @@ inline const char* to_string(StatusCode code) {
     case StatusCode::kAssumptionViolation: return "assumption-violation";
     case StatusCode::kLpFailure: return "lp-failure";
     case StatusCode::kUnknownTicket: return "unknown-ticket";
+    case StatusCode::kAlreadyClaimed: return "already-claimed";
+    case StatusCode::kRejected: return "rejected";
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
     case StatusCode::kInternalError: return "internal-error";
   }
   return "unknown";
@@ -72,6 +81,25 @@ class Status {
 class SolverError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// Thrown by Phase-1 solves (and the driver between phases) when an attached
+/// lp::SolveControl interrupts the pipeline: cooperative cancellation or an
+/// expired deadline. Carries which of the two fired and the LP pivots spent
+/// before stopping (the evidence that a mid-solve cancel really cut the
+/// solve short). SchedulerService converts it into kCancelled /
+/// kDeadlineExceeded on the affected ticket.
+class SolveInterrupted : public std::runtime_error {
+ public:
+  SolveInterrupted(StatusCode code, long lp_iterations, const std::string& what)
+      : std::runtime_error(what), code_(code), lp_iterations_(lp_iterations) {}
+
+  StatusCode code() const { return code_; }
+  long lp_iterations() const { return lp_iterations_; }
+
+ private:
+  StatusCode code_;
+  long lp_iterations_;
 };
 
 }  // namespace malsched::core

@@ -84,6 +84,8 @@ const char* to_string(SolveStatus status) {
       return "unbounded";
     case SolveStatus::kIterationLimit:
       return "iteration-limit";
+    case SolveStatus::kInterrupted:
+      return "interrupted";
   }
   return "unknown";
 }

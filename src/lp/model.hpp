@@ -10,6 +10,8 @@
 // <=, >=, or =; variable bounds may be infinite in either direction.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <limits>
 #include <string>
 #include <utility>
@@ -18,6 +20,42 @@
 namespace malsched::lp {
 
 inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// Cooperative interruption token for long solves. The owner (e.g. one
+/// scheduling-service ticket) shares a SolveControl with the solver via
+/// SimplexOptions::control, and the pivot loops poll the token between
+/// iterations, returning SolveStatus::kInterrupted instead of grinding to
+/// optimality. Thread contract: `cancel` is atomic and may be set from any
+/// thread while a solve is running; `deadline` is a plain field and must
+/// be armed BEFORE the token is handed to a solver (SchedulerService arms
+/// it at admission and never touches it again). Both signals are monotone
+/// — cancel is never cleared and the clock only advances — so a reason()
+/// observed once stays valid.
+struct SolveControl {
+  enum class Reason : unsigned char { kNone, kCancelled, kDeadlineExceeded };
+
+  /// Set to request cooperative abort (checked every pivot: one relaxed
+  /// atomic load).
+  std::atomic<bool> cancel{false};
+  /// Absolute steady-clock deadline; time_point::max() = none. Checked
+  /// every 64th pivot (a clock read costs more than an atomic load).
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+
+  bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point::max();
+  }
+  bool expired() const {
+    return has_deadline() && std::chrono::steady_clock::now() >= deadline;
+  }
+  /// Current interruption state; cancellation wins over an expired deadline
+  /// when both have fired.
+  Reason reason() const {
+    if (cancel.load(std::memory_order_relaxed)) return Reason::kCancelled;
+    if (expired()) return Reason::kDeadlineExceeded;
+    return Reason::kNone;
+  }
+};
 
 enum class Sense { kLessEqual, kGreaterEqual, kEqual };
 
@@ -78,7 +116,13 @@ class Model {
   std::vector<Constraint> constraints_;
 };
 
-enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kInterrupted,  ///< a SolveControl cancelled the solve or its deadline passed
+};
 
 const char* to_string(SolveStatus status);
 

@@ -304,6 +304,13 @@ class SimplexCore {
       extract(result);
       return result;
     }
+    if (dual_status == SolveStatus::kInterrupted) {
+      // An interruption must NOT fall through to the primal safety net:
+      // the caller asked the solve to stop, not to start over.
+      result.status = SolveStatus::kInterrupted;
+      extract(result);
+      return result;
+    }
     // Iteration budget or numerical stall: the primal method is the safety
     // net. Pivots spent in the dual loop stay counted.
     return run_with_carry(result);
@@ -479,6 +486,16 @@ class SimplexCore {
     return worst;
   }
 
+  /// Cooperative-interruption poll, called once per pivot in both loops.
+  /// The cancel flag is a relaxed atomic load every iteration; the deadline
+  /// clock is only read every 64th iteration.
+  bool interrupted(long iterations) const {
+    const SolveControl* control = opt_.control;
+    if (control == nullptr) return false;
+    if (control->cancel.load(std::memory_order_relaxed)) return true;
+    return (iterations & 63) == 0 && control->expired();
+  }
+
   // --- core machinery ------------------------------------------------------
 
   double reduced_cost(int j, const Vector& y) const {
@@ -627,6 +644,7 @@ class SimplexCore {
     infeas_.assign(mu, 0);
 
     for (;;) {
+      if (interrupted(result.iterations)) return SolveStatus::kInterrupted;
       if (result.iterations >= opt_.max_iterations) return SolveStatus::kIterationLimit;
       ++result.iterations;
 
@@ -830,6 +848,7 @@ class SimplexCore {
     constexpr double kTieEps = 1e-12;
 
     for (;;) {
+      if (interrupted(result.iterations)) return SolveStatus::kInterrupted;
       if (result.iterations >= opt_.max_iterations) return SolveStatus::kIterationLimit;
 
       // --- leaving row: largest primal bound violation ---

@@ -65,6 +65,14 @@ struct SimplexOptions {
   double primal_tolerance = 1e-9; ///< bound feasibility tolerance
   double pivot_tolerance = 1e-10; ///< minimum acceptable |pivot element|
   int bland_trigger = 64;         ///< degenerate-pivot streak enabling Bland
+  /// Optional cooperative interruption token (not owned; may be signalled
+  /// from another thread — this is how SchedulerService aborts a running
+  /// ticket). Polled between pivots in both the primal and the dual loop:
+  /// the cancel flag every iteration, the deadline every 64th. An
+  /// interrupted solve returns SolveStatus::kInterrupted with the pivots
+  /// spent so far counted; nullptr (the default) is never interrupted and
+  /// leaves the pivot sequence untouched.
+  const SolveControl* control = nullptr;
 };
 
 /// Per-variable status codes of a SimplexBasis snapshot. Exposed so callers

@@ -1,10 +1,13 @@
 // Tests for the streaming SchedulerService façade: submit/try_get/wait/drain
 // semantics, typed-error admission, concurrent submission, the bounded LRU
-// warm-start cache, and deterministic cross-batch reuse.
+// warm-start cache, deterministic cross-batch reuse, and the
+// request/response control plane (cancellation, deadlines, priorities,
+// admission control).
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <thread>
 #include <vector>
@@ -77,14 +80,15 @@ TEST(SchedulerService, DrainThenTryGetInSubmissionOrder) {
   }
   service.drain();
   // After drain every ticket is claimable (in any order; here: submission
-  // order), and a second claim of the same ticket reports kUnknownTicket.
+  // order), and a second claim of the same ticket reports kAlreadyClaimed —
+  // distinct from the kUnknownTicket of an id that was never issued.
   for (const auto ticket : tickets) {
     const auto result = service.try_get(ticket);
     ASSERT_TRUE(result.has_value());
     EXPECT_TRUE(result->status.ok()) << result->status.to_string();
     const auto again = service.try_get(ticket);
     ASSERT_TRUE(again.has_value());
-    EXPECT_EQ(again->status.code(), core::StatusCode::kUnknownTicket);
+    EXPECT_EQ(again->status.code(), core::StatusCode::kAlreadyClaimed);
   }
   const core::ServiceStats stats = service.stats();
   EXPECT_EQ(stats.submitted, 6u);
@@ -156,6 +160,20 @@ TEST(SchedulerService, UnknownTicketIsTyped) {
   EXPECT_EQ(never_issued->status.code(), core::StatusCode::kUnknownTicket);
   const core::ServiceResult waited = service.wait(777);
   EXPECT_EQ(waited.status.code(), core::StatusCode::kUnknownTicket);
+}
+
+TEST(SchedulerService, ClaimedTicketIsDistinctFromUnknown) {
+  // Satellite fix: a consumed ticket and a never-issued one used to share
+  // kUnknownTicket; they are different caller bugs and now read differently.
+  core::SchedulerService service;
+  const auto ticket = service.submit(make_test_instance(0x11, 12, 4));
+  EXPECT_TRUE(service.wait(ticket).status.ok());
+  EXPECT_EQ(service.wait(ticket).status.code(), core::StatusCode::kAlreadyClaimed);
+  const auto again = service.try_get(ticket);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->status.code(), core::StatusCode::kAlreadyClaimed);
+  EXPECT_EQ(service.wait(ticket + 1).status.code(),
+            core::StatusCode::kUnknownTicket);
 }
 
 TEST(SchedulerService, ConcurrentSubmitFromManyThreads) {
@@ -263,6 +281,258 @@ TEST(SchedulerService, CacheBoundHoldsUnderManyStructures) {
   EXPECT_EQ(stats.groups_seen, 5u);
   EXPECT_LE(stats.cache_entries, 2u);
   EXPECT_GT(stats.cache.evictions, 0);
+}
+
+// --- request/response control plane -----------------------------------------
+
+/// Service tuned for deterministic control-plane scenarios: ONE worker (so
+/// a slow "blocker" instance pins it while requests queue behind), no
+/// cache (so results are bit-comparable to solo schedule_malleable_dag
+/// runs with the same options).
+core::ServiceOptions one_worker_no_reuse() {
+  core::ServiceOptions options;
+  options.num_threads = 1;
+  options.reuse_solver_state = false;
+  return options;
+}
+
+/// Deep-narrow layered instance (width 4, the perf_lp_scaling layered
+/// family): its wide bisection bracket forces a real probe chain, so the
+/// solve time grows with n instead of collapsing into the closed form.
+model::Instance make_deep_instance(int n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  graph::Dag dag = graph::make_layered(n / 4, 4, 2, rng);
+  return model::make_instance(std::move(dag), 4, [&](int, int procs) {
+    return model::make_random_power_law_task(rng, 0.3, 1.0, procs);
+  });
+}
+
+/// A deep-enough instance that its solve reliably outlasts the microseconds
+/// of submission bookkeeping the scenarios do behind its back.
+model::Instance make_blocker_instance() { return make_deep_instance(500, 0xB10C); }
+
+TEST(SchedulerService, CancelBeforeDispatchCompletesCancelled) {
+  core::SchedulerService service(one_worker_no_reuse());
+  // The blocker owns the only worker, so the target stays queued until its
+  // group runner executes — by which time the cancel below has landed.
+  const auto blocker = service.submit(make_blocker_instance());
+  core::ScheduleRequest request;
+  request.instance = make_test_instance(0x7A6, 24, 4);
+  request.client_tag = "cancel-me";
+  core::TicketHandle handle = service.submit(std::move(request));
+  ASSERT_TRUE(handle.valid());
+  EXPECT_TRUE(handle.cancel());  // still pending: the cancel takes effect
+
+  const core::ServiceResult r = handle.wait();
+  EXPECT_EQ(r.status.code(), core::StatusCode::kCancelled);
+  EXPECT_EQ(r.lp_pivots, 0);  // dropped at dequeue, never solved
+  EXPECT_EQ(r.client_tag, "cancel-me");
+  EXPECT_FALSE(handle.cancel());  // completed (and claimed): nothing to cancel
+  EXPECT_TRUE(service.wait(blocker).status.ok());
+  const core::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(SchedulerService, CancelMidSolveStopsLpEarly) {
+  // The acceptance scenario: a layered n=2000 instance whose bisection
+  // takes ~1 s solo is cancelled mid-solve; the ticket must complete with
+  // kCancelled having spent strictly fewer pivots than the uncancelled run
+  // — proof the SolveControl token reached the pivot loops.
+  const model::Instance big = make_deep_instance(2000, 0xB16);
+  core::SchedulerOptions solo_options;
+  solo_options.lp.mode = core::LpMode::kBinarySearch;
+  const core::SchedulerResult solo = core::schedule_malleable_dag(big, solo_options);
+  ASSERT_GT(solo.fractional.lp_iterations, 0);
+
+  core::SchedulerService service(one_worker_no_reuse());
+  core::ScheduleRequest request;
+  request.instance = big;
+  request.options = solo_options;
+  core::TicketHandle handle = service.submit(std::move(request));
+  // Land the cancel well inside the solve window (75 ms into ~1 s; even a
+  // much faster host leaves a wide margin, and slower/TSan hosts widen it).
+  std::this_thread::sleep_for(std::chrono::milliseconds(75));
+  EXPECT_TRUE(handle.cancel());
+  const core::ServiceResult r = handle.wait();
+  ASSERT_EQ(r.status.code(), core::StatusCode::kCancelled)
+      << r.status.to_string();
+  EXPECT_LT(r.lp_pivots, solo.fractional.lp_iterations);
+  EXPECT_EQ(service.stats().cancelled, 1u);
+}
+
+TEST(SchedulerService, DeadlineExpiredAtAdmission) {
+  core::SchedulerService service;
+  core::ScheduleRequest request;
+  request.instance = make_test_instance(0xDEAD, 24, 4);
+  request.deadline_seconds = -1.0;  // already in the past
+  core::TicketHandle handle = service.submit(std::move(request));
+  EXPECT_FALSE(handle.cancel());  // completed at admission, nothing pending
+  const core::ServiceResult r = handle.wait();  // returns immediately
+  EXPECT_EQ(r.status.code(), core::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(r.lp_pivots, 0);
+  const core::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.pending, 0u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(SchedulerService, DeadlineExpiresWhileQueued) {
+  core::SchedulerService service(one_worker_no_reuse());
+  const auto blocker = service.submit(make_blocker_instance());
+  core::ScheduleRequest request;
+  request.instance = make_test_instance(0x3A9, 24, 4);
+  request.deadline_seconds = 0.002;  // far shorter than the blocker's solve
+  core::TicketHandle handle = service.submit(std::move(request));
+  // Let the deadline lapse before anything can dequeue the job (the worker
+  // is pinned by the blocker and this thread only helps once it waits).
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const core::ServiceResult r = handle.wait();
+  EXPECT_EQ(r.status.code(), core::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(r.lp_pivots, 0);  // dropped at dequeue, the LP never started
+  EXPECT_TRUE(service.wait(blocker).status.ok());
+  EXPECT_EQ(service.stats().expired, 1u);
+}
+
+TEST(SchedulerService, AdmissionPolicyBoundsPending) {
+  core::ServiceOptions options = one_worker_no_reuse();
+  options.admission.max_pending = 2;
+  core::SchedulerService service(options);
+  const auto blocker = service.submit(make_blocker_instance());  // pending 1
+  const auto queued = service.submit(make_test_instance(0xA1, 20, 4));  // 2
+  core::ScheduleRequest over;
+  over.instance = make_test_instance(0xA2, 20, 4);
+  over.client_tag = "over-limit";
+  core::TicketHandle rejected = service.submit(std::move(over));
+  // The rejection is synchronous: the result is claimable before any drain.
+  const auto r = rejected.try_get();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status.code(), core::StatusCode::kRejected);
+  EXPECT_EQ(r->client_tag, "over-limit");
+  service.drain();
+  EXPECT_TRUE(service.wait(blocker).status.ok());
+  EXPECT_TRUE(service.wait(queued).status.ok());
+  const core::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_LE(stats.max_pending_seen, 2u);
+}
+
+TEST(SchedulerService, AdmissionPolicyBoundsGroupBacklog) {
+  core::ServiceOptions options = one_worker_no_reuse();
+  options.admission.max_pending_per_group = 1;
+  core::SchedulerService service(options);
+  const auto blocker = service.submit(make_blocker_instance());
+  // Same DAG, perturbed tables => same structure group (the fingerprint
+  // hashes arcs and piece counts, not the numeric tables).
+  const graph::Dag dag = make_test_instance(0xD09, 30, 4).dag;
+  const auto make_revision = [&](int rev) {
+    support::Rng rng(0x1111 + rev);
+    return model::make_instance(dag, 4, [&](int, int procs) {
+      return model::make_random_power_law_task(rng, 0.4, 0.8, procs);
+    });
+  };
+  const auto first = service.submit(make_revision(0));   // group depth 1
+  const auto second = service.submit(make_revision(1));  // over the group cap
+  // A different structure is untouched by the per-group bound.
+  const auto other = service.submit(make_test_instance(0xD10, 18, 4));
+  const auto rejected = service.try_get(second);
+  ASSERT_TRUE(rejected.has_value());
+  EXPECT_EQ(rejected->status.code(), core::StatusCode::kRejected);
+  service.drain();
+  EXPECT_TRUE(service.wait(blocker).status.ok());
+  EXPECT_TRUE(service.wait(first).status.ok());
+  EXPECT_TRUE(service.wait(other).status.ok());
+  EXPECT_EQ(service.stats().rejected, 1u);
+}
+
+TEST(SchedulerService, PriorityOvertakesWithinGroupStableFifo) {
+  core::ServiceOptions options = one_worker_no_reuse();
+  options.steal_slice = 4;  // one runner takes the whole backlog in order
+  core::SchedulerService service(options);
+  const auto blocker = service.submit(make_blocker_instance());
+  const graph::Dag dag = make_test_instance(0x991, 40, 4).dag;
+  const auto submit_with = [&](int rev, int priority, const char* tag) {
+    support::Rng rng(0x2222 + rev);
+    core::ScheduleRequest request;
+    request.instance = model::make_instance(dag, 4, [&](int, int procs) {
+      return model::make_random_power_law_task(rng, 0.4, 0.8, procs);
+    });
+    request.priority = priority;
+    request.client_tag = tag;
+    return service.submit(std::move(request));
+  };
+  core::TicketHandle low1 = submit_with(0, 0, "low-1");
+  core::TicketHandle high = submit_with(1, 7, "high");
+  core::TicketHandle low2 = submit_with(2, 0, "low-2");
+  service.drain();
+  const core::ServiceResult r_low1 = low1.wait();
+  const core::ServiceResult r_high = high.wait();
+  const core::ServiceResult r_low2 = low2.wait();
+  ASSERT_TRUE(r_low1.status.ok() && r_high.status.ok() && r_low2.status.ok());
+  EXPECT_EQ(r_high.client_tag, "high");
+  // The high-priority request overtakes the earlier-submitted backlog...
+  EXPECT_LT(r_high.sequence, r_low1.sequence);
+  EXPECT_LT(r_high.sequence, r_low2.sequence);
+  // ...while equal-priority requests keep submission (FIFO) order.
+  EXPECT_LT(r_low1.sequence, r_low2.sequence);
+  EXPECT_TRUE(service.wait(blocker).status.ok());
+}
+
+TEST(SchedulerService, DeterministicResultsUnderRejection) {
+  // Overload must shed load, not corrupt it: across two identical runs the
+  // same submissions are rejected and every accepted instance certifies the
+  // same schedule as a solo run of the single-instance driver.
+  std::vector<model::Instance> wave;
+  for (int i = 0; i < 5; ++i) wave.push_back(make_test_instance(0x510 + i, 20, 4));
+
+  const auto run_wave = [&]() {
+    core::ServiceOptions options = one_worker_no_reuse();
+    options.admission.max_pending = 3;
+    core::SchedulerService service(options);
+    const auto blocker = service.submit(make_blocker_instance());  // pending 1
+    std::vector<core::SchedulerService::Ticket> tickets;
+    for (const model::Instance& instance : wave) {
+      tickets.push_back(service.submit(instance));
+    }
+    service.drain();
+    std::vector<core::ServiceResult> results;
+    for (const auto ticket : tickets) {
+      auto r = service.try_get(ticket);
+      EXPECT_TRUE(r.has_value());
+      results.push_back(std::move(*r));
+    }
+    EXPECT_TRUE(service.wait(blocker).status.ok());
+    const core::ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.rejected, 3u);
+    EXPECT_LE(stats.max_pending_seen, 3u);
+    return results;
+  };
+
+  const std::vector<core::ServiceResult> first = run_wave();
+  const std::vector<core::ServiceResult> second = run_wave();
+  const core::ServiceOptions defaults = one_worker_no_reuse();
+  ASSERT_EQ(first.size(), wave.size());
+  for (std::size_t i = 0; i < wave.size(); ++i) {
+    // With the blocker holding the worker, admission fills to the bound in
+    // submission order: the first two wave instances are accepted, the rest
+    // rejected — identically in both runs.
+    const bool accepted = i < 2;
+    ASSERT_EQ(first[i].status.ok(), accepted) << first[i].status.to_string();
+    ASSERT_EQ(second[i].status.ok(), accepted);
+    if (!accepted) {
+      EXPECT_EQ(first[i].status.code(), core::StatusCode::kRejected);
+      EXPECT_EQ(second[i].status.code(), core::StatusCode::kRejected);
+      continue;
+    }
+    const core::SchedulerResult solo =
+        core::schedule_malleable_dag(wave[i], defaults.scheduler);
+    EXPECT_EQ(first[i].result.makespan, solo.makespan) << "instance " << i;
+    EXPECT_EQ(first[i].result.fractional.lower_bound,
+              solo.fractional.lower_bound);
+    EXPECT_EQ(second[i].result.makespan, solo.makespan);
+    EXPECT_EQ(second[i].result.schedule.allotment, solo.schedule.allotment);
+  }
 }
 
 TEST(Instance, PieceCountsMemoizedAndMutationSafe) {
