@@ -35,6 +35,19 @@
 // mid-solve cancel on a deep n=2000 bisection must stop the LP between
 // pivots. The section doubles as a smoke gate: the bench exits nonzero
 // when any of those guarantees is violated.
+//
+// --faults mode (runs with --stream, appending to the same JSON): the
+// recovery scenario. The streaming run above doubles as the fault-free
+// baseline — the FaultInjector is compiled into every solve it took, and
+// the section gates that its pivot count still reproduces the committed
+// BENCH_stream.json value bit-identically (a disarmed probe is one relaxed
+// atomic load; it must not perturb anything). Then the same 16-instance mix
+// replays under a seeded fault storm: an LU refactorization failure, a
+// corrupted warm-start cache entry, periodic injected solver errors and a
+// killed worker thread. The gates: every ticket completes ok through the
+// RetryPolicy chain, every recovered lower bound is BITWISE identical to
+// the fault-free run, and the service counted real retries and a worker
+// restart. Exits nonzero when recovery falls short.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -46,6 +59,7 @@
 
 #include "core/allotment_lp.hpp"
 #include "core/batch_scheduler.hpp"
+#include "core/fault_injector.hpp"
 #include "core/list_scheduler.hpp"
 #include "core/rounding.hpp"
 #include "core/scheduler.hpp"
@@ -406,7 +420,177 @@ bool run_overload_section(std::FILE* f) {
   return healthy;
 }
 
-int run_stream_bench(const std::string& out_path, bool overload) {
+// --- fault-storm / recovery bench --------------------------------------------
+
+/// The streaming pivot total committed in BENCH_stream.json. The workload,
+/// the queue order and the simplex are all deterministic, so a fault-free
+/// run must reproduce it bit-for-bit on any host — with the fault injector
+/// compiled in. Update together with the regenerated JSON when a PR
+/// legitimately changes the pivot sequence.
+constexpr long kCommittedStreamPivots = 24824;
+
+/// Writes the "faults" JSON section (see the file header) and returns false
+/// when a recovery guarantee was violated. `baseline` is the fault-free
+/// streaming run of the same instances from run_stream_bench.
+bool run_faults_section(std::FILE* f,
+                        const std::vector<model::Instance>& instances,
+                        const std::vector<core::SchedulerResult>& baseline,
+                        long baseline_pivots) {
+  bool healthy = true;
+  if (baseline_pivots != kCommittedStreamPivots) {
+    std::fprintf(stderr,
+                 "FAULTS GATE: fault-free stream took %ld pivots, committed "
+                 "baseline is %ld (the disarmed injector must not perturb "
+                 "the solve)\n",
+                 baseline_pivots, kCommittedStreamPivots);
+    healthy = false;
+  }
+
+  // The storm, seeded and hit-indexed so it replays identically everywhere.
+  // Every schedule is placed so the documented recovery path restores the
+  // EXACT fault-free pivot trajectory of the affected chain — which is what
+  // makes the bitwise bound gate below meaningful rather than lucky:
+  //  * the very first LU factorization fails (the coarse relaxation's cold
+  //    start — the solve-level cold rerun replays the refined path exactly,
+  //    because the failed solve spent no pivots);
+  //  * every 3rd allotment solve throws SolverError, 4 times total — the
+  //    RetryPolicy rerun warm-starts the coarse LP from the attempt's own
+  //    stored optimum, so the certified basis (and the fine solve behind
+  //    it) is unchanged;
+  //  * the 5th cache store — the LAST wide-flat revision's coarse entry —
+  //    is corrupted. The put-side corruption machinery fires inside the
+  //    live mix; consumed-entry recovery (Phase-I repair of a poisoned
+  //    basis, equal bounds) is gated in tests/test_fault_injection.cpp,
+  //    where repair is exact. Here a repair may legally land on an
+  //    alternate optimal basis (~1e-13 bound drift), which the bitwise
+  //    gate cannot admit;
+  //  * the 16th worker-loop iteration (the last job's) throws outside the
+  //    solve guard — requeue + worker replacement, and the rerun solves a
+  //    job the dead attempt never touched.
+  auto& injector = core::FaultInjector::instance();
+  injector.reset();
+  injector.arm("linalg.lu.factor-fail", core::FaultSchedule::one_shot(1));
+  injector.arm("core.cache.corrupt", core::FaultSchedule::one_shot(5));
+  injector.arm("core.lp.solver-error",
+               core::FaultSchedule::every_nth(3, /*max_fires=*/4));
+  injector.arm("core.service.worker-throw", core::FaultSchedule::one_shot(16));
+
+  std::fprintf(stderr,
+               "[faults] storm replay of the %zu-instance mix (LU fail + "
+               "cache corrupt + solver errors + killed worker)...\n",
+               instances.size());
+  core::ServiceOptions options;
+  options.num_threads = 1;
+  // The watchdog rides along armed; healthy solves heartbeat every pivot,
+  // so it must stay silent through the whole storm.
+  options.stall_timeout_seconds = 0.5;
+  support::Stopwatch storm_wall;
+  core::SchedulerService service(options);
+  std::vector<core::SchedulerService::Ticket> tickets;
+  tickets.reserve(instances.size());
+  for (const model::Instance& instance : instances) {
+    tickets.push_back(service.submit(instance));
+  }
+  service.drain();
+  const double storm_seconds = storm_wall.seconds();
+
+  std::size_t recovered = 0;
+  int max_attempts_seen = 0;
+  long storm_pivots = 0;
+  double max_bound_abs_diff = 0.0;
+  std::size_t bound_mismatches = 0;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const auto item = service.try_get(tickets[i]);
+    if (!item.has_value() || !item->status.ok()) {
+      std::fprintf(stderr, "FAULTS GATE: storm instance %zu failed: %s\n", i,
+                   item.has_value() ? item->status.to_string().c_str()
+                                    : "missing");
+      healthy = false;
+      continue;
+    }
+    ++recovered;
+    max_attempts_seen = std::max(max_attempts_seen, item->attempts);
+    storm_pivots += item->result.fractional.lp_iterations;
+    const double a = baseline[i].fractional.lower_bound;
+    const double b = item->result.fractional.lower_bound;
+    if (a != b) {
+      ++bound_mismatches;
+      max_bound_abs_diff = std::max(max_bound_abs_diff, std::abs(a - b));
+      std::fprintf(stderr,
+                   "FAULTS GATE: instance %zu recovered bound %.17g != "
+                   "fault-free %.17g\n",
+                   i, b, a);
+      healthy = false;
+    }
+  }
+  const core::ServiceStats stats = service.stats();
+
+  const std::uint64_t lu_fired = injector.fired("linalg.lu.factor-fail");
+  const std::uint64_t corrupt_fired = injector.fired("core.cache.corrupt");
+  const std::uint64_t solver_fired = injector.fired("core.lp.solver-error");
+  const std::uint64_t throw_fired = injector.fired("core.service.worker-throw");
+  injector.reset();
+
+  if (lu_fired == 0 || corrupt_fired == 0 || solver_fired == 0 ||
+      throw_fired == 0) {
+    std::fprintf(stderr,
+                 "FAULTS GATE: a storm site never fired (lu %llu, corrupt "
+                 "%llu, solver %llu, throw %llu)\n",
+                 static_cast<unsigned long long>(lu_fired),
+                 static_cast<unsigned long long>(corrupt_fired),
+                 static_cast<unsigned long long>(solver_fired),
+                 static_cast<unsigned long long>(throw_fired));
+    healthy = false;
+  }
+  if (stats.retries == 0) {
+    std::fprintf(stderr, "FAULTS GATE: the storm charged no retries\n");
+    healthy = false;
+  }
+  if (stats.worker_restarts == 0) {
+    std::fprintf(stderr, "FAULTS GATE: the killed worker was not replaced\n");
+    healthy = false;
+  }
+  if (stats.stalls != 0) {
+    std::fprintf(stderr,
+                 "FAULTS GATE: the watchdog fired %zu times on healthy "
+                 "solves\n",
+                 stats.stalls);
+    healthy = false;
+  }
+
+  std::fprintf(f,
+               "  \"faults\": {\"config\": \"1 worker, RetryPolicy defaults, "
+               "watchdog 0.5s; storm: LU factor-fail one-shot + cache "
+               "corrupt one-shot + solver-error every 3rd (x4) + worker "
+               "throw one-shot\", \"fault_free_pivots\": %ld, "
+               "\"committed_pivots\": %ld, \"storm\": {\"recovered_ok\": %zu, "
+               "\"of\": %zu, \"wall_seconds\": %.6f, \"pivots\": %ld, "
+               "\"max_attempts\": %d, \"retries\": %zu, \"requeues\": %zu, "
+               "\"worker_restarts\": %zu, \"stalls\": %zu, "
+               "\"cache_quarantined\": %ld, \"fired\": {\"lu\": %llu, "
+               "\"cache\": %llu, \"solver\": %llu, \"worker\": %llu}}, "
+               "\"bound_mismatches\": %zu, \"max_bound_abs_diff\": %.3e},\n",
+               baseline_pivots, kCommittedStreamPivots, recovered,
+               instances.size(), storm_seconds, storm_pivots,
+               max_attempts_seen, stats.retries, stats.requeues,
+               stats.worker_restarts, stats.stalls, stats.cache.quarantined,
+               static_cast<unsigned long long>(lu_fired),
+               static_cast<unsigned long long>(corrupt_fired),
+               static_cast<unsigned long long>(solver_fired),
+               static_cast<unsigned long long>(throw_fired), bound_mismatches,
+               max_bound_abs_diff);
+  std::fprintf(stderr,
+               "[faults] %zu/%zu recovered ok (max %d attempts, %zu retries, "
+               "%zu requeues, %zu worker restarts); bounds %s; %ld storm "
+               "pivots vs %ld fault-free\n",
+               recovered, instances.size(), max_attempts_seen, stats.retries,
+               stats.requeues, stats.worker_restarts,
+               bound_mismatches == 0 ? "bit-identical" : "DIVERGED",
+               storm_pivots, baseline_pivots);
+  return healthy;
+}
+
+int run_stream_bench(const std::string& out_path, bool overload, bool faults) {
   const std::vector<Shape> shapes = make_batch_shapes();
   std::vector<model::Instance> instances;
   std::vector<const char*> instance_shape;
@@ -580,6 +764,11 @@ int run_stream_bench(const std::string& out_path, bool overload) {
     std::fclose(f);
     return 2;
   }
+  if (faults &&
+      !run_faults_section(f, instances, stream_results, stream_agg.pivots)) {
+    std::fclose(f);
+    return 2;
+  }
   std::fprintf(f, "  \"batch_over_stream_wall_ratio\": %.3f,\n", ratio);
   std::fprintf(f, "  \"max_bound_rel_diff\": %.3e,\n", max_rel_diff);
   std::fprintf(f, "  \"instances\": [\n");
@@ -699,17 +888,19 @@ int main(int argc, char** argv) {
   bool batch = false;
   bool stream = false;
   bool overload = false;
+  bool faults = false;
   std::string out_path;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--batch") == 0) batch = true;
     if (std::strcmp(argv[a], "--stream") == 0) stream = true;
     if (std::strcmp(argv[a], "--overload") == 0) overload = true;
+    if (std::strcmp(argv[a], "--faults") == 0) faults = true;
     if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) out_path = argv[++a];
   }
   if (batch) return run_batch_bench(out_path.empty() ? "BENCH_batch.json" : out_path);
-  if (stream || overload) {
+  if (stream || overload || faults) {
     return run_stream_bench(out_path.empty() ? "BENCH_stream.json" : out_path,
-                            overload);
+                            overload, faults);
   }
 #ifdef MALSCHED_HAVE_GBENCH
   benchmark::Initialize(&argc, argv);
@@ -720,8 +911,8 @@ int main(int argc, char** argv) {
   (void)make_bench_instance;
   std::fprintf(stderr,
                "google-benchmark is not available in this build; only "
-               "--batch / --stream [--overload] [--out <path>] are "
-               "supported\n");
+               "--batch / --stream [--overload] [--faults] [--out <path>] "
+               "are supported\n");
   return 1;
 #endif
 }

@@ -15,10 +15,17 @@
 // a request whose deadline has already passed (bounced at admission with
 // kDeadlineExceeded), and a TicketHandle::cancel() — every outcome arrives
 // as a typed status on its own ticket.
+//
+// Finally, self-healing: a one-shot fault is armed on the allotment solver
+// (core::FaultInjector, the same hook the fault-matrix tests and the
+// --faults bench use), so one submission's first attempt throws SolverError
+// mid-pipeline. The service's RetryPolicy reruns it and the ticket still
+// completes ok — the result just reports attempts = 2.
 #include <chrono>
 #include <cstdio>
 #include <thread>
 
+#include "core/fault_injector.hpp"
 #include "core/scheduler_service.hpp"
 #include "graph/generators.hpp"
 #include "model/instance.hpp"
@@ -110,7 +117,25 @@ int main() {
     names.push_back("cancelled");
   }
 
+  // Self-healing: let the queue empty, then make the NEXT allotment solve
+  // throw SolverError (a one-shot injected fault). The RetryPolicy chain
+  // reruns the job and the ticket completes ok with attempts = 2.
   service.drain();
+  {
+    core::FaultInjector::instance().arm("core.lp.solver-error",
+                                        core::FaultSchedule::one_shot(1));
+    support::Rng rng(3000);
+    core::ScheduleRequest flaky;
+    flaky.instance = model::make_instance(cholesky, kProcessors, [&](int, int procs) {
+      return model::make_random_power_law_task(rng, 0.5, 0.8, procs);
+    });
+    flaky.client_tag = "survives-a-fault";
+    tickets.push_back(service.submit(std::move(flaky)).id());
+    names.push_back("flaky");
+  }
+
+  service.drain();
+  core::FaultInjector::instance().reset();
 
   std::printf("streaming Jansen-Zhang service, m = %d, %zu submissions\n\n",
               kProcessors, tickets.size());
@@ -124,20 +149,21 @@ int main() {
                   core::to_string(r.status.code()), "-", "-", "-");
       continue;
     }
-    std::printf("%-11s %6llu  %-20s %9.2f %8.2f  %6.3f\n", names[i],
+    std::printf("%-11s %6llu  %-20s %9.2f %8.2f  %6.3f%s\n", names[i],
                 static_cast<unsigned long long>(tickets[i]), "ok",
                 r.result.makespan, r.result.fractional.lower_bound,
-                r.result.ratio_vs_lower_bound);
+                r.result.ratio_vs_lower_bound,
+                r.attempts > 1 ? "  (recovered on retry)" : "");
   }
 
   const core::ServiceStats stats = service.stats();
   std::printf(
       "\nworkers %zu, structure groups %zu, completed %zu (%zu failed: "
-      "%zu rejected, %zu cancelled, %zu expired), "
+      "%zu rejected, %zu cancelled, %zu expired), %zu retries, "
       "cache: %ld lookups / %ld hits / %ld stores / %ld evictions, "
       "%zu entries, %zu steals\n",
       service.num_workers(), stats.groups_seen, stats.completed, stats.failed,
-      stats.rejected, stats.cancelled, stats.expired,
+      stats.rejected, stats.cancelled, stats.expired, stats.retries,
       stats.cache.lookups, stats.cache.hits, stats.cache.stores,
       stats.cache.evictions, stats.cache_entries, stats.steals);
   return 0;

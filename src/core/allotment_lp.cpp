@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
+#include "core/fault_injector.hpp"
 #include "core/status.hpp"
 #include "graph/algorithms.hpp"
 #include "model/work_function.hpp"
@@ -79,6 +81,20 @@ std::vector<model::WorkPiece> select_pieces(const model::WorkFunction& wf,
                          "allotment LP cancelled mid-solve");
 }
 
+/// Context suffix shared by every SolverError thrown from this file: which
+/// LP stage failed, the instance shape, pivots spent, whether a reused basis
+/// was involved, and the cache fingerprint — enough to correlate a failure
+/// with its WarmStartCache entry (and quarantine it) from the message alone.
+std::string lp_context(const char* stage, const model::Instance& instance,
+                       int solves, long pivots, bool warm, std::uint64_t key) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                " [stage=%s n=%d m=%d solves=%d pivots=%ld warm=%d key=%016llx]",
+                stage, instance.num_tasks(), instance.m, solves, pivots,
+                warm ? 1 : 0, static_cast<unsigned long long>(key));
+  return std::string(buf);
+}
+
 }  // namespace
 
 double BisectionBracket::relative_width() const {
@@ -149,6 +165,18 @@ lp::SimplexBasis WarmStartCache::take(std::uint64_t key) {
 
 void WarmStartCache::put(std::uint64_t key, lp::SimplexBasis basis) {
   if (basis.empty()) return;
+  // Fault site: store a corrupted snapshot. Rotating the status vector keeps
+  // the basic-variable count intact (the snapshot still *looks* plausible),
+  // so the poison is only discovered when a later warm start tries to
+  // factorize or repair it — exactly the failure shape the quarantine path
+  // of the RetryPolicy exists for.
+  {
+    static FaultSite& corrupt_fault = FaultInjector::site("core.cache.corrupt");
+    if (corrupt_fault.fire() && basis.status.size() > 1) {
+      std::rotate(basis.status.begin(), basis.status.begin() + 1,
+                  basis.status.end());
+    }
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.stores;
   const auto it = entries_.find(key);
@@ -164,6 +192,16 @@ void WarmStartCache::put(std::uint64_t key, lp::SimplexBasis basis) {
     lru_.pop_back();
     ++stats_.evictions;
   }
+}
+
+std::size_t WarmStartCache::quarantine(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return 0;
+  lru_.erase(it->second.lru);
+  entries_.erase(it);
+  ++stats_.quarantined;
+  return 1;
 }
 
 WarmStartCache::Stats WarmStartCache::stats() const {
@@ -481,6 +519,7 @@ FractionalAllotment solve_by_bisection(const model::Instance& instance,
   lp::Solution best_solution;
   int solves = 0;
   int warm_hits = 0;
+  int cold_retries = 0;
   long iterations = 0;
   // Consecutive probes differ only in the deadline (variable bounds), so the
   // final basis of one probe is a near-optimal start for the next. The first
@@ -504,6 +543,19 @@ FractionalAllotment solve_by_bisection(const model::Instance& instance,
   };
   const auto probe = [&](double deadline, lp::Solution& out, bool allow_dual) {
     set_deadline(deadline);
+    {
+      static FaultSite& solver_fault = FaultInjector::site("core.lp.solver-error");
+      if (solver_fault.fire()) {
+        char bracket_buf[96];
+        std::snprintf(bracket_buf, sizeof(bracket_buf),
+                      " bracket=[%.6g, %.6g] deadline=%.6g", lo, hi, deadline);
+        throw SolverError(
+            "injected solver error in deadline probe" +
+            lp_context("probe", instance, solves, iterations, !basis.empty(),
+                       cache_key) +
+            bracket_buf);
+      }
+    }
     if (allow_dual && options.warm_start && options.dual_reoptimize &&
         !basis.empty()) {
       out = lp::reoptimize_dual(model, options.simplex, &basis);
@@ -519,6 +571,32 @@ FractionalAllotment solve_by_bisection(const model::Instance& instance,
       // cached): every remaining probe would be interrupted the same way.
       throw_interrupted(options, iterations);
     }
+    if (out.status != lp::SolveStatus::kOptimal &&
+        out.status != lp::SolveStatus::kInfeasible && out.warm_started) {
+      // A poisoned reused basis (cache corruption, stale numerics) must not
+      // sink a probe that would succeed cold: retry once from all-slack.
+      basis.clear();
+      out = lp::solve_simplex(model, options.simplex,
+                              options.warm_start ? &basis : nullptr);
+      ++solves;
+      ++cold_retries;
+      iterations += out.iterations;
+      if (out.status == lp::SolveStatus::kInterrupted) {
+        throw_interrupted(options, iterations);
+      }
+    }
+    if (out.status != lp::SolveStatus::kOptimal &&
+        out.status != lp::SolveStatus::kInfeasible) {
+      // kIterationLimit / kNumericalFailure / kUnbounded: treating these as
+      // "deadline infeasible" would silently mis-bracket the bisection and
+      // report a wrong bound. Fail loudly; the service-level RetryPolicy
+      // re-enters with degraded solver settings.
+      throw SolverError(
+          std::string("deadline probe failed (") + lp::to_string(out.status) +
+          ")" +
+          lp_context("probe", instance, solves, iterations, out.warm_started,
+                     cache_key));
+    }
     return out.status == lp::SolveStatus::kOptimal &&
            out.objective <= m * deadline * (1.0 + 1e-9);
   };
@@ -532,7 +610,9 @@ FractionalAllotment solve_by_bisection(const model::Instance& instance,
   best_solution = analytic_hi_solution(instance);
   ++solves;
   if (!(best_solution.objective <= m * hi * (1.0 + 1e-9))) {
-    throw SolverError("upper deadline probe failed (LP feasible by construction)");
+    throw SolverError(
+        "upper deadline probe failed (LP feasible by construction)" +
+        lp_context("probe-hi", instance, solves, iterations, false, cache_key));
   }
   if (options.warm_start && basis.empty()) {
     basis = analytic_hi_basis(instance);
@@ -558,6 +638,7 @@ FractionalAllotment solve_by_bisection(const model::Instance& instance,
   out.lp_solves = solves;
   out.lp_warm_starts = warm_hits;
   out.lp_iterations = iterations;
+  out.cold_retries = cold_retries;
   out.resolved_mode = LpMode::kBinarySearch;
   // The probe minimizes work, not L; recompute L* from the completion times.
   double length = 0.0;
@@ -570,6 +651,7 @@ FractionalAllotment solve_direct(const model::Instance& instance,
                                  const AllotmentLpOptions& options) {
   int solves = 0;
   int warm_starts = 0;
+  int cold_retries = 0;
   long iterations = 0;
   lp::SimplexBasis basis;
   // warm_start is the kill switch for every basis-reuse path: with it off
@@ -601,14 +683,22 @@ FractionalAllotment solve_direct(const model::Instance& instance,
     if (coarse_solution.status == lp::SolveStatus::kInterrupted) {
       throw_interrupted(options, iterations);
     }
-    if (coarse_solution.status != lp::SolveStatus::kOptimal &&
-        coarse_solution.warm_started) {
-      // A pathological cached basis must not poison this structure forever:
-      // retry cold, and let the put below overwrite the bad entry.
+    if (coarse_solution.status != lp::SolveStatus::kOptimal) {
+      // Retry cold once, whether the failure came from a pathological
+      // cached basis or a transient factorization fault on a cold start:
+      // a coarse solve that recovers here restores the refined pivot path
+      // exactly (the failed solve spent no pivots), so the final bound is
+      // bit-identical to a fault-free run. The put below overwrites any
+      // bad cache entry; a coarse solve that fails twice only costs its
+      // pivots (else-branch below skips refinement).
       basis.clear();
       coarse_solution = lp::solve_simplex(coarse, options.simplex, &basis);
       ++solves;
+      ++cold_retries;
       iterations += coarse_solution.iterations;
+      if (coarse_solution.status == lp::SolveStatus::kInterrupted) {
+        throw_interrupted(options, iterations);
+      }
     }
     if (coarse_solution.status == lp::SolveStatus::kOptimal) {
       if (cache != nullptr) cache->put(coarse_key, basis);
@@ -628,6 +718,14 @@ FractionalAllotment solve_direct(const model::Instance& instance,
         WarmStartCache::fingerprint(instance, LpMode::kDirect, options.piece_stride);
     basis = cache->take(fine_key);
   }
+  {
+    static FaultSite& solver_fault = FaultInjector::site("core.lp.solver-error");
+    if (solver_fault.fire()) {
+      throw SolverError("injected solver error before the direct solve" +
+                        lp_context("direct", instance, solves, iterations,
+                                   !basis.empty(), fine_key));
+    }
+  }
   lp::Solution solution = lp::solve_simplex(model, options.simplex, &basis);
   ++solves;
   iterations += solution.iterations;
@@ -641,13 +739,18 @@ FractionalAllotment solve_direct(const model::Instance& instance,
     basis.clear();
     solution = lp::solve_simplex(model, options.simplex, &basis);
     ++solves;
+    ++cold_retries;
     iterations += solution.iterations;
   }
   if (solution.status == lp::SolveStatus::kInterrupted) {
     throw_interrupted(options, iterations);
   }
   if (solution.status != lp::SolveStatus::kOptimal) {
-    throw SolverError("allotment LP did not solve to optimality");
+    throw SolverError(
+        std::string("allotment LP did not solve to optimality (") +
+        lp::to_string(solution.status) + ")" +
+        lp_context("direct", instance, solves, iterations, solution.warm_started,
+                   fine_key));
   }
   if (!refine && cache != nullptr) {
     cache->put(fine_key, std::move(basis));
@@ -656,6 +759,7 @@ FractionalAllotment solve_direct(const model::Instance& instance,
   out.lp_solves = solves;
   out.lp_iterations = iterations;
   out.lp_warm_starts = warm_starts;
+  out.cold_retries = cold_retries;
   out.resolved_mode = LpMode::kDirect;
   return out;
 }

@@ -63,6 +63,10 @@ struct FractionalAllotment {
   /// The mode the solve actually ran: equals the requested mode except under
   /// kAuto, where it records the bracket-width decision.
   LpMode resolved_mode = LpMode::kDirect;
+  /// Warm-started solves that failed and were re-run cold *inside* this
+  /// call (the solve-level fallback, distinct from the service-level
+  /// RetryPolicy which re-enters solve_allotment_lp from scratch).
+  int cold_retries = 0;
 };
 
 /// Combinatorial bisection bracket for deadline search: lo is the trivial
@@ -93,7 +97,8 @@ class WarmStartCache {
     long lookups = 0;
     long hits = 0;
     long stores = 0;
-    long evictions = 0;  ///< entries dropped by the LRU bound
+    long evictions = 0;    ///< entries dropped by the LRU bound
+    long quarantined = 0;  ///< entries evicted by quarantine() after a failure
   };
 
   /// `capacity` bounds the number of retained bases (least-recently-used
@@ -116,6 +121,14 @@ class WarmStartCache {
 
   /// Stores `basis` as the latest snapshot for `key` (no-op when empty).
   void put(std::uint64_t key, lp::SimplexBasis basis);
+
+  /// Drops the entry for `key` (if any) and counts it in Stats::quarantined.
+  /// The RetryPolicy's degradation chain calls this when a warm-started solve
+  /// fails retryably: the cached basis is the prime suspect, and evicting it
+  /// guarantees the cold retry cannot pick the poison back up — while a
+  /// healthy later solve simply repopulates the slot. Returns entries
+  /// removed (0 or 1).
+  std::size_t quarantine(std::uint64_t key);
 
   Stats stats() const;
   void clear();

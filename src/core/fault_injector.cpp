@@ -1,0 +1,131 @@
+#include "core/fault_injector.hpp"
+
+namespace malsched::core {
+
+namespace {
+
+/// splitmix64: a fixed 64-bit mixer. Deterministic across hosts, so a
+/// probability schedule makes the same per-hit decisions everywhere.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t FaultSite::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t FaultSite::fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fires_;
+}
+
+bool FaultSite::fire_armed() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Re-check under the lock: a disarm may have landed after the fast path.
+  if (!armed_.load(std::memory_order_relaxed)) return false;
+  const std::uint64_t hit = ++hits_;
+  if (schedule_.max_fires != 0 && fires_ >= schedule_.max_fires) return false;
+  bool fire = false;
+  switch (schedule_.kind) {
+    case FaultSchedule::Kind::kOneShot:
+      fire = hit == schedule_.nth && fires_ == 0;
+      break;
+    case FaultSchedule::Kind::kEveryNth:
+      fire = schedule_.nth != 0 && hit % schedule_.nth == 0;
+      break;
+    case FaultSchedule::Kind::kProbability: {
+      // Map the hit index through the seeded mixer onto [0, 1).
+      const double u =
+          static_cast<double>(mix64(schedule_.seed ^ (hit * 0x9e3779b97f4a7c15ULL)) >> 11) *
+          (1.0 / 9007199254740992.0);  // 2^-53
+      fire = u < schedule_.probability;
+      break;
+    }
+  }
+  if (fire) ++fires_;
+  return fire;
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector* injector = new FaultInjector();  // never destroyed
+  return *injector;
+}
+
+FaultInjector::FaultInjector() {
+  for (const char* name : known_sites()) site_impl(name);
+}
+
+const std::vector<const char*>& FaultInjector::known_sites() {
+  static const std::vector<const char*> kSites = {
+      "linalg.lu.factor-fail",     "lp.simplex.eta-corrupt",
+      "core.lp.solver-error",      "core.cache.corrupt",
+      "core.service.worker-throw", "core.service.worker-stall",
+  };
+  return kSites;
+}
+
+FaultSite& FaultInjector::site(const char* name) {
+  return instance().site_impl(name);
+}
+
+FaultSite& FaultInjector::site_impl(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (FaultSite* site : sites_) {
+    if (site->name() == name) return *site;
+  }
+  sites_.push_back(new FaultSite(name));  // leaked: references stay valid
+  return *sites_.back();
+}
+
+void FaultInjector::arm(const std::string& name, FaultSchedule schedule) {
+  FaultSite& site = site_impl(name);
+  std::lock_guard<std::mutex> lock(site.mutex_);
+  site.schedule_ = schedule;
+  site.hits_ = 0;
+  site.fires_ = 0;
+  site.armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm(const std::string& name) {
+  FaultSite& site = site_impl(name);
+  std::lock_guard<std::mutex> lock(site.mutex_);
+  site.armed_.store(false, std::memory_order_relaxed);
+}
+
+void FaultInjector::reset() {
+  std::vector<FaultSite*> sites;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sites = sites_;
+  }
+  for (FaultSite* site : sites) {
+    std::lock_guard<std::mutex> lock(site->mutex_);
+    site->armed_.store(false, std::memory_order_relaxed);
+    site->hits_ = 0;
+    site->fires_ = 0;
+  }
+}
+
+bool FaultInjector::any_armed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const FaultSite* site : sites_) {
+    if (site->armed_.load(std::memory_order_relaxed)) return true;
+  }
+  return false;
+}
+
+std::uint64_t FaultInjector::hits(const std::string& name) const {
+  return const_cast<FaultInjector*>(this)->site_impl(name).hits();
+}
+
+std::uint64_t FaultInjector::fired(const std::string& name) const {
+  return const_cast<FaultInjector*>(this)->site_impl(name).fired();
+}
+
+}  // namespace malsched::core

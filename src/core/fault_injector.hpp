@@ -1,0 +1,143 @@
+// Deterministic fault injection for the solver stack and the service.
+//
+// A FaultSite is a named probe compiled into production code paths (LU
+// refactorization, eta-file updates, LP probes, the warm-start cache, the
+// service worker loop). Each call to FaultSite::fire() asks "should this
+// occurrence fail?"; the answer is computed from a seeded, count-based
+// schedule — every-Nth, one-shot (fire at the K-th hit), or hashed
+// per-occurrence probability — so a fault storm replays bit-for-bit across
+// runs and hosts. No clocks, no global RNG: arming the same schedule
+// against the same workload injects the same faults at the same pivots.
+//
+// Cost when disarmed (the production configuration): one relaxed atomic
+// load per occurrence. No site mutates solver state by itself — the code
+// hosting the probe decides what "failure" means locally (return false,
+// poison a value, throw), which keeps the blast radius of each site
+// documented at its single point of use. The injector lives in core/ but
+// depends on nothing, so the deeper linalg/ and lp/ layers can include it
+// without creating a cycle.
+//
+// The canonical sites (registered up front, iterable via known_sites()):
+//
+//   linalg.lu.factor-fail      SparseLu::factor reports a singular matrix
+//   lp.simplex.eta-corrupt     a product-form eta update is NaN-poisoned
+//   core.lp.solver-error       an allotment LP solve/probe throws SolverError
+//   core.cache.corrupt         WarmStartCache::put stores a scrambled basis
+//   core.service.worker-throw  a worker loop throws outside the solve guard
+//   core.service.worker-stall  a running job stops making pivot progress
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace malsched::core {
+
+/// When an armed site fires, expressed over the site's hit counter (hit k
+/// is the k-th fire() call since arming, counting from 1).
+struct FaultSchedule {
+  enum class Kind : unsigned char {
+    kOneShot,      ///< fire exactly once, at hit `nth`
+    kEveryNth,     ///< fire at hits nth, 2*nth, 3*nth, ...
+    kProbability,  ///< fire when hash(seed, hit) < probability
+  };
+
+  Kind kind = Kind::kOneShot;
+  std::uint64_t nth = 1;        ///< kOneShot: which hit; kEveryNth: the period
+  double probability = 0.0;     ///< kProbability: chance per hit in [0, 1]
+  std::uint64_t seed = 0x5EED;  ///< kProbability: decision-stream seed
+  std::uint64_t max_fires = 0;  ///< stop firing after this many (0 = unlimited)
+
+  static FaultSchedule one_shot(std::uint64_t at_hit = 1) {
+    FaultSchedule s;
+    s.kind = Kind::kOneShot;
+    s.nth = at_hit;
+    return s;
+  }
+  static FaultSchedule every_nth(std::uint64_t n, std::uint64_t max_fires = 0) {
+    FaultSchedule s;
+    s.kind = Kind::kEveryNth;
+    s.nth = n;
+    s.max_fires = max_fires;
+    return s;
+  }
+  static FaultSchedule with_probability(double p, std::uint64_t seed = 0x5EED,
+                                        std::uint64_t max_fires = 0) {
+    FaultSchedule s;
+    s.kind = Kind::kProbability;
+    s.probability = p;
+    s.seed = seed;
+    s.max_fires = max_fires;
+    return s;
+  }
+};
+
+/// One named probe. Obtained from FaultInjector::site(); references stay
+/// valid for the lifetime of the process (sites are never destroyed, only
+/// disarmed), so call sites cache them in function-local statics.
+class FaultSite {
+ public:
+  /// Hot-path query: should this occurrence fail? Disarmed (the default)
+  /// this is a single relaxed atomic load returning false — cheap enough
+  /// for per-pivot call sites and free of any effect on the pivot sequence.
+  bool fire() {
+    if (!armed_.load(std::memory_order_relaxed)) return false;
+    return fire_armed();
+  }
+
+  const std::string& name() const { return name_; }
+
+  /// Occurrences observed while armed / faults actually injected. Reset by
+  /// arm() and FaultInjector::reset().
+  std::uint64_t hits() const;
+  std::uint64_t fired() const;
+
+ private:
+  friend class FaultInjector;
+  explicit FaultSite(std::string name) : name_(std::move(name)) {}
+
+  bool fire_armed();
+
+  const std::string name_;
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mutex_;  ///< guards schedule_ and the counters
+  FaultSchedule schedule_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t fires_ = 0;
+};
+
+/// Process-wide registry of fault sites. All methods are thread-safe.
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  /// The site registered under `name`, creating it on first use. The
+  /// returned reference is stable forever.
+  static FaultSite& site(const char* name);
+
+  /// Arms `name` with `schedule`, resetting its hit/fire counters.
+  void arm(const std::string& name, FaultSchedule schedule);
+  /// Disarms `name` (counters are kept until the next arm()/reset()).
+  void disarm(const std::string& name);
+  /// Disarms every site and zeroes every counter.
+  void reset();
+
+  bool any_armed() const;
+  std::uint64_t hits(const std::string& name) const;
+  std::uint64_t fired(const std::string& name) const;
+
+  /// The canonical site names compiled into the library, in a stable order
+  /// (the fault-matrix test iterates this list).
+  static const std::vector<const char*>& known_sites();
+
+ private:
+  FaultInjector();
+  FaultSite& site_impl(const std::string& name);
+
+  mutable std::mutex mutex_;
+  std::vector<FaultSite*> sites_;  ///< leaked on purpose: stable references
+};
+
+}  // namespace malsched::core

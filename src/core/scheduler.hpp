@@ -23,6 +23,42 @@
 
 namespace malsched::core {
 
+/// Self-healing policy for retryable pipeline failures (is_retryable in
+/// status.hpp: numeric LP failures and unexpected internal exceptions).
+/// SchedulerService walks a fixed degradation chain, one rung per attempt:
+///
+///   attempt 1  as configured (warm starts, shared cache, tuned solver)
+///   attempt 2  identical rerun — a failed attempt never wrote the cache,
+///              so this isolates genuinely transient failures
+///   attempt 3  quarantine the instance's WarmStartCache entries and solve
+///              COLD (no cache, no warm start): a poisoned basis snapshot
+///              cannot reach the solver any more
+///   attempt 4+ conservative solver settings on top of cold: Dantzig full
+///              pricing, refactorize every few pivots, no eta-file growth,
+///              no cross-stride refinement, no dual re-optimization — slow
+///              but numerically boring. The piece stride is NOT changed:
+///              it alters the LP (and therefore the bound), and a recovered
+///              result must be bit-identical to a fault-free run.
+///
+/// Retries charge the request's deadline and respect cancellation: backoff
+/// waits poll the same lp::SolveControl as the pivot loops. When every
+/// attempt fails the ticket completes with kRetryExhausted carrying the
+/// per-attempt trail.
+struct RetryPolicy {
+  /// Total attempts including the first; 1 disables retrying, 0/negative is
+  /// treated as 1. The default walks the whole chain once.
+  int max_attempts = 4;
+  /// Wait before the second attempt (seconds); 0 retries immediately. The
+  /// wait is interruptible and deadline-aware.
+  double backoff_seconds = 0.0;
+  /// Backoff growth factor per further attempt.
+  double backoff_multiplier = 2.0;
+  /// Evict the instance's cache entries at the cold rung (attempt 3).
+  bool quarantine_cache = true;
+  /// Apply the conservative solver settings from attempt 4 on.
+  bool degrade_solver = true;
+};
+
 struct SchedulerOptions {
   /// Rounding parameter; defaults to the paper's rho(m) (0.26 for m >= 5).
   std::optional<double> rho;
@@ -31,6 +67,10 @@ struct SchedulerOptions {
   /// READY-task selection rule of Phase 2 (guarantee-preserving).
   ListPriority priority = ListPriority::kEarliestStart;
   AllotmentLpOptions lp;
+  /// Failure recovery chain, honoured by SchedulerService (the synchronous
+  /// schedule_malleable_dag ignores it — a direct caller holds the exception
+  /// and decides for itself).
+  RetryPolicy retry;
 };
 
 struct SchedulerResult {

@@ -3,12 +3,32 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <stdexcept>
 #include <utility>
 
+#include "core/fault_injector.hpp"
 #include "model/assumptions.hpp"
 #include "support/stopwatch.hpp"
 
 namespace malsched::core {
+
+namespace {
+
+/// Runs `f` on scope exit — the guard that makes every path out of the
+/// runner/job bodies complete or unregister what it holds.
+template <typename F>
+class ScopeExit {
+ public:
+  explicit ScopeExit(F f) : f_(std::move(f)) {}
+  ~ScopeExit() { f_(); }
+  ScopeExit(const ScopeExit&) = delete;
+  ScopeExit& operator=(const ScopeExit&) = delete;
+
+ private:
+  F f_;
+};
+
+}  // namespace
 
 ServiceOptions::ServiceOptions() {
   scheduler.lp.mode = LpMode::kAuto;
@@ -18,9 +38,22 @@ ServiceOptions::ServiceOptions() {
 SchedulerService::SchedulerService(ServiceOptions options)
     : options_(std::move(options)),
       cache_(options_.cache_capacity),
-      pool_(options_.num_threads) {}
+      pool_(options_.num_threads) {
+  worker_completed_.assign(pool_.size(), 0);
+  if (options_.stall_timeout_seconds > 0.0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
+}
 
-SchedulerService::~SchedulerService() { drain(); }
+SchedulerService::~SchedulerService() {
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+}
 
 std::size_t SchedulerService::runner_cap() const {
   return options_.max_group_runners > 0 ? options_.max_group_runners
@@ -215,6 +248,10 @@ bool SchedulerService::cancel(Ticket ticket) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = controls_.find(ticket);
   if (it == controls_.end()) return false;  // completed, claimed or never issued
+  // Recorded by ticket, not only on the token: a watchdog stall-requeue
+  // swaps the job's control for a fresh one, and a cancel raced against
+  // that swap must still stick to the ticket.
+  user_cancelled_.insert(ticket);
   it->second->cancel.store(true, std::memory_order_relaxed);
   return true;
 }
@@ -264,38 +301,121 @@ void SchedulerService::run_group(std::uint64_t key) {
       if (group.runners > 1) steals_ += 1;  // slice taken while shared
       maybe_dispatch(key, group);
     }
-    for (Job& job : slice) {
-      // Cancelled or expired while queued: drop without solving. The same
-      // token keeps guarding the job once it runs, via the pivot loops.
-      const lp::SolveControl::Reason dropped = job.control->reason();
-      if (dropped != lp::SolveControl::Reason::kNone) {
-        ServiceResult result;
-        result.group = key;
-        result.client_tag = std::move(job.client_tag);
-        result.status =
-            dropped == lp::SolveControl::Reason::kCancelled
-                ? Status::error(StatusCode::kCancelled,
-                                "cancelled before dispatch")
-                : Status::error(StatusCode::kDeadlineExceeded,
-                                "deadline expired while queued");
-        complete(job.ticket, std::move(result));
-        continue;
+    // Everything below runs off-lock with popped jobs in hand: an exception
+    // escaping this region used to orphan the slice's tickets (wait() on
+    // them hung forever). The catch hands the unfinished jobs to
+    // handle_worker_failure, which requeues or fails every one of them and
+    // dispatches a replacement runner.
+    std::size_t next = 0;
+    try {
+      for (; next < slice.size(); ++next) {
+        Job& job = slice[next];
+        // Cancelled or expired while queued: drop without solving. The same
+        // token keeps guarding the job once it runs, via the pivot loops.
+        const lp::SolveControl::Reason dropped = job.control->reason();
+        if (dropped != lp::SolveControl::Reason::kNone) {
+          ServiceResult result;
+          result.group = key;
+          result.client_tag = std::move(job.client_tag);
+          result.attempts = job.attempt;
+          result.status =
+              dropped == lp::SolveControl::Reason::kCancelled
+                  ? Status::error(StatusCode::kCancelled,
+                                  "cancelled before dispatch")
+                  : Status::error(StatusCode::kDeadlineExceeded,
+                                  "deadline expired while queued");
+          complete(job.ticket, std::move(result));
+          continue;
+        }
+        // Fault site: a worker-loop exception OUTSIDE the guarded solve
+        // region — the exact shape of the historical orphaned-ticket bug.
+        {
+          static FaultSite& throw_fault =
+              FaultInjector::site("core.service.worker-throw");
+          if (throw_fault.fire()) {
+            throw std::runtime_error("injected worker-thread failure");
+          }
+        }
+        std::optional<ServiceResult> result = run_job(job, key);
+        if (result.has_value()) complete(job.ticket, std::move(*result));
       }
-      ServiceResult result = run_job(job, key);
-      complete(job.ticket, std::move(result));
+    } catch (const std::exception& e) {
+      handle_worker_failure(key, slice, next, e.what());
+      return;
+    } catch (...) {
+      handle_worker_failure(key, slice, next, "unknown exception");
+      return;
     }
   }
 }
 
-ServiceResult SchedulerService::run_job(Job& job, std::uint64_t key) {
+void SchedulerService::quarantine_job_entries(const Job& job) {
+  // Every fingerprint this job's solve could have read or written: the fine
+  // direct LP, the coarse refinement LP (when enabled) and the deadline
+  // probe. Quarantining a key another instance populated is harmless — a
+  // healthy solve simply re-stores it.
+  const int stride = std::max(1, job.options.lp.piece_stride);
+  cache_.quarantine(
+      WarmStartCache::fingerprint(job.instance, LpMode::kDirect, stride));
+  if (job.options.lp.refine_stride > stride) {
+    cache_.quarantine(WarmStartCache::fingerprint(job.instance, LpMode::kDirect,
+                                                  job.options.lp.refine_stride));
+  }
+  cache_.quarantine(
+      WarmStartCache::fingerprint(job.instance, LpMode::kBinarySearch, 1));
+}
+
+ServiceResult SchedulerService::run_attempt(Job& job, std::uint64_t key,
+                                            int attempt) {
   ServiceResult out;
   out.group = key;
-  out.client_tag = std::move(job.client_tag);
+  out.client_tag = job.client_tag;  // copied: a retry/requeue keeps the tag
   SchedulerOptions options = job.options;
   if (options_.reuse_solver_state) {
     options.lp.warm_cache = &cache_;
   }
   options.lp.simplex.control = job.control.get();
+  const RetryPolicy& retry = job.options.retry;
+  if (attempt >= 3) {
+    // Rung 3: the warm-start state is the prime suspect — evict this
+    // instance's cache entries and solve cold. Attempt 2 ran identically to
+    // attempt 1 on purpose (a failed attempt never stores a basis, so the
+    // rerun is bit-identical and isolates genuinely transient faults).
+    if (attempt == 3 && retry.quarantine_cache &&
+        options.lp.warm_cache != nullptr) {
+      quarantine_job_entries(job);
+    }
+    options.lp.warm_cache = nullptr;
+    options.lp.warm_start = false;
+  }
+  if (attempt >= 4 && retry.degrade_solver) {
+    // Rung 4: numerically boring solver settings. The piece stride is NOT
+    // touched — it changes the LP and therefore the bound, and a recovered
+    // bound must be bit-identical to a fault-free run.
+    options.lp.simplex.pricing = lp::PricingRule::kDantzig;
+    options.lp.simplex.sparse_eta_limit = 1;
+    options.lp.simplex.refactor_interval = 16;
+    options.lp.refine_stride = 0;
+    options.lp.dual_reoptimize = false;
+  }
+  // Fault site: a wedged worker — no pivots ever advance, so only the
+  // control token (the watchdog's stall detector, a user cancel or the
+  // deadline) can free it. Mirrors a solver stuck outside its pivot loop.
+  {
+    static FaultSite& stall_fault =
+        FaultInjector::site("core.service.worker-stall");
+    if (stall_fault.fire()) {
+      while (job.control->reason() == lp::SolveControl::Reason::kNone) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      out.status =
+          job.control->reason() == lp::SolveControl::Reason::kCancelled
+              ? Status::error(StatusCode::kCancelled, "stalled worker interrupted")
+              : Status::error(StatusCode::kDeadlineExceeded,
+                              "deadline passed while the worker was stalled");
+      return out;
+    }
+  }
   support::Stopwatch stopwatch;
   try {
     out.result = schedule_malleable_dag(job.instance, options);
@@ -308,9 +428,239 @@ ServiceResult SchedulerService::run_job(Job& job, std::uint64_t key) {
     out.status = Status::error(StatusCode::kLpFailure, e.what());
   } catch (const std::exception& e) {
     out.status = Status::error(StatusCode::kInternalError, e.what());
+  } catch (...) {
+    out.status = Status::error(StatusCode::kInternalError,
+                               "unknown exception in the pipeline");
   }
   out.seconds = stopwatch.seconds();
   return out;
+}
+
+lp::SolveControl::Reason SchedulerService::backoff_wait(const Job& job,
+                                                        double seconds) const {
+  const auto end = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(seconds));
+  for (;;) {
+    const lp::SolveControl::Reason reason = job.control->reason();
+    if (reason != lp::SolveControl::Reason::kNone) return reason;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= end) return lp::SolveControl::Reason::kNone;
+    // Bump the heartbeat so the watchdog reads a deliberate wait as
+    // progress, not as a stall (the field is solver telemetry; monotone
+    // changes are all the stall detector looks for).
+    job.control->pivots.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::min<std::chrono::steady_clock::duration>(
+        std::chrono::milliseconds(1), end - now));
+  }
+}
+
+std::optional<ServiceResult> SchedulerService::run_job(Job& job,
+                                                       std::uint64_t key) {
+  const int worker = support::ThreadPool::worker_index();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    RunningJob running;
+    running.control = job.control;
+    running.worker = worker;
+    running.last_pivots = job.control->pivots.load(std::memory_order_relaxed);
+    running.last_progress = std::chrono::steady_clock::now();
+    running_[job.ticket] = std::move(running);
+  }
+  const Ticket ticket = job.ticket;
+  const ScopeExit unregister([this, ticket] {
+    std::lock_guard<std::mutex> lock(mutex_);
+    running_.erase(ticket);
+  });
+
+  const RetryPolicy& retry = job.options.retry;
+  const int max_attempts = std::max(1, retry.max_attempts);
+  double backoff = retry.backoff_seconds;
+  std::string trail;
+  support::Stopwatch stopwatch;
+  const auto record_worker_completion = [this, worker] {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (worker >= 0 &&
+        static_cast<std::size_t>(worker) < worker_completed_.size()) {
+      ++worker_completed_[static_cast<std::size_t>(worker)];
+    }
+  };
+  for (;;) {
+    const int attempt = job.attempt;
+    ServiceResult out = run_attempt(job, key, attempt);
+    out.attempts = attempt;
+    out.degraded = out.status.ok() && attempt >= 3;
+
+    if (out.status.code() == StatusCode::kCancelled) {
+      // A kCancelled outcome has two possible authors: the user (terminal)
+      // or the watchdog's stall detector (a recovery signal). The sets are
+      // authoritative — the flag on the token alone cannot tell them apart.
+      std::unique_lock<std::mutex> lock(mutex_);
+      const bool user = user_cancelled_.count(ticket) != 0;
+      const bool stalled = stalled_.erase(ticket) != 0;
+      if (!user && stalled && attempt < max_attempts) {
+        // Requeue on a FRESH token (the old one is permanently cancelled),
+        // charging one attempt. The runner loop picks it back up.
+        auto fresh = std::make_shared<lp::SolveControl>();
+        fresh->deadline = job.control->deadline;
+        job.control = fresh;
+        controls_[ticket] = fresh;
+        ++job.attempt;
+        ++retries_;
+        ++requeues_;
+        Group& group = groups_.find(key)->second;  // alive: we hold a runner slot
+        group.buckets[job.priority].push_front(std::move(job));
+        ++group.pending;
+        return std::nullopt;
+      }
+      if (!user && stalled) {
+        out.status = Status::error(
+            max_attempts > 1 ? StatusCode::kRetryExhausted
+                             : StatusCode::kInternalError,
+            "solver stalled (no pivot progress) with no retry budget left" +
+                (trail.empty() ? std::string() : " [" + trail + "]"));
+        lock.unlock();
+        out.seconds = stopwatch.seconds();
+        record_worker_completion();
+        return out;
+      }
+      // fall through: a genuine user cancel (or a cancel that raced in
+      // before any stall flag) stays kCancelled.
+    }
+
+    if (out.status.ok() || !is_retryable(out.status.code())) {
+      out.seconds = stopwatch.seconds();
+      record_worker_completion();
+      return out;
+    }
+
+    trail += (trail.empty() ? "" : "; ") + ("attempt " +
+             std::to_string(attempt) + ": " + out.status.to_string());
+    if (attempt >= max_attempts) {
+      if (max_attempts > 1) {
+        out.status = Status::error(
+            StatusCode::kRetryExhausted,
+            "all " + std::to_string(max_attempts) + " attempts failed [" +
+                trail + "]");
+      }
+      out.seconds = stopwatch.seconds();
+      record_worker_completion();
+      return out;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++retries_;
+    }
+    ++job.attempt;
+    const lp::SolveControl::Reason reason =
+        backoff > 0.0 ? backoff_wait(job, backoff) : job.control->reason();
+    if (reason != lp::SolveControl::Reason::kNone) {
+      // Retries charge the same deadline and honour the same cancel as the
+      // solve itself; report what interrupted the wait, keeping the failure
+      // trail as evidence.
+      out.status =
+          reason == lp::SolveControl::Reason::kCancelled
+              ? Status::error(StatusCode::kCancelled,
+                              "cancelled during retry" +
+                                  (trail.empty() ? std::string()
+                                                 : " [" + trail + "]"))
+              : Status::error(StatusCode::kDeadlineExceeded,
+                              "deadline expired during retry backoff" +
+                                  (trail.empty() ? std::string()
+                                                 : " [" + trail + "]"));
+      out.attempts = job.attempt;
+      out.seconds = stopwatch.seconds();
+      record_worker_completion();
+      return out;
+    }
+    backoff *= std::max(1.0, retry.backoff_multiplier);
+  }
+}
+
+void SchedulerService::handle_worker_failure(std::uint64_t key,
+                                             std::vector<Job>& slice,
+                                             std::size_t next,
+                                             const std::string& what) {
+  std::vector<std::pair<Ticket, ServiceResult>> failed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // The group entry outlives its runners — it is only erased when the
+    // last runner leaves with an empty queue, and this runner has not
+    // released its slot yet.
+    Group& group = groups_.find(key)->second;
+    // slice[next] was in flight when the exception escaped: its attempt is
+    // spent. The jobs after it were never started and requeue for free.
+    // Requeued in reverse so the slice's order is preserved at the head of
+    // each priority bucket.
+    for (std::size_t i = slice.size(); i-- > next;) {
+      Job& job = slice[i];
+      const int max_attempts = std::max(1, job.options.retry.max_attempts);
+      const bool attempted = i == next;
+      if (attempted && job.attempt >= max_attempts) {
+        ServiceResult out;
+        out.group = key;
+        out.client_tag = std::move(job.client_tag);
+        out.attempts = job.attempt;
+        out.status = Status::error(
+            max_attempts > 1 ? StatusCode::kRetryExhausted
+                             : StatusCode::kInternalError,
+            "worker thread failed: " + what);
+        failed.emplace_back(job.ticket, std::move(out));
+        continue;
+      }
+      if (attempted) {
+        ++job.attempt;
+        ++retries_;
+      }
+      ++requeues_;
+      group.buckets[job.priority].push_front(std::move(job));
+      ++group.pending;
+    }
+    ++worker_restarts_;
+    // Release this runner's slot and dispatch a replacement. The pool
+    // thread itself survives (task exceptions land in the packaged_task's
+    // future), so "respawning the worker" means a fresh run_group task —
+    // which maybe_dispatch issues the moment the slot frees up.
+    --group.runners;
+    maybe_dispatch(key, group);
+  }
+  for (auto& [ticket, result] : failed) {
+    complete(ticket, std::move(result));
+  }
+}
+
+void SchedulerService::watchdog_loop() {
+  const auto poll =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(
+              std::max(1e-3, options_.watchdog_poll_seconds)));
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lock, poll, [this] { return watchdog_stop_; });
+    if (watchdog_stop_) return;
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& [ticket, running] : running_) {
+      const long pivots =
+          running.control->pivots.load(std::memory_order_relaxed);
+      if (pivots != running.last_pivots) {
+        // Any movement counts as progress — including the counter reset
+        // between two consecutive LP solves under one ticket.
+        running.last_pivots = pivots;
+        running.last_progress = now;
+        continue;
+      }
+      const double frozen =
+          std::chrono::duration<double>(now - running.last_progress).count();
+      if (frozen >= options_.stall_timeout_seconds &&
+          stalled_.insert(ticket).second) {
+        ++stalls_;
+        // Cooperative interrupt through the same token the pivot loops
+        // poll; run_job translates the resulting kCancelled into a requeue
+        // on a fresh token (or a terminal status when the budget is gone).
+        running.control->cancel.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
 }
 
 void SchedulerService::complete(Ticket ticket, ServiceResult result) {
@@ -331,8 +681,13 @@ void SchedulerService::complete(Ticket ticket, ServiceResult result) {
           case lp::SolveControl::Reason::kNone:
             break;
           case lp::SolveControl::Reason::kCancelled:
-            result.status = Status::error(StatusCode::kCancelled,
-                                          "cancelled at completion");
+            // Only a USER cancel overrides a successful result. A watchdog
+            // stall-cancel that lost the race against a finishing solve is
+            // a false alarm — the answer is valid and is delivered.
+            if (user_cancelled_.count(ticket) != 0) {
+              result.status = Status::error(StatusCode::kCancelled,
+                                            "cancelled at completion");
+            }
             break;
           case lp::SolveControl::Reason::kDeadlineExceeded:
             result.status = Status::error(StatusCode::kDeadlineExceeded,
@@ -342,6 +697,8 @@ void SchedulerService::complete(Ticket ticket, ServiceResult result) {
       }
       controls_.erase(it);
     }
+    stalled_.erase(ticket);
+    user_cancelled_.erase(ticket);
     record_completion_locked(result);
     done_.emplace(ticket, std::move(result));
   }
@@ -434,8 +791,31 @@ ServiceStats SchedulerService::stats() const {
     out.max_pending_seen = max_pending_seen_;
     out.groups_seen = groups_seen_.size();
     out.steals = steals_;
+    out.retries = retries_;
+    out.requeues = requeues_;
+    out.stalls = stalls_;
+    out.worker_restarts = worker_restarts_;
     for (const auto& [key, group] : groups_) {
       out.queue_depth.emplace(key, group.pending);
+    }
+    out.workers.resize(worker_completed_.size());
+    for (std::size_t i = 0; i < out.workers.size(); ++i) {
+      out.workers[i].worker = i;
+      out.workers[i].completed = worker_completed_[i];
+    }
+    const auto now = std::chrono::steady_clock::now();
+    for (const auto& [ticket, running] : running_) {
+      // Jobs run by a helping external thread (wait()/drain() task handoff)
+      // have no pool slot to report under.
+      if (running.worker < 0 ||
+          static_cast<std::size_t>(running.worker) >= out.workers.size()) {
+        continue;
+      }
+      WorkerHealth& health = out.workers[static_cast<std::size_t>(running.worker)];
+      health.busy = true;
+      health.ticket = ticket;
+      health.seconds_since_heartbeat =
+          std::chrono::duration<double>(now - running.last_progress).count();
     }
   }
   out.cache = cache_.stats();

@@ -46,14 +46,17 @@
 // down (status.hpp).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -108,6 +111,16 @@ struct ServiceOptions {
   bool enforce_assumptions = false;
   /// Overload limits; the default (all zero) admits everything.
   AdmissionPolicy admission;
+  /// Stall watchdog: a running job whose LP pivot heartbeat
+  /// (lp::SolveControl::pivots) has not advanced for this many seconds is
+  /// cooperatively interrupted and requeued on a fresh control token
+  /// (charging one attempt of its RetryPolicy). 0 (the default) disables
+  /// the watchdog — no monitor thread is started and the pivot sequence of
+  /// every solve is untouched, preserving the deterministic baselines.
+  double stall_timeout_seconds = 0.0;
+  /// Sampling period of the watchdog thread (only read when the watchdog
+  /// is enabled). Clamped below at 1 ms.
+  double watchdog_poll_seconds = 0.01;
 };
 
 /// One submission: the instance plus everything the service needs to
@@ -147,6 +160,28 @@ struct ServiceResult {
   /// result B iff A.sequence < B.sequence. Makes priority overtaking and
   /// drop ordering observable without timing assumptions.
   std::uint64_t sequence = 0;
+  /// Pipeline attempts this ticket consumed (1 = first try succeeded; a
+  /// watchdog requeue also counts as an attempt).
+  int attempts = 1;
+  /// True when the successful attempt ran past rung 2 of the RetryPolicy
+  /// chain — i.e. the result was produced without warm-start state (and
+  /// possibly with conservative solver settings). The bound is still
+  /// bit-identical to a fault-free run; `degraded` flags the performance
+  /// regime, not the answer.
+  bool degraded = false;
+};
+
+/// Health snapshot of one pool worker, derived from the per-job heartbeat
+/// registry the stall watchdog also reads.
+struct WorkerHealth {
+  std::size_t worker = 0;  ///< pool worker index
+  bool busy = false;       ///< a job is running on this worker right now
+  std::uint64_t ticket = 0;  ///< the running job's ticket (0 when idle)
+  /// Seconds since the running job's pivot heartbeat last advanced (0 when
+  /// idle). The watchdog interrupts the job once this passes
+  /// stall_timeout_seconds.
+  double seconds_since_heartbeat = 0.0;
+  std::size_t completed = 0;  ///< jobs this worker has finished
 };
 
 /// Monotonic counters since construction, plus the live cache snapshot.
@@ -165,6 +200,13 @@ struct ServiceStats {
   std::size_t max_pending_seen = 0;
   std::size_t groups_seen = 0;     ///< distinct LP structures ever admitted
   std::size_t steals = 0;          ///< sub-slices taken while another runner held the group
+  std::size_t retries = 0;         ///< extra pipeline attempts (RetryPolicy rungs walked)
+  std::size_t requeues = 0;        ///< jobs put back on the queue (stalls + worker failures)
+  std::size_t stalls = 0;          ///< watchdog stall-detector firings
+  std::size_t worker_restarts = 0; ///< runner replacements after an escaped worker exception
+  /// Per-worker health, one entry per pool worker (see WorkerHealth).
+  /// Quarantined cache entries are reported in `cache.quarantined`.
+  std::vector<WorkerHealth> workers;
   /// Queued (not yet running) jobs per live structure group; groups with no
   /// queued work and no active runner are absent.
   std::unordered_map<std::uint64_t, std::size_t> queue_depth;
@@ -252,6 +294,9 @@ class SchedulerService {
     /// is: queued (checked at dequeue) or running (polled by the LP pivot
     /// loops via options.lp.simplex.control).
     std::shared_ptr<lp::SolveControl> control;
+    /// Next attempt number (1-based); survives watchdog/worker-failure
+    /// requeues so a bouncing job still exhausts its RetryPolicy budget.
+    int attempt = 1;
   };
   struct Group {
     /// Priority buckets, highest first; FIFO within a bucket. Default-
@@ -277,8 +322,29 @@ class SchedulerService {
   /// priority bucket.
   Job pop_job_locked(Group& group);
   /// Runner body: drains `key`'s queue in sub-slices until it is empty.
+  /// Every exit path completes (or requeues) the jobs it holds: an escaped
+  /// exception routes through handle_worker_failure instead of orphaning
+  /// the in-flight tickets.
   void run_group(std::uint64_t key);
-  ServiceResult run_job(Job& job, std::uint64_t key);
+  /// Runs one job through the RetryPolicy chain. Returns nullopt when the
+  /// job was requeued (watchdog stall with attempts left) — the caller must
+  /// NOT complete the ticket then.
+  std::optional<ServiceResult> run_job(Job& job, std::uint64_t key);
+  /// One pipeline attempt with the degradation rung for `attempt` applied.
+  ServiceResult run_attempt(Job& job, std::uint64_t key, int attempt);
+  /// Evicts the job's possible cache fingerprints (fine/coarse direct +
+  /// probe) — rung 3 of the chain. Thread-safe via the cache's own lock.
+  void quarantine_job_entries(const Job& job);
+  /// Scope-guarded cleanup of a runner that lost an exception: requeues the
+  /// unfinished slice jobs (or fails them when their retry budget is gone),
+  /// counts a worker restart and dispatches a replacement runner.
+  void handle_worker_failure(std::uint64_t key, std::vector<Job>& slice,
+                             std::size_t next, const std::string& what);
+  /// Interruptible, deadline-charged wait between attempts. Returns the
+  /// control's reason when cancel/deadline fired mid-backoff (the caller
+  /// completes the ticket with it), kNone after a full sleep.
+  lp::SolveControl::Reason backoff_wait(const Job& job, double seconds) const;
+  void watchdog_loop();
   void complete(Ticket ticket, ServiceResult result);
 
   ServiceOptions options_;
@@ -301,7 +367,36 @@ class SchedulerService {
   std::size_t expired_ = 0;
   std::size_t max_pending_seen_ = 0;
   std::size_t steals_ = 0;
+  std::size_t retries_ = 0;
+  std::size_t requeues_ = 0;
+  std::size_t stalls_ = 0;
+  std::size_t worker_restarts_ = 0;
   std::uint64_t sequence_ = 0;
+
+  /// Heartbeat registry of RUNNING jobs, keyed by ticket. Written by the
+  /// runner on attempt entry/exit, sampled by the watchdog and stats().
+  struct RunningJob {
+    std::shared_ptr<lp::SolveControl> control;
+    int worker = -1;  ///< pool worker index; -1 = a helping external thread
+    long last_pivots = 0;
+    std::chrono::steady_clock::time_point last_progress;
+  };
+  std::unordered_map<Ticket, RunningJob> running_;
+  /// Tickets the watchdog interrupted (distinguishes a stall-cancel from a
+  /// user cancel when the pivot loop reports kInterrupted/kCancelled).
+  std::unordered_set<Ticket> stalled_;
+  /// Tickets cancelled through cancel() — the authoritative record, since a
+  /// stall requeue swaps the control token and would lose a raced cancel
+  /// flag otherwise.
+  std::unordered_set<Ticket> user_cancelled_;
+  /// Per-pool-worker completion counts for WorkerHealth.
+  std::vector<std::size_t> worker_completed_;
+
+  /// Stall watchdog (only started when stall_timeout_seconds > 0); stopped
+  /// and joined by the destructor before the pool shuts down.
+  bool watchdog_stop_ = false;
+  std::condition_variable watchdog_cv_;
+  std::thread watchdog_;
 
   /// Last member: destroyed (joined) first, while the state above is alive.
   support::ThreadPool pool_;

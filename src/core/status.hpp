@@ -29,6 +29,8 @@ enum class StatusCode {
   kCancelled,            ///< cancelled via TicketHandle::cancel / cancel(Ticket)
   kDeadlineExceeded,     ///< the request's deadline passed before completion
   kInternalError,        ///< unexpected exception inside the pipeline
+  kRetryExhausted,       ///< every attempt of the RetryPolicy's degradation
+                         ///< chain failed; the message carries the trail
 };
 
 inline const char* to_string(StatusCode code) {
@@ -43,8 +45,20 @@ inline const char* to_string(StatusCode code) {
     case StatusCode::kCancelled: return "cancelled";
     case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
     case StatusCode::kInternalError: return "internal-error";
+    case StatusCode::kRetryExhausted: return "retry-exhausted";
   }
   return "unknown";
+}
+
+/// Whether a failure with this code may succeed when simply re-run — the
+/// codes the RetryPolicy's degradation chain is allowed to retry. Numeric
+/// LP failures (a poisoned warm-start basis, a singular refactorization)
+/// and unexpected internal exceptions are transient in exactly the way the
+/// chain targets; everything else is either caller error (invalid input),
+/// an explicit control-plane outcome (cancel/deadline/reject), or the
+/// chain's own terminal verdict (kRetryExhausted).
+inline bool is_retryable(StatusCode code) {
+  return code == StatusCode::kLpFailure || code == StatusCode::kInternalError;
 }
 
 class Status {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/fault_injector.hpp"
 #include "support/assert.hpp"
 
 namespace malsched::linalg {
@@ -63,6 +64,14 @@ bool SparseLu::factor(const std::vector<const SparseColumn*>& cols,
   const std::size_t n = cols.size();
   n_ = n;
   valid_ = false;
+  // Fault site: pretend the basis matrix is numerically singular. Callers
+  // already treat `false` as "refactorization failed", so the injected and
+  // the organic failure exercise the same recovery path.
+  {
+    static core::FaultSite& factor_fault =
+        core::FaultInjector::site("linalg.lu.factor-fail");
+    if (factor_fault.fire()) return false;
+  }
   pinv_.assign(n, -1);
   u_diag_.assign(n, 0.0);
   work_.assign(n, 0.0);

@@ -86,6 +86,8 @@ const char* to_string(SolveStatus status) {
       return "iteration-limit";
     case SolveStatus::kInterrupted:
       return "interrupted";
+    case SolveStatus::kNumericalFailure:
+      return "numerical-failure";
   }
   return "unknown";
 }

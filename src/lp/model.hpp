@@ -55,6 +55,15 @@ struct SolveControl {
     if (expired()) return Reason::kDeadlineExceeded;
     return Reason::kNone;
   }
+
+  /// Progress heartbeat: the pivot loops store their running iteration
+  /// count here at every interruption poll (relaxed; monitoring only).
+  /// SchedulerService's stall watchdog reads it to distinguish a slow solve
+  /// (count advancing) from a wedged one (count frozen) — resets between
+  /// consecutive solves under one control are themselves progress. Mutable
+  /// because solvers hold the token const: the deadline/cancel contract
+  /// stays owner-written, this field is solver-written telemetry.
+  mutable std::atomic<long> pivots{0};
 };
 
 enum class Sense { kLessEqual, kGreaterEqual, kEqual };
@@ -122,6 +131,8 @@ enum class SolveStatus {
   kUnbounded,
   kIterationLimit,
   kInterrupted,  ///< a SolveControl cancelled the solve or its deadline passed
+  kNumericalFailure,  ///< the basis could not be (re)factorized or certified;
+                      ///< retryable with fresh/conservative solver state
 };
 
 const char* to_string(SolveStatus status);

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/fault_injector.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/sparse_lu.hpp"
@@ -201,6 +202,18 @@ class SparseLuEngine final : public BasisEngine {
       if (static_cast<int>(i) == r || w[i] == 0.0) continue;
       eta.entries.emplace_back(static_cast<int>(i), w[i]);
     }
+    // Fault site: NaN-poison this product-form update, the way a memory
+    // error in the eta file would corrupt it. Subsequent ftran/btran
+    // results are poisoned; the solve either self-heals at the next
+    // refactorization (which discards the eta file) plus the certification
+    // pass, or reports kNumericalFailure for the retry chain.
+    {
+      static core::FaultSite& eta_fault =
+          core::FaultInjector::site("lp.simplex.eta-corrupt");
+      if (eta_fault.fire()) {
+        eta.pivot = std::numeric_limits<double>::quiet_NaN();
+      }
+    }
     etas_.push_back(std::move(eta));
   }
 
@@ -251,6 +264,13 @@ class SimplexCore {
   Solution run() {
     Solution result;
     result.warm_started = warm_started_;
+    if (init_failed_) {
+      // Even the all-slack fallback basis failed to factorize (injected or
+      // hardware fault): there is no engine state to pivot on.
+      result.status = SolveStatus::kNumericalFailure;
+      result.x.assign(static_cast<std::size_t>(num_structural_), 0.0);
+      return result;
+    }
     // ---- Phase I (composite): repair bound violations of the basis. ----
     cost_.assign(cols_.size(), 0.0);
     SolveStatus phase1 = SolveStatus::kOptimal;
@@ -260,18 +280,19 @@ class SimplexCore {
     if (phase1 != SolveStatus::kOptimal) {
       result.status =
           phase1 == SolveStatus::kUnbounded ? SolveStatus::kInfeasible : phase1;
-      extract(result);
+      finish(result);
       return result;
     }
     if (max_primal_infeasibility() > 1e-7) {
       result.status = SolveStatus::kInfeasible;
-      extract(result);
+      finish(result);
       return result;
     }
     // ---- Phase II: minimize the real objective. ----
     set_phase2_costs();
     result.status = iterate(result, /*phase1=*/false);
-    extract(result);
+    if (result.status == SolveStatus::kOptimal) result.status = certify(result);
+    finish(result);
     return result;
   }
 
@@ -296,19 +317,27 @@ class SimplexCore {
       // optimality (and absorbs any reduced-cost drift from the incremental
       // dual updates), so the objective matches the primal path exactly.
       result.status = iterate(result, /*phase1=*/false);
-      extract(result);
+      if (result.status == SolveStatus::kOptimal) result.status = certify(result);
+      finish(result);
       return result;
     }
     if (dual_status == SolveStatus::kInfeasible) {
       result.status = SolveStatus::kInfeasible;
-      extract(result);
+      finish(result);
       return result;
     }
     if (dual_status == SolveStatus::kInterrupted) {
       // An interruption must NOT fall through to the primal safety net:
       // the caller asked the solve to stop, not to start over.
       result.status = SolveStatus::kInterrupted;
-      extract(result);
+      finish(result);
+      return result;
+    }
+    if (dual_status == SolveStatus::kNumericalFailure) {
+      // The basis engine is unusable (failed refactorization): the primal
+      // safety net cannot run either. Report for the retry chain.
+      result.status = dual_status;
+      finish(result);
       return result;
     }
     // Iteration budget or numerical stall: the primal method is the safety
@@ -427,8 +456,11 @@ class SimplexCore {
       basic_[static_cast<std::size_t>(i)] = n + i;
       status_[static_cast<std::size_t>(n + i)] = VarStatus::kBasic;
     }
-    const bool ok = engine_->refactorize(cols_, basic_);
-    MALSCHED_ASSERT_MSG(ok, "all-slack basis cannot be singular");
+    // The all-slack basis is the identity, so a factorization failure here
+    // can only be an injected (or hardware-level) fault — flag it instead
+    // of pivoting on a dead engine; run()/run_dual() turn the flag into
+    // SolveStatus::kNumericalFailure.
+    init_failed_ = !engine_->refactorize(cols_, basic_);
     warm_started_ = false;
   }
 
@@ -457,7 +489,7 @@ class SimplexCore {
       }
     }
     cold_start();
-    recompute_basic_values();
+    if (!init_failed_) recompute_basic_values();
   }
 
   void set_phase2_costs() {
@@ -492,6 +524,9 @@ class SimplexCore {
   bool interrupted(long iterations) const {
     const SolveControl* control = opt_.control;
     if (control == nullptr) return false;
+    // Progress heartbeat for the service's stall watchdog: a frozen count
+    // under a live control means the solve stopped pivoting.
+    control->pivots.store(iterations, std::memory_order_relaxed);
     if (control->cancel.load(std::memory_order_relaxed)) return true;
     return (iterations & 63) == 0 && control->expired();
   }
@@ -506,11 +541,15 @@ class SimplexCore {
     return d;
   }
 
-  void refactorize(Solution& result) {
-    const bool ok = engine_->refactorize(cols_, basic_);
-    MALSCHED_ASSERT_MSG(ok, "singular simplex basis at refactorization");
+  /// Refactorizes the current basis. False means the factorization failed
+  /// (numerically singular basis or an injected fault): the engine is dead
+  /// and the caller must stop with SolveStatus::kNumericalFailure — the
+  /// retryable outcome the service's degradation chain recovers from.
+  bool refactorize(Solution& result) {
+    if (!engine_->refactorize(cols_, basic_)) return false;
     ++result.refactorizations;
     recompute_basic_values();
+    return true;
   }
 
   void recompute_basic_values() {
@@ -766,7 +805,7 @@ class SimplexCore {
         apply_pivot(entering, leaving_row, w_, start + sigma * t_limit, leave_status);
         ++pivots_since_refactor;
         if (engine_->wants_refactor(pivots_since_refactor)) {
-          refactorize(result);
+          if (!refactorize(result)) return SolveStatus::kNumericalFailure;
           pivots_since_refactor = 0;
         }
       }
@@ -983,12 +1022,16 @@ class SimplexCore {
       // --- pivot ---
       engine_->ftran_column(cols_[eu], w_);
       const double w_r = w_[ru];
-      if (std::abs(w_r) <= opt_.pivot_tolerance ||
-          std::abs(w_r - alpha_[eu]) > 1e-6 * std::max(1.0, std::abs(alpha_[eu]))) {
+      // Written so a NaN w_r (poisoned eta file) fails the check: every
+      // comparison must POSITIVELY establish health.
+      const bool pivot_healthy =
+          std::abs(w_r) > opt_.pivot_tolerance &&
+          std::abs(w_r - alpha_[eu]) <= 1e-6 * std::max(1.0, std::abs(alpha_[eu]));
+      if (!pivot_healthy) {
         // The ftran disagrees with the btran row: the factorization has
         // degraded. Refactorize and retry the iteration; give up on repeat.
         if (++numeric_retries > 3) return SolveStatus::kIterationLimit;
-        refactorize(result);
+        if (!refactorize(result)) return SolveStatus::kNumericalFailure;
         compute_reduced_costs();
         continue;
       }
@@ -1022,11 +1065,80 @@ class SimplexCore {
       degenerate_streak = theta_dual < 1e-11 ? degenerate_streak + 1 : 0;
       ++pivots_since_refactor;
       if (engine_->wants_refactor(pivots_since_refactor)) {
-        refactorize(result);
+        if (!refactorize(result)) return SolveStatus::kNumericalFailure;
         compute_reduced_costs();
         pivots_since_refactor = 0;
       }
     }
+  }
+
+  /// Deterministic terminal extraction. Canonicalizes the optimal state so
+  /// the extracted solution is a pure function of the final basis (status
+  /// vector + model), independent of the pivot path that reached it: the
+  /// basic order is sorted (pinning the LU pivot order), the basis is
+  /// refactorized (discarding the eta file) and the basic values recomputed
+  /// (discarding incremental-update drift). Warm and cold solves ending in
+  /// the same basis therefore extract bit-identical solutions — the
+  /// property the service's "recovered bounds match the fault-free run"
+  /// gate rests on. The explicit finiteness/feasibility/optimality re-check
+  /// doubles as the safety net against corrupted arithmetic: a solve that
+  /// silently "converged" through a poisoned eta file (NaN reduced costs
+  /// price as ineligible) fails the check here and resumes pivoting on the
+  /// fresh factorization instead of leaking a wrong bound. On a clean solve
+  /// the loosened (10x) optimality tolerance never trips, so the pivot
+  /// sequence and iteration count are exactly the pre-certification ones.
+  SolveStatus certify(Solution& result) {
+    for (int round = 0; round < 3; ++round) {
+      std::sort(basic_.begin(), basic_.end());
+      if (!refactorize(result)) return SolveStatus::kNumericalFailure;
+      for (const double v : xb_) {
+        if (!std::isfinite(v)) return SolveStatus::kNumericalFailure;
+      }
+      if (max_primal_infeasibility() > 1e-7) {
+        // Only reachable when corrupted arithmetic let an infeasible basis
+        // pose as optimal: repair from the refreshed values (composite
+        // Phase I, then Phase II) and re-certify.
+        cost_.assign(cols_.size(), 0.0);
+        SolveStatus s = iterate(result, /*phase1=*/true);
+        if (s != SolveStatus::kOptimal) {
+          return s == SolveStatus::kUnbounded ? SolveStatus::kInfeasible : s;
+        }
+        set_phase2_costs();
+        s = iterate(result, /*phase1=*/false);
+        if (s != SolveStatus::kOptimal) return s;
+        continue;
+      }
+      compute_duals(/*phase1=*/false, y_);
+      bool clean = true;
+      const int total = static_cast<int>(cols_.size());
+      for (int j = 0; j < total && clean; ++j) {
+        const VarStatus s = status_[static_cast<std::size_t>(j)];
+        if (s == VarStatus::kBasic || s == VarStatus::kFixed) continue;
+        const double d = reduced_cost(j, y_);
+        if (s == VarStatus::kAtLower) {
+          clean = !(d < -10.0 * opt_.dual_tolerance);
+        } else if (s == VarStatus::kAtUpper) {
+          clean = !(d > 10.0 * opt_.dual_tolerance);
+        } else {
+          clean = !(std::abs(d) > 10.0 * opt_.dual_tolerance);
+        }
+      }
+      if (clean) return SolveStatus::kOptimal;
+      const SolveStatus s = iterate(result, /*phase1=*/false);
+      if (s != SolveStatus::kOptimal) return s;
+    }
+    return SolveStatus::kNumericalFailure;
+  }
+
+  /// extract(), except when the basis engine is dead (kNumericalFailure):
+  /// then ftran/btran are unusable and the best-effort point is all-zero.
+  void finish(Solution& result) const {
+    if (result.status == SolveStatus::kNumericalFailure) {
+      result.x.assign(static_cast<std::size_t>(num_structural_), 0.0);
+      result.duals.assign(static_cast<std::size_t>(num_rows_), 0.0);
+      return;
+    }
+    extract(result);
   }
 
   void extract(Solution& result) const {
@@ -1060,6 +1172,7 @@ class SimplexCore {
   int num_structural_ = 0;
   int num_rows_ = 0;
   bool warm_started_ = false;
+  bool init_failed_ = false;  ///< even the all-slack basis failed to factor
 
   std::vector<Column> cols_;
   Vector lower_, upper_, cost_, rhs_;

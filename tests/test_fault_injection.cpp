@@ -1,0 +1,426 @@
+// Tests for the fault-injection framework and the self-healing service:
+// FaultInjector schedules, the fault matrix (every registered site injected
+// once must leave every ticket completed with ok() or a documented terminal
+// code), the RetryPolicy degradation chain with cache quarantine, the stall
+// watchdog, worker replacement after an escaped worker-loop exception, and
+// cancellation/deadlines during retry backoff.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fault_injector.hpp"
+#include "core/scheduler.hpp"
+#include "core/scheduler_service.hpp"
+#include "core/status.hpp"
+#include "model/instance.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace malsched;
+using core::FaultInjector;
+using core::FaultSchedule;
+
+model::Instance make_test_instance(std::uint64_t seed, int n, int m) {
+  support::Rng rng(seed);
+  return model::make_family_instance(model::DagFamily::kLayered,
+                                     model::TaskFamily::kPowerLaw, n, m, rng);
+}
+
+/// Every test leaves the process-wide injector disarmed, whatever happened.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::instance().reset(); }
+  void TearDown() override { FaultInjector::instance().reset(); }
+};
+
+// ---------------------------------------------------------------------------
+// FaultInjector mechanics
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultInjectionTest, DisarmedSitesNeverFire) {
+  core::FaultSite& site = FaultInjector::site("linalg.lu.factor-fail");
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(site.fire());
+  // Disarmed probes do not even count hits (the fast path is one atomic
+  // load, so a disabled injector cannot perturb timing-sensitive code).
+  EXPECT_EQ(site.hits(), 0u);
+  EXPECT_EQ(site.fired(), 0u);
+}
+
+TEST_F(FaultInjectionTest, OneShotFiresExactlyOnceAtTheRequestedHit) {
+  FaultInjector::instance().arm("core.lp.solver-error",
+                                FaultSchedule::one_shot(/*at_hit=*/3));
+  core::FaultSite& site = FaultInjector::site("core.lp.solver-error");
+  EXPECT_FALSE(site.fire());  // hit 1
+  EXPECT_FALSE(site.fire());  // hit 2
+  EXPECT_TRUE(site.fire());   // hit 3
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(site.fire());
+  EXPECT_EQ(site.fired(), 1u);
+  EXPECT_EQ(FaultInjector::instance().hits("core.lp.solver-error"), 13u);
+}
+
+TEST_F(FaultInjectionTest, EveryNthHonoursPeriodAndMaxFires) {
+  FaultInjector::instance().arm(
+      "core.cache.corrupt", FaultSchedule::every_nth(/*n=*/4, /*max_fires=*/2));
+  core::FaultSite& site = FaultInjector::site("core.cache.corrupt");
+  std::vector<int> fired_at;
+  for (int hit = 1; hit <= 20; ++hit) {
+    if (site.fire()) fired_at.push_back(hit);
+  }
+  EXPECT_EQ(fired_at, (std::vector<int>{4, 8}));  // max_fires caps the third
+}
+
+TEST_F(FaultInjectionTest, ProbabilityScheduleIsSeededAndReproducible) {
+  const auto run = [](std::uint64_t seed) {
+    FaultInjector::instance().reset();
+    FaultInjector::instance().arm(
+        "core.service.worker-throw",
+        FaultSchedule::with_probability(0.3, seed));
+    core::FaultSite& site = FaultInjector::site("core.service.worker-throw");
+    std::vector<bool> fires;
+    for (int i = 0; i < 200; ++i) fires.push_back(site.fire());
+    return fires;
+  };
+  const std::vector<bool> a = run(0xABCD);
+  const std::vector<bool> b = run(0xABCD);
+  const std::vector<bool> c = run(0x1234);
+  EXPECT_EQ(a, b);  // bit-for-bit reproducible under one seed
+  EXPECT_NE(a, c);  // and actually seed-dependent
+  const long fired = static_cast<long>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fired, 20);   // ~60 expected; loose two-sided sanity bounds
+  EXPECT_LT(fired, 120);
+}
+
+TEST_F(FaultInjectionTest, ResetDisarmsEverything) {
+  for (const char* name : FaultInjector::known_sites()) {
+    FaultInjector::instance().arm(name, FaultSchedule::every_nth(1));
+  }
+  EXPECT_TRUE(FaultInjector::instance().any_armed());
+  FaultInjector::instance().reset();
+  EXPECT_FALSE(FaultInjector::instance().any_armed());
+  for (const char* name : FaultInjector::known_sites()) {
+    EXPECT_FALSE(FaultInjector::site(name).fire()) << name;
+  }
+}
+
+TEST_F(FaultInjectionTest, IsRetryableCoversExactlyTheTransientCodes) {
+  EXPECT_TRUE(core::is_retryable(core::StatusCode::kLpFailure));
+  EXPECT_TRUE(core::is_retryable(core::StatusCode::kInternalError));
+  EXPECT_FALSE(core::is_retryable(core::StatusCode::kOk));
+  EXPECT_FALSE(core::is_retryable(core::StatusCode::kInvalidInstance));
+  EXPECT_FALSE(core::is_retryable(core::StatusCode::kCancelled));
+  EXPECT_FALSE(core::is_retryable(core::StatusCode::kDeadlineExceeded));
+  EXPECT_FALSE(core::is_retryable(core::StatusCode::kRejected));
+  EXPECT_FALSE(core::is_retryable(core::StatusCode::kRetryExhausted));
+  EXPECT_STREQ(core::to_string(core::StatusCode::kRetryExhausted),
+               "retry-exhausted");
+}
+
+// ---------------------------------------------------------------------------
+// Fault matrix: every registered site, injected once, service still delivers
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultInjectionTest, FaultMatrixEverySiteCompletesEveryTicket) {
+  for (const char* name : FaultInjector::instance().known_sites()) {
+    SCOPED_TRACE(name);
+    FaultInjector::instance().reset();
+    FaultInjector::instance().arm(name, FaultSchedule::one_shot(1));
+
+    core::ServiceOptions options;
+    options.num_threads = 2;
+    // The stall site blocks until the control token fires: the watchdog is
+    // what frees it (and the matrix keeps it on for every site — it must
+    // never misfire on healthy jobs either). Generous timeout: these LPs
+    // solve in microseconds, but sanitizer builds stretch everything.
+    options.stall_timeout_seconds = 0.25;
+    options.watchdog_poll_seconds = 0.01;
+    {
+      core::SchedulerService service(options);
+      std::vector<core::SchedulerService::Ticket> tickets;
+      for (int i = 0; i < 6; ++i) {
+        tickets.push_back(service.submit(make_test_instance(0xFA0 + i, 20, 4)));
+      }
+      for (const auto ticket : tickets) {
+        const core::ServiceResult r = service.wait(ticket);
+        // Recovery contract: with the default RetryPolicy every single
+        // injected fault is absorbed — the ticket must come back ok.
+        EXPECT_TRUE(r.status.ok())
+            << name << " -> " << r.status.to_string();
+        EXPECT_GE(r.attempts, 1);
+      }
+      const core::ServiceStats stats = service.stats();
+      EXPECT_EQ(stats.completed, 6u);
+      EXPECT_EQ(stats.pending, 0u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Retry chain behaviour
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultInjectionTest, RecoveredBoundIsBitIdenticalToFaultFreeRun) {
+  const model::Instance instance = make_test_instance(0xB17, 28, 6);
+  core::ServiceOptions options;
+  options.num_threads = 1;
+
+  double clean_bound = 0.0;
+  double clean_makespan = 0.0;
+  long clean_pivots = 0;
+  {
+    core::SchedulerService service(options);
+    const core::ServiceResult r = service.wait(service.submit(instance));
+    ASSERT_TRUE(r.status.ok()) << r.status.to_string();
+    ASSERT_EQ(r.attempts, 1);
+    clean_bound = r.result.fractional.lower_bound;
+    clean_makespan = r.result.makespan;
+    clean_pivots = r.lp_pivots;
+  }
+
+  // The first LU factorization fails: that is the coarse relaxation's cold
+  // start, which the solve layer retries cold once. The failed solve spent
+  // zero pivots, so the recovered run replays the refined pivot path
+  // EXACTLY — same pivot count, bitwise-identical bound — without even
+  // charging a service-level attempt.
+  FaultInjector::instance().arm("linalg.lu.factor-fail",
+                                FaultSchedule::one_shot(1));
+  {
+    core::SchedulerService service(options);
+    const core::ServiceResult r = service.wait(service.submit(instance));
+    ASSERT_TRUE(r.status.ok()) << r.status.to_string();
+    EXPECT_EQ(r.attempts, 1);
+    EXPECT_FALSE(r.degraded);
+    EXPECT_GE(r.result.fractional.cold_retries, 1);  // the solve-level rerun
+    EXPECT_EQ(r.result.fractional.lower_bound, clean_bound);
+    EXPECT_EQ(r.result.makespan, clean_makespan);
+    EXPECT_EQ(r.lp_pivots, clean_pivots);
+    EXPECT_EQ(FaultInjector::instance().fired("linalg.lu.factor-fail"), 1u);
+  }
+}
+
+TEST_F(FaultInjectionTest, PersistentFaultExhaustsTheChain) {
+  // A fault that fires on every attempt must walk the whole chain and end
+  // in kRetryExhausted with the per-attempt trail in the message.
+  FaultInjector::instance().arm("core.lp.solver-error",
+                                FaultSchedule::every_nth(1));
+  core::ServiceOptions options;
+  options.num_threads = 1;
+  core::SchedulerService service(options);
+  const core::ServiceResult r =
+      service.wait(service.submit(make_test_instance(0xE4A, 16, 4)));
+  EXPECT_EQ(r.status.code(), core::StatusCode::kRetryExhausted);
+  EXPECT_EQ(r.attempts, 4);  // the default chain: warm, rerun, cold, degraded
+  EXPECT_NE(r.status.message().find("attempt 1"), std::string::npos);
+  EXPECT_NE(r.status.message().find("attempt 4"), std::string::npos);
+  EXPECT_EQ(service.stats().retries, 3u);
+}
+
+TEST_F(FaultInjectionTest, SingleAttemptPolicyReportsTheRawError) {
+  FaultInjector::instance().arm("core.lp.solver-error",
+                                FaultSchedule::every_nth(1));
+  core::ServiceOptions options;
+  options.num_threads = 1;
+  options.scheduler.retry.max_attempts = 1;
+  core::SchedulerService service(options);
+  const core::ServiceResult r =
+      service.wait(service.submit(make_test_instance(0xE4B, 16, 4)));
+  EXPECT_EQ(r.status.code(), core::StatusCode::kLpFailure);
+  EXPECT_EQ(r.attempts, 1);
+  EXPECT_EQ(service.stats().retries, 0u);
+}
+
+TEST_F(FaultInjectionTest, CorruptedCacheEntryIsAbsorbedAndBoundsMatch) {
+  // Job 1 stores a corrupted basis snapshot; job 2 (same structure) warm
+  // starts from the poison. Whatever path recovery takes — Phase-I repair
+  // of the rotated basis, a solve-level cold retry, or the chain's
+  // quarantine rung — the ticket must come back ok with the exact bound.
+  const model::Instance a = make_test_instance(0xCAC4E, 24, 6);
+  const model::Instance b = make_test_instance(0xCAC4E, 24, 6);  // same seed
+
+  core::ServiceOptions options;
+  options.num_threads = 1;
+  double clean_bound = 0.0;
+  {
+    core::SchedulerService service(options);
+    const core::ServiceResult r1 = service.wait(service.submit(a));
+    ASSERT_TRUE(r1.status.ok());
+    const core::ServiceResult r2 = service.wait(service.submit(b));
+    ASSERT_TRUE(r2.status.ok());
+    clean_bound = r2.result.fractional.lower_bound;
+  }
+
+  FaultInjector::instance().arm("core.cache.corrupt",
+                                FaultSchedule::one_shot(1));
+  core::SchedulerService service(options);
+  const core::ServiceResult r1 = service.wait(service.submit(a));
+  ASSERT_TRUE(r1.status.ok()) << r1.status.to_string();
+  const core::ServiceResult r2 = service.wait(service.submit(b));
+  ASSERT_TRUE(r2.status.ok()) << r2.status.to_string();
+  EXPECT_EQ(r2.result.fractional.lower_bound, clean_bound);
+}
+
+TEST_F(FaultInjectionTest, QuarantineEvictsTheSuspectEntries) {
+  // Drive the chain to rung 3 deterministically: the solver-error site
+  // fires on attempts 1 and 2, so attempt 3 quarantines and solves cold.
+  const model::Instance instance = make_test_instance(0x0AA, 20, 4);
+  FaultInjector::instance().arm("core.lp.solver-error",
+                                FaultSchedule::every_nth(1, /*max_fires=*/2));
+  core::ServiceOptions options;
+  options.num_threads = 1;
+  core::SchedulerService service(options);
+  // Seed the cache with a healthy entry for this structure first? No —
+  // quarantine counts evictions of PRESENT entries only; what matters here
+  // is the attempt bookkeeping and that the cold rung succeeds.
+  const core::ServiceResult r = service.wait(service.submit(instance));
+  ASSERT_TRUE(r.status.ok()) << r.status.to_string();
+  EXPECT_EQ(r.attempts, 3);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(service.stats().retries, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Worker watchdog + self-healing workers
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultInjectionTest, WatchdogRequeuesAStalledJob) {
+  FaultInjector::instance().arm("core.service.worker-stall",
+                                FaultSchedule::one_shot(1));
+  core::ServiceOptions options;
+  options.num_threads = 2;
+  options.stall_timeout_seconds = 0.05;
+  options.watchdog_poll_seconds = 0.005;
+  core::SchedulerService service(options);
+  const core::ServiceResult r =
+      service.wait(service.submit(make_test_instance(0x57A11, 20, 4)));
+  ASSERT_TRUE(r.status.ok()) << r.status.to_string();
+  EXPECT_EQ(r.attempts, 2);  // stall consumed one attempt, rerun succeeded
+  const core::ServiceStats stats = service.stats();
+  EXPECT_GE(stats.stalls, 1u);
+  EXPECT_GE(stats.requeues, 1u);
+}
+
+TEST_F(FaultInjectionTest, StalledJobWithoutBudgetFailsTerminally) {
+  FaultInjector::instance().arm("core.service.worker-stall",
+                                FaultSchedule::one_shot(1));
+  core::ServiceOptions options;
+  options.num_threads = 1;
+  options.stall_timeout_seconds = 0.05;
+  options.watchdog_poll_seconds = 0.005;
+  options.scheduler.retry.max_attempts = 1;
+  core::SchedulerService service(options);
+  const core::ServiceResult r =
+      service.wait(service.submit(make_test_instance(0x57A12, 16, 4)));
+  EXPECT_EQ(r.status.code(), core::StatusCode::kInternalError);
+  EXPECT_GE(service.stats().stalls, 1u);
+}
+
+TEST_F(FaultInjectionTest, WorkerThrowRegressionNoOrphanedTickets) {
+  // The historical bug shape: an exception escaping the worker loop OUTSIDE
+  // the guarded solve region orphaned the popped jobs and wait() hung. With
+  // retries disabled the in-flight ticket must complete kInternalError and
+  // every other ticket must still be delivered — no hang either way.
+  FaultInjector::instance().arm("core.service.worker-throw",
+                                FaultSchedule::one_shot(1));
+  core::ServiceOptions options;
+  options.num_threads = 2;
+  options.scheduler.retry.max_attempts = 1;
+  core::SchedulerService service(options);
+  std::vector<core::SchedulerService::Ticket> tickets;
+  for (int i = 0; i < 6; ++i) {
+    tickets.push_back(service.submit(make_test_instance(0x780 + i, 18, 4)));
+  }
+  std::size_t internal_errors = 0;
+  for (const auto ticket : tickets) {
+    const core::ServiceResult r = service.wait(ticket);  // must not hang
+    if (!r.status.ok()) {
+      EXPECT_EQ(r.status.code(), core::StatusCode::kInternalError);
+      ++internal_errors;
+    }
+  }
+  EXPECT_EQ(internal_errors, 1u);  // exactly the job in flight at the throw
+  const core::ServiceStats stats = service.stats();
+  EXPECT_GE(stats.worker_restarts, 1u);
+  EXPECT_EQ(stats.completed, 6u);
+}
+
+TEST_F(FaultInjectionTest, WorkerThrowWithRetriesRecoversEveryTicket) {
+  FaultInjector::instance().arm("core.service.worker-throw",
+                                FaultSchedule::one_shot(1));
+  core::ServiceOptions options;
+  options.num_threads = 2;
+  core::SchedulerService service(options);
+  std::vector<core::SchedulerService::Ticket> tickets;
+  for (int i = 0; i < 6; ++i) {
+    tickets.push_back(service.submit(make_test_instance(0x790 + i, 18, 4)));
+  }
+  for (const auto ticket : tickets) {
+    const core::ServiceResult r = service.wait(ticket);
+    EXPECT_TRUE(r.status.ok()) << r.status.to_string();
+  }
+  EXPECT_GE(service.stats().worker_restarts, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation and deadlines interacting with retries
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultInjectionTest, CancelDuringRetryBackoffCompletesCancelled) {
+  FaultInjector::instance().arm("core.lp.solver-error",
+                                FaultSchedule::one_shot(1));
+  core::ServiceOptions options;
+  options.num_threads = 1;
+  options.scheduler.retry.backoff_seconds = 30.0;  // parks the job in backoff
+  core::SchedulerService service(options);
+  core::ScheduleRequest request;
+  request.instance = make_test_instance(0xCAB, 16, 4);
+  core::TicketHandle handle = service.submit(std::move(request));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_TRUE(handle.cancel());
+  const core::ServiceResult r = handle.wait();
+  EXPECT_EQ(r.status.code(), core::StatusCode::kCancelled);
+  EXPECT_GE(r.attempts, 2);  // the first attempt failed before the backoff
+  EXPECT_NE(r.status.message().find("attempt 1"), std::string::npos);
+}
+
+TEST_F(FaultInjectionTest, DeadlineDuringRetryBackoffCompletesExpired) {
+  FaultInjector::instance().arm("core.lp.solver-error",
+                                FaultSchedule::one_shot(1));
+  core::ServiceOptions options;
+  options.num_threads = 1;
+  options.scheduler.retry.backoff_seconds = 30.0;
+  core::SchedulerService service(options);
+  core::ScheduleRequest request;
+  request.instance = make_test_instance(0xDEAD, 16, 4);
+  request.deadline_seconds = 0.2;  // expires inside the backoff wait
+  core::TicketHandle handle = service.submit(std::move(request));
+  const core::ServiceResult r = handle.wait();
+  EXPECT_EQ(r.status.code(), core::StatusCode::kDeadlineExceeded);
+  EXPECT_GE(r.attempts, 2);
+}
+
+TEST_F(FaultInjectionTest, DisabledInjectorLeavesResultsBitIdentical) {
+  // The injector compiled in but DISARMED must not perturb anything: same
+  // bounds, same makespan, same pivot count as a build that never touches
+  // the sites (which tier-1 asserts via the committed baselines elsewhere).
+  const model::Instance instance = make_test_instance(0x0FF, 24, 6);
+  core::ServiceOptions options;
+  options.num_threads = 1;
+  core::SchedulerService s1(options);
+  const core::ServiceResult a = s1.wait(s1.submit(instance));
+  core::SchedulerService s2(options);
+  const core::ServiceResult b = s2.wait(s2.submit(instance));
+  ASSERT_TRUE(a.status.ok());
+  ASSERT_TRUE(b.status.ok());
+  EXPECT_EQ(a.result.fractional.lower_bound, b.result.fractional.lower_bound);
+  EXPECT_EQ(a.result.makespan, b.result.makespan);
+  EXPECT_EQ(a.lp_pivots, b.lp_pivots);
+  EXPECT_EQ(a.attempts, 1);
+  EXPECT_FALSE(a.degraded);
+}
+
+}  // namespace
