@@ -48,22 +48,34 @@
 // RetryPolicy chain, every recovered lower bound is BITWISE identical to
 // the fault-free run, and the service counted real retries and a worker
 // restart. Exits nonzero when recovery falls short.
+// --replay mode (runs standalone or appended to --stream's JSON): the
+// regression-workload loop closed. A committed golden trace
+// (tests/data/stream_mix.trace, recorded via --record-trace) is fed back
+// through a fresh service by core::replay_trace at 1 worker and again at
+// all cores, and every outcome is diffed against the recorded one — status
+// codes equal, lower bounds BITWISE identical, pivot counts exact. Any diff
+// exits nonzero. The run also regenerates the trace of the replay itself
+// (stream_mix_replay.trace) and renders the recorded timeline to SVG — the
+// CI artifacts.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/allotment_lp.hpp"
 #include "core/batch_scheduler.hpp"
+#include "core/export.hpp"
 #include "core/fault_injector.hpp"
 #include "core/list_scheduler.hpp"
 #include "core/rounding.hpp"
 #include "core/scheduler.hpp"
 #include "core/scheduler_service.hpp"
+#include "core/trace.hpp"
 #include "graph/generators.hpp"
 #include "model/instance.hpp"
 #include "model/speedup.hpp"
@@ -590,7 +602,217 @@ bool run_faults_section(std::FILE* f,
   return healthy;
 }
 
-int run_stream_bench(const std::string& out_path, bool overload, bool faults) {
+// --- trace record & deterministic replay -------------------------------------
+
+constexpr const char* kDefaultTracePath = "tests/data/stream_mix.trace";
+
+/// The golden replay workload: the 16-instance service mix with per-shape
+/// priorities — CONSTANT within each structure group, as the replay
+/// determinism contract requires — plus the control-plane rows: the last
+/// revision of every shape carries a generous deadline (met, so it stays
+/// deterministic), one request arrives already expired, and one deep
+/// bisection is cancelled right after submission.
+std::vector<core::ScheduleRequest> make_replay_workload() {
+  const std::vector<Shape> shapes = make_batch_shapes();
+  std::vector<core::ScheduleRequest> requests;
+  for (int v = 0; v < kShapeVariants; ++v) {
+    for (std::size_t s = 0; s < shapes.size(); ++s) {
+      core::ScheduleRequest request;
+      request.instance = make_variant(shapes[s], s, v);
+      request.priority = static_cast<int>(s) % 3;
+      request.client_tag =
+          std::string(shapes[s].name) + "/r" + std::to_string(v);
+      if (v == kShapeVariants - 1) request.deadline_seconds = 300.0;
+      requests.push_back(std::move(request));
+    }
+  }
+  core::ScheduleRequest late;
+  late.instance = make_variant(shapes[0], 0, 0);
+  late.deadline_seconds = 0.0;
+  late.client_tag = "late";
+  requests.push_back(std::move(late));
+  // The cancelled row is a deep solve under explicit per-request options
+  // (bisection), so the trace also pins the options codec end to end.
+  core::ScheduleRequest cancelled;
+  cancelled.instance = make_deep_workload(1000, 0xCA9CE1);
+  core::SchedulerOptions bisect;
+  bisect.lp.mode = core::LpMode::kBinarySearch;
+  cancelled.options = bisect;
+  cancelled.client_tag = "cancel";
+  requests.push_back(std::move(cancelled));
+  return requests;
+}
+
+/// Records the golden workload through a live single-worker service and
+/// writes the trace plus the committed docs renderings (timeline SVG of the
+/// recorded traffic, Gantt SVG of one representative schedule).
+int run_record_trace(const std::string& trace_path) {
+  std::vector<core::ScheduleRequest> requests = make_replay_workload();
+  core::TraceRecorder recorder;
+  core::ServiceOptions options;
+  options.num_threads = 1;
+  options.max_group_runners = 1;
+  options.trace = &recorder;
+  std::fprintf(stderr, "[record] %zu requests through a 1-worker service...\n",
+               requests.size());
+  {
+    core::SchedulerService service(options);
+    std::vector<core::TicketHandle> handles;
+    for (core::ScheduleRequest& request : requests) {
+      const bool cancel_now = request.client_tag == "cancel";
+      core::TicketHandle handle = service.submit(std::move(request));
+      if (cancel_now) handle.cancel();
+      handles.push_back(handle);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    service.drain();
+  }
+  const core::Trace trace = recorder.snapshot();
+  const core::Status status = core::save_trace_file(trace_path, trace);
+  if (!status.ok()) {
+    std::fprintf(stderr, "[record] %s\n", status.to_string().c_str());
+    return 1;
+  }
+  std::size_t ok = 0;
+  long pivots = 0;
+  for (const core::TraceRecord& record : trace.records) {
+    if (record.outcome.status == core::StatusCode::kOk) {
+      ++ok;
+      pivots += record.outcome.lp_pivots;
+    }
+  }
+  std::fprintf(stderr, "[record] wrote %s: %zu records (%zu ok, %ld pivots)\n",
+               trace_path.c_str(), trace.records.size(), ok, pivots);
+
+  {
+    std::ofstream svg("docs/stream_mix_timeline.svg");
+    if (svg) {
+      core::write_trace_timeline_svg(
+          svg, trace, "stream_mix.trace: per-request service timeline");
+      std::fprintf(stderr, "[record] wrote docs/stream_mix_timeline.svg\n");
+    }
+  }
+  {
+    // One representative schedule for the README: the first cholesky
+    // revision of the mix under the service defaults.
+    const std::vector<Shape> shapes = make_batch_shapes();
+    const model::Instance instance = make_variant(shapes[1], 1, 0);
+    core::ServiceOptions defaults;
+    const core::SchedulerResult result =
+        core::schedule_malleable_dag(instance, defaults.scheduler);
+    std::ofstream svg("docs/stream_mix_gantt.svg");
+    if (svg) {
+      core::write_schedule_gantt_svg(
+          svg, instance, result.schedule,
+          "cholesky/r0: LIST schedule on m=16 (makespan " +
+              std::to_string(result.makespan) + ")");
+      std::fprintf(stderr, "[record] wrote docs/stream_mix_gantt.svg\n");
+    }
+  }
+  return 0;
+}
+
+/// One replay pass + its JSON fragment. Returns false on any outcome diff.
+bool replay_pass(std::FILE* f, const char* key, const core::Trace& trace,
+                 const core::ReplayOptions& options, std::size_t workers_label,
+                 bool last) {
+  const core::ReplayReport report = core::replay_trace(trace, options);
+  std::fprintf(f,
+               "    \"%s\": {\"workers\": %zu, \"requests\": %zu, "
+               "\"matched\": %zu, \"mismatches\": %zu, \"recorded_pivots\": "
+               "%lld, \"replayed_pivots\": %lld, \"wall_seconds\": %.6f}%s\n",
+               key, workers_label, report.requests, report.matched,
+               report.mismatches.size(),
+               static_cast<long long>(report.recorded_pivots),
+               static_cast<long long>(report.replayed_pivots),
+               report.wall_seconds, last ? "" : ",");
+  for (std::size_t i = 0; i < report.mismatches.size() && i < 8; ++i) {
+    const core::ReplayMismatch& mm = report.mismatches[i];
+    std::fprintf(stderr,
+                 "REPLAY GATE [%s]: record %zu field %s: recorded %s, "
+                 "replayed %s\n",
+                 key, mm.index, mm.field.c_str(), mm.recorded.c_str(),
+                 mm.replayed.c_str());
+  }
+  std::fprintf(stderr,
+               "[replay] %s (%zu workers): %zu/%zu matched, pivots %lld "
+               "recorded vs %lld replayed (%.3f s)\n",
+               key, workers_label, report.matched, report.requests,
+               static_cast<long long>(report.recorded_pivots),
+               static_cast<long long>(report.replayed_pivots),
+               report.wall_seconds);
+  return report.ok();
+}
+
+/// Writes the "replay" JSON section and returns false when the committed
+/// trace does not reproduce (any status/bound/pivot diff at 1 worker or at
+/// all cores).
+bool run_replay_section(std::FILE* f, const std::string& trace_path) {
+  core::Trace trace;
+  const core::Status status = core::load_trace_file(trace_path, trace);
+  if (!status.ok()) {
+    std::fprintf(stderr, "REPLAY GATE: cannot load %s: %s\n",
+                 trace_path.c_str(), status.to_string().c_str());
+    return false;
+  }
+  std::fprintf(stderr, "[replay] %s: %zu records\n", trace_path.c_str(),
+               trace.records.size());
+  std::fprintf(f, "  \"replay\": {\"trace\": \"%s\", \"records\": %zu,\n",
+               trace_path.c_str(), trace.records.size());
+
+  const std::size_t cores =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  bool healthy = true;
+
+  // 1 worker, outcome-exact, regenerating the replay's own trace as the CI
+  // artifact (plus the recorded timeline rendered to SVG).
+  core::TraceRecorder regenerated;
+  core::ReplayOptions one;
+  one.service.num_threads = 1;
+  one.record_into = &regenerated;
+  healthy = replay_pass(f, "replay_1", trace, one, 1, cores <= 1) && healthy;
+  const core::Status save_status =
+      core::save_trace_file("stream_mix_replay.trace", regenerated.snapshot());
+  if (!save_status.ok()) {
+    std::fprintf(stderr, "[replay] %s\n", save_status.to_string().c_str());
+  }
+  {
+    std::ofstream svg("stream_mix_timeline.svg");
+    if (svg) {
+      core::write_trace_timeline_svg(svg, trace,
+                                     trace_path + ": recorded timeline");
+    }
+  }
+
+  // All cores: group-affine dispatch + max_group_runners=1 must reproduce
+  // the same per-request outcomes at any worker count.
+  if (cores > 1) {
+    core::ReplayOptions parallel;
+    parallel.service.num_threads = 0;  // all cores
+    healthy = replay_pass(f, "replay_parallel", trace, parallel, cores, true) &&
+              healthy;
+  }
+  std::fprintf(f, "  },\n");
+  return healthy;
+}
+
+/// Standalone --replay (no --stream): its own small JSON file.
+int run_replay_bench(const std::string& out_path, const std::string& trace_path) {
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"perf_pipeline_replay\",\n");
+  const bool healthy = run_replay_section(f, trace_path);
+  std::fprintf(f, "  \"healthy\": %s\n}\n", healthy ? "true" : "false");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  return healthy ? 0 : 2;
+}
+
+int run_stream_bench(const std::string& out_path, bool overload, bool faults,
+                     bool replay, const std::string& trace_path) {
   const std::vector<Shape> shapes = make_batch_shapes();
   std::vector<model::Instance> instances;
   std::vector<const char*> instance_shape;
@@ -769,6 +991,10 @@ int run_stream_bench(const std::string& out_path, bool overload, bool faults) {
     std::fclose(f);
     return 2;
   }
+  if (replay && !run_replay_section(f, trace_path)) {
+    std::fclose(f);
+    return 2;
+  }
   std::fprintf(f, "  \"batch_over_stream_wall_ratio\": %.3f,\n", ratio);
   std::fprintf(f, "  \"max_bound_rel_diff\": %.3e,\n", max_rel_diff);
   std::fprintf(f, "  \"instances\": [\n");
@@ -889,18 +1115,31 @@ int main(int argc, char** argv) {
   bool stream = false;
   bool overload = false;
   bool faults = false;
+  bool replay = false;
   std::string out_path;
+  std::string trace_path = kDefaultTracePath;
+  std::string record_path;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--batch") == 0) batch = true;
     if (std::strcmp(argv[a], "--stream") == 0) stream = true;
     if (std::strcmp(argv[a], "--overload") == 0) overload = true;
     if (std::strcmp(argv[a], "--faults") == 0) faults = true;
+    if (std::strcmp(argv[a], "--replay") == 0) replay = true;
+    if (std::strcmp(argv[a], "--trace") == 0 && a + 1 < argc) trace_path = argv[++a];
+    if (std::strcmp(argv[a], "--record-trace") == 0 && a + 1 < argc) {
+      record_path = argv[++a];
+    }
     if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) out_path = argv[++a];
   }
+  if (!record_path.empty()) return run_record_trace(record_path);
   if (batch) return run_batch_bench(out_path.empty() ? "BENCH_batch.json" : out_path);
   if (stream || overload || faults) {
     return run_stream_bench(out_path.empty() ? "BENCH_stream.json" : out_path,
-                            overload, faults);
+                            overload, faults, replay, trace_path);
+  }
+  if (replay) {
+    return run_replay_bench(out_path.empty() ? "BENCH_replay.json" : out_path,
+                            trace_path);
   }
 #ifdef MALSCHED_HAVE_GBENCH
   benchmark::Initialize(&argc, argv);
@@ -911,8 +1150,9 @@ int main(int argc, char** argv) {
   (void)make_bench_instance;
   std::fprintf(stderr,
                "google-benchmark is not available in this build; only "
-               "--batch / --stream [--overload] [--faults] [--out <path>] "
-               "are supported\n");
+               "--batch / --stream [--overload] [--faults] [--replay] / "
+               "--replay [--trace <path>] / --record-trace <path> "
+               "[--out <path>] are supported\n");
   return 1;
 #endif
 }

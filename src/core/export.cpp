@@ -1,12 +1,83 @@
 #include "core/export.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <ostream>
 #include <vector>
 
+#include "core/trace.hpp"
+#include "graph/dot.hpp"
 #include "support/assert.hpp"
 
 namespace malsched::core {
+
+namespace {
+
+/// Minimal XML/SVG text escaping for names and tags that end up in markup.
+std::string xml_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// HSV -> "#rrggbb" (h in degrees). Used to hand every task / start-time
+/// rank a stable, distinguishable color without a baked-in palette.
+std::string hsv_hex(double h, double s, double v) {
+  h = std::fmod(std::fmod(h, 360.0) + 360.0, 360.0) / 60.0;
+  const int i = static_cast<int>(h);
+  const double f = h - i;
+  const double p = v * (1.0 - s);
+  const double q = v * (1.0 - s * f);
+  const double t = v * (1.0 - s * (1.0 - f));
+  double r = v, g = t, b = p;
+  switch (i) {
+    case 0: r = v; g = t; b = p; break;
+    case 1: r = q; g = v; b = p; break;
+    case 2: r = p; g = v; b = t; break;
+    case 3: r = p; g = q; b = v; break;
+    case 4: r = t; g = p; b = v; break;
+    default: r = v; g = p; b = q; break;
+  }
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "#%02x%02x%02x",
+                static_cast<int>(std::lround(r * 255.0)),
+                static_cast<int>(std::lround(g * 255.0)),
+                static_cast<int>(std::lround(b * 255.0)));
+  return buf;
+}
+
+std::string task_color(int j) {
+  // Golden-angle hue walk: consecutive tasks land far apart on the wheel.
+  return hsv_hex(j * 137.50776, 0.45, 0.92);
+}
+
+std::string format_seconds(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+std::string outcome_color(const TraceOutcome& outcome) {
+  switch (outcome.status) {
+    case StatusCode::kOk: return outcome.degraded ? "#ffb300" : "#43a047";
+    case StatusCode::kCancelled: return "#9e9e9e";
+    case StatusCode::kDeadlineExceeded: return "#e53935";
+    case StatusCode::kRejected: return "#795548";
+    default: return "#d81b60";
+  }
+}
+
+}  // namespace
 
 void write_schedule_csv(std::ostream& os, const model::Instance& instance,
                         const Schedule& schedule) {
@@ -21,11 +92,8 @@ void write_schedule_csv(std::ostream& os, const model::Instance& instance,
   }
 }
 
-void write_schedule_trace_json(std::ostream& os, const model::Instance& instance,
-                               const Schedule& schedule) {
-  // Greedy lane assignment: processors are anonymous in the model, so we
-  // pack each task's l_j lanes into the lowest-indexed processors free over
-  // its execution interval. Feasible schedules always fit within m lanes.
+std::vector<std::vector<int>> pack_schedule_lanes(const model::Instance& instance,
+                                                  const Schedule& schedule) {
   const int n = instance.num_tasks();
   std::vector<int> order(static_cast<std::size_t>(n));
   for (int j = 0; j < n; ++j) order[static_cast<std::size_t>(j)] = j;
@@ -50,10 +118,15 @@ void write_schedule_trace_json(std::ostream& os, const model::Instance& instance
     }
     MALSCHED_ASSERT_MSG(needed == 0, "lane packing failed on a feasible schedule");
   }
+  return lanes;
+}
 
+void write_schedule_trace_json(std::ostream& os, const model::Instance& instance,
+                               const Schedule& schedule) {
+  const std::vector<std::vector<int>> lanes = pack_schedule_lanes(instance, schedule);
   os << "[";
   bool first = true;
-  for (int j = 0; j < n; ++j) {
+  for (int j = 0; j < instance.num_tasks(); ++j) {
     const auto ju = static_cast<std::size_t>(j);
     const double start_us = schedule.start[ju] * 1e6;
     const double dur_us =
@@ -68,6 +141,166 @@ void write_schedule_trace_json(std::ostream& os, const model::Instance& instance
     }
   }
   os << "\n]\n";
+}
+
+void write_schedule_gantt_svg(std::ostream& os, const model::Instance& instance,
+                              const Schedule& schedule,
+                              const std::string& title) {
+  const std::vector<std::vector<int>> lanes = pack_schedule_lanes(instance, schedule);
+  const int n = instance.num_tasks();
+  double makespan = 0.0;
+  for (int j = 0; j < n; ++j) {
+    makespan = std::max(makespan, schedule.completion(instance, j));
+  }
+  if (makespan <= 0.0) makespan = 1.0;
+
+  const double left = 64.0, top = 34.0, right = 16.0, bottom = 30.0;
+  const double lane_h = 22.0, lane_gap = 4.0, plot_w = 840.0;
+  const double width = left + plot_w + right;
+  const double height = top + instance.m * (lane_h + lane_gap) + bottom;
+  const double scale = plot_w / makespan;
+  const auto x_of = [&](double t) { return left + t * scale; };
+  const auto y_of = [&](int lane) { return top + lane * (lane_h + lane_gap); };
+
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+     << "\" height=\"" << height << "\" font-family=\"sans-serif\">\n";
+  os << "  <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  if (!title.empty()) {
+    os << "  <text x=\"" << left << "\" y=\"18\" font-size=\"13\" "
+          "font-weight=\"bold\">"
+       << xml_escape(title) << "</text>\n";
+  }
+  // Lane bands + labels.
+  for (int lane = 0; lane < instance.m; ++lane) {
+    os << "  <rect x=\"" << left << "\" y=\"" << y_of(lane) << "\" width=\""
+       << plot_w << "\" height=\"" << lane_h
+       << "\" fill=\"#f3f4f6\" stroke=\"none\"/>\n";
+    os << "  <text x=\"" << left - 8 << "\" y=\"" << y_of(lane) + lane_h - 7
+       << "\" font-size=\"11\" text-anchor=\"end\" fill=\"#555\">cpu " << lane
+       << "</text>\n";
+  }
+  // Time axis: 8 ticks.
+  const double axis_y = top + instance.m * (lane_h + lane_gap) + 4.0;
+  for (int tick = 0; tick <= 8; ++tick) {
+    const double t = makespan * tick / 8.0;
+    os << "  <line x1=\"" << x_of(t) << "\" y1=\"" << top << "\" x2=\""
+       << x_of(t) << "\" y2=\"" << axis_y
+       << "\" stroke=\"#ddd\" stroke-width=\"1\"/>\n";
+    os << "  <text x=\"" << x_of(t) << "\" y=\"" << axis_y + 14
+       << "\" font-size=\"10\" text-anchor=\"middle\" fill=\"#555\">"
+       << format_seconds(t) << "</text>\n";
+  }
+  // Task blocks.
+  for (int j = 0; j < n; ++j) {
+    const auto ju = static_cast<std::size_t>(j);
+    const double start = schedule.start[ju];
+    const double finish = schedule.completion(instance, j);
+    const double w = std::max(1.0, (finish - start) * scale);
+    std::string name = instance.task(j).name();
+    if (name.empty()) name = "J" + std::to_string(j);
+    const std::string fill = task_color(j);
+    for (std::size_t k = 0; k < lanes[ju].size(); ++k) {
+      const int lane = lanes[ju][k];
+      os << "  <rect x=\"" << x_of(start) << "\" y=\"" << y_of(lane)
+         << "\" width=\"" << w << "\" height=\"" << lane_h << "\" fill=\""
+         << fill << "\" stroke=\"#333\" stroke-width=\"0.5\"><title>"
+         << xml_escape(name) << " | l=" << schedule.allotment[ju] << " | ["
+         << format_seconds(start) << ", " << format_seconds(finish)
+         << ")</title></rect>\n";
+      if (k == 0 && w > 34.0) {
+        os << "  <text x=\"" << x_of(start) + w / 2 << "\" y=\""
+           << y_of(lane) + lane_h - 7
+           << "\" font-size=\"10\" text-anchor=\"middle\">" << xml_escape(name)
+           << "</text>\n";
+      }
+    }
+  }
+  os << "</svg>\n";
+}
+
+void write_trace_timeline_svg(std::ostream& os, const Trace& trace,
+                              const std::string& title) {
+  const std::size_t n = trace.records.size();
+  double horizon = 0.0;
+  for (const TraceRecord& record : trace.records) {
+    horizon = std::max(horizon, record.arrival_offset_seconds +
+                                    std::max(0.0, record.outcome.wall_seconds));
+  }
+  if (horizon <= 0.0) horizon = 1.0;
+
+  const double left = 150.0, top = 34.0, right = 16.0, bottom = 30.0;
+  const double row_h = 16.0, row_gap = 3.0, plot_w = 760.0;
+  const double width = left + plot_w + right;
+  const double height = top + n * (row_h + row_gap) + bottom;
+  const double scale = plot_w / horizon;
+  const auto x_of = [&](double t) { return left + t * scale; };
+  const auto y_of = [&](std::size_t row) { return top + row * (row_h + row_gap); };
+
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+     << "\" height=\"" << height << "\" font-family=\"sans-serif\">\n";
+  os << "  <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  if (!title.empty()) {
+    os << "  <text x=\"" << left << "\" y=\"18\" font-size=\"13\" "
+          "font-weight=\"bold\">"
+       << xml_escape(title) << "</text>\n";
+  }
+  const double axis_y = top + n * (row_h + row_gap) + 4.0;
+  for (int tick = 0; tick <= 8; ++tick) {
+    const double t = horizon * tick / 8.0;
+    os << "  <line x1=\"" << x_of(t) << "\" y1=\"" << top << "\" x2=\""
+       << x_of(t) << "\" y2=\"" << axis_y
+       << "\" stroke=\"#eee\" stroke-width=\"1\"/>\n";
+    os << "  <text x=\"" << x_of(t) << "\" y=\"" << axis_y + 14
+       << "\" font-size=\"10\" text-anchor=\"middle\" fill=\"#555\">"
+       << format_seconds(t) << "s</text>\n";
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceRecord& record = trace.records[i];
+    const TraceOutcome& outcome = record.outcome;
+    const double arrival = record.arrival_offset_seconds;
+    const double w = std::max(2.0, std::max(0.0, outcome.wall_seconds) * scale);
+    std::string label = "#" + std::to_string(i);
+    if (!record.client_tag.empty()) label += " " + record.client_tag;
+    os << "  <text x=\"" << left - 8 << "\" y=\"" << y_of(i) + row_h - 4
+       << "\" font-size=\"10\" text-anchor=\"end\" fill=\"#333\">"
+       << xml_escape(label) << "</text>\n";
+    // Arrival marker, then the service bar.
+    os << "  <line x1=\"" << x_of(arrival) << "\" y1=\"" << y_of(i)
+       << "\" x2=\"" << x_of(arrival) << "\" y2=\"" << y_of(i) + row_h
+       << "\" stroke=\"#90a4ae\" stroke-width=\"1\"/>\n";
+    os << "  <rect x=\"" << x_of(arrival) << "\" y=\"" << y_of(i) + 2
+       << "\" width=\"" << w << "\" height=\"" << row_h - 4 << "\" fill=\""
+       << outcome_color(outcome) << "\" rx=\"2\"><title>"
+       << to_string(outcome.status) << " | " << outcome.lp_pivots
+       << " pivots | attempts=" << outcome.attempts << " | group="
+       << outcome.group << " | " << format_seconds(outcome.wall_seconds)
+       << "s</title></rect>\n";
+  }
+  os << "</svg>\n";
+}
+
+void write_schedule_dot(std::ostream& os, const model::Instance& instance,
+                        const Schedule& schedule) {
+  const int n = instance.num_tasks();
+  double makespan = 0.0;
+  for (int j = 0; j < n; ++j) {
+    makespan = std::max(makespan, schedule.completion(instance, j));
+  }
+  if (makespan <= 0.0) makespan = 1.0;
+  std::vector<graph::DotNodeStyle> styles(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    const auto ju = static_cast<std::size_t>(j);
+    std::string name = instance.task(j).name();
+    if (name.empty()) name = "J" + std::to_string(j);
+    const double start = schedule.start[ju];
+    const double finish = schedule.completion(instance, j);
+    styles[ju].label = name + "\\nl=" + std::to_string(schedule.allotment[ju]) +
+                       "  [" + format_seconds(start) + ", " +
+                       format_seconds(finish) + ")";
+    // Cool-to-warm by start time: blue heads of the DAG, red tails.
+    styles[ju].fillcolor = hsv_hex(210.0 - 190.0 * (start / makespan), 0.30, 1.0);
+  }
+  graph::write_dot_styled(os, instance.dag, styles);
 }
 
 }  // namespace malsched::core

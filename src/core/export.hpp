@@ -1,14 +1,18 @@
-// Schedule exporters: CSV for spreadsheets/scripts and Chrome tracing JSON
-// (load in chrome://tracing or Perfetto) for visual inspection of the
-// processor-time layout.
+// Schedule exporters: CSV for spreadsheets/scripts, Chrome tracing JSON
+// (load in chrome://tracing or Perfetto), self-contained SVG Gantt charts
+// for docs/CI artifacts, and a styled DOT rendering of the scheduled DAG.
 #pragma once
 
 #include <iosfwd>
+#include <string>
+#include <vector>
 
 #include "core/schedule.hpp"
 #include "model/instance.hpp"
 
 namespace malsched::core {
+
+struct Trace;  // core/trace.hpp
 
 /// One row per task: id,name,processors,start,finish,duration.
 void write_schedule_csv(std::ostream& os, const model::Instance& instance,
@@ -19,5 +23,36 @@ void write_schedule_csv(std::ostream& os, const model::Instance& instance,
 /// packing; purely cosmetic — the model has anonymous processors).
 void write_schedule_trace_json(std::ostream& os, const model::Instance& instance,
                                const Schedule& schedule);
+
+/// Greedy lane assignment shared by the visual exporters: processors are
+/// anonymous in the model, so each task's l_j slots are packed into the
+/// lowest-indexed lanes free over its execution interval. Returns one lane
+/// list per task; a feasible schedule always fits within m lanes.
+std::vector<std::vector<int>> pack_schedule_lanes(const model::Instance& instance,
+                                                  const Schedule& schedule);
+
+/// Per-machine Gantt chart as a standalone SVG: one horizontal band per
+/// processor lane, one colored block per (task, lane) over the task's
+/// execution interval, with a time axis and the task name on its first
+/// lane. Renders anywhere a browser does — the committed docs/CI artifact.
+void write_schedule_gantt_svg(std::ostream& os, const model::Instance& instance,
+                              const Schedule& schedule,
+                              const std::string& title = "");
+
+/// Per-request service timeline of a recorded trace as a standalone SVG:
+/// one row per record in arrival order, a bar from arrival to completion
+/// (arrival offset + recorded wall time), colored by outcome — ok green
+/// (degraded amber), cancelled grey, deadline-exceeded red, rejected brown.
+/// Rows are labeled with the record index and client_tag; each bar carries
+/// a tooltip with the status, pivots and group fingerprint.
+void write_trace_timeline_svg(std::ostream& os, const Trace& trace,
+                              const std::string& title = "");
+
+/// The precedence DAG with schedule annotations: each node is labeled
+/// "name | l=<allotment> | [start, finish)" and filled on a cool-to-warm
+/// gradient by start time, so the critical chain's progression is visible
+/// at a glance in any DOT viewer.
+void write_schedule_dot(std::ostream& os, const model::Instance& instance,
+                        const Schedule& schedule);
 
 }  // namespace malsched::core

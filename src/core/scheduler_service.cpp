@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/fault_injector.hpp"
+#include "core/trace.hpp"
 #include "model/assumptions.hpp"
 #include "support/stopwatch.hpp"
 
@@ -97,16 +98,23 @@ void SchedulerService::record_completion_locked(ServiceResult& result) {
 
 TicketHandle SchedulerService::submit(ScheduleRequest request) {
   const AdmissionPolicy& policy = options_.admission;
+  // Capture the arrival before any field of the request is moved from —
+  // refused requests are part of the recorded traffic too.
+  const bool tracing = options_.trace != nullptr;
+  const std::size_t trace_index =
+      tracing ? options_.trace->record_arrival(request) : 0;
   // Issues the ticket for (and publishes) a request refused before it ever
   // became a job. Takes the lock it needs released + notified.
-  const auto refuse = [this](std::unique_lock<std::mutex>& lock, Status status,
-                             std::string tag) {
+  const auto refuse = [this, tracing, trace_index](
+                          std::unique_lock<std::mutex>& lock, Status status,
+                          std::string tag) {
     const Ticket ticket = next_ticket_++;
     ++submitted_;
     ServiceResult refused;
     refused.status = std::move(status);
     refused.client_tag = std::move(tag);
     record_completion_locked(refused);
+    if (tracing) options_.trace->record_outcome(trace_index, refused);
     done_.emplace(ticket, std::move(refused));
     lock.unlock();
     cv_.notify_all();
@@ -199,6 +207,7 @@ TicketHandle SchedulerService::submit(ScheduleRequest request) {
   const Ticket ticket = next_ticket_++;
   ++submitted_;
   job.ticket = ticket;
+  if (tracing) trace_index_.emplace(ticket, trace_index);
   inflight_.insert(ticket);
   max_pending_seen_ = std::max(max_pending_seen_, inflight_.size());
   controls_.emplace(ticket, job.control);
@@ -700,6 +709,11 @@ void SchedulerService::complete(Ticket ticket, ServiceResult result) {
     stalled_.erase(ticket);
     user_cancelled_.erase(ticket);
     record_completion_locked(result);
+    const auto trace_it = trace_index_.find(ticket);
+    if (trace_it != trace_index_.end()) {
+      options_.trace->record_outcome(trace_it->second, result);
+      trace_index_.erase(trace_it);
+    }
     done_.emplace(ticket, std::move(result));
   }
   cv_.notify_all();

@@ -69,6 +69,7 @@
 namespace malsched::core {
 
 class TicketHandle;
+class TraceRecorder;
 
 /// Load-shedding limits applied at submit time. A request over any limit
 /// completes its ticket immediately with StatusCode::kRejected — the
@@ -121,6 +122,11 @@ struct ServiceOptions {
   /// Sampling period of the watchdog thread (only read when the watchdog
   /// is enabled). Clamped below at 1 ms.
   double watchdog_poll_seconds = 0.01;
+  /// Optional flight recorder (core/trace.hpp). When set, every submit is
+  /// captured (arrival offset + full request, including ones refused at
+  /// admission) and every completion attaches its outcome to the same
+  /// record. Not owned; must outlive the service. nullptr = no recording.
+  TraceRecorder* trace = nullptr;
 };
 
 /// One submission: the instance plus everything the service needs to
@@ -358,6 +364,9 @@ class SchedulerService {
   std::unordered_set<Ticket> inflight_;
   /// Interruption tokens of pending (queued or running) tickets.
   std::unordered_map<Ticket, std::shared_ptr<lp::SolveControl>> controls_;
+  /// Trace-record index of each pending ticket (only populated when
+  /// options_.trace is set); complete() routes the outcome through it.
+  std::unordered_map<Ticket, std::size_t> trace_index_;
   std::unordered_map<Ticket, ServiceResult> done_;
   std::size_t submitted_ = 0;
   std::size_t completed_ = 0;

@@ -31,6 +31,12 @@ enum class StatusCode {
   kInternalError,        ///< unexpected exception inside the pipeline
   kRetryExhausted,       ///< every attempt of the RetryPolicy's degradation
                          ///< chain failed; the message carries the trail
+  kTruncatedFrame,       ///< a length-prefixed frame ended before its payload
+                         ///< (stream cut mid-record)
+  kCorruptFrame,         ///< frame magic/length/checksum mismatch — the bytes
+                         ///< on the wire are not what was written
+  kMalformedRecord,      ///< a frame's payload decoded to an invalid record
+                         ///< (bad field, cyclic instance, trailing bytes)
 };
 
 inline const char* to_string(StatusCode code) {
@@ -46,6 +52,9 @@ inline const char* to_string(StatusCode code) {
     case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
     case StatusCode::kInternalError: return "internal-error";
     case StatusCode::kRetryExhausted: return "retry-exhausted";
+    case StatusCode::kTruncatedFrame: return "truncated-frame";
+    case StatusCode::kCorruptFrame: return "corrupt-frame";
+    case StatusCode::kMalformedRecord: return "malformed-record";
   }
   return "unknown";
 }

@@ -1,0 +1,427 @@
+#include "core/trace.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <thread>
+
+#include "core/allotment_lp.hpp"
+#include "core/list_scheduler.hpp"
+#include "model/serialization.hpp"
+#include "support/stopwatch.hpp"
+
+namespace malsched::core {
+
+namespace {
+
+using model::wire::append_f64;
+using model::wire::append_i32;
+using model::wire::append_i64;
+using model::wire::append_string;
+using model::wire::append_u64;
+using model::wire::append_u8;
+
+constexpr char kTraceMagic[] = "malsched-trace";
+constexpr std::size_t kTraceMagicLen = sizeof(kTraceMagic) - 1;
+
+/// Largest StatusCode value the codec accepts — keep in sync with the enum
+/// in status.hpp (new codes extend the range, never reorder it).
+constexpr std::uint8_t kMaxStatusByte =
+    static_cast<std::uint8_t>(StatusCode::kMalformedRecord);
+
+Status malformed(const std::string& detail) {
+  return Status::error(StatusCode::kMalformedRecord, "trace record: " + detail);
+}
+
+/// Reads a presence/bool byte, enforcing the canonical 0/1 encoding so that
+/// decode -> encode reproduces the input bytes exactly.
+bool read_flag(std::string_view in, std::size_t& offset, bool& flag) {
+  std::uint8_t byte = 0;
+  if (!model::wire::read_u8(in, offset, byte)) return false;
+  if (byte > 1) return false;
+  flag = byte != 0;
+  return true;
+}
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+TraceRequestOptions make_trace_options(const SchedulerOptions& options) {
+  TraceRequestOptions out;
+  out.present = true;
+  out.lp_mode = static_cast<std::uint8_t>(options.lp.mode);
+  out.piece_stride = options.lp.piece_stride;
+  out.refine_stride = options.lp.refine_stride;
+  out.bisection_tolerance = options.lp.bisection_tolerance;
+  out.dual_reoptimize = options.lp.dual_reoptimize;
+  out.list_priority = static_cast<std::uint8_t>(options.priority);
+  out.has_rho = options.rho.has_value();
+  out.rho = options.rho.value_or(0.0);
+  out.has_mu = options.mu.has_value();
+  out.mu = options.mu.value_or(0);
+  out.retry_max_attempts = options.retry.max_attempts;
+  return out;
+}
+
+SchedulerOptions apply_trace_options(const TraceRequestOptions& traced,
+                                     SchedulerOptions base) {
+  if (!traced.present) return base;
+  base.lp.mode = static_cast<LpMode>(traced.lp_mode);
+  base.lp.piece_stride = traced.piece_stride;
+  base.lp.refine_stride = traced.refine_stride;
+  base.lp.bisection_tolerance = traced.bisection_tolerance;
+  base.lp.dual_reoptimize = traced.dual_reoptimize;
+  base.priority = static_cast<ListPriority>(traced.list_priority);
+  base.rho = traced.has_rho ? std::optional<double>(traced.rho) : std::nullopt;
+  base.mu = traced.has_mu ? std::optional<int>(traced.mu) : std::nullopt;
+  base.retry.max_attempts = traced.retry_max_attempts;
+  return base;
+}
+
+// Record layout (all fields always written, little-endian; presence flags
+// say which are meaningful — the fixed shape keeps the codec canonical and
+// is documented as a table in src/core/README.md):
+//   f64 arrival_offset | i32 priority | u8 has_deadline | f64 deadline |
+//   str client_tag | u8 options.present | u8 lp_mode | i32 piece_stride |
+//   i32 refine_stride | f64 bisection_tolerance | u8 dual_reoptimize |
+//   u8 list_priority | u8 has_rho | f64 rho | u8 has_mu | i32 mu |
+//   i32 retry_max_attempts | instance (binary codec) | u8 status |
+//   f64 lower_bound | f64 makespan | i64 lp_pivots | i32 attempts |
+//   u8 degraded | f64 wall_seconds | u64 group | u64 sequence
+std::string encode_trace_record(const TraceRecord& record) {
+  std::string out;
+  append_f64(out, record.arrival_offset_seconds);
+  append_i32(out, record.priority);
+  append_u8(out, record.has_deadline ? 1 : 0);
+  append_f64(out, record.deadline_seconds);
+  append_string(out, record.client_tag);
+  const TraceRequestOptions& o = record.options;
+  append_u8(out, o.present ? 1 : 0);
+  append_u8(out, o.lp_mode);
+  append_i32(out, o.piece_stride);
+  append_i32(out, o.refine_stride);
+  append_f64(out, o.bisection_tolerance);
+  append_u8(out, o.dual_reoptimize ? 1 : 0);
+  append_u8(out, o.list_priority);
+  append_u8(out, o.has_rho ? 1 : 0);
+  append_f64(out, o.rho);
+  append_u8(out, o.has_mu ? 1 : 0);
+  append_i32(out, o.mu);
+  append_i32(out, o.retry_max_attempts);
+  model::append_instance_binary(out, record.instance);
+  const TraceOutcome& t = record.outcome;
+  append_u8(out, static_cast<std::uint8_t>(t.status));
+  append_f64(out, t.lower_bound);
+  append_f64(out, t.makespan);
+  append_i64(out, t.lp_pivots);
+  append_i32(out, t.attempts);
+  append_u8(out, t.degraded ? 1 : 0);
+  append_f64(out, t.wall_seconds);
+  append_u64(out, t.group);
+  append_u64(out, t.sequence);
+  return out;
+}
+
+Status decode_trace_record(std::string_view payload, TraceRecord& out) {
+  using model::wire::read_f64;
+  using model::wire::read_i32;
+  using model::wire::read_i64;
+  using model::wire::read_string;
+  using model::wire::read_u64;
+  using model::wire::read_u8;
+
+  TraceRecord record;
+  std::size_t at = 0;
+  if (!read_f64(payload, at, record.arrival_offset_seconds) ||
+      !read_i32(payload, at, record.priority) ||
+      !read_flag(payload, at, record.has_deadline) ||
+      !read_f64(payload, at, record.deadline_seconds) ||
+      !read_string(payload, at, record.client_tag)) {
+    return malformed("truncated request header");
+  }
+  TraceRequestOptions& o = record.options;
+  if (!read_flag(payload, at, o.present) || !read_u8(payload, at, o.lp_mode) ||
+      !read_i32(payload, at, o.piece_stride) ||
+      !read_i32(payload, at, o.refine_stride) ||
+      !read_f64(payload, at, o.bisection_tolerance) ||
+      !read_flag(payload, at, o.dual_reoptimize) ||
+      !read_u8(payload, at, o.list_priority) ||
+      !read_flag(payload, at, o.has_rho) || !read_f64(payload, at, o.rho) ||
+      !read_flag(payload, at, o.has_mu) || !read_i32(payload, at, o.mu) ||
+      !read_i32(payload, at, o.retry_max_attempts)) {
+    return malformed("truncated options block");
+  }
+  if (o.lp_mode > static_cast<std::uint8_t>(LpMode::kAuto)) {
+    return malformed("unknown LP mode " + std::to_string(o.lp_mode));
+  }
+  if (o.list_priority > static_cast<std::uint8_t>(ListPriority::kCriticalPathFirst)) {
+    return malformed("unknown LIST priority rule " + std::to_string(o.list_priority));
+  }
+  const Status instance_status =
+      model::read_instance_binary(payload, at, record.instance);
+  if (!instance_status.ok()) return instance_status;
+  TraceOutcome& t = record.outcome;
+  std::uint8_t status_byte = 0;
+  if (!read_u8(payload, at, status_byte) ||
+      !read_f64(payload, at, t.lower_bound) ||
+      !read_f64(payload, at, t.makespan) ||
+      !read_i64(payload, at, t.lp_pivots) ||
+      !read_i32(payload, at, t.attempts) ||
+      !read_flag(payload, at, t.degraded) ||
+      !read_f64(payload, at, t.wall_seconds) ||
+      !read_u64(payload, at, t.group) || !read_u64(payload, at, t.sequence)) {
+    return malformed("truncated outcome block");
+  }
+  if (status_byte > kMaxStatusByte) {
+    return malformed("unknown status code " + std::to_string(status_byte));
+  }
+  t.status = static_cast<StatusCode>(status_byte);
+  if (at != payload.size()) {
+    return malformed(std::to_string(payload.size() - at) +
+                     " trailing bytes after the outcome block");
+  }
+  out = std::move(record);
+  return Status();
+}
+
+// ---- Whole-trace I/O ------------------------------------------------------
+
+Status save_trace(std::ostream& os, const Trace& trace) {
+  std::string header;
+  header.append(kTraceMagic, kTraceMagicLen);
+  append_u8(header, kTraceVersion);
+  model::wire::append_u32(header,
+                          static_cast<std::uint32_t>(trace.records.size()));
+  model::write_frame(os, header);
+  for (const TraceRecord& record : trace.records) {
+    model::write_frame(os, encode_trace_record(record));
+  }
+  if (!os) {
+    return Status::error(StatusCode::kInternalError,
+                         "write error while saving the trace");
+  }
+  return Status();
+}
+
+Status load_trace(std::istream& is, Trace& out) {
+  std::string payload;
+  Status status = model::read_frame(is, payload);
+  if (!status.ok()) return status;
+  if (payload.size() != kTraceMagicLen + 5 ||
+      payload.compare(0, kTraceMagicLen, kTraceMagic) != 0) {
+    return Status::error(StatusCode::kCorruptFrame,
+                         "not a malsched trace (bad header frame)");
+  }
+  std::size_t at = kTraceMagicLen;
+  std::uint8_t version = 0;
+  std::uint32_t count = 0;
+  model::wire::read_u8(payload, at, version);
+  model::wire::read_u32(payload, at, count);
+  if (version != kTraceVersion) {
+    return Status::error(StatusCode::kCorruptFrame,
+                         "unsupported trace version " + std::to_string(version) +
+                             " (this reader speaks v" +
+                             std::to_string(kTraceVersion) + ")");
+  }
+  Trace trace;
+  trace.records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    status = model::read_frame(is, payload);
+    if (!status.ok()) {
+      return Status::error(status.code(), "record " + std::to_string(i) + ": " +
+                                              status.message());
+    }
+    TraceRecord record;
+    status = decode_trace_record(payload, record);
+    if (!status.ok()) {
+      return Status::error(status.code(), "record " + std::to_string(i) + ": " +
+                                              status.message());
+    }
+    trace.records.push_back(std::move(record));
+  }
+  out = std::move(trace);
+  return Status();
+}
+
+Status save_trace_file(const std::string& path, const Trace& trace) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    return Status::error(StatusCode::kInternalError,
+                         "cannot open " + path + " for writing");
+  }
+  return save_trace(os, trace);
+}
+
+Status load_trace_file(const std::string& path, Trace& out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    return Status::error(StatusCode::kInternalError, "cannot open " + path);
+  }
+  return load_trace(is, out);
+}
+
+// ---- Recorder -------------------------------------------------------------
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+std::size_t TraceRecorder::record_arrival(const ScheduleRequest& request) {
+  const double offset = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - epoch_)
+                            .count();
+  return record_arrival(request, offset);
+}
+
+std::size_t TraceRecorder::record_arrival(const ScheduleRequest& request,
+                                          double offset_seconds) {
+  TraceRecord record;
+  record.arrival_offset_seconds = offset_seconds;
+  record.instance = request.instance;
+  if (request.options.has_value()) {
+    record.options = make_trace_options(*request.options);
+  }
+  record.priority = request.priority;
+  record.has_deadline = request.deadline_seconds.has_value();
+  record.deadline_seconds = request.deadline_seconds.value_or(0.0);
+  record.client_tag = request.client_tag;
+  record.outcome.status = StatusCode::kInternalError;  // until completion
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.push_back(std::move(record));
+  return records_.size() - 1;
+}
+
+void TraceRecorder::record_outcome(std::size_t index,
+                                   const ServiceResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (index >= records_.size()) return;
+  TraceOutcome& out = records_[index].outcome;
+  out.status = result.status.code();
+  out.lower_bound = result.result.fractional.lower_bound;
+  out.makespan = result.result.makespan;
+  out.lp_pivots = result.lp_pivots;
+  out.attempts = result.attempts;
+  out.degraded = result.degraded;
+  out.wall_seconds = result.seconds;
+  out.group = result.group;
+  out.sequence = result.sequence;
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+Trace TraceRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Trace trace;
+  trace.records = records_;
+  return trace;
+}
+
+// ---- Replayer -------------------------------------------------------------
+
+ReplayReport replay_trace(const Trace& trace, const ReplayOptions& options) {
+  ReplayReport report;
+  report.requests = trace.records.size();
+
+  ServiceOptions service_options = options.service;
+  // One runner per group pins within-group execution to exact submission
+  // order — the precondition for pivot-for-pivot reproduction at any worker
+  // count (see the determinism contract in trace.hpp).
+  service_options.max_group_runners = 1;
+  service_options.trace = options.record_into;
+  SchedulerService service(service_options);
+
+  std::vector<TicketHandle> handles;
+  handles.reserve(trace.records.size());
+  support::Stopwatch wall;
+  const auto start = std::chrono::steady_clock::now();
+  for (const TraceRecord& record : trace.records) {
+    if (options.speed > 0.0) {
+      const double target_offset = record.arrival_offset_seconds / options.speed;
+      std::this_thread::sleep_until(
+          start +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(target_offset)));
+    }
+    ScheduleRequest request;
+    request.instance = record.instance;
+    if (record.options.present) {
+      request.options =
+          apply_trace_options(record.options, service_options.scheduler);
+    }
+    request.priority = record.priority;
+    if (record.has_deadline) request.deadline_seconds = record.deadline_seconds;
+    request.client_tag = record.client_tag;
+    TicketHandle handle = service.submit(std::move(request));
+    if (record.outcome.status == StatusCode::kCancelled) {
+      // Re-issue the recorded cancellation immediately: a queued job drops
+      // at dequeue exactly as recorded; a job a fast worker already picked
+      // up aborts between pivots — either way the status reproduces.
+      handle.cancel();
+    }
+    handles.push_back(handle);
+  }
+  service.drain();
+
+  const auto add_mismatch = [&report](std::size_t index, const char* field,
+                                      std::string recorded, std::string replayed) {
+    ReplayMismatch mismatch;
+    mismatch.index = index;
+    mismatch.field = field;
+    mismatch.recorded = std::move(recorded);
+    mismatch.replayed = std::move(replayed);
+    report.mismatches.push_back(std::move(mismatch));
+  };
+
+  for (std::size_t i = 0; i < trace.records.size(); ++i) {
+    const TraceRecord& record = trace.records[i];
+    const std::size_t before = report.mismatches.size();
+    const auto replayed = handles[i].try_get();
+    if (!replayed.has_value()) {
+      add_mismatch(i, "claim", to_string(record.outcome.status),
+                   "result unclaimable after drain");
+      continue;
+    }
+    if (replayed->status.code() != record.outcome.status) {
+      add_mismatch(i, "status", to_string(record.outcome.status),
+                   to_string(replayed->status.code()));
+    }
+    if (replayed->client_tag != record.client_tag) {
+      add_mismatch(i, "client_tag", record.client_tag, replayed->client_tag);
+    }
+    if (record.outcome.status == StatusCode::kOk && replayed->status.ok()) {
+      report.recorded_pivots += record.outcome.lp_pivots;
+      report.replayed_pivots += replayed->result.fractional.lp_iterations;
+      const double bound = replayed->result.fractional.lower_bound;
+      if (double_bits(bound) != double_bits(record.outcome.lower_bound)) {
+        add_mismatch(i, "lower_bound",
+                     std::to_string(record.outcome.lower_bound),
+                     std::to_string(bound));
+      }
+      if (options.compare_pivots) {
+        const std::int64_t pivots = replayed->result.fractional.lp_iterations;
+        if (pivots != record.outcome.lp_pivots) {
+          add_mismatch(i, "lp_pivots", std::to_string(record.outcome.lp_pivots),
+                       std::to_string(pivots));
+        }
+        if (double_bits(replayed->result.makespan) !=
+            double_bits(record.outcome.makespan)) {
+          add_mismatch(i, "makespan", std::to_string(record.outcome.makespan),
+                       std::to_string(replayed->result.makespan));
+        }
+      }
+    }
+    if (report.mismatches.size() == before) ++report.matched;
+  }
+  report.wall_seconds = wall.seconds();
+  report.stats = service.stats();
+  return report;
+}
+
+}  // namespace malsched::core

@@ -1,0 +1,213 @@
+// Trace capture and deterministic replay of SchedulerService traffic.
+//
+// A trace is the service's flight recorder: one compact binary record per
+// ScheduleRequest, holding everything needed to re-issue the request
+// bit-for-bit — arrival offset, the full instance (binary codec from
+// model/serialization), the per-request options/priority/deadline/
+// client_tag — plus the outcome the live service produced (status, lower
+// bound, LP pivots, attempts, wall time, completion sequence). Recording a
+// real request stream turns production traffic into a committed regression
+// workload: `replay_trace` feeds the records back through a fresh service
+// at 1x / Nx / as-fast-as-possible speed and diffs every outcome against
+// the recorded one — bounds compared BITWISE, pivot counts exactly,
+// statuses by code. Zero diffs is the same record/replay discipline that
+// makes distributed verification workloads reproducible, applied to our
+// scheduler: the determinism the service already guarantees (group-affine
+// FIFO dispatch + one shared warm-start cache) becomes checkable against
+// traffic that actually happened.
+//
+// On disk a trace is a sequence of length-prefixed, CRC-checked frames
+// (model/serialization's framing layer — the same wire format the future
+// sharded service will speak over sockets):
+//
+//   frame 0   header: "malsched-trace" | u8 version | u32 record count
+//   frame i   one TraceRecord (layout in trace.cpp; see src/core/README.md)
+//
+// Compat rule: readers accept exactly kTraceVersion; a version bump means
+// the record layout changed and old traces must be re-recorded (regression
+// fixtures are cheap to regenerate via `bench_perf_pipeline
+// --record-trace`).
+//
+// Determinism contract of replay: per-request pivots/bounds reproduce at
+// ANY worker count because dispatch is group-affine and replay pins
+// max_group_runners = 1 — each structure group's requests run in exact
+// submission order through the one shared cache, so the warm-start state a
+// request sees is a function of the trace alone, not of timing. Recorded
+// workloads should keep priorities constant within a structure group (the
+// golden fixture does); mixed priorities inside one group reorder its queue
+// by arrival timing, which no replayer can reproduce exactly.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/scheduler_service.hpp"
+#include "core/status.hpp"
+#include "model/instance.hpp"
+
+namespace malsched::core {
+
+/// On-disk trace format version (the header's version byte).
+constexpr std::uint8_t kTraceVersion = 1;
+
+/// Compact projection of a per-request SchedulerOptions override — the
+/// reproducibility-relevant knobs (everything that changes the LP, the
+/// pivot sequence or the schedule). `present == false` means the request
+/// rode on the service defaults, and replay does the same.
+struct TraceRequestOptions {
+  bool present = false;
+  std::uint8_t lp_mode = 0;        ///< static_cast of core::LpMode
+  std::int32_t piece_stride = 1;
+  std::int32_t refine_stride = 0;
+  double bisection_tolerance = 1e-4;
+  bool dual_reoptimize = true;
+  std::uint8_t list_priority = 0;  ///< static_cast of core::ListPriority
+  bool has_rho = false;
+  double rho = 0.0;
+  bool has_mu = false;
+  std::int32_t mu = 0;
+  std::int32_t retry_max_attempts = 4;
+};
+
+/// What the live service produced for one request. `lower_bound` and
+/// `makespan` carry raw IEEE-754 bits through the codec, so a replay diff
+/// can demand bitwise equality.
+struct TraceOutcome {
+  StatusCode status = StatusCode::kOk;
+  double lower_bound = 0.0;
+  double makespan = 0.0;
+  std::int64_t lp_pivots = 0;
+  std::int32_t attempts = 1;
+  bool degraded = false;
+  double wall_seconds = 0.0;
+  std::uint64_t group = 0;     ///< LP-structure fingerprint it ran under
+  std::uint64_t sequence = 0;  ///< service-wide completion order
+};
+
+/// One request + its outcome: the unit of a trace.
+struct TraceRecord {
+  double arrival_offset_seconds = 0.0;  ///< from the recorder's epoch
+  model::Instance instance;
+  TraceRequestOptions options;
+  std::int32_t priority = 0;
+  bool has_deadline = false;
+  double deadline_seconds = 0.0;
+  std::string client_tag;
+  TraceOutcome outcome;
+};
+
+struct Trace {
+  std::vector<TraceRecord> records;  ///< in arrival order
+};
+
+// ---- Record codec (exposed for the round-trip fuzz tests) -----------------
+
+/// Projects the reproducibility-relevant fields of `options` into the trace
+/// form; `apply_trace_options` is its inverse on top of a base config.
+TraceRequestOptions make_trace_options(const SchedulerOptions& options);
+SchedulerOptions apply_trace_options(const TraceRequestOptions& traced,
+                                     SchedulerOptions base);
+
+/// Encodes one record as a frame payload (bit-for-bit reproducible).
+std::string encode_trace_record(const TraceRecord& record);
+
+/// Decodes a frame payload. Typed failures: kMalformedRecord on a truncated
+/// or invalid payload (including trailing bytes — a record must consume its
+/// frame exactly).
+Status decode_trace_record(std::string_view payload, TraceRecord& out);
+
+// ---- Whole-trace I/O ------------------------------------------------------
+
+Status save_trace(std::ostream& os, const Trace& trace);
+/// Typed failures: framing errors from read_frame, kCorruptFrame on a bad
+/// header or version, kMalformedRecord from the record codec.
+Status load_trace(std::istream& is, Trace& out);
+
+Status save_trace_file(const std::string& path, const Trace& trace);
+Status load_trace_file(const std::string& path, Trace& out);
+
+// ---- Recorder -------------------------------------------------------------
+
+/// Thread-safe capture sink. Attach one via ServiceOptions::trace and the
+/// service records every submission (arrival + full request) and every
+/// completion (outcome) — including requests refused at admission, whose
+/// rejected/expired outcome is part of the traffic being pinned down.
+/// Arrival offsets are measured from construction. `snapshot()` may be
+/// taken at any time; records whose outcome has not completed yet carry a
+/// kInternalError placeholder status.
+class TraceRecorder {
+ public:
+  TraceRecorder();
+
+  /// Captures the request (serializing the instance) stamped at "now".
+  /// Returns the record index used to attach the outcome later.
+  std::size_t record_arrival(const ScheduleRequest& request);
+  /// Same with an explicit offset (tests and synthetic workloads).
+  std::size_t record_arrival(const ScheduleRequest& request,
+                             double offset_seconds);
+
+  void record_outcome(std::size_t index, const ServiceResult& result);
+
+  std::size_t size() const;
+  Trace snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<TraceRecord> records_;
+};
+
+// ---- Replayer -------------------------------------------------------------
+
+struct ReplayOptions {
+  /// Arrival pacing: 0 = as fast as possible (no sleeps); 1 = the recorded
+  /// pace; N = N times faster than recorded.
+  double speed = 0.0;
+  /// Service configuration of the replay run. num_threads is the "N
+  /// workers" axis; max_group_runners is forced to 1 regardless (sub-slice
+  /// stealing lets two runners interleave one group's warm starts, which
+  /// would make per-request pivot counts timing-dependent).
+  ServiceOptions service;
+  /// Compare the exact-trajectory fields (lp_pivots, makespan) of ok
+  /// outcomes. Leave on for regression replay; turn off when replaying
+  /// under an armed FaultInjector, where recovery guarantees bit-identical
+  /// BOUNDS but legitimately spends different pivots.
+  bool compare_pivots = true;
+  /// Optional recorder attached to the replay service — regenerates a fresh
+  /// trace of the replay run (the CI artifact).
+  TraceRecorder* record_into = nullptr;
+};
+
+struct ReplayMismatch {
+  std::size_t index = 0;  ///< record index in the trace
+  std::string field;      ///< "status", "lower_bound", "lp_pivots", ...
+  std::string recorded;
+  std::string replayed;
+};
+
+struct ReplayReport {
+  std::size_t requests = 0;
+  std::size_t matched = 0;  ///< records with zero mismatched fields
+  std::vector<ReplayMismatch> mismatches;
+  std::int64_t recorded_pivots = 0;  ///< sum over ok records
+  std::int64_t replayed_pivots = 0;
+  double wall_seconds = 0.0;
+  ServiceStats stats;  ///< the replay service's final counters
+
+  bool ok() const { return mismatches.empty(); }
+};
+
+/// Feeds the trace through a fresh SchedulerService and diffs every outcome
+/// against the recorded one: status codes equal always; client_tag echoed;
+/// for records where both runs succeeded, lower bounds BITWISE equal and
+/// (per compare_pivots) pivot counts exact and makespans bitwise equal.
+/// Records whose recorded outcome is kCancelled are re-cancelled right
+/// after submission, reproducing the drop-at-dequeue path.
+ReplayReport replay_trace(const Trace& trace, const ReplayOptions& options = {});
+
+}  // namespace malsched::core

@@ -24,4 +24,35 @@ void write_dot(std::ostream& os, const Dag& dag,
   os << "}\n";
 }
 
+void write_dot_styled(std::ostream& os, const Dag& dag,
+                      const std::vector<DotNodeStyle>& styles) {
+  MALSCHED_ASSERT(styles.empty() ||
+                  styles.size() == static_cast<std::size_t>(dag.num_nodes()));
+  os << "digraph precedence {\n  rankdir=TB;\n  node [shape=box];\n";
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    os << "  n" << v;
+    if (!styles.empty()) {
+      const DotNodeStyle& style = styles[static_cast<std::size_t>(v)];
+      os << " [";
+      bool first = true;
+      if (!style.label.empty()) {
+        os << "label=\"" << style.label << "\"";
+        first = false;
+      }
+      if (!style.fillcolor.empty()) {
+        if (!first) os << ", ";
+        os << "style=filled, fillcolor=\"" << style.fillcolor << "\"";
+      }
+      os << "]";
+    }
+    os << ";\n";
+  }
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    for (NodeId w : dag.successors(v)) {
+      os << "  n" << v << " -> n" << w << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
 }  // namespace malsched::graph

@@ -14,4 +14,18 @@ namespace malsched::graph {
 void write_dot(std::ostream& os, const Dag& dag,
                const std::vector<std::string>& labels = {});
 
+/// Per-node presentation for write_dot_styled. Empty fields are omitted
+/// from the node's attribute list. Labels are emitted verbatim, so DOT
+/// escapes (e.g. "\\n") pass through.
+struct DotNodeStyle {
+  std::string label;
+  std::string fillcolor;  ///< e.g. "#cfe8ff"; nodes with one get style=filled
+};
+
+/// Writes `dag` in DOT format with one style per node (`styles` empty = no
+/// attributes, otherwise one entry per node). The schedule exporter uses
+/// this to color nodes by start time.
+void write_dot_styled(std::ostream& os, const Dag& dag,
+                      const std::vector<DotNodeStyle>& styles);
+
 }  // namespace malsched::graph

@@ -1,5 +1,6 @@
 #include "model/serialization.hpp"
 
+#include <array>
 #include <iomanip>
 #include <istream>
 #include <ostream>
@@ -148,6 +149,248 @@ std::optional<Instance> read_instance(std::istream& is, std::string* error) {
     return std::nullopt;
   }
   return instance;
+}
+
+// ---- Wire layer -----------------------------------------------------------
+
+namespace wire {
+
+std::uint32_t crc32(std::string_view bytes) {
+  // Table-driven CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the
+  // same checksum gzip and PNG use, so frames can be cross-checked with
+  // standard tools.
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (char ch : bytes) {
+    crc = table[(crc ^ static_cast<std::uint8_t>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace wire
+
+namespace {
+
+constexpr char kFrameMagic0 = 'M';
+constexpr char kFrameMagic1 = 'F';
+
+}  // namespace
+
+void write_frame(std::ostream& os, std::string_view payload) {
+  MALSCHED_ASSERT_MSG(payload.size() <= kMaxFramePayload,
+                      "frame payload exceeds kMaxFramePayload");
+  std::string header;
+  header.push_back(kFrameMagic0);
+  header.push_back(kFrameMagic1);
+  wire::append_u32(header, static_cast<std::uint32_t>(payload.size()));
+  wire::append_u32(header, wire::crc32(payload));
+  os.write(header.data(), static_cast<std::streamsize>(header.size()));
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+core::Status read_frame(std::istream& is, std::string& payload) {
+  char header[10];
+  is.read(header, sizeof(header));
+  const std::size_t got = static_cast<std::size_t>(is.gcount());
+  if (got < sizeof(header)) {
+    return core::Status::error(
+        core::StatusCode::kTruncatedFrame,
+        got == 0 ? "end of stream at frame boundary"
+                 : "stream ended inside a frame header (" +
+                       std::to_string(got) + " of 10 bytes)");
+  }
+  if (header[0] != kFrameMagic0 || header[1] != kFrameMagic1) {
+    return core::Status::error(core::StatusCode::kCorruptFrame,
+                               "bad frame magic (not 'MF')");
+  }
+  const std::string_view fields(header + 2, 8);
+  std::size_t offset = 0;
+  std::uint32_t length = 0, checksum = 0;
+  wire::read_u32(fields, offset, length);
+  wire::read_u32(fields, offset, checksum);
+  if (length > kMaxFramePayload) {
+    return core::Status::error(core::StatusCode::kCorruptFrame,
+                               "frame length " + std::to_string(length) +
+                                   " exceeds the " +
+                                   std::to_string(kMaxFramePayload) +
+                                   "-byte payload bound");
+  }
+  payload.resize(length);
+  if (length > 0) {
+    is.read(payload.data(), static_cast<std::streamsize>(length));
+    const std::size_t body = static_cast<std::size_t>(is.gcount());
+    if (body < length) {
+      payload.clear();
+      return core::Status::error(core::StatusCode::kTruncatedFrame,
+                                 "stream ended inside a frame payload (" +
+                                     std::to_string(body) + " of " +
+                                     std::to_string(length) + " bytes)");
+    }
+  }
+  if (wire::crc32(payload) != checksum) {
+    payload.clear();
+    return core::Status::error(core::StatusCode::kCorruptFrame,
+                               "frame CRC-32 mismatch");
+  }
+  return core::Status();
+}
+
+// ---- Binary instance codec -------------------------------------------------
+
+void append_instance_binary(std::string& out, const Instance& instance) {
+  wire::append_i32(out, instance.m);
+  wire::append_i32(out, instance.num_tasks());
+  for (int j = 0; j < instance.num_tasks(); ++j) {
+    const MalleableTask& task = instance.task(j);
+    wire::append_string(out, task.name());
+    for (int l = 1; l <= instance.m; ++l) {
+      wire::append_f64(out, task.processing_time(l));
+    }
+  }
+
+  // Edges are emitted in an order that reproduces BOTH adjacency lists —
+  // successors per node AND predecessors per node — when the reader
+  // re-inserts them sequentially. Either list alone is a projection of the
+  // Dag's original insertion sequence; emitting in plain (node, successor)
+  // order would silently permute the predecessor lists, which permutes LP
+  // constraint rows and sends the simplex down a different (equally
+  // optimal) pivot path — breaking the pivot-exact record/replay contract.
+  // The merge below reconstructs an insertion sequence with the same two
+  // projections: an edge is emit-table when it is at the FRONT of its
+  // source's remaining successor queue and of its target's remaining
+  // predecessor queue, and consuming it can only unblock edges at the new
+  // fronts of those two nodes, so a worklist seeded with every node visits
+  // O(n + k) candidates.
+  const graph::Dag& dag = instance.dag;
+  const int n = dag.num_nodes();
+  std::vector<std::size_t> out_pos(static_cast<std::size_t>(n), 0);
+  std::vector<std::size_t> in_pos(static_cast<std::size_t>(n), 0);
+  wire::append_u32(out, static_cast<std::uint32_t>(dag.num_edges()));
+  std::size_t emitted = 0;
+  std::vector<graph::NodeId> work;
+  work.reserve(static_cast<std::size_t>(n));
+  for (graph::NodeId v = n; v-- > 0;) work.push_back(v);
+  const auto try_emit_front = [&](graph::NodeId u) {
+    const auto uu = static_cast<std::size_t>(u);
+    if (out_pos[uu] == dag.successors(u).size()) return;
+    const graph::NodeId v = dag.successors(u)[out_pos[uu]];
+    const auto vu = static_cast<std::size_t>(v);
+    if (dag.predecessors(v)[in_pos[vu]] != u) return;
+    wire::append_u32(out, static_cast<std::uint32_t>(u));
+    wire::append_u32(out, static_cast<std::uint32_t>(v));
+    ++out_pos[uu];
+    ++in_pos[vu];
+    ++emitted;
+    work.push_back(u);
+    work.push_back(v);
+  };
+  while (!work.empty()) {
+    const graph::NodeId w = work.back();
+    work.pop_back();
+    try_emit_front(w);
+    const auto wu = static_cast<std::size_t>(w);
+    if (in_pos[wu] < dag.predecessors(w).size()) {
+      try_emit_front(dag.predecessors(w)[in_pos[wu]]);
+    }
+  }
+  // Unreachable for adjacency lists produced by sequential insertion (the
+  // original sequence witnesses a full merge); kept so encoding terminates
+  // even on a Dag mutated through some future non-append path.
+  if (emitted < dag.num_edges()) {
+    for (graph::NodeId v = 0; v < n; ++v) {
+      const auto vu = static_cast<std::size_t>(v);
+      for (std::size_t i = out_pos[vu]; i < dag.successors(v).size(); ++i) {
+        wire::append_u32(out, static_cast<std::uint32_t>(v));
+        wire::append_u32(out, static_cast<std::uint32_t>(dag.successors(v)[i]));
+      }
+    }
+  }
+}
+
+core::Status read_instance_binary(std::string_view in, std::size_t& offset,
+                                  Instance& out) {
+  const auto malformed = [](const std::string& detail) {
+    return core::Status::error(core::StatusCode::kMalformedRecord,
+                               "instance: " + detail);
+  };
+  std::size_t at = offset;  // commit to `offset` only on success
+  std::int32_t m = 0, n = 0;
+  if (!wire::read_i32(in, at, m) || !wire::read_i32(in, at, n)) {
+    return malformed("truncated header");
+  }
+  if (m < 1) return malformed("processor count " + std::to_string(m) + " < 1");
+  if (n < 0) return malformed("negative task count");
+  // Each task costs at least 4 + 8m bytes; reject counts the buffer cannot
+  // possibly hold before allocating for them.
+  const std::size_t min_task_bytes = 4 + 8 * static_cast<std::size_t>(m);
+  if (static_cast<std::size_t>(n) > (in.size() - at) / min_task_bytes + 1) {
+    return malformed("task count " + std::to_string(n) +
+                     " exceeds the remaining payload");
+  }
+
+  Instance instance;
+  instance.m = m;
+  instance.dag = graph::Dag(n);
+  instance.tasks.reserve(static_cast<std::size_t>(n));
+  for (std::int32_t j = 0; j < n; ++j) {
+    std::string name;
+    if (!wire::read_string(in, at, name)) {
+      return malformed("truncated name of task " + std::to_string(j));
+    }
+    std::vector<double> times(static_cast<std::size_t>(m), 0.0);
+    for (std::int32_t l = 0; l < m; ++l) {
+      if (!wire::read_f64(in, at, times[static_cast<std::size_t>(l)])) {
+        return malformed("truncated time table of task " + std::to_string(j));
+      }
+      if (!(times[static_cast<std::size_t>(l)] > 0.0)) {
+        return malformed("task " + std::to_string(j) +
+                         " has a non-positive processing time");
+      }
+    }
+    instance.tasks.emplace_back(std::move(times), std::move(name));
+  }
+
+  std::uint32_t k = 0;
+  if (!wire::read_u32(in, at, k)) return malformed("truncated edge count");
+  if (k > (in.size() - at) / 8) {
+    return malformed("edge count " + std::to_string(k) +
+                     " exceeds the remaining payload");
+  }
+  for (std::uint32_t e = 0; e < k; ++e) {
+    std::uint32_t from = 0, to = 0;
+    if (!wire::read_u32(in, at, from) || !wire::read_u32(in, at, to)) {
+      return malformed("truncated edge " + std::to_string(e));
+    }
+    if (from >= static_cast<std::uint32_t>(n) ||
+        to >= static_cast<std::uint32_t>(n) || from == to) {
+      return malformed("edge " + std::to_string(from) + " -> " +
+                       std::to_string(to) + " has a bad endpoint");
+    }
+    // A duplicate is rejected (add_edge would silently drop it, leaving a
+    // decoded instance whose re-encoding differs from the input bytes —
+    // the codec stays canonical instead).
+    if (instance.dag.has_edge(static_cast<int>(from), static_cast<int>(to))) {
+      return malformed("duplicate edge " + std::to_string(from) + " -> " +
+                       std::to_string(to));
+    }
+    instance.dag.add_edge(static_cast<int>(from), static_cast<int>(to));
+  }
+  if (!graph::is_acyclic(instance.dag)) {
+    return malformed("precedence graph has a cycle");
+  }
+  out = std::move(instance);
+  offset = at;
+  return core::Status();
 }
 
 }  // namespace malsched::model

@@ -1,6 +1,7 @@
-// Plain-text instance serialization.
+// Instance serialization: the line-oriented text format plus the binary
+// wire layer (length-prefixed frames and a bit-exact instance codec).
 //
-// Format (line oriented, '#' comments allowed):
+// Text format (line oriented, '#' comments allowed):
 //   malsched-instance v1
 //   m <processors>
 //   tasks <n>
@@ -10,12 +11,30 @@
 //
 // Round-trips exactly (times printed with max precision); used to pin down
 // regression workloads and to exchange instances with external tools.
+//
+// The binary layer is the unit of every on-disk trace and of the future
+// sharded service's socket protocol:
+//
+//   frame  := magic "MF" | u32 payload length | u32 CRC-32 of payload |
+//             payload bytes                    (all integers little-endian)
+//   instance payload := i32 m | i32 n |
+//                       n x (string name | m x f64 processing time) |
+//                       u32 k | k x (u32 from | u32 to)
+//
+// Doubles travel as their raw IEEE-754 bits, so encode -> decode is
+// bit-for-bit. Truncated and corrupted frames come back as typed
+// core::Status errors (kTruncatedFrame / kCorruptFrame / kMalformedRecord),
+// never as a crash — a shard must survive a peer dying mid-frame.
 #pragma once
 
+#include <cstdint>
+#include <cstring>
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <string_view>
 
+#include "core/status.hpp"
 #include "model/instance.hpp"
 
 namespace malsched::model {
@@ -25,5 +44,137 @@ void write_instance(std::ostream& os, const Instance& instance);
 /// Returns std::nullopt (with `error` filled when non-null) on malformed
 /// input; otherwise the parsed, validated instance.
 std::optional<Instance> read_instance(std::istream& is, std::string* error = nullptr);
+
+// ---- Little-endian byte codec primitives ---------------------------------
+//
+// Shared by the binary instance codec below and the trace record codec in
+// core/trace.cpp. Appends write to a growing byte string; reads advance
+// `offset` and return false (leaving the output untouched) when the buffer
+// ends first, so a decoder can turn truncation into a typed error instead
+// of reading past the end.
+
+namespace wire {
+
+inline void append_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+inline void append_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+inline void append_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+inline void append_i32(std::string& out, std::int32_t v) {
+  append_u32(out, static_cast<std::uint32_t>(v));
+}
+
+inline void append_i64(std::string& out, std::int64_t v) {
+  append_u64(out, static_cast<std::uint64_t>(v));
+}
+
+/// Raw IEEE-754 bits: the round trip is bit-for-bit, including -0.0 and NaN
+/// payloads.
+inline void append_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  append_u64(out, bits);
+}
+
+inline void append_string(std::string& out, std::string_view s) {
+  append_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s.data(), s.size());
+}
+
+inline bool read_u8(std::string_view in, std::size_t& offset, std::uint8_t& v) {
+  if (offset + 1 > in.size()) return false;
+  v = static_cast<std::uint8_t>(in[offset++]);
+  return true;
+}
+
+inline bool read_u32(std::string_view in, std::size_t& offset, std::uint32_t& v) {
+  if (offset + 4 > in.size()) return false;
+  v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(in[offset + i])) << (8 * i);
+  }
+  offset += 4;
+  return true;
+}
+
+inline bool read_u64(std::string_view in, std::size_t& offset, std::uint64_t& v) {
+  if (offset + 8 > in.size()) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(in[offset + i])) << (8 * i);
+  }
+  offset += 8;
+  return true;
+}
+
+inline bool read_i32(std::string_view in, std::size_t& offset, std::int32_t& v) {
+  std::uint32_t u = 0;
+  if (!read_u32(in, offset, u)) return false;
+  v = static_cast<std::int32_t>(u);
+  return true;
+}
+
+inline bool read_i64(std::string_view in, std::size_t& offset, std::int64_t& v) {
+  std::uint64_t u = 0;
+  if (!read_u64(in, offset, u)) return false;
+  v = static_cast<std::int64_t>(u);
+  return true;
+}
+
+inline bool read_f64(std::string_view in, std::size_t& offset, double& v) {
+  std::uint64_t bits = 0;
+  if (!read_u64(in, offset, bits)) return false;
+  std::memcpy(&v, &bits, sizeof(v));
+  return true;
+}
+
+inline bool read_string(std::string_view in, std::size_t& offset, std::string& s) {
+  std::uint32_t len = 0;
+  if (!read_u32(in, offset, len)) return false;
+  if (offset + len > in.size()) return false;
+  s.assign(in.data() + offset, len);
+  offset += len;
+  return true;
+}
+
+/// CRC-32 (IEEE 802.3 polynomial) of `bytes` — the per-frame checksum.
+std::uint32_t crc32(std::string_view bytes);
+
+}  // namespace wire
+
+// ---- Length-prefixed framing ---------------------------------------------
+
+/// Upper bound a reader accepts for one frame's payload (64 MiB). A length
+/// field beyond it is treated as corruption rather than an allocation
+/// request — a flipped length byte must not ask for gigabytes.
+constexpr std::uint32_t kMaxFramePayload = 64u * 1024u * 1024u;
+
+/// Writes one frame (magic + length + CRC-32 + payload) to `os`.
+void write_frame(std::ostream& os, std::string_view payload);
+
+/// Reads one frame into `payload`. Typed failures: kTruncatedFrame when the
+/// stream ends mid-frame (including a clean end-of-stream at a frame
+/// boundary — callers that expect N frames read exactly N), kCorruptFrame on
+/// bad magic, an oversized length field, or a CRC mismatch.
+core::Status read_frame(std::istream& is, std::string& payload);
+
+// ---- Binary instance codec -----------------------------------------------
+
+/// Appends the instance's binary encoding (see the header comment) to `out`.
+void append_instance_binary(std::string& out, const Instance& instance);
+
+/// Decodes one instance starting at `offset` (advanced past it on success).
+/// The decoded instance is structurally validated like read_instance — bad
+/// edge endpoints, non-positive times and cyclic precedence all come back as
+/// kMalformedRecord.
+core::Status read_instance_binary(std::string_view in, std::size_t& offset,
+                                  Instance& out);
 
 }  // namespace malsched::model

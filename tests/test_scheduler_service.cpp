@@ -535,6 +535,52 @@ TEST(SchedulerService, DeterministicResultsUnderRejection) {
   }
 }
 
+TEST(SchedulerService, SequenceAndClientTagStampedOnEveryResult) {
+  // Satellite fix: ServiceResult::sequence and ::client_tag were produced
+  // but never covered by equality assertions — the trace recorder now
+  // depends on both (completion order and request identity), so pin them.
+  core::ServiceOptions options = one_worker_no_reuse();
+  core::SchedulerService service(options);
+  constexpr int kRequests = 4;
+  std::vector<core::TicketHandle> handles;
+  for (int i = 0; i < kRequests; ++i) {
+    core::ScheduleRequest request;
+    request.instance = make_test_instance(0x5E0 + i, 14 + 2 * i, 4);
+    request.client_tag = "req-" + std::to_string(i);
+    handles.push_back(service.submit(std::move(request)));
+  }
+  service.drain();
+  std::vector<std::uint64_t> sequences;
+  for (int i = 0; i < kRequests; ++i) {
+    const core::ServiceResult r = handles[static_cast<std::size_t>(i)].wait();
+    ASSERT_TRUE(r.status.ok()) << r.status.to_string();
+    // The tag is echoed verbatim — results stay attributable to requests.
+    EXPECT_EQ(r.client_tag, "req-" + std::to_string(i));
+    sequences.push_back(r.sequence);
+  }
+  // Completion sequence is dense 1..K: every completion is stamped, none
+  // duplicated, none skipped. (Completion ORDER is not submission order
+  // here — drain() help-executes on the calling thread, so distinct
+  // structure groups finish in timing-dependent order.)
+  std::vector<std::uint64_t> sorted = sequences;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < kRequests; ++i) {
+    EXPECT_EQ(sorted[static_cast<std::size_t>(i)],
+              static_cast<std::uint64_t>(i + 1));
+  }
+
+  // Requests refused before dispatch (here: an already-expired deadline)
+  // are completions too: they get the tag AND the next sequence number.
+  core::ScheduleRequest late;
+  late.instance = make_test_instance(0x5EF, 12, 4);
+  late.deadline_seconds = -1.0;
+  late.client_tag = "too-late";
+  const core::ServiceResult refused = service.submit(std::move(late)).wait();
+  EXPECT_EQ(refused.status.code(), core::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(refused.client_tag, "too-late");
+  EXPECT_EQ(refused.sequence, static_cast<std::uint64_t>(kRequests + 1));
+}
+
 TEST(Instance, PieceCountsMemoizedAndMutationSafe) {
   model::Instance instance = make_test_instance(0x9E6, 12, 6);
   const auto counts = instance.piece_counts();

@@ -1,9 +1,19 @@
-// Tests for the instance text format and its failure modes.
+// Tests for the instance text format and its failure modes, plus the binary
+// wire layer: length-prefixed CRC frames, the bit-exact instance codec, and
+// the trace-record codec (property/round-trip fuzz — random payloads must
+// survive encode -> decode bit-for-bit, and truncated or corrupted bytes
+// must come back as typed Status errors, never as a crash).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "core/scheduler.hpp"
+#include "core/status.hpp"
+#include "core/trace.hpp"
+#include "graph/generators.hpp"
 #include "model/instance.hpp"
 #include "model/serialization.hpp"
 #include "model/speedup.hpp"
@@ -117,6 +127,361 @@ TEST(Serialization, EmptyInstance) {
   const auto parsed = model::read_instance(is);
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(parsed->num_tasks(), 0);
+}
+
+// ---- Length-prefixed framing ----------------------------------------------
+
+std::string frame_bytes(std::string_view payload) {
+  std::ostringstream os;
+  model::write_frame(os, payload);
+  return os.str();
+}
+
+TEST(WireFrame, RoundTripsArbitraryPayloads) {
+  support::Rng rng(0xF4A3E);
+  std::vector<std::string> payloads = {"", "x", std::string(1, '\0'),
+                                       "hello frame"};
+  for (int i = 0; i < 8; ++i) {
+    std::string random(static_cast<std::size_t>(rng.uniform_int(0, 500)), '\0');
+    for (char& c : random) c = static_cast<char>(rng.next_u64() & 0xFF);
+    payloads.push_back(std::move(random));
+  }
+  // Several frames back-to-back on one stream, read back in order.
+  std::stringstream stream;
+  for (const std::string& payload : payloads) model::write_frame(stream, payload);
+  for (const std::string& payload : payloads) {
+    std::string read;
+    const core::Status status = model::read_frame(stream, read);
+    ASSERT_TRUE(status.ok()) << status.to_string();
+    EXPECT_EQ(read, payload);
+  }
+  // The stream is exactly consumed: one more read is a clean truncation.
+  std::string extra;
+  EXPECT_EQ(model::read_frame(stream, extra).code(),
+            core::StatusCode::kTruncatedFrame);
+}
+
+TEST(WireFrame, EveryTruncationIsTyped) {
+  const std::string full = frame_bytes("truncation sweep payload");
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::istringstream is(full.substr(0, cut));
+    std::string payload;
+    const core::Status status = model::read_frame(is, payload);
+    EXPECT_EQ(status.code(), core::StatusCode::kTruncatedFrame)
+        << "cut at byte " << cut << ": " << status.to_string();
+  }
+}
+
+TEST(WireFrame, EverySingleByteFlipIsTyped) {
+  // CRC-32 detects every single-byte corruption of the payload; magic and
+  // length damage is caught structurally. No flip may parse as ok.
+  const std::string full = frame_bytes("corruption sweep payload");
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    std::string damaged = full;
+    damaged[i] = static_cast<char>(damaged[i] ^ 0x20);
+    std::istringstream is(damaged);
+    std::string payload;
+    const core::Status status = model::read_frame(is, payload);
+    ASSERT_FALSE(status.ok()) << "flip at byte " << i << " parsed as ok";
+    EXPECT_TRUE(status.code() == core::StatusCode::kCorruptFrame ||
+                status.code() == core::StatusCode::kTruncatedFrame)
+        << "flip at byte " << i << ": " << status.to_string();
+  }
+}
+
+TEST(WireFrame, OversizedLengthIsCorruptionNotAllocation) {
+  // A flipped length field must not turn into a giant allocation request.
+  std::string bytes = "MF";
+  model::wire::append_u32(bytes, model::kMaxFramePayload + 1);
+  model::wire::append_u32(bytes, 0);  // CRC (never reached)
+  std::istringstream is(bytes);
+  std::string payload;
+  EXPECT_EQ(model::read_frame(is, payload).code(),
+            core::StatusCode::kCorruptFrame);
+}
+
+// ---- Binary instance codec ------------------------------------------------
+
+TEST(BinaryInstance, RoundTripIsBitForBitAndOrderExact) {
+  support::Rng rng(0xB17);
+  const model::DagFamily dags[] = {model::DagFamily::kLayered,
+                                   model::DagFamily::kSeriesParallel};
+  const model::TaskFamily tasks[] = {model::TaskFamily::kPowerLaw,
+                                     model::TaskFamily::kMixed};
+  for (int trial = 0; trial < 12; ++trial) {
+    const model::Instance original = model::make_family_instance(
+        dags[trial % 2], tasks[(trial / 2) % 2], 4 + 3 * trial,
+        2 + trial % 5, rng);
+    std::string bytes;
+    model::append_instance_binary(bytes, original);
+    model::Instance decoded;
+    std::size_t offset = 0;
+    const core::Status status =
+        model::read_instance_binary(bytes, offset, decoded);
+    ASSERT_TRUE(status.ok()) << status.to_string();
+    EXPECT_EQ(offset, bytes.size());
+    ASSERT_EQ(decoded.m, original.m);
+    ASSERT_EQ(decoded.num_tasks(), original.num_tasks());
+    for (int j = 0; j < original.num_tasks(); ++j) {
+      EXPECT_EQ(decoded.task(j).name(), original.task(j).name());
+      for (int l = 1; l <= original.m; ++l) {
+        // Raw IEEE-754 bits on the wire: exact, not approximate.
+        EXPECT_EQ(decoded.task(j).processing_time(l),
+                  original.task(j).processing_time(l));
+      }
+      // BOTH adjacency projections round-trip, including list order — the
+      // predecessor order feeds LP row construction, so losing it silently
+      // changes simplex pivot paths (the replay-determinism contract).
+      EXPECT_EQ(decoded.dag.successors(j), original.dag.successors(j));
+      EXPECT_EQ(decoded.dag.predecessors(j), original.dag.predecessors(j));
+    }
+  }
+}
+
+TEST(BinaryInstance, AdversarialInsertionOrderPreserved) {
+  // Edges inserted so the predecessor lists disagree with plain
+  // (node, successor) emission order: predecessors(3) must stay [1, 0, 2].
+  graph::Dag dag(4);
+  dag.add_edge(1, 3);
+  dag.add_edge(0, 3);
+  dag.add_edge(2, 3);
+  dag.add_edge(0, 1);
+  model::Instance instance;
+  instance.dag = std::move(dag);
+  instance.m = 2;
+  for (int j = 0; j < 4; ++j) {
+    instance.tasks.push_back(model::MalleableTask({2.0, 1.0 + 0.25 * j}));
+  }
+  std::string bytes;
+  model::append_instance_binary(bytes, instance);
+  model::Instance decoded;
+  std::size_t offset = 0;
+  ASSERT_TRUE(model::read_instance_binary(bytes, offset, decoded).ok());
+  const std::vector<graph::NodeId> expected_preds = {1, 0, 2};
+  EXPECT_EQ(decoded.dag.predecessors(3), expected_preds);
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_EQ(decoded.dag.successors(j), instance.dag.successors(j));
+    EXPECT_EQ(decoded.dag.predecessors(j), instance.dag.predecessors(j));
+  }
+  // And the re-encoding of the decoded instance is byte-identical (the
+  // emission order is a deterministic function of the adjacency lists).
+  std::string again;
+  model::append_instance_binary(again, decoded);
+  EXPECT_EQ(again, bytes);
+}
+
+TEST(BinaryInstance, EveryTruncationIsMalformedNotACrash) {
+  support::Rng rng(0x7C4);
+  const model::Instance instance = model::make_family_instance(
+      model::DagFamily::kLayered, model::TaskFamily::kPowerLaw, 10, 3, rng);
+  std::string bytes;
+  model::append_instance_binary(bytes, instance);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    model::Instance decoded;
+    std::size_t offset = 0;
+    const core::Status status = model::read_instance_binary(
+        std::string_view(bytes).substr(0, cut), offset, decoded);
+    EXPECT_EQ(status.code(), core::StatusCode::kMalformedRecord)
+        << "cut at byte " << cut;
+    EXPECT_EQ(offset, 0u) << "offset must not advance on failure";
+  }
+}
+
+TEST(BinaryInstance, RejectsStructurallyInvalidPayloads) {
+  const auto encode_header = [](std::int32_t m, std::int32_t n) {
+    std::string bytes;
+    model::wire::append_i32(bytes, m);
+    model::wire::append_i32(bytes, n);
+    return bytes;
+  };
+  const auto expect_malformed = [](const std::string& bytes) {
+    model::Instance decoded;
+    std::size_t offset = 0;
+    EXPECT_EQ(model::read_instance_binary(bytes, offset, decoded).code(),
+              core::StatusCode::kMalformedRecord);
+  };
+
+  expect_malformed(encode_header(0, 1));   // m < 1
+  expect_malformed(encode_header(2, -1));  // negative task count
+
+  // Non-positive processing time.
+  {
+    std::string bytes = encode_header(1, 1);
+    model::wire::append_string(bytes, "");
+    model::wire::append_f64(bytes, 0.0);
+    model::wire::append_u32(bytes, 0);
+    expect_malformed(bytes);
+  }
+  // Edge endpoint out of range / self-loop / duplicate / cycle.
+  const auto two_tasks = [&] {
+    std::string bytes = encode_header(1, 2);
+    for (int j = 0; j < 2; ++j) {
+      model::wire::append_string(bytes, "");
+      model::wire::append_f64(bytes, 1.0);
+    }
+    return bytes;
+  };
+  {
+    std::string bytes = two_tasks();
+    model::wire::append_u32(bytes, 1);
+    model::wire::append_u32(bytes, 0);
+    model::wire::append_u32(bytes, 9);  // out of range
+    expect_malformed(bytes);
+  }
+  {
+    std::string bytes = two_tasks();
+    model::wire::append_u32(bytes, 1);
+    model::wire::append_u32(bytes, 1);  // self loop
+    model::wire::append_u32(bytes, 1);
+    expect_malformed(bytes);
+  }
+  {
+    std::string bytes = two_tasks();
+    model::wire::append_u32(bytes, 2);  // duplicate edge: decoded instance
+    for (int rep = 0; rep < 2; ++rep) {  // would re-encode differently
+      model::wire::append_u32(bytes, 0);
+      model::wire::append_u32(bytes, 1);
+    }
+    expect_malformed(bytes);
+  }
+  {
+    std::string bytes = two_tasks();
+    model::wire::append_u32(bytes, 2);
+    model::wire::append_u32(bytes, 0);  // 0 -> 1 -> 0: a cycle
+    model::wire::append_u32(bytes, 1);
+    model::wire::append_u32(bytes, 1);
+    model::wire::append_u32(bytes, 0);
+    expect_malformed(bytes);
+  }
+  // Trailing garbage after a valid instance: the caller's offset stops at
+  // the instance, so a record codec can detect unconsumed bytes.
+  {
+    std::string bytes = two_tasks();
+    model::wire::append_u32(bytes, 0);
+    const std::size_t exact = bytes.size();
+    bytes.push_back('\x7f');
+    model::Instance decoded;
+    std::size_t offset = 0;
+    ASSERT_TRUE(model::read_instance_binary(bytes, offset, decoded).ok());
+    EXPECT_EQ(offset, exact);
+  }
+}
+
+// ---- Trace record codec (property fuzz) -----------------------------------
+
+model::Instance random_instance(support::Rng& rng) {
+  return model::make_family_instance(
+      rng.bernoulli(0.5) ? model::DagFamily::kLayered
+                         : model::DagFamily::kSeriesParallel,
+      rng.bernoulli(0.5) ? model::TaskFamily::kPowerLaw
+                         : model::TaskFamily::kMixed,
+      rng.uniform_int(1, 16), rng.uniform_int(1, 6), rng);
+}
+
+core::TraceRecord random_record(support::Rng& rng) {
+  core::TraceRecord record;
+  record.arrival_offset_seconds = rng.uniform(0.0, 600.0);
+  record.instance = random_instance(rng);
+  record.options.present = rng.bernoulli(0.5);
+  if (record.options.present) {
+    record.options.lp_mode =
+        static_cast<std::uint8_t>(rng.uniform_int(0, 2));  // kDirect..kAuto
+    record.options.piece_stride = rng.uniform_int(1, 8);
+    record.options.refine_stride = rng.uniform_int(0, 4);
+    record.options.bisection_tolerance = rng.uniform(1e-9, 1e-2);
+    record.options.dual_reoptimize = rng.bernoulli(0.5);
+    record.options.list_priority = static_cast<std::uint8_t>(
+        rng.uniform_int(0, 1));  // kEarliestStart..kCriticalPathFirst
+    record.options.has_rho = rng.bernoulli(0.5);
+    record.options.rho = record.options.has_rho ? rng.uniform(1.0, 3.0) : 0.0;
+    record.options.has_mu = rng.bernoulli(0.5);
+    record.options.mu = record.options.has_mu ? rng.uniform_int(1, 4) : 0;
+    record.options.retry_max_attempts = rng.uniform_int(1, 6);
+  }
+  record.priority = rng.uniform_int(-8, 8);
+  record.has_deadline = rng.bernoulli(0.3);
+  record.deadline_seconds = record.has_deadline ? rng.uniform(0.0, 1e4) : 0.0;
+  std::string tag(static_cast<std::size_t>(rng.uniform_int(0, 24)), '\0');
+  for (char& c : tag) c = static_cast<char>(rng.uniform_int(32, 126));
+  record.client_tag = std::move(tag);
+  record.outcome.status = static_cast<core::StatusCode>(
+      rng.uniform_int(0, static_cast<int>(core::StatusCode::kMalformedRecord)));
+  record.outcome.lower_bound = rng.uniform(0.0, 1e6);
+  record.outcome.makespan = rng.uniform(0.0, 1e6);
+  record.outcome.lp_pivots = static_cast<std::int64_t>(rng.next_u64() >> 16);
+  record.outcome.attempts = rng.uniform_int(1, 5);
+  record.outcome.degraded = rng.bernoulli(0.2);
+  record.outcome.wall_seconds = rng.uniform(0.0, 60.0);
+  record.outcome.group = rng.next_u64();
+  record.outcome.sequence = rng.next_u64();
+  return record;
+}
+
+TEST(TraceRecordCodec, FuzzRoundTripIsByteExact) {
+  support::Rng rng(0x7EC0DE);
+  for (int trial = 0; trial < 40; ++trial) {
+    const core::TraceRecord record = random_record(rng);
+    const std::string payload = core::encode_trace_record(record);
+    core::TraceRecord decoded;
+    const core::Status status = core::decode_trace_record(payload, decoded);
+    ASSERT_TRUE(status.ok()) << "trial " << trial << ": " << status.to_string();
+
+    // Field-level equality (doubles bitwise: equal bits => operator== except
+    // NaN, which the fuzz does not generate).
+    EXPECT_EQ(decoded.arrival_offset_seconds, record.arrival_offset_seconds);
+    EXPECT_EQ(decoded.priority, record.priority);
+    EXPECT_EQ(decoded.has_deadline, record.has_deadline);
+    EXPECT_EQ(decoded.deadline_seconds, record.deadline_seconds);
+    EXPECT_EQ(decoded.client_tag, record.client_tag);
+    EXPECT_EQ(decoded.options.present, record.options.present);
+    EXPECT_EQ(decoded.options.lp_mode, record.options.lp_mode);
+    EXPECT_EQ(decoded.options.piece_stride, record.options.piece_stride);
+    EXPECT_EQ(decoded.options.has_rho, record.options.has_rho);
+    EXPECT_EQ(decoded.options.rho, record.options.rho);
+    EXPECT_EQ(decoded.outcome.status, record.outcome.status);
+    EXPECT_EQ(decoded.outcome.lower_bound, record.outcome.lower_bound);
+    EXPECT_EQ(decoded.outcome.lp_pivots, record.outcome.lp_pivots);
+    EXPECT_EQ(decoded.outcome.sequence, record.outcome.sequence);
+    EXPECT_EQ(decoded.instance.num_tasks(), record.instance.num_tasks());
+
+    // The canonical-form property: decode -> encode reproduces the exact
+    // bytes, so recorded traces cannot drift through a rewrite cycle.
+    EXPECT_EQ(core::encode_trace_record(decoded), payload) << "trial " << trial;
+  }
+}
+
+TEST(TraceRecordCodec, TruncationAndDamageNeverCrash) {
+  support::Rng rng(0xDA9A6E);
+  const core::TraceRecord record = random_record(rng);
+  const std::string payload = core::encode_trace_record(record);
+
+  // Every strict prefix is a typed malformed-record failure.
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    core::TraceRecord decoded;
+    EXPECT_EQ(core::decode_trace_record(payload.substr(0, cut), decoded).code(),
+              core::StatusCode::kMalformedRecord)
+        << "cut at byte " << cut;
+  }
+  // Trailing bytes are rejected: a record must consume its frame exactly.
+  {
+    core::TraceRecord decoded;
+    EXPECT_EQ(core::decode_trace_record(payload + '\0', decoded).code(),
+              core::StatusCode::kMalformedRecord);
+  }
+  // Random byte flips either decode to a valid record or fail typed; both
+  // are fine, crashing or hanging is not. (ASan/UBSan give this test its
+  // teeth in the sanitizer CI jobs.)
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string damaged = payload;
+    const std::size_t at =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(payload.size()) - 1));
+    damaged[at] = static_cast<char>(rng.next_u64() & 0xFF);
+    core::TraceRecord decoded;
+    const core::Status status = core::decode_trace_record(damaged, decoded);
+    if (!status.ok()) {
+      EXPECT_EQ(status.code(), core::StatusCode::kMalformedRecord);
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,332 @@
+// Tests for trace capture and deterministic replay (core/trace):
+//
+//  - the committed golden fixture (tests/data/stream_mix.trace, recorded by
+//    `bench_perf_pipeline --record-trace` from the PR-3 stream mix) replays
+//    with ZERO outcome diffs — bounds bitwise, pivot counts exact, statuses
+//    equal — at worker counts 1, 2 and 8, and under a seeded FaultInjector
+//    storm (where recovery reproduces the bounds but legitimately spends
+//    different pivots);
+//  - whole-trace file I/O round-trips and rejects version/byte damage with
+//    typed Status errors;
+//  - a TraceRecorder attached to a live service captures arrivals, options,
+//    cancellations and admission rejections faithfully enough that its own
+//    snapshot replays clean.
+//
+// The golden tests also run under TSan in CI: replay at 8 workers is the
+// data-race scenario for the recorder (worker threads completing into the
+// recorder while the replay thread paces submissions).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "core/fault_injector.hpp"
+#include "core/scheduler_service.hpp"
+#include "core/status.hpp"
+#include "core/trace.hpp"
+#include "graph/generators.hpp"
+#include "model/instance.hpp"
+#include "model/serialization.hpp"
+#include "model/speedup.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace malsched;
+using core::FaultInjector;
+using core::FaultSchedule;
+
+std::string golden_trace_path() {
+  return std::string(MALSCHED_TEST_DATA_DIR) + "/stream_mix.trace";
+}
+
+core::Trace load_golden() {
+  core::Trace trace;
+  const core::Status status = core::load_trace_file(golden_trace_path(), trace);
+  EXPECT_TRUE(status.ok()) << status.to_string();
+  return trace;
+}
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+model::Instance make_test_instance(std::uint64_t seed, int n, int m) {
+  support::Rng rng(seed);
+  return model::make_family_instance(model::DagFamily::kLayered,
+                                     model::TaskFamily::kPowerLaw, n, m, rng);
+}
+
+class TraceReplayTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::instance().reset(); }
+  void TearDown() override { FaultInjector::instance().reset(); }
+};
+
+// ---- Golden fixture --------------------------------------------------------
+
+TEST_F(TraceReplayTest, GoldenTraceLoads) {
+  const core::Trace trace = load_golden();
+  ASSERT_EQ(trace.records.size(), 18u);
+  std::size_t ok = 0, cancelled = 0, expired = 0;
+  for (const core::TraceRecord& record : trace.records) {
+    switch (record.outcome.status) {
+      case core::StatusCode::kOk: ++ok; break;
+      case core::StatusCode::kCancelled: ++cancelled; break;
+      case core::StatusCode::kDeadlineExceeded: ++expired; break;
+      default: ADD_FAILURE() << "unexpected recorded status";
+    }
+  }
+  EXPECT_EQ(ok, 16u);        // the 4x4 shape mix
+  EXPECT_EQ(cancelled, 1u);  // the re-cancelled row
+  EXPECT_EQ(expired, 1u);    // the already-late deadline row
+}
+
+/// The acceptance gate: per-request outcomes reproduce at ANY worker count
+/// (group-affine dispatch + max_group_runners pinned to 1 by replay_trace).
+void expect_exact_replay(std::size_t workers) {
+  const core::Trace trace = load_golden();
+  ASSERT_FALSE(trace.records.empty());
+  core::ReplayOptions options;
+  options.service.num_threads = workers;
+  options.compare_pivots = true;
+  const core::ReplayReport report = core::replay_trace(trace, options);
+  EXPECT_EQ(report.requests, trace.records.size());
+  EXPECT_EQ(report.matched, report.requests);
+  EXPECT_TRUE(report.ok());
+  for (const core::ReplayMismatch& mm : report.mismatches) {
+    ADD_FAILURE() << "record " << mm.index << " " << mm.field << ": recorded "
+                  << mm.recorded << ", replayed " << mm.replayed;
+  }
+  EXPECT_EQ(report.replayed_pivots, report.recorded_pivots);
+  EXPECT_GT(report.recorded_pivots, 0);
+}
+
+TEST_F(TraceReplayTest, GoldenReplayExactAtOneWorker) { expect_exact_replay(1); }
+TEST_F(TraceReplayTest, GoldenReplayExactAtTwoWorkers) { expect_exact_replay(2); }
+TEST_F(TraceReplayTest, GoldenReplayExactAtEightWorkers) { expect_exact_replay(8); }
+
+TEST_F(TraceReplayTest, GoldenReplaySurvivesFaultStorm) {
+  // A seeded solver-error storm (fires at LP hits 3, 6, 9, 12) forces the
+  // RetryPolicy chain mid-replay. Recovery must reproduce every STATUS and
+  // every BOUND bitwise — the retries spend extra pivots, so the
+  // exact-trajectory comparison is off (compare_pivots = false), which is
+  // exactly the knob's documented purpose.
+  const core::Trace trace = load_golden();
+  FaultInjector::instance().arm("core.lp.solver-error",
+                                FaultSchedule::every_nth(3, 4));
+  core::ReplayOptions options;
+  options.service.num_threads = 1;
+  options.compare_pivots = false;
+  const core::ReplayReport report = core::replay_trace(trace, options);
+  EXPECT_EQ(FaultInjector::instance().fired("core.lp.solver-error"), 4u);
+  EXPECT_GT(report.stats.retries, 0u);  // the storm actually bit
+  EXPECT_EQ(report.matched, report.requests);
+  for (const core::ReplayMismatch& mm : report.mismatches) {
+    ADD_FAILURE() << "record " << mm.index << " " << mm.field << ": recorded "
+                  << mm.recorded << ", replayed " << mm.replayed;
+  }
+}
+
+// ---- Whole-trace I/O -------------------------------------------------------
+
+TEST_F(TraceReplayTest, SaveLoadRoundTripIsExact) {
+  const core::Trace trace = load_golden();
+  std::stringstream buffer;
+  ASSERT_TRUE(core::save_trace(buffer, trace).ok());
+  core::Trace reloaded;
+  const core::Status status = core::load_trace(buffer, reloaded);
+  ASSERT_TRUE(status.ok()) << status.to_string();
+  ASSERT_EQ(reloaded.records.size(), trace.records.size());
+  for (std::size_t i = 0; i < trace.records.size(); ++i) {
+    const core::TraceRecord& a = trace.records[i];
+    const core::TraceRecord& b = reloaded.records[i];
+    EXPECT_EQ(bits_of(b.arrival_offset_seconds), bits_of(a.arrival_offset_seconds));
+    EXPECT_EQ(b.client_tag, a.client_tag);
+    EXPECT_EQ(b.priority, a.priority);
+    EXPECT_EQ(b.outcome.status, a.outcome.status);
+    EXPECT_EQ(bits_of(b.outcome.lower_bound), bits_of(a.outcome.lower_bound));
+    EXPECT_EQ(bits_of(b.outcome.makespan), bits_of(a.outcome.makespan));
+    EXPECT_EQ(b.outcome.lp_pivots, a.outcome.lp_pivots);
+    EXPECT_EQ(b.outcome.sequence, a.outcome.sequence);
+    // Re-encoding each record reproduces identical bytes: the codec is
+    // canonical, so a load/save cycle can never drift a committed fixture.
+    EXPECT_EQ(core::encode_trace_record(b), core::encode_trace_record(a));
+  }
+  // Saving the reloaded trace is byte-identical to saving the original.
+  std::stringstream again;
+  ASSERT_TRUE(core::save_trace(again, reloaded).ok());
+  std::stringstream original;
+  ASSERT_TRUE(core::save_trace(original, trace).ok());
+  EXPECT_EQ(again.str(), original.str());
+}
+
+TEST_F(TraceReplayTest, WrongVersionIsCorruptFrame) {
+  core::Trace trace;
+  std::stringstream buffer;
+  ASSERT_TRUE(core::save_trace(buffer, trace).ok());
+  std::string bytes = buffer.str();
+  // Header payload: magic(2) + len(4) + crc(4), then "malsched-trace" (14
+  // bytes) followed by the version byte. Bump the version and refresh the
+  // frame CRC so only the version check can object.
+  const std::size_t version_at = 2 + 4 + 4 + 14;
+  ASSERT_LT(version_at, bytes.size());
+  bytes[version_at] = static_cast<char>(core::kTraceVersion + 1);
+  const std::string payload = bytes.substr(10);
+  const std::uint32_t crc = model::wire::crc32(payload);
+  for (int i = 0; i < 4; ++i) {
+    bytes[6 + static_cast<std::size_t>(i)] =
+        static_cast<char>((crc >> (8 * i)) & 0xFF);
+  }
+  std::istringstream is(bytes);
+  core::Trace out;
+  EXPECT_EQ(core::load_trace(is, out).code(), core::StatusCode::kCorruptFrame);
+}
+
+TEST_F(TraceReplayTest, TruncatedFileIsTyped) {
+  const core::Trace trace = load_golden();
+  std::stringstream buffer;
+  ASSERT_TRUE(core::save_trace(buffer, trace).ok());
+  const std::string bytes = buffer.str();
+  // Cut inside the last record's frame: the loader expected N records and
+  // must report the stream ending early, not return a short trace.
+  std::istringstream is(bytes.substr(0, bytes.size() - 7));
+  core::Trace out;
+  EXPECT_EQ(core::load_trace(is, out).code(),
+            core::StatusCode::kTruncatedFrame);
+  // Damage one payload byte mid-file: CRC catches it.
+  std::string damaged = bytes;
+  damaged[damaged.size() / 2] =
+      static_cast<char>(damaged[damaged.size() / 2] ^ 0x01);
+  std::istringstream corrupt(damaged);
+  EXPECT_FALSE(core::load_trace(corrupt, out).ok());
+}
+
+TEST_F(TraceReplayTest, MissingFileIsTyped) {
+  core::Trace out;
+  const core::Status status =
+      core::load_trace_file("/nonexistent/no-such.trace", out);
+  EXPECT_FALSE(status.ok());
+}
+
+// ---- Recorder end-to-end ---------------------------------------------------
+
+TEST_F(TraceReplayTest, RecorderCapturesLiveTrafficAndReplaysClean) {
+  core::TraceRecorder recorder;
+  core::ServiceOptions options;
+  options.num_threads = 1;
+  options.trace = &recorder;
+  {
+    core::SchedulerService service(options);
+    // Two revisions of one structure, completed in order.
+    const graph::Dag dag = make_test_instance(0x1DEA, 16, 4).dag;
+    for (int rev = 0; rev < 2; ++rev) {
+      support::Rng rng(0x3E9 + rev);
+      core::ScheduleRequest request;
+      request.instance = model::make_instance(dag, 4, [&](int, int procs) {
+        return model::make_random_power_law_task(rng, 0.4, 0.8, procs);
+      });
+      request.client_tag = "rev-" + std::to_string(rev);
+      core::TicketHandle handle = service.submit(std::move(request));
+      ASSERT_TRUE(handle.wait().status.ok());
+    }
+    // One custom-options request: the projection must survive the codec.
+    core::ScheduleRequest tuned;
+    tuned.instance = make_test_instance(0x0071, 20, 4);
+    core::SchedulerOptions tuned_options;
+    tuned_options.lp.mode = core::LpMode::kBinarySearch;
+    tuned.options = tuned_options;
+    tuned.client_tag = "tuned";
+    service.submit(std::move(tuned));
+    // A deep instance pins the single worker for a few hundred ms, so the
+    // cancel below deterministically lands while "doomed" is still queued
+    // (the drop-at-dequeue path) — without it the lone worker can race
+    // ahead and start the solve first, recording a timing-dependent
+    // mid-solve cancellation instead.
+    core::ScheduleRequest blocker;
+    {
+      support::Rng rng(0xB10C7);
+      graph::Dag deep = graph::make_layered(100, 4, 2, rng);
+      blocker.instance =
+          model::make_instance(std::move(deep), 4, [&](int, int procs) {
+            return model::make_random_power_law_task(rng, 0.3, 1.0, procs);
+          });
+    }
+    blocker.client_tag = "blocker";
+    service.submit(std::move(blocker));
+    core::ScheduleRequest doomed;
+    doomed.instance = make_test_instance(0xD00D, 18, 4);
+    doomed.client_tag = "doomed";
+    core::TicketHandle cancelled = service.submit(std::move(doomed));
+    cancelled.cancel();
+    service.drain();
+  }
+
+  const core::Trace trace = recorder.snapshot();
+  ASSERT_EQ(trace.records.size(), 5u);
+  EXPECT_EQ(trace.records[0].client_tag, "rev-0");
+  EXPECT_EQ(trace.records[1].client_tag, "rev-1");
+  EXPECT_EQ(trace.records[2].client_tag, "tuned");
+  EXPECT_EQ(trace.records[3].client_tag, "blocker");
+  EXPECT_EQ(trace.records[4].client_tag, "doomed");
+  // Arrival offsets are measured from the recorder's epoch, monotonically.
+  for (std::size_t i = 1; i < trace.records.size(); ++i) {
+    EXPECT_GE(trace.records[i].arrival_offset_seconds,
+              trace.records[i - 1].arrival_offset_seconds);
+  }
+  EXPECT_TRUE(trace.records[2].options.present);
+  EXPECT_EQ(trace.records[2].options.lp_mode,
+            static_cast<std::uint8_t>(core::LpMode::kBinarySearch));
+  EXPECT_FALSE(trace.records[0].options.present);
+  EXPECT_EQ(trace.records[4].outcome.status, core::StatusCode::kCancelled);
+  EXPECT_EQ(trace.records[4].outcome.lp_pivots, 0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(trace.records[i].outcome.status, core::StatusCode::kOk);
+    EXPECT_GT(trace.records[i].outcome.lp_pivots, 0);
+    EXPECT_NE(trace.records[i].outcome.group, 0u);
+    EXPECT_NE(trace.records[i].outcome.sequence, 0u);
+  }
+  // The first two requests share one LP structure; the tuned one differs.
+  EXPECT_EQ(trace.records[0].outcome.group, trace.records[1].outcome.group);
+  EXPECT_NE(trace.records[0].outcome.group, trace.records[2].outcome.group);
+
+  // Its own snapshot replays with zero diffs — recording is not lossy.
+  core::ReplayOptions replay;
+  replay.service.num_threads = 2;
+  const core::ReplayReport report = core::replay_trace(trace, replay);
+  EXPECT_EQ(report.matched, report.requests);
+  for (const core::ReplayMismatch& mm : report.mismatches) {
+    ADD_FAILURE() << "record " << mm.index << " " << mm.field << ": recorded "
+                  << mm.recorded << ", replayed " << mm.replayed;
+  }
+}
+
+TEST_F(TraceReplayTest, RecorderStampsRefusedRequests) {
+  // Admission rejections and dead-on-arrival deadlines are part of the
+  // traffic: the recorder must capture their outcomes too (the trace is a
+  // log of what the service DID, not only of what it solved).
+  core::TraceRecorder recorder;
+  core::ServiceOptions options;
+  options.num_threads = 1;
+  options.trace = &recorder;
+  core::SchedulerService service(options);
+  core::ScheduleRequest late;
+  late.instance = make_test_instance(0x1A7E, 12, 4);
+  late.deadline_seconds = -1.0;  // expired before admission
+  late.client_tag = "late";
+  service.submit(std::move(late)).wait();
+  service.drain();
+  const core::Trace trace = recorder.snapshot();
+  ASSERT_EQ(trace.records.size(), 1u);
+  EXPECT_EQ(trace.records[0].client_tag, "late");
+  EXPECT_TRUE(trace.records[0].has_deadline);
+  EXPECT_EQ(trace.records[0].deadline_seconds, -1.0);
+  EXPECT_EQ(trace.records[0].outcome.status,
+            core::StatusCode::kDeadlineExceeded);
+  EXPECT_NE(trace.records[0].outcome.sequence, 0u);
+}
+
+}  // namespace
