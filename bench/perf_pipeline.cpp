@@ -57,10 +57,34 @@
 // exits nonzero. The run also regenerates the trace of the replay itself
 // (stream_mix_replay.trace) and renders the recorded timeline to SVG — the
 // CI artifacts.
+//
+// --saturation mode (runs with --stream, appending to the same JSON): the
+// capacity sweep. The golden trace is replayed at increasing arrival-speed
+// multipliers (replay_trace's speed knob: 1 = recorded pace, N = N times
+// faster) for each worker count; a sweep stops at its saturation point —
+// the first speed whose pending high-water mark reaches half the workload.
+// Outcomes stay gated at every speed: pacing may change queueing, never
+// results.
+//
+// --shards K mode (standalone): the sharded service against the committed
+// single-process baseline. The parent binds K loopback listeners, forks K
+// ShardServer child processes (fork before threads), and drives the same
+// 16-instance mix through a ShardRouter. Gates: every lower bound BITWISE
+// equal to the baseline and the pivot total — summed over result frames
+// AND over the shards' own pong counters — equal to the committed
+// BENCH_stream value; then one shard is SIGKILLed mid-solve and every
+// in-flight request must be rerouted with zero lost tickets and unchanged
+// bounds. Emits BENCH_shards.json (--out <path>).
+#include <csignal>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -75,7 +99,10 @@
 #include "core/rounding.hpp"
 #include "core/scheduler.hpp"
 #include "core/scheduler_service.hpp"
+#include "core/shard_router.hpp"
+#include "core/shard_server.hpp"
 #include "core/trace.hpp"
+#include "net/socket.hpp"
 #include "graph/generators.hpp"
 #include "model/instance.hpp"
 #include "model/speedup.hpp"
@@ -811,8 +838,91 @@ int run_replay_bench(const std::string& out_path, const std::string& trace_path)
   return healthy ? 0 : 2;
 }
 
+// --- saturation sweep --------------------------------------------------------
+
+/// Writes the "saturation" JSON section: the golden trace replayed through
+/// core::replay_trace at increasing arrival-speed multipliers, one sweep
+/// per worker count. A sweep's saturation point is the FIRST speed whose
+/// pending high-water mark reaches half the workload — arrivals outpacing
+/// service badly enough that half the trace is queued at once; the sweep
+/// stops there, faster arrivals only deepen the same queue. Outcome
+/// determinism is still gated at EVERY speed: pacing may change queueing
+/// and wall time, never results — any status/bound/pivot diff fails the
+/// bench.
+bool run_saturation_section(std::FILE* f, const std::string& trace_path) {
+  core::Trace trace;
+  const core::Status status = core::load_trace_file(trace_path, trace);
+  if (!status.ok()) {
+    std::fprintf(stderr, "SATURATION GATE: cannot load %s: %s\n",
+                 trace_path.c_str(), status.to_string().c_str());
+    return false;
+  }
+  const std::size_t saturated_depth = trace.records.size() / 2;
+  // The ladder starts far BELOW the recorded pace: the trace was recorded
+  // with ~2 ms submission gaps against a ~120 ms/solve single worker, so
+  // 1x already swamps one worker — the knee lives in the slowed-down
+  // regime, and the interesting measurement is how much slower than
+  // recorded the arrivals must be for each worker count to keep up.
+  constexpr double kSpeeds[] = {0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0};
+  constexpr std::size_t kNumSpeeds = sizeof(kSpeeds) / sizeof(kSpeeds[0]);
+  std::vector<std::size_t> worker_counts = {1};
+  const std::size_t cores =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (cores > 1) worker_counts.push_back(cores);
+
+  std::fprintf(f,
+               "  \"saturation\": {\"trace\": \"%s\", \"records\": %zu, "
+               "\"saturated_depth\": %zu, \"sweeps\": [\n",
+               trace_path.c_str(), trace.records.size(), saturated_depth);
+  bool healthy = true;
+  for (std::size_t w = 0; w < worker_counts.size(); ++w) {
+    const std::size_t workers = worker_counts[w];
+    std::fprintf(f, "    {\"workers\": %zu, \"rows\": [\n", workers);
+    double saturation_speed = 0.0;  // 0 = never saturated within the sweep
+    for (std::size_t s = 0; s < kNumSpeeds; ++s) {
+      core::ReplayOptions options;
+      options.speed = kSpeeds[s];
+      options.service.num_threads = workers == 1 ? 1 : 0;  // 0 = all cores
+      const core::ReplayReport report = core::replay_trace(trace, options);
+      if (!report.ok()) {
+        healthy = false;
+        for (std::size_t i = 0; i < report.mismatches.size() && i < 4; ++i) {
+          const core::ReplayMismatch& mm = report.mismatches[i];
+          std::fprintf(stderr,
+                       "SATURATION GATE [%zu workers, %.2fx]: record %zu "
+                       "field %s: recorded %s, replayed %s\n",
+                       workers, kSpeeds[s], mm.index, mm.field.c_str(),
+                       mm.recorded.c_str(), mm.replayed.c_str());
+        }
+      }
+      const bool saturated = report.stats.max_pending_seen >= saturated_depth;
+      if (saturated) saturation_speed = kSpeeds[s];
+      const bool last_row = saturated || s + 1 == kNumSpeeds;
+      std::fprintf(f,
+                   "      {\"speed\": %.2f, \"wall_seconds\": %.6f, "
+                   "\"max_pending_seen\": %zu, \"matched\": %zu, "
+                   "\"requests\": %zu}%s\n",
+                   kSpeeds[s], report.wall_seconds,
+                   report.stats.max_pending_seen, report.matched,
+                   report.requests, last_row ? "" : ",");
+      std::fprintf(stderr,
+                   "[saturation] %zu workers @ %5.2fx: peak queue %zu/%zu "
+                   "(%.3f s)%s\n",
+                   workers, kSpeeds[s], report.stats.max_pending_seen,
+                   trace.records.size(), report.wall_seconds,
+                   saturated ? " -> saturated" : "");
+      if (saturated) break;
+    }
+    std::fprintf(f, "    ], \"saturation_speed\": %.2f}%s\n", saturation_speed,
+                 w + 1 == worker_counts.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]},\n");
+  return healthy;
+}
+
 int run_stream_bench(const std::string& out_path, bool overload, bool faults,
-                     bool replay, const std::string& trace_path) {
+                     bool replay, bool saturation,
+                     const std::string& trace_path) {
   const std::vector<Shape> shapes = make_batch_shapes();
   std::vector<model::Instance> instances;
   std::vector<const char*> instance_shape;
@@ -995,6 +1105,10 @@ int run_stream_bench(const std::string& out_path, bool overload, bool faults,
     std::fclose(f);
     return 2;
   }
+  if (saturation && !run_saturation_section(f, trace_path)) {
+    std::fclose(f);
+    return 2;
+  }
   std::fprintf(f, "  \"batch_over_stream_wall_ratio\": %.3f,\n", ratio);
   std::fprintf(f, "  \"max_bound_rel_diff\": %.3e,\n", max_rel_diff);
   std::fprintf(f, "  \"instances\": [\n");
@@ -1024,6 +1138,396 @@ int run_stream_bench(const std::string& out_path, bool overload, bool faults,
                100.0 * stream_agg.hit_rate, service_stats.steals,
                service_stats.cache_entries, out_path.c_str());
   return 0;
+}
+
+// --- sharded multi-process bench ---------------------------------------------
+
+/// --shards K (see the file header). Fork discipline: every listener is
+/// bound in the parent BEFORE any fork (no port handshake, no connect
+/// race), every in-process SchedulerService is scoped so its worker pool
+/// is joined before the first fork (fork-with-threads is where the bugs
+/// live), and children enter ShardServer::serve() immediately and _Exit
+/// without running parent-inherited destructors.
+int run_shards_bench(const std::string& out_path, int shard_count) {
+  if (shard_count < 2) shard_count = 2;
+
+  const std::vector<Shape> shapes = make_batch_shapes();
+  std::vector<model::Instance> instances;
+  for (int v = 0; v < kShapeVariants; ++v) {
+    for (std::size_t s = 0; s < shapes.size(); ++s) {
+      instances.push_back(make_variant(shapes[s], s, v));
+    }
+  }
+
+  // Phase 1 — single-process baseline, the committed BENCH_stream
+  // configuration (1 worker, default options, submission order = mix
+  // order). Scoped: the pool must be gone before fork.
+  bool healthy = true;
+  std::vector<core::SchedulerResult> baseline;
+  long baseline_pivots = 0;
+  double baseline_seconds = 0.0;
+  {
+    std::fprintf(stderr, "[shards] baseline: %zu instances, 1 in-process worker...\n",
+                 instances.size());
+    core::ServiceOptions options;
+    options.num_threads = 1;
+    core::SchedulerService service(options);
+    support::Stopwatch wall;
+    std::vector<core::SchedulerService::Ticket> tickets;
+    for (const model::Instance& instance : instances) {
+      tickets.push_back(service.submit(instance));
+    }
+    service.drain();
+    baseline_seconds = wall.seconds();
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      auto item = service.try_get(tickets[i]);
+      if (!item.has_value() || !item->status.ok()) {
+        std::fprintf(stderr, "[shards] baseline instance %zu failed\n", i);
+        return 2;
+      }
+      baseline_pivots += item->result.fractional.lp_iterations;
+      baseline.push_back(std::move(item->result));
+    }
+  }
+  if (baseline_pivots != kCommittedStreamPivots) {
+    std::fprintf(stderr,
+                 "SHARDS GATE: baseline took %ld pivots, committed value is "
+                 "%ld\n",
+                 baseline_pivots, kCommittedStreamPivots);
+    healthy = false;
+  }
+
+  // Kill-wave reference: one cold solve of the wave instance. Bounds are
+  // warm/cold invariant bitwise, so every rerouted copy must reproduce
+  // this exact double. Also scoped-before-fork.
+  const model::Instance wave_instance = make_deep_workload(400, 0xD1CE5);
+  constexpr int kWaveCopies = 6;
+  double wave_reference_bound = 0.0;
+  {
+    core::ServiceOptions options;
+    options.num_threads = 1;
+    core::SchedulerService reference(options);
+    const core::ServiceResult item =
+        reference.wait(reference.submit(wave_instance));
+    if (!item.status.ok()) {
+      std::fprintf(stderr, "[shards] wave reference solve failed\n");
+      return 2;
+    }
+    wave_reference_bound = item.result.fractional.lower_bound;
+  }
+
+  // Bind every shard's listener, then fork. A stale warm-cache snapshot
+  // from an earlier run would let a shard start hot and break the pivot
+  // gate, so the snapshot paths are scrubbed first.
+  std::vector<net::Listener> listeners;
+  std::vector<core::ShardEndpoint> endpoints;
+  std::vector<std::string> cache_paths;
+  for (int i = 0; i < shard_count; ++i) {
+    core::Status status;
+    net::Listener listener = net::Listener::bind_loopback(0, &status);
+    if (!status.ok()) {
+      std::fprintf(stderr, "[shards] bind: %s\n", status.to_string().c_str());
+      return 1;
+    }
+    endpoints.push_back({static_cast<std::uint64_t>(i + 1), listener.port()});
+    listeners.push_back(std::move(listener));
+    cache_paths.push_back("bench_shard_" + std::to_string(i + 1) + ".cache");
+    std::remove(cache_paths.back().c_str());
+  }
+
+  std::fflush(nullptr);  // children must not re-flush parent stdio buffers
+  std::vector<pid_t> children;
+  for (int i = 0; i < shard_count; ++i) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("fork");
+      for (pid_t child : children) ::kill(child, SIGKILL);
+      return 1;
+    }
+    if (pid == 0) {
+      // Child: keep only this shard's listener, serve until the shutdown
+      // frame (or until killed), then exit without parent-side cleanup.
+      for (int j = 0; j < shard_count; ++j) {
+        if (j != i) listeners[static_cast<std::size_t>(j)].close();
+      }
+      core::ShardServerOptions options;
+      options.service.num_threads = 1;
+      options.cache_path = cache_paths[static_cast<std::size_t>(i)];
+      core::ShardServer server(
+          std::move(listeners[static_cast<std::size_t>(i)]),
+          std::move(options));
+      server.serve();
+      std::_Exit(0);
+    }
+    children.push_back(pid);
+  }
+  for (net::Listener& listener : listeners) listener.close();
+
+  int exit_code = 0;
+  std::size_t wave_ok = 0;
+  std::size_t wave_bound_mismatches = 0;
+  long sharded_pivots = 0;
+  long pong_pivots = 0;
+  std::uint64_t routed_total = 0;
+  std::size_t mix_bound_mismatches = 0;
+  double sharded_seconds = 0.0;
+  core::RouterStats mix_stats;
+  core::RouterStats wave_stats;
+  {
+    // 32 vnodes splits the mix's 4 structure groups 2/2 across 2 shards;
+    // the default 64 happens to map all four onto one shard, which passes
+    // every gate but makes the per-shard rows vacuous.
+    core::RouterOptions router_options;
+    router_options.ring_vnodes = 32;
+    core::ShardRouter router(endpoints, router_options);
+    if (router.live_shards() != static_cast<std::size_t>(shard_count)) {
+      std::fprintf(stderr, "SHARDS GATE: only %zu/%d shards reachable\n",
+                   router.live_shards(), shard_count);
+      for (pid_t child : children) ::kill(child, SIGKILL);
+      for (pid_t child : children) ::waitpid(child, nullptr, 0);
+      return 1;
+    }
+
+    // Phase 2 — the mix through the router. Fingerprint routing keeps each
+    // structure group's solve sequence intact on one shard, so both bounds
+    // and the pivot total must reproduce the baseline exactly.
+    std::fprintf(stderr, "[shards] sharded: %zu instances across %d shard "
+                 "processes...\n",
+                 instances.size(), shard_count);
+    support::Stopwatch wall;
+    std::vector<core::ShardRouter::Ticket> tickets;
+    for (const model::Instance& instance : instances) {
+      core::ScheduleRequest request;
+      request.instance = instance;
+      tickets.push_back(router.submit(std::move(request)));
+    }
+    router.drain();
+    sharded_seconds = wall.seconds();
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      auto item = router.try_get(tickets[i]);
+      if (!item.has_value() || !item->status.ok()) {
+        std::fprintf(stderr, "SHARDS GATE: sharded instance %zu failed: %s\n",
+                     i,
+                     item.has_value() ? item->status.to_string().c_str()
+                                      : "missing");
+        healthy = false;
+        continue;
+      }
+      sharded_pivots += item->lp_pivots;
+      const double a = baseline[i].fractional.lower_bound;
+      const double b = item->result.fractional.lower_bound;
+      if (a != b) {
+        ++mix_bound_mismatches;
+        std::fprintf(stderr,
+                     "SHARDS GATE: instance %zu sharded bound %.17g != "
+                     "baseline %.17g\n",
+                     i, b, a);
+        healthy = false;
+      }
+    }
+    if (sharded_pivots != kCommittedStreamPivots) {
+      std::fprintf(stderr,
+                   "SHARDS GATE: sharded mix took %ld pivots, committed "
+                   "value is %ld\n",
+                   sharded_pivots, kCommittedStreamPivots);
+      healthy = false;
+    }
+
+    // Let a ping round land so the per-shard rows carry post-mix counters,
+    // then cross-check the shards' own pivot totals against the results.
+    std::this_thread::sleep_for(std::chrono::milliseconds(700));
+    mix_stats = router.stats();
+    for (const core::ShardHealthRow& row : mix_stats.shards) {
+      pong_pivots += row.lp_pivots_total;
+      routed_total += row.routed;
+    }
+    if (pong_pivots != kCommittedStreamPivots) {
+      std::fprintf(stderr,
+                   "SHARDS GATE: shard pong counters sum to %ld pivots, "
+                   "committed value is %ld\n",
+                   pong_pivots, kCommittedStreamPivots);
+      healthy = false;
+    }
+    if (routed_total != instances.size()) {
+      std::fprintf(stderr, "SHARDS GATE: routed %llu of %zu requests\n",
+                   static_cast<unsigned long long>(routed_total),
+                   instances.size());
+      healthy = false;
+    }
+
+    // Phase 3 — kill one shard mid-solve. The wave is one structure group,
+    // so its owner is visible as the one shard whose routed count moves.
+    std::vector<core::ShardRouter::Ticket> wave_tickets;
+    for (int i = 0; i < kWaveCopies; ++i) {
+      core::ScheduleRequest request;
+      request.instance = wave_instance;
+      wave_tickets.push_back(router.submit(std::move(request)));
+    }
+    std::uint64_t victim_id = 0;
+    for (const core::ShardHealthRow& row : router.stats().shards) {
+      for (const core::ShardHealthRow& before : mix_stats.shards) {
+        if (before.id == row.id && row.routed > before.routed) victim_id = row.id;
+      }
+    }
+    if (victim_id == 0) {
+      std::fprintf(stderr, "SHARDS GATE: could not locate the wave's owner\n");
+      healthy = false;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(120));
+      const pid_t victim_pid =
+          children[static_cast<std::size_t>(victim_id - 1)];
+      std::fprintf(stderr,
+                   "[shards] SIGKILL shard %llu (pid %ld) with the wave in "
+                   "flight...\n",
+                   static_cast<unsigned long long>(victim_id),
+                   static_cast<long>(victim_pid));
+      ::kill(victim_pid, SIGKILL);
+      ::waitpid(victim_pid, nullptr, 0);
+    }
+    router.drain();
+    for (std::size_t i = 0; i < wave_tickets.size(); ++i) {
+      auto item = router.try_get(wave_tickets[i]);
+      if (!item.has_value() || !item->status.ok()) {
+        std::fprintf(stderr, "SHARDS GATE: wave ticket %zu lost or failed\n",
+                     i);
+        healthy = false;
+        continue;
+      }
+      ++wave_ok;
+      if (item->result.fractional.lower_bound != wave_reference_bound) {
+        ++wave_bound_mismatches;
+        std::fprintf(stderr,
+                     "SHARDS GATE: wave %zu rerouted bound %.17g != "
+                     "reference %.17g\n",
+                     i, item->result.fractional.lower_bound,
+                     wave_reference_bound);
+        healthy = false;
+      }
+    }
+    wave_stats = router.stats();
+    if (wave_stats.ejected != 1) {
+      std::fprintf(stderr, "SHARDS GATE: expected 1 ejected shard, saw %llu\n",
+                   static_cast<unsigned long long>(wave_stats.ejected));
+      healthy = false;
+    }
+    if (wave_stats.rerouted == 0) {
+      std::fprintf(stderr,
+                   "SHARDS GATE: the kill rerouted nothing (wave finished "
+                   "before the SIGKILL?)\n");
+      healthy = false;
+    }
+    if (wave_stats.pending != 0) {
+      std::fprintf(stderr, "SHARDS GATE: %zu tickets still pending after "
+                   "drain\n",
+                   wave_stats.pending);
+      healthy = false;
+    }
+    std::fprintf(stderr,
+                 "[shards] kill wave: %zu/%d ok, %llu rerouted, %llu "
+                 "ejected, %zu pending\n",
+                 wave_ok, kWaveCopies,
+                 static_cast<unsigned long long>(wave_stats.rerouted),
+                 static_cast<unsigned long long>(wave_stats.ejected),
+                 wave_stats.pending);
+
+    // Orderly shutdown: drain + warm-cache snapshot on every survivor.
+    router.shutdown_shards(/*save_cache=*/true);
+  }
+
+  std::size_t orderly_exits = 0;
+  std::size_t snapshots_written = 0;
+  for (int i = 0; i < shard_count; ++i) {
+    const std::uint64_t id = static_cast<std::uint64_t>(i + 1);
+    bool killed = false;
+    for (const core::ShardHealthRow& row : wave_stats.shards) {
+      if (row.id == id && !row.alive) killed = true;
+    }
+    if (!killed) {
+      int child_status = 0;
+      ::waitpid(children[static_cast<std::size_t>(i)], &child_status, 0);
+      if (WIFEXITED(child_status) && WEXITSTATUS(child_status) == 0) {
+        ++orderly_exits;
+      } else {
+        std::fprintf(stderr, "SHARDS GATE: shard %llu exited abnormally\n",
+                     static_cast<unsigned long long>(id));
+        healthy = false;
+      }
+    }
+    std::ifstream snapshot(cache_paths[static_cast<std::size_t>(i)],
+                           std::ios::binary | std::ios::ate);
+    const bool has_snapshot = snapshot && snapshot.tellg() > 0;
+    if (killed == has_snapshot) {
+      // A survivor must leave a non-empty snapshot; the SIGKILLed shard
+      // never reached its save path, so its file must be absent.
+      std::fprintf(stderr,
+                   "SHARDS GATE: shard %llu snapshot %s (killed=%d)\n",
+                   static_cast<unsigned long long>(id),
+                   has_snapshot ? "present" : "missing", killed ? 1 : 0);
+      healthy = false;
+    }
+    if (has_snapshot) ++snapshots_written;
+    std::remove(cache_paths[static_cast<std::size_t>(i)].c_str());
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"perf_pipeline_shards\",\n");
+  std::fprintf(f, "  \"shards\": %d,\n", shard_count);
+  std::fprintf(f,
+               "  \"workload\": \"4 workflow shapes x %d revisions through a "
+               "ShardRouter over %d single-worker shard processes; then a "
+               "%d-copy deep wave with its owner shard SIGKILLed\",\n",
+               kShapeVariants, shard_count, kWaveCopies);
+  std::fprintf(f,
+               "  \"baseline\": {\"config\": \"1 in-process worker\", "
+               "\"wall_seconds\": %.6f, \"pivots\": %ld, "
+               "\"committed_pivots\": %ld},\n",
+               baseline_seconds, baseline_pivots, kCommittedStreamPivots);
+  std::fprintf(f,
+               "  \"sharded\": {\"wall_seconds\": %.6f, \"pivots_total\": "
+               "%ld, \"pong_pivots_total\": %ld, \"bound_mismatches\": %zu, "
+               "\"routed_total\": %llu, \"rows\": [\n",
+               sharded_seconds, sharded_pivots, pong_pivots,
+               mix_bound_mismatches,
+               static_cast<unsigned long long>(routed_total));
+  for (std::size_t i = 0; i < mix_stats.shards.size(); ++i) {
+    const core::ShardHealthRow& row = mix_stats.shards[i];
+    std::fprintf(f,
+                 "    {\"id\": %llu, \"routed\": %llu, \"completed\": %llu, "
+                 "\"cache_entries\": %llu, \"lp_pivots\": %lld}%s\n",
+                 static_cast<unsigned long long>(row.id),
+                 static_cast<unsigned long long>(row.routed),
+                 static_cast<unsigned long long>(row.completed),
+                 static_cast<unsigned long long>(row.cache_entries),
+                 static_cast<long long>(row.lp_pivots_total),
+                 i + 1 == mix_stats.shards.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]},\n");
+  std::fprintf(f,
+               "  \"kill_reroute\": {\"wave\": %d, \"ok\": %zu, "
+               "\"bound_mismatches\": %zu, \"ejected\": %llu, \"rerouted\": "
+               "%llu, \"lost_tickets\": %zu},\n",
+               kWaveCopies, wave_ok, wave_bound_mismatches,
+               static_cast<unsigned long long>(wave_stats.ejected),
+               static_cast<unsigned long long>(wave_stats.rerouted),
+               wave_stats.pending);
+  std::fprintf(f,
+               "  \"shutdown\": {\"orderly_exits\": %zu, "
+               "\"snapshots_written\": %zu},\n",
+               orderly_exits, snapshots_written);
+  std::fprintf(f, "  \"healthy\": %s\n}\n", healthy ? "true" : "false");
+  std::fclose(f);
+  std::fprintf(stderr,
+               "[shards] baseline %.3fs vs %d shards %.3fs; pivots %ld = "
+               "%ld committed, %s\nwrote %s\n",
+               baseline_seconds, shard_count, sharded_seconds, sharded_pivots,
+               kCommittedStreamPivots,
+               healthy ? "all gates green" : "GATES FAILED", out_path.c_str());
+  if (!healthy) exit_code = 2;
+  return exit_code;
 }
 
 }  // namespace
@@ -1116,6 +1620,8 @@ int main(int argc, char** argv) {
   bool overload = false;
   bool faults = false;
   bool replay = false;
+  bool saturation = false;
+  int shard_count = 0;
   std::string out_path;
   std::string trace_path = kDefaultTracePath;
   std::string record_path;
@@ -1125,6 +1631,10 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[a], "--overload") == 0) overload = true;
     if (std::strcmp(argv[a], "--faults") == 0) faults = true;
     if (std::strcmp(argv[a], "--replay") == 0) replay = true;
+    if (std::strcmp(argv[a], "--saturation") == 0) saturation = true;
+    if (std::strcmp(argv[a], "--shards") == 0 && a + 1 < argc) {
+      shard_count = std::atoi(argv[++a]);
+    }
     if (std::strcmp(argv[a], "--trace") == 0 && a + 1 < argc) trace_path = argv[++a];
     if (std::strcmp(argv[a], "--record-trace") == 0 && a + 1 < argc) {
       record_path = argv[++a];
@@ -1132,10 +1642,14 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) out_path = argv[++a];
   }
   if (!record_path.empty()) return run_record_trace(record_path);
+  if (shard_count > 0) {
+    return run_shards_bench(out_path.empty() ? "BENCH_shards.json" : out_path,
+                            shard_count);
+  }
   if (batch) return run_batch_bench(out_path.empty() ? "BENCH_batch.json" : out_path);
-  if (stream || overload || faults) {
+  if (stream || overload || faults || saturation) {
     return run_stream_bench(out_path.empty() ? "BENCH_stream.json" : out_path,
-                            overload, faults, replay, trace_path);
+                            overload, faults, replay, saturation, trace_path);
   }
   if (replay) {
     return run_replay_bench(out_path.empty() ? "BENCH_replay.json" : out_path,
@@ -1150,9 +1664,9 @@ int main(int argc, char** argv) {
   (void)make_bench_instance;
   std::fprintf(stderr,
                "google-benchmark is not available in this build; only "
-               "--batch / --stream [--overload] [--faults] [--replay] / "
-               "--replay [--trace <path>] / --record-trace <path> "
-               "[--out <path>] are supported\n");
+               "--batch / --stream [--overload] [--faults] [--replay] "
+               "[--saturation] / --replay [--trace <path>] / --shards <K> / "
+               "--record-trace <path> [--out <path>] are supported\n");
   return 1;
 #endif
 }

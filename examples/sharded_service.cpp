@@ -1,0 +1,173 @@
+// Scale-out scheduling: the sharded SchedulerService end to end.
+//
+// Where examples/streaming_service.cpp drives one in-process service, this
+// example runs the PR-8 deployment shape in miniature: two ShardServers —
+// each a private SchedulerService behind a length-prefixed socket protocol
+// — and a ShardRouter in front doing admission and LP-structure
+// fingerprint routing over a consistent-hash ring. Three things to watch:
+//
+//  * Affinity. Revisions of the same workflow shape share a fingerprint,
+//    so they all land on one shard and keep warm-starting each other
+//    there, exactly as they would in a single process.
+//  * Failure. One shard is hard-killed (terminate() — what SIGKILL on a
+//    shard process looks like to the router) with requests in flight. The
+//    router ejects it from the ring and re-sends every orphaned request to
+//    the survivor: zero tickets lost, every result still ok.
+//  * Warm restart. The survivor is shut down orderly, which snapshots its
+//    warm-start cache to disk; a brand-new shard restores the snapshot,
+//    rejoins via add_shard, and its first solve of a known structure
+//    warm-starts instead of paying the cold price again.
+//
+// Everything here is loopback TCP in one process (ShardServer::start runs
+// the serve loop on a background thread); bench_perf_pipeline --shards K
+// runs the same stack with real forked shard processes.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/shard_router.hpp"
+#include "core/shard_server.hpp"
+#include "graph/generators.hpp"
+#include "model/instance.hpp"
+#include "model/speedup.hpp"
+#include "net/socket.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace malsched;
+
+constexpr int kProcessors = 8;
+
+/// A fresh task-time revision of one of the two recurring workflow shapes.
+/// The DAG (and with it the routing fingerprint) is fixed per shape; only
+/// the processing-time table changes run to run.
+model::Instance make_revision(const graph::Dag& dag, int revision) {
+  support::Rng rng(5000 + revision);
+  return model::make_instance(dag, kProcessors, [&](int, int procs) {
+    return model::make_random_power_law_task(rng, 0.5, 0.8, procs);
+  });
+}
+
+struct LocalShard {
+  std::unique_ptr<core::ShardServer> server;
+  core::ShardEndpoint endpoint;
+};
+
+LocalShard start_shard(std::uint64_t id, const std::string& cache_path) {
+  core::Status status;
+  net::Listener listener = net::Listener::bind_loopback(0, &status);
+  if (!status.ok()) {
+    std::fprintf(stderr, "bind: %s\n", status.to_string().c_str());
+    std::exit(1);
+  }
+  core::ShardServerOptions options;
+  options.service.num_threads = 1;
+  options.cache_path = cache_path;
+  LocalShard shard;
+  shard.endpoint = {id, listener.port()};
+  shard.server = std::make_unique<core::ShardServer>(std::move(listener),
+                                                     std::move(options));
+  shard.server->start();
+  return shard;
+}
+
+void print_shard_rows(const core::ShardRouter& router) {
+  // completed/cache_entries arrive on heartbeat pongs (4 Hz by default);
+  // give one round time to land so the rows reflect the drained state.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  for (const core::ShardHealthRow& row : router.stats().shards) {
+    std::printf("  shard %llu: %s, routed %llu, completed %llu, "
+                "%llu cache entries\n",
+                static_cast<unsigned long long>(row.id),
+                row.alive ? "alive" : "ejected",
+                static_cast<unsigned long long>(row.routed),
+                static_cast<unsigned long long>(row.completed),
+                static_cast<unsigned long long>(row.cache_entries));
+  }
+}
+
+}  // namespace
+
+int main() {
+  const std::string snapshot_path = "sharded_service_example.cache";
+  std::remove(snapshot_path.c_str());
+
+  support::Rng dag_rng(42);
+  const graph::Dag cholesky = graph::make_tiled_cholesky(5);
+  const graph::Dag simulation = graph::make_layered(25, 2, 2, dag_rng);
+
+  LocalShard first = start_shard(1, "");
+  LocalShard second = start_shard(2, snapshot_path);
+  core::ShardRouter router({first.endpoint, second.endpoint});
+
+  // Four revisions of each shape: fingerprint routing pins every shape to
+  // one shard, so each shard's private cache sees a coherent warm chain.
+  std::printf("phase 1: 8 revisions of 2 workflow shapes across 2 shards\n");
+  std::vector<core::ShardRouter::Ticket> tickets;
+  for (int revision = 0; revision < 4; ++revision) {
+    tickets.push_back(router.submit({make_revision(cholesky, revision)}));
+    tickets.push_back(router.submit({make_revision(simulation, revision)}));
+  }
+  router.drain();
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const core::ServiceResult result = router.wait(tickets[i]);
+    std::printf("  %-10s rev %zu: %-4s makespan %7.2f  C* %7.2f  (%ld pivots)\n",
+                i % 2 == 0 ? "cholesky" : "simulation", i / 2,
+                result.status.ok() ? "ok" : core::to_string(result.status.code()),
+                result.result.makespan, result.result.fractional.lower_bound,
+                result.lp_pivots);
+  }
+  print_shard_rows(router);
+
+  // Hard-kill shard 1 with fresh cholesky work in flight. The router sees
+  // the socket die, drops the shard from the ring and re-sends the
+  // orphaned requests to shard 2 — no ticket is lost.
+  std::printf("\nphase 2: kill shard 1 with requests in flight\n");
+  std::vector<core::ShardRouter::Ticket> wave;
+  for (int revision = 4; revision < 7; ++revision) {
+    wave.push_back(router.submit({make_revision(cholesky, revision)}));
+    wave.push_back(router.submit({make_revision(simulation, revision)}));
+  }
+  first.server->terminate();
+  router.drain();
+  std::size_t recovered = 0;
+  for (const core::ShardRouter::Ticket ticket : wave) {
+    if (router.wait(ticket).status.ok()) ++recovered;
+  }
+  const core::RouterStats after_kill = router.stats();
+  std::printf("  %zu/%zu recovered ok (%llu rerouted, %llu shard ejected, "
+              "%zu pending)\n",
+              recovered, wave.size(),
+              static_cast<unsigned long long>(after_kill.rerouted),
+              static_cast<unsigned long long>(after_kill.ejected),
+              after_kill.pending);
+  print_shard_rows(router);
+
+  // Orderly shutdown snapshots shard 2's warm-start cache; a brand-new
+  // shard restores it and rejoins hot: its first solve of a structure it
+  // has never seen in THIS process warm-starts from the snapshot.
+  std::printf("\nphase 3: snapshot, restart, warm rejoin\n");
+  router.shutdown_shards(/*save_cache=*/true);
+  second.server->stop();
+  second.server.reset();
+
+  LocalShard reborn = start_shard(3, snapshot_path);
+  router.add_shard(reborn.endpoint);
+  const core::ServiceResult warm =
+      router.wait(router.submit({make_revision(cholesky, 7)}));
+  const core::ServiceStats reborn_stats = reborn.server->service_stats();
+  std::printf("  reborn shard: %zu cache entries restored before any "
+              "traffic, first solve %s with %ld cache hits (%ld pivots)\n",
+              reborn_stats.cache_entries,
+              warm.status.ok() ? "ok" : core::to_string(warm.status.code()),
+              reborn_stats.cache.hits, warm.lp_pivots);
+
+  router.shutdown_shards(/*save_cache=*/false);
+  reborn.server->stop();
+  std::remove(snapshot_path.c_str());
+  return 0;
+}

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <istream>
+#include <ostream>
 
 #include "core/fault_injector.hpp"
+#include "model/serialization.hpp"
 #include "core/status.hpp"
 #include "graph/algorithms.hpp"
 #include "model/work_function.hpp"
@@ -219,6 +222,103 @@ void WarmStartCache::clear() {
 std::size_t WarmStartCache::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return entries_.size();
+}
+
+namespace {
+
+constexpr char kCacheMagic[] = "malsched-cache";
+constexpr std::size_t kCacheMagicLen = sizeof(kCacheMagic) - 1;
+constexpr std::uint8_t kCacheVersion = 1;
+
+}  // namespace
+
+Status WarmStartCache::save(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string header;
+  header.append(kCacheMagic, kCacheMagicLen);
+  model::wire::append_u8(header, kCacheVersion);
+  model::wire::append_u32(header, static_cast<std::uint32_t>(entries_.size()));
+  model::write_frame(os, header);
+  for (const std::uint64_t key : lru_) {  // front first = most recent first
+    const lp::SimplexBasis& basis = entries_.at(key).basis;
+    std::string payload;
+    model::wire::append_u64(payload, key);
+    model::wire::append_u32(payload,
+                            static_cast<std::uint32_t>(basis.status.size()));
+    payload.append(reinterpret_cast<const char*>(basis.status.data()),
+                   basis.status.size());
+    model::write_frame(os, payload);
+  }
+  if (!os) {
+    return Status::error(StatusCode::kInternalError,
+                         "write error while saving the warm cache");
+  }
+  return Status();
+}
+
+Status WarmStartCache::load(std::istream& is) {
+  std::string payload;
+  Status status = model::read_frame(is, payload);
+  if (!status.ok()) return status;
+  if (payload.size() != kCacheMagicLen + 5 ||
+      payload.compare(0, kCacheMagicLen, kCacheMagic) != 0) {
+    return Status::error(StatusCode::kCorruptFrame,
+                         "not a malsched warm-cache snapshot (bad header)");
+  }
+  std::size_t at = kCacheMagicLen;
+  std::uint8_t version = 0;
+  std::uint32_t count = 0;
+  model::wire::read_u8(payload, at, version);
+  model::wire::read_u32(payload, at, count);
+  if (version != kCacheVersion) {
+    return Status::error(
+        StatusCode::kCorruptFrame,
+        "unsupported warm-cache snapshot version " + std::to_string(version) +
+            " (this reader speaks v" + std::to_string(kCacheVersion) + ")");
+  }
+  std::list<std::uint64_t> lru;
+  std::unordered_map<std::uint64_t, Entry> entries;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    status = model::read_frame(is, payload);
+    if (!status.ok()) {
+      return Status::error(status.code(), "cache entry " + std::to_string(i) +
+                                              ": " + status.message());
+    }
+    std::size_t offset = 0;
+    std::uint64_t key = 0;
+    std::uint32_t size = 0;
+    if (!model::wire::read_u64(payload, offset, key) ||
+        !model::wire::read_u32(payload, offset, size) ||
+        payload.size() - offset != size) {
+      return Status::error(StatusCode::kMalformedRecord,
+                           "cache entry " + std::to_string(i) +
+                               ": basis bytes do not match the declared size");
+    }
+    if (size == 0 || entries.count(key) != 0) {
+      return Status::error(StatusCode::kMalformedRecord,
+                           "cache entry " + std::to_string(i) +
+                               (size == 0 ? ": empty basis"
+                                          : ": duplicate fingerprint"));
+    }
+    lp::SimplexBasis basis;
+    basis.status.assign(
+        reinterpret_cast<const unsigned char*>(payload.data()) + offset,
+        reinterpret_cast<const unsigned char*>(payload.data()) +
+            payload.size());
+    // Snapshot order is most-recent-first, so appending keeps front = most
+    // recent: the restored LRU is exactly the saved one.
+    lru.push_back(key);
+    entries.emplace(key, Entry{std::move(basis), std::prev(lru.end())});
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_ = std::move(lru);
+  entries_ = std::move(entries);
+  stats_ = {};
+  while (capacity_ > 0 && entries_.size() > capacity_) {
+    entries_.erase(lru_.back());  // the snapshot's coldest tail
+    lru_.pop_back();
+  }
+  return Status();
 }
 
 lp::Model build_allotment_lp(const model::Instance& instance, int piece_stride) {

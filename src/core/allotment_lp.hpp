@@ -28,11 +28,13 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <list>
 #include <mutex>
 #include <unordered_map>
 
 #include "core/allotment.hpp"
+#include "core/status.hpp"
 #include "lp/model.hpp"
 #include "lp/simplex.hpp"
 #include "model/instance.hpp"
@@ -132,6 +134,22 @@ class WarmStartCache {
 
   Stats stats() const;
   void clear();
+
+  /// Writes a snapshot of the full contents — every (fingerprint, basis)
+  /// pair in recency order, most recent first — as length-prefixed
+  /// CRC-checked frames (model/serialization's framing layer; the same
+  /// bytes whether the ostream is a file or a socket). Stats are NOT part
+  /// of a snapshot: they describe one process's lifetime, not the cache
+  /// state. Byte-deterministic: save -> load -> save reproduces the bytes.
+  Status save(std::ostream& os) const;
+
+  /// Replaces the contents with a snapshot written by save(), restoring the
+  /// recency order (so a restarted shard's LRU behaves as if it never
+  /// died). Capacity is unchanged; entries beyond it are dropped from the
+  /// cold tail. Stats reset. Typed failures: framing errors from
+  /// read_frame, kCorruptFrame on a bad header, kMalformedRecord on a
+  /// damaged entry — and the cache is left empty rather than half-loaded.
+  Status load(std::istream& is);
 
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }

@@ -837,4 +837,12 @@ ServiceStats SchedulerService::stats() const {
   return out;
 }
 
+Status SchedulerService::save_warm_cache(std::ostream& os) const {
+  return cache_.save(os);
+}
+
+Status SchedulerService::load_warm_cache(std::istream& is) {
+  return cache_.load(is);
+}
+
 }  // namespace malsched::core

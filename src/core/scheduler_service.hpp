@@ -50,6 +50,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <iosfwd>
 #include <exception>
 #include <map>
 #include <memory>
@@ -288,6 +289,15 @@ class SchedulerService {
 
   ServiceStats stats() const;
   std::size_t num_workers() const { return pool_.size(); }
+
+  /// Snapshots the shared warm-start cache (see WarmStartCache::save). Call
+  /// quiesced — after drain() — so the snapshot is a consistent cut; this is
+  /// what a shard writes on orderly shutdown so its replacement rejoins hot.
+  Status save_warm_cache(std::ostream& os) const;
+  /// Restores a snapshot into the shared cache (WarmStartCache::load). Call
+  /// before submitting work; a freshly restored service then warm-starts
+  /// exactly as the process that wrote the snapshot would have.
+  Status load_warm_cache(std::istream& is);
 
  private:
   struct Job {

@@ -1,0 +1,337 @@
+#include "core/shard_protocol.hpp"
+
+#include "model/serialization.hpp"
+
+namespace malsched::core {
+
+namespace {
+
+using model::wire::append_f64;
+using model::wire::append_i32;
+using model::wire::append_i64;
+using model::wire::append_string;
+using model::wire::append_u32;
+using model::wire::append_u64;
+using model::wire::append_u8;
+using model::wire::read_f64;
+using model::wire::read_i32;
+using model::wire::read_i64;
+using model::wire::read_string;
+using model::wire::read_u32;
+using model::wire::read_u64;
+using model::wire::read_u8;
+
+/// Largest StatusCode value the codec accepts — keep in sync with the enum
+/// in status.hpp (same rule as the trace codec: extend, never reorder).
+constexpr std::uint8_t kMaxStatusByte =
+    static_cast<std::uint8_t>(StatusCode::kMalformedRecord);
+
+Status malformed(const std::string& detail) {
+  return Status::error(StatusCode::kMalformedRecord,
+                       "shard message: " + detail);
+}
+
+/// Checks the tag byte and advances past it.
+Status expect_tag(std::string_view payload, std::size_t& at,
+                  ShardMessage expected, const char* name) {
+  std::uint8_t tag = 0;
+  if (!read_u8(payload, at, tag)) return malformed("empty payload");
+  if (tag != static_cast<std::uint8_t>(expected)) {
+    return malformed(std::string("expected a ") + name + " tag, got " +
+                     std::to_string(tag));
+  }
+  return Status();
+}
+
+Status expect_end(std::string_view payload, std::size_t at) {
+  if (at != payload.size()) {
+    return malformed(std::to_string(payload.size() - at) +
+                     " trailing bytes after the message");
+  }
+  return Status();
+}
+
+bool read_flag(std::string_view in, std::size_t& offset, bool& flag) {
+  std::uint8_t byte = 0;
+  if (!read_u8(in, offset, byte)) return false;
+  if (byte > 1) return false;
+  flag = byte != 0;
+  return true;
+}
+
+}  // namespace
+
+std::uint8_t shard_message_tag(std::string_view payload) {
+  if (payload.empty()) return 0;
+  const std::uint8_t tag = static_cast<std::uint8_t>(payload[0]);
+  if (tag < static_cast<std::uint8_t>(ShardMessage::kSubmit) ||
+      tag > static_cast<std::uint8_t>(ShardMessage::kShutdown)) {
+    return 0;
+  }
+  return tag;
+}
+
+// ---- Submit ---------------------------------------------------------------
+
+std::string encode_shard_request(const ShardRequest& request) {
+  std::string out;
+  append_u8(out, static_cast<std::uint8_t>(ShardMessage::kSubmit));
+  append_u64(out, request.id);
+  append_i32(out, request.priority);
+  append_u8(out, request.has_deadline ? 1 : 0);
+  append_f64(out, request.deadline_seconds);
+  append_string(out, request.client_tag);
+  append_trace_options(out, request.options);
+  model::append_instance_binary(out, request.instance);
+  return out;
+}
+
+Status decode_shard_request(std::string_view payload, ShardRequest& out) {
+  ShardRequest request;
+  std::size_t at = 0;
+  Status status = expect_tag(payload, at, ShardMessage::kSubmit, "submit");
+  if (!status.ok()) return status;
+  if (!read_u64(payload, at, request.id) ||
+      !read_i32(payload, at, request.priority) ||
+      !read_flag(payload, at, request.has_deadline) ||
+      !read_f64(payload, at, request.deadline_seconds) ||
+      !read_string(payload, at, request.client_tag)) {
+    return malformed("truncated submit header");
+  }
+  status = read_trace_options(payload, at, request.options);
+  if (!status.ok()) return status;
+  status = model::read_instance_binary(payload, at, request.instance);
+  if (!status.ok()) return status;
+  status = expect_end(payload, at);
+  if (!status.ok()) return status;
+  out = std::move(request);
+  return Status();
+}
+
+ShardRequest make_shard_request(std::uint64_t id,
+                                const ScheduleRequest& request) {
+  ShardRequest wire;
+  wire.id = id;
+  wire.priority = request.priority;
+  wire.has_deadline = request.deadline_seconds.has_value();
+  wire.deadline_seconds = request.deadline_seconds.value_or(0.0);
+  wire.client_tag = request.client_tag;
+  if (request.options.has_value()) {
+    wire.options = make_trace_options(*request.options);
+  }
+  wire.instance = request.instance;
+  return wire;
+}
+
+ScheduleRequest to_schedule_request(const ShardRequest& wire,
+                                    const SchedulerOptions& defaults) {
+  ScheduleRequest request;
+  request.instance = wire.instance;
+  if (wire.options.present) {
+    request.options = apply_trace_options(wire.options, defaults);
+  }
+  request.priority = wire.priority;
+  if (wire.has_deadline) request.deadline_seconds = wire.deadline_seconds;
+  request.client_tag = wire.client_tag;
+  return request;
+}
+
+// ---- Result ---------------------------------------------------------------
+
+std::string encode_shard_result(const ShardResult& result) {
+  std::string out;
+  append_u8(out, static_cast<std::uint8_t>(ShardMessage::kResult));
+  append_u64(out, result.id);
+  append_u8(out, static_cast<std::uint8_t>(result.status));
+  append_string(out, result.message);
+  append_f64(out, result.lower_bound);
+  append_f64(out, result.makespan);
+  append_f64(out, result.ratio_vs_lower_bound);
+  append_f64(out, result.guaranteed_ratio);
+  append_f64(out, result.rho);
+  append_i32(out, result.mu);
+  append_i64(out, result.lp_pivots);
+  append_i32(out, result.attempts);
+  append_u8(out, result.degraded ? 1 : 0);
+  append_f64(out, result.wall_seconds);
+  append_u64(out, result.group);
+  append_u64(out, result.sequence);
+  append_u32(out, static_cast<std::uint32_t>(result.start.size()));
+  for (double start : result.start) append_f64(out, start);
+  for (int alloted : result.allotment) append_i32(out, alloted);
+  return out;
+}
+
+Status decode_shard_result(std::string_view payload, ShardResult& out) {
+  ShardResult result;
+  std::size_t at = 0;
+  Status status = expect_tag(payload, at, ShardMessage::kResult, "result");
+  if (!status.ok()) return status;
+  std::uint8_t status_byte = 0;
+  std::uint32_t tasks = 0;
+  if (!read_u64(payload, at, result.id) ||
+      !read_u8(payload, at, status_byte) ||
+      !read_string(payload, at, result.message) ||
+      !read_f64(payload, at, result.lower_bound) ||
+      !read_f64(payload, at, result.makespan) ||
+      !read_f64(payload, at, result.ratio_vs_lower_bound) ||
+      !read_f64(payload, at, result.guaranteed_ratio) ||
+      !read_f64(payload, at, result.rho) || !read_i32(payload, at, result.mu) ||
+      !read_i64(payload, at, result.lp_pivots) ||
+      !read_i32(payload, at, result.attempts) ||
+      !read_flag(payload, at, result.degraded) ||
+      !read_f64(payload, at, result.wall_seconds) ||
+      !read_u64(payload, at, result.group) ||
+      !read_u64(payload, at, result.sequence) ||
+      !read_u32(payload, at, tasks)) {
+    return malformed("truncated result header");
+  }
+  if (status_byte > kMaxStatusByte) {
+    return malformed("unknown status code " + std::to_string(status_byte));
+  }
+  result.status = static_cast<StatusCode>(status_byte);
+  // Screen the row count against the remaining bytes before reserving: each
+  // row is 12 bytes (f64 start + i32 allotment), so a hostile count cannot
+  // cause an oversized allocation.
+  if (static_cast<std::uint64_t>(tasks) * 12 >
+      static_cast<std::uint64_t>(payload.size() - at)) {
+    return malformed("schedule row count " + std::to_string(tasks) +
+                     " exceeds the remaining payload");
+  }
+  result.start.resize(tasks);
+  result.allotment.resize(tasks);
+  for (std::uint32_t j = 0; j < tasks; ++j) {
+    if (!read_f64(payload, at, result.start[j])) {
+      return malformed("truncated schedule start rows");
+    }
+  }
+  for (std::uint32_t j = 0; j < tasks; ++j) {
+    if (!read_i32(payload, at, result.allotment[j])) {
+      return malformed("truncated schedule allotment rows");
+    }
+  }
+  status = expect_end(payload, at);
+  if (!status.ok()) return status;
+  out = std::move(result);
+  return Status();
+}
+
+ShardResult make_shard_result(std::uint64_t id, const ServiceResult& result) {
+  ShardResult wire;
+  wire.id = id;
+  wire.status = result.status.code();
+  wire.message = result.status.message();
+  wire.lower_bound = result.result.fractional.lower_bound;
+  wire.makespan = result.result.makespan;
+  wire.ratio_vs_lower_bound = result.result.ratio_vs_lower_bound;
+  wire.guaranteed_ratio = result.result.guaranteed_ratio;
+  wire.rho = result.result.rho;
+  wire.mu = result.result.mu;
+  wire.lp_pivots = result.lp_pivots;
+  wire.attempts = result.attempts;
+  wire.degraded = result.degraded;
+  wire.wall_seconds = result.seconds;
+  wire.group = result.group;
+  wire.sequence = result.sequence;
+  if (result.status.ok()) {
+    wire.start = result.result.schedule.start;
+    wire.allotment = result.result.schedule.allotment;
+  }
+  return wire;
+}
+
+ServiceResult to_service_result(const ShardResult& wire) {
+  ServiceResult result;
+  if (wire.status != StatusCode::kOk) {
+    result.status = Status::error(wire.status, wire.message);
+  }
+  result.result.fractional.lower_bound = wire.lower_bound;
+  result.result.fractional.lp_iterations = wire.lp_pivots;
+  result.result.makespan = wire.makespan;
+  result.result.ratio_vs_lower_bound = wire.ratio_vs_lower_bound;
+  result.result.guaranteed_ratio = wire.guaranteed_ratio;
+  result.result.rho = wire.rho;
+  result.result.mu = wire.mu;
+  result.result.schedule.start = wire.start;
+  result.result.schedule.allotment = wire.allotment;
+  result.lp_pivots = wire.lp_pivots;
+  result.attempts = wire.attempts;
+  result.degraded = wire.degraded;
+  result.seconds = wire.wall_seconds;
+  result.group = wire.group;
+  result.sequence = wire.sequence;
+  return result;
+}
+
+// ---- Heartbeats and shutdown ----------------------------------------------
+
+std::string encode_shard_ping(const ShardPing& ping) {
+  std::string out;
+  append_u8(out, static_cast<std::uint8_t>(ShardMessage::kPing));
+  append_u64(out, ping.nonce);
+  return out;
+}
+
+Status decode_shard_ping(std::string_view payload, ShardPing& out) {
+  ShardPing ping;
+  std::size_t at = 0;
+  Status status = expect_tag(payload, at, ShardMessage::kPing, "ping");
+  if (!status.ok()) return status;
+  if (!read_u64(payload, at, ping.nonce)) return malformed("truncated ping");
+  status = expect_end(payload, at);
+  if (!status.ok()) return status;
+  out = ping;
+  return Status();
+}
+
+std::string encode_shard_pong(const ShardPong& pong) {
+  std::string out;
+  append_u8(out, static_cast<std::uint8_t>(ShardMessage::kPong));
+  append_u64(out, pong.nonce);
+  append_u64(out, pong.pending);
+  append_u64(out, pong.completed);
+  append_u64(out, pong.cache_entries);
+  append_i64(out, pong.lp_pivots_total);
+  return out;
+}
+
+Status decode_shard_pong(std::string_view payload, ShardPong& out) {
+  ShardPong pong;
+  std::size_t at = 0;
+  Status status = expect_tag(payload, at, ShardMessage::kPong, "pong");
+  if (!status.ok()) return status;
+  if (!read_u64(payload, at, pong.nonce) ||
+      !read_u64(payload, at, pong.pending) ||
+      !read_u64(payload, at, pong.completed) ||
+      !read_u64(payload, at, pong.cache_entries) ||
+      !read_i64(payload, at, pong.lp_pivots_total)) {
+    return malformed("truncated pong");
+  }
+  status = expect_end(payload, at);
+  if (!status.ok()) return status;
+  out = pong;
+  return Status();
+}
+
+std::string encode_shard_shutdown(const ShardShutdown& shutdown) {
+  std::string out;
+  append_u8(out, static_cast<std::uint8_t>(ShardMessage::kShutdown));
+  append_u8(out, shutdown.save_cache ? 1 : 0);
+  return out;
+}
+
+Status decode_shard_shutdown(std::string_view payload, ShardShutdown& out) {
+  ShardShutdown shutdown;
+  std::size_t at = 0;
+  Status status = expect_tag(payload, at, ShardMessage::kShutdown, "shutdown");
+  if (!status.ok()) return status;
+  if (!read_flag(payload, at, shutdown.save_cache)) {
+    return malformed("truncated shutdown");
+  }
+  status = expect_end(payload, at);
+  if (!status.ok()) return status;
+  out = shutdown;
+  return Status();
+}
+
+}  // namespace malsched::core

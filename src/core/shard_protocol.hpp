@@ -1,0 +1,147 @@
+// Message codec of the sharded service: what travels inside net/socket
+// frames between a ShardRouter and its ShardServers.
+//
+// Every message is one frame payload whose first byte is a ShardMessage
+// tag. Requests are a projection of ScheduleRequest (the same
+// reproducibility-relevant fields the trace codec records — the options
+// block is literally `append_trace_options`, shared with core/trace so the
+// two cannot drift) plus a router-assigned u64 id that pairs responses with
+// submissions across the async boundary. Responses carry the ServiceResult
+// with Status-as-data: the status code + message travel as fields, never as
+// a dropped connection, so a shard rejecting or failing a request looks
+// exactly like the in-process service returning a non-ok ticket.
+//
+// The response is deliberately a *projection* of SchedulerResult: the
+// schedule itself (per-task start + allotment), the certification numbers
+// (LP lower bound with raw IEEE-754 bits, makespan, measured and guaranteed
+// ratios, rho/mu), and the service telemetry (pivots, attempts, degraded,
+// wall seconds, group fingerprint, completion sequence). The fractional LP
+// vectors and the pre-cap allotment stay shard-local — no router client
+// needs them, and keeping response frames small is what lets the wire run
+// under the tight net::kWireFramePayload cap.
+//
+// Compat rule mirrors the trace format: a shard speaks exactly
+// kShardProtocolVersion (checked in the Hello exchange a future version
+// could add; today router and shards are always built from one tree).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/scheduler_service.hpp"
+#include "core/status.hpp"
+#include "core/trace.hpp"
+#include "model/instance.hpp"
+
+namespace malsched::core {
+
+constexpr std::uint8_t kShardProtocolVersion = 1;
+
+/// First byte of every frame payload on a shard connection.
+enum class ShardMessage : std::uint8_t {
+  kSubmit = 1,    ///< router -> shard: one schedule request
+  kResult = 2,    ///< shard -> router: the finished outcome for an id
+  kPing = 3,      ///< router -> shard: heartbeat probe
+  kPong = 4,      ///< shard -> router: heartbeat reply + health counters
+  kShutdown = 5,  ///< router -> shard: drain, snapshot the cache, exit
+};
+
+/// Peeks the tag of a frame payload without decoding (0 if empty or not a
+/// known tag) — the demux step of the router's and server's read loops.
+std::uint8_t shard_message_tag(std::string_view payload);
+
+/// The wire form of one ScheduleRequest. `options.present == false` means
+/// "run on the shard's own ServiceOptions defaults" — the same convention
+/// as a trace record.
+struct ShardRequest {
+  std::uint64_t id = 0;  ///< router-assigned; echoed on the ShardResult
+  std::int32_t priority = 0;
+  bool has_deadline = false;
+  double deadline_seconds = 0.0;
+  std::string client_tag;
+  TraceRequestOptions options;
+  model::Instance instance;
+};
+
+std::string encode_shard_request(const ShardRequest& request);
+/// kMalformedRecord on a wrong tag, truncation, invalid options/instance,
+/// or trailing bytes (a message must consume its frame exactly).
+Status decode_shard_request(std::string_view payload, ShardRequest& out);
+
+/// Builds the wire request from a service request (projecting options via
+/// make_trace_options); `to_schedule_request` is its inverse on the shard,
+/// where `defaults` is the shard service's base SchedulerOptions.
+ShardRequest make_shard_request(std::uint64_t id,
+                                const ScheduleRequest& request);
+ScheduleRequest to_schedule_request(const ShardRequest& wire,
+                                    const SchedulerOptions& defaults);
+
+/// The wire form of one ServiceResult (see the file header for what is and
+/// is not carried). Bounds/makespans cross the wire as raw IEEE-754 bits,
+/// so the router's bitwise-equality gates see exactly what the shard
+/// computed.
+struct ShardResult {
+  std::uint64_t id = 0;
+  StatusCode status = StatusCode::kOk;
+  std::string message;          ///< Status detail (empty when ok)
+  double lower_bound = 0.0;     ///< C* — the LP certificate
+  double makespan = 0.0;
+  double ratio_vs_lower_bound = 0.0;
+  double guaranteed_ratio = 0.0;
+  double rho = 0.0;
+  std::int32_t mu = 1;
+  std::int64_t lp_pivots = 0;
+  std::int32_t attempts = 1;
+  bool degraded = false;
+  double wall_seconds = 0.0;
+  std::uint64_t group = 0;
+  std::uint64_t sequence = 0;   ///< shard-local completion order
+  /// Per-task (start, allotment) rows of the schedule; empty on non-ok
+  /// outcomes.
+  std::vector<double> start;
+  std::vector<int> allotment;
+};
+
+std::string encode_shard_result(const ShardResult& result);
+Status decode_shard_result(std::string_view payload, ShardResult& out);
+
+/// Projects a finished ServiceResult onto the wire; `to_service_result`
+/// rebuilds a ServiceResult on the router side (client_tag is re-attached
+/// from the router's own in-flight table — it never crosses the wire twice).
+ShardResult make_shard_result(std::uint64_t id, const ServiceResult& result);
+ServiceResult to_service_result(const ShardResult& wire);
+
+/// Heartbeat probe. The nonce pairs a pong with its ping, so a reply that
+/// got stuck behind a long solve cannot satisfy a later probe.
+struct ShardPing {
+  std::uint64_t nonce = 0;
+};
+
+/// Heartbeat reply + the shard's health counters — what the router's
+/// backpressure and ejection decisions read.
+struct ShardPong {
+  std::uint64_t nonce = 0;
+  std::uint64_t pending = 0;        ///< admitted, not yet completed
+  std::uint64_t completed = 0;
+  std::uint64_t cache_entries = 0;  ///< warm-start cache occupancy
+  std::int64_t lp_pivots_total = 0;
+};
+
+std::string encode_shard_ping(const ShardPing& ping);
+Status decode_shard_ping(std::string_view payload, ShardPing& out);
+std::string encode_shard_pong(const ShardPong& pong);
+Status decode_shard_pong(std::string_view payload, ShardPong& out);
+
+/// Orderly shutdown: the shard drains in-flight work, optionally snapshots
+/// its warm cache to its configured path, replies to nothing, and exits its
+/// serve loop.
+struct ShardShutdown {
+  bool save_cache = true;
+};
+
+std::string encode_shard_shutdown(const ShardShutdown& shutdown);
+Status decode_shard_shutdown(std::string_view payload, ShardShutdown& out);
+
+}  // namespace malsched::core

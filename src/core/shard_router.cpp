@@ -1,0 +1,491 @@
+#include "core/shard_router.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+
+#include "core/allotment_lp.hpp"
+#include "core/shard_protocol.hpp"
+
+namespace malsched::core {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void drain_pipe(int fd) {
+  char buffer[64];
+  while (::read(fd, buffer, sizeof(buffer)) > 0) {
+  }
+}
+
+}  // namespace
+
+// ---- ConsistentHashRing ---------------------------------------------------
+
+void ConsistentHashRing::add(std::uint64_t shard_id) {
+  if (!shards_.insert(shard_id).second) return;
+  points_.reserve(points_.size() + static_cast<std::size_t>(vnodes_));
+  for (int replica = 0; replica < vnodes_; ++replica) {
+    const std::uint64_t point =
+        splitmix64(splitmix64(shard_id) ^
+                   splitmix64(static_cast<std::uint64_t>(replica) + 1));
+    points_.emplace_back(point, shard_id);
+  }
+  // Pair order breaks point collisions deterministically (lower shard id
+  // wins), so every router instance computes the identical ring.
+  std::sort(points_.begin(), points_.end());
+}
+
+void ConsistentHashRing::remove(std::uint64_t shard_id) {
+  if (shards_.erase(shard_id) == 0) return;
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [shard_id](const auto& point) {
+                                 return point.second == shard_id;
+                               }),
+                points_.end());
+}
+
+std::uint64_t ConsistentHashRing::owner(std::uint64_t key) const {
+  // Re-mix the key so fingerprints (already hashes, but of unknown spread)
+  // land uniformly between the vnode points.
+  const std::uint64_t h = splitmix64(key);
+  const auto it =
+      std::lower_bound(points_.begin(), points_.end(),
+                       std::make_pair(h, std::uint64_t{0}));
+  return it == points_.end() ? points_.front().second : it->second;
+}
+
+std::map<std::uint64_t, Trace> partition_trace(const Trace& trace,
+                                               const ConsistentHashRing& ring) {
+  std::map<std::uint64_t, Trace> slices;
+  for (const std::uint64_t shard : ring.members()) slices.emplace(shard, Trace{});
+  if (ring.empty()) return slices;
+  for (const TraceRecord& record : trace.records) {
+    slices[ring.owner(record.outcome.group)].records.push_back(record);
+  }
+  return slices;
+}
+
+// ---- ShardRouter ----------------------------------------------------------
+
+ShardRouter::ShardRouter(std::vector<ShardEndpoint> endpoints,
+                         RouterOptions options)
+    : options_(std::move(options)), ring_(options_.ring_vnodes) {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) == 0) {
+    ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+    ::fcntl(fds[1], F_SETFL, O_NONBLOCK);
+    wake_read_fd_ = fds[0];
+    wake_write_fd_ = fds[1];
+  }
+  const auto now = std::chrono::steady_clock::now();
+  for (const ShardEndpoint& endpoint : endpoints) {
+    auto shard = std::make_unique<Shard>();
+    shard->endpoint = endpoint;
+    shard->health.id = endpoint.id;
+    core::Status status;
+    shard->socket = net::Socket::connect_loopback(endpoint.port, &status);
+    if (status.ok() && shard->socket.valid()) {
+      shard->alive = true;
+      shard->last_ping = now;
+      shard->last_pong = now;
+      ring_.add(endpoint.id);
+    }
+    shards_.push_back(std::move(shard));
+  }
+  io_thread_ = std::thread([this] { io_loop(); });
+}
+
+ShardRouter::~ShardRouter() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_io();
+  if (io_thread_.joinable()) io_thread_.join();
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+}
+
+void ShardRouter::wake_io() {
+  if (wake_write_fd_ >= 0) {
+    const char byte = 'w';
+    [[maybe_unused]] const long n = ::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+ShardRouter::Ticket ShardRouter::submit(ScheduleRequest request) {
+  // The routing key is computed exactly as the in-process service computes
+  // its group key (scheduler_service.cpp) — that identity is what carries
+  // warm-start affinity across the wire.
+  const SchedulerOptions& resolved =
+      request.options.has_value() ? *request.options : options_.scheduler;
+  const std::uint64_t fingerprint = WarmStartCache::fingerprint(
+      request.instance, LpMode::kDirect, std::max(1, resolved.lp.piece_stride));
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  const Ticket ticket = next_ticket_++;
+  ++counters_.submitted;
+
+  std::string shed_reason;
+  if (ring_.empty()) {
+    shed_reason = "no live shards";
+  } else if (options_.admission.max_pending > 0 &&
+             pending_.size() >= options_.admission.max_pending) {
+    shed_reason = "router at max_pending = " +
+                  std::to_string(options_.admission.max_pending);
+  } else if (options_.admission.max_pending_per_group > 0 &&
+             group_pending_[fingerprint] >=
+                 options_.admission.max_pending_per_group) {
+    shed_reason = "group at max_pending_per_group = " +
+                  std::to_string(options_.admission.max_pending_per_group);
+  }
+  if (!shed_reason.empty()) {
+    ++counters_.rejected;
+    ServiceResult result;
+    result.status = Status::error(StatusCode::kRejected, shed_reason);
+    result.group = fingerprint;
+    result.client_tag = request.client_tag;
+    results_.emplace(ticket, std::move(result));
+    cv_.notify_all();
+    return ticket;
+  }
+
+  InFlight inflight;
+  inflight.fingerprint = fingerprint;
+  inflight.client_tag = request.client_tag;
+  inflight.shard_id = ring_.owner(fingerprint);
+  inflight.frame = encode_shard_request(make_shard_request(ticket, request));
+  for (const auto& shard : shards_) {
+    if (shard->alive && shard->endpoint.id == inflight.shard_id) {
+      shard->outbox.push_back(ticket);
+      ++shard->health.routed;
+      break;
+    }
+  }
+  pending_.emplace(ticket, std::move(inflight));
+  ++group_pending_[fingerprint];
+  counters_.max_pending_seen =
+      std::max(counters_.max_pending_seen, pending_.size());
+  lock.unlock();
+  wake_io();
+  return ticket;
+}
+
+std::optional<ServiceResult> ShardRouter::try_get(Ticket ticket) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = results_.find(ticket);
+  if (it != results_.end()) {
+    ServiceResult result = std::move(it->second);
+    results_.erase(it);
+    claimed_.insert(ticket);
+    return result;
+  }
+  if (pending_.count(ticket) != 0) return std::nullopt;
+  ServiceResult result;
+  if (ticket == 0 || ticket >= next_ticket_) {
+    result.status = Status::error(StatusCode::kUnknownTicket,
+                                  "ticket was never issued by this router");
+  } else {
+    result.status = Status::error(StatusCode::kAlreadyClaimed,
+                                  "result was already consumed");
+  }
+  return result;
+}
+
+ServiceResult ShardRouter::wait(Ticket ticket) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    const auto it = results_.find(ticket);
+    if (it != results_.end()) {
+      ServiceResult result = std::move(it->second);
+      results_.erase(it);
+      claimed_.insert(ticket);
+      return result;
+    }
+    if (pending_.count(ticket) == 0) {
+      ServiceResult result;
+      if (ticket == 0 || ticket >= next_ticket_) {
+        result.status = Status::error(StatusCode::kUnknownTicket,
+                                      "ticket was never issued by this router");
+      } else {
+        result.status = Status::error(StatusCode::kAlreadyClaimed,
+                                      "result was already consumed");
+      }
+      return result;
+    }
+    cv_.wait(lock);
+  }
+}
+
+void ShardRouter::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const Ticket upto = next_ticket_;
+  cv_.wait(lock, [this, upto] {
+    for (const auto& [ticket, inflight] : pending_) {
+      if (ticket < upto) return false;
+    }
+    return true;
+  });
+}
+
+bool ShardRouter::add_shard(const ShardEndpoint& endpoint) {
+  core::Status status;
+  net::Socket socket = net::Socket::connect_loopback(endpoint.port, &status);
+  if (!status.ok() || !socket.valid()) return false;
+  std::unique_lock<std::mutex> lock(mutex_);
+  Shard* shard = nullptr;
+  for (const auto& candidate : shards_) {
+    if (candidate->endpoint.id == endpoint.id) {
+      shard = candidate.get();
+      break;
+    }
+  }
+  if (shard != nullptr && shard->alive) return false;
+  if (shard == nullptr) {
+    shards_.push_back(std::make_unique<Shard>());
+    shard = shards_.back().get();
+    shard->health.id = endpoint.id;
+  }
+  shard->endpoint = endpoint;
+  shard->socket = std::move(socket);
+  shard->reader = net::FrameReader(net::kWireFramePayload);
+  shard->outbox.clear();
+  shard->alive = true;
+  shard->last_ping = std::chrono::steady_clock::now();
+  shard->last_pong = shard->last_ping;
+  ring_.add(endpoint.id);
+  lock.unlock();
+  wake_io();
+  return true;
+}
+
+void ShardRouter::shutdown_shards(bool save_cache) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ShardShutdown shutdown;
+  shutdown.save_cache = save_cache;
+  const std::string frame = encode_shard_shutdown(shutdown);
+  for (const auto& shard : shards_) {
+    if (!shard->alive) continue;
+    net::send_frame(shard->socket, frame);
+  }
+}
+
+RouterStats ShardRouter::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RouterStats out = counters_;
+  out.pending = pending_.size();
+  out.live_shards = ring_.size();
+  for (const auto& shard : shards_) {
+    ShardHealthRow row = shard->health;
+    row.alive = shard->alive;
+    out.shards.push_back(row);
+  }
+  return out;
+}
+
+std::size_t ShardRouter::live_shards() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+// ---- IO thread ------------------------------------------------------------
+
+void ShardRouter::flush_outbox_locked(Shard& shard) {
+  while (!shard.outbox.empty()) {
+    const Ticket ticket = shard.outbox.front();
+    shard.outbox.pop_front();
+    const auto it = pending_.find(ticket);
+    // A ticket may have been rerouted (or completed with an error) between
+    // enqueue and flush; send only what is still assigned here.
+    if (it == pending_.end() || it->second.shard_id != shard.endpoint.id) {
+      continue;
+    }
+    if (!net::send_frame(shard.socket, it->second.frame).ok()) {
+      eject_locked(shard);
+      return;
+    }
+  }
+}
+
+void ShardRouter::handle_frames_locked(Shard& shard) {
+  std::string payload;
+  for (;;) {
+    bool frame_ready = false;
+    const Status status = shard.reader.next(payload, frame_ready);
+    if (!status.ok()) {
+      eject_locked(shard);
+      return;
+    }
+    if (!frame_ready) return;
+    switch (static_cast<ShardMessage>(shard_message_tag(payload))) {
+      case ShardMessage::kResult: {
+        ShardResult wire;
+        if (!decode_shard_result(payload, wire).ok()) {
+          eject_locked(shard);
+          return;
+        }
+        const auto it = pending_.find(wire.id);
+        if (it == pending_.end()) break;  // rerouted duplicate — drop
+        ServiceResult result = to_service_result(wire);
+        result.client_tag = it->second.client_tag;
+        complete_locked(wire.id, std::move(result));
+        break;
+      }
+      case ShardMessage::kPong: {
+        ShardPong pong;
+        if (!decode_shard_pong(payload, pong).ok()) {
+          eject_locked(shard);
+          return;
+        }
+        shard.last_pong = std::chrono::steady_clock::now();
+        shard.health.pending = pong.pending;
+        shard.health.completed = pong.completed;
+        shard.health.cache_entries = pong.cache_entries;
+        shard.health.lp_pivots_total = pong.lp_pivots_total;
+        break;
+      }
+      default:
+        eject_locked(shard);
+        return;
+    }
+  }
+}
+
+void ShardRouter::complete_locked(Ticket ticket, ServiceResult result) {
+  const auto it = pending_.find(ticket);
+  if (it != pending_.end()) {
+    const auto group = group_pending_.find(it->second.fingerprint);
+    if (group != group_pending_.end() && --group->second == 0) {
+      group_pending_.erase(group);
+    }
+    pending_.erase(it);
+  }
+  results_.emplace(ticket, std::move(result));
+  ++counters_.completed;
+  cv_.notify_all();
+}
+
+void ShardRouter::eject_locked(Shard& shard) {
+  if (!shard.alive) return;
+  shard.alive = false;
+  shard.socket.close();
+  shard.outbox.clear();
+  ring_.remove(shard.endpoint.id);
+  ++counters_.ejected;
+
+  // Reroute everything the dead shard still owed us. The wire frames are
+  // reused verbatim (same ticket id), so a result that raced back from the
+  // dead shard and one from the new owner are the same id — first one wins,
+  // the other is dropped as a duplicate.
+  std::vector<Ticket> orphans;
+  for (const auto& [ticket, inflight] : pending_) {
+    if (inflight.shard_id == shard.endpoint.id) orphans.push_back(ticket);
+  }
+  std::sort(orphans.begin(), orphans.end());  // preserve submission order
+  for (const Ticket ticket : orphans) {
+    InFlight& inflight = pending_.at(ticket);
+    if (ring_.empty()) {
+      ServiceResult result;
+      result.status = Status::error(
+          StatusCode::kInternalError,
+          "shard " + std::to_string(shard.endpoint.id) +
+              " died with no live replacement for the in-flight request");
+      result.group = inflight.fingerprint;
+      result.client_tag = inflight.client_tag;
+      complete_locked(ticket, std::move(result));
+      continue;
+    }
+    inflight.shard_id = ring_.owner(inflight.fingerprint);
+    for (const auto& candidate : shards_) {
+      if (candidate->alive && candidate->endpoint.id == inflight.shard_id) {
+        candidate->outbox.push_back(ticket);
+        ++candidate->health.routed;
+        break;
+      }
+    }
+    ++counters_.rerouted;
+  }
+}
+
+void ShardRouter::io_loop() {
+  std::string chunk(64 * 1024, '\0');
+  std::vector<pollfd> fds;
+  std::vector<Shard*> polled;
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stop_) return;
+
+    const auto now = std::chrono::steady_clock::now();
+    const auto ping_interval = std::chrono::duration<double>(
+        std::max(0.01, options_.ping_interval_seconds));
+    const auto pong_timeout =
+        std::chrono::duration<double>(std::max(0.1, options_.pong_timeout_seconds));
+    for (const auto& shard : shards_) {
+      if (!shard->alive) continue;
+      if (now - shard->last_pong > pong_timeout) {
+        eject_locked(*shard);  // hung, not dead — the timeout path
+        continue;
+      }
+      if (now - shard->last_ping >= ping_interval) {
+        ShardPing ping;
+        ping.nonce = next_nonce_++;
+        shard->last_ping = now;
+        if (!net::send_frame(shard->socket, encode_shard_ping(ping)).ok()) {
+          eject_locked(*shard);
+        }
+      }
+    }
+    for (const auto& shard : shards_) {
+      if (shard->alive) flush_outbox_locked(*shard);
+    }
+
+    fds.clear();
+    polled.clear();
+    if (wake_read_fd_ >= 0) fds.push_back({wake_read_fd_, POLLIN, 0});
+    for (const auto& shard : shards_) {
+      if (!shard->alive) continue;
+      fds.push_back({shard->socket.fd(), POLLIN, 0});
+      polled.push_back(shard.get());
+    }
+    lock.unlock();
+
+    const int ready = ::poll(fds.data(), fds.size(), 50);
+    if (ready < 0 && errno != EINTR) return;
+
+    lock.lock();
+    if (stop_) return;
+    if (wake_read_fd_ >= 0 && (fds[0].revents & POLLIN) != 0) {
+      drain_pipe(wake_read_fd_);
+    }
+    for (std::size_t i = 0; i < polled.size(); ++i) {
+      Shard& shard = *polled[i];
+      const pollfd& entry = fds[i + 1];
+      // The shard may have been ejected (and its fd closed or even reused)
+      // while the lock was dropped — re-check identity before touching it.
+      if (!shard.alive || shard.socket.fd() != entry.fd) continue;
+      if ((entry.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      bool would_block = false;
+      const long n =
+          shard.socket.read_some(chunk.data(), chunk.size(), &would_block);
+      if (n > 0) {
+        shard.reader.feed(chunk.data(), static_cast<std::size_t>(n));
+        handle_frames_locked(shard);
+      } else if (n == 0 || !would_block) {
+        // EOF/reset: the kill-a-shard fast path.
+        eject_locked(shard);
+      }
+    }
+  }
+}
+
+}  // namespace malsched::core

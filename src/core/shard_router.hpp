@@ -1,0 +1,226 @@
+// The front end of the sharded service: admission, fingerprint routing and
+// shard health.
+//
+// A ShardRouter presents the SchedulerService surface (submit / try_get /
+// wait / drain, tickets single-consumption) but executes nothing itself:
+// every admitted request is serialized (core/shard_protocol) and sent to
+// one of N ShardServers over a socket. The routing key is the SAME
+// LP-structure fingerprint the in-process service groups by —
+// WarmStartCache::fingerprint of the instance under the request's resolved
+// options — mapped onto shards through a consistent-hash ring. Two
+// consequences, both load-bearing:
+//
+//  * Warm-start affinity survives sharding. Structurally identical
+//    requests always land on the same shard, whose private WarmStartCache
+//    sees the same per-group solve sequence the single-process service
+//    would have run — which is why the sharded stream mix reproduces the
+//    committed pivot total bit-for-bit (bench --shards, CI `shards` job).
+//  * Ejection moves only what it must. When a shard dies, the ring drops
+//    its points and every fingerprint it owned drains to the surviving
+//    shards; fingerprints owned by other shards do not move at all.
+//
+// Health: the router's IO thread pings every shard on a fixed cadence;
+// pongs carry the shard's pending/completed/cache counters (RouterStats
+// exposes them per shard). A shard that misses the pong deadline — or
+// whose connection EOFs/resets, the fast path when a process is killed —
+// is ejected: removed from the ring, its in-flight requests re-sent to
+// their new owners. Zero tickets are lost; with no shards left, pending
+// work completes with a typed kInternalError rather than hanging a waiter.
+//
+// Backpressure: the router's AdmissionPolicy bounds AGGREGATE in-flight
+// depth (everything admitted but not yet completed, across all shards) and
+// sheds with kRejected at submit — the same contract as the in-process
+// service's policy, applied one layer up. Per-shard policies still run on
+// the shards as the last line.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/scheduler_service.hpp"
+#include "core/trace.hpp"
+#include "net/socket.hpp"
+
+namespace malsched::core {
+
+/// Consistent-hash ring: shard ids are expanded into `vnodes` pseudo-random
+/// points on the u64 circle (splitmix64 of (shard, replica)); a key is
+/// owned by the first point clockwise from its hash. Deterministic — the
+/// same members always produce the same ring, so a router restart routes
+/// identically — and minimal-motion: removing a shard moves only the keys
+/// it owned.
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(int vnodes = 64) : vnodes_(vnodes) {}
+
+  void add(std::uint64_t shard_id);
+  void remove(std::uint64_t shard_id);
+
+  bool contains(std::uint64_t shard_id) const {
+    return shards_.count(shard_id) != 0;
+  }
+  bool empty() const { return shards_.empty(); }
+  std::size_t size() const { return shards_.size(); }
+
+  /// Member shard ids in ascending order.
+  std::vector<std::uint64_t> members() const {
+    return {shards_.begin(), shards_.end()};
+  }
+
+  /// The shard owning `key`. Precondition: !empty().
+  std::uint64_t owner(std::uint64_t key) const;
+
+ private:
+  int vnodes_;
+  std::set<std::uint64_t> shards_;
+  /// Sorted (point, shard) pairs — owner() is one binary search.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> points_;
+};
+
+/// Splits a recorded trace into per-shard slices by each record's
+/// LP-structure fingerprint (`outcome.group`) through the ring — the same
+/// key + ring the live router uses, so slice membership IS the routing
+/// decision. Arrival order is preserved inside every slice, which is what
+/// makes a slice independently replayable against its shard
+/// (replay_trace's determinism contract is per-group, and no group spans
+/// two slices). Shards that own no records still get an (empty) entry.
+std::map<std::uint64_t, Trace> partition_trace(const Trace& trace,
+                                               const ConsistentHashRing& ring);
+
+struct ShardEndpoint {
+  std::uint64_t id = 0;       ///< stable identity on the ring
+  std::uint16_t port = 0;     ///< loopback port of the ShardServer
+};
+
+struct RouterOptions {
+  /// Aggregate admission bound (max_pending counts everything in flight
+  /// across all shards; max_pending_per_group bounds one fingerprint's
+  /// share). Zeroes = unbounded, same semantics as the service policy.
+  AdmissionPolicy admission;
+  /// Defaults used to resolve the routing fingerprint for requests that
+  /// carry no per-request options — MUST match the shards' service
+  /// defaults, or the router's grouping and the shards' grouping drift.
+  SchedulerOptions scheduler;
+  int ring_vnodes = 64;
+  double ping_interval_seconds = 0.25;
+  /// A shard whose last pong is older than this is ejected even if its
+  /// socket never errored (hung process, not dead process).
+  double pong_timeout_seconds = 10.0;
+};
+
+struct ShardHealthRow {
+  std::uint64_t id = 0;
+  bool alive = false;
+  std::uint64_t pending = 0;        ///< from the last pong
+  std::uint64_t completed = 0;
+  std::uint64_t cache_entries = 0;
+  std::int64_t lp_pivots_total = 0;
+  std::uint64_t routed = 0;         ///< requests this router sent it
+};
+
+struct RouterStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;   ///< shed by the router's admission policy
+  std::uint64_t rerouted = 0;   ///< in-flight requests moved off a dead shard
+  std::uint64_t ejected = 0;    ///< shards removed from the ring
+  std::size_t pending = 0;
+  std::size_t max_pending_seen = 0;
+  std::size_t live_shards = 0;
+  std::vector<ShardHealthRow> shards;
+};
+
+class ShardRouter {
+ public:
+  using Ticket = std::uint64_t;
+
+  /// Connects to every endpoint; one that refuses the connection starts
+  /// ejected (the ring only ever holds reachable shards).
+  ShardRouter(std::vector<ShardEndpoint> shards, RouterOptions options = {});
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Admission + routing; never blocks on a solve. A request shed by the
+  /// admission policy (or arriving when no shard is live) completes its
+  /// ticket immediately with kRejected, mirroring the service contract.
+  Ticket submit(ScheduleRequest request);
+
+  /// Single-consumption claims, same semantics as SchedulerService.
+  std::optional<ServiceResult> try_get(Ticket ticket);
+  ServiceResult wait(Ticket ticket);
+
+  /// Blocks until every ticket submitted before the call has a result.
+  void drain();
+
+  /// Connects a (possibly restarted) shard and adds it to the ring. New
+  /// submissions of the fingerprints it owns route to it; requests already
+  /// in flight elsewhere finish where they are. Returns false when the
+  /// endpoint is unreachable or the id is already live.
+  bool add_shard(const ShardEndpoint& endpoint);
+
+  /// Sends an orderly shutdown to every live shard (drain + cache snapshot
+  /// when `save_cache`). The shards leave the ring as their sockets close.
+  void shutdown_shards(bool save_cache = true);
+
+  RouterStats stats() const;
+  std::size_t live_shards() const;
+
+ private:
+  struct InFlight {
+    std::string frame;        ///< encoded submit message (reused on reroute)
+    std::uint64_t fingerprint = 0;
+    std::uint64_t shard_id = 0;
+    std::string client_tag;   ///< re-attached to the result router-side
+  };
+
+  struct Shard {
+    ShardEndpoint endpoint;
+    net::Socket socket;
+    net::FrameReader reader{net::kWireFramePayload};
+    std::deque<Ticket> outbox;  ///< tickets queued for the IO thread to send
+    bool alive = false;
+    std::chrono::steady_clock::time_point last_ping;
+    std::chrono::steady_clock::time_point last_pong;
+    ShardHealthRow health;
+  };
+
+  void io_loop();
+  void wake_io();
+  /// All four run with mutex_ held.
+  void flush_outbox_locked(Shard& shard);
+  void handle_frames_locked(Shard& shard);
+  void eject_locked(Shard& shard);
+  void complete_locked(Ticket ticket, ServiceResult result);
+
+  RouterOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  ConsistentHashRing ring_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unordered_map<Ticket, InFlight> pending_;
+  std::unordered_map<std::uint64_t, std::uint64_t> group_pending_;
+  std::unordered_map<Ticket, ServiceResult> results_;
+  std::set<Ticket> claimed_;
+  Ticket next_ticket_ = 1;
+  std::uint64_t next_nonce_ = 1;
+  RouterStats counters_;  ///< the scalar counters (shard rows built on read)
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  bool stop_ = false;
+  std::thread io_thread_;
+};
+
+}  // namespace malsched::core

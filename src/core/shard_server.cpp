@@ -1,0 +1,247 @@
+#include "core/shard_server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <fstream>
+
+#include "core/shard_protocol.hpp"
+
+namespace malsched::core {
+
+namespace {
+
+/// Drains the self-pipe so a burst of wake-ups collapses into one.
+void drain_pipe(int fd) {
+  char buffer[64];
+  while (::read(fd, buffer, sizeof(buffer)) > 0) {
+  }
+}
+
+}  // namespace
+
+ShardServer::ShardServer(net::Listener listener, ShardServerOptions options)
+    : listener_(std::move(listener)),
+      options_(std::move(options)),
+      service_(options_.service) {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) == 0) {
+    ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+    ::fcntl(fds[1], F_SETFL, O_NONBLOCK);
+    wake_read_fd_ = fds[0];
+    wake_write_fd_ = fds[1];
+  }
+  restore_cache();
+}
+
+ShardServer::~ShardServer() {
+  if (thread_.joinable()) {
+    terminate();
+  }
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+}
+
+void ShardServer::restore_cache() {
+  if (options_.cache_path.empty()) return;
+  std::ifstream is(options_.cache_path, std::ios::binary);
+  if (!is) return;  // no snapshot yet — a cold first boot, not an error
+  service_.load_warm_cache(is);
+}
+
+void ShardServer::save_cache() {
+  if (options_.cache_path.empty()) return;
+  std::ofstream os(options_.cache_path, std::ios::binary | std::ios::trunc);
+  if (!os) return;
+  service_.save_warm_cache(os);
+}
+
+void ShardServer::start() {
+  thread_ = std::thread([this] { serve(); });
+}
+
+void ShardServer::stop() {
+  stop_requested_.store(true);
+  if (wake_write_fd_ >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const long n = ::write(wake_write_fd_, &byte, 1);
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void ShardServer::terminate() {
+  terminate_requested_.store(true);
+  stop_requested_.store(true);
+  if (wake_write_fd_ >= 0) {
+    const char byte = 't';
+    [[maybe_unused]] const long n = ::write(wake_write_fd_, &byte, 1);
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void ShardServer::serve() {
+  std::vector<pollfd> fds;
+  std::string chunk(64 * 1024, '\0');
+  for (;;) {
+    if (terminate_requested_.load()) {
+      // Simulated SIGKILL: every peer sees the stream die mid-whatever.
+      for (auto& conn : connections_) conn->socket.close();
+      connections_.clear();
+      listener_.close();
+      return;
+    }
+    if (stop_requested_.load()) {
+      service_.drain();
+      sweep_results();
+      save_cache();
+      for (auto& conn : connections_) conn->socket.close();
+      connections_.clear();
+      listener_.close();
+      return;
+    }
+
+    fds.clear();
+    if (wake_read_fd_ >= 0) {
+      fds.push_back({wake_read_fd_, POLLIN, 0});
+    }
+    const std::size_t listener_slot = fds.size();
+    if (listener_.valid()) {
+      fds.push_back({listener_.fd(), POLLIN, 0});
+    }
+    const std::size_t conn_base = fds.size();
+    bool any_inflight = false;
+    for (const auto& conn : connections_) {
+      fds.push_back({conn->socket.fd(), POLLIN, 0});
+      any_inflight = any_inflight || !conn->inflight.empty();
+    }
+    // With work in flight, poll is just a pause between result sweeps; idle,
+    // it blocks until traffic or a self-pipe wake-up.
+    const int timeout_ms = any_inflight ? 2 : 200;
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) return;
+
+    if (wake_read_fd_ >= 0 && (fds[0].revents & POLLIN) != 0) {
+      drain_pipe(wake_read_fd_);
+      continue;  // re-check the stop/terminate flags at the loop top
+    }
+    if (listener_.valid() &&
+        (fds[listener_slot].revents & (POLLIN | POLLERR)) != 0) {
+      net::Socket accepted = listener_.accept();
+      if (accepted.valid()) {
+        auto conn = std::make_unique<Connection>();
+        conn->socket = std::move(accepted);
+        connections_.push_back(std::move(conn));
+      }
+    }
+    for (std::size_t i = 0; i < connections_.size() && conn_base + i < fds.size();
+         ++i) {
+      Connection& conn = *connections_[i];
+      const short revents = fds[conn_base + i].revents;
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      bool would_block = false;
+      const long n =
+          conn.socket.read_some(chunk.data(), chunk.size(), &would_block);
+      if (n > 0) {
+        conn.reader.feed(chunk.data(), static_cast<std::size_t>(n));
+        if (!drain_frames(conn)) drop_connection(conn);
+      } else if (n == 0 || !would_block) {
+        // EOF or a hard socket error: the peer is gone. In-flight work is
+        // cancelled — the router re-routes what it still cares about.
+        drop_connection(conn);
+      }
+    }
+    connections_.erase(
+        std::remove_if(connections_.begin(), connections_.end(),
+                       [](const std::unique_ptr<Connection>& conn) {
+                         return conn->dead;
+                       }),
+        connections_.end());
+    sweep_results();
+  }
+}
+
+bool ShardServer::drain_frames(Connection& conn) {
+  std::string payload;
+  for (;;) {
+    bool frame_ready = false;
+    const Status status = conn.reader.next(payload, frame_ready);
+    if (!status.ok()) return false;  // framing is unrecoverable — drop
+    if (!frame_ready) return true;
+    switch (static_cast<ShardMessage>(shard_message_tag(payload))) {
+      case ShardMessage::kSubmit: {
+        ShardRequest wire;
+        if (!decode_shard_request(payload, wire).ok()) return false;
+        const std::uint64_t id = wire.id;
+        TicketHandle handle = service_.submit(
+            to_schedule_request(wire, options_.service.scheduler));
+        conn.inflight.emplace(handle.id(), id);
+        break;
+      }
+      case ShardMessage::kPing: {
+        ShardPing ping;
+        if (!decode_shard_ping(payload, ping).ok()) return false;
+        const ServiceStats stats = service_.stats();
+        ShardPong pong;
+        pong.nonce = ping.nonce;
+        pong.pending = stats.pending;
+        pong.completed = stats.completed;
+        pong.cache_entries = stats.cache_entries;
+        pong.lp_pivots_total = pivots_sent_.load();
+        if (!net::send_frame(conn.socket, encode_shard_pong(pong)).ok()) {
+          return false;
+        }
+        break;
+      }
+      case ShardMessage::kShutdown: {
+        ShardShutdown shutdown;
+        if (!decode_shard_shutdown(payload, shutdown).ok()) return false;
+        if (!shutdown.save_cache) options_.cache_path.clear();
+        stop_requested_.store(true);
+        return true;  // the loop top runs the orderly drain/snapshot path
+      }
+      default:
+        return false;  // unknown or peer-direction tag: protocol violation
+    }
+  }
+}
+
+void ShardServer::sweep_results() {
+  for (auto& conn_ptr : connections_) {
+    Connection& conn = *conn_ptr;
+    if (conn.dead) continue;
+    for (auto it = conn.inflight.begin(); it != conn.inflight.end();) {
+      std::optional<ServiceResult> result = service_.try_get(it->first);
+      if (!result.has_value()) {
+        ++it;
+        continue;
+      }
+      const ShardResult wire = make_shard_result(it->second, *result);
+      if (result->status.ok()) pivots_sent_.fetch_add(result->lp_pivots);
+      results_sent_.fetch_add(1);
+      if (!net::send_frame(conn.socket, encode_shard_result(wire)).ok()) {
+        drop_connection(conn);
+        break;
+      }
+      it = conn.inflight.erase(it);
+    }
+  }
+  connections_.erase(
+      std::remove_if(
+          connections_.begin(), connections_.end(),
+          [](const std::unique_ptr<Connection>& conn) { return conn->dead; }),
+      connections_.end());
+}
+
+void ShardServer::drop_connection(Connection& conn) {
+  for (const auto& [ticket, id] : conn.inflight) {
+    service_.cancel(ticket);
+  }
+  conn.inflight.clear();
+  conn.socket.close();
+  conn.dead = true;
+}
+
+}  // namespace malsched::core

@@ -1,0 +1,122 @@
+// One shard of the sharded service: a SchedulerService behind a socket.
+//
+// A ShardServer owns a net::Listener and a private SchedulerService and
+// speaks the core/shard_protocol over any number of accepted connections:
+// submits are decoded into service tickets, finished tickets are swept and
+// sent back as result frames (Status-as-data — a failed solve is a frame,
+// not a dropped connection), pings are answered with the shard's health
+// counters, and a shutdown frame drains the service, snapshots the
+// warm-start cache to `cache_path` and exits the serve loop.
+//
+// The loop is a single poll() thread: the listener, every connection (each
+// with its own incremental net::FrameReader, so torn reads are a
+// non-event) and a self-pipe that stop()/terminate() use to interrupt a
+// blocked poll. Solves run on the inner service's worker pool — the IO
+// thread never blocks on a solve, it only sweeps try_get.
+//
+// Warm restart: if `cache_path` names an existing snapshot it is restored
+// before the first submit, so a shard that replaced a dead one starts with
+// the dead shard's warm-start state (the acceptance scenario of PR 8: a
+// restarted shard rejoins hot, pivot counts as if it never died).
+//
+// Two ways to run one:
+//  * in-process (tests, examples): start() serves on a background thread;
+//    stop() is the orderly path, terminate() the simulated crash — it
+//    hard-closes every fd mid-whatever, exactly what SIGKILL on a shard
+//    process looks like to the router.
+//  * as a child process (bench --shards K): the parent binds the Listener
+//    (port 0), forks, and the child constructs a ShardServer around the
+//    inherited Listener and calls serve() — fork-before-threads, so the
+//    child's pool threads are all its own.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/scheduler_service.hpp"
+#include "net/socket.hpp"
+
+namespace malsched::core {
+
+struct ShardServerOptions {
+  /// Configuration of the inner SchedulerService (workers, cache bound,
+  /// admission policy — per-shard admission is the shard's own last line;
+  /// the router sheds earlier).
+  ServiceOptions service;
+  /// Warm-cache snapshot file: restored on construction when it exists,
+  /// written on orderly shutdown (empty = no snapshot/restore).
+  std::string cache_path;
+};
+
+class ShardServer {
+ public:
+  /// Takes ownership of a bound listener (bind with port 0 and read port()
+  /// back for tests; bind before forking for child-process shards).
+  ShardServer(net::Listener listener, ShardServerOptions options = {});
+  ~ShardServer();
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// Blocking serve loop; returns after a shutdown frame, stop() or
+  /// terminate(). The child-process entry point.
+  void serve();
+
+  /// serve() on a background thread (in-process shards).
+  void start();
+
+  /// Orderly shutdown: drain the service, flush every finished result,
+  /// snapshot the cache, close connections, return from serve().
+  void stop();
+
+  /// Simulated crash: hard-close the listener and every connection NOW —
+  /// no drain, no flush, no snapshot. Peers see EOF/reset mid-stream.
+  void terminate();
+
+  /// The inner service's counters plus this shard's wire totals.
+  ServiceStats service_stats() const { return service_.stats(); }
+  std::int64_t pivots_sent() const { return pivots_sent_.load(); }
+  std::uint64_t results_sent() const { return results_sent_.load(); }
+
+ private:
+  struct Connection {
+    net::Socket socket;
+    net::FrameReader reader{net::kWireFramePayload};
+    /// Tickets submitted by this connection, in ticket (= submission)
+    /// order, mapped to the router-assigned wire id — swept for results.
+    std::map<SchedulerService::Ticket, std::uint64_t> inflight;
+    bool dead = false;
+  };
+
+  void restore_cache();
+  void save_cache();
+  /// Decodes and dispatches every complete frame buffered on `conn`.
+  /// Returns false when the connection must be dropped (protocol error or
+  /// shutdown-of-the-shard requested through it).
+  bool drain_frames(Connection& conn);
+  /// try_get on every in-flight ticket of every live connection; sends
+  /// result frames for the finished ones.
+  void sweep_results();
+  void drop_connection(Connection& conn);
+
+  net::Listener listener_;
+  ShardServerOptions options_;
+  SchedulerService service_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  int wake_read_fd_ = -1;   ///< self-pipe: poll() wake-up for stop/terminate
+  int wake_write_fd_ = -1;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> terminate_requested_{false};
+  std::atomic<std::int64_t> pivots_sent_{0};
+  std::atomic<std::uint64_t> results_sent_{0};
+  std::thread thread_;
+};
+
+}  // namespace malsched::core

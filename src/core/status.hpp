@@ -36,7 +36,8 @@ enum class StatusCode {
   kCorruptFrame,         ///< frame magic/length/checksum mismatch — the bytes
                          ///< on the wire are not what was written
   kMalformedRecord,      ///< a frame's payload decoded to an invalid record
-                         ///< (bad field, cyclic instance, trailing bytes)
+                         ///< (bad field, cyclic instance, trailing bytes) or
+                         ///< the frame is larger than the reader's payload cap
 };
 
 inline const char* to_string(StatusCode code) {

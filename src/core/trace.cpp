@@ -84,6 +84,50 @@ SchedulerOptions apply_trace_options(const TraceRequestOptions& traced,
   return base;
 }
 
+void append_trace_options(std::string& out, const TraceRequestOptions& o) {
+  append_u8(out, o.present ? 1 : 0);
+  append_u8(out, o.lp_mode);
+  append_i32(out, o.piece_stride);
+  append_i32(out, o.refine_stride);
+  append_f64(out, o.bisection_tolerance);
+  append_u8(out, o.dual_reoptimize ? 1 : 0);
+  append_u8(out, o.list_priority);
+  append_u8(out, o.has_rho ? 1 : 0);
+  append_f64(out, o.rho);
+  append_u8(out, o.has_mu ? 1 : 0);
+  append_i32(out, o.mu);
+  append_i32(out, o.retry_max_attempts);
+}
+
+Status read_trace_options(std::string_view in, std::size_t& offset,
+                          TraceRequestOptions& out) {
+  TraceRequestOptions o;
+  if (!read_flag(in, offset, o.present) ||
+      !model::wire::read_u8(in, offset, o.lp_mode) ||
+      !model::wire::read_i32(in, offset, o.piece_stride) ||
+      !model::wire::read_i32(in, offset, o.refine_stride) ||
+      !model::wire::read_f64(in, offset, o.bisection_tolerance) ||
+      !read_flag(in, offset, o.dual_reoptimize) ||
+      !model::wire::read_u8(in, offset, o.list_priority) ||
+      !read_flag(in, offset, o.has_rho) ||
+      !model::wire::read_f64(in, offset, o.rho) ||
+      !read_flag(in, offset, o.has_mu) ||
+      !model::wire::read_i32(in, offset, o.mu) ||
+      !model::wire::read_i32(in, offset, o.retry_max_attempts)) {
+    return malformed("truncated options block");
+  }
+  if (o.lp_mode > static_cast<std::uint8_t>(LpMode::kAuto)) {
+    return malformed("unknown LP mode " + std::to_string(o.lp_mode));
+  }
+  if (o.list_priority >
+      static_cast<std::uint8_t>(ListPriority::kCriticalPathFirst)) {
+    return malformed("unknown LIST priority rule " +
+                     std::to_string(o.list_priority));
+  }
+  out = o;
+  return Status();
+}
+
 // Record layout (all fields always written, little-endian; presence flags
 // say which are meaningful — the fixed shape keeps the codec canonical and
 // is documented as a table in src/core/README.md):
@@ -101,19 +145,7 @@ std::string encode_trace_record(const TraceRecord& record) {
   append_u8(out, record.has_deadline ? 1 : 0);
   append_f64(out, record.deadline_seconds);
   append_string(out, record.client_tag);
-  const TraceRequestOptions& o = record.options;
-  append_u8(out, o.present ? 1 : 0);
-  append_u8(out, o.lp_mode);
-  append_i32(out, o.piece_stride);
-  append_i32(out, o.refine_stride);
-  append_f64(out, o.bisection_tolerance);
-  append_u8(out, o.dual_reoptimize ? 1 : 0);
-  append_u8(out, o.list_priority);
-  append_u8(out, o.has_rho ? 1 : 0);
-  append_f64(out, o.rho);
-  append_u8(out, o.has_mu ? 1 : 0);
-  append_i32(out, o.mu);
-  append_i32(out, o.retry_max_attempts);
+  append_trace_options(out, record.options);
   model::append_instance_binary(out, record.instance);
   const TraceOutcome& t = record.outcome;
   append_u8(out, static_cast<std::uint8_t>(t.status));
@@ -145,24 +177,8 @@ Status decode_trace_record(std::string_view payload, TraceRecord& out) {
       !read_string(payload, at, record.client_tag)) {
     return malformed("truncated request header");
   }
-  TraceRequestOptions& o = record.options;
-  if (!read_flag(payload, at, o.present) || !read_u8(payload, at, o.lp_mode) ||
-      !read_i32(payload, at, o.piece_stride) ||
-      !read_i32(payload, at, o.refine_stride) ||
-      !read_f64(payload, at, o.bisection_tolerance) ||
-      !read_flag(payload, at, o.dual_reoptimize) ||
-      !read_u8(payload, at, o.list_priority) ||
-      !read_flag(payload, at, o.has_rho) || !read_f64(payload, at, o.rho) ||
-      !read_flag(payload, at, o.has_mu) || !read_i32(payload, at, o.mu) ||
-      !read_i32(payload, at, o.retry_max_attempts)) {
-    return malformed("truncated options block");
-  }
-  if (o.lp_mode > static_cast<std::uint8_t>(LpMode::kAuto)) {
-    return malformed("unknown LP mode " + std::to_string(o.lp_mode));
-  }
-  if (o.list_priority > static_cast<std::uint8_t>(ListPriority::kCriticalPathFirst)) {
-    return malformed("unknown LIST priority rule " + std::to_string(o.list_priority));
-  }
+  const Status options_status = read_trace_options(payload, at, record.options);
+  if (!options_status.ok()) return options_status;
   const Status instance_status =
       model::read_instance_binary(payload, at, record.instance);
   if (!instance_status.ok()) return instance_status;

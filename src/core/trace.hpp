@@ -113,6 +113,17 @@ TraceRequestOptions make_trace_options(const SchedulerOptions& options);
 SchedulerOptions apply_trace_options(const TraceRequestOptions& traced,
                                      SchedulerOptions base);
 
+/// Byte codec of the options block — ONE implementation shared by the trace
+/// record codec and the shard wire protocol (core/shard_protocol), so a
+/// request serialized onto a socket and a request serialized into a trace
+/// file carry byte-identical options and cannot drift apart.
+void append_trace_options(std::string& out, const TraceRequestOptions& options);
+/// Decodes + validates the options block at `offset` (advanced past it).
+/// kMalformedRecord on truncation, a non-canonical flag byte, or an unknown
+/// LpMode / ListPriority value.
+Status read_trace_options(std::string_view in, std::size_t& offset,
+                          TraceRequestOptions& out);
+
 /// Encodes one record as a frame payload (bit-for-bit reproducible).
 std::string encode_trace_record(const TraceRecord& record);
 

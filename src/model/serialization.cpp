@@ -198,7 +198,8 @@ void write_frame(std::ostream& os, std::string_view payload) {
   os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
 }
 
-core::Status read_frame(std::istream& is, std::string& payload) {
+core::Status read_frame(std::istream& is, std::string& payload,
+                        std::uint32_t max_payload) {
   char header[10];
   is.read(header, sizeof(header));
   const std::size_t got = static_cast<std::size_t>(is.gcount());
@@ -218,12 +219,16 @@ core::Status read_frame(std::istream& is, std::string& payload) {
   std::uint32_t length = 0, checksum = 0;
   wire::read_u32(fields, offset, length);
   wire::read_u32(fields, offset, checksum);
-  if (length > kMaxFramePayload) {
-    return core::Status::error(core::StatusCode::kCorruptFrame,
+  if (length > max_payload) {
+    // kMalformedRecord, not kCorruptFrame: the frame may be perfectly
+    // intact — it is simply larger than THIS reader is willing to decode
+    // (the router caps request frames far below the trace-file bound).
+    // Screened before the resize below, so no allocation happens.
+    return core::Status::error(core::StatusCode::kMalformedRecord,
                                "frame length " + std::to_string(length) +
-                                   " exceeds the " +
-                                   std::to_string(kMaxFramePayload) +
-                                   "-byte payload bound");
+                                   " exceeds this reader's " +
+                                   std::to_string(max_payload) +
+                                   "-byte payload cap");
   }
   payload.resize(length);
   if (length > 0) {

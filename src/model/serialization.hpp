@@ -151,19 +151,26 @@ std::uint32_t crc32(std::string_view bytes);
 
 // ---- Length-prefixed framing ---------------------------------------------
 
-/// Upper bound a reader accepts for one frame's payload (64 MiB). A length
-/// field beyond it is treated as corruption rather than an allocation
-/// request — a flipped length byte must not ask for gigabytes.
+/// Default upper bound a reader accepts for one frame's payload (64 MiB) —
+/// the right cap for trace files, whose largest record is a full instance.
+/// Readers on an untrusted byte stream should pass a tighter `max_payload`
+/// (the shard router's wire cap is net::kWireFramePayload): the length field
+/// is screened BEFORE any allocation, so a flipped length byte must not ask
+/// for gigabytes no matter the cap.
 constexpr std::uint32_t kMaxFramePayload = 64u * 1024u * 1024u;
 
 /// Writes one frame (magic + length + CRC-32 + payload) to `os`.
 void write_frame(std::ostream& os, std::string_view payload);
 
-/// Reads one frame into `payload`. Typed failures: kTruncatedFrame when the
-/// stream ends mid-frame (including a clean end-of-stream at a frame
-/// boundary — callers that expect N frames read exactly N), kCorruptFrame on
-/// bad magic, an oversized length field, or a CRC mismatch.
-core::Status read_frame(std::istream& is, std::string& payload);
+/// Reads one frame into `payload`, accepting payloads up to `max_payload`
+/// bytes (per-reader; see kMaxFramePayload). Typed failures: kTruncatedFrame
+/// when the stream ends mid-frame (including a clean end-of-stream at a
+/// frame boundary — callers that expect N frames read exactly N),
+/// kCorruptFrame on bad magic or a CRC mismatch, kMalformedRecord when the
+/// length field exceeds `max_payload` — rejected before allocating, so an
+/// oversize frame costs the reader nothing.
+core::Status read_frame(std::istream& is, std::string& payload,
+                        std::uint32_t max_payload = kMaxFramePayload);
 
 // ---- Binary instance codec -----------------------------------------------
 

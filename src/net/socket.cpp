@@ -1,0 +1,277 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "model/serialization.hpp"
+
+namespace malsched::net {
+
+namespace {
+
+constexpr char kFrameMagic0 = 'M';
+constexpr char kFrameMagic1 = 'F';
+constexpr std::size_t kFrameHeaderSize = 10;  // magic(2) + len(4) + crc(4)
+
+core::Status errno_status(const std::string& what) {
+  return core::Status::error(core::StatusCode::kInternalError,
+                             what + ": " + std::strerror(errno));
+}
+
+/// Parses a 10-byte frame header. Returns kOk and fills length/checksum, or
+/// the typed error (shared by recv_frame and FrameReader so the two paths
+/// cannot drift).
+core::Status parse_frame_header(const char* header, std::uint32_t max_payload,
+                                std::uint32_t& length, std::uint32_t& checksum) {
+  if (header[0] != kFrameMagic0 || header[1] != kFrameMagic1) {
+    return core::Status::error(core::StatusCode::kCorruptFrame,
+                               "bad frame magic (not 'MF')");
+  }
+  const std::string_view fields(header + 2, 8);
+  std::size_t offset = 0;
+  model::wire::read_u32(fields, offset, length);
+  model::wire::read_u32(fields, offset, checksum);
+  if (length > max_payload) {
+    return core::Status::error(core::StatusCode::kMalformedRecord,
+                               "frame length " + std::to_string(length) +
+                                   " exceeds this reader's " +
+                                   std::to_string(max_payload) +
+                                   "-byte payload cap");
+  }
+  return core::Status();
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+int Socket::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Socket Socket::connect_loopback(std::uint16_t port, core::Status* status) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (status != nullptr) *status = errno_status("socket");
+    return Socket();
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    if (status != nullptr) {
+      *status = errno_status("connect 127.0.0.1:" + std::to_string(port));
+    }
+    ::close(fd);
+    return Socket();
+  }
+  // Frames are small request/response units; don't let Nagle batch them
+  // behind a delayed ACK.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (status != nullptr) *status = core::Status();
+  return Socket(fd);
+}
+
+core::Status Socket::send_all(const void* data, std::size_t size) {
+  const char* bytes = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    const long n = ::send(fd_, bytes + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return core::Status();
+}
+
+long Socket::read_some(void* data, std::size_t size, bool* would_block) {
+  if (would_block != nullptr) *would_block = false;
+  for (;;) {
+    const long n = ::recv(fd_, data, size, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK) &&
+        would_block != nullptr) {
+      *would_block = true;
+    }
+    return n;
+  }
+}
+
+Listener Listener::bind_loopback(std::uint16_t port, core::Status* status) {
+  Listener listener;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (status != nullptr) *status = errno_status("socket");
+    return listener;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, SOMAXCONN) < 0) {
+    if (status != nullptr) {
+      *status = errno_status("bind/listen 127.0.0.1:" + std::to_string(port));
+    }
+    ::close(fd);
+    return listener;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    if (status != nullptr) *status = errno_status("getsockname");
+    ::close(fd);
+    return listener;
+  }
+  listener.socket_ = Socket(fd);
+  listener.port_ = ntohs(addr.sin_port);
+  if (status != nullptr) *status = core::Status();
+  return listener;
+}
+
+Socket Listener::accept(core::Status* status) {
+  int fd;
+  do {
+    fd = ::accept(socket_.fd(), nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    if (status != nullptr) *status = errno_status("accept");
+    return Socket();
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (status != nullptr) *status = core::Status();
+  return Socket(fd);
+}
+
+// ---- Blocking frame I/O ----------------------------------------------------
+
+core::Status send_frame(Socket& socket, std::string_view payload) {
+  std::string wire;
+  wire.reserve(kFrameHeaderSize + payload.size());
+  wire.push_back(kFrameMagic0);
+  wire.push_back(kFrameMagic1);
+  model::wire::append_u32(wire, static_cast<std::uint32_t>(payload.size()));
+  model::wire::append_u32(wire, model::wire::crc32(payload));
+  wire.append(payload.data(), payload.size());
+  return socket.send_all(wire.data(), wire.size());
+}
+
+namespace {
+
+/// Blocking read of exactly `size` bytes. `at_boundary` distinguishes a
+/// clean EOF before the first byte from a mid-buffer cut.
+core::Status recv_exact(Socket& socket, char* data, std::size_t size,
+                        bool at_boundary) {
+  std::size_t got = 0;
+  while (got < size) {
+    const long n = socket.read_some(data + got, size - got);
+    if (n < 0) return errno_status("recv");
+    if (n == 0) {
+      return core::Status::error(
+          core::StatusCode::kTruncatedFrame,
+          at_boundary && got == 0
+              ? "end of stream at frame boundary"
+              : "stream ended inside a frame (" + std::to_string(got) +
+                    " of " + std::to_string(size) + " bytes)");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return core::Status();
+}
+
+}  // namespace
+
+core::Status recv_frame(Socket& socket, std::string& payload,
+                        std::uint32_t max_payload) {
+  char header[kFrameHeaderSize];
+  core::Status status =
+      recv_exact(socket, header, sizeof(header), /*at_boundary=*/true);
+  if (!status.ok()) return status;
+  std::uint32_t length = 0, checksum = 0;
+  status = parse_frame_header(header, max_payload, length, checksum);
+  if (!status.ok()) return status;
+  payload.resize(length);
+  if (length > 0) {
+    status = recv_exact(socket, payload.data(), length, /*at_boundary=*/false);
+    if (!status.ok()) {
+      payload.clear();
+      return status;
+    }
+  }
+  if (model::wire::crc32(payload) != checksum) {
+    payload.clear();
+    return core::Status::error(core::StatusCode::kCorruptFrame,
+                               "frame CRC-32 mismatch");
+  }
+  return core::Status();
+}
+
+// ---- Incremental frame decoding --------------------------------------------
+
+void FrameReader::feed(const char* data, std::size_t size) {
+  // Compact lazily: only when the dead prefix dominates the buffer, so a
+  // busy connection is not memmoving on every frame.
+  if (consumed_ > 4096 && consumed_ > buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, size);
+}
+
+core::Status FrameReader::next(std::string& payload, bool& ready) {
+  ready = false;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderSize) return core::Status();
+  std::uint32_t length = 0, checksum = 0;
+  core::Status status = parse_frame_header(buffer_.data() + consumed_,
+                                           max_payload_, length, checksum);
+  if (!status.ok()) return status;
+  if (available < kFrameHeaderSize + length) return core::Status();
+  const std::string_view body(buffer_.data() + consumed_ + kFrameHeaderSize,
+                              length);
+  if (model::wire::crc32(body) != checksum) {
+    return core::Status::error(core::StatusCode::kCorruptFrame,
+                               "frame CRC-32 mismatch");
+  }
+  payload.assign(body.data(), body.size());
+  consumed_ += kFrameHeaderSize + length;
+  ready = true;
+  return core::Status();
+}
+
+}  // namespace malsched::net

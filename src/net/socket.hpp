@@ -1,0 +1,153 @@
+// Frames-over-sockets transport: the byte layer of the sharded service.
+//
+// The wire format is exactly the framing layer of model/serialization —
+// "MF" magic | u32 payload length | u32 CRC-32 | payload — so a shard
+// connection and a trace file speak the same bytes; the only difference is
+// the per-reader payload cap (kWireFramePayload, far below the 64 MiB
+// trace-file bound: no shard message legitimately approaches it, and a
+// tighter cap turns a hostile or corrupt length field into a typed reject
+// before any allocation).
+//
+// Two consumption styles:
+//
+//  * Blocking `send_frame` / `recv_frame` on a connected Socket — the
+//    client side (router submissions, tests, simple tools). recv_frame
+//    mirrors the istream reader's typed failures: kTruncatedFrame when the
+//    peer dies mid-frame (or closes cleanly at a frame boundary),
+//    kCorruptFrame on damaged bytes, kMalformedRecord on an oversize
+//    length.
+//  * An incremental FrameReader for poll loops — the server side. Bytes
+//    arrive in whatever chunks the kernel delivers; feed() accumulates and
+//    next() yields complete frames (or a typed error) without ever blocking,
+//    which is what makes torn and partial reads a non-event.
+//
+// Everything here is loopback/LAN TCP (AF_INET on 127.0.0.1): shards are
+// local processes today. Socket/Listener are RAII move-only fd owners; all
+// errors travel as core::Status, never exceptions — a shard must survive a
+// peer dying mid-frame (see model/serialization's header note).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/status.hpp"
+
+namespace malsched::net {
+
+/// Per-frame payload cap on the shard wire (4 MiB). Requests are one
+/// serialized instance plus a small header; responses are a fixed-shape
+/// result record — both orders of magnitude below this. Tighter than
+/// model::kMaxFramePayload on purpose: see the file header.
+constexpr std::uint32_t kWireFramePayload = 4u * 1024u * 1024u;
+
+/// Move-only RAII owner of one connected (or connectable) socket fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Releases ownership of the fd to the caller (fd() becomes invalid).
+  int release();
+
+  void close();
+
+  /// Hard-drops both directions without closing the fd — the peer sees an
+  /// immediate EOF/reset. Used to simulate a killed shard in tests.
+  void shutdown_both();
+
+  /// Connects to 127.0.0.1:`port`. On failure returns an invalid Socket and
+  /// fills `status` (when non-null) with the typed error.
+  static Socket connect_loopback(std::uint16_t port,
+                                 core::Status* status = nullptr);
+
+  /// Blocking full-buffer write (EINTR-retrying, SIGPIPE suppressed). A
+  /// peer that died mid-write comes back as a typed error, not a signal.
+  core::Status send_all(const void* data, std::size_t size);
+
+  /// One read of up to `size` bytes (for poll loops: call when readable).
+  /// Returns bytes read; 0 = orderly peer shutdown; -1 = error (EINTR is
+  /// retried internally; EAGAIN/EWOULDBLOCK also return -1 with
+  /// `would_block` set when non-null).
+  long read_some(void* data, std::size_t size, bool* would_block = nullptr);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Move-only RAII owner of a listening socket bound to 127.0.0.1.
+class Listener {
+ public:
+  Listener() = default;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned; read it back via port())
+  /// and listens. On failure returns an invalid Listener and fills `status`.
+  static Listener bind_loopback(std::uint16_t port,
+                                core::Status* status = nullptr);
+
+  bool valid() const { return socket_.valid(); }
+  int fd() const { return socket_.fd(); }
+  std::uint16_t port() const { return port_; }
+
+  /// Blocking accept. On failure returns an invalid Socket and fills
+  /// `status` (when non-null).
+  Socket accept(core::Status* status = nullptr);
+
+  void close() { socket_.close(); }
+
+ private:
+  Socket socket_;
+  std::uint16_t port_ = 0;
+};
+
+// ---- Blocking frame I/O ----------------------------------------------------
+
+/// Writes one frame (header + payload in a single send) to the socket.
+core::Status send_frame(Socket& socket, std::string_view payload);
+
+/// Reads one complete frame, blocking until it arrives. Typed failures
+/// mirror model::read_frame (see the file header).
+core::Status recv_frame(Socket& socket, std::string& payload,
+                        std::uint32_t max_payload = kWireFramePayload);
+
+// ---- Incremental frame decoding (poll loops) -------------------------------
+
+/// Accumulates arbitrary byte chunks and yields complete frames. One
+/// FrameReader per connection; a returned error means the stream is
+/// unusable from that point (framing offers no resynchronization — the
+/// connection should be dropped, which is exactly what the shard server and
+/// router do).
+class FrameReader {
+ public:
+  explicit FrameReader(std::uint32_t max_payload = kWireFramePayload)
+      : max_payload_(max_payload) {}
+
+  /// Appends freshly received bytes (any chunking, including 1-byte feeds).
+  void feed(const char* data, std::size_t size);
+
+  /// Attempts to decode the next complete frame. kOk with ready=true fills
+  /// `payload`; kOk with ready=false means more bytes are needed (torn
+  /// read — feed more and call again); an error is terminal for the stream
+  /// (kCorruptFrame on bad magic/CRC, kMalformedRecord on an oversize
+  /// length, both detected before the payload is copied out).
+  core::Status next(std::string& payload, bool& ready);
+
+  /// Bytes buffered but not yet consumed by complete frames.
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;  ///< prefix of buffer_ already decoded
+  std::uint32_t max_payload_;
+};
+
+}  // namespace malsched::net

@@ -1,0 +1,222 @@
+// Tests for the frames-over-sockets transport (net/socket):
+//
+//  - blocking send_frame/recv_frame round-trips over a real loopback
+//    connection (empty, small and megabyte payloads);
+//  - the incremental FrameReader decodes byte-by-byte torn feeds and
+//    back-to-back frames in one buffer;
+//  - every failure is TYPED: bad magic / damaged CRC -> kCorruptFrame, an
+//    oversize length -> kMalformedRecord (screened before allocation, and
+//    per-reader: the same bytes pass under a looser cap), a peer dying
+//    mid-frame -> kTruncatedFrame, a clean close at a frame boundary ->
+//    kTruncatedFrame with the boundary message.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "core/status.hpp"
+#include "model/serialization.hpp"
+#include "net/socket.hpp"
+
+namespace {
+
+using namespace malsched;
+
+/// A connected loopback socket pair: `client` dialed `server`'s listener.
+struct LoopbackPair {
+  net::Socket client;
+  net::Socket server;
+};
+
+LoopbackPair make_pair_or_die() {
+  core::Status status;
+  net::Listener listener = net::Listener::bind_loopback(0, &status);
+  EXPECT_TRUE(status.ok()) << status.to_string();
+  LoopbackPair pair;
+  pair.client = net::Socket::connect_loopback(listener.port(), &status);
+  EXPECT_TRUE(status.ok()) << status.to_string();
+  pair.server = listener.accept(&status);
+  EXPECT_TRUE(status.ok()) << status.to_string();
+  return pair;
+}
+
+/// The exact bytes send_frame puts on the wire for `payload`.
+std::string frame_bytes(const std::string& payload) {
+  std::string wire;
+  wire.push_back('M');
+  wire.push_back('F');
+  model::wire::append_u32(wire, static_cast<std::uint32_t>(payload.size()));
+  model::wire::append_u32(wire, model::wire::crc32(payload));
+  wire += payload;
+  return wire;
+}
+
+TEST(NetFrame, LoopbackRoundTripsPayloads) {
+  LoopbackPair pair = make_pair_or_die();
+  const std::string payloads[] = {
+      std::string(),                      // empty frame
+      std::string("hello shards"),        // small
+      std::string(1 << 20, '\x5a'),       // 1 MiB
+  };
+  for (const std::string& sent : payloads) {
+    ASSERT_TRUE(net::send_frame(pair.client, sent).ok());
+  }
+  for (const std::string& sent : payloads) {
+    std::string received;
+    const core::Status status = net::recv_frame(pair.server, received);
+    ASSERT_TRUE(status.ok()) << status.to_string();
+    EXPECT_EQ(received, sent);
+  }
+}
+
+TEST(NetFrame, RoundTripsBothDirections) {
+  LoopbackPair pair = make_pair_or_die();
+  ASSERT_TRUE(net::send_frame(pair.server, "pong").ok());
+  ASSERT_TRUE(net::send_frame(pair.client, "ping").ok());
+  std::string payload;
+  ASSERT_TRUE(net::recv_frame(pair.server, payload).ok());
+  EXPECT_EQ(payload, "ping");
+  ASSERT_TRUE(net::recv_frame(pair.client, payload).ok());
+  EXPECT_EQ(payload, "pong");
+}
+
+TEST(NetFrame, PeerDeathMidFrameIsTruncated) {
+  LoopbackPair pair = make_pair_or_die();
+  const std::string wire = frame_bytes(std::string(4096, 'x'));
+  // Send the header plus a sliver of payload, then die.
+  ASSERT_TRUE(pair.client.send_all(wire.data(), 20).ok());
+  pair.client.close();
+  std::string payload;
+  const core::Status status = net::recv_frame(pair.server, payload);
+  EXPECT_EQ(status.code(), core::StatusCode::kTruncatedFrame);
+  EXPECT_NE(status.message().find("inside a frame"), std::string::npos)
+      << status.to_string();
+}
+
+TEST(NetFrame, CleanCloseAtBoundaryIsTypedDistinctly) {
+  LoopbackPair pair = make_pair_or_die();
+  ASSERT_TRUE(net::send_frame(pair.client, "last one").ok());
+  pair.client.close();
+  std::string payload;
+  ASSERT_TRUE(net::recv_frame(pair.server, payload).ok());
+  EXPECT_EQ(payload, "last one");
+  const core::Status status = net::recv_frame(pair.server, payload);
+  EXPECT_EQ(status.code(), core::StatusCode::kTruncatedFrame);
+  EXPECT_NE(status.message().find("frame boundary"), std::string::npos)
+      << status.to_string();
+}
+
+TEST(NetFrame, RecvEnforcesItsPayloadCapBeforeAllocating) {
+  LoopbackPair pair = make_pair_or_die();
+  ASSERT_TRUE(net::send_frame(pair.client, std::string(2048, 'y')).ok());
+  std::string payload;
+  const core::Status status =
+      net::recv_frame(pair.server, payload, /*max_payload=*/1024);
+  EXPECT_EQ(status.code(), core::StatusCode::kMalformedRecord);
+}
+
+// ---- FrameReader -----------------------------------------------------------
+
+TEST(FrameReader, DecodesByteByByteTornFeed) {
+  const std::string wire =
+      frame_bytes("torn") + frame_bytes("") + frame_bytes("feed");
+  net::FrameReader reader;
+  std::vector<std::string> decoded;
+  for (char byte : wire) {
+    reader.feed(&byte, 1);
+    for (;;) {
+      std::string payload;
+      bool ready = false;
+      ASSERT_TRUE(reader.next(payload, ready).ok());
+      if (!ready) break;
+      decoded.push_back(payload);
+    }
+  }
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(decoded[0], "torn");
+  EXPECT_EQ(decoded[1], "");
+  EXPECT_EQ(decoded[2], "feed");
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameReader, DecodesManyFramesFromOneFeed) {
+  std::string wire;
+  for (int i = 0; i < 100; ++i) {
+    wire += frame_bytes("frame #" + std::to_string(i));
+  }
+  net::FrameReader reader;
+  reader.feed(wire.data(), wire.size());
+  for (int i = 0; i < 100; ++i) {
+    std::string payload;
+    bool ready = false;
+    ASSERT_TRUE(reader.next(payload, ready).ok());
+    ASSERT_TRUE(ready);
+    EXPECT_EQ(payload, "frame #" + std::to_string(i));
+  }
+  bool ready = true;
+  std::string payload;
+  ASSERT_TRUE(reader.next(payload, ready).ok());
+  EXPECT_FALSE(ready);
+}
+
+TEST(FrameReader, BadMagicIsCorrupt) {
+  std::string wire = frame_bytes("ok");
+  wire[0] = 'X';
+  net::FrameReader reader;
+  reader.feed(wire.data(), wire.size());
+  std::string payload;
+  bool ready = false;
+  EXPECT_EQ(reader.next(payload, ready).code(),
+            core::StatusCode::kCorruptFrame);
+}
+
+TEST(FrameReader, DamagedPayloadFailsTheChecksum) {
+  std::string wire = frame_bytes("checksummed");
+  wire[wire.size() - 1] ^= 0x01;
+  net::FrameReader reader;
+  reader.feed(wire.data(), wire.size());
+  std::string payload;
+  bool ready = false;
+  EXPECT_EQ(reader.next(payload, ready).code(),
+            core::StatusCode::kCorruptFrame);
+}
+
+TEST(FrameReader, PerReaderCapIsEnforced) {
+  const std::string wire = frame_bytes(std::string(600, 'z'));
+  {
+    net::FrameReader loose(1024);
+    loose.feed(wire.data(), wire.size());
+    std::string payload;
+    bool ready = false;
+    ASSERT_TRUE(loose.next(payload, ready).ok());
+    ASSERT_TRUE(ready);
+    EXPECT_EQ(payload.size(), 600u);
+  }
+  {
+    net::FrameReader tight(512);
+    tight.feed(wire.data(), wire.size());
+    std::string payload;
+    bool ready = false;
+    EXPECT_EQ(tight.next(payload, ready).code(),
+              core::StatusCode::kMalformedRecord);
+  }
+}
+
+TEST(FrameReader, CompactionKeepsDecodingAcrossManyFrames) {
+  // Enough traffic to trigger the lazy buffer compaction several times.
+  net::FrameReader reader;
+  const std::string payload_in(3000, 'c');
+  const std::string wire = frame_bytes(payload_in);
+  for (int i = 0; i < 50; ++i) {
+    reader.feed(wire.data(), wire.size());
+    std::string payload;
+    bool ready = false;
+    ASSERT_TRUE(reader.next(payload, ready).ok());
+    ASSERT_TRUE(ready);
+    ASSERT_EQ(payload, payload_in);
+  }
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+}  // namespace

@@ -184,20 +184,43 @@ TEST(WireFrame, EverySingleByteFlipIsTyped) {
     const core::Status status = model::read_frame(is, payload);
     ASSERT_FALSE(status.ok()) << "flip at byte " << i << " parsed as ok";
     EXPECT_TRUE(status.code() == core::StatusCode::kCorruptFrame ||
-                status.code() == core::StatusCode::kTruncatedFrame)
+                status.code() == core::StatusCode::kTruncatedFrame ||
+                status.code() == core::StatusCode::kMalformedRecord)
         << "flip at byte " << i << ": " << status.to_string();
   }
 }
 
-TEST(WireFrame, OversizedLengthIsCorruptionNotAllocation) {
-  // A flipped length field must not turn into a giant allocation request.
+TEST(WireFrame, OversizedLengthIsRejectedBeforeAllocation) {
+  // A flipped length field must not turn into a giant allocation request:
+  // the cap check runs before the payload buffer is sized, and reports
+  // kMalformedRecord (the frame is too large for this reader, which is not
+  // the same thing as damaged bytes).
   std::string bytes = "MF";
   model::wire::append_u32(bytes, model::kMaxFramePayload + 1);
   model::wire::append_u32(bytes, 0);  // CRC (never reached)
   std::istringstream is(bytes);
   std::string payload;
   EXPECT_EQ(model::read_frame(is, payload).code(),
-            core::StatusCode::kCorruptFrame);
+            core::StatusCode::kMalformedRecord);
+}
+
+TEST(WireFrame, PerReaderPayloadCapIsEnforced) {
+  // The same intact frame parses under a permissive reader and bounces off
+  // a tighter one — the router runs a far smaller cap than trace files.
+  const std::string payload_in(1024, 'x');
+  const std::string bytes = frame_bytes(payload_in);
+  {
+    std::istringstream is(bytes);
+    std::string payload;
+    ASSERT_TRUE(model::read_frame(is, payload).ok());
+    EXPECT_EQ(payload, payload_in);
+  }
+  {
+    std::istringstream is(bytes);
+    std::string payload;
+    EXPECT_EQ(model::read_frame(is, payload, /*max_payload=*/512).code(),
+              core::StatusCode::kMalformedRecord);
+  }
 }
 
 // ---- Binary instance codec ------------------------------------------------

@@ -1,0 +1,603 @@
+// Tests for the sharded service (core/shard_protocol, core/shard_server,
+// core/shard_router):
+//
+//  - the consistent-hash ring is deterministic across instances and moves
+//    only the dead shard's keys on removal;
+//  - protocol messages round-trip field-for-field and reject damage with
+//    typed errors;
+//  - warm-cache snapshots round-trip byte-identically (save -> load ->
+//    save) and a restarted shard restores them and warm-starts its first
+//    solve;
+//  - a router + two in-process ShardServers complete a request mix with
+//    LOWER BOUNDS BITWISE-EQUAL to the in-process service, with structure
+//    groups pinned to one shard each (warm-start affinity over the wire);
+//  - killing a shard mid-stream reroutes its in-flight requests: every
+//    ticket completes ok, zero lost;
+//  - the golden trace partitions by group fingerprint into per-shard
+//    slices that preserve arrival order.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/allotment_lp.hpp"
+#include "core/scheduler_service.hpp"
+#include "core/shard_protocol.hpp"
+#include "core/shard_router.hpp"
+#include "core/shard_server.hpp"
+#include "core/status.hpp"
+#include "core/trace.hpp"
+#include "graph/generators.hpp"
+#include "model/instance.hpp"
+#include "model/serialization.hpp"
+#include "net/socket.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace malsched;
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+model::Instance make_test_instance(std::uint64_t seed, int n, int m) {
+  support::Rng rng(seed);
+  return model::make_family_instance(model::DagFamily::kLayered,
+                                     model::TaskFamily::kPowerLaw, n, m, rng);
+}
+
+core::ScheduleRequest instance_request(const model::Instance& instance) {
+  core::ScheduleRequest request;
+  request.instance = instance;
+  return request;
+}
+
+std::string instance_bytes(const model::Instance& instance) {
+  std::string out;
+  model::append_instance_binary(out, instance);
+  return out;
+}
+
+/// A ShardServer listening on an ephemeral port, serving on its own thread.
+struct LocalShard {
+  std::unique_ptr<core::ShardServer> server;
+  core::ShardEndpoint endpoint;
+};
+
+LocalShard start_shard(std::uint64_t id, core::ServiceOptions service = {},
+                       std::string cache_path = {}) {
+  core::Status status;
+  net::Listener listener = net::Listener::bind_loopback(0, &status);
+  EXPECT_TRUE(status.ok()) << status.to_string();
+  core::ShardServerOptions options;
+  options.service = std::move(service);
+  options.cache_path = std::move(cache_path);
+  LocalShard shard;
+  shard.endpoint.id = id;
+  shard.endpoint.port = listener.port();
+  shard.server =
+      std::make_unique<core::ShardServer>(std::move(listener), options);
+  shard.server->start();
+  return shard;
+}
+
+// ---- Consistent-hash ring --------------------------------------------------
+
+TEST(ConsistentHashRing, DeterministicAcrossInstances) {
+  core::ConsistentHashRing a(64), b(64);
+  for (std::uint64_t shard : {11u, 22u, 33u}) {
+    a.add(shard);
+    b.add(shard);
+  }
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    EXPECT_EQ(a.owner(key * 0x9e3779b97f4a7c15ULL),
+              b.owner(key * 0x9e3779b97f4a7c15ULL));
+  }
+}
+
+TEST(ConsistentHashRing, RemovalMovesOnlyTheDeadShardsKeys) {
+  core::ConsistentHashRing ring(64);
+  for (std::uint64_t shard : {1u, 2u, 3u}) ring.add(shard);
+  std::vector<std::uint64_t> owners(2000);
+  for (std::uint64_t key = 0; key < owners.size(); ++key) {
+    owners[key] = ring.owner(key);
+  }
+  ring.remove(2);
+  std::size_t moved = 0;
+  for (std::uint64_t key = 0; key < owners.size(); ++key) {
+    const std::uint64_t now = ring.owner(key);
+    if (owners[key] == 2) {
+      ++moved;
+      EXPECT_NE(now, 2u);
+    } else {
+      // Keys owned by survivors must not move at all.
+      EXPECT_EQ(now, owners[key]) << "key " << key;
+    }
+  }
+  EXPECT_GT(moved, 0u);  // shard 2 owned a nontrivial share
+}
+
+TEST(ConsistentHashRing, SpreadsKeysAcrossShards) {
+  core::ConsistentHashRing ring(64);
+  for (std::uint64_t shard = 1; shard <= 4; ++shard) ring.add(shard);
+  std::map<std::uint64_t, int> counts;
+  for (std::uint64_t key = 0; key < 4000; ++key) ++counts[ring.owner(key)];
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [shard, count] : counts) {
+    EXPECT_GT(count, 400) << "shard " << shard << " nearly starved";
+  }
+}
+
+// ---- Protocol codecs -------------------------------------------------------
+
+TEST(ShardProtocol, RequestRoundTripsFieldForField) {
+  core::ScheduleRequest request;
+  request.instance = make_test_instance(7, 12, 8);
+  core::SchedulerOptions options;
+  options.lp.piece_stride = 2;
+  options.lp.refine_stride = 4;
+  request.options = options;
+  request.priority = 3;
+  request.deadline_seconds = 1.5;
+  request.client_tag = "tenant-a";
+
+  const core::ShardRequest wire = core::make_shard_request(42, request);
+  const std::string payload = core::encode_shard_request(wire);
+  EXPECT_EQ(core::shard_message_tag(payload),
+            static_cast<std::uint8_t>(core::ShardMessage::kSubmit));
+
+  core::ShardRequest decoded;
+  ASSERT_TRUE(core::decode_shard_request(payload, decoded).ok());
+  EXPECT_EQ(decoded.id, 42u);
+  EXPECT_EQ(decoded.priority, 3);
+  EXPECT_TRUE(decoded.has_deadline);
+  EXPECT_EQ(decoded.deadline_seconds, 1.5);
+  EXPECT_EQ(decoded.client_tag, "tenant-a");
+  EXPECT_TRUE(decoded.options.present);
+  EXPECT_EQ(decoded.options.piece_stride, 2);
+  EXPECT_EQ(instance_bytes(decoded.instance), instance_bytes(request.instance));
+
+  const core::ScheduleRequest rebuilt =
+      core::to_schedule_request(decoded, core::SchedulerOptions{});
+  ASSERT_TRUE(rebuilt.options.has_value());
+  EXPECT_EQ(rebuilt.options->lp.piece_stride, 2);
+  EXPECT_EQ(rebuilt.options->lp.refine_stride, 4);
+  ASSERT_TRUE(rebuilt.deadline_seconds.has_value());
+  EXPECT_EQ(*rebuilt.deadline_seconds, 1.5);
+}
+
+TEST(ShardProtocol, ResultRoundTripsBitwise) {
+  core::ShardResult result;
+  result.id = 99;
+  result.status = core::StatusCode::kOk;
+  result.lower_bound = 123.456789e-3;
+  result.makespan = 0.987654321;
+  result.ratio_vs_lower_bound = 1.25;
+  result.guaranteed_ratio = 3.29;
+  result.rho = 0.43;
+  result.mu = 5;
+  result.lp_pivots = 1234;
+  result.attempts = 2;
+  result.degraded = true;
+  result.wall_seconds = 0.25;
+  result.group = 0xdeadbeefcafeULL;
+  result.sequence = 17;
+  result.start = {0.0, 1.5, 2.25};
+  result.allotment = {4, 2, 1};
+
+  core::ShardResult decoded;
+  ASSERT_TRUE(
+      core::decode_shard_result(core::encode_shard_result(result), decoded)
+          .ok());
+  EXPECT_EQ(decoded.id, 99u);
+  EXPECT_EQ(bits_of(decoded.lower_bound), bits_of(result.lower_bound));
+  EXPECT_EQ(bits_of(decoded.makespan), bits_of(result.makespan));
+  EXPECT_EQ(decoded.lp_pivots, 1234);
+  EXPECT_TRUE(decoded.degraded);
+  EXPECT_EQ(decoded.group, result.group);
+  EXPECT_EQ(decoded.start, result.start);
+  EXPECT_EQ(decoded.allotment, result.allotment);
+
+  const core::ServiceResult rebuilt = core::to_service_result(decoded);
+  EXPECT_TRUE(rebuilt.status.ok());
+  EXPECT_EQ(bits_of(rebuilt.result.fractional.lower_bound),
+            bits_of(result.lower_bound));
+  EXPECT_EQ(rebuilt.result.schedule.allotment, result.allotment);
+}
+
+TEST(ShardProtocol, ErrorResultCarriesStatusAsData) {
+  core::ShardResult result;
+  result.id = 5;
+  result.status = core::StatusCode::kLpFailure;
+  result.message = "phase-1 LP did not converge";
+  core::ShardResult decoded;
+  ASSERT_TRUE(
+      core::decode_shard_result(core::encode_shard_result(result), decoded)
+          .ok());
+  const core::ServiceResult rebuilt = core::to_service_result(decoded);
+  EXPECT_EQ(rebuilt.status.code(), core::StatusCode::kLpFailure);
+  EXPECT_EQ(rebuilt.status.message(), "phase-1 LP did not converge");
+}
+
+TEST(ShardProtocol, DamageIsTyped) {
+  core::ShardRequest request;
+  request.id = 1;
+  request.instance = make_test_instance(3, 6, 4);
+  std::string payload = core::encode_shard_request(request);
+
+  core::ShardRequest out;
+  // Wrong tag for the decoder asked.
+  core::ShardPing wrong_tag;
+  EXPECT_EQ(core::decode_shard_ping(payload, wrong_tag).code(),
+            core::StatusCode::kMalformedRecord);
+  // Trailing garbage.
+  payload.push_back('\x00');
+  EXPECT_EQ(core::decode_shard_request(payload, out).code(),
+            core::StatusCode::kMalformedRecord);
+  payload.pop_back();
+  // Truncation at every prefix stays typed (never throws, never reads OOB).
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    core::ShardRequest trunc;
+    EXPECT_EQ(
+        core::decode_shard_request(payload.substr(0, cut), trunc).code(),
+        core::StatusCode::kMalformedRecord)
+        << "prefix length " << cut;
+  }
+
+  core::ShardPong pong;
+  pong.nonce = 9;
+  pong.pending = 3;
+  std::string pong_payload = core::encode_shard_pong(pong);
+  core::ShardPong pong_out;
+  ASSERT_TRUE(core::decode_shard_pong(pong_payload, pong_out).ok());
+  EXPECT_EQ(pong_out.nonce, 9u);
+  EXPECT_EQ(pong_out.pending, 3u);
+  pong_payload.resize(pong_payload.size() - 1);
+  EXPECT_EQ(core::decode_shard_pong(pong_payload, pong_out).code(),
+            core::StatusCode::kMalformedRecord);
+}
+
+// ---- Warm-cache snapshots --------------------------------------------------
+
+TEST(WarmCacheSnapshot, SaveLoadSaveIsByteIdentical) {
+  core::WarmStartCache cache(8);
+  for (std::uint64_t key = 1; key <= 5; ++key) {
+    lp::SimplexBasis basis;
+    basis.status.assign(static_cast<std::size_t>(3 * key), // varied sizes
+                        static_cast<unsigned char>(key));
+    cache.put(key * 1000, std::move(basis));
+  }
+  cache.take(2000);  // refresh an entry so the LRU order is nontrivial
+
+  std::ostringstream first;
+  ASSERT_TRUE(cache.save(first).ok());
+
+  core::WarmStartCache restored(8);
+  std::istringstream is(first.str());
+  ASSERT_TRUE(restored.load(is).ok());
+  EXPECT_EQ(restored.size(), 5u);
+
+  std::ostringstream second;
+  ASSERT_TRUE(restored.save(second).ok());
+  EXPECT_EQ(first.str(), second.str());  // byte identity, LRU order included
+}
+
+TEST(WarmCacheSnapshot, LoadRespectsCapacityAndRejectsDamage) {
+  core::WarmStartCache big(0);
+  for (std::uint64_t key = 1; key <= 6; ++key) {
+    lp::SimplexBasis basis;
+    basis.status.assign(4, static_cast<unsigned char>(key));
+    big.put(key, std::move(basis));
+  }
+  std::ostringstream os;
+  ASSERT_TRUE(big.save(os).ok());
+
+  core::WarmStartCache small(2);
+  std::istringstream is(os.str());
+  ASSERT_TRUE(small.load(is).ok());
+  EXPECT_EQ(small.size(), 2u);  // the snapshot's cold tail was dropped
+  // The two most recent entries (keys 6 and 5) survive.
+  EXPECT_FALSE(small.take(6).empty());
+  EXPECT_FALSE(small.take(5).empty());
+  EXPECT_TRUE(small.take(1).empty());
+
+  std::string damaged = os.str();
+  damaged[damaged.size() / 2] ^= 0x40;
+  core::WarmStartCache victim(0);
+  std::istringstream damaged_is(damaged);
+  EXPECT_FALSE(victim.load(damaged_is).ok());
+  EXPECT_EQ(victim.size(), 0u);  // never half-loaded
+}
+
+// ---- Shard server over a real socket --------------------------------------
+
+TEST(ShardServer, SolvesSubmitsAndAnswersPings) {
+  core::ServiceOptions service;
+  service.num_threads = 2;
+  LocalShard shard = start_shard(1, service);
+
+  core::Status status;
+  net::Socket client = net::Socket::connect_loopback(shard.endpoint.port, &status);
+  ASSERT_TRUE(status.ok()) << status.to_string();
+
+  // Reference run through the in-process service.
+  const model::Instance instance = make_test_instance(11, 16, 8);
+  core::SchedulerService reference{core::ServiceOptions{}};
+  core::ScheduleRequest ref_request;
+  ref_request.instance = instance;
+  ref_request.client_tag = "ref";
+  const core::ServiceResult expected = reference.submit(std::move(ref_request)).wait();
+  ASSERT_TRUE(expected.status.ok()) << expected.status.to_string();
+
+  core::ScheduleRequest request;
+  request.instance = instance;
+  request.client_tag = "wire";
+  ASSERT_TRUE(net::send_frame(client,
+                              core::encode_shard_request(
+                                  core::make_shard_request(777, request)))
+                  .ok());
+  // A ping queued behind the submit must still be answered (the server
+  // interleaves; the pong may arrive before the result).
+  core::ShardPing ping;
+  ping.nonce = 31337;
+  ASSERT_TRUE(net::send_frame(client, core::encode_shard_ping(ping)).ok());
+
+  bool saw_pong = false;
+  core::ShardResult result;
+  bool saw_result = false;
+  while (!saw_pong || !saw_result) {
+    std::string payload;
+    ASSERT_TRUE(net::recv_frame(client, payload).ok());
+    switch (static_cast<core::ShardMessage>(core::shard_message_tag(payload))) {
+      case core::ShardMessage::kPong: {
+        core::ShardPong pong;
+        ASSERT_TRUE(core::decode_shard_pong(payload, pong).ok());
+        EXPECT_EQ(pong.nonce, 31337u);
+        saw_pong = true;
+        break;
+      }
+      case core::ShardMessage::kResult: {
+        ASSERT_TRUE(core::decode_shard_result(payload, result).ok());
+        saw_result = true;
+        break;
+      }
+      default:
+        FAIL() << "unexpected frame from the shard";
+    }
+  }
+  EXPECT_EQ(result.id, 777u);
+  EXPECT_EQ(result.status, core::StatusCode::kOk) << result.message;
+  // The wire result is the in-process result, bit for bit where it counts.
+  EXPECT_EQ(bits_of(result.lower_bound),
+            bits_of(expected.result.fractional.lower_bound));
+  EXPECT_EQ(bits_of(result.makespan), bits_of(expected.result.makespan));
+  EXPECT_EQ(result.allotment, expected.result.schedule.allotment);
+
+  shard.server->stop();
+}
+
+// ---- Router end-to-end -----------------------------------------------------
+
+TEST(ShardRouter, MixCompletesWithBitwiseEqualBounds) {
+  core::ServiceOptions service;
+  service.num_threads = 2;
+  LocalShard a = start_shard(1, service);
+  LocalShard b = start_shard(2, service);
+
+  core::RouterOptions options;
+  core::ShardRouter router({a.endpoint, b.endpoint}, options);
+  ASSERT_EQ(router.live_shards(), 2u);
+
+  // 4 structure groups x 3 submissions. Same seed => same DAG => same
+  // fingerprint; distinct seeds give distinct groups.
+  std::vector<model::Instance> instances;
+  std::vector<core::ShardRouter::Ticket> tickets;
+  for (std::uint64_t seed : {21u, 22u, 23u, 24u}) {
+    for (int copy = 0; copy < 3; ++copy) {
+      instances.push_back(make_test_instance(seed, 14, 8));
+      core::ScheduleRequest request;
+      request.instance = instances.back();
+      request.client_tag = "s" + std::to_string(seed);
+      tickets.push_back(router.submit(std::move(request)));
+    }
+  }
+  router.drain();
+
+  // Reference: the same sequence through one in-process service.
+  core::SchedulerService reference{core::ServiceOptions{}};
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    core::ScheduleRequest request;
+    request.instance = instances[i];
+    const core::ServiceResult expected = reference.submit(std::move(request)).wait();
+    const core::ServiceResult routed = router.wait(tickets[i]);
+    ASSERT_TRUE(routed.status.ok())
+        << "ticket " << tickets[i] << ": " << routed.status.to_string();
+    EXPECT_EQ(routed.client_tag, "s" + std::to_string(21 + i / 3));
+    EXPECT_EQ(bits_of(routed.result.fractional.lower_bound),
+              bits_of(expected.result.fractional.lower_bound))
+        << "bounds must be bitwise equal across process boundaries";
+  }
+
+  const core::RouterStats stats = router.stats();
+  EXPECT_EQ(stats.submitted, 12u);
+  EXPECT_EQ(stats.completed, 12u);
+  EXPECT_EQ(stats.rejected, 0u);
+  std::uint64_t routed_total = 0;
+  for (const auto& row : stats.shards) routed_total += row.routed;
+  EXPECT_EQ(routed_total, 12u);
+
+  router.shutdown_shards(/*save_cache=*/false);
+  a.server->stop();
+  b.server->stop();
+}
+
+TEST(ShardRouter, GroupAffinityPinsAStructureToOneShard) {
+  LocalShard a = start_shard(1);
+  LocalShard b = start_shard(2);
+  core::ShardRouter router({a.endpoint, b.endpoint});
+
+  std::vector<core::ShardRouter::Ticket> tickets;
+  for (int copy = 0; copy < 6; ++copy) {
+    core::ScheduleRequest request;
+    request.instance = make_test_instance(5, 12, 8);  // one structure group
+    tickets.push_back(router.submit(std::move(request)));
+  }
+  router.drain();
+  for (const auto ticket : tickets) {
+    EXPECT_TRUE(router.wait(ticket).status.ok());
+  }
+  const core::RouterStats stats = router.stats();
+  int shards_used = 0;
+  for (const auto& row : stats.shards) {
+    if (row.routed > 0) {
+      ++shards_used;
+      EXPECT_EQ(row.routed, 6u);
+    }
+  }
+  EXPECT_EQ(shards_used, 1) << "one fingerprint must map to one shard";
+  a.server->stop();
+  b.server->stop();
+}
+
+TEST(ShardRouter, NoLiveShardsShedsWithTypedReject) {
+  core::ShardRouter router({});
+  core::ScheduleRequest request;
+  request.instance = make_test_instance(1, 6, 4);
+  const auto ticket = router.submit(std::move(request));
+  const core::ServiceResult result = router.wait(ticket);
+  EXPECT_EQ(result.status.code(), core::StatusCode::kRejected);
+}
+
+TEST(ShardRouter, KilledShardInFlightRequestsRerouteWithZeroLoss) {
+  core::ServiceOptions service;
+  service.num_threads = 2;
+  LocalShard a = start_shard(1, service);
+  LocalShard b = start_shard(2, service);
+  core::RouterOptions options;
+  core::ShardRouter router({a.endpoint, b.endpoint}, options);
+
+  // Big instances keep the first shard busy long enough for the kill to
+  // land while requests are genuinely in flight.
+  std::vector<model::Instance> instances;
+  std::vector<core::ShardRouter::Ticket> tickets;
+  for (int i = 0; i < 6; ++i) {
+    instances.push_back(make_test_instance(77, 60, 16));  // one hot group
+    core::ScheduleRequest request;
+    request.instance = instances.back();
+    tickets.push_back(router.submit(std::move(request)));
+  }
+
+  // Kill whichever shard owns the hot group.
+  core::RouterStats before = router.stats();
+  std::uint64_t victim = 0;
+  for (const auto& row : before.shards) {
+    if (row.routed > 0) victim = row.id;
+  }
+  ASSERT_NE(victim, 0u);
+  (victim == 1 ? a : b).server->terminate();  // simulated SIGKILL
+
+  // The reference bound for this (single) structure group — bounds are
+  // warm/cold invariant, so one in-process solve is the oracle for all six.
+  core::SchedulerService reference{core::ServiceOptions{}};
+  const core::ServiceResult expected =
+      reference.submit(instance_request(instances[0])).wait();
+  ASSERT_TRUE(expected.status.ok());
+
+  // Zero lost tickets: every single one completes, and completes ok —
+  // rerouted to the survivor, not failed — with the same bound bits the
+  // dead shard would have produced.
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const core::ServiceResult result = router.wait(tickets[i]);
+    ASSERT_TRUE(result.status.ok())
+        << "ticket " << tickets[i] << ": " << result.status.to_string();
+    EXPECT_EQ(bits_of(result.result.fractional.lower_bound),
+              bits_of(expected.result.fractional.lower_bound));
+  }
+  const core::RouterStats after = router.stats();
+  EXPECT_EQ(after.ejected, 1u);
+  EXPECT_EQ(after.completed, 6u);
+  EXPECT_EQ(after.pending, 0u);
+
+  (victim == 1 ? b : a).server->stop();
+}
+
+// ---- Warm rejoin -----------------------------------------------------------
+
+TEST(ShardServer, RestartedShardRestoresItsCacheSnapshotAndWarmStarts) {
+  const std::string cache_path =
+      ::testing::TempDir() + "/shard_cache_snapshot.bin";
+  std::remove(cache_path.c_str());
+
+  const model::Instance instance = make_test_instance(9, 16, 8);
+  std::int64_t cold_pivots = 0;
+
+  {
+    LocalShard shard = start_shard(1, {}, cache_path);
+    core::ShardRouter router({shard.endpoint});
+    const auto first = router.submit(instance_request(instance));
+    const core::ServiceResult result = router.wait(first);
+    ASSERT_TRUE(result.status.ok());
+    cold_pivots = result.lp_pivots;
+    router.shutdown_shards(/*save_cache=*/true);
+    shard.server->stop();  // orderly: drains + snapshots to cache_path
+  }
+
+  // The replacement process restores the snapshot before its first submit.
+  LocalShard reborn = start_shard(1, {}, cache_path);
+  EXPECT_GT(reborn.server->service_stats().cache_entries, 0u)
+      << "restored snapshot must populate the cache before any traffic";
+
+  core::ShardRouter router({reborn.endpoint});
+  const auto ticket = router.submit(instance_request(instance));
+  const core::ServiceResult warm = router.wait(ticket);
+  ASSERT_TRUE(warm.status.ok());
+  const auto stats = reborn.server->service_stats();
+  EXPECT_GE(stats.cache.hits, 1) << "first solve must hit the restored basis";
+  EXPECT_LE(warm.lp_pivots, cold_pivots)
+      << "a warm rejoin must not pivot more than the cold original";
+  router.shutdown_shards(false);
+  reborn.server->stop();
+}
+
+// ---- Trace partitioning ----------------------------------------------------
+
+TEST(PartitionTrace, SplitsByGroupAndPreservesOrder) {
+  core::Trace trace;
+  const core::Status status = core::load_trace_file(
+      std::string(MALSCHED_TEST_DATA_DIR) + "/stream_mix.trace", trace);
+  ASSERT_TRUE(status.ok()) << status.to_string();
+  ASSERT_FALSE(trace.records.empty());
+
+  core::ConsistentHashRing ring(64);
+  ring.add(10);
+  ring.add(20);
+  const std::map<std::uint64_t, core::Trace> slices =
+      core::partition_trace(trace, ring);
+  ASSERT_EQ(slices.size(), 2u);
+
+  std::size_t total = 0;
+  for (const auto& [shard, slice] : slices) {
+    total += slice.records.size();
+    // Arrival order within a slice is the original order (offsets are
+    // recorded monotonically in the golden fixture).
+    for (std::size_t i = 1; i < slice.records.size(); ++i) {
+      EXPECT_LE(slice.records[i - 1].arrival_offset_seconds,
+                slice.records[i].arrival_offset_seconds);
+    }
+    // No group straddles two slices and every record is owned by its shard.
+    for (const core::TraceRecord& record : slice.records) {
+      EXPECT_EQ(ring.owner(record.outcome.group), shard);
+    }
+  }
+  EXPECT_EQ(total, trace.records.size());
+}
+
+}  // namespace
