@@ -72,12 +72,19 @@ struct RunResult {
   int warm_starts = 0;
   long iterations = 0;
   double lower_bound = 0.0;
+  lp::SimplexStats stats;
 };
+
+// Dev override for AllotmentLpOptions::probe_large_eta_limit (-1 = keep the
+// default); lets A/B sweeps of the probe-chain eta cap run without
+// recompiling.
+int g_probe_eta_limit = -1;
 
 RunResult run_config(const model::Instance& instance, bool dense_cold) {
   core::AllotmentLpOptions options;
   options.mode = core::LpMode::kBinarySearch;
   options.bisection_tolerance = kBisectionTolerance;
+  if (g_probe_eta_limit >= 0) options.probe_large_eta_limit = g_probe_eta_limit;
   if (dense_cold) {
     options.simplex.basis = lp::BasisKind::kDenseInverse;
     options.simplex.pricing = lp::PricingRule::kDantzig;
@@ -91,17 +98,27 @@ RunResult run_config(const model::Instance& instance, bool dense_cold) {
   r.warm_starts = out.lp_warm_starts;
   r.iterations = out.lp_iterations;
   r.lower_bound = out.lower_bound;
+  r.stats = out.lp_stats;
   return r;
 }
 
 void emit_config(std::FILE* f, const char* name, const RunResult& r, bool last) {
+  const lp::SimplexStats& s = r.stats;
   std::fprintf(f,
                "      {\"config\": \"%s\", \"seconds\": %.6f, \"lp_solves\": %d, "
                "\"warm_starts\": %d, \"warm_hit_rate\": %.4f, \"pivots\": %ld, "
-               "\"lower_bound\": %.9f}%s\n",
+               "\"lower_bound\": %.9f,\n"
+               "       \"kernels\": {\"ftran_seconds\": %.6f, \"btran_seconds\": "
+               "%.6f, \"pricing_seconds\": %.6f, \"ftran_nnz\": %lld, "
+               "\"btran_nnz\": %lld, \"pricing_nnz\": %lld, \"hyper_ftrans\": "
+               "%lld, \"dense_ftrans\": %lld, \"hyper_btrans\": %lld, "
+               "\"dense_btrans\": %lld}}%s\n",
                name, r.seconds, r.solves, r.warm_starts,
                r.solves > 1 ? static_cast<double>(r.warm_starts) / (r.solves - 1) : 0.0,
-               r.iterations, r.lower_bound, last ? "" : ",");
+               r.iterations, r.lower_bound, s.ftran_seconds, s.btran_seconds,
+               s.pricing_seconds, s.ftran_nnz, s.btran_nnz, s.pricing_nnz,
+               s.hyper_ftrans, s.dense_ftrans, s.hyper_btrans, s.dense_btrans,
+               last ? "" : ",");
 }
 
 }  // namespace
@@ -109,11 +126,16 @@ void emit_config(std::FILE* f, const char* name, const RunResult& r, bool last) 
 int main(int argc, char** argv) {
   bool skip_dense = false;
   int max_n = 20000;
+  int min_n = 0;
   std::string out_path = "BENCH_lp.json";
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--skip-dense") == 0) skip_dense = true;
     if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) out_path = argv[++a];
     if (std::strcmp(argv[a], "--max-n") == 0 && a + 1 < argc) max_n = std::atoi(argv[++a]);
+    // Dev flags for isolating one row / sweeping the probe eta cap.
+    if (std::strcmp(argv[a], "--min-n") == 0 && a + 1 < argc) min_n = std::atoi(argv[++a]);
+    if (std::strcmp(argv[a], "--probe-eta-limit") == 0 && a + 1 < argc)
+      g_probe_eta_limit = std::atoi(argv[++a]);
   }
 
   const std::vector<std::string> families = {"layered", "series-parallel", "random"};
@@ -137,7 +159,7 @@ int main(int argc, char** argv) {
   bool first_entry = true;
   for (const std::string& family : families) {
     for (const int n : sizes) {
-      if (n > max_n) continue;
+      if (n > max_n || n < min_n) continue;
       if (family == "series-parallel" && n > 2000) continue;
       const std::uint64_t seed =
           0xBE5C11ULL ^ (static_cast<std::uint64_t>(n) * 1315423911ULL) ^

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <istream>
+#include <memory>
 #include <ostream>
 
 #include "core/fault_injector.hpp"
@@ -66,6 +67,16 @@ std::vector<model::WorkPiece> select_pieces(const model::WorkFunction& wf,
   }
   return kept;
 }
+
+/// One work-envelope row a coarse probe stride dropped, flattened for the
+/// clean-check sweep of solve_by_bisection: the coarse optimum must satisfy
+/// slope * x_task + intercept <= w_task for every dropped row before it may
+/// stand in for the exact probe's verdict.
+struct DroppedPiece {
+  int task;
+  double slope;
+  double intercept;
+};
 
 /// Converts an interrupted LP solve into the typed interruption exception,
 /// carrying the pivots spent so far. Cancellation wins over an expired
@@ -464,8 +475,11 @@ FractionalAllotment extract_solution(const model::Instance& instance,
 /// deadline only appears in the completion-variable upper bounds, so probes
 /// update those in place (Model::set_variable_bounds) instead of rebuilding
 /// the model and its WorkFunction tables per probe. Precedence rows use the
-/// reduced arc set, mirroring build_allotment_lp.
-lp::Model build_probe_lp(const model::Instance& instance, double deadline) {
+/// reduced arc set, mirroring build_allotment_lp. `stride` subsamples the
+/// work-envelope piece rows exactly like build_allotment_lp (1 = exact LP;
+/// larger = relaxation used by the coarse probe chain).
+lp::Model build_probe_lp(const model::Instance& instance, double deadline,
+                         int stride = 1) {
   const int n = instance.num_tasks();
   lp::Model model;
   VarLayout vars;
@@ -490,12 +504,43 @@ lp::Model build_probe_lp(const model::Instance& instance, double deadline) {
       }
     }
     const model::WorkFunction wf(instance.task(j));
-    for (const model::WorkPiece& piece : wf.pieces()) {
+    for (const model::WorkPiece& piece : select_pieces(wf, stride)) {
       model.add_constraint({{vars.x(j), piece.slope}, {vars.work(j), -1.0}},
                            lp::Sense::kLessEqual, -piece.intercept);
     }
   }
   return model;
+}
+
+/// Row map between the stride-`from` and stride-`to` layouts of
+/// build_probe_lp (same instance): the probe analogue of map_direct_rows —
+/// per task max(1, reduced preds) precedence rows then kept piece rows, no
+/// sink/L/load rows. Shared rows map in order; a piece row maps to the
+/// target row of the same piece or -1 when the target stride drops it.
+std::vector<int> map_probe_rows(const model::Instance& instance, int from,
+                                int to) {
+  std::vector<int> map;
+  int to_row = 0;
+  const auto counts = instance.piece_counts();
+  const auto reduced_preds = instance.reduced_predecessors();
+  for (int j = 0; j < instance.num_tasks(); ++j) {
+    const std::size_t preds = (*reduced_preds)[static_cast<std::size_t>(j)].size();
+    for (std::size_t k = 0; k < std::max<std::size_t>(1, preds); ++k) {
+      map.push_back(to_row++);
+    }
+    const auto pieces = static_cast<std::size_t>((*counts)[static_cast<std::size_t>(j)]);
+    const std::vector<std::size_t> from_kept = select_piece_indices(pieces, from);
+    const std::vector<std::size_t> to_kept = select_piece_indices(pieces, to);
+    std::size_t f = 0;
+    for (const std::size_t piece : from_kept) {
+      while (f < to_kept.size() && to_kept[f] < piece) ++f;
+      map.push_back(f < to_kept.size() && to_kept[f] == piece
+                        ? to_row + static_cast<int>(f)
+                        : -1);
+    }
+    to_row += static_cast<int>(to_kept.size());
+  }
+  return map;
 }
 
 /// Closed form of the upper-bracket probe. At deadline hi =
@@ -621,6 +666,7 @@ FractionalAllotment solve_by_bisection(const model::Instance& instance,
   int warm_hits = 0;
   int cold_retries = 0;
   long iterations = 0;
+  lp::SimplexStats stats;
   // Consecutive probes differ only in the deadline (variable bounds), so the
   // final basis of one probe is a near-optimal start for the next. The first
   // probe solves primally (warm from an attached WarmStartCache when
@@ -634,38 +680,86 @@ FractionalAllotment solve_by_bisection(const model::Instance& instance,
     cache_key = WarmStartCache::fingerprint(instance, LpMode::kBinarySearch, 1);
     basis = options.warm_cache->take(cache_key);
   }
-  // ONE model for the whole bisection; probes mutate the deadline bounds.
+  const bool dual_chain = options.warm_start && options.dual_reoptimize;
+  // Resolve the probe stride (see AllotmentLpOptions::probe_piece_stride;
+  // auto currently resolves to 1 — the bench envelopes are too shallow for
+  // the relaxation to pay). The coarse chain only exists on top of the
+  // persistent dual chain: its whole payoff is cheaper reoptimize() calls,
+  // and its fallback story (clean-check + exact re-probe) leans on both
+  // chains staying warm.
+  int stride = 1;
+  if (dual_chain) {
+    stride = std::max(1, options.probe_piece_stride);
+  }
+  // Probe-LP solver options: huge probe LPs keep their eta files short (see
+  // AllotmentLpOptions::probe_large_eta_limit); below the threshold this is
+  // options.simplex verbatim, keeping small-n pivot paths bit-identical.
+  lp::SimplexOptions probe_simplex = options.simplex;
+  if (n >= 15000 && options.probe_large_eta_limit > 0) {
+    probe_simplex.sparse_eta_limit = options.probe_large_eta_limit;
+  }
+  // Piece rows the coarse stride drops, flattened for the clean-check sweep.
+  // When the stride keeps every row (tiny envelopes), the coarse LP would BE
+  // the exact LP — collapse to the single-chain path.
+  std::vector<DroppedPiece> dropped;
+  if (stride > 1) {
+    for (int j = 0; j < n; ++j) {
+      const model::WorkFunction wf(instance.task(j));
+      const auto& all = wf.pieces();
+      const std::vector<std::size_t> kept =
+          select_piece_indices(all.size(), stride);
+      std::size_t k = 0;
+      for (std::size_t i = 0; i < all.size(); ++i) {
+        if (k < kept.size() && kept[k] == i) {
+          ++k;
+          continue;
+        }
+        dropped.push_back({j, all[i].slope, all[i].intercept});
+      }
+    }
+    if (dropped.empty()) stride = 1;
+  }
+  // ONE model per chain for the whole bisection; probes mutate the deadline
+  // bounds of both in lockstep so a fallback probe sees the same deadline.
   lp::Model model = build_probe_lp(instance, hi);
+  lp::Model coarse_model;
+  if (stride > 1) coarse_model = build_probe_lp(instance, hi, stride);
+  std::unique_ptr<lp::DualReoptimizer> chain;         // exact probes
+  std::unique_ptr<lp::DualReoptimizer> coarse_chain;  // stride-relaxed probes
+  lp::SimplexBasis coarse_basis;
   const auto set_deadline = [&](double deadline) {
     for (int j = 0; j < n; ++j) {
       model.set_variable_bounds(vars.completion(j), 0.0, deadline);
-    }
-  };
-  const auto probe = [&](double deadline, lp::Solution& out, bool allow_dual) {
-    set_deadline(deadline);
-    {
-      static FaultSite& solver_fault = FaultInjector::site("core.lp.solver-error");
-      if (solver_fault.fire()) {
-        char bracket_buf[96];
-        std::snprintf(bracket_buf, sizeof(bracket_buf),
-                      " bracket=[%.6g, %.6g] deadline=%.6g", lo, hi, deadline);
-        throw SolverError(
-            "injected solver error in deadline probe" +
-            lp_context("probe", instance, solves, iterations, !basis.empty(),
-                       cache_key) +
-            bracket_buf);
+      if (stride > 1) {
+        coarse_model.set_variable_bounds(vars.completion(j), 0.0, deadline);
       }
     }
-    if (allow_dual && options.warm_start && options.dual_reoptimize &&
-        !basis.empty()) {
-      out = lp::reoptimize_dual(model, options.simplex, &basis);
+  };
+  // One LP solve against (probe_model, probe_chain, probe_basis): dual
+  // re-optimization on the persistent chain when enabled and a warm basis
+  // exists, else a primal solve; one cold retry when a reused basis poisons
+  // the solve (cache corruption, stale numerics) — a probe that would
+  // succeed cold must not fail warm. The chain is rebuilt from the cold
+  // result so later probes do not re-enter the poisoned state.
+  const auto run_probe =
+      [&](lp::Model& probe_model, std::unique_ptr<lp::DualReoptimizer>& probe_chain,
+          lp::SimplexBasis& probe_basis) -> lp::Solution {
+    lp::Solution out;
+    if (dual_chain && !probe_basis.empty()) {
+      if (probe_chain == nullptr) {
+        probe_chain = std::make_unique<lp::DualReoptimizer>(
+            probe_model, probe_simplex, &probe_basis);
+      }
+      out = probe_chain->reoptimize();
+      probe_chain->snapshot(probe_basis);
     } else {
-      out = lp::solve_simplex(model, options.simplex,
-                              options.warm_start ? &basis : nullptr);
+      out = lp::solve_simplex(probe_model, probe_simplex,
+                              options.warm_start ? &probe_basis : nullptr);
     }
     ++solves;
     warm_hits += out.warm_started ? 1 : 0;
     iterations += out.iterations;
+    stats.merge(out.stats);
     if (out.status == lp::SolveStatus::kInterrupted) {
       // Abort the whole bisection (the half-updated basis is discarded, not
       // cached): every remaining probe would be interrupted the same way.
@@ -673,16 +767,18 @@ FractionalAllotment solve_by_bisection(const model::Instance& instance,
     }
     if (out.status != lp::SolveStatus::kOptimal &&
         out.status != lp::SolveStatus::kInfeasible && out.warm_started) {
-      // A poisoned reused basis (cache corruption, stale numerics) must not
-      // sink a probe that would succeed cold: retry once from all-slack.
-      basis.clear();
-      out = lp::solve_simplex(model, options.simplex,
-                              options.warm_start ? &basis : nullptr);
+      probe_basis.clear();
+      out = lp::solve_simplex(probe_model, probe_simplex,
+                              options.warm_start ? &probe_basis : nullptr);
       ++solves;
       ++cold_retries;
       iterations += out.iterations;
+      stats.merge(out.stats);
       if (out.status == lp::SolveStatus::kInterrupted) {
         throw_interrupted(options, iterations);
+      }
+      if (probe_chain != nullptr) {
+        probe_chain->reseed(probe_basis.empty() ? nullptr : &probe_basis);
       }
     }
     if (out.status != lp::SolveStatus::kOptimal &&
@@ -697,6 +793,65 @@ FractionalAllotment solve_by_bisection(const model::Instance& instance,
           lp_context("probe", instance, solves, iterations, out.warm_started,
                      cache_key));
     }
+    return out;
+  };
+  // Does a coarse optimum satisfy every DROPPED piece row? If yes it is
+  // feasible for the exact probe LP, and since the coarse LP relaxes the
+  // exact one (coarse optimum <= exact optimum <= this point's objective),
+  // the coarse optimum IS an exact optimum. The tolerance is stricter than
+  // the solver's feasibility tolerance — borderline points fall back to the
+  // exact probe rather than risk a mis-bracket.
+  const auto coarse_point_clean = [&](const lp::Solution& s) {
+    for (const DroppedPiece& p : dropped) {
+      const double w = s.x[static_cast<std::size_t>(vars.work(p.task))];
+      const double need =
+          p.slope * s.x[static_cast<std::size_t>(vars.x(p.task))] + p.intercept;
+      if (need > w + 1e-9 * std::max(1.0, std::abs(w))) return false;
+    }
+    return true;
+  };
+  const auto probe = [&](double deadline, lp::Solution& out) {
+    set_deadline(deadline);
+    {
+      static FaultSite& solver_fault = FaultInjector::site("core.lp.solver-error");
+      if (solver_fault.fire()) {
+        char bracket_buf[96];
+        std::snprintf(bracket_buf, sizeof(bracket_buf),
+                      " bracket=[%.6g, %.6g] deadline=%.6g", lo, hi, deadline);
+        throw SolverError(
+            "injected solver error in deadline probe" +
+            lp_context("probe", instance, solves, iterations, !basis.empty(),
+                       cache_key) +
+            bracket_buf);
+      }
+    }
+    if (stride > 1) {
+      if (coarse_chain == nullptr && coarse_basis.empty()) {
+        // Seed the coarse chain from the exact-space basis (cache entry or
+        // the analytic upper-probe basis): the piece rows the stride drops
+        // carry basic slacks there, so the remap loses nothing.
+        coarse_basis = lp::remap_basis(basis, coarse_model.num_variables(),
+                                       map_probe_rows(instance, 1, stride),
+                                       coarse_model.num_constraints());
+      }
+      lp::Solution coarse = run_probe(coarse_model, coarse_chain, coarse_basis);
+      if (coarse.status == lp::SolveStatus::kInfeasible ||
+          coarse.objective > m * deadline * (1.0 + 1e-9)) {
+        // Trustworthy "deadline infeasible": the coarse LP relaxes the
+        // exact one, so coarse infeasibility — or a coarse minimum already
+        // above the work budget — bounds the exact optimum from below.
+        out = std::move(coarse);
+        return false;
+      }
+      if (coarse_point_clean(coarse)) {
+        out = std::move(coarse);
+        return true;
+      }
+      // Unclean coarse optimum: only now is the exact chain consulted. Its
+      // verdict (either way) is final; the coarse chain stays warm for the
+      // next probe regardless.
+    }
+    out = run_probe(model, chain, basis);
     return out.status == lp::SolveStatus::kOptimal &&
            out.objective <= m * deadline * (1.0 + 1e-9);
   };
@@ -722,7 +877,7 @@ FractionalAllotment solve_by_bisection(const model::Instance& instance,
   while (hi - lo > options.bisection_tolerance * std::max(1.0, hi)) {
     const double mid = 0.5 * (lo + hi);
     lp::Solution probe_solution;
-    if (probe(mid, probe_solution, /*allow_dual=*/true)) {
+    if (probe(mid, probe_solution)) {
       hi = mid;
       best_solution = std::move(probe_solution);
       best_deadline = mid;
@@ -731,6 +886,14 @@ FractionalAllotment solve_by_bisection(const model::Instance& instance,
     }
   }
   if (options.warm_cache != nullptr && options.warm_start) {
+    if (stride > 1 && chain == nullptr && !coarse_basis.empty()) {
+      // Every probe was answered coarse: bank the coarse basis remapped into
+      // exact row space (every coarse row maps; the exact-only piece rows get
+      // basic slacks), since the cache's probe currency is the exact layout.
+      basis = lp::remap_basis(coarse_basis, model.num_variables(),
+                              map_probe_rows(instance, stride, 1),
+                              model.num_constraints());
+    }
     options.warm_cache->put(cache_key, basis);
   }
 
@@ -739,6 +902,7 @@ FractionalAllotment solve_by_bisection(const model::Instance& instance,
   out.lp_warm_starts = warm_hits;
   out.lp_iterations = iterations;
   out.cold_retries = cold_retries;
+  out.lp_stats = stats;
   out.resolved_mode = LpMode::kBinarySearch;
   // The probe minimizes work, not L; recompute L* from the completion times.
   double length = 0.0;
@@ -753,6 +917,7 @@ FractionalAllotment solve_direct(const model::Instance& instance,
   int warm_starts = 0;
   int cold_retries = 0;
   long iterations = 0;
+  lp::SimplexStats stats;
   lp::SimplexBasis basis;
   // warm_start is the kill switch for every basis-reuse path: with it off
   // the solve is a single cold LP (the A/B baseline), regardless of
@@ -780,6 +945,7 @@ FractionalAllotment solve_direct(const model::Instance& instance,
     ++solves;
     iterations += coarse_solution.iterations;
     warm_starts += coarse_solution.warm_started ? 1 : 0;
+    stats.merge(coarse_solution.stats);
     if (coarse_solution.status == lp::SolveStatus::kInterrupted) {
       throw_interrupted(options, iterations);
     }
@@ -796,6 +962,7 @@ FractionalAllotment solve_direct(const model::Instance& instance,
       ++solves;
       ++cold_retries;
       iterations += coarse_solution.iterations;
+      stats.merge(coarse_solution.stats);
       if (coarse_solution.status == lp::SolveStatus::kInterrupted) {
         throw_interrupted(options, iterations);
       }
@@ -830,6 +997,7 @@ FractionalAllotment solve_direct(const model::Instance& instance,
   ++solves;
   iterations += solution.iterations;
   warm_starts += solution.warm_started ? 1 : 0;
+  stats.merge(solution.stats);
   if (solution.status == lp::SolveStatus::kInterrupted) {
     throw_interrupted(options, iterations);
   }
@@ -841,6 +1009,7 @@ FractionalAllotment solve_direct(const model::Instance& instance,
     ++solves;
     ++cold_retries;
     iterations += solution.iterations;
+    stats.merge(solution.stats);
   }
   if (solution.status == lp::SolveStatus::kInterrupted) {
     throw_interrupted(options, iterations);
@@ -860,6 +1029,7 @@ FractionalAllotment solve_direct(const model::Instance& instance,
   out.lp_iterations = iterations;
   out.lp_warm_starts = warm_starts;
   out.cold_retries = cold_retries;
+  out.lp_stats = stats;
   out.resolved_mode = LpMode::kDirect;
   return out;
 }

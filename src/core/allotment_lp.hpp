@@ -69,6 +69,10 @@ struct FractionalAllotment {
   /// call (the solve-level fallback, distinct from the service-level
   /// RetryPolicy which re-enters solve_allotment_lp from scratch).
   int cold_retries = 0;
+  /// Merged kernel profile of every LP solve this call ran (probes, coarse
+  /// relaxations, cold retries): where the pivot time went and whether the
+  /// hypersparse paths engaged (lp::SimplexStats).
+  lp::SimplexStats lp_stats;
 };
 
 /// Combinatorial bisection bracket for deadline search: lo is the trivial
@@ -189,13 +193,46 @@ struct AllotmentLpOptions {
   /// refine_stride or an attached warm_cache.
   bool warm_start = true;
   /// Bisection probes after the first re-optimize with the DUAL simplex from
-  /// the previous optimal basis (lp::reoptimize_dual): a deadline change
-  /// only moves variable bounds, which leaves the basis dual feasible, so
-  /// the dual loop repairs the handful of bound violations directly instead
-  /// of a primal Phase-I restart. false restores the PR-1 primal warm
-  /// restarts (the A/B baseline; bounds are bit-identical either way, the
-  /// dual path just spends fewer pivots). Only meaningful with warm_start.
+  /// the previous optimal basis: a deadline change only moves variable
+  /// bounds, which leaves the basis dual feasible, so the dual loop repairs
+  /// the handful of bound violations directly instead of a primal Phase-I
+  /// restart. The whole probe chain runs on ONE persistent solver core
+  /// (lp::DualReoptimizer) — each probe batches its bound changes into the
+  /// shared model and re-optimizes without rebuilding columns or engine.
+  /// false restores the PR-1 primal warm restarts (the A/B baseline; bounds
+  /// are bit-identical either way, the dual path just spends fewer pivots).
+  /// Only meaningful with warm_start.
   bool dual_reoptimize = true;
+  /// Piece stride of the bisection probe LPs (the committed bound is exact
+  /// for every setting — see below). 1 = every probe solves the exact
+  /// deadline LP. k >= 2 = probes first solve the stride-k relaxation on its
+  /// own persistent dual chain; a relaxed-INFEASIBLE verdict is always exact
+  /// (the relaxation's feasible region contains the exact one), a
+  /// relaxed-feasible optimum is accepted only when no dropped piece is
+  /// violated at it (then it IS the exact optimum: relaxed <= exact <= this
+  /// feasible point), and otherwise the probe falls back to the exact LP on
+  /// a second persistent chain. 0 = auto, which currently resolves to 1:
+  /// measured on the m=4 bench envelopes (<= 3 pieces per task) the coarse
+  /// optimum exploits a dropped piece on nearly every feasible probe, so
+  /// the fallback doubles the work instead of saving it — the relaxation
+  /// only pays when envelopes are deep enough that most coarse optima come
+  /// back clean. Requires warm_start && dual_reoptimize (ignored
+  /// otherwise).
+  int probe_piece_stride = 0;
+  /// Eta-file refactorization limit for the bisection probe chains at
+  /// >= 15000 tasks (0 = keep options.simplex.sparse_eta_limit, the
+  /// default). Probe eta columns carry their entering ftran's nonzeros, and
+  /// every later solve touching an eta's pivot row absorbs that pattern —
+  /// so per-pivot kernel cost grows with eta-file length. A shorter file
+  /// trades that against extra refactorizations, and on the layered n=20k
+  /// bench row the trade LOSES: limit 16 spends ~75 s more on ~1,350 extra
+  /// ~10^5-row factorizations than it saves in kernel time (the kernels are
+  /// fill-bound, not eta-bound — see ROADMAP). The knob stays for denser
+  /// eta regimes. Smaller instances are never touched, so their committed
+  /// pivot counts stay bit-identical; at >= 15000 a different limit changes
+  /// rounding (LU-exact vs eta-chain solves), hence pivot paths, but never
+  /// bound correctness.
+  int probe_large_eta_limit = 0;
   /// kAuto picks kDirect when the combinatorial bracket's relative width
   /// (hi - lo) / hi is at most this threshold, else kBinarySearch (the
   /// ratio is unit-free by construction). An attached warm_cache overrides

@@ -178,7 +178,175 @@ bool SparseLu::factor(const std::vector<const SparseColumn*>& cols,
   }
   l_ptr_[n] = static_cast<int>(lp);
   u_ptr_[n] = static_cast<int>(up);
+
+  // Inverse permutation + CSR patterns of L and U for the hypersparse
+  // solves' reach passes (O(nnz), two counting-sort passes each).
+  perm_.resize(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    perm_[static_cast<std::size_t>(pinv_[r])] = static_cast<int>(r);
+  }
+  const auto build_csr = [n](const std::vector<int>& ptr,
+                             const std::vector<int>& rows,
+                             std::vector<int>& t_ptr, std::vector<int>& t_cols) {
+    t_ptr.assign(n + 1, 0);
+    for (const int r : rows) ++t_ptr[static_cast<std::size_t>(r) + 1];
+    for (std::size_t r = 0; r < n; ++r) t_ptr[r + 1] += t_ptr[r];
+    t_cols.resize(rows.size());
+    std::vector<int> cursor(t_ptr.begin(), t_ptr.end() - 1);
+    for (std::size_t k = 0; k < n; ++k) {
+      for (int p = ptr[k]; p < ptr[k + 1]; ++p) {
+        const auto r = static_cast<std::size_t>(rows[static_cast<std::size_t>(p)]);
+        t_cols[static_cast<std::size_t>(cursor[r]++)] = static_cast<int>(k);
+      }
+    }
+  };
+  build_csr(l_ptr_, l_rows_, lt_ptr_, lt_cols_);
+  build_csr(u_ptr_, u_rows_, ut_ptr_, ut_cols_);
+
+  hwork_.assign(n, 0.0);
+  reach_mark_.assign(n, -1);
+  reach_generation_ = 0;
+  reach_.clear();
+
   valid_ = true;
+  return true;
+}
+
+void SparseLu::grow_reach(const std::vector<int>& ptr,
+                          const std::vector<int>& idx,
+                          std::vector<int>& set) const {
+  const int gen = reach_generation_;
+  for (std::size_t head = 0; head < set.size(); ++head) {
+    const auto v = static_cast<std::size_t>(set[head]);
+    for (int p = ptr[v]; p < ptr[v + 1]; ++p) {
+      const int child = idx[static_cast<std::size_t>(p)];
+      if (reach_mark_[static_cast<std::size_t>(child)] != gen) {
+        reach_mark_[static_cast<std::size_t>(child)] = gen;
+        set.push_back(child);
+      }
+    }
+  }
+}
+
+bool SparseLu::solve_hyper(Vector& x, std::vector<int>& pattern) const {
+  MALSCHED_ASSERT(valid_ && x.size() == n_);
+  // Symbolic: permute the input pattern, close it over L's column graph
+  // (forward pass scatter targets), then over U's (backward pass targets).
+  // Nothing numeric has happened yet, so the crossover can hand the intact
+  // input straight to the dense path.
+  std::vector<int>& set = reach_;
+  set.clear();
+  ++reach_generation_;
+  const int gen = reach_generation_;
+  for (const int row : pattern) {
+    const int k = pinv_[static_cast<std::size_t>(row)];
+    if (reach_mark_[static_cast<std::size_t>(k)] != gen) {
+      reach_mark_[static_cast<std::size_t>(k)] = gen;
+      set.push_back(k);
+    }
+  }
+  grow_reach(l_ptr_, l_rows_, set);
+  grow_reach(u_ptr_, u_rows_, set);
+  if (set.size() > (n_ >> 2) + 1) {
+    solve(x);
+    pattern.clear();
+    return false;
+  }
+  // Numeric: the dense loops restricted to the reach set, in the dense visit
+  // order (ascending forward, descending backward), so every touched entry
+  // gets the identical operation sequence.
+  Vector& w = hwork_;
+  for (const int row : pattern) {
+    w[static_cast<std::size_t>(pinv_[static_cast<std::size_t>(row)])] =
+        x[static_cast<std::size_t>(row)];
+    x[static_cast<std::size_t>(row)] = 0.0;
+  }
+  std::sort(set.begin(), set.end());
+  for (const int k : set) {
+    const auto ku = static_cast<std::size_t>(k);
+    const double xk = w[ku];
+    if (xk == 0.0) continue;
+    for (int p = l_ptr_[ku]; p < l_ptr_[ku + 1]; ++p) {
+      w[static_cast<std::size_t>(l_rows_[static_cast<std::size_t>(p)])] -=
+          l_vals_[static_cast<std::size_t>(p)] * xk;
+    }
+  }
+  for (auto it = set.rbegin(); it != set.rend(); ++it) {
+    const auto ku = static_cast<std::size_t>(*it);
+    const double xk = w[ku] / u_diag_[ku];
+    w[ku] = xk;
+    if (xk == 0.0) continue;
+    for (int p = u_ptr_[ku]; p < u_ptr_[ku + 1]; ++p) {
+      w[static_cast<std::size_t>(u_rows_[static_cast<std::size_t>(p)])] -=
+          u_vals_[static_cast<std::size_t>(p)] * xk;
+    }
+  }
+  for (const int k : set) {
+    const auto ku = static_cast<std::size_t>(k);
+    x[ku] = w[ku];
+    w[ku] = 0.0;
+  }
+  pattern.assign(set.begin(), set.end());
+  return true;
+}
+
+bool SparseLu::solve_transposed_hyper(Vector& y,
+                                      std::vector<int>& pattern) const {
+  MALSCHED_ASSERT(valid_ && y.size() == n_);
+  // Symbolic: the input is already in position space. Value at position j
+  // propagates to {k : U[j,k] != 0} in the U^T forward pass and to
+  // {k : L[j,k] != 0} in the L^T backward pass — the CSR patterns.
+  std::vector<int>& set = reach_;
+  set.clear();
+  ++reach_generation_;
+  const int gen = reach_generation_;
+  for (const int k : pattern) {
+    if (reach_mark_[static_cast<std::size_t>(k)] != gen) {
+      reach_mark_[static_cast<std::size_t>(k)] = gen;
+      set.push_back(k);
+    }
+  }
+  grow_reach(ut_ptr_, ut_cols_, set);
+  grow_reach(lt_ptr_, lt_cols_, set);
+  if (set.size() > (n_ >> 2) + 1) {
+    solve_transposed(y);
+    pattern.clear();
+    return false;
+  }
+  Vector& w = hwork_;
+  std::sort(set.begin(), set.end());
+  // U^T z = c (forward gather), then L^T t = z (backward gather): the dense
+  // loops restricted to the reach set. Off-set w entries read by the gathers
+  // are exactly 0.0 by the scratch invariant.
+  for (const int k : set) {
+    const auto ku = static_cast<std::size_t>(k);
+    double sum = y[ku];
+    for (int p = u_ptr_[ku]; p < u_ptr_[ku + 1]; ++p) {
+      sum -= u_vals_[static_cast<std::size_t>(p)] *
+             w[static_cast<std::size_t>(u_rows_[static_cast<std::size_t>(p)])];
+    }
+    w[ku] = sum / u_diag_[ku];
+  }
+  for (auto it = set.rbegin(); it != set.rend(); ++it) {
+    const auto ku = static_cast<std::size_t>(*it);
+    double sum = w[ku];
+    for (int p = l_ptr_[ku]; p < l_ptr_[ku + 1]; ++p) {
+      sum -= l_vals_[static_cast<std::size_t>(p)] *
+             w[static_cast<std::size_t>(l_rows_[static_cast<std::size_t>(p)])];
+    }
+    w[ku] = sum;
+  }
+  // y = P^T t on the reach set: clear the (position-indexed) input scatter,
+  // then write the row-indexed result and restore the scratch invariant.
+  for (const int k : pattern) y[static_cast<std::size_t>(k)] = 0.0;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const auto ku = static_cast<std::size_t>(set[i]);
+    set[i] = perm_[ku];
+    y[static_cast<std::size_t>(perm_[ku])] = w[ku];
+    w[ku] = 0.0;
+  }
+  std::sort(set.begin(), set.end());
+  pattern.assign(set.begin(), set.end());
   return true;
 }
 
@@ -240,29 +408,16 @@ void SparseLu::solve_transposed(Vector& y) const {
 
 void SparseLu::solve_transposed_unit(int pos, Vector& y) const {
   MALSCHED_ASSERT(valid_ && pos >= 0 && static_cast<std::size_t>(pos) < n_);
-  Vector& w = work_;
-  std::fill(w.begin(), w.end(), 0.0);
-  // U^T z = e_pos: z[k] = 0 for every k < pos (U^T is lower triangular in
-  // pivot order), so the forward substitution starts at pos.
-  for (std::size_t k = static_cast<std::size_t>(pos); k < n_; ++k) {
-    double sum = k == static_cast<std::size_t>(pos) ? 1.0 : 0.0;
-    for (int p = u_ptr_[k]; p < u_ptr_[k + 1]; ++p) {
-      sum -= u_vals_[static_cast<std::size_t>(p)] *
-             w[static_cast<std::size_t>(u_rows_[static_cast<std::size_t>(p)])];
-    }
-    w[k] = sum / u_diag_[k];
-  }
-  // L^T t = z (backward; unit diagonal) — same as solve_transposed.
-  for (std::size_t kk = n_; kk-- > 0;) {
-    double sum = w[kk];
-    for (int p = l_ptr_[kk]; p < l_ptr_[kk + 1]; ++p) {
-      sum -= l_vals_[static_cast<std::size_t>(p)] *
-             w[static_cast<std::size_t>(l_rows_[static_cast<std::size_t>(p)])];
-    }
-    w[kk] = sum;
-  }
-  y.resize(n_);
-  for (std::size_t r = 0; r < n_; ++r) y[r] = w[static_cast<std::size_t>(pinv_[r])];
+  // A unit right-hand side is the hypersparse solve's best case: the reach
+  // of the singleton {pos} is usually a short dependency chain, never the
+  // O(n) suffix the historical "start the forward pass at pos" version
+  // still visited. The dense output contract is preserved (off-reach
+  // entries are exactly 0.0 instead of the old computed signed zeros).
+  y.assign(n_, 0.0);
+  y[static_cast<std::size_t>(pos)] = 1.0;
+  unit_pattern_.clear();
+  unit_pattern_.push_back(pos);
+  solve_transposed_hyper(y, unit_pattern_);
 }
 
 }  // namespace malsched::linalg

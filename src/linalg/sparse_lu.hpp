@@ -13,6 +13,17 @@
 // Peierls, "Sparse partial pivoting in time proportional to arithmetic
 // operations"), the numeric triangular solve touches only that pattern, and
 // the pivot is the largest-magnitude entry among not-yet-pivoted rows.
+//
+// The same reach idea extends to the SOLVES (solve_hyper and friends): when
+// the right-hand side is sparse, a graph traversal over the factor patterns
+// computes the set of entries the solution can reach, and the numeric
+// substitution visits only that set — O(entries touched) per solve instead of
+// O(n). The factorization therefore also stores the row-wise (CSR) patterns
+// of L and U, which are the adjacency lists of the transposed reach passes,
+// plus the inverse permutation. Hypersparse results are bit-identical to the
+// dense loops on every reached entry (the visit order is the dense order
+// restricted to the reach set) and exactly 0.0 elsewhere; a density crossover
+// falls back to the dense path when the reach exceeds a quarter of n.
 #pragma once
 
 #include <cstddef>
@@ -52,14 +63,36 @@ class SparseLu {
   void solve_transposed(Vector& y) const;
 
   /// y := A^-T e_pos (unit right-hand side at column position `pos`),
-  /// exploiting that U^T is lower triangular in pivot order, so the forward
-  /// pass can start at `pos` instead of 0. This is the dual simplex's row
-  /// computation (rho = B^-T e_r); the basis engine routes it here whenever
-  /// the eta file is empty — i.e. right after every refactorization — and
-  /// falls back to the dense transposed solve otherwise. `y` is resized.
+  /// the dual simplex's row computation (rho = B^-T e_r). Routed through the
+  /// hypersparse reach-set solve, so it costs O(entries touched) even on a
+  /// refactored basis; `y` is resized and dense (zero off the reach set).
   void solve_transposed_unit(int pos, Vector& y) const;
 
+  /// Hypersparse x := A^-1 b. On entry `x` must be all-zero except at the
+  /// original-row indices listed in `pattern` (unique, any order). On the
+  /// sparse path returns true: `x` holds the result — indexed by column
+  /// position, exactly 0.0 off the reach set — and `pattern` is replaced by
+  /// the reach set (ascending column positions, a superset of the result's
+  /// nonzeros). When the reach exceeds the density crossover the solve
+  /// finishes on the dense path and returns false: `x` holds the same result
+  /// densely and `pattern` is cleared. Values on the reach set are
+  /// bit-identical to solve(); off-set entries may differ from it only in
+  /// the sign of zero.
+  bool solve_hyper(Vector& x, std::vector<int>& pattern) const;
+
+  /// Hypersparse y := A^-T c: same contract as solve_hyper with the
+  /// transposed index spaces — input indexed by column position, output by
+  /// original rows (`pattern` out holds ascending original-row indices).
+  bool solve_transposed_hyper(Vector& y, std::vector<int>& pattern) const;
+
  private:
+  /// Closes `set` (already marked with `reach_generation_`) over the graph
+  /// `ptr`/`idx`: appends every node reachable from a member. Breadth-first;
+  /// order is irrelevant because the numeric passes sort the set into the
+  /// dense loops' visit order anyway.
+  void grow_reach(const std::vector<int>& ptr, const std::vector<int>& idx,
+                  std::vector<int>& set) const;
+
   std::size_t n_ = 0;
   bool valid_ = false;
 
@@ -70,8 +103,23 @@ class SparseLu {
   std::vector<double> l_vals_, u_vals_;
   std::vector<double> u_diag_;
   std::vector<int> pinv_;  // original row -> pivot position
+  std::vector<int> perm_;  // pivot position -> original row
+
+  // Row-wise (CSR) patterns of L and U: for pivot position r, the columns k
+  // whose factor column holds an entry in row r. These are the dependency
+  // graphs the transposed solves' reach passes walk; the numeric passes still
+  // gather through the CSC arrays above.
+  std::vector<int> lt_ptr_, lt_cols_, ut_ptr_, ut_cols_;
 
   mutable Vector work_;  // scratch for the permuted intermediate vector
+  // Hypersparse scratch. hwork_ is all-zero between solves (each solve
+  // restores the invariant by zeroing its reach set); mark_ carries
+  // generation stamps so clearing it is O(1) per solve.
+  mutable Vector hwork_;
+  mutable std::vector<int> reach_;
+  mutable std::vector<int> reach_mark_;
+  mutable int reach_generation_ = 0;
+  mutable std::vector<int> unit_pattern_;  // solve_transposed_unit's buffer
 };
 
 }  // namespace malsched::linalg

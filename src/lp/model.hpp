@@ -137,6 +137,41 @@ enum class SolveStatus {
 
 const char* to_string(SolveStatus status);
 
+/// Per-solve kernel profile: where pivot time goes and whether the
+/// hypersparse paths actually engaged. Seconds are wall time inside the
+/// basis-engine calls; nnz totals count result entries touched (pattern
+/// sizes on the sparse paths, full rows on the dense ones), so
+/// ftran_nnz / hyper_ftrans ≈ entries per solve is the hypersparsity
+/// evidence. The hyper/dense counters split the kernel call sites that HAVE
+/// a sparse path (entering-column ftran, composite-flip ftran, unit btran);
+/// dense full-vector solves (dual prices, basic-value recomputes) contribute
+/// to the seconds and nnz totals only.
+struct SimplexStats {
+  double ftran_seconds = 0.0;
+  double btran_seconds = 0.0;
+  double pricing_seconds = 0.0;
+  long long ftran_nnz = 0;
+  long long btran_nnz = 0;
+  long long pricing_nnz = 0;  ///< columns priced across dual pricing rows
+  long long hyper_ftrans = 0;
+  long long dense_ftrans = 0;
+  long long hyper_btrans = 0;
+  long long dense_btrans = 0;
+
+  void merge(const SimplexStats& o) {
+    ftran_seconds += o.ftran_seconds;
+    btran_seconds += o.btran_seconds;
+    pricing_seconds += o.pricing_seconds;
+    ftran_nnz += o.ftran_nnz;
+    btran_nnz += o.btran_nnz;
+    pricing_nnz += o.pricing_nnz;
+    hyper_ftrans += o.hyper_ftrans;
+    dense_ftrans += o.dense_ftrans;
+    hyper_btrans += o.hyper_btrans;
+    dense_btrans += o.dense_btrans;
+  }
+};
+
 struct Solution {
   SolveStatus status = SolveStatus::kIterationLimit;
   double objective = 0.0;
@@ -145,6 +180,7 @@ struct Solution {
   long iterations = 0;
   long refactorizations = 0;
   bool warm_started = false;  ///< true when the solve reused a prior basis
+  SimplexStats stats;         ///< kernel profile of this solve
 };
 
 }  // namespace malsched::lp

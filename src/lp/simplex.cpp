@@ -1,6 +1,7 @@
 #include "lp/simplex.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <memory>
@@ -23,6 +24,12 @@ using linalg::Vector;
 // The internal status enum IS the public snapshot encoding (BasisStatus):
 // snapshots are raw status bytes, and callers may construct them directly.
 using VarStatus = BasisStatus;
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
 
 struct Column {
   std::vector<std::pair<int, double>> entries;  // (row, coefficient)
@@ -56,15 +63,57 @@ class BasisEngine {
 
   /// y := B^-T e_r — the dual simplex's row computation. Default: assemble
   /// the unit vector and btran it; engines with a cheaper unit path (sparse
-  /// LU with an empty eta file) override.
+  /// LU) override.
   virtual void btran_unit(int r, Vector& y) {
     y.assign(y.size(), 0.0);
     y[static_cast<std::size_t>(r)] = 1.0;
     btran_dense(y);
   }
 
-  /// Basis column at position r is replaced; w = B^-1 a_entering.
-  virtual void update(int r, const Vector& w) = 0;
+  // --- hypersparse variants -------------------------------------------------
+  // Each takes an ALL-ZERO, full-size result vector plus a pattern buffer.
+  // Returning true means the result's possible nonzeros are listed in
+  // `pattern` (ascending) and everything off-pattern is exactly 0.0; false
+  // means the engine fell back to a dense result (pattern cleared). Values
+  // on the pattern are bit-identical to the dense entry points; off-pattern
+  // entries may differ from them only in signs of zero. The defaults keep
+  // engines without a sparse path (dense inverse) on their dense kernels.
+  //
+  // The ALL-ZERO precondition is the CALLER's job: the engines do not reset
+  // the result vector, so a caller reusing a scratch vector must restore its
+  // zeros first — O(nnz) over the previous call's pattern after a sparse
+  // result, a full assign after a dense one (SimplexCore::clear_scratch).
+  // Zeroing here per call would put an O(m) memset on every pivot, exactly
+  // the cost wall the hypersparse kernels exist to remove.
+
+  /// out := B^-1 a for a sparse column.
+  virtual bool ftran_column_sparse(const Column& a, Vector& out,
+                                   std::vector<int>& pattern) {
+    ftran_column(a, out);
+    pattern.clear();
+    return false;
+  }
+
+  /// x := B^-1 x where x is all-zero off `pattern` (the composite-flip rhs).
+  virtual bool ftran_scatter_sparse(Vector& x, std::vector<int>& pattern) {
+    (void)pattern;
+    ftran_dense(x);
+    pattern.clear();
+    return false;
+  }
+
+  /// y := B^-T e_r.
+  virtual bool btran_unit_sparse(int r, Vector& y, std::vector<int>& pattern) {
+    btran_unit(r, y);
+    pattern.clear();
+    return false;
+  }
+
+  /// Basis column at position r is replaced; w = B^-1 a_entering. `pattern`
+  /// (nullable) lists w's possible nonzeros ascending, letting the engine
+  /// build its update from O(nnz) entries instead of scanning all rows.
+  virtual void update(int r, const Vector& w,
+                      const std::vector<int>* pattern) = 0;
 
   /// True when the engine wants a refactorization after `pivots` updates.
   virtual bool wants_refactor(int pivots) const = 0;
@@ -119,7 +168,8 @@ class DenseInverseEngine final : public BasisEngine {
     y.swap(out);
   }
 
-  void update(int r, const Vector& w) override {
+  void update(int r, const Vector& w,
+              const std::vector<int>* /*pattern*/) override {
     const auto ru = static_cast<std::size_t>(r);
     const double pivot = w[ru];
     double* prow = binv_.row(ru);
@@ -173,14 +223,7 @@ class SparseLuEngine final : public BasisEngine {
 
   void ftran_dense(Vector& x) override {
     lu_.solve(x);
-    for (const Eta& eta : etas_) {
-      const double xr = x[static_cast<std::size_t>(eta.r)] / eta.pivot;
-      x[static_cast<std::size_t>(eta.r)] = xr;
-      if (xr == 0.0) continue;
-      for (const auto& [i, wi] : eta.entries) {
-        x[static_cast<std::size_t>(i)] -= wi * xr;
-      }
-    }
+    apply_etas_dense(x);
   }
 
   void btran_dense(Vector& y) override {
@@ -194,13 +237,24 @@ class SparseLuEngine final : public BasisEngine {
     lu_.solve_transposed(y);
   }
 
-  void update(int r, const Vector& w) override {
+  void update(int r, const Vector& w,
+              const std::vector<int>* pattern) override {
     Eta eta;
     eta.r = r;
     eta.pivot = w[static_cast<std::size_t>(r)];
-    for (std::size_t i = 0; i < m_; ++i) {
-      if (static_cast<int>(i) == r || w[i] == 0.0) continue;
-      eta.entries.emplace_back(static_cast<int>(i), w[i]);
+    if (pattern != nullptr) {
+      // Pattern is ascending and covers every nonzero of w, so this yields
+      // the exact entry list of the full scan below in the same order.
+      for (int i : *pattern) {
+        const auto iu = static_cast<std::size_t>(i);
+        if (i == r || w[iu] == 0.0) continue;
+        eta.entries.emplace_back(i, w[iu]);
+      }
+    } else {
+      for (std::size_t i = 0; i < m_; ++i) {
+        if (static_cast<int>(i) == r || w[i] == 0.0) continue;
+        eta.entries.emplace_back(static_cast<int>(i), w[i]);
+      }
     }
     // Fault site: NaN-poison this product-form update, the way a memory
     // error in the eta file would corrupt it. Subsequent ftran/btran
@@ -231,6 +285,96 @@ class SparseLuEngine final : public BasisEngine {
     BasisEngine::btran_unit(r, y);
   }
 
+  bool ftran_column_sparse(const Column& a, Vector& out,
+                           std::vector<int>& pattern) override {
+    if (!opt_.hypersparse) {
+      ftran_column(a, out);
+      pattern.clear();
+      return false;
+    }
+    // `out` is all-zero by the caller-maintained scratch invariant.
+    pattern.clear();
+    for (const auto& [row, coeff] : a.entries) {
+      out[static_cast<std::size_t>(row)] += coeff;
+      pattern.push_back(row);  // rows are unique per column
+    }
+    if (!lu_.solve_hyper(out, pattern)) {
+      apply_etas_dense(out);
+      pattern.clear();
+      return false;
+    }
+    apply_etas_sparse(out, pattern);
+    return true;
+  }
+
+  bool ftran_scatter_sparse(Vector& x, std::vector<int>& pattern) override {
+    if (!opt_.hypersparse) {
+      ftran_dense(x);
+      pattern.clear();
+      return false;
+    }
+    if (!lu_.solve_hyper(x, pattern)) {
+      apply_etas_dense(x);
+      pattern.clear();
+      return false;
+    }
+    apply_etas_sparse(x, pattern);
+    return true;
+  }
+
+  bool btran_unit_sparse(int r, Vector& y, std::vector<int>& pattern) override {
+    if (!opt_.hypersparse) {
+      btran_unit(r, y);
+      pattern.clear();
+      return false;
+    }
+    // `y` is all-zero by the caller-maintained scratch invariant.
+    y[static_cast<std::size_t>(r)] = 1.0;
+    pattern.clear();
+    pattern.push_back(r);
+    if (!etas_.empty()) {
+      // Transposed eta pass in reverse creation order. An eta reads y at its
+      // entry rows and overwrites its pivot row; when every read is an exact
+      // zero (all off-pattern) the write is an exact zero too, so the eta is
+      // skipped and the result can differ from btran_dense only in signs of
+      // zero off the pattern. NaN-poisoned pivots (the eta-corrupt fault
+      // site) are always applied: the dense pass propagates their NaN
+      // regardless of the gathered values.
+      ++mark_generation_;
+      if (mark_.size() != m_) mark_.assign(m_, 0);
+      mark_[static_cast<std::size_t>(r)] = mark_generation_;
+      for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+        const auto ru = static_cast<std::size_t>(it->r);
+        bool touched =
+            mark_[ru] == mark_generation_ || !std::isfinite(it->pivot);
+        if (!touched) {
+          for (const auto& [i, wi] : it->entries) {
+            (void)wi;
+            if (mark_[static_cast<std::size_t>(i)] == mark_generation_) {
+              touched = true;
+              break;
+            }
+          }
+        }
+        if (!touched) continue;
+        double sum = y[ru];
+        for (const auto& [i, wi] : it->entries) {
+          sum -= wi * y[static_cast<std::size_t>(i)];
+        }
+        y[ru] = sum / it->pivot;
+        if (mark_[ru] != mark_generation_) {
+          mark_[ru] = mark_generation_;
+          pattern.push_back(it->r);
+        }
+      }
+    }
+    if (!lu_.solve_transposed_hyper(y, pattern)) {
+      pattern.clear();
+      return false;
+    }
+    return true;
+  }
+
  private:
   struct Eta {
     int r = 0;
@@ -238,11 +382,58 @@ class SparseLuEngine final : public BasisEngine {
     std::vector<std::pair<int, double>> entries;  // w entries excluding row r
   };
 
+  void apply_etas_dense(Vector& x) {
+    for (const Eta& eta : etas_) {
+      const double xr = x[static_cast<std::size_t>(eta.r)] / eta.pivot;
+      x[static_cast<std::size_t>(eta.r)] = xr;
+      if (xr == 0.0) continue;
+      for (const auto& [i, wi] : eta.entries) {
+        x[static_cast<std::size_t>(i)] -= wi * xr;
+      }
+    }
+  }
+
+  // Forward eta pass restricted to `pattern` (the reach of the LU solve).
+  // An eta whose pivot row is off-pattern divides an exact zero: nothing
+  // propagates, so it is skipped — except NaN-poisoned pivots, which the
+  // dense pass propagates unconditionally. Grows (and re-sorts) the pattern
+  // at every row an applied eta writes.
+  void apply_etas_sparse(Vector& x, std::vector<int>& pattern) {
+    if (etas_.empty()) return;
+    ++mark_generation_;
+    if (mark_.size() != m_) mark_.assign(m_, 0);
+    for (int p : pattern) mark_[static_cast<std::size_t>(p)] = mark_generation_;
+    const std::size_t before = pattern.size();
+    for (const Eta& eta : etas_) {
+      const auto ru = static_cast<std::size_t>(eta.r);
+      if (mark_[ru] != mark_generation_) {
+        if (std::isfinite(eta.pivot)) continue;
+        mark_[ru] = mark_generation_;
+        pattern.push_back(eta.r);
+      }
+      const double xr = x[ru] / eta.pivot;
+      x[ru] = xr;
+      if (xr == 0.0) continue;
+      for (const auto& [i, wi] : eta.entries) {
+        const auto iu = static_cast<std::size_t>(i);
+        if (mark_[iu] != mark_generation_) {
+          mark_[iu] = mark_generation_;
+          pattern.push_back(i);
+        }
+        x[iu] -= wi * xr;
+      }
+    }
+    if (pattern.size() != before) std::sort(pattern.begin(), pattern.end());
+  }
+
   std::size_t m_;
   const SimplexOptions& opt_;
   SparseLu lu_;
   std::vector<const SparseColumn*> col_ptrs_;
   std::vector<Eta> etas_;
+  // Stamped scratch for the sparse eta passes (O(1) clear per call).
+  std::vector<long long> mark_;
+  long long mark_generation_ = 0;
 };
 
 // --- simplex core -----------------------------------------------------------
@@ -352,6 +543,42 @@ class SimplexCore {
     }
   }
 
+  /// Persistent-core re-solve (DualReoptimizer): re-syncs the captured
+  /// model's current bounds and re-runs the dual path from the previous
+  /// solve's final basis. Replicates EXACTLY what constructing a fresh core
+  /// from a snapshot of that basis would do — bounds re-read, statuses
+  /// re-sanitized, basic set rebuilt in ascending order, engine refactorized
+  /// (discarding the eta file), values recomputed, pricing state reset — so
+  /// pivot sequences and results are bit-identical to the fresh-core chain;
+  /// only the setup cost (column build, allocations) is saved.
+  Solution resync_and_run_dual() {
+    stats_ = SimplexStats{};  // profile is per returned Solution
+    sync_bounds_from_model();
+    const int n = num_structural_;
+    const int m = num_rows_;
+    basic_.clear();
+    basic_.reserve(static_cast<std::size_t>(m));
+    for (int j = 0; j < n + m; ++j) {
+      const auto ju = static_cast<std::size_t>(j);
+      const VarStatus s = sanitize_warm_status(j, status_[ju]);
+      status_[ju] = s;
+      if (s == VarStatus::kBasic) basic_.push_back(j);
+    }
+    init_failed_ = false;
+    xb_.assign(static_cast<std::size_t>(m), 0.0);
+    if (static_cast<int>(basic_.size()) == m &&
+        engine_->refactorize(cols_, basic_)) {
+      warm_started_ = true;
+      recompute_basic_values();
+    } else {
+      cold_start();
+      if (!init_failed_) recompute_basic_values();
+    }
+    candidates_.clear();
+    scan_cursor_ = 0;
+    return run_dual();
+  }
+
  private:
   // --- setup -------------------------------------------------------------
 
@@ -391,6 +618,44 @@ class SimplexCore {
           upper_[static_cast<std::size_t>(slack)] = 0.0;
           break;
       }
+    }
+
+    // Row-wise (CSR) view of the full column set (slacks included), built by
+    // counting sort. Iterating columns ascending leaves each row's list in
+    // ascending column order — the order the sparse dual pricing needs to
+    // reproduce the dense full-column sweep exactly.
+    rows_ptr_.assign(static_cast<std::size_t>(m) + 1, 0);
+    for (const Column& c : cols_) {
+      for (const auto& [row, coeff] : c.entries) {
+        (void)coeff;
+        ++rows_ptr_[static_cast<std::size_t>(row) + 1];
+      }
+    }
+    for (int i = 0; i < m; ++i) {
+      rows_ptr_[static_cast<std::size_t>(i) + 1] +=
+          rows_ptr_[static_cast<std::size_t>(i)];
+    }
+    const auto nnz = static_cast<std::size_t>(rows_ptr_[static_cast<std::size_t>(m)]);
+    rows_col_.resize(nnz);
+    rows_val_.resize(nnz);
+    std::vector<int> cursor(rows_ptr_.begin(), rows_ptr_.end() - 1);
+    for (std::size_t j = 0; j < cols_.size(); ++j) {
+      for (const auto& [row, coeff] : cols_[j].entries) {
+        const int k = cursor[static_cast<std::size_t>(row)]++;
+        rows_col_[static_cast<std::size_t>(k)] = static_cast<int>(j);
+        rows_val_[static_cast<std::size_t>(k)] = coeff;
+      }
+    }
+  }
+
+  /// Re-reads the structural variable bounds from the model (slack bounds
+  /// depend only on the constraint senses, which are immutable). Part of the
+  /// persistent-core resync: a fresh core would pick these up in
+  /// build_columns.
+  void sync_bounds_from_model() {
+    for (int j = 0; j < num_structural_; ++j) {
+      lower_[static_cast<std::size_t>(j)] = model_.variable(j).lower;
+      upper_[static_cast<std::size_t>(j)] = model_.variable(j).upper;
     }
   }
 
@@ -502,18 +767,16 @@ class SimplexCore {
   /// Sign of the bound violation of basis position i under the feasibility
   /// tolerance: +1 above upper, -1 below lower, 0 in bounds.
   int infeasibility_sign(std::size_t i) const {
-    const auto bu = static_cast<std::size_t>(basic_[i]);
-    if (xb_[i] > upper_[bu] + opt_.primal_tolerance) return 1;
-    if (xb_[i] < lower_[bu] - opt_.primal_tolerance) return -1;
+    if (xb_[i] > basic_upper_[i] + opt_.primal_tolerance) return 1;
+    if (xb_[i] < basic_lower_[i] - opt_.primal_tolerance) return -1;
     return 0;
   }
 
   double max_primal_infeasibility() const {
     double worst = 0.0;
     for (std::size_t i = 0; i < xb_.size(); ++i) {
-      const auto bu = static_cast<std::size_t>(basic_[i]);
-      worst = std::max(worst, xb_[i] - upper_[bu]);
-      worst = std::max(worst, lower_[bu] - xb_[i]);
+      worst = std::max(worst, xb_[i] - basic_upper_[i]);
+      worst = std::max(worst, basic_lower_[i] - xb_[i]);
     }
     return worst;
   }
@@ -562,8 +825,20 @@ class SimplexCore {
         rhs_adj[static_cast<std::size_t>(row)] -= coeff * v;
       }
     }
+    const auto t0 = Clock::now();
     engine_->ftran_dense(rhs_adj);
+    stats_.ftran_seconds += seconds_since(t0);
+    stats_.ftran_nnz += num_rows_;
     xb_.swap(rhs_adj);
+    // Contiguous mirrors of the basic variables' bounds: the per-pivot
+    // leaving scans read these instead of chasing basic_[i] -> bounds.
+    basic_lower_.resize(xb_.size());
+    basic_upper_.resize(xb_.size());
+    for (std::size_t i = 0; i < xb_.size(); ++i) {
+      const auto bu = static_cast<std::size_t>(basic_[i]);
+      basic_lower_[i] = lower_[bu];
+      basic_upper_[i] = upper_[bu];
+    }
   }
 
   /// Simplex multipliers for the current phase: y = B^-T c_B. In Phase I
@@ -576,7 +851,10 @@ class SimplexCore {
       y[i] = phase1 ? static_cast<double>(infeas_[i])
                     : cost_[static_cast<std::size_t>(basic_[i])];
     }
+    const auto t0 = Clock::now();
     engine_->btran_dense(y);
+    stats_.btran_seconds += seconds_since(t0);
+    stats_.btran_nnz += num_rows_;
   }
 
   bool eligible(int j, double d) const {
@@ -661,8 +939,54 @@ class SimplexCore {
     return best;
   }
 
+  /// Recovers the exact numeric nonzero pattern of a dense kernel result
+  /// with one O(m) scan (the vector already paid O(m) to be computed).
+  /// Density crossovers are SYMBOLIC — the reach set outgrew the threshold
+  /// — and every consumer loop only needs pattern ⊇ nonzeros: pricing/
+  /// ratio/update passes skip exact-zero entries anyway, so walking the
+  /// scanned pattern drops only terms that are exactly 0.0, which cannot
+  /// change any partial sum bitwise (a zero term at most flips the sign of
+  /// a zero sum, and zero-magnitude results are discarded by the
+  /// tolerances either way). Returns true when the scanned pattern is
+  /// sparse enough that pattern-driven consumers beat the sequential dense
+  /// sweeps — measured on the layered n=20k row, a numerically ~half-dense
+  /// rho row priced row-wise (random-access stamps + a touched-set sort)
+  /// loses to the cache-friendly dense column sweep, so the quarter-rows
+  /// crossover mirrors the kernels'. Either return leaves `pattern`
+  /// covering every nonzero, so the caller's O(nnz) scratch clear is valid
+  /// regardless.
+  bool scan_pattern(const Vector& v, std::vector<int>& pattern) const {
+    pattern.clear();
+    const auto mu = static_cast<std::size_t>(num_rows_);
+    for (std::size_t i = 0; i < mu; ++i) {
+      if (v[i] != 0.0) pattern.push_back(static_cast<int>(i));
+    }
+    return pattern.size() <= (mu >> 2) + 1;
+  }
+
+  /// Restores a scratch vector's all-zero state before handing it to one of
+  /// the engine's hypersparse entry points (which require an ALL-ZERO input
+  /// and do not reset it themselves). After a sparse call the nonzeros are
+  /// confined to the call's final pattern, so the clear is O(nnz); after a
+  /// dense fallback — or on first use, when the vector is still unsized —
+  /// the whole vector is reset. `dense` is the flag the caller latched from
+  /// the previous engine call's return value. This replaces a per-pivot
+  /// O(m) memset that dominated pivot cost at large n once the kernels
+  /// themselves went hypersparse.
+  void clear_scratch(Vector& v, const std::vector<int>& pattern,
+                     bool dense) const {
+    const auto mu = static_cast<std::size_t>(num_rows_);
+    if (dense || v.size() != mu) {
+      v.assign(mu, 0.0);
+    } else {
+      for (const int p : pattern) v[static_cast<std::size_t>(p)] = 0.0;
+    }
+  }
+
   /// Elementary pivot: entering j takes over basis row r with direction w.
-  void apply_pivot(int j, int r, const Vector& w, double entering_value,
+  /// `w_pattern` (nullable) is w's nonzero pattern for the engine update.
+  void apply_pivot(int j, int r, const Vector& w,
+                   const std::vector<int>* w_pattern, double entering_value,
                    VarStatus leaving_status) {
     const auto ru = static_cast<std::size_t>(r);
     MALSCHED_ASSERT(std::abs(w[ru]) > opt_.pivot_tolerance);
@@ -673,7 +997,10 @@ class SimplexCore {
     basic_[ru] = j;
     status_[static_cast<std::size_t>(j)] = VarStatus::kBasic;
     xb_[ru] = entering_value;
-    engine_->update(r, w);
+    const auto ju = static_cast<std::size_t>(j);
+    basic_lower_[ru] = lower_[ju];
+    basic_upper_[ru] = upper_[ju];
+    engine_->update(r, w, w_pattern);
   }
 
   SolveStatus iterate(Solution& result, bool phase1) {
@@ -711,9 +1038,21 @@ class SimplexCore {
               ? -1.0
               : 1.0;
 
-      engine_->ftran_column(cols_[eu], w_);
+      clear_scratch(w_, w_pattern_, w_dense_);
+      const auto t_ftran = Clock::now();
+      const bool w_hyper = engine_->ftran_column_sparse(cols_[eu], w_, w_pattern_);
+      stats_.ftran_seconds += seconds_since(t_ftran);
+      stats_.ftran_nnz +=
+          w_hyper ? static_cast<long long>(w_pattern_.size()) : num_rows_;
+      ++(w_hyper ? stats_.hyper_ftrans : stats_.dense_ftrans);
+      const bool w_sparse =
+          w_hyper || (opt_.hypersparse && scan_pattern(w_, w_pattern_));
+      w_dense_ = !w_sparse;
 
       // --- ratio test (bounded variables, Phase-I aware) ---
+      // On the hypersparse path only w's pattern is scanned: an off-pattern
+      // row has w_[i] exactly 0.0, so its rate falls inside the pivot
+      // tolerance and every branch below `continue`s.
       double t_limit = kInfinity;
       int leaving_row = -1;
       bool leaving_to_upper = false;
@@ -723,9 +1062,11 @@ class SimplexCore {
         t_limit = upper_[eu] - lower_[eu];
       }
       constexpr double kTieEps = 1e-12;
-      for (std::size_t i = 0; i < mu; ++i) {
+      const std::size_t scan_count = w_sparse ? w_pattern_.size() : mu;
+      for (std::size_t k = 0; k < scan_count; ++k) {
+        const std::size_t i =
+            w_sparse ? static_cast<std::size_t>(w_pattern_[k]) : k;
         const double rate = -sigma * w_[i];  // d(xB_i)/dt
-        const auto bu = static_cast<std::size_t>(basic_[i]);
         double limit;
         bool to_upper;
         if (phase1 && infeas_[i] != 0) {
@@ -735,21 +1076,21 @@ class SimplexCore {
           // infeasibility).
           if (infeas_[i] > 0) {  // above upper
             if (rate >= -opt_.pivot_tolerance) continue;
-            limit = (upper_[bu] - xb_[i]) / rate;
+            limit = (basic_upper_[i] - xb_[i]) / rate;
             to_upper = true;
           } else {  // below lower
             if (rate <= opt_.pivot_tolerance) continue;
-            limit = (lower_[bu] - xb_[i]) / rate;
+            limit = (basic_lower_[i] - xb_[i]) / rate;
             to_upper = false;
           }
         } else {
           if (rate < -opt_.pivot_tolerance) {
-            if (!std::isfinite(lower_[bu])) continue;
-            limit = (lower_[bu] - xb_[i]) / rate;
+            if (!std::isfinite(basic_lower_[i])) continue;
+            limit = (basic_lower_[i] - xb_[i]) / rate;
             to_upper = false;
           } else if (rate > opt_.pivot_tolerance) {
-            if (!std::isfinite(upper_[bu])) continue;
-            limit = (upper_[bu] - xb_[i]) / rate;
+            if (!std::isfinite(basic_upper_[i])) continue;
+            limit = (basic_upper_[i] - xb_[i]) / rate;
             to_upper = true;
           } else {
             continue;
@@ -789,8 +1130,15 @@ class SimplexCore {
       }
 
       // Apply the step to the basic values.
-      for (std::size_t i = 0; i < mu; ++i) {
-        if (w_[i] != 0.0) xb_[i] += (-sigma * w_[i]) * t_limit;
+      if (w_sparse) {
+        for (const int p : w_pattern_) {
+          const auto pu = static_cast<std::size_t>(p);
+          if (w_[pu] != 0.0) xb_[pu] += (-sigma * w_[pu]) * t_limit;
+        }
+      } else {
+        for (std::size_t i = 0; i < mu; ++i) {
+          if (w_[i] != 0.0) xb_[i] += (-sigma * w_[i]) * t_limit;
+        }
       }
 
       if (leaving_row == -1) {
@@ -802,7 +1150,8 @@ class SimplexCore {
             estat == VarStatus::kFree ? 0.0 : nonbasic_value(entering, estat);
         const VarStatus leave_status =
             leaving_to_upper ? VarStatus::kAtUpper : VarStatus::kAtLower;
-        apply_pivot(entering, leaving_row, w_, start + sigma * t_limit, leave_status);
+        apply_pivot(entering, leaving_row, w_, w_sparse ? &w_pattern_ : nullptr,
+                    start + sigma * t_limit, leave_status);
         ++pivots_since_refactor;
         if (engine_->wants_refactor(pivots_since_refactor)) {
           if (!refactorize(result)) return SolveStatus::kNumericalFailure;
@@ -885,6 +1234,8 @@ class SimplexCore {
     int degenerate_streak = 0;
     int numeric_retries = 0;
     constexpr double kTieEps = 1e-12;
+    alpha_.assign(cols_.size(), 0.0);
+    alpha_nz_.clear();
 
     for (;;) {
       if (interrupted(result.iterations)) return SolveStatus::kInterrupted;
@@ -896,9 +1247,8 @@ class SimplexCore {
       double worst = opt_.primal_tolerance;
       double s = 0.0;  // +1: above upper, -1: below lower
       for (std::size_t i = 0; i < mu; ++i) {
-        const auto bu = static_cast<std::size_t>(basic_[i]);
-        const double above = xb_[i] - upper_[bu];
-        const double below = lower_[bu] - xb_[i];
+        const double above = xb_[i] - basic_upper_[i];
+        const double below = basic_lower_[i] - xb_[i];
         if (above > worst) {
           worst = above;
           r = static_cast<int>(i);
@@ -915,30 +1265,96 @@ class SimplexCore {
       ++result.iterations;
       const auto ru = static_cast<std::size_t>(r);
 
+      // Clear the previous iteration's alpha entries (O(nnz), keeping the
+      // all-zero invariant every path below relies on).
+      for (const int j : alpha_nz_) alpha_[static_cast<std::size_t>(j)] = 0.0;
+      alpha_nz_.clear();
+
       // --- alpha row: rho = B^-T e_r, alpha_j = rho . a_j ---
-      rho_.resize(mu);
-      engine_->btran_unit(r, rho_);
+      clear_scratch(rho_, rho_pattern_, rho_dense_);
+      const auto t_btran = Clock::now();
+      const bool rho_hyper = engine_->btran_unit_sparse(r, rho_, rho_pattern_);
+      stats_.btran_seconds += seconds_since(t_btran);
+      stats_.btran_nnz +=
+          rho_hyper ? static_cast<long long>(rho_pattern_.size()) : num_rows_;
+      ++(rho_hyper ? stats_.hyper_btrans : stats_.dense_btrans);
+      // A dense crossover is symbolic; the numeric row is usually still
+      // sparse, and the scanned pattern keeps the pricing pass sparse (it
+      // drops only exact-zero terms — see scan_pattern).
+      const bool rho_sparse =
+          rho_hyper || (opt_.hypersparse && scan_pattern(rho_, rho_pattern_));
+      rho_dense_ = !rho_sparse;
+
       dual_candidates_.clear();
-      alpha_.assign(cols_.size(), 0.0);
-      for (int j = 0; j < total; ++j) {
-        const auto ju = static_cast<std::size_t>(j);
-        const VarStatus st = status_[ju];
-        if (st == VarStatus::kBasic || st == VarStatus::kFixed) continue;
-        double a = 0.0;
-        for (const auto& [row, coeff] : cols_[ju].entries) {
-          a += rho_[static_cast<std::size_t>(row)] * coeff;
+      const auto t_price = Clock::now();
+      if (rho_sparse && opt_.sparse_pricing) {
+        // Row-wise pricing over rho's pattern: only columns whose support
+        // intersects the pattern can have a nonzero alpha. Contributions
+        // arrive in ascending row order per column — the same order the
+        // dense per-column gather sums them — so every alpha that clears
+        // the pivot tolerance is bit-identical to the full sweep's, and the
+        // candidate list (built over the sorted touched set) matches it.
+        if (stamp_.size() != cols_.size()) {
+          stamp_.assign(cols_.size(), 0);
+          alpha_acc_.assign(cols_.size(), 0.0);
         }
-        if (std::abs(a) <= opt_.pivot_tolerance) continue;
-        alpha_[ju] = a;
-        const double sa = s * a;
-        // Eligible when moving j in its feasible direction pushes xB_r
-        // toward the violated bound — exactly the columns whose reduced
-        // cost blocks the dual step.
-        const bool eligible = (st == VarStatus::kAtLower && sa > 0.0) ||
-                              (st == VarStatus::kAtUpper && sa < 0.0) ||
-                              st == VarStatus::kFree;
-        if (eligible) dual_candidates_.push_back(j);
+        ++stamp_generation_;
+        touched_.clear();
+        for (const int p : rho_pattern_) {
+          const double rv = rho_[static_cast<std::size_t>(p)];
+          if (rv == 0.0) continue;
+          const int k0 = rows_ptr_[static_cast<std::size_t>(p)];
+          const int k1 = rows_ptr_[static_cast<std::size_t>(p) + 1];
+          for (int k = k0; k < k1; ++k) {
+            const auto ju = static_cast<std::size_t>(rows_col_[static_cast<std::size_t>(k)]);
+            if (stamp_[ju] != stamp_generation_) {
+              stamp_[ju] = stamp_generation_;
+              alpha_acc_[ju] = 0.0;
+              touched_.push_back(static_cast<int>(ju));
+            }
+            alpha_acc_[ju] += rv * rows_val_[static_cast<std::size_t>(k)];
+          }
+        }
+        std::sort(touched_.begin(), touched_.end());
+        stats_.pricing_nnz += static_cast<long long>(touched_.size());
+        for (const int j : touched_) {
+          const auto ju = static_cast<std::size_t>(j);
+          const VarStatus st = status_[ju];
+          if (st == VarStatus::kBasic || st == VarStatus::kFixed) continue;
+          const double a = alpha_acc_[ju];
+          if (std::abs(a) <= opt_.pivot_tolerance) continue;
+          alpha_[ju] = a;
+          alpha_nz_.push_back(j);
+          const double sa = s * a;
+          const bool eligible = (st == VarStatus::kAtLower && sa > 0.0) ||
+                                (st == VarStatus::kAtUpper && sa < 0.0) ||
+                                st == VarStatus::kFree;
+          if (eligible) dual_candidates_.push_back(j);
+        }
+      } else {
+        stats_.pricing_nnz += total;
+        for (int j = 0; j < total; ++j) {
+          const auto ju = static_cast<std::size_t>(j);
+          const VarStatus st = status_[ju];
+          if (st == VarStatus::kBasic || st == VarStatus::kFixed) continue;
+          double a = 0.0;
+          for (const auto& [row, coeff] : cols_[ju].entries) {
+            a += rho_[static_cast<std::size_t>(row)] * coeff;
+          }
+          if (std::abs(a) <= opt_.pivot_tolerance) continue;
+          alpha_[ju] = a;
+          alpha_nz_.push_back(j);
+          const double sa = s * a;
+          // Eligible when moving j in its feasible direction pushes xB_r
+          // toward the violated bound — exactly the columns whose reduced
+          // cost blocks the dual step.
+          const bool eligible = (st == VarStatus::kAtLower && sa > 0.0) ||
+                                (st == VarStatus::kAtUpper && sa < 0.0) ||
+                                st == VarStatus::kFree;
+          if (eligible) dual_candidates_.push_back(j);
+        }
       }
+      stats_.pricing_seconds += seconds_since(t_price);
       if (dual_candidates_.empty()) {
         // No feasible move can reduce this row's violation: every nonbasic
         // column is pinned on the wrong side. Primal infeasibility
@@ -1003,7 +1419,8 @@ class SimplexCore {
 
       // --- apply bound flips: one combined ftran for all flipped columns ---
       if (!flips_.empty()) {
-        flip_rhs_.assign(mu, 0.0);
+        clear_scratch(flip_rhs_, flip_pattern_, flip_dense_);
+        flip_pattern_.clear();
         for (const int j : flips_) {
           const auto ju = static_cast<std::size_t>(j);
           const double delta = status_[ju] == VarStatus::kAtLower
@@ -1012,15 +1429,53 @@ class SimplexCore {
           status_[ju] = status_[ju] == VarStatus::kAtLower ? VarStatus::kAtUpper
                                                            : VarStatus::kAtLower;
           for (const auto& [row, coeff] : cols_[ju].entries) {
-            flip_rhs_[static_cast<std::size_t>(row)] += coeff * delta;
+            const auto iu = static_cast<std::size_t>(row);
+            if (flip_rhs_[iu] == 0.0 && coeff * delta != 0.0) {
+              // First contribution to this row (cancellation back to zero
+              // later only leaves a harmless pattern superset entry).
+              flip_pattern_.push_back(row);
+            }
+            flip_rhs_[iu] += coeff * delta;
           }
         }
-        engine_->ftran_dense(flip_rhs_);
-        for (std::size_t i = 0; i < mu; ++i) xb_[i] -= flip_rhs_[i];
+        std::sort(flip_pattern_.begin(), flip_pattern_.end());
+        flip_pattern_.erase(
+            std::unique(flip_pattern_.begin(), flip_pattern_.end()),
+            flip_pattern_.end());
+        const auto t_flip = Clock::now();
+        const bool flip_hyper =
+            engine_->ftran_scatter_sparse(flip_rhs_, flip_pattern_);
+        stats_.ftran_seconds += seconds_since(t_flip);
+        stats_.ftran_nnz += flip_hyper
+                                ? static_cast<long long>(flip_pattern_.size())
+                                : num_rows_;
+        ++(flip_hyper ? stats_.hyper_ftrans : stats_.dense_ftrans);
+        const bool flip_sparse =
+            flip_hyper ||
+            (opt_.hypersparse && scan_pattern(flip_rhs_, flip_pattern_));
+        flip_dense_ = !flip_sparse;
+        if (flip_sparse) {
+          for (const int p : flip_pattern_) {
+            const auto pu = static_cast<std::size_t>(p);
+            xb_[pu] -= flip_rhs_[pu];
+          }
+        } else {
+          for (std::size_t i = 0; i < mu; ++i) xb_[i] -= flip_rhs_[i];
+        }
       }
 
       // --- pivot ---
-      engine_->ftran_column(cols_[eu], w_);
+      clear_scratch(w_, w_pattern_, w_dense_);
+      const auto t_ftran = Clock::now();
+      const bool w_hyper =
+          engine_->ftran_column_sparse(cols_[eu], w_, w_pattern_);
+      stats_.ftran_seconds += seconds_since(t_ftran);
+      stats_.ftran_nnz +=
+          w_hyper ? static_cast<long long>(w_pattern_.size()) : num_rows_;
+      ++(w_hyper ? stats_.hyper_ftrans : stats_.dense_ftrans);
+      const bool w_sparse =
+          w_hyper || (opt_.hypersparse && scan_pattern(w_, w_pattern_));
+      w_dense_ = !w_sparse;
       const double w_r = w_[ru];
       // Written so a NaN w_r (poisoned eta file) fails the check: every
       // comparison must POSITIVELY establish health.
@@ -1039,23 +1494,33 @@ class SimplexCore {
 
       const int leaving = basic_[ru];
       const auto lu = static_cast<std::size_t>(leaving);
-      const double bound = s > 0.0 ? upper_[lu] : lower_[lu];
+      const double bound = s > 0.0 ? basic_upper_[ru] : basic_lower_[ru];
       const double residual = xb_[ru] - bound;  // flips may have shrunk it
       const double t = residual / w_r;
-      for (std::size_t i = 0; i < mu; ++i) {
-        if (w_[i] != 0.0) xb_[i] -= t * w_[i];
+      if (w_sparse) {
+        for (const int p : w_pattern_) {
+          const auto pu = static_cast<std::size_t>(p);
+          if (w_[pu] != 0.0) xb_[pu] -= t * w_[pu];
+        }
+      } else {
+        for (std::size_t i = 0; i < mu; ++i) {
+          if (w_[i] != 0.0) xb_[i] -= t * w_[i];
+        }
       }
       const double entering_value = nonbasic_value(entering, status_[eu]) + t;
-      apply_pivot(entering, r, w_, entering_value,
+      apply_pivot(entering, r, w_, w_sparse ? &w_pattern_ : nullptr,
+                  entering_value,
                   s > 0.0 ? VarStatus::kAtUpper : VarStatus::kAtLower);
 
       // --- incremental reduced-cost update ---
       // d'_j = d_j - theta * s * alpha_j for nonbasic j; the leaving
       // variable picks up -s * theta (alpha of a basic column is e_r).
+      // alpha_nz_ lists exactly the columns with a stored nonzero alpha, so
+      // walking it is the full-range loop minus its alpha == 0 skips.
       if (theta_dual != 0.0) {
-        for (int j = 0; j < total; ++j) {
+        for (const int j : alpha_nz_) {
           const auto ju = static_cast<std::size_t>(j);
-          if (status_[ju] == VarStatus::kBasic || alpha_[ju] == 0.0) continue;
+          if (status_[ju] == VarStatus::kBasic) continue;
           d_[ju] -= theta_dual * s * alpha_[ju];
         }
       }
@@ -1133,6 +1598,7 @@ class SimplexCore {
   /// extract(), except when the basis engine is dead (kNumericalFailure):
   /// then ftran/btran are unusable and the best-effort point is all-zero.
   void finish(Solution& result) const {
+    result.stats = stats_;
     if (result.status == SolveStatus::kNumericalFailure) {
       result.x.assign(static_cast<std::size_t>(num_structural_), 0.0);
       result.duals.assign(static_cast<std::size_t>(num_rows_), 0.0);
@@ -1176,9 +1642,18 @@ class SimplexCore {
 
   std::vector<Column> cols_;
   Vector lower_, upper_, cost_, rhs_;
+  // Row-wise (CSR) view of cols_ for the sparse dual pricing: for row i,
+  // rows_col_/rows_val_[rows_ptr_[i]..rows_ptr_[i+1]) are the columns (in
+  // ascending index order) with a coefficient in row i.
+  std::vector<int> rows_ptr_, rows_col_;
+  Vector rows_val_;
   std::vector<VarStatus> status_;
   std::vector<int> basic_;
   Vector xb_;
+  // Bounds of the basic variables by basis position (mirrors of
+  // lower_/upper_[basic_[i]]), kept fresh by recompute_basic_values and
+  // apply_pivot so the O(m)-per-pivot leaving scans stay contiguous.
+  Vector basic_lower_, basic_upper_;
   std::vector<signed char> infeas_;  // Phase-I violation signs per basis row
   std::unique_ptr<BasisEngine> engine_;
 
@@ -1186,11 +1661,31 @@ class SimplexCore {
   std::vector<int> candidates_;
   int scan_cursor_ = 0;
   Vector y_, w_;
+  std::vector<int> w_pattern_;
+  // True when the last engine call that wrote the scratch vector fell back
+  // to a dense result (nonzeros anywhere — clear_scratch must do a full
+  // reset); false means its nonzeros are confined to the pattern buffer.
+  // Start dense: the vectors begin unsized.
+  bool w_dense_ = true;
 
   // Dual-loop state: reduced costs, the btran'd unit row, the alpha row,
-  // the combined flip rhs, and the candidate/flip index lists.
+  // the combined flip rhs, and the candidate/flip index lists. alpha_ is
+  // all-zero outside the entries listed in alpha_nz_ (the cleanup at the
+  // top of each dual iteration restores that invariant); alpha_acc_ is the
+  // stamped accumulator of the sparse pricing and needs no cleanup.
   Vector d_, rho_, alpha_, flip_rhs_;
   std::vector<int> dual_candidates_, flips_;
+  std::vector<int> rho_pattern_, flip_pattern_;
+  bool rho_dense_ = true, flip_dense_ = true;
+  std::vector<int> alpha_nz_, touched_;
+  std::vector<long long> stamp_;
+  long long stamp_generation_ = 0;
+  Vector alpha_acc_;
+
+  // Kernel profile, accumulated across the core's lifetime and copied into
+  // every finished Solution. Mutable: timed kernels run under const
+  // extraction paths too.
+  mutable SimplexStats stats_;
 };
 
 /// Degenerate case: no constraints at all; each variable sits at whichever
@@ -1241,6 +1736,55 @@ Solution reoptimize_dual(const Model& model, const SimplexOptions& options,
   Solution solution = core.run_dual();
   if (basis != nullptr) core.snapshot(*basis);
   return solution;
+}
+
+struct DualReoptimizer::Impl {
+  const Model& model;
+  SimplexOptions options;
+  SimplexBasis seed;
+  bool has_seed = false;
+  std::unique_ptr<SimplexCore> core;
+
+  Impl(const Model& m, const SimplexOptions& opt, const SimplexBasis* warm)
+      : model(m), options(opt) {
+    if (warm != nullptr) {
+      seed = *warm;
+      has_seed = true;
+    }
+  }
+};
+
+DualReoptimizer::DualReoptimizer(const Model& model,
+                                 const SimplexOptions& options,
+                                 const SimplexBasis* warm)
+    : impl_(std::make_unique<Impl>(model, options, warm)) {}
+
+DualReoptimizer::~DualReoptimizer() = default;
+
+Solution DualReoptimizer::reoptimize() {
+  if (impl_->model.num_constraints() == 0) {
+    return solve_unconstrained(impl_->model);
+  }
+  if (impl_->core == nullptr) {
+    impl_->core = std::make_unique<SimplexCore>(
+        impl_->model, impl_->options, impl_->has_seed ? &impl_->seed : nullptr);
+    return impl_->core->run_dual();
+  }
+  return impl_->core->resync_and_run_dual();
+}
+
+void DualReoptimizer::reseed(const SimplexBasis* warm) {
+  impl_->core.reset();
+  impl_->has_seed = warm != nullptr;
+  if (warm != nullptr) impl_->seed = *warm;
+}
+
+void DualReoptimizer::snapshot(SimplexBasis& out) const {
+  if (impl_->core != nullptr) {
+    impl_->core->snapshot(out);
+  } else {
+    out.clear();
+  }
 }
 
 SimplexBasis remap_basis(const SimplexBasis& source, int num_structural,

@@ -31,6 +31,8 @@
 // II usually finishes in a few pivots instead of a cold two-phase solve.
 #pragma once
 
+#include <memory>
+
 #include "lp/model.hpp"
 
 namespace malsched::lp {
@@ -65,6 +67,18 @@ struct SimplexOptions {
   double primal_tolerance = 1e-9; ///< bound feasibility tolerance
   double pivot_tolerance = 1e-10; ///< minimum acceptable |pivot element|
   int bland_trigger = 64;         ///< degenerate-pivot streak enabling Bland
+  /// Hypersparse kernels (sparse engine only): ftran/btran through the
+  /// reach-set solves of linalg::SparseLu and pattern-built eta columns, so
+  /// a pivot costs O(entries touched) instead of O(rows). Decisions and all
+  /// nonzero values are bit-identical to the dense kernels (off to A/B that
+  /// claim); results can differ from them only in signs of zero.
+  bool hypersparse = true;
+  /// Dual pricing over the btran'd row's nonzero pattern: alpha_j is
+  /// accumulated row-wise over the columns whose support intersects rho's
+  /// pattern instead of gathering every column. Candidate lists, ratios and
+  /// reduced-cost updates are bit-identical to the full-row loop. Only
+  /// engages when `hypersparse` produced a rho pattern.
+  bool sparse_pricing = true;
   /// Optional cooperative interruption token (not owned; may be signalled
   /// from another thread — this is how SchedulerService aborts a running
   /// ticket). Polled between pivots in both the primal and the dual loop:
@@ -133,6 +147,51 @@ Solution solve_simplex(const Model& model, const SimplexOptions& options,
 /// optimal objectives agree with the primal path to machine precision.
 Solution reoptimize_dual(const Model& model, const SimplexOptions& options,
                          SimplexBasis* basis);
+
+/// Persistent dual re-optimizer for a SEQUENCE of solves of one model whose
+/// steps differ only in variable bounds (the bisection deadline probes).
+/// Where reoptimize_dual() rebuilds the solver core — columns, engine,
+/// pricing state — on every call, this class keeps the core alive across the
+/// whole sequence: the caller batches its bound changes into the model
+/// (Model::set_variable_bounds) and each reoptimize() applies them as ONE
+/// composite dual re-optimization from the previous optimal basis. Every
+/// call re-syncs bounds, re-sanitizes statuses, refactorizes and recomputes
+/// values exactly the way a fresh core would, so the pivot sequence,
+/// iteration counts and returned Solution are bit-identical to the
+/// per-probe reoptimize_dual() chain — minus its per-call setup cost.
+///
+/// The model is captured by reference and must outlive this object; its
+/// CONSTRAINT structure and variable count must not change between calls
+/// (bounds may, costs/coefficients must not — same contract as reusing a
+/// SimplexBasis). Not thread-safe.
+class DualReoptimizer {
+ public:
+  /// Captures `model` and `options`. The first reoptimize() warm-starts
+  /// from `warm` when given (same semantics as reoptimize_dual), else runs
+  /// the cold primal path.
+  DualReoptimizer(const Model& model, const SimplexOptions& options,
+                  const SimplexBasis* warm);
+  ~DualReoptimizer();
+  DualReoptimizer(const DualReoptimizer&) = delete;
+  DualReoptimizer& operator=(const DualReoptimizer&) = delete;
+
+  /// Dual re-optimization against the model's CURRENT bounds, warm from the
+  /// previous call's final basis (or the seed on the first call). Same
+  /// fallbacks and status contract as reoptimize_dual().
+  Solution reoptimize();
+
+  /// Drops all solver state and re-seeds: the next reoptimize() behaves
+  /// like a first call with `warm` (pass nullptr for a cold start). This is
+  /// the recovery hook after a failed probe forced an out-of-band solve.
+  void reseed(const SimplexBasis* warm);
+
+  /// Snapshot of the basis after the last reoptimize() (empty before any).
+  void snapshot(SimplexBasis& out) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Translates a basis snapshot between two models that share their structural
 /// variables but differ in their constraint rows (e.g. the coarse and fine

@@ -230,6 +230,67 @@ TEST(AllotmentLp, DualReoptimizedBisectionMatchesPrimalWarmOnReferenceSuite) {
   EXPECT_LT(dual_total, primal_total);  // strictly fewer pivots overall
 }
 
+TEST(AllotmentLp, HypersparseKernelsMatchDenseKernelsOnReferenceSuite) {
+  // Regression for the hypersparse per-pivot kernels: on the same 24
+  // reference instances as above, the reach-set ftran/btran, pattern-built
+  // etas and sparse dual pricing must leave every DECISION unchanged — the
+  // bound bit-identical AND the pivot count exactly equal to the dense-kernel
+  // dual path (the kernels may differ from it only in signs of zero, which
+  // no comparison observes). A coarse probe stride changes which LPs are
+  // solved, so it only owes the bound, and owes it bit-identically: its
+  // clean-check accepts a coarse optimum only when it provably IS the exact
+  // probe's optimum.
+  for (const int m : {4, 8}) {
+    for (const int layers : {10, 20, 30}) {
+      for (int seed = 0; seed < 4; ++seed) {
+        support::Rng rng(0x24AEF ^ (static_cast<std::uint64_t>(m) << 16) ^
+                         (static_cast<std::uint64_t>(layers) << 8) ^
+                         static_cast<std::uint64_t>(seed));
+        graph::Dag dag = graph::make_layered(layers, 2, 2, rng);
+        const model::Instance instance =
+            model::make_instance(std::move(dag), m, [&](int, int procs) {
+              return model::make_random_power_law_task(rng, 0.3, 0.7, procs);
+            });
+
+        AllotmentLpOptions dense_opts;
+        dense_opts.mode = LpMode::kBinarySearch;
+        dense_opts.dual_reoptimize = true;
+        dense_opts.simplex.hypersparse = false;
+        dense_opts.simplex.sparse_pricing = false;
+        const FractionalAllotment dense =
+            core::solve_allotment_lp(instance, dense_opts);
+
+        AllotmentLpOptions hyper_opts;
+        hyper_opts.mode = LpMode::kBinarySearch;
+        hyper_opts.dual_reoptimize = true;
+        const FractionalAllotment hyper =
+            core::solve_allotment_lp(instance, hyper_opts);
+
+        EXPECT_EQ(hyper.lower_bound, dense.lower_bound)  // bit-identical
+            << "m=" << m << " layers=" << layers << " seed=" << seed;
+        EXPECT_EQ(hyper.lp_iterations, dense.lp_iterations)
+            << "m=" << m << " layers=" << layers << " seed=" << seed;
+        EXPECT_EQ(hyper.lp_solves, dense.lp_solves);
+        // The kernels must actually have engaged (this is the perf path the
+        // large-n bench leans on, not a vacuous comparison).
+        if (hyper.lp_iterations > 0) {
+          EXPECT_GT(hyper.lp_stats.hyper_btrans + hyper.lp_stats.hyper_ftrans, 0)
+              << "m=" << m << " layers=" << layers << " seed=" << seed;
+        }
+
+        AllotmentLpOptions stride_opts;
+        stride_opts.mode = LpMode::kBinarySearch;
+        stride_opts.dual_reoptimize = true;
+        stride_opts.probe_piece_stride = 3;
+        const FractionalAllotment strided =
+            core::solve_allotment_lp(instance, stride_opts);
+        EXPECT_EQ(strided.lower_bound, dense.lower_bound)  // bit-identical
+            << "m=" << m << " layers=" << layers << " seed=" << seed;
+      }
+    }
+  }
+}
+
 TEST(AllotmentLp, DegenerateBracketBisectionIsClosedForm) {
   // Wide flat DAG: W/m dominates both bracket ends, the bisection loop
   // never runs, and the single upper probe is solved analytically — zero LP

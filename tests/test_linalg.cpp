@@ -1,6 +1,7 @@
 // Tests for the dense and sparse linear algebra substrate.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "linalg/lu.hpp"
@@ -259,5 +260,91 @@ TEST_P(SparseLuRandom, MatchesDenseLu) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomSparseBases, SparseLuRandom, ::testing::Range(0, 40));
+
+class SparseLuHyper : public ::testing::TestWithParam<int> {};
+
+// The hypersparse reach-set solves must reproduce the dense substitution
+// loops BITWISE on every entry (modulo signs of zero), and every nonzero of
+// the result must be covered by the returned pattern. This is the invariant
+// the simplex kernels leant on when they switched every per-pivot solve to
+// the reach-set path: decisions downstream compare these values exactly.
+TEST_P(SparseLuHyper, ReachSolvesMatchDenseBitwise) {
+  malsched::support::Rng rng(9100 + static_cast<std::uint64_t>(GetParam()) * 257);
+  const int n = rng.uniform_int(4, 60);
+  std::vector<SparseColumn> cols(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    auto& col = cols[static_cast<std::size_t>(k)];
+    col.emplace_back(k, rng.uniform(1.0, 3.0) * (rng.bernoulli(0.5) ? 1.0 : -1.0));
+    const int extras = rng.uniform_int(0, 3);
+    for (int e = 0; e < extras; ++e) {
+      const int row = rng.uniform_int(0, n - 1);
+      if (row == k) continue;
+      col.emplace_back(row, rng.uniform(-2.0, 2.0));
+    }
+  }
+  std::vector<const SparseColumn*> ptrs;
+  for (const auto& c : cols) ptrs.push_back(&c);
+  SparseLu lu;
+  if (!lu.factor(ptrs, 1e-11)) return;  // randomly singular: nothing to check
+
+  const auto check = [&](const Vector& got, const Vector& want, bool sparse,
+                         const std::vector<int>& pattern, const char* what) {
+    for (int i = 0; i < n; ++i) {
+      const double g = got[static_cast<std::size_t>(i)];
+      const double w = want[static_cast<std::size_t>(i)];
+      ASSERT_TRUE(g == w || (g == 0.0 && w == 0.0))
+          << what << " entry " << i << ": hyper " << g << " dense " << w;
+    }
+    if (!sparse) return;  // dense fallback: pattern is cleared by contract
+    for (int i = 0; i < n; ++i) {
+      if (got[static_cast<std::size_t>(i)] == 0.0) continue;
+      ASSERT_NE(std::find(pattern.begin(), pattern.end(), i), pattern.end())
+          << what << " nonzero " << i << " missing from the reach pattern";
+    }
+  };
+
+  // Hypersparse ftran on a 1-3 entry right-hand side.
+  Vector x(static_cast<std::size_t>(n), 0.0);
+  std::vector<int> pattern;
+  const int nz = rng.uniform_int(1, 3);
+  for (int e = 0; e < nz; ++e) {
+    const int row = rng.uniform_int(0, n - 1);
+    if (x[static_cast<std::size_t>(row)] != 0.0) continue;
+    x[static_cast<std::size_t>(row)] = rng.uniform(-5.0, 5.0);
+    pattern.push_back(row);
+  }
+  Vector x_dense = x;
+  lu.solve(x_dense);
+  const bool x_sparse = lu.solve_hyper(x, pattern);
+  check(x, x_dense, x_sparse, pattern, "ftran");
+
+  // Hypersparse transposed solve on a fresh sparse right-hand side.
+  Vector y(static_cast<std::size_t>(n), 0.0);
+  std::vector<int> y_pattern;
+  const int ynz = rng.uniform_int(1, 3);
+  for (int e = 0; e < ynz; ++e) {
+    const int row = rng.uniform_int(0, n - 1);
+    if (y[static_cast<std::size_t>(row)] != 0.0) continue;
+    y[static_cast<std::size_t>(row)] = rng.uniform(-5.0, 5.0);
+    y_pattern.push_back(row);
+  }
+  Vector y_dense = y;
+  lu.solve_transposed(y_dense);
+  const bool y_sparse = lu.solve_transposed_hyper(y, y_pattern);
+  check(y, y_dense, y_sparse, y_pattern, "transposed");
+
+  // Unit btran (the dual pricing row) for every position: must match the
+  // dense transposed solve of e_pos bitwise, not merely to tolerance.
+  for (int pos = 0; pos < n; ++pos) {
+    Vector unit;
+    lu.solve_transposed_unit(pos, unit);
+    Vector e(static_cast<std::size_t>(n), 0.0);
+    e[static_cast<std::size_t>(pos)] = 1.0;
+    lu.solve_transposed(e);
+    check(unit, e, /*sparse=*/false, {}, "unit btran");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomHyperBases, SparseLuHyper, ::testing::Range(0, 60));
 
 }  // namespace
