@@ -58,6 +58,20 @@
 // (stream_mix_replay.trace) and renders the recorded timeline to SVG — the
 // CI artifacts.
 //
+// --fairness mode (runs with --stream, appending to the same JSON): the
+// policy gate. A two-tenant deadline burst queues into one structure group
+// behind a blocker on a single worker, then runs identically under the
+// registered "fifo", "edf" and "edf-wfq" dispatch policies (warm cache off,
+// deadlines calibrated in units of one measured solve). Gates: edf-wfq must
+// meet strictly more deadlines than fifo, and under edf-wfq no tenant may
+// fall more than one request below its demand-capped WFQ entitlement.
+// Exits nonzero when the policy subsystem loses either property.
+//
+// --replay may also take a path (--replay <file>) to feed an externally
+// captured trace instead of the golden fixture, and --policy <name> re-runs
+// the captured traffic under any registered policy (statuses + bitwise
+// bounds still gated; pivot comparison off, since reordering respends them).
+//
 // --saturation mode (runs with --stream, appending to the same JSON): the
 // capacity sweep. The golden trace is replayed at increasing arrival-speed
 // multipliers (replay_trace's speed knob: 1 = recorded pace, N = N times
@@ -773,8 +787,12 @@ bool replay_pass(std::FILE* f, const char* key, const core::Trace& trace,
 
 /// Writes the "replay" JSON section and returns false when the committed
 /// trace does not reproduce (any status/bound/pivot diff at 1 worker or at
-/// all cores).
-bool run_replay_section(std::FILE* f, const std::string& trace_path) {
+/// all cores). A non-empty `policy_override` re-runs the captured traffic
+/// under that registered policy instead of each record's own spec
+/// ("--replay <file> --policy edf-wfq"): reordering legitimately respends
+/// pivots, so the pass compares statuses and BITWISE bounds only.
+bool run_replay_section(std::FILE* f, const std::string& trace_path,
+                        const std::string& policy_override = "") {
   core::Trace trace;
   const core::Status status = core::load_trace_file(trace_path, trace);
   if (!status.ok()) {
@@ -797,6 +815,10 @@ bool run_replay_section(std::FILE* f, const std::string& trace_path) {
   core::ReplayOptions one;
   one.service.num_threads = 1;
   one.record_into = &regenerated;
+  if (!policy_override.empty()) {
+    one.policy_override = policy_override;
+    one.compare_pivots = false;
+  }
   healthy = replay_pass(f, "replay_1", trace, one, 1, cores <= 1) && healthy;
   const core::Status save_status =
       core::save_trace_file("stream_mix_replay.trace", regenerated.snapshot());
@@ -816,6 +838,10 @@ bool run_replay_section(std::FILE* f, const std::string& trace_path) {
   if (cores > 1) {
     core::ReplayOptions parallel;
     parallel.service.num_threads = 0;  // all cores
+    if (!policy_override.empty()) {
+      parallel.policy_override = policy_override;
+      parallel.compare_pivots = false;
+    }
     healthy = replay_pass(f, "replay_parallel", trace, parallel, cores, true) &&
               healthy;
   }
@@ -823,15 +849,16 @@ bool run_replay_section(std::FILE* f, const std::string& trace_path) {
   return healthy;
 }
 
-/// Standalone --replay (no --stream): its own small JSON file.
-int run_replay_bench(const std::string& out_path, const std::string& trace_path) {
+/// Standalone --replay [<file>] (no --stream): its own small JSON file.
+int run_replay_bench(const std::string& out_path, const std::string& trace_path,
+                     const std::string& policy_override) {
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
     return 1;
   }
   std::fprintf(f, "{\n  \"bench\": \"perf_pipeline_replay\",\n");
-  const bool healthy = run_replay_section(f, trace_path);
+  const bool healthy = run_replay_section(f, trace_path, policy_override);
   std::fprintf(f, "  \"healthy\": %s\n}\n", healthy ? "true" : "false");
   std::fclose(f);
   std::fprintf(stderr, "wrote %s\n", out_path.c_str());
@@ -920,8 +947,235 @@ bool run_saturation_section(std::FILE* f, const std::string& trace_path) {
   return healthy;
 }
 
+// --- fairness / policy bench -------------------------------------------------
+
+/// One tenant's outcome in a fairness pass.
+struct TenantOutcome {
+  std::size_t submitted = 0;
+  std::size_t met = 0;
+  std::size_t missed = 0;
+};
+
+struct FairnessPass {
+  std::string policy;
+  TenantOutcome a;
+  TenantOutcome b;
+  double wall_seconds = 0.0;
+  std::size_t policy_sheds = 0;
+  std::size_t met_total() const { return a.met + b.met; }
+};
+
+/// Runs the two-tenant deadline burst once under `policy` and counts met /
+/// missed deadlines per tenant from the service's per-tag stats (the same
+/// counters the shard pong exports). The workload is identical across
+/// passes: a blocker in its own group pins the single worker while tenant A
+/// (6 requests, generous deadline) and then tenant B (3 requests, tight
+/// deadline) queue into ONE shared structure group — so the drain order is
+/// purely the dispatch policy's decision. The warm cache is off to keep
+/// every burst solve at the same (calibrated) cold cost; deadlines are set
+/// in units of that measured cost, which is what makes the pass
+/// host-independent.
+FairnessPass run_fairness_pass(const std::string& policy,
+                               const model::Instance& blocker_instance,
+                               const std::vector<model::Instance>& tenant_a,
+                               const std::vector<model::Instance>& tenant_b,
+                               double deadline_a_seconds,
+                               double deadline_b_seconds) {
+  core::ServiceOptions options;
+  options.num_threads = 1;
+  options.reuse_solver_state = false;  // uniform per-solve cost across the drain
+  options.dispatch_policy = policy;
+  options.wfq_weights["tenant-a"] = 1.0;
+  options.wfq_weights["tenant-b"] = 4.0;  // B paid for the larger share
+  core::SchedulerService service(options);
+
+  core::SchedulerOptions bisect = options.scheduler;
+  bisect.lp.mode = core::LpMode::kBinarySearch;
+
+  support::Stopwatch wall;
+  core::ScheduleRequest blocker;
+  blocker.instance = blocker_instance;
+  blocker.options = bisect;
+  blocker.client_tag = "blocker";
+  std::vector<core::TicketHandle> handles;
+  handles.push_back(service.submit(std::move(blocker)));
+  // Give the worker time to pick the blocker up, so the whole burst is
+  // queued (and reorderable) when it frees.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  for (const model::Instance& instance : tenant_a) {
+    core::ScheduleRequest request;
+    request.instance = instance;
+    request.client_tag = "tenant-a";
+    request.deadline_seconds = deadline_a_seconds;
+    handles.push_back(service.submit(std::move(request)));
+  }
+  for (const model::Instance& instance : tenant_b) {
+    core::ScheduleRequest request;
+    request.instance = instance;
+    request.client_tag = "tenant-b";
+    request.deadline_seconds = deadline_b_seconds;
+    handles.push_back(service.submit(std::move(request)));
+  }
+  service.drain();
+  for (core::TicketHandle& handle : handles) handle.try_get();
+
+  const core::ServiceStats stats = service.stats();
+  FairnessPass pass;
+  pass.policy = policy;
+  pass.wall_seconds = wall.seconds();
+  pass.policy_sheds = stats.policy_sheds;
+  const auto tenant = [&](const char* tag) {
+    TenantOutcome outcome;
+    const auto it = stats.per_tag.find(tag);
+    if (it != stats.per_tag.end()) {
+      outcome.submitted = it->second.submitted;
+      outcome.met = it->second.met_deadline;
+      outcome.missed = it->second.missed_deadline;
+    }
+    return outcome;
+  };
+  pass.a = tenant("tenant-a");
+  pass.b = tenant("tenant-b");
+  return pass;
+}
+
+/// Writes the "fairness" JSON section and returns false when a policy gate
+/// fails. The scenario (see run_fairness_pass) is run under "fifo", "edf"
+/// and "edf-wfq"; the gates are the acceptance criteria of the policy
+/// subsystem: edf-wfq must meet STRICTLY more deadlines than fifo on the
+/// identical burst, and under edf-wfq no tenant's met-deadline count may
+/// fall below its demand-capped WFQ entitlement by more than one request.
+bool run_fairness_section(std::FILE* f) {
+  constexpr int kTenantA = 6;  // bulk tenant, generous deadlines
+  constexpr int kTenantB = 3;  // urgent tenant, tight deadlines
+  const std::vector<Shape> shapes = make_batch_shapes();
+  const model::Instance blocker_instance = make_deep_workload(1000, 0xFA19);
+  // Both tenants draw from ONE structure group (cholesky revisions with
+  // fresh task-time tables): identical per-solve cost AND one shared queue
+  // the policy alone orders.
+  std::vector<model::Instance> tenant_a;
+  std::vector<model::Instance> tenant_b;
+  for (int v = 0; v < kTenantA; ++v) {
+    tenant_a.push_back(make_variant(shapes[1], 1, v));
+  }
+  for (int v = 0; v < kTenantB; ++v) {
+    tenant_b.push_back(make_variant(shapes[1], 1, kTenantA + v));
+  }
+
+  // Calibrate: one solo cold solve of the burst shape and of the blocker.
+  // Deadlines are set in units of the measured solve cost, so the envelope
+  // separation below survives slow or fast hosts alike.
+  double solve_seconds = 0.0;
+  double blocker_seconds = 0.0;
+  {
+    core::ServiceOptions calib_options;
+    calib_options.num_threads = 1;
+    calib_options.reuse_solver_state = false;
+    core::SchedulerService calibration(calib_options);
+    support::Stopwatch calib_wall;
+    core::ScheduleRequest probe;
+    probe.instance = tenant_a.front();
+    calibration.submit(std::move(probe));
+    calibration.drain();
+    solve_seconds = calib_wall.seconds();
+    core::SchedulerOptions bisect = calib_options.scheduler;
+    bisect.lp.mode = core::LpMode::kBinarySearch;
+    support::Stopwatch blocker_wall;
+    core::ScheduleRequest probe_blocker;
+    probe_blocker.instance = blocker_instance;
+    probe_blocker.options = bisect;
+    calibration.submit(std::move(probe_blocker));
+    calibration.drain();
+    blocker_seconds = blocker_wall.seconds();
+  }
+  // Deadline envelopes, in drain positions after the blocker (every burst
+  // solve costs ~1 unit): tenant B finishes by position 3 under edf (B
+  // first) and by position 4 under edf-wfq (A's weight buys ~1/5 of the
+  // early slots), but only STARTS at position 7 under fifo — so a deadline
+  // at position 5.5 is met by the deadline-aware policies with >= 1.5
+  // solves of margin and missed by fifo for ALL of B, also by >= 1.5.
+  const double deadline_a = 120.0;
+  const double deadline_b = blocker_seconds + 5.5 * solve_seconds;
+  std::fprintf(stderr,
+               "[fairness] calibrated: %.3f s/solve, %.3f s blocker; tenant-b "
+               "deadline %.3f s\n",
+               solve_seconds, blocker_seconds, deadline_b);
+
+  const char* kPolicies[] = {"fifo", "edf", "edf-wfq"};
+  std::vector<FairnessPass> passes;
+  for (const char* policy : kPolicies) {
+    passes.push_back(run_fairness_pass(policy, blocker_instance, tenant_a,
+                                       tenant_b, deadline_a, deadline_b));
+    const FairnessPass& pass = passes.back();
+    std::fprintf(stderr,
+                 "[fairness] %-7s: tenant-a %zu/%d met, tenant-b %zu/%d met "
+                 "(%zu total, %.3f s)\n",
+                 pass.policy.c_str(), pass.a.met, kTenantA, pass.b.met,
+                 kTenantB, pass.met_total(), pass.wall_seconds);
+  }
+
+  std::fprintf(f,
+               "  \"fairness\": {\"config\": \"1 worker, blocker + %d+%d "
+               "two-tenant burst in one structure group, wfq weights a:1 "
+               "b:4, tenant-b deadline blocker+5.5 solves\", "
+               "\"solve_seconds\": %.6f, \"blocker_seconds\": %.6f, "
+               "\"passes\": [\n",
+               kTenantA, kTenantB, solve_seconds, blocker_seconds);
+  for (std::size_t i = 0; i < passes.size(); ++i) {
+    const FairnessPass& pass = passes[i];
+    std::fprintf(f,
+                 "    {\"policy\": \"%s\", \"met_total\": %zu, "
+                 "\"tenant_a\": {\"submitted\": %zu, \"met\": %zu, "
+                 "\"missed\": %zu}, \"tenant_b\": {\"submitted\": %zu, "
+                 "\"met\": %zu, \"missed\": %zu}, \"wall_seconds\": %.6f}%s\n",
+                 pass.policy.c_str(), pass.met_total(), pass.a.submitted,
+                 pass.a.met, pass.a.missed, pass.b.submitted, pass.b.met,
+                 pass.b.missed, pass.wall_seconds,
+                 i + 1 == passes.size() ? "" : ",");
+  }
+
+  const FairnessPass& fifo = passes[0];
+  const FairnessPass& edf_wfq = passes[2];
+  bool healthy = true;
+  if (edf_wfq.met_total() <= fifo.met_total()) {
+    std::fprintf(stderr,
+                 "FAIRNESS GATE: edf-wfq met %zu deadlines, fifo met %zu — "
+                 "the deadline-aware policy must strictly dominate\n",
+                 edf_wfq.met_total(), fifo.met_total());
+    healthy = false;
+  }
+  // Demand-capped WFQ entitlement: weight_share * total_met, capped at the
+  // tenant's own deadline-carrying demand; a tenant may fall at most one
+  // request short of it.
+  const double total_met = static_cast<double>(edf_wfq.met_total());
+  const struct {
+    const char* tag;
+    const TenantOutcome* outcome;
+    double weight;
+  } tenants[] = {{"tenant-a", &edf_wfq.a, 1.0}, {"tenant-b", &edf_wfq.b, 4.0}};
+  for (const auto& tenant : tenants) {
+    const double share = tenant.weight / (1.0 + 4.0);
+    const double entitled =
+        std::min(static_cast<double>(tenant.outcome->submitted), share * total_met);
+    if (static_cast<double>(tenant.outcome->met) + 1.0 < entitled) {
+      std::fprintf(stderr,
+                   "FAIRNESS GATE: %s met %zu < entitled %.1f - 1 under "
+                   "edf-wfq (weight share %.2f of %zu met)\n",
+                   tenant.tag, tenant.outcome->met, entitled, share,
+                   edf_wfq.met_total());
+      healthy = false;
+    }
+  }
+  std::fprintf(f, "  ], \"edf_wfq_met\": %zu, \"fifo_met\": %zu, "
+               "\"gate\": \"%s\"},\n",
+               edf_wfq.met_total(), fifo.met_total(),
+               healthy ? "pass" : "FAIL");
+  return healthy;
+}
+
 int run_stream_bench(const std::string& out_path, bool overload, bool faults,
-                     bool replay, bool saturation,
+                     bool replay, bool saturation, bool fairness,
                      const std::string& trace_path) {
   const std::vector<Shape> shapes = make_batch_shapes();
   std::vector<model::Instance> instances;
@@ -1093,6 +1347,10 @@ int run_stream_bench(const std::string& out_path, bool overload, bool faults,
   }
 
   if (overload && !run_overload_section(f)) {
+    std::fclose(f);
+    return 2;
+  }
+  if (fairness && !run_fairness_section(f)) {
     std::fclose(f);
     return 2;
   }
@@ -1621,21 +1879,35 @@ int main(int argc, char** argv) {
   bool faults = false;
   bool replay = false;
   bool saturation = false;
+  bool fairness = false;
   int shard_count = 0;
   std::string out_path;
   std::string trace_path = kDefaultTracePath;
   std::string record_path;
+  std::string policy_override;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--batch") == 0) batch = true;
     if (std::strcmp(argv[a], "--stream") == 0) stream = true;
     if (std::strcmp(argv[a], "--overload") == 0) overload = true;
     if (std::strcmp(argv[a], "--faults") == 0) faults = true;
-    if (std::strcmp(argv[a], "--replay") == 0) replay = true;
+    if (std::strcmp(argv[a], "--replay") == 0) {
+      replay = true;
+      // --replay <file>: an externally captured trace replays in place of
+      // the committed golden one (pair with --policy to re-run it under
+      // another registered policy).
+      if (a + 1 < argc && std::strncmp(argv[a + 1], "--", 2) != 0) {
+        trace_path = argv[++a];
+      }
+    }
     if (std::strcmp(argv[a], "--saturation") == 0) saturation = true;
+    if (std::strcmp(argv[a], "--fairness") == 0) fairness = true;
     if (std::strcmp(argv[a], "--shards") == 0 && a + 1 < argc) {
       shard_count = std::atoi(argv[++a]);
     }
     if (std::strcmp(argv[a], "--trace") == 0 && a + 1 < argc) trace_path = argv[++a];
+    if (std::strcmp(argv[a], "--policy") == 0 && a + 1 < argc) {
+      policy_override = argv[++a];
+    }
     if (std::strcmp(argv[a], "--record-trace") == 0 && a + 1 < argc) {
       record_path = argv[++a];
     }
@@ -1647,13 +1919,14 @@ int main(int argc, char** argv) {
                             shard_count);
   }
   if (batch) return run_batch_bench(out_path.empty() ? "BENCH_batch.json" : out_path);
-  if (stream || overload || faults || saturation) {
+  if (stream || overload || faults || saturation || fairness) {
     return run_stream_bench(out_path.empty() ? "BENCH_stream.json" : out_path,
-                            overload, faults, replay, saturation, trace_path);
+                            overload, faults, replay, saturation, fairness,
+                            trace_path);
   }
   if (replay) {
     return run_replay_bench(out_path.empty() ? "BENCH_replay.json" : out_path,
-                            trace_path);
+                            trace_path, policy_override);
   }
 #ifdef MALSCHED_HAVE_GBENCH
   benchmark::Initialize(&argc, argv);
@@ -1665,7 +1938,8 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "google-benchmark is not available in this build; only "
                "--batch / --stream [--overload] [--faults] [--replay] "
-               "[--saturation] / --replay [--trace <path>] / --shards <K> / "
+               "[--saturation] [--fairness] / --replay [<file>] "
+               "[--trace <path>] [--policy <name>] / --shards <K> / "
                "--record-trace <path> [--out <path>] are supported\n");
   return 1;
 #endif

@@ -1,0 +1,131 @@
+// Example: per-tenant scheduling policies and a periodic workload.
+//
+// A scheduling service with more than one tenant has two problems the bare
+// FIFO queue cannot solve: urgent requests stuck behind bulk traffic, and
+// one tenant starving another. The core::PolicyRegistry makes both a
+// per-request (or per-service) choice of NAME — here a nightly-report
+// tenant floods the queue, an interactive tenant needs answers before its
+// deadlines, and the same traffic runs under "fifo" and then "edf-wfq" to
+// show what the policy buys. A periodic series (submit_periodic) then rides
+// the warm-start cache: every recurrence of the report re-solves a known LP
+// structure from the last basis.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <thread>
+#include <vector>
+
+#include "core/policy_registry.hpp"
+#include "core/scheduler_service.hpp"
+#include "graph/generators.hpp"
+#include "model/instance.hpp"
+#include "model/speedup.hpp"
+#include "model/work_function.hpp"
+#include "support/rng.hpp"
+
+using namespace malsched;
+
+namespace {
+
+/// One revision of the shared workload structure: same DAG, fresh task
+/// times — all revisions land in one warm-start group.
+model::Instance make_revision(int rev) {
+  support::Rng dag_rng(7);
+  const graph::Dag dag = graph::make_layered(6, 4, 2, dag_rng);
+  support::Rng rng(100 + rev);
+  return model::make_instance(graph::Dag(dag), 8, [&](int, int procs) {
+    return model::make_random_power_law_task(rng, 0.4, 0.8, procs);
+  });
+}
+
+/// A deep job that pins the single worker while the tenants' burst queues.
+model::Instance make_blocker() {
+  support::Rng rng(0xB10C);
+  graph::Dag dag = graph::make_layered(100, 4, 2, rng);
+  return model::make_instance(std::move(dag), 8, [&](int, int procs) {
+    return model::make_random_power_law_task(rng, 0.3, 1.0, procs);
+  });
+}
+
+/// Runs the two-tenant burst under one dispatch policy and reports each
+/// tenant's met deadlines from the service's per-tag stats.
+void run_burst(const std::string& policy) {
+  core::ServiceOptions options;
+  options.num_threads = 1;
+  options.dispatch_policy = policy;
+  options.wfq_weights["report"] = 1.0;
+  options.wfq_weights["interactive"] = 4.0;
+  core::SchedulerService service(options);
+
+  const auto blocker = service.submit(make_blocker());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  std::vector<core::TicketHandle> handles;
+  for (int i = 0; i < 6; ++i) {  // the nightly report floods first...
+    core::ScheduleRequest request;
+    request.instance = make_revision(i);
+    request.client_tag = "report";
+    request.deadline_seconds = 120.0;
+    handles.push_back(service.submit(std::move(request)));
+  }
+  for (int i = 0; i < 3; ++i) {  // ...then the interactive tenant arrives
+    core::ScheduleRequest request;
+    request.instance = make_revision(6 + i);
+    request.client_tag = "interactive";
+    request.deadline_seconds = 1.0;  // needs an answer soon
+    handles.push_back(service.submit(std::move(request)));
+  }
+  service.drain();
+  service.wait(blocker);
+
+  // Completion order is the observable: ServiceResult::sequence stamps
+  // results in the order the worker finished them, no timing assumptions.
+  std::vector<std::pair<std::uint64_t, char>> order;
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const auto result = handles[i].try_get();
+    if (result.has_value()) {
+      order.emplace_back(result->sequence, i < 6 ? 'R' : 'I');
+    }
+  }
+  std::sort(order.begin(), order.end());
+  std::printf("  %-8s: ", policy.c_str());
+  for (const auto& [seq, who] : order) std::printf("%c ", who);
+  std::printf(" (R = report, I = interactive)\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("registered dispatch policies:");
+  for (const std::string& name :
+       core::PolicyRegistry::instance().dispatch_names()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n\ntwo-tenant burst behind a blocked worker:\n");
+  run_burst("fifo");
+  run_burst("edf-wfq");
+
+  // The periodic pack: the report recurs. Every occurrence re-solves the
+  // same LP structure, so the warm-start cache answers from the last basis.
+  std::printf("\nperiodic series (4 occurrences, 50 ms apart):\n");
+  core::ServiceOptions options;
+  options.num_threads = 1;
+  core::SchedulerService service(options);
+  core::PeriodicRequest periodic;
+  periodic.base.instance = make_revision(0);
+  periodic.base.client_tag = "report";
+  periodic.period_seconds = 0.05;
+  periodic.occurrences = 4;
+  core::PeriodicHandle series = service.submit_periodic(std::move(periodic));
+  const std::vector<core::ServiceResult> results = series.wait_all();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::printf("  occurrence %zu: %s, %ld pivots\n", i,
+                results[i].status.ok() ? "ok" : "failed",
+                results[i].lp_pivots);
+  }
+  const core::ServiceStats stats = service.stats();
+  std::printf("warm-start cache: %zu hits over %zu occurrences\n",
+              static_cast<std::size_t>(stats.cache.hits), results.size());
+  return 0;
+}

@@ -14,7 +14,9 @@
 
 namespace malsched::core {
 
-/// Tie-breaking / selection rule among READY tasks.
+/// Tie-breaking / selection rule among READY tasks. Registered in the
+/// PolicyRegistry as "earliest-start" / "critical-path", selectable per
+/// request via a `list=` policy spec (core/policy_registry.hpp).
 enum class ListPriority {
   /// Paper Table 1: smallest earliest feasible starting time (ties: id).
   kEarliestStart,

@@ -1,0 +1,122 @@
+#include "core/policy.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <sstream>
+
+namespace malsched::core {
+
+namespace {
+
+/// EDF key: no-deadline jobs sort after every deadline job and keep their
+/// FIFO order among themselves (max() ties resolve to the lowest index).
+std::chrono::steady_clock::time_point effective_deadline(const QueuedJobView& job) {
+  return job.has_deadline ? job.deadline
+                          : std::chrono::steady_clock::time_point::max();
+}
+
+std::size_t edf_select(const std::vector<QueuedJobView>& bucket) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < bucket.size(); ++i) {
+    if (effective_deadline(bucket[i]) < effective_deadline(bucket[best])) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
+Status edf_admission_check(const AdmissionView& view) {
+  // Need a cost model before predicting: a single completion is noise.
+  if (view.history == nullptr || view.history->completed < 2) return Status();
+  const double mean = view.history->mean_seconds();
+  if (!(mean > 0.0)) return Status();
+
+  // Jobs that run before the candidate under EDF order: strictly higher
+  // priority, or same priority with an effective deadline at or before the
+  // candidate's (the tie goes to the incumbent — it arrived first).
+  const auto candidate_deadline = effective_deadline(view.job);
+  std::size_t ahead = view.running;
+  for (const QueuedJobView& queued : view.queued) {
+    if (queued.priority > view.job.priority ||
+        (queued.priority == view.job.priority &&
+         effective_deadline(queued) <= candidate_deadline)) {
+      ++ahead;
+    }
+  }
+
+  const double budget =
+      std::chrono::duration<double>(view.job.deadline - view.now).count();
+  const double predicted_wait = mean * static_cast<double>(ahead);
+  if (predicted_wait > budget) {
+    std::ostringstream msg;
+    msg << "shed at admission: " << ahead << " job(s) ahead x " << mean
+        << "s mean solve > " << budget << "s budget";
+    return Status::error(StatusCode::kDeadlineExceeded, msg.str());
+  }
+  return Status();
+}
+
+std::size_t EdfPolicy::select(const std::vector<QueuedJobView>& bucket) {
+  return edf_select(bucket);
+}
+
+Status EdfPolicy::admit(const AdmissionView& view) {
+  return edf_admission_check(view);
+}
+
+WfqPolicy::WfqPolicy(PolicyParams params, bool edf_within)
+    : params_(std::move(params)), edf_within_(edf_within) {}
+
+double WfqPolicy::weight(std::string_view tag) const {
+  const auto it = params_.wfq_weights.find(std::string(tag));
+  if (it == params_.wfq_weights.end()) return 1.0;
+  return std::max(it->second, 1e-9);
+}
+
+double WfqPolicy::load(std::string_view tag) const {
+  const auto it = served_.find(std::string(tag));
+  return it == served_.end() ? 0.0 : it->second;
+}
+
+std::size_t WfqPolicy::select(const std::vector<QueuedJobView>& bucket) {
+  // Pick the present tag with the least weighted service; strict < keeps the
+  // earliest-seen tag on ties, so the choice is arrival-deterministic.
+  std::size_t best_tag_at = 0;
+  double best_load = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < bucket.size(); ++i) {
+    bool seen = false;
+    for (std::size_t k = 0; k < i; ++k) {
+      if (bucket[k].client_tag == bucket[i].client_tag) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    const double tag_load = load(bucket[i].client_tag);
+    if (tag_load < best_load) {
+      best_load = tag_load;
+      best_tag_at = i;
+    }
+  }
+
+  const std::string_view tag = bucket[best_tag_at].client_tag;
+  if (!edf_within_) return best_tag_at;  // FIFO within the tag
+  std::size_t best = best_tag_at;
+  for (std::size_t i = best_tag_at + 1; i < bucket.size(); ++i) {
+    if (bucket[i].client_tag != tag) continue;
+    if (effective_deadline(bucket[i]) < effective_deadline(bucket[best])) best = i;
+  }
+  return best;
+}
+
+Status WfqPolicy::admit(const AdmissionView& view) {
+  if (!edf_within_) return Status();
+  return edf_admission_check(view);
+}
+
+void WfqPolicy::on_complete(std::string_view client_tag, double cost) {
+  served_[std::string(client_tag)] += std::max(cost, 0.0) / weight(client_tag);
+}
+
+}  // namespace malsched::core

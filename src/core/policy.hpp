@@ -1,0 +1,188 @@
+// Pluggable dispatch policies for SchedulerService (the yass `schedulers/`
+// shape: one task model, interchangeable policies behind one interface).
+//
+// A DispatchPolicy owns two decisions the service used to hardcode:
+//
+//  * QUEUE ORDER — which queued job of a structure group runs next.
+//    Priority levels stay dominant (the service always offers the policy
+//    the highest non-empty priority bucket); the policy picks WITHIN that
+//    level. The default priority-FIFO policy picks index 0, reproducing
+//    the legacy pop-front behavior bit-for-bit — the service even skips
+//    building the candidate views when `reorders()` is false, so the
+//    committed pivot-deterministic baselines are untouched by construction.
+//  * ADMISSION-TIME SHEDDING — whether a deadline request should be
+//    completed kDeadlineExceeded at submit because the backlog ahead of it
+//    already spends its budget. The EDF policies predict the wait from the
+//    group's completed-solve history (GroupCostHistory, the pivot/wall
+//    stats ServiceStats exposes) and shed a request whose deadline the
+//    queue ahead provably blows — a doomed job then answers in
+//    microseconds instead of occupying max_pending budget for seconds.
+//
+// Policies are instantiated per service (or per group, when a request's
+// policy spec overrides the group's dispatch), and every hook is called
+// under the service mutex — implementations hold plain state, no locking.
+//
+// Registered implementations (core/policy_registry.hpp):
+//
+//   "fifo"     priority-FIFO, the default: FIFO within a level, no shedding.
+//   "edf"      earliest-deadline-first within a level (no-deadline jobs keep
+//              FIFO order after every deadline job), plus backlog shedding.
+//   "wfq"      weighted fair queuing across client_tags: the tag with the
+//              least weighted service so far runs next, FIFO within a tag.
+//              Service is charged in LP pivots (deterministic), not wall
+//              seconds. Weights come from ServiceOptions::wfq_weights
+//              (absent tags weigh 1.0). No shedding.
+//   "edf-wfq"  WFQ across tags, EDF within the chosen tag, EDF shedding —
+//              the two-tenant deadline-burst configuration the --fairness
+//              bench gates.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/status.hpp"
+
+namespace malsched::core {
+
+/// What a policy may inspect about one queued (or arriving) job.
+struct QueuedJobView {
+  std::uint64_t ticket = 0;
+  int priority = 0;
+  std::string_view client_tag;
+  bool has_deadline = false;
+  /// Absolute steady-clock deadline; meaningful iff has_deadline.
+  std::chrono::steady_clock::time_point deadline{};
+};
+
+/// Completed-solve history of one structure group — the cost model the
+/// EDF policies predict backlog wait from. Only ok completions are counted
+/// (a cancelled or failed solve is not a cost signal).
+struct GroupCostHistory {
+  std::size_t completed = 0;
+  double total_seconds = 0.0;
+  long total_pivots = 0;
+
+  double mean_seconds() const {
+    return completed > 0 ? total_seconds / static_cast<double>(completed) : 0.0;
+  }
+};
+
+/// Everything an admission-time shed decision may read: the candidate, the
+/// group's queued jobs (bucket-major: higher priority first, FIFO within a
+/// level), its active runner count and its cost history.
+struct AdmissionView {
+  QueuedJobView job;
+  std::vector<QueuedJobView> queued;
+  std::size_t running = 0;
+  const GroupCostHistory* history = nullptr;  ///< nullptr = no history yet
+  std::chrono::steady_clock::time_point now{};
+};
+
+/// Parameters a dispatch-policy factory may consume (today: WFQ weights).
+struct PolicyParams {
+  /// Per-client_tag WFQ weights; tags not listed weigh 1.0. Non-positive
+  /// weights are clamped to a small positive epsilon.
+  std::map<std::string, double> wfq_weights;
+};
+
+/// The dispatch-policy interface. Hooks run under the service mutex;
+/// implementations are single-threaded by contract and hold plain state.
+class DispatchPolicy {
+ public:
+  virtual ~DispatchPolicy() = default;
+
+  /// Registry name (stable; echoed in stats and docs).
+  virtual const char* name() const = 0;
+
+  /// True when select() may return a non-zero index. False lets the service
+  /// keep the exact legacy pop-front path (no views are built), which is
+  /// what keeps the default policy bit-identical to the pre-registry code.
+  virtual bool reorders() const { return false; }
+
+  /// True when admit() wants to screen deadline requests at admission.
+  virtual bool sheds_at_admission() const { return false; }
+
+  /// Picks the next job: `bucket` is the highest non-empty priority level
+  /// of the group, in FIFO arrival order, never empty. Returns an index
+  /// into it (out-of-range is clamped by the caller).
+  virtual std::size_t select(const std::vector<QueuedJobView>& bucket) {
+    (void)bucket;
+    return 0;
+  }
+
+  /// Admission-time screen, called only when sheds_at_admission() and the
+  /// candidate carries a deadline. Non-ok completes the ticket immediately
+  /// with that status (kDeadlineExceeded for a predicted miss).
+  virtual Status admit(const AdmissionView& view) {
+    (void)view;
+    return Status();
+  }
+
+  /// Completion feedback for stateful policies (WFQ service accounting).
+  /// `cost` is 1 + the LP pivots the job spent — deterministic, unlike wall
+  /// time, so fair-queue order is reproducible at one worker.
+  virtual void on_complete(std::string_view client_tag, double cost) {
+    (void)client_tag;
+    (void)cost;
+  }
+};
+
+/// "fifo": the legacy order. reorders() == false routes the service through
+/// the exact pre-policy pop-front path.
+class FifoPolicy : public DispatchPolicy {
+ public:
+  const char* name() const override { return "fifo"; }
+};
+
+/// "edf": earliest effective deadline first within a priority level; jobs
+/// without a deadline sort after every deadline job, FIFO among themselves.
+/// Sheds a deadline request at admission when the backlog that would run
+/// before it already spends its whole budget (predicted from the group's
+/// mean ok-solve wall time; no prediction without at least two completions).
+class EdfPolicy : public DispatchPolicy {
+ public:
+  const char* name() const override { return "edf"; }
+  bool reorders() const override { return true; }
+  bool sheds_at_admission() const override { return true; }
+  std::size_t select(const std::vector<QueuedJobView>& bucket) override;
+  Status admit(const AdmissionView& view) override;
+};
+
+/// "wfq" / "edf-wfq": weighted fair queuing across client_tags. Each tag
+/// accumulates weighted service (LP pivots / weight); the present tag with
+/// the least service runs next. Within the chosen tag: FIFO ("wfq") or EDF
+/// ("edf-wfq", which also inherits EDF's admission shedding).
+class WfqPolicy : public DispatchPolicy {
+ public:
+  WfqPolicy(PolicyParams params, bool edf_within);
+
+  const char* name() const override { return edf_within_ ? "edf-wfq" : "wfq"; }
+  bool reorders() const override { return true; }
+  bool sheds_at_admission() const override { return edf_within_; }
+  std::size_t select(const std::vector<QueuedJobView>& bucket) override;
+  Status admit(const AdmissionView& view) override;
+  void on_complete(std::string_view client_tag, double cost) override;
+
+ private:
+  double weight(std::string_view tag) const;
+  double load(std::string_view tag) const;
+
+  PolicyParams params_;
+  bool edf_within_;
+  /// Weighted service accumulated per tag (cost / weight).
+  std::unordered_map<std::string, double> served_;
+};
+
+/// Shared EDF backlog predictor: kDeadlineExceeded when the queued jobs
+/// that would run before `view.job` under EDF order (plus active runners)
+/// are predicted to spend the candidate's whole budget. Used by EdfPolicy
+/// and the edf-wfq composite.
+Status edf_admission_check(const AdmissionView& view);
+
+}  // namespace malsched::core

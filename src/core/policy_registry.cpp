@@ -1,0 +1,212 @@
+#include "core/policy_registry.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace malsched::core {
+
+namespace {
+
+std::string join(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+Status unknown(std::string_view kind, std::string_view name,
+               const std::vector<std::string>& registered) {
+  std::ostringstream msg;
+  msg << "unknown " << kind << " '" << name << "' (registered: "
+      << join(registered) << ")";
+  return Status::error(StatusCode::kUnknownPolicy, msg.str());
+}
+
+}  // namespace
+
+PolicyRegistry& PolicyRegistry::instance() {
+  static PolicyRegistry registry;
+  return registry;
+}
+
+PolicyRegistry::PolicyRegistry() {
+  register_dispatch("fifo", [](const PolicyParams&) {
+    return std::make_unique<FifoPolicy>();
+  });
+  register_dispatch("edf", [](const PolicyParams&) {
+    return std::make_unique<EdfPolicy>();
+  });
+  register_dispatch("wfq", [](const PolicyParams& params) {
+    return std::make_unique<WfqPolicy>(params, /*edf_within=*/false);
+  });
+  register_dispatch("edf-wfq", [](const PolicyParams& params) {
+    return std::make_unique<WfqPolicy>(params, /*edf_within=*/true);
+  });
+  register_list_rule("earliest-start", ListPriority::kEarliestStart);
+  register_list_rule("critical-path", ListPriority::kCriticalPathFirst);
+  register_rounding("threshold", RoundingRule::kThreshold);
+  register_rounding("up", RoundingRule::kUp);
+  register_rounding("down", RoundingRule::kDown);
+}
+
+void PolicyRegistry::register_dispatch(std::string name, DispatchFactory factory) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : dispatch_) {
+    if (entry.first == name) {
+      entry.second = std::move(factory);
+      return;
+    }
+  }
+  dispatch_.emplace_back(std::move(name), std::move(factory));
+}
+
+void PolicyRegistry::register_list_rule(std::string name, ListPriority rule) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : list_rules_) {
+    if (entry.first == name) {
+      entry.second = rule;
+      return;
+    }
+  }
+  list_rules_.emplace_back(std::move(name), rule);
+}
+
+void PolicyRegistry::register_rounding(std::string name, RoundingRule rule) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : rounding_) {
+    if (entry.first == name) {
+      entry.second = rule;
+      return;
+    }
+  }
+  rounding_.emplace_back(std::move(name), rule);
+}
+
+std::unique_ptr<DispatchPolicy> PolicyRegistry::make_dispatch(
+    std::string_view name, const PolicyParams& params, Status* status) const {
+  DispatchFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& entry : dispatch_) {
+      if (entry.first == name) {
+        factory = entry.second;
+        break;
+      }
+    }
+  }
+  if (!factory) {
+    if (status != nullptr) {
+      *status = unknown("dispatch policy", name, dispatch_names());
+    }
+    return nullptr;
+  }
+  if (status != nullptr) *status = Status();
+  return factory(params);
+}
+
+Status PolicyRegistry::find_list_rule(std::string_view name,
+                                      ListPriority* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : list_rules_) {
+    if (entry.first == name) {
+      if (out != nullptr) *out = entry.second;
+      return Status();
+    }
+  }
+  std::vector<std::string> names;
+  names.reserve(list_rules_.size());
+  for (const auto& entry : list_rules_) names.push_back(entry.first);
+  return unknown("list rule", name, names);
+}
+
+Status PolicyRegistry::find_rounding(std::string_view name,
+                                     RoundingRule* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : rounding_) {
+    if (entry.first == name) {
+      if (out != nullptr) *out = entry.second;
+      return Status();
+    }
+  }
+  std::vector<std::string> names;
+  names.reserve(rounding_.size());
+  for (const auto& entry : rounding_) names.push_back(entry.first);
+  return unknown("rounding variant", name, names);
+}
+
+std::vector<std::string> PolicyRegistry::dispatch_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(dispatch_.size());
+  for (const auto& entry : dispatch_) names.push_back(entry.first);
+  return names;
+}
+
+std::vector<std::string> PolicyRegistry::list_rule_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(list_rules_.size());
+  for (const auto& entry : list_rules_) names.push_back(entry.first);
+  return names;
+}
+
+std::vector<std::string> PolicyRegistry::rounding_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(rounding_.size());
+  for (const auto& entry : rounding_) names.push_back(entry.first);
+  return names;
+}
+
+Status PolicyRegistry::apply_spec(std::string_view spec, SchedulerOptions& options,
+                                  std::string* dispatch_out) const {
+  // Validate every token before writing anything, so a bad spec leaves the
+  // outputs untouched.
+  SchedulerOptions staged = options;
+  std::string dispatch;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string_view::npos) end = spec.size();
+    std::string_view token = spec.substr(begin, end - begin);
+    begin = end + 1;
+    // Trim surrounding spaces.
+    while (!token.empty() && token.front() == ' ') token.remove_prefix(1);
+    while (!token.empty() && token.back() == ' ') token.remove_suffix(1);
+    if (token.empty()) continue;
+
+    std::string_view key = "dispatch";
+    std::string_view value = token;
+    const std::size_t eq = token.find('=');
+    if (eq != std::string_view::npos) {
+      key = token.substr(0, eq);
+      value = token.substr(eq + 1);
+    }
+
+    if (key == "dispatch") {
+      Status status;
+      if (make_dispatch(value, PolicyParams{}, &status) == nullptr) return status;
+      dispatch = std::string(value);
+    } else if (key == "list") {
+      Status status = find_list_rule(value, &staged.priority);
+      if (!status.ok()) return status;
+    } else if (key == "round") {
+      Status status = find_rounding(value, &staged.rounding);
+      if (!status.ok()) return status;
+    } else {
+      std::ostringstream msg;
+      msg << "unknown policy-spec key '" << key
+          << "' (expected dispatch=, list=, round= or a bare dispatch name)";
+      return Status::error(StatusCode::kUnknownPolicy, msg.str());
+    }
+  }
+
+  options = staged;
+  if (dispatch_out != nullptr) *dispatch_out = std::move(dispatch);
+  return Status();
+}
+
+}  // namespace malsched::core

@@ -1,0 +1,84 @@
+// Name → policy lookup for the pluggable scheduling pieces:
+//
+//   dispatch policies  (core/policy.hpp)       "fifo" "edf" "wfq" "edf-wfq"
+//   LIST priority rules (core/list_scheduler.hpp) "earliest-start"
+//                                                 "critical-path"
+//   rounding variants  (core/rounding.hpp)     "threshold" "up" "down"
+//
+// The registry is a process-wide singleton with the built-ins pre-registered;
+// extensions register additional names at startup. Lookups return a typed
+// Status — an unknown name is StatusCode::kUnknownPolicy and the message
+// lists what IS registered, so a typo in a request answers itself.
+//
+// Per-request selection rides a compact spec string in
+// ScheduleRequest::policy (threaded through the trace and shard codecs):
+//
+//   "edf-wfq"                          bare token = dispatch policy
+//   "dispatch=edf,list=critical-path"  explicit keys, comma-separated
+//   "round=down"                       any subset of the three keys
+//
+// apply_spec() parses the spec, resolves list/round into a SchedulerOptions
+// and reports the requested dispatch name (validated, so a later
+// make_dispatch on it cannot fail).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/list_scheduler.hpp"
+#include "core/policy.hpp"
+#include "core/rounding.hpp"
+#include "core/scheduler.hpp"
+#include "core/status.hpp"
+
+namespace malsched::core {
+
+using DispatchFactory =
+    std::function<std::unique_ptr<DispatchPolicy>(const PolicyParams&)>;
+
+class PolicyRegistry {
+ public:
+  /// The process-wide registry, built-ins pre-registered. Thread-safe.
+  static PolicyRegistry& instance();
+
+  /// Registers (or replaces) a dispatch-policy factory under `name`.
+  void register_dispatch(std::string name, DispatchFactory factory);
+  /// Registers (or replaces) a LIST priority rule under `name`.
+  void register_list_rule(std::string name, ListPriority rule);
+  /// Registers (or replaces) a rounding variant under `name`.
+  void register_rounding(std::string name, RoundingRule rule);
+
+  /// Instantiates the named dispatch policy. Unknown name: returns nullptr
+  /// and sets *status (if given) to kUnknownPolicy listing the choices.
+  std::unique_ptr<DispatchPolicy> make_dispatch(std::string_view name,
+                                                const PolicyParams& params,
+                                                Status* status = nullptr) const;
+  Status find_list_rule(std::string_view name, ListPriority* out) const;
+  Status find_rounding(std::string_view name, RoundingRule* out) const;
+
+  std::vector<std::string> dispatch_names() const;
+  std::vector<std::string> list_rule_names() const;
+  std::vector<std::string> rounding_names() const;
+
+  /// Parses a ScheduleRequest policy spec (grammar above). On success,
+  /// list=/round= selections are written into `options` and the dispatch
+  /// name (validated; empty when the spec names none) into *dispatch_out.
+  /// Any unknown key or name returns kUnknownPolicy and leaves both outputs
+  /// untouched. An empty spec is ok and selects nothing.
+  Status apply_spec(std::string_view spec, SchedulerOptions& options,
+                    std::string* dispatch_out) const;
+
+ private:
+  PolicyRegistry();
+
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, DispatchFactory>> dispatch_;
+  std::vector<std::pair<std::string, ListPriority>> list_rules_;
+  std::vector<std::pair<std::string, RoundingRule>> rounding_;
+};
+
+}  // namespace malsched::core

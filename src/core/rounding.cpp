@@ -9,6 +9,30 @@
 
 namespace malsched::core {
 
+const char* to_string(RoundingRule rule) {
+  switch (rule) {
+    case RoundingRule::kThreshold: return "threshold";
+    case RoundingRule::kUp: return "up";
+    case RoundingRule::kDown: return "down";
+  }
+  return "unknown";
+}
+
+double effective_rho(RoundingRule rule, double rho) {
+  switch (rule) {
+    case RoundingRule::kThreshold: return rho;
+    case RoundingRule::kUp: return 0.0;
+    case RoundingRule::kDown: return 1.0;
+  }
+  return rho;
+}
+
+Allotment round_fractional(const model::Instance& instance,
+                           const std::vector<double>& fractional_times, double rho,
+                           RoundingRule rule) {
+  return round_fractional(instance, fractional_times, effective_rho(rule, rho));
+}
+
 Allotment round_fractional(const model::Instance& instance,
                            const std::vector<double>& fractional_times, double rho) {
   MALSCHED_ASSERT(rho >= 0.0 && rho <= 1.0);

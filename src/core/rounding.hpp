@@ -6,6 +6,15 @@
 // rounded UP to processing time p_j(l) (fewer processors), below it DOWN to
 // p_j(l+1) (more processors). Lemma 4.2 bounds the damage: durations stretch
 // by at most 2/(1+rho) and works by at most 2/(2-rho).
+//
+// The threshold rule is one point in a family. Always rounding up is the
+// rho = 0 specialization (every in-bracket x sits at or above the critical
+// time p(l+1)), always rounding down is rho = 1 (every in-bracket x sits
+// strictly below p(l)) — so the variants inherit Lemma 4.2 with the
+// effective rho, and analysis::ratio_bound stays a valid certificate when
+// evaluated at effective_rho(rule, rho). The variants are registered by
+// name in core::PolicyRegistry ("threshold" / "up" / "down") and selectable
+// per ScheduleRequest via the policy spec (`round=<name>`).
 #pragma once
 
 #include "core/allotment.hpp"
@@ -13,8 +22,28 @@
 
 namespace malsched::core {
 
+/// How an in-bracket fractional time picks its side of the bracket.
+enum class RoundingRule {
+  kThreshold = 0,  ///< the paper's rho-threshold rule (default)
+  kUp = 1,         ///< always round the time up — fewer processors, less work
+  kDown = 2,       ///< always round the time down — more processors, shorter
+};
+
+const char* to_string(RoundingRule rule);
+
+/// The rho whose threshold rule reproduces `rule` exactly: the requested rho
+/// for kThreshold, 0 for kUp, 1 for kDown. Feed it to analysis::ratio_bound
+/// so the guarantee matches the rounding actually performed.
+double effective_rho(RoundingRule rule, double rho);
+
 /// Rounds the fractional solution to the integral allotment alpha'.
 Allotment round_fractional(const model::Instance& instance,
                            const std::vector<double>& fractional_times, double rho);
+
+/// Variant-selecting overload: kThreshold reproduces the two-argument form
+/// bit-for-bit; kUp/kDown apply the rho = 0 / rho = 1 specializations.
+Allotment round_fractional(const model::Instance& instance,
+                           const std::vector<double>& fractional_times, double rho,
+                           RoundingRule rule);
 
 }  // namespace malsched::core

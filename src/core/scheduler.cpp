@@ -44,7 +44,8 @@ SchedulerResult schedule_malleable_dag(const model::Instance& instance,
   // Phase 1: fractional allotment + rounding.
   result.fractional = solve_allotment_lp(instance, options.lp);
   throw_if_interrupted(options.lp.simplex.control, result.fractional.lp_iterations);
-  result.alpha_prime = round_fractional(instance, result.fractional.x, result.rho);
+  result.alpha_prime = round_fractional(instance, result.fractional.x, result.rho,
+                                        options.rounding);
 
   // Phase 2: mu-capped list scheduling.
   result.schedule =
@@ -53,8 +54,11 @@ SchedulerResult schedule_malleable_dag(const model::Instance& instance,
 
   MALSCHED_ASSERT(result.fractional.lower_bound > 0.0);
   result.ratio_vs_lower_bound = result.makespan / result.fractional.lower_bound;
-  result.guaranteed_ratio =
-      analysis::ratio_bound(instance.m, result.mu, result.rho);
+  // The certificate must price the rounding actually performed: kUp/kDown
+  // are the rho = 0 / rho = 1 specializations of the threshold rule, so the
+  // bound is evaluated at the effective rho, not the requested one.
+  result.guaranteed_ratio = analysis::ratio_bound(
+      instance.m, result.mu, effective_rho(options.rounding, result.rho));
   return result;
 }
 

@@ -66,6 +66,10 @@ struct SchedulerOptions {
   std::optional<int> mu;
   /// READY-task selection rule of Phase 2 (guarantee-preserving).
   ListPriority priority = ListPriority::kEarliestStart;
+  /// Phase-1 rounding variant (core/rounding.hpp). kThreshold is the
+  /// paper's rule; kUp/kDown are its rho = 0 / rho = 1 specializations,
+  /// and guaranteed_ratio is evaluated at the matching effective rho.
+  RoundingRule rounding = RoundingRule::kThreshold;
   AllotmentLpOptions lp;
   /// Failure recovery chain, honoured by SchedulerService (the synchronous
   /// schedule_malleable_dag ignores it — a direct caller holds the exception

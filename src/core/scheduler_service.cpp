@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/fault_injector.hpp"
+#include "core/policy_registry.hpp"
 #include "core/trace.hpp"
 #include "model/assumptions.hpp"
 #include "support/stopwatch.hpp"
@@ -40,6 +41,16 @@ SchedulerService::SchedulerService(ServiceOptions options)
     : options_(std::move(options)),
       cache_(options_.cache_capacity),
       pool_(options_.num_threads) {
+  policy_params_.wfq_weights = options_.wfq_weights;
+  Status policy_status;
+  policy_ = PolicyRegistry::instance().make_dispatch(options_.dispatch_policy,
+                                                     policy_params_,
+                                                     &policy_status);
+  if (policy_ == nullptr) {
+    // A misconfigured default is a construction-time bug, not per-request
+    // traffic — fail loudly (per-request specs get a typed kUnknownPolicy).
+    throw std::invalid_argument(policy_status.to_string());
+  }
   worker_completed_.assign(pool_.size(), 0);
   if (options_.stall_timeout_seconds > 0.0) {
     watchdog_ = std::thread([this] { watchdog_loop(); });
@@ -47,6 +58,14 @@ SchedulerService::SchedulerService(ServiceOptions options)
 }
 
 SchedulerService::~SchedulerService() {
+  // Stop the periodic releaser BEFORE draining: a series still firing would
+  // re-fill the queues behind drain()'s ticket horizon.
+  {
+    std::lock_guard<std::mutex> lock(periodic_mutex_);
+    periodic_stop_ = true;
+  }
+  periodic_cv_.notify_all();
+  if (periodic_thread_.joinable()) periodic_thread_.join();
   drain();
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -82,18 +101,86 @@ Status SchedulerService::admission_status(const model::Instance& instance) const
   return Status();
 }
 
-void SchedulerService::record_completion_locked(ServiceResult& result) {
+void SchedulerService::record_completion_locked(ServiceResult& result,
+                                                bool had_deadline) {
   ++completed_;
+  ClientTagStats& tag = tag_stats_[result.client_tag];
+  ++tag.completed;
   if (!result.status.ok()) {
     ++failed_;
     switch (result.status.code()) {
-      case StatusCode::kRejected: ++rejected_; break;
-      case StatusCode::kCancelled: ++cancelled_; break;
-      case StatusCode::kDeadlineExceeded: ++expired_; break;
+      case StatusCode::kRejected: ++rejected_; ++tag.rejected; break;
+      case StatusCode::kCancelled: ++cancelled_; ++tag.cancelled; break;
+      case StatusCode::kDeadlineExceeded: ++expired_; ++tag.missed_deadline; break;
       default: break;
     }
+  } else {
+    ++tag.ok;
+    if (had_deadline) ++tag.met_deadline;
   }
   result.sequence = ++sequence_;
+}
+
+DispatchPolicy* SchedulerService::effective_policy_locked(
+    const Group* group) const {
+  if (group != nullptr && group->policy != nullptr) return group->policy.get();
+  return policy_.get();
+}
+
+QueuedJobView SchedulerService::queued_view(const Job& job) const {
+  QueuedJobView view;
+  view.ticket = job.ticket;
+  view.priority = job.priority;
+  view.client_tag = job.client_tag;
+  view.has_deadline = job.control != nullptr && job.control->has_deadline();
+  if (view.has_deadline) view.deadline = job.control->deadline;
+  return view;
+}
+
+std::size_t SchedulerService::sweep_expired_locked() {
+  std::size_t swept = 0;
+  for (auto git = groups_.begin(); git != groups_.end();) {
+    Group& group = git->second;
+    for (auto bit = group.buckets.begin(); bit != group.buckets.end();) {
+      std::deque<Job>& jobs = bit->second;
+      for (auto jit = jobs.begin(); jit != jobs.end();) {
+        const lp::SolveControl::Reason fired = jit->control->reason();
+        if (fired == lp::SolveControl::Reason::kNone) {
+          ++jit;
+          continue;
+        }
+        Job job = std::move(*jit);
+        jit = jobs.erase(jit);
+        --group.pending;
+        ++swept;
+        ServiceResult result;
+        result.group = git->first;
+        result.client_tag = std::move(job.client_tag);
+        result.attempts = job.attempt;
+        result.status =
+            fired == lp::SolveControl::Reason::kCancelled
+                ? Status::error(StatusCode::kCancelled,
+                                "cancelled while queued (swept)")
+                : Status::error(StatusCode::kDeadlineExceeded,
+                                "deadline expired while queued (swept)");
+        complete_locked(job.ticket, std::move(result));
+      }
+      if (jobs.empty()) {
+        bit = group.buckets.erase(bit);
+      } else {
+        ++bit;
+      }
+    }
+    // A fully drained group with no runner would otherwise linger until a
+    // runner happened to visit it.
+    if (group.pending == 0 && group.runners == 0) {
+      git = groups_.erase(git);
+    } else {
+      ++git;
+    }
+  }
+  swept_ += swept;
+  return swept;
 }
 
 TicketHandle SchedulerService::submit(ScheduleRequest request) {
@@ -113,7 +200,8 @@ TicketHandle SchedulerService::submit(ScheduleRequest request) {
     ServiceResult refused;
     refused.status = std::move(status);
     refused.client_tag = std::move(tag);
-    record_completion_locked(refused);
+    ++tag_stats_[refused.client_tag].submitted;
+    record_completion_locked(refused, /*had_deadline=*/false);
     if (tracing) options_.trace->record_outcome(trace_index, refused);
     done_.emplace(ticket, std::move(refused));
     lock.unlock();
@@ -132,23 +220,48 @@ TicketHandle SchedulerService::submit(ScheduleRequest request) {
                   std::move(request.client_tag));
   }
 
+  // Policy spec: parsed before any lock or validation — an unknown name
+  // refuses the ticket with a typed kUnknownPolicy listing the registry.
+  std::string dispatch_name;
+  SchedulerOptions spec_options;
+  bool have_spec = false;
+  if (!request.policy.empty()) {
+    spec_options =
+        request.options.has_value() ? *request.options : options_.scheduler;
+    Status spec_status = PolicyRegistry::instance().apply_spec(
+        request.policy, spec_options, &dispatch_name);
+    if (!spec_status.ok()) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      return refuse(lock, std::move(spec_status), std::move(request.client_tag));
+    }
+    have_spec = true;
+  }
+
   // Fast-path load shedding: a submit over the service-wide bound is
   // refused before paying for validation, fingerprinting or a control
   // token, so rejection stays ~O(1) during exactly the overload wave the
-  // policy exists to shed.
+  // policy exists to shed. Expired jobs still parked in the queues are
+  // swept out first — dead weight must not starve live traffic of budget.
   if (policy.max_pending > 0) {
     std::unique_lock<std::mutex> lock(mutex_);
     if (inflight_.size() >= policy.max_pending) {
-      return refuse(lock,
-                    Status::error(StatusCode::kRejected,
-                                  "service at max_pending = " +
-                                      std::to_string(policy.max_pending)),
-                    std::move(request.client_tag));
+      const bool notify = sweep_expired_locked() > 0;
+      if (inflight_.size() >= policy.max_pending) {
+        return refuse(lock,
+                      Status::error(StatusCode::kRejected,
+                                    "service at max_pending = " +
+                                        std::to_string(policy.max_pending)),
+                      std::move(request.client_tag));
+      }
+      lock.unlock();
+      if (notify) cv_.notify_all();
     }
   }
 
   const SchedulerOptions& options =
-      request.options.has_value() ? *request.options : options_.scheduler;
+      have_spec ? spec_options
+                : (request.options.has_value() ? *request.options
+                                               : options_.scheduler);
   Status admission = admission_status(request.instance);
 
   std::uint64_t key = 0;
@@ -182,40 +295,96 @@ TicketHandle SchedulerService::submit(ScheduleRequest request) {
   job.client_tag = std::move(request.client_tag);
 
   std::unique_lock<std::mutex> lock(mutex_);
+  bool notify = false;
   if (admission.ok()) {
     // Authoritative admission control, under the same lock as the enqueue
     // it guards (the fast path above is only advisory — admissions may
-    // have raced in while this request validated).
+    // have raced in while this request validated). A limit hit first tries
+    // a sweep: queued jobs whose deadline already expired were going to
+    // complete kDeadlineExceeded anyway and must not hold the budget.
     if (policy.max_pending > 0 && inflight_.size() >= policy.max_pending) {
-      admission = Status::error(
-          StatusCode::kRejected,
-          "service at max_pending = " + std::to_string(policy.max_pending));
-    } else if (policy.max_pending_per_group > 0) {
-      const auto it = groups_.find(key);
+      notify = sweep_expired_locked() > 0 || notify;
+      if (inflight_.size() >= policy.max_pending) {
+        admission = Status::error(
+            StatusCode::kRejected,
+            "service at max_pending = " + std::to_string(policy.max_pending));
+      }
+    }
+    if (admission.ok() && policy.max_pending_per_group > 0) {
+      auto it = groups_.find(key);
       if (it != groups_.end() &&
           it->second.pending >= policy.max_pending_per_group) {
-        admission = Status::error(StatusCode::kRejected,
-                                  "group at max_pending_per_group = " +
-                                      std::to_string(policy.max_pending_per_group));
+        notify = sweep_expired_locked() > 0 || notify;
+        it = groups_.find(key);  // the sweep may have erased a drained group
+        if (it != groups_.end() &&
+            it->second.pending >= policy.max_pending_per_group) {
+          admission = Status::error(StatusCode::kRejected,
+                                    "group at max_pending_per_group = " +
+                                        std::to_string(policy.max_pending_per_group));
+        }
       }
     }
   }
+
+  // Per-request dispatch override + policy admission screen. The override
+  // is sticky on the GROUP (later unnamed requests inherit it); it is only
+  // constructed when the spec names a dispatch different from the group's
+  // current one, so re-specifying the same name keeps WFQ accounting.
+  std::unique_ptr<DispatchPolicy> override_policy;
+  if (admission.ok()) {
+    const auto git = groups_.find(key);
+    DispatchPolicy* dispatch =
+        effective_policy_locked(git != groups_.end() ? &git->second : nullptr);
+    if (!dispatch_name.empty() && dispatch_name != dispatch->name()) {
+      // Pre-validated by apply_spec; cannot fail here.
+      override_policy = PolicyRegistry::instance().make_dispatch(
+          dispatch_name, policy_params_, nullptr);
+      dispatch = override_policy.get();
+    }
+    if (job.control != nullptr && job.control->has_deadline() &&
+        dispatch->sheds_at_admission()) {
+      AdmissionView view;
+      view.job = queued_view(job);
+      view.now = std::chrono::steady_clock::now();
+      if (git != groups_.end()) {
+        view.running = git->second.runners;
+        for (const auto& [level, jobs] : git->second.buckets) {
+          for (const Job& queued : jobs) {
+            view.queued.push_back(queued_view(queued));
+          }
+        }
+      }
+      const auto history = group_history_.find(key);
+      if (history != group_history_.end()) view.history = &history->second;
+      Status shed = dispatch->admit(view);
+      if (!shed.ok()) {
+        ++policy_sheds_;
+        admission = std::move(shed);
+      }
+    }
+  }
+
   if (!admission.ok()) {
+    // refuse() unlocks and notifies, covering any sweep completions too.
     return refuse(lock, std::move(admission), std::move(job.client_tag));
   }
 
   const Ticket ticket = next_ticket_++;
   ++submitted_;
   job.ticket = ticket;
+  ++tag_stats_[job.client_tag].submitted;
   if (tracing) trace_index_.emplace(ticket, trace_index);
   inflight_.insert(ticket);
   max_pending_seen_ = std::max(max_pending_seen_, inflight_.size());
   controls_.emplace(ticket, job.control);
   groups_seen_.insert(key);
   Group& group = groups_[key];
+  if (override_policy != nullptr) group.policy = std::move(override_policy);
   group.buckets[job.priority].push_back(std::move(job));
   ++group.pending;
   maybe_dispatch(key, group);
+  lock.unlock();
+  if (notify) cv_.notify_all();
   return TicketHandle(this, ticket);
 }
 
@@ -282,9 +451,20 @@ void SchedulerService::maybe_dispatch(std::uint64_t key, Group& group) {
 
 SchedulerService::Job SchedulerService::pop_job_locked(Group& group) {
   const auto bucket = group.buckets.begin();  // highest priority level
-  Job job = std::move(bucket->second.front());
-  bucket->second.pop_front();
-  if (bucket->second.empty()) group.buckets.erase(bucket);
+  std::deque<Job>& jobs = bucket->second;
+  std::size_t pick = 0;
+  DispatchPolicy* dispatch = effective_policy_locked(&group);
+  if (dispatch->reorders() && jobs.size() > 1) {
+    std::vector<QueuedJobView> views;
+    views.reserve(jobs.size());
+    for (const Job& queued : jobs) views.push_back(queued_view(queued));
+    pick = std::min(dispatch->select(views), jobs.size() - 1);
+  }
+  // The default path (reorders() == false) never builds views and pops the
+  // front — byte-for-byte the legacy behavior the pivot baselines pin.
+  Job job = std::move(jobs[pick]);
+  jobs.erase(jobs.begin() + static_cast<std::ptrdiff_t>(pick));
+  if (jobs.empty()) group.buckets.erase(bucket);
   --group.pending;
   return job;
 }
@@ -647,6 +827,10 @@ void SchedulerService::watchdog_loop() {
   while (!watchdog_stop_) {
     watchdog_cv_.wait_for(lock, poll, [this] { return watchdog_stop_; });
     if (watchdog_stop_) return;
+    // Each tick also sweeps queued jobs whose deadline/cancel already fired
+    // — they complete here instead of holding admission budget until a
+    // runner happens to dequeue them.
+    if (sweep_expired_locked() > 0) cv_.notify_all();
     const auto now = std::chrono::steady_clock::now();
     for (auto& [ticket, running] : running_) {
       const long pivots =
@@ -675,9 +859,20 @@ void SchedulerService::watchdog_loop() {
 void SchedulerService::complete(Ticket ticket, ServiceResult result) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    inflight_.erase(ticket);
+    complete_locked(ticket, std::move(result));
+  }
+  cv_.notify_all();
+}
+
+void SchedulerService::complete_locked(Ticket ticket, ServiceResult result) {
+  inflight_.erase(ticket);
+  bool had_deadline = false;
+  bool real_job = false;
+  {
     const auto it = controls_.find(ticket);
     if (it != controls_.end()) {
+      real_job = true;
+      had_deadline = it->second->has_deadline();
       // Closes the exactly-once contract of cancel(): a cancel (or a
       // deadline) that fired after the last pivot poll — e.g. during the
       // Phase-2 LIST schedule — is still honoured here, under the same
@@ -708,7 +903,26 @@ void SchedulerService::complete(Ticket ticket, ServiceResult result) {
     }
     stalled_.erase(ticket);
     user_cancelled_.erase(ticket);
-    record_completion_locked(result);
+    if (result.status.ok()) {
+      // Feed the group's cost model (policy admission shedding predicts
+      // backlog wait from it). Only ok solves: a cancelled/failed attempt's
+      // wall time is not a service-time signal.
+      GroupCostHistory& history = group_history_[result.group];
+      ++history.completed;
+      history.total_seconds += result.seconds;
+      history.total_pivots += std::max<long>(0, result.lp_pivots);
+    }
+    if (real_job) {
+      // WFQ service accounting, charged in pivots so fair-queue order is
+      // deterministic across runs (wall time is not).
+      const auto git = groups_.find(result.group);
+      DispatchPolicy* dispatch = effective_policy_locked(
+          git != groups_.end() ? &git->second : nullptr);
+      dispatch->on_complete(
+          result.client_tag,
+          1.0 + static_cast<double>(std::max<long>(0, result.lp_pivots)));
+    }
+    record_completion_locked(result, had_deadline);
     const auto trace_it = trace_index_.find(ticket);
     if (trace_it != trace_index_.end()) {
       options_.trace->record_outcome(trace_it->second, result);
@@ -716,7 +930,6 @@ void SchedulerService::complete(Ticket ticket, ServiceResult result) {
     }
     done_.emplace(ticket, std::move(result));
   }
-  cv_.notify_all();
 }
 
 ServiceResult SchedulerService::missing_result_locked(Ticket ticket) const {
@@ -809,6 +1022,10 @@ ServiceStats SchedulerService::stats() const {
     out.requeues = requeues_;
     out.stalls = stalls_;
     out.worker_restarts = worker_restarts_;
+    out.swept = swept_;
+    out.policy_sheds = policy_sheds_;
+    out.per_tag = tag_stats_;
+    out.group_history = group_history_;
     for (const auto& [key, group] : groups_) {
       out.queue_depth.emplace(key, group.pending);
     }
@@ -843,6 +1060,142 @@ Status SchedulerService::save_warm_cache(std::ostream& os) const {
 
 Status SchedulerService::load_warm_cache(std::istream& is) {
   return cache_.load(is);
+}
+
+PeriodicHandle SchedulerService::submit_periodic(PeriodicRequest request) {
+  auto state = std::make_shared<PeriodicState>();
+  PeriodicSeries series;
+  series.base = std::move(request.base);
+  series.period_seconds = std::max(0.0, request.period_seconds);
+  series.remaining = std::max(1, request.occurrences);
+  series.next_due = std::chrono::steady_clock::now();  // first fires now
+  series.state = state;
+  {
+    std::lock_guard<std::mutex> lock(periodic_mutex_);
+    periodic_.push_back(std::move(series));
+    ++periodic_gen_;  // re-arms a releaser parked on a later due time
+    if (!periodic_thread_.joinable()) {
+      // Lazy start: a service that never uses submit_periodic never pays
+      // for (or perturbs determinism with) an extra thread.
+      periodic_thread_ = std::thread([this] { periodic_loop(); });
+    }
+  }
+  periodic_cv_.notify_all();
+  return PeriodicHandle(std::move(state));
+}
+
+void SchedulerService::periodic_loop() {
+  std::unique_lock<std::mutex> lock(periodic_mutex_);
+  while (!periodic_stop_) {
+    // Scan for the earliest due series, dropping finished/cancelled ones.
+    std::size_t best = periodic_.size();
+    for (std::size_t i = 0; i < periodic_.size();) {
+      PeriodicSeries& series = periodic_[i];
+      bool cancelled;
+      {
+        std::lock_guard<std::mutex> slock(series.state->m);
+        cancelled = series.state->cancelled;
+      }
+      if (cancelled || series.remaining <= 0) {
+        {
+          std::lock_guard<std::mutex> slock(series.state->m);
+          series.state->done = true;
+        }
+        series.state->cv.notify_all();
+        periodic_[i] = std::move(periodic_.back());
+        periodic_.pop_back();
+        continue;
+      }
+      if (best == periodic_.size() ||
+          series.next_due < periodic_[best].next_due) {
+        best = i;
+      }
+      ++i;
+    }
+    if (best == periodic_.size()) {
+      periodic_cv_.wait(
+          lock, [this] { return periodic_stop_ || !periodic_.empty(); });
+      continue;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (periodic_[best].next_due > now) {
+      // Wake early when stopping or when a new series arrives (it may be
+      // due sooner) — the generation counter re-arms the scan.
+      const std::uint64_t gen = periodic_gen_;
+      periodic_cv_.wait_until(lock, periodic_[best].next_due, [this, gen] {
+        return periodic_stop_ || periodic_gen_ != gen;
+      });
+      continue;
+    }
+    // Release one occurrence OFF the periodic lock: submit() takes the
+    // service mutex and runs the full admission/tracing/policy path.
+    PeriodicSeries& series = periodic_[best];
+    ScheduleRequest occurrence = series.base;
+    series.next_due +=
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(series.period_seconds));
+    --series.remaining;
+    const bool last = series.remaining <= 0;
+    std::shared_ptr<PeriodicState> state = series.state;
+    lock.unlock();
+    TicketHandle handle = submit(std::move(occurrence));
+    {
+      std::lock_guard<std::mutex> slock(state->m);
+      state->tickets.push_back(handle);
+      if (last) state->done = true;
+    }
+    state->cv.notify_all();
+    lock.lock();
+  }
+  // Shutdown: unblock every waiter; no further occurrences release.
+  for (PeriodicSeries& series : periodic_) {
+    {
+      std::lock_guard<std::mutex> slock(series.state->m);
+      series.state->done = true;
+    }
+    series.state->cv.notify_all();
+  }
+  periodic_.clear();
+}
+
+std::vector<TicketHandle> PeriodicHandle::tickets() const {
+  if (state_ == nullptr) return {};
+  std::lock_guard<std::mutex> lock(state_->m);
+  return state_->tickets;
+}
+
+bool PeriodicHandle::done() const {
+  if (state_ == nullptr) return true;
+  std::lock_guard<std::mutex> lock(state_->m);
+  return state_->done;
+}
+
+void PeriodicHandle::cancel() {
+  if (state_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(state_->m);
+    state_->cancelled = true;
+    state_->done = true;  // waiters return now; the releaser drops the
+                          // series on its next wake
+  }
+  state_->cv.notify_all();
+}
+
+void PeriodicHandle::wait_submitted() {
+  if (state_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(state_->m);
+  state_->cv.wait(lock, [this] { return state_->done; });
+}
+
+std::vector<ServiceResult> PeriodicHandle::wait_all() {
+  wait_submitted();
+  std::vector<TicketHandle> handles = tickets();
+  std::vector<ServiceResult> results;
+  results.reserve(handles.size());
+  for (TicketHandle& handle : handles) {
+    results.push_back(handle.wait());
+  }
+  return results;
 }
 
 }  // namespace malsched::core

@@ -22,9 +22,15 @@
 //    warm-start affinity and the PR-3 pivot-for-pivot determinism.
 //  * DEADLINES — a request may carry a relative deadline. Already expired
 //    at admission -> immediate kDeadlineExceeded; expired while queued ->
-//    dropped at dequeue without solving; expired mid-solve -> the
-//    lp::SolveControl token threaded into the pivot loops stops the LP
-//    cooperatively.
+//    swept at admission pressure / the watchdog tick (or dropped at
+//    dequeue) without solving; expired mid-solve -> the lp::SolveControl
+//    token threaded into the pivot loops stops the LP cooperatively.
+//  * POLICIES — queue order within a priority level and admission-time
+//    shedding are owned by a pluggable DispatchPolicy (core/policy.hpp),
+//    selected service-wide by ServiceOptions::dispatch_policy and per
+//    request by the ScheduleRequest::policy spec (core/policy_registry.hpp:
+//    dispatch=/list=/round= tokens). The default "fifo" reproduces the
+//    legacy order bit-for-bit.
 //  * CANCELLATION — TicketHandle::cancel() (or cancel(Ticket)) flips the
 //    same token: a queued job is dropped at dequeue, a running job aborts
 //    between pivots, and the ticket completes with kCancelled carrying the
@@ -62,6 +68,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/policy.hpp"
 #include "core/scheduler.hpp"
 #include "core/status.hpp"
 #include "model/instance.hpp"
@@ -70,7 +77,9 @@
 namespace malsched::core {
 
 class TicketHandle;
+class PeriodicHandle;
 class TraceRecorder;
+struct PeriodicState;
 
 /// Load-shedding limits applied at submit time. A request over any limit
 /// completes its ticket immediately with StatusCode::kRejected — the
@@ -113,6 +122,15 @@ struct ServiceOptions {
   bool enforce_assumptions = false;
   /// Overload limits; the default (all zero) admits everything.
   AdmissionPolicy admission;
+  /// Default dispatch policy, resolved through core::PolicyRegistry at
+  /// construction (an unregistered name throws std::invalid_argument).
+  /// "fifo" reproduces the pre-registry order bit-for-bit; see
+  /// core/policy.hpp for "edf" / "wfq" / "edf-wfq". A per-request
+  /// ScheduleRequest::policy spec overrides it for that request's group.
+  std::string dispatch_policy = "fifo";
+  /// Per-client_tag weights consumed by the WFQ policies; absent tags
+  /// weigh 1.0.
+  std::map<std::string, double> wfq_weights;
   /// Stall watchdog: a running job whose LP pivot heartbeat
   /// (lp::SolveControl::pivots) has not advanced for this many seconds is
   /// cooperatively interrupted and requeued on a fresh control token
@@ -150,6 +168,23 @@ struct ScheduleRequest {
   std::optional<double> deadline_seconds;
   /// Opaque caller label, echoed verbatim on the ServiceResult.
   std::string client_tag;
+  /// Policy spec (core/policy_registry.hpp): a bare dispatch-policy name
+  /// ("edf-wfq") or comma-separated `dispatch=` / `list=` / `round=`
+  /// tokens. Empty = the group's current dispatch and the request/service
+  /// SchedulerOptions. An unknown name completes the ticket immediately
+  /// with StatusCode::kUnknownPolicy listing the registered choices.
+  std::string policy;
+};
+
+/// A recurring submission: `base` is re-submitted every `period_seconds`,
+/// `occurrences` times in total (the first fires immediately). Every
+/// occurrence shares the base instance's LP structure, so after the first
+/// solve the rest warm-start from the shared cache — the scenario the
+/// periodic pack in examples/ measures.
+struct PeriodicRequest {
+  ScheduleRequest base;
+  double period_seconds = 0.0;
+  int occurrences = 1;
 };
 
 /// Completion record of one ticket. `result` is meaningful iff status.ok().
@@ -191,6 +226,19 @@ struct WorkerHealth {
   std::size_t completed = 0;  ///< jobs this worker has finished
 };
 
+/// Per-client_tag slice of the service counters — the tenant view the
+/// shard pong carries (met/missed deadline counts are what the --fairness
+/// bench gates per tenant).
+struct ClientTagStats {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;        ///< includes failed
+  std::size_t ok = 0;               ///< completed with status.ok()
+  std::size_t met_deadline = 0;     ///< ok completions that carried a deadline
+  std::size_t missed_deadline = 0;  ///< completed kDeadlineExceeded
+  std::size_t rejected = 0;         ///< completed kRejected
+  std::size_t cancelled = 0;        ///< completed kCancelled
+};
+
 /// Monotonic counters since construction, plus the live cache snapshot.
 struct ServiceStats {
   std::size_t submitted = 0;
@@ -211,12 +259,22 @@ struct ServiceStats {
   std::size_t requeues = 0;        ///< jobs put back on the queue (stalls + worker failures)
   std::size_t stalls = 0;          ///< watchdog stall-detector firings
   std::size_t worker_restarts = 0; ///< runner replacements after an escaped worker exception
+  std::size_t swept = 0;           ///< expired/cancelled jobs removed by a queue sweep
+                                   ///< (admission pressure or watchdog tick) instead of
+                                   ///< waiting for dequeue
+  std::size_t policy_sheds = 0;    ///< deadline requests the dispatch policy shed at
+                                   ///< admission (predicted miss; completed kDeadlineExceeded)
   /// Per-worker health, one entry per pool worker (see WorkerHealth).
   /// Quarantined cache entries are reported in `cache.quarantined`.
   std::vector<WorkerHealth> workers;
   /// Queued (not yet running) jobs per live structure group; groups with no
   /// queued work and no active runner are absent.
   std::unordered_map<std::uint64_t, std::size_t> queue_depth;
+  /// Per-client_tag breakdown (every tag ever submitted, "" included).
+  std::map<std::string, ClientTagStats> per_tag;
+  /// Completed-solve cost history per structure group — the model the EDF
+  /// policies predict backlog wait from (core/policy.hpp).
+  std::unordered_map<std::uint64_t, GroupCostHistory> group_history;
   WarmStartCache::Stats cache;     ///< lookups/hits/stores/evictions
   std::size_t cache_entries = 0;   ///< current size of the shared cache
 };
@@ -257,6 +315,14 @@ class SchedulerService {
   std::vector<Ticket> submit_many(std::vector<model::Instance> instances);
   std::vector<Ticket> submit_many(std::vector<model::Instance> instances,
                                   const SchedulerOptions& options);
+
+  /// Starts a recurring series: request.base is submitted `occurrences`
+  /// times, one immediately and one every `period_seconds` after (each
+  /// through the full submit() path — admission, tracing, policy spec).
+  /// The returned handle collects the per-occurrence TicketHandles as they
+  /// are issued; it must not outlive the service. Destroying the service
+  /// stops the series. Thread-safe.
+  PeriodicHandle submit_periodic(PeriodicRequest request);
 
   /// Requests cooperative cancellation of a live ticket. A queued job is
   /// dropped at dequeue; a running job aborts between LP pivots; a cancel
@@ -320,17 +386,40 @@ class SchedulerService {
     std::map<int, std::deque<Job>, std::greater<int>> buckets;
     std::size_t pending = 0;  ///< total queued jobs across buckets
     std::size_t runners = 0;
+    /// Sticky per-group dispatch override, installed by the first request
+    /// whose policy spec names a dispatch different from the group's
+    /// current one. nullptr = the service default (policy_).
+    std::unique_ptr<DispatchPolicy> policy;
+  };
+  struct PeriodicSeries {
+    ScheduleRequest base;
+    double period_seconds = 0.0;
+    int remaining = 0;
+    std::chrono::steady_clock::time_point next_due{};
+    std::shared_ptr<PeriodicState> state;
   };
 
   std::size_t runner_cap() const;
   /// Pre-admission validation -> typed Status (ok = admit).
   Status admission_status(const model::Instance& instance) const;
-  /// Requires mutex_ held: counters + completion sequence stamp for a
-  /// result that is about to be published.
-  void record_completion_locked(ServiceResult& result);
+  /// Requires mutex_ held: counters (service-wide and per-client_tag) +
+  /// completion sequence stamp for a result that is about to be published.
+  /// `had_deadline` marks a deadline-armed job (counts met_deadline on ok).
+  void record_completion_locked(ServiceResult& result, bool had_deadline);
   /// Requires mutex_ held: the typed error for a ticket that is neither
   /// pending nor claimable.
   ServiceResult missing_result_locked(Ticket ticket) const;
+  /// Requires mutex_ held: the group's dispatch override or the service
+  /// default. Never nullptr.
+  DispatchPolicy* effective_policy_locked(const Group* group) const;
+  /// Requires mutex_ held: projects a queued job for policy inspection.
+  QueuedJobView queued_view(const Job& job) const;
+  /// Requires mutex_ held: removes every queued job whose control already
+  /// fired (deadline/cancel), completing each kDeadlineExceeded/kCancelled
+  /// without a solve — so dead weight stops consuming the AdmissionPolicy
+  /// budget (the PR-10 bugfix). Runs at admission pressure and on the
+  /// watchdog tick. Returns the number swept; callers notify cv_ when > 0.
+  std::size_t sweep_expired_locked();
   /// Requires mutex_ held: dispatches one more runner for `group` when its
   /// backlog warrants it and the cap allows.
   void maybe_dispatch(std::uint64_t key, Group& group);
@@ -361,10 +450,17 @@ class SchedulerService {
   /// completes the ticket with it), kNone after a full sleep.
   lp::SolveControl::Reason backoff_wait(const Job& job, double seconds) const;
   void watchdog_loop();
+  void periodic_loop();
   void complete(Ticket ticket, ServiceResult result);
+  /// Requires mutex_ held: the body of complete() — also the publication
+  /// path of sweep_expired_locked, which already holds the lock.
+  void complete_locked(Ticket ticket, ServiceResult result);
 
   ServiceOptions options_;
   WarmStartCache cache_;
+  /// Service-default dispatch policy (PolicyRegistry, options_.dispatch_policy).
+  std::unique_ptr<DispatchPolicy> policy_;
+  PolicyParams policy_params_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
@@ -390,7 +486,13 @@ class SchedulerService {
   std::size_t requeues_ = 0;
   std::size_t stalls_ = 0;
   std::size_t worker_restarts_ = 0;
+  std::size_t swept_ = 0;
+  std::size_t policy_sheds_ = 0;
   std::uint64_t sequence_ = 0;
+  /// Per-client_tag counters (ClientTagStats in stats()).
+  std::map<std::string, ClientTagStats> tag_stats_;
+  /// Completed-solve cost per structure group, fed to policy shedding.
+  std::unordered_map<std::uint64_t, GroupCostHistory> group_history_;
 
   /// Heartbeat registry of RUNNING jobs, keyed by ticket. Written by the
   /// runner on attempt entry/exit, sampled by the watchdog and stats().
@@ -416,6 +518,18 @@ class SchedulerService {
   bool watchdog_stop_ = false;
   std::condition_variable watchdog_cv_;
   std::thread watchdog_;
+
+  /// Periodic-series machinery (submit_periodic). The release thread is
+  /// started lazily by the first series and joined by the destructor before
+  /// drain(), so no occurrence can race the shutdown. Guarded by
+  /// periodic_mutex_, never taken while holding mutex_ (the release thread
+  /// takes mutex_ through submit() only after dropping periodic_mutex_).
+  std::mutex periodic_mutex_;
+  std::condition_variable periodic_cv_;
+  std::uint64_t periodic_gen_ = 0;  ///< bumped per submit_periodic to re-arm waits
+  bool periodic_stop_ = false;
+  std::vector<PeriodicSeries> periodic_;
+  std::thread periodic_thread_;
 
   /// Last member: destroyed (joined) first, while the state above is alive.
   support::ThreadPool pool_;
@@ -460,6 +574,48 @@ class TicketHandle {
 
   SchedulerService* service_ = nullptr;
   SchedulerService::Ticket ticket_ = 0;
+};
+
+/// Shared state of one periodic series (internal to SchedulerService /
+/// PeriodicHandle; defined here so the handle stays a value type).
+struct PeriodicState {
+  std::mutex m;
+  std::condition_variable cv;
+  std::vector<TicketHandle> tickets;  ///< one per released occurrence, in order
+  bool done = false;       ///< every occurrence released (or the series cancelled)
+  bool cancelled = false;  ///< cancel() called; no further occurrences release
+};
+
+/// Value handle for one submit_periodic series. Copyable and cheap; it does
+/// not own the service and must not outlive it.
+class PeriodicHandle {
+ public:
+  PeriodicHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  /// TicketHandles of the occurrences released so far, in release order.
+  std::vector<TicketHandle> tickets() const;
+  /// True once every occurrence has been released (or the series was
+  /// cancelled / the service shut down).
+  bool done() const;
+  /// Stops future occurrences and marks the series done immediately.
+  /// Already-released occurrences are unaffected (cancel their TicketHandles
+  /// individually). An occurrence racing the call may still be released; it
+  /// shows up in tickets() as usual.
+  void cancel();
+  /// Blocks until done() — i.e. until the series has released everything it
+  /// ever will. Does NOT wait for the solves; wait_all() does.
+  void wait_submitted();
+  /// wait_submitted(), then waits every released ticket and returns the
+  /// results in release order.
+  std::vector<ServiceResult> wait_all();
+
+ private:
+  friend class SchedulerService;
+  explicit PeriodicHandle(std::shared_ptr<PeriodicState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<PeriodicState> state_;
 };
 
 }  // namespace malsched::core

@@ -24,7 +24,7 @@ using model::wire::read_u8;
 /// Largest StatusCode value the codec accepts — keep in sync with the enum
 /// in status.hpp (same rule as the trace codec: extend, never reorder).
 constexpr std::uint8_t kMaxStatusByte =
-    static_cast<std::uint8_t>(StatusCode::kMalformedRecord);
+    static_cast<std::uint8_t>(StatusCode::kUnknownPolicy);
 
 Status malformed(const std::string& detail) {
   return Status::error(StatusCode::kMalformedRecord,
@@ -81,6 +81,7 @@ std::string encode_shard_request(const ShardRequest& request) {
   append_u8(out, request.has_deadline ? 1 : 0);
   append_f64(out, request.deadline_seconds);
   append_string(out, request.client_tag);
+  append_string(out, request.policy);
   append_trace_options(out, request.options);
   model::append_instance_binary(out, request.instance);
   return out;
@@ -95,7 +96,8 @@ Status decode_shard_request(std::string_view payload, ShardRequest& out) {
       !read_i32(payload, at, request.priority) ||
       !read_flag(payload, at, request.has_deadline) ||
       !read_f64(payload, at, request.deadline_seconds) ||
-      !read_string(payload, at, request.client_tag)) {
+      !read_string(payload, at, request.client_tag) ||
+      !read_string(payload, at, request.policy)) {
     return malformed("truncated submit header");
   }
   status = read_trace_options(payload, at, request.options);
@@ -116,6 +118,7 @@ ShardRequest make_shard_request(std::uint64_t id,
   wire.has_deadline = request.deadline_seconds.has_value();
   wire.deadline_seconds = request.deadline_seconds.value_or(0.0);
   wire.client_tag = request.client_tag;
+  wire.policy = request.policy;
   if (request.options.has_value()) {
     wire.options = make_trace_options(*request.options);
   }
@@ -133,6 +136,7 @@ ScheduleRequest to_schedule_request(const ShardRequest& wire,
   request.priority = wire.priority;
   if (wire.has_deadline) request.deadline_seconds = wire.deadline_seconds;
   request.client_tag = wire.client_tag;
+  request.policy = wire.policy;
   return request;
 }
 
@@ -292,6 +296,15 @@ std::string encode_shard_pong(const ShardPong& pong) {
   append_u64(out, pong.completed);
   append_u64(out, pong.cache_entries);
   append_i64(out, pong.lp_pivots_total);
+  append_u32(out, static_cast<std::uint32_t>(pong.tags.size()));
+  for (const ShardTagCounters& row : pong.tags) {
+    append_string(out, row.tag);
+    append_u64(out, row.submitted);
+    append_u64(out, row.completed);
+    append_u64(out, row.met_deadline);
+    append_u64(out, row.missed_deadline);
+    append_u64(out, row.rejected);
+  }
   return out;
 }
 
@@ -300,12 +313,35 @@ Status decode_shard_pong(std::string_view payload, ShardPong& out) {
   std::size_t at = 0;
   Status status = expect_tag(payload, at, ShardMessage::kPong, "pong");
   if (!status.ok()) return status;
+  std::uint32_t tag_rows = 0;
   if (!read_u64(payload, at, pong.nonce) ||
       !read_u64(payload, at, pong.pending) ||
       !read_u64(payload, at, pong.completed) ||
       !read_u64(payload, at, pong.cache_entries) ||
-      !read_i64(payload, at, pong.lp_pivots_total)) {
+      !read_i64(payload, at, pong.lp_pivots_total) ||
+      !read_u32(payload, at, tag_rows)) {
     return malformed("truncated pong");
+  }
+  // Screen the row count against the remaining bytes before reserving (the
+  // decode_shard_result rule): each row is at least 44 bytes (u32 tag
+  // length + five u64 counters), so a hostile count cannot force an
+  // oversized allocation.
+  if (static_cast<std::uint64_t>(tag_rows) * 44 >
+      static_cast<std::uint64_t>(payload.size() - at)) {
+    return malformed("pong tag row count " + std::to_string(tag_rows) +
+                     " exceeds the remaining payload");
+  }
+  pong.tags.resize(tag_rows);
+  for (std::uint32_t i = 0; i < tag_rows; ++i) {
+    ShardTagCounters& row = pong.tags[i];
+    if (!read_string(payload, at, row.tag) ||
+        !read_u64(payload, at, row.submitted) ||
+        !read_u64(payload, at, row.completed) ||
+        !read_u64(payload, at, row.met_deadline) ||
+        !read_u64(payload, at, row.missed_deadline) ||
+        !read_u64(payload, at, row.rejected)) {
+      return malformed("truncated pong tag rows");
+    }
   }
   status = expect_end(payload, at);
   if (!status.ok()) return status;

@@ -37,7 +37,10 @@
 
 namespace malsched::core {
 
-constexpr std::uint8_t kShardProtocolVersion = 1;
+/// v2: + per-request policy spec on kSubmit, + per-client_tag counter rows
+/// on kPong (and the shared options block gained rounding_rule — see
+/// kTraceVersion).
+constexpr std::uint8_t kShardProtocolVersion = 2;
 
 /// First byte of every frame payload on a shard connection.
 enum class ShardMessage : std::uint8_t {
@@ -61,6 +64,8 @@ struct ShardRequest {
   bool has_deadline = false;
   double deadline_seconds = 0.0;
   std::string client_tag;
+  /// Policy spec (ScheduleRequest::policy), forwarded verbatim (v2).
+  std::string policy;
   TraceRequestOptions options;
   model::Instance instance;
 };
@@ -119,6 +124,18 @@ struct ShardPing {
   std::uint64_t nonce = 0;
 };
 
+/// One client_tag's counters on a pong (v2) — the per-tenant slice of the
+/// shard's ClientTagStats, so the router sees fairness per tenant without a
+/// second RPC.
+struct ShardTagCounters {
+  std::string tag;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t met_deadline = 0;
+  std::uint64_t missed_deadline = 0;
+  std::uint64_t rejected = 0;
+};
+
 /// Heartbeat reply + the shard's health counters — what the router's
 /// backpressure and ejection decisions read.
 struct ShardPong {
@@ -127,6 +144,8 @@ struct ShardPong {
   std::uint64_t completed = 0;
   std::uint64_t cache_entries = 0;  ///< warm-start cache occupancy
   std::int64_t lp_pivots_total = 0;
+  /// Per-client_tag breakdown (v2), in the shard's map order.
+  std::vector<ShardTagCounters> tags;
 };
 
 std::string encode_shard_ping(const ShardPing& ping);

@@ -352,6 +352,7 @@ void ShardRouter::handle_frames_locked(Shard& shard) {
         shard.health.completed = pong.completed;
         shard.health.cache_entries = pong.cache_entries;
         shard.health.lp_pivots_total = pong.lp_pivots_total;
+        shard.health.tags = pong.tags;
         break;
       }
       default:

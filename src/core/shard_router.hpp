@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "core/scheduler_service.hpp"
+#include "core/shard_protocol.hpp"
 #include "core/trace.hpp"
 #include "net/socket.hpp"
 
@@ -127,6 +128,8 @@ struct ShardHealthRow {
   std::uint64_t cache_entries = 0;
   std::int64_t lp_pivots_total = 0;
   std::uint64_t routed = 0;         ///< requests this router sent it
+  /// Per-client_tag counters from the last pong (protocol v2).
+  std::vector<ShardTagCounters> tags;
 };
 
 struct RouterStats {

@@ -190,6 +190,17 @@ bool ShardServer::drain_frames(Connection& conn) {
         pong.completed = stats.completed;
         pong.cache_entries = stats.cache_entries;
         pong.lp_pivots_total = pivots_sent_.load();
+        pong.tags.reserve(stats.per_tag.size());
+        for (const auto& [tag, counters] : stats.per_tag) {
+          ShardTagCounters row;
+          row.tag = tag;
+          row.submitted = counters.submitted;
+          row.completed = counters.completed;
+          row.met_deadline = counters.met_deadline;
+          row.missed_deadline = counters.missed_deadline;
+          row.rejected = counters.rejected;
+          pong.tags.push_back(std::move(row));
+        }
         if (!net::send_frame(conn.socket, encode_shard_pong(pong)).ok()) {
           return false;
         }

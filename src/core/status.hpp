@@ -38,6 +38,11 @@ enum class StatusCode {
   kMalformedRecord,      ///< a frame's payload decoded to an invalid record
                          ///< (bad field, cyclic instance, trailing bytes) or
                          ///< the frame is larger than the reader's payload cap
+  kUnknownPolicy,        ///< a policy spec named a dispatch policy, LIST rule
+                         ///< or rounding variant the PolicyRegistry does not
+                         ///< know (codec note: extend this enum at the end,
+                         ///< never reorder — the trace/shard codecs ship the
+                         ///< numeric value)
 };
 
 inline const char* to_string(StatusCode code) {
@@ -56,6 +61,7 @@ inline const char* to_string(StatusCode code) {
     case StatusCode::kTruncatedFrame: return "truncated-frame";
     case StatusCode::kCorruptFrame: return "corrupt-frame";
     case StatusCode::kMalformedRecord: return "malformed-record";
+    case StatusCode::kUnknownPolicy: return "unknown-policy";
   }
   return "unknown";
 }

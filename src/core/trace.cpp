@@ -28,7 +28,7 @@ constexpr std::size_t kTraceMagicLen = sizeof(kTraceMagic) - 1;
 /// Largest StatusCode value the codec accepts — keep in sync with the enum
 /// in status.hpp (new codes extend the range, never reorder it).
 constexpr std::uint8_t kMaxStatusByte =
-    static_cast<std::uint8_t>(StatusCode::kMalformedRecord);
+    static_cast<std::uint8_t>(StatusCode::kUnknownPolicy);
 
 Status malformed(const std::string& detail) {
   return Status::error(StatusCode::kMalformedRecord, "trace record: " + detail);
@@ -66,6 +66,7 @@ TraceRequestOptions make_trace_options(const SchedulerOptions& options) {
   out.has_mu = options.mu.has_value();
   out.mu = options.mu.value_or(0);
   out.retry_max_attempts = options.retry.max_attempts;
+  out.rounding_rule = static_cast<std::uint8_t>(options.rounding);
   return out;
 }
 
@@ -81,6 +82,7 @@ SchedulerOptions apply_trace_options(const TraceRequestOptions& traced,
   base.rho = traced.has_rho ? std::optional<double>(traced.rho) : std::nullopt;
   base.mu = traced.has_mu ? std::optional<int>(traced.mu) : std::nullopt;
   base.retry.max_attempts = traced.retry_max_attempts;
+  base.rounding = static_cast<RoundingRule>(traced.rounding_rule);
   return base;
 }
 
@@ -97,6 +99,7 @@ void append_trace_options(std::string& out, const TraceRequestOptions& o) {
   append_u8(out, o.has_mu ? 1 : 0);
   append_i32(out, o.mu);
   append_i32(out, o.retry_max_attempts);
+  append_u8(out, o.rounding_rule);
 }
 
 Status read_trace_options(std::string_view in, std::size_t& offset,
@@ -113,7 +116,8 @@ Status read_trace_options(std::string_view in, std::size_t& offset,
       !model::wire::read_f64(in, offset, o.rho) ||
       !read_flag(in, offset, o.has_mu) ||
       !model::wire::read_i32(in, offset, o.mu) ||
-      !model::wire::read_i32(in, offset, o.retry_max_attempts)) {
+      !model::wire::read_i32(in, offset, o.retry_max_attempts) ||
+      !model::wire::read_u8(in, offset, o.rounding_rule)) {
     return malformed("truncated options block");
   }
   if (o.lp_mode > static_cast<std::uint8_t>(LpMode::kAuto)) {
@@ -124,6 +128,9 @@ Status read_trace_options(std::string_view in, std::size_t& offset,
     return malformed("unknown LIST priority rule " +
                      std::to_string(o.list_priority));
   }
+  if (o.rounding_rule > static_cast<std::uint8_t>(RoundingRule::kDown)) {
+    return malformed("unknown rounding rule " + std::to_string(o.rounding_rule));
+  }
   out = o;
   return Status();
 }
@@ -132,12 +139,13 @@ Status read_trace_options(std::string_view in, std::size_t& offset,
 // say which are meaningful — the fixed shape keeps the codec canonical and
 // is documented as a table in src/core/README.md):
 //   f64 arrival_offset | i32 priority | u8 has_deadline | f64 deadline |
-//   str client_tag | u8 options.present | u8 lp_mode | i32 piece_stride |
-//   i32 refine_stride | f64 bisection_tolerance | u8 dual_reoptimize |
-//   u8 list_priority | u8 has_rho | f64 rho | u8 has_mu | i32 mu |
-//   i32 retry_max_attempts | instance (binary codec) | u8 status |
-//   f64 lower_bound | f64 makespan | i64 lp_pivots | i32 attempts |
-//   u8 degraded | f64 wall_seconds | u64 group | u64 sequence
+//   str client_tag | str policy (v2) | u8 options.present | u8 lp_mode |
+//   i32 piece_stride | i32 refine_stride | f64 bisection_tolerance |
+//   u8 dual_reoptimize | u8 list_priority | u8 has_rho | f64 rho |
+//   u8 has_mu | i32 mu | i32 retry_max_attempts | u8 rounding_rule (v2) |
+//   instance (binary codec) | u8 status | f64 lower_bound | f64 makespan |
+//   i64 lp_pivots | i32 attempts | u8 degraded | f64 wall_seconds |
+//   u64 group | u64 sequence
 std::string encode_trace_record(const TraceRecord& record) {
   std::string out;
   append_f64(out, record.arrival_offset_seconds);
@@ -145,6 +153,7 @@ std::string encode_trace_record(const TraceRecord& record) {
   append_u8(out, record.has_deadline ? 1 : 0);
   append_f64(out, record.deadline_seconds);
   append_string(out, record.client_tag);
+  append_string(out, record.policy);
   append_trace_options(out, record.options);
   model::append_instance_binary(out, record.instance);
   const TraceOutcome& t = record.outcome;
@@ -174,7 +183,8 @@ Status decode_trace_record(std::string_view payload, TraceRecord& out) {
       !read_i32(payload, at, record.priority) ||
       !read_flag(payload, at, record.has_deadline) ||
       !read_f64(payload, at, record.deadline_seconds) ||
-      !read_string(payload, at, record.client_tag)) {
+      !read_string(payload, at, record.client_tag) ||
+      !read_string(payload, at, record.policy)) {
     return malformed("truncated request header");
   }
   const Status options_status = read_trace_options(payload, at, record.options);
@@ -305,6 +315,7 @@ std::size_t TraceRecorder::record_arrival(const ScheduleRequest& request,
   record.has_deadline = request.deadline_seconds.has_value();
   record.deadline_seconds = request.deadline_seconds.value_or(0.0);
   record.client_tag = request.client_tag;
+  record.policy = request.policy;
   record.outcome.status = StatusCode::kInternalError;  // until completion
   std::lock_guard<std::mutex> lock(mutex_);
   records_.push_back(std::move(record));
@@ -374,6 +385,8 @@ ReplayReport replay_trace(const Trace& trace, const ReplayOptions& options) {
     request.priority = record.priority;
     if (record.has_deadline) request.deadline_seconds = record.deadline_seconds;
     request.client_tag = record.client_tag;
+    request.policy = options.policy_override.empty() ? record.policy
+                                                     : options.policy_override;
     TicketHandle handle = service.submit(std::move(request));
     if (record.outcome.status == StatusCode::kCancelled) {
       // Re-issue the recorded cancellation immediately: a queued job drops

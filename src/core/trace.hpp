@@ -53,7 +53,9 @@
 namespace malsched::core {
 
 /// On-disk trace format version (the header's version byte).
-constexpr std::uint8_t kTraceVersion = 1;
+/// v2: + per-request policy spec string, + rounding_rule in the options
+/// block (both also carried by shard protocol v2).
+constexpr std::uint8_t kTraceVersion = 2;
 
 /// Compact projection of a per-request SchedulerOptions override — the
 /// reproducibility-relevant knobs (everything that changes the LP, the
@@ -72,6 +74,7 @@ struct TraceRequestOptions {
   bool has_mu = false;
   std::int32_t mu = 0;
   std::int32_t retry_max_attempts = 4;
+  std::uint8_t rounding_rule = 0;  ///< static_cast of core::RoundingRule (v2)
 };
 
 /// What the live service produced for one request. `lower_bound` and
@@ -98,6 +101,8 @@ struct TraceRecord {
   bool has_deadline = false;
   double deadline_seconds = 0.0;
   std::string client_tag;
+  /// Policy spec (ScheduleRequest::policy), replayed verbatim (v2).
+  std::string policy;
   TraceOutcome outcome;
 };
 
@@ -192,6 +197,12 @@ struct ReplayOptions {
   /// Optional recorder attached to the replay service — regenerates a fresh
   /// trace of the replay run (the CI artifact).
   TraceRecorder* record_into = nullptr;
+  /// When non-empty, every replayed request carries THIS policy spec instead
+  /// of its recorded one — captured traffic re-run under any registered
+  /// policy ("what would EDF have done with yesterday's burst"). Reordering
+  /// changes warm-start order, so pair it with compare_pivots = false;
+  /// bounds stay bitwise because they are warm/cold invariant.
+  std::string policy_override;
 };
 
 struct ReplayMismatch {
